@@ -1,0 +1,119 @@
+// Ablation: DRC micro-benchmarks (google-benchmark).
+//
+// Validates the Section 4.3 complexity claim — DRC is
+// O((|Pq|+|Pd|) log(|Pq|+|Pd|)) — by sweeping the query-document size
+// and reporting per-call D-Radix sizes, and measures the quadratic
+// baseline on the same inputs for reference. Complements
+// bench_fig6_distance_calc, which reports the paper's figure.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/baseline_distance.h"
+#include "core/drc.h"
+#include "corpus/query_gen.h"
+#include "util/random.h"
+
+namespace {
+
+// Built once; google-benchmark re-enters each benchmark many times.
+struct World {
+  ecdr::bench::Testbed testbed;
+  std::unique_ptr<ecdr::ontology::AddressEnumerator> enumerator;
+  std::unique_ptr<ecdr::core::Drc> drc;
+  std::unique_ptr<ecdr::core::BaselineDistance> baseline;
+
+  World()
+      : testbed(ecdr::bench::BuildTestbed(
+            /*scale=*/std::min(0.05, ecdr::bench::ScaleFromEnv()),
+            /*include_patient=*/false)) {
+    enumerator = std::make_unique<ecdr::ontology::AddressEnumerator>(
+        *testbed.ontology);
+    drc = std::make_unique<ecdr::core::Drc>(*testbed.ontology,
+                                            enumerator.get());
+    baseline =
+        std::make_unique<ecdr::core::BaselineDistance>(*testbed.ontology);
+  }
+};
+
+World& GetWorld() {
+  static World* world = new World();
+  return *world;
+}
+
+std::vector<ecdr::ontology::ConceptId> RandomConcepts(std::uint32_t n,
+                                                      std::uint64_t seed) {
+  ecdr::util::Rng rng(seed);
+  return rng.SampleWithoutReplacement(
+      GetWorld().testbed.ontology->num_concepts(), n);
+}
+
+void BM_DrcDocDoc(benchmark::State& state) {
+  World& world = GetWorld();
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d1 = RandomConcepts(n, 1000 + n);
+  const auto d2 = RandomConcepts(n, 2000 + n);
+  world.drc->ResetStats();
+  for (auto _ : state) {
+    const auto distance = world.drc->DocDocDistance(d1, d2);
+    ECDR_CHECK(distance.ok());
+    benchmark::DoNotOptimize(*distance);
+  }
+  const auto& stats = world.drc->stats();
+  state.counters["radix_nodes"] = benchmark::Counter(
+      static_cast<double>(stats.nodes_built) / stats.calls);
+  state.counters["addresses"] = benchmark::Counter(
+      static_cast<double>(stats.addresses_inserted) / stats.calls);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DrcDocDoc)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+
+void BM_BaselineDocDoc(benchmark::State& state) {
+  World& world = GetWorld();
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d1 = RandomConcepts(n, 1000 + n);
+  const auto d2 = RandomConcepts(n, 2000 + n);
+  for (auto _ : state) {
+    const auto distance = world.baseline->DocDocDistance(d1, d2);
+    ECDR_CHECK(distance.ok());
+    benchmark::DoNotOptimize(*distance);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BaselineDocDoc)->RangeMultiplier(4)->Range(4, 128)->Complexity();
+
+// D-Radix construction alone (no tuning sweeps / evaluation).
+void BM_DrcBuildIndex(benchmark::State& state) {
+  World& world = GetWorld();
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d1 = RandomConcepts(n, 3000 + n);
+  const auto d2 = RandomConcepts(n, 4000 + n);
+  for (auto _ : state) {
+    auto dag = world.drc->BuildIndex(d1, d2);
+    ECDR_CHECK(dag.ok());
+    benchmark::DoNotOptimize(dag->num_nodes());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DrcBuildIndex)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+
+// Dewey address enumeration with a cold cache, the per-concept setup
+// cost the shared cache amortizes away.
+void BM_AddressEnumerationColdCache(benchmark::State& state) {
+  World& world = GetWorld();
+  const auto concepts = RandomConcepts(64, 5000);
+  for (auto _ : state) {
+    ecdr::ontology::AddressEnumerator fresh(*world.testbed.ontology);
+    std::size_t total = 0;
+    for (const auto c : concepts) total += fresh.Addresses(c).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AddressEnumerationColdCache);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Reproduces Figure 6: document-document (SDS) distance-calculation time
+// vs query size nq, for the quadratic baseline BL vs DRC, on PATIENT
+// (6a) and RADIO (6b).
+//
+// Shape to reproduce: BL grows quadratically in nq and is dominated by
+// the corpus document's concept count; DRC grows ~ n log n and stays
+// milliseconds where BL climbs to seconds ("DRC takes less than two
+// seconds in the worst case" on the paper's hardware).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/baseline_distance.h"
+#include "core/drc.h"
+#include "corpus/query_gen.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using ecdr::bench::Collection;
+using ecdr::util::TablePrinter;
+
+void RunCollection(const ecdr::ontology::Ontology& ontology,
+                   const Collection& collection, std::uint32_t queries,
+                   TablePrinter* table) {
+  ecdr::ontology::AddressEnumerator enumerator(ontology);
+  ecdr::core::Drc drc(ontology, &enumerator);
+  ecdr::core::BaselineDistance baseline(ontology);
+  ecdr::util::Rng rng(4242);
+
+  for (const std::uint32_t nq : {1u, 3u, 5u, 10u, 50u, 100u, 200u, 500u}) {
+    // The quadratic baseline gets expensive fast; trim its trial count
+    // the way the paper trims its plotted range.
+    const std::uint32_t drc_trials = queries;
+    const std::uint32_t bl_trials =
+        std::max(1u, nq >= 50 ? queries / 4 : queries / 2);
+
+    const auto query_docs = ecdr::corpus::GenerateQueryDocuments(
+        ontology, std::max(drc_trials, bl_trials), nq, 9000 + nq);
+
+    ecdr::util::RunningStat drc_ms;
+    ecdr::util::RunningStat bl_ms;
+    for (std::uint32_t t = 0; t < drc_trials; ++t) {
+      const auto& doc = collection.corpus->document(
+          static_cast<ecdr::corpus::DocId>(rng.UniformInt(
+              0, collection.corpus->num_documents() - 1)));
+      ecdr::util::WallTimer timer;
+      const auto distance =
+          drc.DocDocDistance(query_docs[t].concepts(), doc.concepts());
+      ECDR_CHECK(distance.ok());
+      drc_ms.Add(timer.ElapsedMillis());
+    }
+    for (std::uint32_t t = 0; t < bl_trials; ++t) {
+      const auto& doc = collection.corpus->document(
+          static_cast<ecdr::corpus::DocId>(rng.UniformInt(
+              0, collection.corpus->num_documents() - 1)));
+      ecdr::util::WallTimer timer;
+      const auto distance =
+          baseline.DocDocDistance(query_docs[t].concepts(), doc.concepts());
+      ECDR_CHECK(distance.ok());
+      bl_ms.Add(timer.ElapsedMillis());
+    }
+    table->AddRow({collection.name, std::to_string(nq),
+                   TablePrinter::FormatDouble(bl_ms.mean(), 3),
+                   TablePrinter::FormatDouble(drc_ms.mean(), 3),
+                   TablePrinter::FormatDouble(bl_ms.mean() /
+                                                  std::max(1e-9, drc_ms.mean()),
+                                              1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint32_t queries = ecdr::bench::QueriesFromEnv();
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(scale);
+  ecdr::bench::PrintTestbedBanner(
+      "Figure 6: SDS distance-calculation time vs query size nq (BL vs DRC)",
+      testbed, scale, queries);
+
+  TablePrinter table(
+      {"collection", "nq", "BL avg ms", "DRC avg ms", "BL/DRC"});
+  RunCollection(*testbed.ontology, testbed.patient, queries, &table);
+  RunCollection(*testbed.ontology, testbed.radio, queries, &table);
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape (paper Fig. 6): BL grows quadratically with nq and\n"
+      "with the document size (PATIENT >> RADIO); DRC grows ~ n log n and\n"
+      "wins by a widening factor.\n");
+  return 0;
+}

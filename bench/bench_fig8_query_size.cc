@@ -1,0 +1,88 @@
+// Reproduces Figure 8: RDS query time vs query size nq, kNDS vs the
+// exhaustive baseline (both using DRC as the distance component, as in
+// the paper), on PATIENT (8a) and RADIO (8b). k = 10, eps at each
+// collection's default (0.5 / 0.9).
+//
+// Shape to reproduce: both grow roughly n log n in nq; kNDS wins by a
+// large factor everywhere.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "corpus/query_gen.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using ecdr::bench::Collection;
+using ecdr::util::TablePrinter;
+
+constexpr std::uint32_t kDefaultK = 10;
+
+void RunCollection(const ecdr::ontology::Ontology& ontology,
+                   const Collection& collection, std::uint32_t queries,
+                   TablePrinter* table) {
+  ecdr::ontology::AddressEnumerator enumerator(ontology);
+  ecdr::core::Drc drc(ontology, &enumerator);
+  ecdr::core::ExhaustiveRanker baseline(*collection.corpus, &drc);
+  ecdr::core::KndsOptions options;
+  options.error_threshold = collection.rds_error_threshold;
+  ecdr::core::Knds knds(*collection.corpus, *collection.inverted, &drc,
+                        options);
+
+  for (const std::uint32_t nq : {1u, 3u, 5u, 10u}) {
+    const auto rds_queries = ecdr::corpus::GenerateRdsQueries(
+        *collection.corpus, queries, nq, 500 + nq);
+    double knds_ms = 0.0;
+    double knds_drc_ms = 0.0;
+    double baseline_ms = 0.0;
+    for (const auto& query : rds_queries) {
+      const auto got = knds.SearchRds(query, kDefaultK);
+      ECDR_CHECK(got.ok());
+      knds_ms += knds.last_stats().total_seconds * 1e3;
+      knds_drc_ms += knds.last_stats().distance_seconds * 1e3;
+      const auto want = baseline.TopKRelevant(query, kDefaultK);
+      ECDR_CHECK(want.ok());
+      baseline_ms += baseline.last_stats().seconds * 1e3;
+      // Sanity: identical top-k distance multisets.
+      ECDR_CHECK_EQ(got->size(), want->size());
+      for (std::size_t i = 0; i < got->size(); ++i) {
+        ECDR_CHECK((*got)[i].distance == (*want)[i].distance);
+      }
+    }
+    const double n = queries;
+    table->AddRow(
+        {collection.name, std::to_string(nq),
+         TablePrinter::FormatDouble(knds_ms / n, 2),
+         TablePrinter::FormatDouble(knds_drc_ms / n, 2),
+         TablePrinter::FormatDouble(baseline_ms / n, 2),
+         TablePrinter::FormatDouble(baseline_ms / std::max(1e-9, knds_ms),
+                                    1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint32_t queries = ecdr::bench::QueriesFromEnv();
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(scale);
+  ecdr::bench::PrintTestbedBanner(
+      "Figure 8: RDS query time vs query size nq (kNDS vs exhaustive "
+      "baseline, k=10)",
+      testbed, scale, queries);
+
+  TablePrinter table({"collection", "nq", "kNDS ms", "kNDS DRC ms",
+                      "baseline ms", "speedup x"});
+  RunCollection(*testbed.ontology, testbed.patient, queries, &table);
+  RunCollection(*testbed.ontology, testbed.radio, queries, &table);
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape (paper Fig. 8): times grow ~ n log n with nq; kNDS\n"
+      "beats the baseline by a large margin at every query size.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Table 3 ("Document Corpus Statistics") plus the ontology
+// shape statistics of Section 6.1, on the synthetic substrate.
+//
+// Paper reference values (MIMIC-II + SNOMED-CT, scale 1.0):
+//              PATIENT   RADIO
+//   documents      983   12,373
+//   concepts    16,811    8,629   (distinct, after filtering)
+//   avg concepts/doc 706.6 125.3
+// Ontology: 296,433 concepts, 9.78 addresses/concept, length 14.1.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "corpus/filters.h"
+#include "ontology/generator.h"
+#include "util/table_printer.h"
+
+int main() {
+  const double scale = ecdr::bench::ScaleFromEnv();
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(scale);
+  ecdr::bench::PrintTestbedBanner("Table 3: corpus statistics", testbed,
+                                  scale, 0);
+
+  using ecdr::util::TablePrinter;
+  {
+    const auto stats = ecdr::ontology::ComputeShapeStats(*testbed.ontology);
+    TablePrinter table({"ontology metric", "measured", "paper (SNOMED-CT)"});
+    table.AddRow({"concepts", std::to_string(stats.num_concepts),
+                  "296,433 (x scale)"});
+    table.AddRow({"avg Dewey addresses/concept",
+                  TablePrinter::FormatDouble(stats.avg_path_count, 2),
+                  "9.78"});
+    table.AddRow({"avg depth (address length)",
+                  TablePrinter::FormatDouble(stats.avg_depth, 2), "14.1"});
+    table.AddRow({"avg children (internal nodes)",
+                  TablePrinter::FormatDouble(stats.avg_children_internal, 2),
+                  "4.53"});
+    table.AddRow({"max depth", std::to_string(stats.max_depth), "-"});
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  TablePrinter table(
+      {"metric", "PATIENT", "RADIO", "paper PATIENT", "paper RADIO"});
+  const auto patient = ecdr::corpus::ComputeCorpusStats(*testbed.patient.corpus);
+  const auto radio = ecdr::corpus::ComputeCorpusStats(*testbed.radio.corpus);
+  table.AddRow({"total documents", std::to_string(patient.num_documents),
+                std::to_string(radio.num_documents), "983 (x scale)",
+                "12,373 (x scale)"});
+  table.AddRow({"total distinct concepts",
+                std::to_string(patient.num_distinct_concepts),
+                std::to_string(radio.num_distinct_concepts), "16,811",
+                "8,629"});
+  table.AddRow({"avg concepts/document",
+                TablePrinter::FormatDouble(patient.avg_concepts_per_document, 1),
+                TablePrinter::FormatDouble(radio.avg_concepts_per_document, 1),
+                "706.6", "125.3"});
+  table.AddRow({"concept cf mean",
+                TablePrinter::FormatDouble(patient.cf_mean, 2),
+                TablePrinter::FormatDouble(radio.cf_mean, 2), "-", "-"});
+  table.AddRow({"concept cf stddev",
+                TablePrinter::FormatDouble(patient.cf_stddev, 2),
+                TablePrinter::FormatDouble(radio.cf_stddev, 2), "-", "-"});
+  table.Print(std::cout);
+  std::printf("\n");
+
+  // Filter accounting (Section 6.1: depth threshold keeps >99% of
+  // concepts, mu+sigma keeps ~92%).
+  TablePrinter filters({"collection", "kept", "removed by depth<4",
+                        "removed by cf>mu+sigma", "docs dropped"});
+  for (const bool patient_side : {true, false}) {
+    const auto& name = patient_side ? "PATIENT" : "RADIO";
+    // Rebuild the unfiltered corpus to report what filtering removed.
+    const auto config = patient_side
+                            ? ecdr::corpus::PatientLikeConfig(scale, 17)
+                            : ecdr::corpus::RadioLikeConfig(scale, 18);
+    auto raw = ecdr::corpus::GenerateCorpus(*testbed.ontology, config);
+    ECDR_CHECK(raw.ok());
+    ecdr::corpus::ConceptFilterReport report;
+    const auto filtered = ecdr::corpus::ApplyConceptFilters(
+        *raw, ecdr::corpus::ConceptFilterOptions{}, &report);
+    ECDR_CHECK(filtered.ok());
+    filters.AddRow({name, std::to_string(report.concepts_kept),
+                    std::to_string(report.concepts_removed_by_depth),
+                    std::to_string(report.concepts_removed_by_cf),
+                    std::to_string(report.documents_dropped_empty)});
+  }
+  filters.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// A small hand-written SNOMED-flavored ontology shared by the examples.
+//
+// It is a DAG (note the two parents of "cardiomegaly" and of "diabetic
+// nephropathy"), deep enough for the valid-path rule to matter, and
+// small enough to read in one screen.
+
+#ifndef ECDR_EXAMPLES_EXAMPLE_ONTOLOGY_H_
+#define ECDR_EXAMPLES_EXAMPLE_ONTOLOGY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "ontology/ontology_builder.h"
+#include "util/macros.h"
+
+namespace ecdr::examples {
+
+/// Builds the example ontology. Aborts on internal error (the edge list
+/// below is static).
+inline ontology::Ontology MakeMedicalOntology() {
+  ontology::OntologyBuilder builder;
+  const std::vector<std::pair<std::string, std::string>> edges = {
+      // clang-format off
+      {"clinical finding",        "disorder of body system"},
+      {"clinical finding",        "morphologic abnormality"},
+      {"disorder of body system", "cardiac finding"},
+      {"disorder of body system", "endocrine disorder"},
+      {"disorder of body system", "neoplastic disease"},
+      {"disorder of body system", "renal disorder"},
+      {"cardiac finding",         "heart disease"},
+      {"heart disease",           "heart valve finding"},
+      {"heart disease",           "myocardial infarction"},
+      {"heart disease",           "heart failure"},
+      {"heart valve finding",     "aortic valve stenosis"},
+      {"heart valve finding",     "mitral regurgitation"},
+      {"heart failure",           "congestive heart failure"},
+      {"morphologic abnormality", "hypertrophy"},
+      {"hypertrophy",             "cardiomegaly"},
+      {"heart disease",           "cardiomegaly"},          // 2nd parent
+      {"cardiac finding",         "arrhythmia"},
+      {"arrhythmia",              "atrial fibrillation"},
+      {"arrhythmia",              "bradycardia"},
+      {"endocrine disorder",      "diabetes mellitus"},
+      {"diabetes mellitus",       "type 1 diabetes"},
+      {"diabetes mellitus",       "type 2 diabetes"},
+      {"diabetes mellitus",       "diabetic complication"},
+      {"diabetic complication",   "diabetic nephropathy"},
+      {"renal disorder",          "chronic kidney disease"},
+      {"renal disorder",          "diabetic nephropathy"},  // 2nd parent
+      {"diabetic complication",   "hypoglycemia"},
+      {"neoplastic disease",      "malignant neoplasm"},
+      {"malignant neoplasm",      "breast cancer"},
+      {"malignant neoplasm",      "lung cancer"},
+      {"breast cancer",           "invasive ductal carcinoma"},
+      {"breast cancer",           "metastatic breast cancer"},
+      {"chronic kidney disease",  "end stage renal disease"},
+      {"clinical finding",        "vascular finding"},
+      {"vascular finding",        "thrombosis"},
+      {"vascular finding",        "embolus"},
+      {"vascular finding",        "hypertension"},
+      // clang-format on
+  };
+  // Register each concept on first mention (mention order fixes the
+  // Dewey ordinals) and wire the edges.
+  std::vector<std::string> names;
+  const auto id_of = [&](const std::string& name) -> ontology::ConceptId {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<ontology::ConceptId>(i);
+    }
+    names.push_back(name);
+    return builder.AddConcept(name);
+  };
+  for (const auto& [parent, child] : edges) {
+    const ontology::ConceptId p = id_of(parent);
+    const ontology::ConceptId c = id_of(child);
+    ECDR_CHECK(builder.AddEdge(p, c).ok());
+  }
+  auto built = std::move(builder).Build();
+  ECDR_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+}  // namespace ecdr::examples
+
+#endif  // ECDR_EXAMPLES_EXAMPLE_ONTOLOGY_H_

@@ -1,0 +1,97 @@
+// Quickstart: the whole public API in one file.
+//
+//   1. build an ontology (a DAG of is-a edges),
+//   2. assemble a corpus of concept-annotated documents,
+//   3. compute semantic distances with DRC (document-query Eq. 2,
+//      document-document Eq. 3),
+//   4. answer RDS and SDS top-k queries with kNDS.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/knds.h"
+#include "corpus/corpus.h"
+#include "examples/example_ontology.h"
+#include "index/inverted_index.h"
+#include "ontology/dewey.h"
+
+int main() {
+  using ecdr::ontology::ConceptId;
+
+  // 1. The ontology. See examples/example_ontology.h; concepts are
+  //    looked up by name.
+  const ecdr::ontology::Ontology ontology =
+      ecdr::examples::MakeMedicalOntology();
+  const auto c = [&](const char* name) {
+    const ConceptId id = ontology.FindByName(name);
+    ECDR_CHECK(id != ecdr::ontology::kInvalidConcept);
+    return id;
+  };
+  std::printf("ontology: %u concepts, %llu is-a edges\n",
+              ontology.num_concepts(),
+              static_cast<unsigned long long>(ontology.num_edges()));
+
+  // 2. A corpus of "EMRs": each document is just a set of concepts.
+  ecdr::corpus::Corpus corpus(ontology);
+  const auto add = [&](std::vector<ConceptId> concepts) {
+    const auto id = corpus.AddDocument(
+        ecdr::corpus::Document(std::move(concepts)));
+    ECDR_CHECK(id.ok());
+    return *id;
+  };
+  add({c("aortic valve stenosis"), c("congestive heart failure"),
+       c("hypertension")});                                   // doc 0
+  add({c("type 2 diabetes"), c("hypoglycemia"),
+       c("diabetic nephropathy")});                           // doc 1
+  add({c("myocardial infarction"), c("atrial fibrillation"),
+       c("cardiomegaly")});                                   // doc 2
+  add({c("breast cancer"), c("metastatic breast cancer"),
+       c("thrombosis")});                                     // doc 3
+  add({c("mitral regurgitation"), c("heart failure"),
+       c("type 2 diabetes")});                                // doc 4
+
+  // 3. Distances via DRC. The AddressEnumerator caches Dewey address
+  //    sets and is shared across calls.
+  ecdr::ontology::AddressEnumerator addresses(ontology);
+  ecdr::core::Drc drc(ontology, &addresses);
+
+  const std::vector<ConceptId> query = {c("heart valve finding"),
+                                        c("hypertension")};
+  for (ecdr::corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+    const auto ddq =
+        drc.DocQueryDistance(corpus.document(d).concepts(), query);
+    ECDR_CHECK(ddq.ok());
+    std::printf("Ddq(doc %u, {heart valve finding, hypertension}) = %llu\n",
+                d, static_cast<unsigned long long>(*ddq));
+  }
+  const auto ddd = drc.DocDocDistance(corpus.document(0).concepts(),
+                                      corpus.document(4).concepts());
+  ECDR_CHECK(ddd.ok());
+  std::printf("Ddd(doc 0, doc 4) = %.3f\n\n", *ddd);
+
+  // 4. Top-k search with kNDS. The inverted index is the only index it
+  //    needs; nothing is precomputed over distances.
+  ecdr::index::InvertedIndex inverted(corpus);
+  ecdr::core::Knds knds(corpus, inverted, &drc);
+
+  std::printf("RDS top-3 for {heart valve finding, hypertension}:\n");
+  const auto rds = knds.SearchRds(query, 3);
+  ECDR_CHECK(rds.ok());
+  for (const auto& result : *rds) {
+    std::printf("  doc %u at distance %.0f\n", result.id, result.distance);
+  }
+
+  std::printf("SDS top-3 most similar to doc 1 (the diabetes record):\n");
+  const auto sds = knds.SearchSds(corpus.document(1), 3);
+  ECDR_CHECK(sds.ok());
+  for (const auto& result : *sds) {
+    std::printf("  doc %u at distance %.3f\n", result.id, result.distance);
+  }
+  std::printf(
+      "(doc 1 itself comes back at distance 0; doc 4 shares the diabetes "
+      "branch)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "core/baseline_distance.h"
+
+#include <algorithm>
+
+namespace ecdr::core {
+
+namespace {
+
+std::vector<ontology::ConceptId> Distinct(
+    std::span<const ontology::ConceptId> concepts) {
+  std::vector<ontology::ConceptId> result(concepts.begin(), concepts.end());
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+util::Status Validate(const ontology::Ontology& ontology,
+                      std::span<const ontology::ConceptId> concepts,
+                      const char* label) {
+  if (concepts.empty()) {
+    return util::InvalidArgumentError(std::string(label) + " has no concepts");
+  }
+  for (ontology::ConceptId c : concepts) {
+    if (!ontology.Contains(c)) {
+      return util::InvalidArgumentError(std::string(label) +
+                                        " references unknown concept id " +
+                                        std::to_string(c));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+BaselineDistance::BaselineDistance(const ontology::Ontology& ontology)
+    : ontology_(&ontology), oracle_(ontology) {}
+
+void BaselineDistance::PairwiseMinima(
+    std::span<const ontology::ConceptId> rows,
+    std::span<const ontology::ConceptId> cols,
+    std::vector<std::uint32_t>* row_min, std::vector<std::uint32_t>* col_min) {
+  row_min->assign(rows.size(), ontology::kInfiniteDistance);
+  col_min->assign(cols.size(), ontology::kInfiniteDistance);
+  // Ancestor maps for the column side, computed once each.
+  std::vector<UpMap> col_maps(cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    oracle_.UpDistances(cols[j], &col_maps[j]);
+  }
+  UpMap row_map;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    oracle_.UpDistances(rows[i], &row_map);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      // D(rows[i], cols[j]) = min over common ancestors of the up-
+      // distance sum.
+      std::uint32_t best = ontology::kInfiniteDistance;
+      const UpMap& small =
+          row_map.size() <= col_maps[j].size() ? row_map : col_maps[j];
+      const UpMap& large =
+          row_map.size() <= col_maps[j].size() ? col_maps[j] : row_map;
+      for (const auto& [ancestor, up_small] : small) {
+        const auto it = large.find(ancestor);
+        if (it != large.end()) best = std::min(best, up_small + it->second);
+      }
+      (*row_min)[i] = std::min((*row_min)[i], best);
+      (*col_min)[j] = std::min((*col_min)[j], best);
+    }
+  }
+}
+
+util::StatusOr<std::uint64_t> BaselineDistance::DocQueryDistance(
+    std::span<const ontology::ConceptId> doc,
+    std::span<const ontology::ConceptId> query) {
+  ECDR_RETURN_IF_ERROR(Validate(*ontology_, doc, "document"));
+  ECDR_RETURN_IF_ERROR(Validate(*ontology_, query, "query"));
+  const std::vector<ontology::ConceptId> doc_set = Distinct(doc);
+  const std::vector<ontology::ConceptId> query_set = Distinct(query);
+  std::vector<std::uint32_t> query_min;
+  std::vector<std::uint32_t> doc_min;
+  PairwiseMinima(query_set, doc_set, &query_min, &doc_min);
+  std::uint64_t total = 0;
+  for (std::uint32_t m : query_min) {
+    ECDR_CHECK_NE(m, ontology::kInfiniteDistance);
+    total += m;
+  }
+  return total;
+}
+
+util::StatusOr<double> BaselineDistance::DocDocDistance(
+    std::span<const ontology::ConceptId> d1,
+    std::span<const ontology::ConceptId> d2) {
+  ECDR_RETURN_IF_ERROR(Validate(*ontology_, d1, "document d1"));
+  ECDR_RETURN_IF_ERROR(Validate(*ontology_, d2, "document d2"));
+  const std::vector<ontology::ConceptId> set1 = Distinct(d1);
+  const std::vector<ontology::ConceptId> set2 = Distinct(d2);
+  std::vector<std::uint32_t> min1;
+  std::vector<std::uint32_t> min2;
+  PairwiseMinima(set1, set2, &min1, &min2);
+  std::uint64_t sum1 = 0;
+  for (std::uint32_t m : min1) {
+    ECDR_CHECK_NE(m, ontology::kInfiniteDistance);
+    sum1 += m;
+  }
+  std::uint64_t sum2 = 0;
+  for (std::uint32_t m : min2) {
+    ECDR_CHECK_NE(m, ontology::kInfiniteDistance);
+    sum2 += m;
+  }
+  return static_cast<double>(sum1) / static_cast<double>(set1.size()) +
+         static_cast<double>(sum2) / static_cast<double>(set2.size());
+}
+
+}  // namespace ecdr::core

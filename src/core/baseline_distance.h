@@ -1,0 +1,55 @@
+// The quadratic distance baseline ("BL" in the paper's Fig. 6).
+//
+// Computes document-query / document-document distances by evaluating
+// all O(nq * nd) pairwise concept-concept shortest valid-path distances
+// at query time (no index, no precomputation), exactly the strategy
+// Section 4.1 describes and Section 6.2 measures against DRC. Each
+// pairwise distance joins the two concepts' ancestor distance maps;
+// maps are cached within a call so each concept's ancestors are walked
+// once.
+
+#ifndef ECDR_CORE_BASELINE_DISTANCE_H_
+#define ECDR_CORE_BASELINE_DISTANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/distance_oracle.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+class BaselineDistance {
+ public:
+  explicit BaselineDistance(const ontology::Ontology& ontology);
+
+  /// Ddq(d, q) — Eq. 2 via pairwise minima.
+  util::StatusOr<std::uint64_t> DocQueryDistance(
+      std::span<const ontology::ConceptId> doc,
+      std::span<const ontology::ConceptId> query);
+
+  /// Ddd(d1, d2) — Eq. 3 via the full pairwise distance matrix.
+  util::StatusOr<double> DocDocDistance(
+      std::span<const ontology::ConceptId> d1,
+      std::span<const ontology::ConceptId> d2);
+
+ private:
+  using UpMap = std::unordered_map<ontology::ConceptId, std::uint32_t>;
+
+  /// Row minima (for each a in `rows`: min over b in `cols` of D(a, b))
+  /// and column minima of the pairwise distance matrix.
+  void PairwiseMinima(std::span<const ontology::ConceptId> rows,
+                      std::span<const ontology::ConceptId> cols,
+                      std::vector<std::uint32_t>* row_min,
+                      std::vector<std::uint32_t>* col_min);
+
+  const ontology::Ontology* ontology_;
+  ontology::DistanceOracle oracle_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_BASELINE_DISTANCE_H_

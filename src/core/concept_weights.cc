@@ -1,0 +1,34 @@
+#include "core/concept_weights.h"
+
+#include "core/semantic_similarity.h"
+
+namespace ecdr::core {
+
+ConceptWeights ConceptWeights::Uniform(const ontology::Ontology& ontology) {
+  return ConceptWeights(std::vector<double>(ontology.num_concepts(), 1.0));
+}
+
+ConceptWeights ConceptWeights::FromInformationContent(
+    const ontology::Ontology& ontology, const corpus::Corpus& corpus) {
+  // Reuse the Resnik machinery for the propagated-occurrence IC.
+  ConceptSimilarity similarity(ontology, &corpus, SemanticMeasure::kResnik);
+  std::vector<double> weights(ontology.num_concepts());
+  for (ontology::ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    weights[c] = 1.0 + similarity.InformationContent(c);
+  }
+  return ConceptWeights(std::move(weights));
+}
+
+ConceptWeights::ConceptWeights(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) ECDR_CHECK_GE(w, 0.0);
+}
+
+double ConceptWeights::TotalOf(
+    std::span<const ontology::ConceptId> concepts) const {
+  double total = 0.0;
+  for (ontology::ConceptId c : concepts) total += of(c);
+  return total;
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,66 @@
+// Per-concept weights for the weighted variants of the paper's distance
+// functions.
+//
+// The inter-patient metric the paper adopts (Melton et al., Eq. 3)
+// supports per-concept weights; the paper "assumed that all concepts
+// have equal weights" and leaves the rest open. This module supplies the
+// weighting side:
+//   Ddq_w(d, q)   = sum_i w(qi) * Ddc(d, qi)
+//   Ddd_w(d1, d2) = sum_{ci in d1} w(ci) * Ddc(d2, ci) / W(d1)
+//                 + sum_{cj in d2} w(cj) * Ddc(d1, cj) / W(d2)
+// where W(d) is the total weight of d's concepts. Uniform weights reduce
+// both to the paper's Eqs. 2-3.
+//
+// Weights also carry the scores produced by ontology-based query
+// expansion (core/query_expansion.h) into RDS ranking.
+
+#ifndef ECDR_CORE_CONCEPT_WEIGHTS_H_
+#define ECDR_CORE_CONCEPT_WEIGHTS_H_
+
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "ontology/ontology.h"
+#include "util/macros.h"
+
+namespace ecdr::core {
+
+/// A query concept paired with its weight (e.g. from query expansion).
+struct WeightedConcept {
+  ontology::ConceptId concept_id = ontology::kInvalidConcept;
+  double weight = 1.0;
+};
+
+/// Immutable weight table over all concepts of one ontology.
+class ConceptWeights {
+ public:
+  /// All-ones weights (the paper's setting).
+  static ConceptWeights Uniform(const ontology::Ontology& ontology);
+
+  /// Information-content weights: rare, specific concepts weigh more
+  /// than generic ones. Uses the same propagated-occurrence IC as
+  /// core/semantic_similarity.h, shifted by +1 so no concept weighs 0.
+  static ConceptWeights FromInformationContent(
+      const ontology::Ontology& ontology, const corpus::Corpus& corpus);
+
+  /// Explicit weights; must supply one non-negative value per concept.
+  explicit ConceptWeights(std::vector<double> weights);
+
+  double of(ontology::ConceptId c) const {
+    ECDR_DCHECK_LT(c, weights_.size());
+    return weights_[c];
+  }
+
+  /// Sum of weights over a concept set.
+  double TotalOf(std::span<const ontology::ConceptId> concepts) const;
+
+  std::size_t num_concepts() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_CONCEPT_WEIGHTS_H_

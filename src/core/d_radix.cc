@@ -1,0 +1,262 @@
+#include "core/d_radix.h"
+
+#include <algorithm>
+
+#include "ontology/dewey.h"
+
+namespace ecdr::core {
+
+DRadixDag::DRadixDag(const ontology::Ontology& ontology)
+    : ontology_(&ontology) {
+  Node root;
+  root.concept_id = ontology.root();
+  nodes_.push_back(std::move(root));
+  node_index_.emplace(ontology.root(), 0);
+}
+
+DRadixDag::NodeIndex DRadixDag::FindNode(ontology::ConceptId concept_id) const {
+  const auto it = node_index_.find(concept_id);
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+DRadixDag::NodeIndex DRadixDag::NodeFor(ontology::ConceptId concept_id) {
+  const auto [it, inserted] =
+      node_index_.emplace(concept_id, static_cast<NodeIndex>(nodes_.size()));
+  if (inserted) {
+    Node node;
+    node.concept_id = concept_id;
+    nodes_.push_back(std::move(node));
+  }
+  return it->second;
+}
+
+ontology::ConceptId DRadixDag::ResolveRelative(
+    ontology::ConceptId from,
+    std::span<const std::uint32_t> components) const {
+  ontology::ConceptId current = from;
+  for (std::uint32_t component : components) {
+    const auto children = ontology_->children(current);
+    if (component == 0 || component > children.size()) {
+      return ontology::kInvalidConcept;
+    }
+    current = children[component - 1];
+  }
+  return current;
+}
+
+void DRadixDag::AddEdgeRaw(NodeIndex parent, std::vector<std::uint32_t> label,
+                           NodeIndex target) {
+  ECDR_DCHECK(!label.empty());
+  ECDR_DCHECK_NE(parent, target);
+  nodes_[parent].children.push_back(Edge{std::move(label), target});
+  ++nodes_[target].in_degree;
+  ++num_edges_;
+}
+
+DRadixDag::Edge DRadixDag::DetachEdge(NodeIndex parent,
+                                      std::size_t edge_position) {
+  auto& children = nodes_[parent].children;
+  ECDR_DCHECK_LT(edge_position, children.size());
+  Edge detached = std::move(children[edge_position]);
+  children.erase(children.begin() + static_cast<long>(edge_position));
+  --nodes_[detached.target].in_degree;
+  --num_edges_;
+  return detached;
+}
+
+void DRadixDag::AttachEdge(NodeIndex parent, std::vector<std::uint32_t> label,
+                           NodeIndex target) {
+  ECDR_DCHECK(!label.empty());
+  // At most one sibling edge can share the first component (radix
+  // invariant, maintained inductively by the splits below).
+  std::size_t share_position = nodes_[parent].children.size();
+  for (std::size_t i = 0; i < nodes_[parent].children.size(); ++i) {
+    if (nodes_[parent].children[i].label.front() == label.front()) {
+      share_position = i;
+      break;
+    }
+  }
+  if (share_position == nodes_[parent].children.size()) {
+    AddEdgeRaw(parent, std::move(label), target);
+    return;
+  }
+
+  const Edge& shared = nodes_[parent].children[share_position];
+  const std::size_t lcp = ontology::DeweyCommonPrefix(label, shared.label);
+  ECDR_DCHECK_GE(lcp, 1u);
+
+  if (lcp == shared.label.size() && lcp == label.size()) {
+    // The address is already fully represented; by determinism of Dewey
+    // resolution the existing edge must lead to the same concept.
+    ECDR_CHECK_EQ(shared.target, target);
+    return;
+  }
+
+  if (lcp == shared.label.size()) {
+    // `label` extends the existing edge: descend with the remainder.
+    const NodeIndex next = shared.target;
+    label.erase(label.begin(), label.begin() + static_cast<long>(lcp));
+    AttachEdge(next, std::move(label), target);
+    return;
+  }
+
+  if (lcp == label.size()) {
+    // `target` sits in the middle of the existing edge: splice it in.
+    Edge detached = DetachEdge(parent, share_position);
+    std::vector<std::uint32_t> rest(
+        detached.label.begin() + static_cast<long>(lcp),
+        detached.label.end());
+    AddEdgeRaw(parent, std::move(label), target);
+    AttachEdge(target, std::move(rest), detached.target);
+    return;
+  }
+
+  // Proper split: materialize the node at the longest common prefix.
+  // That concept may already exist elsewhere in the DAG (an alternative
+  // Dewey address of it) — NodeFor reuses it, which is exactly what
+  // makes this a DAG rather than a tree.
+  std::vector<std::uint32_t> prefix(label.begin(),
+                                    label.begin() + static_cast<long>(lcp));
+  const ontology::ConceptId mid_concept =
+      ResolveRelative(nodes_[parent].concept_id, prefix);
+  ECDR_CHECK_NE(mid_concept, ontology::kInvalidConcept);
+  const NodeIndex mid = NodeFor(mid_concept);
+  ECDR_DCHECK_NE(mid, parent);
+  ECDR_DCHECK_NE(mid, target);
+
+  Edge detached = DetachEdge(parent, share_position);
+  std::vector<std::uint32_t> shared_rest(
+      detached.label.begin() + static_cast<long>(lcp), detached.label.end());
+  std::vector<std::uint32_t> label_rest(
+      label.begin() + static_cast<long>(lcp), label.end());
+  AddEdgeRaw(parent, std::move(prefix), mid);
+  AttachEdge(mid, std::move(shared_rest), detached.target);
+  AttachEdge(mid, std::move(label_rest), target);
+}
+
+void DRadixDag::InsertAddress(ontology::ConceptId concept_id,
+                              std::span<const std::uint32_t> address,
+                              bool in_doc, bool in_query) {
+  ECDR_DCHECK_EQ(ResolveRelative(ontology_->root(), address), concept_id);
+  if (address.empty()) {
+    ECDR_CHECK_EQ(concept_id, ontology_->root());
+    nodes_[0].in_doc |= in_doc;
+    nodes_[0].in_query |= in_query;
+    return;
+  }
+  const NodeIndex target = NodeFor(concept_id);
+  AttachEdge(root(), {address.begin(), address.end()}, target);
+  nodes_[target].in_doc |= in_doc;
+  nodes_[target].in_query |= in_query;
+}
+
+std::vector<DRadixDag::NodeIndex> DRadixDag::TopologicalOrder() const {
+  std::vector<std::uint32_t> pending(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    pending[i] = nodes_[i].in_degree;
+  }
+  std::vector<NodeIndex> order;
+  order.reserve(nodes_.size());
+  ECDR_CHECK_EQ(pending[0], 0u);  // The root has no parents.
+  order.push_back(0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const Edge& edge : nodes_[order[head]].children) {
+      if (--pending[edge.target] == 0) order.push_back(edge.target);
+    }
+  }
+  ECDR_CHECK_EQ(order.size(), nodes_.size());
+  return order;
+}
+
+void DRadixDag::TuneDistances() {
+  for (Node& node : nodes_) {
+    node.dist_to_doc = node.in_doc ? 0 : kUnreachable;
+    node.dist_to_query = node.in_query ? 0 : kUnreachable;
+  }
+  const std::vector<NodeIndex> order = TopologicalOrder();
+  // Bottom-up sweep (reverse topological): pull distances from children.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node& node = nodes_[*it];
+    for (const Edge& edge : node.children) {
+      const Node& child = nodes_[edge.target];
+      node.dist_to_doc =
+          std::min(node.dist_to_doc, child.dist_to_doc + edge.length());
+      node.dist_to_query =
+          std::min(node.dist_to_query, child.dist_to_query + edge.length());
+    }
+  }
+  // Top-down sweep: push distances to children. After both sweeps each
+  // node holds the minimum over all valid (ascend-then-descend) paths to
+  // a flagged node, because every such path crests at some materialized
+  // common ancestor.
+  for (NodeIndex index : order) {
+    const Node& node = nodes_[index];
+    for (const Edge& edge : node.children) {
+      Node& child = nodes_[edge.target];
+      child.dist_to_doc =
+          std::min(child.dist_to_doc, node.dist_to_doc + edge.length());
+      child.dist_to_query =
+          std::min(child.dist_to_query, node.dist_to_query + edge.length());
+    }
+  }
+}
+
+util::Status DRadixDag::CheckInvariants() const {
+  if (nodes_.empty() || nodes_[0].concept_id != ontology_->root()) {
+    return util::InternalError("node 0 is not the ontology root");
+  }
+  std::vector<std::uint32_t> in_degree(nodes_.size(), 0);
+  std::size_t edge_count = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    const auto it = node_index_.find(node.concept_id);
+    if (it == node_index_.end() || it->second != i) {
+      return util::InternalError("node " + std::to_string(i) +
+                                 " missing from or inconsistent with the "
+                                 "concept index");
+    }
+    for (std::size_t a = 0; a < node.children.size(); ++a) {
+      const Edge& edge = node.children[a];
+      if (edge.label.empty()) {
+        return util::InternalError("empty edge label");
+      }
+      if (edge.target >= nodes_.size()) {
+        return util::InternalError("edge target out of range");
+      }
+      ++in_degree[edge.target];
+      ++edge_count;
+      const ontology::ConceptId resolved =
+          ResolveRelative(node.concept_id, edge.label);
+      if (resolved != nodes_[edge.target].concept_id) {
+        return util::InternalError(
+            "edge label " + ontology::FormatDewey(edge.label) + " from '" +
+            ontology_->name(node.concept_id) + "' does not resolve to '" +
+            ontology_->name(nodes_[edge.target].concept_id) + "'");
+      }
+      for (std::size_t b = a + 1; b < node.children.size(); ++b) {
+        if (node.children[b].label.front() == edge.label.front()) {
+          return util::InternalError(
+              "sibling edges share first Dewey component under '" +
+              ontology_->name(node.concept_id) + "'");
+        }
+      }
+    }
+  }
+  if (edge_count != num_edges_) {
+    return util::InternalError("edge count bookkeeping mismatch");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] != nodes_[i].in_degree) {
+      return util::InternalError("in-degree bookkeeping mismatch at node " +
+                                 std::to_string(i));
+    }
+  }
+  if (nodes_[0].in_degree != 0) {
+    return util::InternalError("root has parents");
+  }
+  // TopologicalOrder aborts on cycles; reaching it means sizes matched.
+  (void)TopologicalOrder();
+  return util::Status::Ok();
+}
+
+}  // namespace ecdr::core

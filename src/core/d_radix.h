@@ -1,0 +1,123 @@
+// The D-Radix DAG (paper Section 4.2, Definition 3).
+//
+// Given a document d and a query q (two concept sets), the D-Radix DAG
+// indexes every Dewey address of every concept in d and q, path-
+// compressed like a radix (Patricia) tree but with two departures:
+//   1. it is a DAG: an address split or insertion that lands on a concept
+//      already present reuses that node (the paper's FindNodeByDewey),
+//      giving the node multiple parents — this is what lets one
+//      bottom-up + top-down sweep propagate distances through shared
+//      ancestors reached by different addresses;
+//   2. nodes of concepts in d or q are never merged into an edge label,
+//      even when they have no branch (paper: R and U stay separate).
+//
+// Each node carries two distances — to the nearest document concept and
+// to the nearest query concept — initialized to 0/infinity at insertion
+// and finalized by TuneDistances() (Eq. 4). Edge labels are runs of
+// Dewey components; an edge's length (its component count) is the number
+// of ontology is-a edges it compresses.
+
+#ifndef ECDR_CORE_D_RADIX_H_
+#define ECDR_CORE_D_RADIX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "ontology/types.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+class DRadixDag {
+ public:
+  using NodeIndex = std::uint32_t;
+  static constexpr NodeIndex kInvalidNode = 0xFFFFFFFFu;
+  /// Large enough to survive += label lengths without overflow.
+  static constexpr std::uint32_t kUnreachable = 0x3FFFFFFFu;
+
+  struct Edge {
+    std::vector<std::uint32_t> label;  // Dewey components; length >= 1.
+    NodeIndex target = kInvalidNode;
+
+    std::uint32_t length() const {
+      return static_cast<std::uint32_t>(label.size());
+    }
+  };
+
+  struct Node {
+    ontology::ConceptId concept_id = ontology::kInvalidConcept;
+    bool in_doc = false;
+    bool in_query = false;
+    /// Distance to the nearest document / query concept; valid after
+    /// TuneDistances().
+    std::uint32_t dist_to_doc = kUnreachable;
+    std::uint32_t dist_to_query = kUnreachable;
+    std::vector<Edge> children;
+    std::uint32_t in_degree = 0;
+  };
+
+  /// Creates the index with a single root node for the ontology root.
+  explicit DRadixDag(const ontology::Ontology& ontology);
+
+  /// Inserts one Dewey address of `concept`, flagged as a document and/or
+  /// query concept. `address` must resolve to `concept` in the ontology.
+  /// All addresses of all concepts in d and q must be inserted for the
+  /// distances to be exact (the paper's Pd / Pq lists).
+  void InsertAddress(ontology::ConceptId concept_id,
+                     std::span<const std::uint32_t> address, bool in_doc,
+                     bool in_query);
+
+  /// The tuning phase: one bottom-up and one top-down relaxation sweep in
+  /// topological order (Eq. 4), after which every node's dist_to_doc /
+  /// dist_to_query equal its shortest valid-path distance to the nearest
+  /// document / query concept within the ontology.
+  void TuneDistances();
+
+  NodeIndex root() const { return 0; }
+  const Node& node(NodeIndex i) const {
+    ECDR_DCHECK_LT(i, nodes_.size());
+    return nodes_[i];
+  }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Index of the node representing `concept`, or kInvalidNode.
+  NodeIndex FindNode(ontology::ConceptId concept_id) const;
+
+  /// Structural self-check used by tests: sibling edge labels share no
+  /// first component, labels resolve to their targets' concepts, in-
+  /// degrees are consistent, the graph is acyclic, and concepts map to
+  /// unique nodes.
+  util::Status CheckInvariants() const;
+
+ private:
+  NodeIndex NodeFor(ontology::ConceptId concept_id);
+
+  /// Walks `components` down ontology child ordinals starting at `from`.
+  ontology::ConceptId ResolveRelative(
+      ontology::ConceptId from, std::span<const std::uint32_t> components) const;
+
+  /// Adds an edge parent -> target with `label`, splitting existing edges
+  /// as needed to keep the radix invariants (the paper's InsertPath).
+  void AttachEdge(NodeIndex parent, std::vector<std::uint32_t> label,
+                  NodeIndex target);
+
+  void AddEdgeRaw(NodeIndex parent, std::vector<std::uint32_t> label,
+                  NodeIndex target);
+  Edge DetachEdge(NodeIndex parent, std::size_t edge_position);
+
+  /// Topological order from the root; computed lazily by TuneDistances.
+  std::vector<NodeIndex> TopologicalOrder() const;
+
+  const ontology::Ontology* ontology_;
+  std::vector<Node> nodes_;
+  std::unordered_map<ontology::ConceptId, NodeIndex> node_index_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_D_RADIX_H_

@@ -1,0 +1,239 @@
+#include "core/drc.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace ecdr::core {
+
+Drc::Drc(const ontology::Ontology& ontology,
+         ontology::AddressEnumerator* addresses)
+    : ontology_(&ontology), addresses_(addresses) {
+  ECDR_CHECK(addresses != nullptr);
+}
+
+util::Status Drc::ValidateConcepts(
+    std::span<const ontology::ConceptId> concepts, const char* label) const {
+  if (concepts.empty()) {
+    return util::InvalidArgumentError(std::string(label) +
+                                      " has no concepts");
+  }
+  for (ontology::ConceptId c : concepts) {
+    if (!ontology_->Contains(c)) {
+      return util::InvalidArgumentError(std::string(label) +
+                                        " references unknown concept id " +
+                                        std::to_string(c));
+    }
+  }
+  return util::Status::Ok();
+}
+
+void Drc::GatherInserts(std::span<const ontology::ConceptId> doc,
+                        std::span<const ontology::ConceptId> query,
+                        std::vector<PendingInsert>* inserts) {
+  // Deduplicate each side and merge flags for concepts on both sides so
+  // each concept's addresses are inserted exactly once.
+  std::vector<ontology::ConceptId> doc_set(doc.begin(), doc.end());
+  std::sort(doc_set.begin(), doc_set.end());
+  doc_set.erase(std::unique(doc_set.begin(), doc_set.end()), doc_set.end());
+  std::vector<ontology::ConceptId> query_set(query.begin(), query.end());
+  std::sort(query_set.begin(), query_set.end());
+  query_set.erase(std::unique(query_set.begin(), query_set.end()),
+                  query_set.end());
+
+  inserts->clear();
+  const auto add_concept = [&](ontology::ConceptId c, bool in_doc,
+                               bool in_query) {
+    for (const ontology::DeweyAddress& address : addresses_->Addresses(c)) {
+      inserts->push_back(PendingInsert{&address, c, in_doc, in_query});
+    }
+  };
+  std::size_t di = 0;
+  std::size_t qi = 0;
+  while (di < doc_set.size() || qi < query_set.size()) {
+    if (qi == query_set.size() ||
+        (di < doc_set.size() && doc_set[di] < query_set[qi])) {
+      add_concept(doc_set[di], /*in_doc=*/true, /*in_query=*/false);
+      ++di;
+    } else if (di == doc_set.size() || query_set[qi] < doc_set[di]) {
+      add_concept(query_set[qi], /*in_doc=*/false, /*in_query=*/true);
+      ++qi;
+    } else {
+      add_concept(doc_set[di], /*in_doc=*/true, /*in_query=*/true);
+      ++di;
+      ++qi;
+    }
+  }
+  // The paper consumes Pd and Pq in lexicographic merge order.
+  std::sort(inserts->begin(), inserts->end(),
+            [](const PendingInsert& a, const PendingInsert& b) {
+              return ontology::DeweyLess(*a.address, *b.address);
+            });
+}
+
+util::StatusOr<DRadixDag> Drc::BuildIndex(
+    std::span<const ontology::ConceptId> doc,
+    std::span<const ontology::ConceptId> query) {
+  ECDR_RETURN_IF_ERROR(ValidateConcepts(doc, "document"));
+  ECDR_RETURN_IF_ERROR(ValidateConcepts(query, "query"));
+  util::WallTimer timer;
+
+  std::vector<PendingInsert> inserts;
+  GatherInserts(doc, query, &inserts);
+
+  DRadixDag dag(*ontology_);
+  for (const PendingInsert& pending : inserts) {
+    dag.InsertAddress(pending.concept_id, *pending.address, pending.in_doc,
+                      pending.in_query);
+  }
+  dag.TuneDistances();
+
+  ++stats_.calls;
+  stats_.addresses_inserted += inserts.size();
+  stats_.nodes_built += dag.num_nodes();
+  stats_.edges_built += dag.num_edges();
+  stats_.seconds += timer.ElapsedSeconds();
+  return dag;
+}
+
+util::StatusOr<std::uint64_t> Drc::DocQueryDistance(
+    std::span<const ontology::ConceptId> doc,
+    std::span<const ontology::ConceptId> query) {
+  util::StatusOr<DRadixDag> dag = BuildIndex(doc, query);
+  ECDR_RETURN_IF_ERROR(dag.status());
+  // Sum the nearest-document distances attached to the query nodes,
+  // counting each distinct query concept once.
+  std::uint64_t total = 0;
+  std::vector<ontology::ConceptId> counted(query.begin(), query.end());
+  std::sort(counted.begin(), counted.end());
+  counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
+  for (ontology::ConceptId c : counted) {
+    const DRadixDag::NodeIndex index = dag->FindNode(c);
+    ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
+    const std::uint32_t distance = dag->node(index).dist_to_doc;
+    // A single-rooted ontology always connects the two sides.
+    ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
+    total += distance;
+  }
+  return total;
+}
+
+util::StatusOr<double> Drc::DocDocDistance(
+    std::span<const ontology::ConceptId> d1,
+    std::span<const ontology::ConceptId> d2) {
+  // Build with d1 as the "document" side and d2 as the "query" side;
+  // Eq. 3 then reads: each d2 concept's nearest-d1 distance comes from
+  // dist_to_doc, each d1 concept's nearest-d2 distance from
+  // dist_to_query.
+  util::StatusOr<DRadixDag> dag = BuildIndex(d1, d2);
+  ECDR_RETURN_IF_ERROR(dag.status());
+
+  // Eq. 3 normalizes each side by its number of *distinct* concepts.
+  const auto side_sum = [&](std::span<const ontology::ConceptId> side,
+                            bool toward_doc, std::size_t* count) {
+    std::vector<ontology::ConceptId> counted(side.begin(), side.end());
+    std::sort(counted.begin(), counted.end());
+    counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
+    *count = counted.size();
+    std::uint64_t total = 0;
+    for (ontology::ConceptId c : counted) {
+      const DRadixDag::NodeIndex index = dag->FindNode(c);
+      ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
+      const DRadixDag::Node& node = dag->node(index);
+      const std::uint32_t distance =
+          toward_doc ? node.dist_to_doc : node.dist_to_query;
+      ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
+      total += distance;
+    }
+    return total;
+  };
+
+  std::size_t size1 = 0;
+  std::size_t size2 = 0;
+  const std::uint64_t d1_to_d2 = side_sum(d1, /*toward_doc=*/false, &size1);
+  const std::uint64_t d2_to_d1 = side_sum(d2, /*toward_doc=*/true, &size2);
+  return static_cast<double>(d1_to_d2) / static_cast<double>(size1) +
+         static_cast<double>(d2_to_d1) / static_cast<double>(size2);
+}
+
+util::StatusOr<double> Drc::DocQueryDistanceWeighted(
+    std::span<const ontology::ConceptId> doc,
+    std::span<const WeightedConcept> query) {
+  std::vector<WeightedConcept> normalized =
+      NormalizeWeightedConcepts(query);
+  std::vector<ontology::ConceptId> concepts;
+  concepts.reserve(normalized.size());
+  for (const WeightedConcept& wc : normalized) {
+    concepts.push_back(wc.concept_id);
+  }
+  util::StatusOr<DRadixDag> dag = BuildIndex(doc, concepts);
+  ECDR_RETURN_IF_ERROR(dag.status());
+  double total = 0.0;
+  for (const WeightedConcept& wc : normalized) {
+    const DRadixDag::NodeIndex index = dag->FindNode(wc.concept_id);
+    ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
+    const std::uint32_t distance = dag->node(index).dist_to_doc;
+    ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
+    total += wc.weight * static_cast<double>(distance);
+  }
+  return total;
+}
+
+util::StatusOr<double> Drc::DocDocDistanceWeighted(
+    std::span<const ontology::ConceptId> d1,
+    std::span<const ontology::ConceptId> d2, const ConceptWeights& weights) {
+  util::StatusOr<DRadixDag> dag = BuildIndex(d1, d2);
+  ECDR_RETURN_IF_ERROR(dag.status());
+  const auto side_sum = [&](std::span<const ontology::ConceptId> side,
+                            bool toward_doc, double* total_weight) {
+    std::vector<ontology::ConceptId> counted(side.begin(), side.end());
+    std::sort(counted.begin(), counted.end());
+    counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
+    double sum = 0.0;
+    *total_weight = 0.0;
+    for (ontology::ConceptId c : counted) {
+      const DRadixDag::NodeIndex index = dag->FindNode(c);
+      ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
+      const DRadixDag::Node& node = dag->node(index);
+      const std::uint32_t distance =
+          toward_doc ? node.dist_to_doc : node.dist_to_query;
+      ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
+      const double w = weights.of(c);
+      sum += w * static_cast<double>(distance);
+      *total_weight += w;
+    }
+    return sum;
+  };
+  double weight1 = 0.0;
+  double weight2 = 0.0;
+  const double d1_to_d2 = side_sum(d1, /*toward_doc=*/false, &weight1);
+  const double d2_to_d1 = side_sum(d2, /*toward_doc=*/true, &weight2);
+  if (weight1 <= 0.0 || weight2 <= 0.0) {
+    return util::InvalidArgumentError(
+        "documents must carry positive total weight");
+  }
+  return d1_to_d2 / weight1 + d2_to_d1 / weight2;
+}
+
+std::vector<WeightedConcept> NormalizeWeightedConcepts(
+    std::span<const WeightedConcept> concepts) {
+  std::vector<WeightedConcept> normalized(concepts.begin(), concepts.end());
+  std::sort(normalized.begin(), normalized.end(),
+            [](const WeightedConcept& a, const WeightedConcept& b) {
+              if (a.concept_id != b.concept_id) {
+                return a.concept_id < b.concept_id;
+              }
+              return a.weight > b.weight;
+            });
+  // Duplicates keep the largest weight (expansion may reach the same
+  // concept from several query terms).
+  normalized.erase(
+      std::unique(normalized.begin(), normalized.end(),
+                  [](const WeightedConcept& a, const WeightedConcept& b) {
+                    return a.concept_id == b.concept_id;
+                  }),
+      normalized.end());
+  return normalized;
+}
+
+}  // namespace ecdr::core

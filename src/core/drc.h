@@ -1,0 +1,113 @@
+// The DRC algorithm (paper Section 4.3): document-query and
+// document-document distance calculation in
+// O((|Pq| + |Pd|) log(|Pq| + |Pd|)) via the D-Radix DAG.
+//
+// For each call DRC (1) gathers the lexicographically sorted Dewey
+// address lists Pd and Pq of the two concept sets, (2) builds a D-Radix
+// DAG over them, (3) runs the bottom-up/top-down tuning sweeps, and
+// (4) evaluates Eq. 2 (Ddq) or Eq. 3 (Ddd) from the distances attached
+// to the query/document nodes. No precomputation over the corpus is
+// required — documents can be scored the moment they arrive.
+
+#ifndef ECDR_CORE_DRC_H_
+#define ECDR_CORE_DRC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/concept_weights.h"
+#include "core/d_radix.h"
+#include "ontology/dewey.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+class Drc {
+ public:
+  /// Per-engine counters, cumulative across calls until ResetStats().
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t addresses_inserted = 0;
+    std::uint64_t nodes_built = 0;
+    std::uint64_t edges_built = 0;
+    double seconds = 0.0;
+  };
+
+  /// `addresses` caches Dewey address sets across calls and documents;
+  /// it is shared, unowned, and must outlive the engine.
+  Drc(const ontology::Ontology& ontology,
+      ontology::AddressEnumerator* addresses);
+
+  /// Ddq(d, q) — Eq. 2: the (unnormalized) sum over query concepts of
+  /// the distance to the nearest document concept. Duplicate concepts in
+  /// `query` are ignored (queries are sets). Errors on empty inputs or
+  /// unknown concepts.
+  util::StatusOr<std::uint64_t> DocQueryDistance(
+      std::span<const ontology::ConceptId> doc,
+      std::span<const ontology::ConceptId> query);
+
+  /// Ddd(d1, d2) — Eq. 3: symmetric, each side normalized by its concept
+  /// count.
+  util::StatusOr<double> DocDocDistance(
+      std::span<const ontology::ConceptId> d1,
+      std::span<const ontology::ConceptId> d2);
+
+  /// Weighted Ddq: sum of weight * Ddc(d, qi) over the distinct weighted
+  /// query concepts (duplicates keep the largest weight). Uniform
+  /// weights reduce to DocQueryDistance. Weights accumulate in ascending
+  /// concept-id order, so results are deterministic.
+  util::StatusOr<double> DocQueryDistanceWeighted(
+      std::span<const ontology::ConceptId> doc,
+      std::span<const WeightedConcept> query);
+
+  /// Weighted Ddd: each side's sum weights concepts by `weights` and
+  /// normalizes by the side's total weight; uniform weights reduce to
+  /// DocDocDistance.
+  util::StatusOr<double> DocDocDistanceWeighted(
+      std::span<const ontology::ConceptId> d1,
+      std::span<const ontology::ConceptId> d2,
+      const ConceptWeights& weights);
+
+  /// Builds (and tunes) the D-Radix DAG for d and q without evaluating a
+  /// distance — exposed for tests, examples and the ablation bench.
+  util::StatusOr<DRadixDag> BuildIndex(
+      std::span<const ontology::ConceptId> doc,
+      std::span<const ontology::ConceptId> query);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  /// One (address, concept, flags) entry of the merged Pd/Pq insert list.
+  struct PendingInsert {
+    const ontology::DeweyAddress* address;
+    ontology::ConceptId concept_id;
+    bool in_doc;
+    bool in_query;
+  };
+
+  util::Status ValidateConcepts(std::span<const ontology::ConceptId> concepts,
+                                const char* label) const;
+
+  /// Gathers the merged, lexicographically sorted insert list for
+  /// doc + query (concepts present on both sides get both flags).
+  void GatherInserts(std::span<const ontology::ConceptId> doc,
+                     std::span<const ontology::ConceptId> query,
+                     std::vector<PendingInsert>* inserts);
+
+  const ontology::Ontology* ontology_;
+  ontology::AddressEnumerator* addresses_;
+  Stats stats_;
+};
+
+/// Sorts by concept id and collapses duplicates, keeping the largest
+/// weight per concept. Shared by the weighted distance and ranking
+/// entry points so they agree on query normalization.
+std::vector<WeightedConcept> NormalizeWeightedConcepts(
+    std::span<const WeightedConcept> concepts);
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_DRC_H_

@@ -1,0 +1,79 @@
+#include "core/exhaustive_ranker.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace ecdr::core {
+
+ExhaustiveRanker::ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc)
+    : corpus_(&corpus), drc_(drc) {
+  ECDR_CHECK(drc != nullptr);
+}
+
+template <typename ScoreFn>
+util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
+    std::uint32_t k, ScoreFn&& score) {
+  last_stats_ = Stats();
+  util::WallTimer timer;
+  // Max-heap of the k best: the worst kept document sits at the front.
+  std::vector<ScoredDocument> heap;
+  for (corpus::DocId d = 0; d < corpus_->num_documents(); ++d) {
+    util::StatusOr<double> distance = score(d);
+    ECDR_RETURN_IF_ERROR(distance.status());
+    ++last_stats_.documents_scored;
+    const ScoredDocument scored{d, *distance};
+    if (heap.size() < k) {
+      heap.push_back(scored);
+      std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+    } else if (k > 0 && ScoredBefore(scored, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
+      heap.back() = scored;
+      std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), ScoredBefore);
+  last_stats_.seconds = timer.ElapsedSeconds();
+  return heap;
+}
+
+util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKRelevant(
+    std::span<const ontology::ConceptId> query, std::uint32_t k) {
+  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
+    util::StatusOr<std::uint64_t> distance =
+        drc_->DocQueryDistance(corpus_->document(d).concepts(), query);
+    ECDR_RETURN_IF_ERROR(distance.status());
+    return static_cast<double>(*distance);
+  });
+}
+
+util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKSimilar(
+    const corpus::Document& query_doc, std::uint32_t k) {
+  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
+    return drc_->DocDocDistance(query_doc.concepts(),
+                                corpus_->document(d).concepts());
+  });
+}
+
+util::StatusOr<std::vector<ScoredDocument>>
+ExhaustiveRanker::TopKRelevantWeighted(std::span<const WeightedConcept> query,
+                                       std::uint32_t k) {
+  const std::vector<WeightedConcept> normalized =
+      NormalizeWeightedConcepts(query);
+  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
+    return drc_->DocQueryDistanceWeighted(corpus_->document(d).concepts(),
+                                          normalized);
+  });
+}
+
+util::StatusOr<std::vector<ScoredDocument>>
+ExhaustiveRanker::TopKSimilarWeighted(const corpus::Document& query_doc,
+                                      const ConceptWeights& weights,
+                                      std::uint32_t k) {
+  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
+    return drc_->DocDocDistanceWeighted(
+        query_doc.concepts(), corpus_->document(d).concepts(), weights);
+  });
+}
+
+}  // namespace ecdr::core

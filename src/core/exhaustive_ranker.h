@@ -1,0 +1,61 @@
+// The exhaustive ranking baseline of the paper's Figs. 8-9: score every
+// document in the collection with DRC and keep the k closest. No pruning
+// — this isolates exactly the benefit of kNDS's branch-and-bound (both
+// use the same DRC distance component, as in the paper's setup).
+
+#ifndef ECDR_CORE_EXHAUSTIVE_RANKER_H_
+#define ECDR_CORE_EXHAUSTIVE_RANKER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/scored_document.h"
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+class ExhaustiveRanker {
+ public:
+  struct Stats {
+    std::uint64_t documents_scored = 0;
+    double seconds = 0.0;
+  };
+
+  /// `drc` is shared and unowned; it must outlive the ranker.
+  ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc);
+
+  /// RDS (Definition 1): the k documents with smallest Ddq, ascending,
+  /// ties by document id.
+  util::StatusOr<std::vector<ScoredDocument>> TopKRelevant(
+      std::span<const ontology::ConceptId> query, std::uint32_t k);
+
+  /// SDS (Definition 2): the k documents with smallest Ddd.
+  util::StatusOr<std::vector<ScoredDocument>> TopKSimilar(
+      const corpus::Document& query_doc, std::uint32_t k);
+
+  /// Weighted variants (see core/concept_weights.h); reference
+  /// implementations for Knds::Search*Weighted.
+  util::StatusOr<std::vector<ScoredDocument>> TopKRelevantWeighted(
+      std::span<const WeightedConcept> query, std::uint32_t k);
+  util::StatusOr<std::vector<ScoredDocument>> TopKSimilarWeighted(
+      const corpus::Document& query_doc, const ConceptWeights& weights,
+      std::uint32_t k);
+
+  const Stats& last_stats() const { return last_stats_; }
+
+ private:
+  template <typename ScoreFn>
+  util::StatusOr<std::vector<ScoredDocument>> Rank(std::uint32_t k,
+                                                   ScoreFn&& score);
+
+  const corpus::Corpus* corpus_;
+  Drc* drc_;
+  Stats last_stats_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_EXHAUSTIVE_RANKER_H_

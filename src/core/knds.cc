@@ -1,0 +1,484 @@
+#include "core/knds.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace ecdr::core {
+
+namespace {
+
+using ontology::ConceptId;
+
+constexpr std::uint32_t kReportFlag = 0x80000000u;
+constexpr std::uint32_t kLevelUnseen = 0xFFFFFFFFu;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<ConceptId> Distinct(std::span<const ConceptId> concepts) {
+  std::vector<ConceptId> result(concepts.begin(), concepts.end());
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+/// A partially-visited document pulled from Ld for examination ordering.
+struct Candidate {
+  double lower_bound;
+  double partial;
+  corpus::DocId doc;
+};
+
+bool CandidateBefore(const Candidate& a, const Candidate& b) {
+  if (a.lower_bound != b.lower_bound) return a.lower_bound < b.lower_bound;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
+Knds::Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
+           Drc* drc, KndsOptions options)
+    : corpus_(&corpus), index_(&index), drc_(drc), options_(options) {
+  ECDR_CHECK(drc != nullptr);
+  // Concept ids share a word with the report flag in frontier entries.
+  ECDR_CHECK_LT(corpus.ontology().num_concepts(), kReportFlag);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> Knds::SearchRds(
+    std::span<const ConceptId> query, std::uint32_t k) {
+  const std::vector<ConceptId> origins = Distinct(query);
+  return Search(origins, {}, /*sds=*/false, /*query_doc=*/nullptr,
+                /*doc_weights=*/nullptr, /*weighted=*/false, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> Knds::SearchSds(
+    const corpus::Document& query_doc, std::uint32_t k) {
+  // Document concepts are already sorted and unique.
+  return Search(query_doc.concepts(), {}, /*sds=*/true, &query_doc,
+                /*doc_weights=*/nullptr, /*weighted=*/false, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> Knds::SearchRdsWeighted(
+    std::span<const WeightedConcept> query, std::uint32_t k) {
+  const std::vector<WeightedConcept> normalized =
+      NormalizeWeightedConcepts(query);
+  std::vector<ConceptId> origins;
+  std::vector<double> weights;
+  origins.reserve(normalized.size());
+  weights.reserve(normalized.size());
+  for (const WeightedConcept& wc : normalized) {
+    if (wc.weight <= 0.0) {
+      return util::InvalidArgumentError(
+          "weighted query concepts must have positive weight");
+    }
+    origins.push_back(wc.concept_id);
+    weights.push_back(wc.weight);
+  }
+  return Search(origins, weights, /*sds=*/false, /*query_doc=*/nullptr,
+                /*doc_weights=*/nullptr, /*weighted=*/true, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> Knds::SearchSdsWeighted(
+    const corpus::Document& query_doc, const ConceptWeights& weights,
+    std::uint32_t k) {
+  if (weights.num_concepts() != corpus_->ontology().num_concepts()) {
+    return util::InvalidArgumentError(
+        "weight table does not cover the ontology");
+  }
+  std::vector<double> origin_weights;
+  origin_weights.reserve(query_doc.size());
+  for (ConceptId c : query_doc.concepts()) {
+    if (!corpus_->ontology().Contains(c)) {
+      return util::InvalidArgumentError(
+          "query document references unknown concept id " +
+          std::to_string(c));
+    }
+    const double w = weights.of(c);
+    if (w <= 0.0) {
+      return util::InvalidArgumentError(
+          "weighted SDS requires positive weights on query concepts");
+    }
+    origin_weights.push_back(w);
+  }
+  return Search(query_doc.concepts(), origin_weights, /*sds=*/true,
+                &query_doc, &weights, /*weighted=*/true, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
+    std::span<const ConceptId> origins, std::span<const double> origin_weights,
+    bool sds, const corpus::Document* query_doc,
+    const ConceptWeights* doc_weights, bool weighted, std::uint32_t k) {
+  stats_ = KndsStats();
+  util::WallTimer total_timer;
+
+  if (options_.error_threshold < 0.0 || options_.error_threshold > 1.0) {
+    return util::InvalidArgumentError("error_threshold must be in [0, 1]");
+  }
+  const ontology::Ontology& onto = corpus_->ontology();
+  if (origins.empty()) {
+    return util::InvalidArgumentError("query has no concepts");
+  }
+  for (ConceptId c : origins) {
+    if (!onto.Contains(c)) {
+      return util::InvalidArgumentError("query references unknown concept id " +
+                                        std::to_string(c));
+    }
+  }
+  ECDR_DCHECK(std::is_sorted(origins.begin(), origins.end()));
+  if (k == 0) return std::vector<ScoredDocument>{};
+
+  const std::uint32_t num_concepts = onto.num_concepts();
+  const auto n = static_cast<std::uint32_t>(origins.size());
+  const std::size_t words = (n + 63) / 64;
+
+  // Per-origin weights (uniform 1.0 when none were supplied) and the
+  // weighted query reconstruction for exact weighted distances.
+  std::vector<double> weight_of(n, 1.0);
+  if (!origin_weights.empty()) {
+    ECDR_CHECK_EQ(origin_weights.size(), origins.size());
+    weight_of.assign(origin_weights.begin(), origin_weights.end());
+  }
+  double total_origin_weight = 0.0;
+  for (double w : weight_of) total_origin_weight += w;
+  std::vector<WeightedConcept> weighted_query;
+  if (weighted && !sds) {
+    weighted_query.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      weighted_query.push_back(WeightedConcept{origins[i], weight_of[i]});
+    }
+  }
+
+  // Per-(concept, origin) visited bits for the two automaton states.
+  std::vector<std::uint64_t> up_bits(
+      static_cast<std::size_t>(num_concepts) * words, 0);
+  std::vector<std::uint64_t> down_bits(up_bits.size(), 0);
+  const auto test = [&](const std::vector<std::uint64_t>& bits, ConceptId c,
+                        std::uint32_t i) {
+    return (bits[static_cast<std::size_t>(c) * words + (i >> 6)] >>
+            (i & 63)) &
+           1u;
+  };
+  const auto set_bit = [&](std::vector<std::uint64_t>& bits, ConceptId c,
+                           std::uint32_t i) {
+    bits[static_cast<std::size_t>(c) * words + (i >> 6)] |= 1ULL << (i & 63);
+  };
+
+  // SDS reverse side: first level at which any origin reached a concept.
+  std::vector<std::uint32_t> concept_level;
+  if (sds) concept_level.assign(num_concepts, kLevelUnseen);
+
+  std::vector<std::uint8_t> phase(corpus_->num_documents(), kUntouched);
+  std::unordered_map<corpus::DocId, DocState> ld;
+  // SDS: W(d) per touched document (== |Cd| when unweighted).
+  std::unordered_map<corpus::DocId, double> doc_total_weight;
+
+  // Frontiers per origin; ascending entries carry the report flag in the
+  // top bit, descending entries always report.
+  std::vector<std::vector<std::uint32_t>> asc(n), next_asc(n);
+  std::vector<std::vector<ConceptId>> desc(n), next_desc(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    set_bit(up_bits, origins[i], i);
+    asc[i].push_back(origins[i] | kReportFlag);
+  }
+
+  // Top-k max-heap: the worst kept result is at the front.
+  std::vector<ScoredDocument> heap;
+  const auto kth_distance = [&]() {
+    return heap.size() == k ? heap.front().distance : kInf;
+  };
+
+  std::unordered_set<corpus::DocId> emitted;
+
+  std::uint32_t level = 0;
+  std::vector<Candidate> candidates;
+  while (true) {
+    // ---- Breadth-first expansion: visit all concepts at distance
+    // `level`, update Md / M'd for their documents, grow the frontier.
+    const auto process_visit = [&](ConceptId c, std::uint32_t i) {
+      ++stats_.concept_visits;
+      if (options_.simulated_postings_access_seconds > 0.0) {
+        // Spin (rather than sleep) so sub-millisecond latencies are
+        // honored and the cost lands in wall-clock measurements.
+        util::WallTimer io;
+        while (io.ElapsedSeconds() <
+               options_.simulated_postings_access_seconds) {
+        }
+      }
+      bool rev_new = false;
+      if (sds && concept_level[c] == kLevelUnseen) {
+        concept_level[c] = level;
+        rev_new = true;
+      }
+      const double concept_weight =
+          doc_weights == nullptr ? 1.0 : doc_weights->of(c);
+      for (corpus::DocId doc : index_->Postings(c)) {
+        if (phase[doc] >= kExamined) continue;
+        DocState* state;
+        if (phase[doc] == kUntouched) {
+          phase[doc] = kActive;
+          ++stats_.documents_touched;
+          DocState fresh;
+          fresh.covered_bits.assign(words, 0);
+          state = &ld.emplace(doc, std::move(fresh)).first->second;
+          if (sds) {
+            const auto concepts = corpus_->document(doc).concepts();
+            doc_total_weight.emplace(
+                doc, doc_weights == nullptr
+                         ? static_cast<double>(concepts.size())
+                         : doc_weights->TotalOf(concepts));
+          }
+        } else {
+          state = &ld.find(doc)->second;
+        }
+        const std::size_t w = i >> 6;
+        const std::uint64_t bit = 1ULL << (i & 63);
+        if (!(state->covered_bits[w] & bit)) {
+          // First concept of `doc` reached from origin i: Md(qi, doc) =
+          // level, exactly (BFS order), and it is set only once.
+          state->covered_bits[w] |= bit;
+          ++state->fwd_covered;
+          state->fwd_covered_weight += weight_of[i];
+          state->fwd_sum += weight_of[i] * static_cast<double>(level);
+        }
+        if (rev_new) {
+          // First time concept c (which `doc` contains) is reached from
+          // any origin: M'd gains c at distance `level`.
+          ++state->rev_covered;
+          state->rev_covered_weight += concept_weight;
+          state->rev_sum += concept_weight * static_cast<double>(level);
+        }
+      }
+    };
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t entry : asc[i]) {
+        const ConceptId c = entry & ~kReportFlag;
+        if (entry & kReportFlag) process_visit(c, i);
+        for (ConceptId parent : onto.parents(c)) {
+          if (!test(up_bits, parent, i)) {
+            set_bit(up_bits, parent, i);
+            const bool report = !test(down_bits, parent, i);
+            next_asc[i].push_back(parent | (report ? kReportFlag : 0));
+          }
+        }
+        for (ConceptId child : onto.children(c)) {
+          if (!test(up_bits, child, i) && !test(down_bits, child, i)) {
+            set_bit(down_bits, child, i);
+            next_desc[i].push_back(child);
+          }
+        }
+      }
+      for (ConceptId c : desc[i]) {
+        process_visit(c, i);
+        for (ConceptId child : onto.children(c)) {
+          if (!test(up_bits, child, i) && !test(down_bits, child, i)) {
+            set_bit(down_bits, child, i);
+            next_desc[i].push_back(child);
+          }
+        }
+      }
+    }
+    ++stats_.levels;
+
+    std::size_t next_frontier = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      next_frontier += next_asc[i].size() + next_desc[i].size();
+    }
+    const bool frontier_exhausted = next_frontier == 0;
+    // Force examination past the error gate when the queue limit trips
+    // (the paper's setup) and when the traversal is exhausted — further
+    // waiting cannot refine any bound then, and in weighted searches
+    // floating-point residue can keep the error estimate a hair above
+    // zero even at full coverage.
+    const bool force_examine =
+        next_frontier > options_.node_queue_limit || frontier_exhausted;
+    if (next_frontier > options_.node_queue_limit) ++stats_.queue_limit_hits;
+
+    // ---- Partial / lower-bound distances at the end of this level:
+    // every uncovered (origin, doc) pair has true distance >= level + 1
+    // (Eqs. 5-8, weighted).
+    const auto bounds = [&](corpus::DocId doc, const DocState& state) {
+      const double next = static_cast<double>(level) + 1.0;
+      const double fwd_partial = state.fwd_sum;
+      const double fwd_lower =
+          fwd_partial +
+          (total_origin_weight - state.fwd_covered_weight) * next;
+      if (!sds) return Candidate{fwd_lower, fwd_partial, doc};
+      const double doc_weight = doc_total_weight.at(doc);
+      const double rev_partial = state.rev_sum;
+      const double rev_lower =
+          rev_partial + (doc_weight - state.rev_covered_weight) * next;
+      return Candidate{
+          fwd_lower / total_origin_weight + rev_lower / doc_weight,
+          fwd_partial / total_origin_weight + rev_partial / doc_weight, doc};
+    };
+
+    // ---- Examination: pull documents from Ld in ascending lower-bound
+    // order; compute exact distances while the error gate allows.
+    candidates.clear();
+    candidates.reserve(ld.size());
+    for (auto it = ld.begin(); it != ld.end();) {
+      const Candidate candidate = bounds(it->first, it->second);
+      if (options_.prune_candidates && heap.size() == k &&
+          candidate.lower_bound >= kth_distance()) {
+        // Lower bounds only grow with the level, so this document can
+        // never re-qualify (Section 5.3, optimization 1).
+        phase[it->first] = kPruned;
+        ++stats_.documents_pruned;
+        it = ld.erase(it);
+        continue;
+      }
+      candidates.push_back(candidate);
+      ++it;
+    }
+    if (options_.partial_candidate_heap) {
+      // Optimization 2: heap-select instead of fully sorting Ld.
+      std::make_heap(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return CandidateBefore(b, a);  // Min-heap.
+                     });
+    } else {
+      std::sort(candidates.begin(), candidates.end(), CandidateBefore);
+    }
+
+    double min_remaining_lower = kInf;
+    std::size_t cursor = 0;
+    std::size_t heap_end = candidates.size();
+    while (true) {
+      const Candidate* next_candidate = nullptr;
+      if (options_.partial_candidate_heap) {
+        if (heap_end == 0) break;
+        std::pop_heap(candidates.begin(),
+                      candidates.begin() + static_cast<long>(heap_end),
+                      [](const Candidate& a, const Candidate& b) {
+                        return CandidateBefore(b, a);
+                      });
+        --heap_end;
+        next_candidate = &candidates[heap_end];
+      } else {
+        if (cursor == candidates.size()) break;
+        next_candidate = &candidates[cursor++];
+      }
+      const Candidate& candidate = *next_candidate;
+      if (heap.size() == k && candidate.lower_bound >= kth_distance()) {
+        min_remaining_lower = candidate.lower_bound;
+        break;
+      }
+      const double error =
+          candidate.lower_bound <= 0.0
+              ? 0.0
+              : 1.0 - candidate.partial / candidate.lower_bound;
+      if (!force_examine && error > options_.error_threshold) {
+        min_remaining_lower = candidate.lower_bound;
+        break;
+      }
+
+      // Examine: move the document from Ld to Sd with an exact distance.
+      const auto state_it = ld.find(candidate.doc);
+      ECDR_DCHECK(state_it != ld.end());
+      const DocState& state = state_it->second;
+      const corpus::Document& doc = corpus_->document(candidate.doc);
+      double exact = 0.0;
+      const bool fully_covered =
+          state.fwd_covered == n &&
+          (!sds || state.rev_covered == doc.size());
+      if (options_.covered_distance_shortcut && !weighted && fully_covered) {
+        // Optimization 3: all query nodes (and for SDS all document
+        // concepts) are covered, so the partial distance is exact. In
+        // weighted mode exact distances always come from DRC so their
+        // floating-point accumulation order is deterministic.
+        exact = candidate.partial;
+      } else {
+        util::ScopedAccumulator drc_time(&stats_.distance_seconds);
+        ++stats_.drc_calls;
+        if (sds) {
+          util::StatusOr<double> distance =
+              weighted ? drc_->DocDocDistanceWeighted(
+                             query_doc->concepts(), doc.concepts(),
+                             *doc_weights)
+                       : drc_->DocDocDistance(query_doc->concepts(),
+                                              doc.concepts());
+          ECDR_CHECK(distance.ok());
+          exact = *distance;
+        } else if (weighted) {
+          util::StatusOr<double> distance =
+              drc_->DocQueryDistanceWeighted(doc.concepts(), weighted_query);
+          ECDR_CHECK(distance.ok());
+          exact = *distance;
+        } else {
+          util::StatusOr<std::uint64_t> distance =
+              drc_->DocQueryDistance(doc.concepts(), origins);
+          ECDR_CHECK(distance.ok());
+          exact = static_cast<double>(*distance);
+        }
+      }
+      ++stats_.documents_examined;
+      phase[candidate.doc] = kExamined;
+      ld.erase(state_it);
+
+      const ScoredDocument scored{candidate.doc, exact};
+      if (heap.size() < k) {
+        heap.push_back(scored);
+        std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+      } else if (ScoredBefore(scored, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
+        heap.back() = scored;
+        std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+      }
+    }
+
+    // ---- Termination: no remaining (partially visited or untouched)
+    // document can beat the current k-th best.
+    double d_minus = min_remaining_lower;
+    if (!frontier_exhausted) {
+      const double next = static_cast<double>(level) + 1.0;
+      // An untouched document has every origin uncovered (and for SDS
+      // every own concept uncovered); normalization cancels the weights
+      // on the SDS side.
+      const double unseen_lower =
+          sds ? 2.0 * next : total_origin_weight * next;
+      d_minus = std::min(d_minus, unseen_lower);
+    }
+
+    // Progressive output (optimization 4): a result at or below every
+    // remaining lower bound is final.
+    if (progress_callback_) {
+      std::vector<ScoredDocument> ready;
+      for (const ScoredDocument& scored : heap) {
+        if (scored.distance <= d_minus && !emitted.contains(scored.id)) {
+          ready.push_back(scored);
+        }
+      }
+      std::sort(ready.begin(), ready.end(), ScoredBefore);
+      for (const ScoredDocument& scored : ready) {
+        emitted.insert(scored.id);
+        progress_callback_(scored);
+      }
+    }
+
+    if (heap.size() == k && d_minus >= kth_distance()) break;
+    if (frontier_exhausted && ld.empty()) break;
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+      asc[i].swap(next_asc[i]);
+      next_asc[i].clear();
+      desc[i].swap(next_desc[i]);
+      next_desc[i].clear();
+    }
+    ++level;
+  }
+
+  std::sort(heap.begin(), heap.end(), ScoredBefore);
+  if (progress_callback_) {
+    for (const ScoredDocument& scored : heap) {
+      if (emitted.insert(scored.id).second) progress_callback_(scored);
+    }
+  }
+  stats_.total_seconds = total_timer.ElapsedSeconds();
+  stats_.traversal_seconds =
+      std::max(0.0, stats_.total_seconds - stats_.distance_seconds);
+  return heap;
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,179 @@
+// kNDS — the k-Nearest Document Search algorithm (paper Section 5).
+//
+// kNDS answers both query types with one branch-and-bound machine:
+//   RDS: top-k documents by Ddq(d, q) for a set of query concepts,
+//   SDS: top-k documents by Ddd(d, dq) for a query document.
+//
+// It runs one valid-path breadth-first expansion per query concept, in
+// lockstep levels (the paper's Ec queue with {null,null} level markers).
+// When the BFS from query concept qi first reaches a concept contained
+// in document d at level l, then Ddc(d, qi) = l exactly (BFS visits in
+// increasing valid-path distance); uncovered query concepts are bounded
+// below by l+1. From these it maintains, per touched document, the
+// partial distance (Eqs. 5/7) and lower-bound distance (Eqs. 6/8), and
+// an error estimate
+//
+//     eps_d = 1 - Dpartial / Dlower                          (Eq. 9)
+//
+// that gates the expensive exact-distance computation: a document is
+// handed to DRC only once eps_d <= eps_theta (the error threshold, the
+// paper's main tuning knob — see Fig. 7). Documents whose lower bound
+// can no longer beat the current k-th best are pruned; the search
+// terminates when no unexamined document can beat it.
+//
+// The four engineering optimizations at the end of Section 5.3 are
+// implemented and individually switchable for ablation:
+//   1. prune_candidates        — drop docs whose lower bound exceeds D+k;
+//   2. partial_candidate_heap  — select candidates with a heap instead of
+//                                fully sorting Ld each level;
+//   3. covered_distance_shortcut — a fully covered document's partial
+//                                distance *is* its exact distance: skip DRC;
+//   4. progressive output      — results whose distance is at most every
+//                                remaining lower bound are emitted early
+//                                through a callback.
+
+#ifndef ECDR_CORE_KNDS_H_
+#define ECDR_CORE_KNDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/scored_document.h"
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+struct KndsOptions {
+  /// eps_theta in [0, 1]. 0 = wait until a document is fully covered
+  /// before computing its exact distance; 1 = probe DRC at first touch.
+  /// The paper's defaults: 0.5 (PATIENT-like dense corpora), 0.9
+  /// (RADIO-like sparse corpora).
+  double error_threshold = 0.5;
+
+  /// Cap on the total BFS frontier size across query concepts. When
+  /// exceeded, kNDS is "forced to examine the collected set of
+  /// documents" (Section 6.1) regardless of the error gate.
+  std::size_t node_queue_limit = 50'000;
+
+  // Section 5.3 optimizations (all on by default; switchable for the
+  // ablation bench).
+  bool prune_candidates = true;
+  bool partial_candidate_heap = true;
+  bool covered_distance_shortcut = true;
+
+  /// Benchmarking aid: simulated latency added to every inverted-index
+  /// postings fetch during traversal. The paper's inverted/forward
+  /// indexes lived in MySQL ("memory or disk-based", Section 5.3), so
+  /// its traversal cost includes I/O that an all-in-memory build does
+  /// not pay; setting this reproduces the paper's cost regime, where
+  /// waiting for coverage is expensive and eager DRC probing pays off
+  /// on sparse collections (Fig. 7 c-e). 0 disables it.
+  double simulated_postings_access_seconds = 0.0;
+};
+
+struct KndsStats {
+  std::uint64_t levels = 0;             // BFS iterations
+  std::uint64_t concept_visits = 0;     // (concept, origin) first visits
+  std::uint64_t documents_touched = 0;  // entered Ld at least once
+  std::uint64_t documents_examined = 0; // exact distances computed
+  std::uint64_t drc_calls = 0;          // examined minus shortcut hits
+  std::uint64_t documents_pruned = 0;
+  std::uint64_t queue_limit_hits = 0;
+  double traversal_seconds = 0.0;       // BFS + bookkeeping
+  double distance_seconds = 0.0;        // DRC probes
+  double total_seconds = 0.0;
+};
+
+class Knds {
+ public:
+  /// All dependencies are shared and unowned. The inverted index must
+  /// cover every document of the corpus (keep it updated through
+  /// InvertedIndex::AddDocument when appending documents).
+  Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
+       Drc* drc, KndsOptions options = {});
+
+  /// RDS (Definition 1). Duplicate query concepts are ignored. Returns
+  /// up to k documents, ascending by (distance, id).
+  util::StatusOr<std::vector<ScoredDocument>> SearchRds(
+      std::span<const ontology::ConceptId> query, std::uint32_t k);
+
+  /// SDS (Definition 2). The query document need not be in the corpus;
+  /// if it is, it is returned like any other document (at distance 0).
+  util::StatusOr<std::vector<ScoredDocument>> SearchSds(
+      const corpus::Document& query_doc, std::uint32_t k);
+
+  /// Weighted RDS: ranks by sum_i w(qi) * Ddc(d, qi). Queries typically
+  /// come from ExpandQuery() (core/query_expansion.h); duplicate
+  /// concepts keep their largest weight. All weights must be positive.
+  /// The covered-distance shortcut is bypassed in weighted searches so
+  /// exact distances always come from DRC with a deterministic
+  /// accumulation order.
+  util::StatusOr<std::vector<ScoredDocument>> SearchRdsWeighted(
+      std::span<const WeightedConcept> query, std::uint32_t k);
+
+  /// Weighted SDS under a global per-concept weight table (e.g.
+  /// information-content weights): both directions of Eq. 3 weight each
+  /// concept's nearest-neighbor distance and normalize by total weight.
+  util::StatusOr<std::vector<ScoredDocument>> SearchSdsWeighted(
+      const corpus::Document& query_doc, const ConceptWeights& weights,
+      std::uint32_t k);
+
+  /// Stats of the most recent Search* call.
+  const KndsStats& last_stats() const { return stats_; }
+
+  /// Progressive-output hook (Section 5.3, optimization 4): invoked for
+  /// each result as soon as it is provably in the top-k, in ascending
+  /// distance order within each level.
+  using ProgressCallback = std::function<void(const ScoredDocument&)>;
+  void set_progress_callback(ProgressCallback callback) {
+    progress_callback_ = std::move(callback);
+  }
+
+ private:
+  struct DocState {
+    // Weighted sums/totals; with uniform weights every value below is an
+    // exactly-represented integer, so the unweighted path loses nothing.
+    double fwd_sum = 0;             // sum of w(qi) * Md(qi, d)
+    double fwd_covered_weight = 0;  // total weight of covered origins
+    std::uint32_t fwd_covered = 0;  // |Md| for this doc
+    double rev_sum = 0;             // SDS: sum of w(c) * M'd(c)
+    double rev_covered_weight = 0;  // SDS: total weight of covered concepts
+    std::uint32_t rev_covered = 0;  // SDS: |M'd|
+    std::vector<std::uint64_t> covered_bits;  // one bit per query concept
+  };
+
+  // Document phases; a document only ever moves forward through these.
+  enum : std::uint8_t {
+    kUntouched = 0,
+    kActive = 1,
+    kExamined = 2,
+    kPruned = 3,
+  };
+
+  /// Common engine. `origins` must be sorted and unique;
+  /// `origin_weights` is parallel to it (empty = uniform 1.0);
+  /// `doc_weights` weights the SDS reverse direction (null = uniform);
+  /// `weighted` selects the weighted exact-distance path.
+  util::StatusOr<std::vector<ScoredDocument>> Search(
+      std::span<const ontology::ConceptId> origins,
+      std::span<const double> origin_weights, bool sds,
+      const corpus::Document* query_doc, const ConceptWeights* doc_weights,
+      bool weighted, std::uint32_t k);
+
+  const corpus::Corpus* corpus_;
+  const index::InvertedIndex* index_;
+  Drc* drc_;
+  KndsOptions options_;
+  KndsStats stats_;
+  ProgressCallback progress_callback_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_KNDS_H_

@@ -1,0 +1,102 @@
+#include "core/query_expansion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "core/drc.h"
+#include "ontology/valid_path_bfs.h"
+
+namespace ecdr::core {
+
+namespace {
+
+using ontology::ConceptId;
+
+/// Ancestors-only expansion: plain BFS over parent edges.
+void ExpandAncestors(const ontology::Ontology& ontology, ConceptId source,
+                     std::uint32_t radius,
+                     std::vector<std::pair<ConceptId, std::uint32_t>>* out) {
+  std::unordered_map<ConceptId, std::uint32_t> distance;
+  std::queue<ConceptId> frontier;
+  distance.emplace(source, 0);
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const ConceptId current = frontier.front();
+    frontier.pop();
+    const std::uint32_t next = distance.at(current) + 1;
+    if (next > radius) continue;
+    for (ConceptId parent : ontology.parents(current)) {
+      if (distance.emplace(parent, next).second) {
+        out->emplace_back(parent, next);
+        frontier.push(parent);
+      }
+    }
+  }
+}
+
+/// Full expansion: valid-path BFS truncated at the radius.
+void ExpandValidPaths(const ontology::Ontology& ontology, ConceptId source,
+                      std::uint32_t radius,
+                      std::vector<std::pair<ConceptId, std::uint32_t>>* out) {
+  ontology::ValidPathBfs bfs(ontology);
+  const ConceptId sources[] = {source};
+  bfs.Start(sources);
+  std::vector<ConceptId> visited;
+  std::uint32_t level = 0;
+  while (bfs.NextLevel(&visited, &level)) {
+    if (level > radius) break;
+    for (ConceptId c : visited) {
+      if (c != source) out->emplace_back(c, level);
+    }
+    visited.clear();
+  }
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<WeightedConcept>> ExpandQuery(
+    const ontology::Ontology& ontology,
+    std::span<const ontology::ConceptId> query,
+    const QueryExpansionOptions& options) {
+  if (query.empty()) {
+    return util::InvalidArgumentError("query has no concepts");
+  }
+  if (options.decay <= 0.0 || options.decay > 1.0) {
+    return util::InvalidArgumentError("decay must be in (0, 1]");
+  }
+  for (ConceptId c : query) {
+    if (!ontology.Contains(c)) {
+      return util::InvalidArgumentError("query references unknown concept id " +
+                                        std::to_string(c));
+    }
+  }
+
+  std::vector<WeightedConcept> expanded;
+  for (ConceptId source : query) {
+    expanded.push_back(WeightedConcept{source, 1.0});
+    std::vector<std::pair<ConceptId, std::uint32_t>> reached;
+    if (options.ancestors_only) {
+      ExpandAncestors(ontology, source, options.radius, &reached);
+    } else {
+      ExpandValidPaths(ontology, source, options.radius, &reached);
+    }
+    // Keep the nearest expansions (ties by id) up to the per-source cap.
+    std::sort(reached.begin(), reached.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    if (reached.size() > options.max_expansions_per_concept) {
+      reached.resize(options.max_expansions_per_concept);
+    }
+    for (const auto& [concept_id, distance] : reached) {
+      expanded.push_back(WeightedConcept{
+          concept_id, std::pow(options.decay, distance)});
+    }
+  }
+  return NormalizeWeightedConcepts(expanded);
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,56 @@
+// Ontology-based query expansion (paper Section 2; footnote 3 of
+// Section 3.2 specifies the normalization when merging expanded
+// queries).
+//
+// Expansion replaces each query concept with the set of concepts within
+// a valid-path radius, weighted by a per-step decay:
+//
+//   weight(c) = decay ^ D(qi, c),  D over valid paths,
+//
+// so the original concept keeps weight 1 and e.g. "aortic valve
+// stenosis" pulls in "heart valve finding" (one step up) at `decay` and
+// sibling findings at `decay^2`. When several query concepts reach the
+// same expansion, the largest weight wins. The result feeds directly
+// into Knds::SearchRdsWeighted / Drc::DocQueryDistanceWeighted.
+
+#ifndef ECDR_CORE_QUERY_EXPANSION_H_
+#define ECDR_CORE_QUERY_EXPANSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/concept_weights.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+struct QueryExpansionOptions {
+  /// Maximum valid-path distance of an expansion from its source.
+  std::uint32_t radius = 2;
+
+  /// Per-edge weight decay in (0, 1]; weight(c) = decay^distance.
+  double decay = 0.5;
+
+  /// Cap on expansions contributed per source concept (excluding the
+  /// source itself); the nearest (then smallest-id) ones are kept.
+  std::uint32_t max_expansions_per_concept = 16;
+
+  /// When true, only expand upward (toward more general concepts) —
+  /// "query generalization". Otherwise expansion follows all valid
+  /// paths, reaching siblings and descendants too.
+  bool ancestors_only = false;
+};
+
+/// Expands `query` over the ontology. The original concepts are always
+/// included with weight 1. Returns concepts sorted by id, deduplicated
+/// with max-weight.
+util::StatusOr<std::vector<WeightedConcept>> ExpandQuery(
+    const ontology::Ontology& ontology,
+    std::span<const ontology::ConceptId> query,
+    const QueryExpansionOptions& options = {});
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_QUERY_EXPANSION_H_

@@ -1,0 +1,107 @@
+#include "core/ranking_engine.h"
+
+#include "corpus/corpus_io.h"
+#include "ontology/ontology_io.h"
+
+namespace ecdr::core {
+
+RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
+    : ontology_(std::make_unique<ontology::Ontology>(std::move(ontology))),
+      corpus_(std::make_unique<corpus::Corpus>(*ontology_)),
+      inverted_(std::make_unique<index::InvertedIndex>(*corpus_)),
+      addresses_(std::make_unique<ontology::AddressEnumerator>(
+          *ontology_, options.addresses)),
+      drc_(std::make_unique<Drc>(*ontology_, addresses_.get())),
+      knds_(std::make_unique<Knds>(*corpus_, *inverted_, drc_.get(),
+                                   options.knds)) {}
+
+std::unique_ptr<RankingEngine> RankingEngine::Create(
+    ontology::Ontology ontology, Options options) {
+  return std::unique_ptr<RankingEngine>(
+      new RankingEngine(std::move(ontology), options));
+}
+
+util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::CreateFromFiles(
+    const std::string& ontology_path, const std::string& corpus_path,
+    Options options) {
+  util::StatusOr<ontology::Ontology> ontology =
+      ontology::LoadOntologyAuto(ontology_path);
+  ECDR_RETURN_IF_ERROR(ontology.status());
+  std::unique_ptr<RankingEngine> engine =
+      Create(std::move(ontology).value(), options);
+  util::StatusOr<corpus::Corpus> corpus =
+      corpus::LoadCorpusAuto(*engine->ontology_, corpus_path);
+  ECDR_RETURN_IF_ERROR(corpus.status());
+  for (corpus::DocId d = 0; d < corpus->num_documents(); ++d) {
+    util::StatusOr<corpus::DocId> added =
+        engine->corpus_->AddDocument(corpus->document(d));
+    ECDR_RETURN_IF_ERROR(added.status());
+    engine->inverted_->AddDocument(*added, engine->corpus_->document(*added));
+  }
+  return engine;
+}
+
+util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
+    std::vector<ontology::ConceptId> concepts) {
+  util::StatusOr<corpus::DocId> added =
+      corpus_->AddDocument(corpus::Document(std::move(concepts)));
+  ECDR_RETURN_IF_ERROR(added.status());
+  inverted_->AddDocument(*added, corpus_->document(*added));
+  return added;
+}
+
+util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevant(
+    std::span<const ontology::ConceptId> query, std::uint32_t k) {
+  return knds_->SearchRds(query, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
+    std::span<const std::string_view> names, std::uint32_t k) {
+  std::vector<ontology::ConceptId> query;
+  query.reserve(names.size());
+  for (std::string_view name : names) {
+    const ontology::ConceptId id = ontology_->FindByName(name);
+    if (id == ontology::kInvalidConcept) {
+      return util::NotFoundError("unknown concept '" + std::string(name) +
+                                 "'");
+    }
+    query.push_back(id);
+  }
+  return knds_->SearchRds(query, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>>
+RankingEngine::FindRelevantWeighted(std::span<const WeightedConcept> query,
+                                    std::uint32_t k) {
+  return knds_->SearchRdsWeighted(query, k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindSimilar(
+    corpus::DocId doc, std::uint32_t k) {
+  if (doc >= corpus_->num_documents()) {
+    return util::OutOfRangeError("document id " + std::to_string(doc) +
+                                 " out of range");
+  }
+  return knds_->SearchSds(corpus_->document(doc), k);
+}
+
+util::StatusOr<std::vector<ScoredDocument>>
+RankingEngine::FindSimilarToConcepts(
+    std::vector<ontology::ConceptId> concepts, std::uint32_t k) {
+  const corpus::Document query_doc(std::move(concepts));
+  if (query_doc.empty()) {
+    return util::InvalidArgumentError("query document has no concepts");
+  }
+  return knds_->SearchSds(query_doc, k);
+}
+
+util::StatusOr<double> RankingEngine::DocumentDistance(corpus::DocId a,
+                                                       corpus::DocId b) {
+  if (a >= corpus_->num_documents() || b >= corpus_->num_documents()) {
+    return util::OutOfRangeError("document id out of range");
+  }
+  return drc_->DocDocDistance(corpus_->document(a).concepts(),
+                              corpus_->document(b).concepts());
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,98 @@
+// RankingEngine — the one-stop facade a serving process embeds.
+//
+// Owns the whole stack (ontology, corpus, inverted index, Dewey address
+// cache, DRC, kNDS) with consistent lifetimes, so callers don't wire
+// five components by hand or keep the inverted index in sync
+// themselves. Supports the paper's point-of-care story: AddDocument()
+// makes a record searchable immediately.
+//
+//   auto engine = core::RankingEngine::Create(std::move(ontology));
+//   auto id = engine->AddDocument({valve, hypertension});
+//   auto top = engine->FindRelevant({cardiac}, 10);
+//   auto similar = engine->FindSimilar(*id, 10);
+
+#ifndef ECDR_CORE_RANKING_ENGINE_H_
+#define ECDR_CORE_RANKING_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/knds.h"
+#include "core/scored_document.h"
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "ontology/dewey.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+class RankingEngine {
+ public:
+  struct Options {
+    KndsOptions knds;
+    ontology::AddressEnumeratorOptions addresses;
+  };
+
+  /// Takes ownership of the ontology; the corpus starts empty.
+  static std::unique_ptr<RankingEngine> Create(ontology::Ontology ontology,
+                                               Options options = {});
+
+  /// Loads both files in either the text or binary format (sniffed).
+  static util::StatusOr<std::unique_ptr<RankingEngine>> CreateFromFiles(
+      const std::string& ontology_path, const std::string& corpus_path,
+      Options options = {});
+
+  RankingEngine(const RankingEngine&) = delete;
+  RankingEngine& operator=(const RankingEngine&) = delete;
+
+  /// Adds a document and indexes it; searchable immediately.
+  util::StatusOr<corpus::DocId> AddDocument(
+      std::vector<ontology::ConceptId> concepts);
+
+  /// RDS by concept ids.
+  util::StatusOr<std::vector<ScoredDocument>> FindRelevant(
+      std::span<const ontology::ConceptId> query, std::uint32_t k);
+
+  /// RDS by concept names (convenience; fails on unknown names).
+  util::StatusOr<std::vector<ScoredDocument>> FindRelevantByName(
+      std::span<const std::string_view> names, std::uint32_t k);
+
+  /// RDS with weighted / expanded queries.
+  util::StatusOr<std::vector<ScoredDocument>> FindRelevantWeighted(
+      std::span<const WeightedConcept> query, std::uint32_t k);
+
+  /// SDS for a document already in the corpus.
+  util::StatusOr<std::vector<ScoredDocument>> FindSimilar(corpus::DocId doc,
+                                                          std::uint32_t k);
+
+  /// SDS for an external document (e.g. a patient not yet admitted).
+  util::StatusOr<std::vector<ScoredDocument>> FindSimilarToConcepts(
+      std::vector<ontology::ConceptId> concepts, std::uint32_t k);
+
+  /// Exact Ddd between two indexed documents.
+  util::StatusOr<double> DocumentDistance(corpus::DocId a, corpus::DocId b);
+
+  const ontology::Ontology& ontology() const { return *ontology_; }
+  const corpus::Corpus& corpus() const { return *corpus_; }
+  const KndsStats& last_search_stats() const { return knds_->last_stats(); }
+
+ private:
+  RankingEngine(ontology::Ontology ontology, Options options);
+
+  // unique_ptr members keep internal cross-pointers stable; the engine
+  // itself is handed out by pointer.
+  std::unique_ptr<ontology::Ontology> ontology_;
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::unique_ptr<index::InvertedIndex> inverted_;
+  std::unique_ptr<ontology::AddressEnumerator> addresses_;
+  std::unique_ptr<Drc> drc_;
+  std::unique_ptr<Knds> knds_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_RANKING_ENGINE_H_

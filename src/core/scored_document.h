@@ -1,0 +1,26 @@
+// Result type shared by all rankers (kNDS, exhaustive baseline, TA).
+
+#ifndef ECDR_CORE_SCORED_DOCUMENT_H_
+#define ECDR_CORE_SCORED_DOCUMENT_H_
+
+#include "corpus/document.h"
+
+namespace ecdr::core {
+
+/// A document with its semantic distance from the query. Rankers return
+/// results sorted ascending (closest first).
+struct ScoredDocument {
+  corpus::DocId id = corpus::kInvalidDoc;
+  double distance = 0.0;
+};
+
+/// Total order used everywhere: smaller distance first, doc id breaking
+/// ties, so every ranker is deterministic and directly comparable.
+inline bool ScoredBefore(const ScoredDocument& a, const ScoredDocument& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_SCORED_DOCUMENT_H_

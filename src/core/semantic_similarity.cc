@@ -1,0 +1,160 @@
+#include "core/semantic_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ecdr::core {
+
+const char* SemanticMeasureName(SemanticMeasure measure) {
+  switch (measure) {
+    case SemanticMeasure::kShortestPath:
+      return "shortest-path";
+    case SemanticMeasure::kWuPalmer:
+      return "wu-palmer";
+    case SemanticMeasure::kResnik:
+      return "resnik";
+    case SemanticMeasure::kLin:
+      return "lin";
+  }
+  return "unknown";
+}
+
+ConceptSimilarity::ConceptSimilarity(const ontology::Ontology& ontology,
+                                     const corpus::Corpus* corpus,
+                                     SemanticMeasure measure)
+    : ontology_(&ontology), measure_(measure), oracle_(ontology) {
+  if (measure != SemanticMeasure::kResnik && measure != SemanticMeasure::kLin) {
+    return;
+  }
+  ECDR_CHECK(corpus != nullptr);
+  // Propagated occurrence counts: each document occurrence of a concept
+  // counts toward the concept and all its ancestors. Propagation runs in
+  // reverse topological order along parent links.
+  const std::uint32_t n = ontology.num_concepts();
+  std::vector<double> counts(n, 1.0);  // Laplace smoothing: never zero.
+  double total = n;
+  for (corpus::DocId d = 0; d < corpus->num_documents(); ++d) {
+    for (ontology::ConceptId c : corpus->document(d).concepts()) {
+      counts[c] += 1.0;
+      total += 1.0;
+    }
+  }
+  // Reverse topological order via Kahn over children.
+  std::vector<std::uint32_t> pending(n, 0);
+  for (ontology::ConceptId c = 0; c < n; ++c) {
+    pending[c] = static_cast<std::uint32_t>(ontology.children(c).size());
+  }
+  std::vector<ontology::ConceptId> order;
+  order.reserve(n);
+  for (ontology::ConceptId c = 0; c < n; ++c) {
+    if (pending[c] == 0) order.push_back(c);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const ontology::ConceptId c = order[head];
+    for (ontology::ConceptId parent : ontology.parents(c)) {
+      counts[parent] += counts[c];
+      if (--pending[parent] == 0) order.push_back(parent);
+    }
+  }
+  ECDR_CHECK_EQ(order.size(), n);
+
+  information_content_.resize(n);
+  const double root_count = counts[ontology.root()];
+  (void)total;
+  for (ontology::ConceptId c = 0; c < n; ++c) {
+    // Normalize by the root's propagated count so IC(root) == 0.
+    information_content_[c] =
+        -std::log(std::min(1.0, counts[c] / root_count));
+  }
+}
+
+double ConceptSimilarity::InformationContent(ontology::ConceptId c) const {
+  ECDR_CHECK(!information_content_.empty());
+  ECDR_DCHECK(ontology_->Contains(c));
+  return information_content_[c];
+}
+
+std::vector<ConceptSimilarity::CommonAncestor>
+ConceptSimilarity::CommonAncestors(ontology::ConceptId a,
+                                   ontology::ConceptId b) {
+  std::unordered_map<ontology::ConceptId, std::uint32_t> up_a;
+  std::unordered_map<ontology::ConceptId, std::uint32_t> up_b;
+  oracle_.UpDistances(a, &up_a);
+  oracle_.UpDistances(b, &up_b);
+  std::vector<CommonAncestor> common;
+  for (const auto& [ancestor, dist_a] : up_a) {
+    const auto it = up_b.find(ancestor);
+    if (it != up_b.end()) {
+      common.push_back(CommonAncestor{ancestor, dist_a, it->second});
+    }
+  }
+  return common;
+}
+
+double ConceptSimilarity::Distance(ontology::ConceptId a,
+                                   ontology::ConceptId b) {
+  ECDR_DCHECK(ontology_->Contains(a));
+  ECDR_DCHECK(ontology_->Contains(b));
+  switch (measure_) {
+    case SemanticMeasure::kShortestPath:
+      return static_cast<double>(oracle_.ConceptDistance(a, b));
+    case SemanticMeasure::kWuPalmer: {
+      // sim = 2*depth(lcs) / (depth(a) + depth(b)), lcs maximizing depth.
+      if (a == b) return 0.0;
+      std::uint32_t best_depth = 0;
+      for (const CommonAncestor& ca : CommonAncestors(a, b)) {
+        best_depth = std::max(best_depth, ontology_->depth(ca.concept_id));
+      }
+      const double denominator =
+          static_cast<double>(ontology_->depth(a) + ontology_->depth(b));
+      if (denominator == 0.0) return 0.0;  // Both are the root.
+      return 1.0 - 2.0 * static_cast<double>(best_depth) / denominator;
+    }
+    case SemanticMeasure::kResnik: {
+      double best_ic = 0.0;
+      for (const CommonAncestor& ca : CommonAncestors(a, b)) {
+        best_ic = std::max(best_ic, InformationContent(ca.concept_id));
+      }
+      return 1.0 / (1.0 + best_ic);
+    }
+    case SemanticMeasure::kLin: {
+      if (a == b) return 0.0;
+      double best_ic = 0.0;
+      for (const CommonAncestor& ca : CommonAncestors(a, b)) {
+        best_ic = std::max(best_ic, InformationContent(ca.concept_id));
+      }
+      const double denominator = InformationContent(a) + InformationContent(b);
+      if (denominator == 0.0) return 0.0;
+      return 1.0 - 2.0 * best_ic / denominator;
+    }
+  }
+  ECDR_CHECK(false);
+  return 0.0;
+}
+
+double ConceptSimilarity::DocDocDistance(
+    std::span<const ontology::ConceptId> d1,
+    std::span<const ontology::ConceptId> d2) {
+  ECDR_CHECK(!d1.empty());
+  ECDR_CHECK(!d2.empty());
+  // Eq. 3 generalized: pairwise best-match in both directions. This is
+  // quadratic; it exists for effectiveness comparisons, not speed.
+  std::vector<double> min1(d1.size(), std::numeric_limits<double>::infinity());
+  std::vector<double> min2(d2.size(), std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    for (std::size_t j = 0; j < d2.size(); ++j) {
+      const double distance = Distance(d1[i], d2[j]);
+      min1[i] = std::min(min1[i], distance);
+      min2[j] = std::min(min2[j], distance);
+    }
+  }
+  double sum1 = 0.0;
+  for (double m : min1) sum1 += m;
+  double sum2 = 0.0;
+  for (double m : min2) sum2 += m;
+  return sum1 / static_cast<double>(d1.size()) +
+         sum2 / static_cast<double>(d2.size());
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,88 @@
+// Alternative concept-concept semantic measures (paper Section 2 survey;
+// "explore other semantic distances" is called out as future work in
+// Section 7).
+//
+// The paper adopts the structural shortest-path metric (Rada et al.) for
+// its algorithms; this module adds the other families the paper reviews
+// so downstream users can compare rankings:
+//   - Wu-Palmer (structure + depth):  sim = 2*depth(lcs) /
+//                                           (depth(a) + depth(b) + 2*depth(lcs) adjusted)
+//     using the standard formulation sim = 2*d(lcs) / (d(a) + d(b)) with
+//     node depths measured from the root, and the LCS chosen to maximize
+//     the score;
+//   - Resnik (information content):   sim = IC(most-informative common
+//     ancestor);
+//   - Lin:                            sim = 2*IC(mica) / (IC(a) + IC(b)).
+//
+// Information content follows the corpus-based definition: IC(c) =
+// -ln p(c) where p(c) is the propagated occurrence probability of c —
+// occurrences of a concept count toward all its ancestors. As is
+// standard practice for DAG ontologies, propagation sums along parent
+// links without deduplicating diamond-shaped descendant sets; ancestors
+// reachable by multiple paths are therefore weighted slightly higher.
+//
+// All measures are exposed uniformly as *distances* (lower = more
+// similar) so they can drive the same rankers.
+
+#ifndef ECDR_CORE_SEMANTIC_SIMILARITY_H_
+#define ECDR_CORE_SEMANTIC_SIMILARITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+enum class SemanticMeasure {
+  kShortestPath,  // The paper's metric (valid-path edge count).
+  kWuPalmer,      // 1 - sim_wp, in [0, 1].
+  kResnik,        // 1 / (1 + IC(mica)).
+  kLin,           // 1 - sim_lin, in [0, 1].
+};
+
+const char* SemanticMeasureName(SemanticMeasure measure);
+
+class ConceptSimilarity {
+ public:
+  /// `corpus` may be null for kShortestPath / kWuPalmer; kResnik / kLin
+  /// require it for concept occurrence statistics (concepts that never
+  /// occur get the minimum probability, i.e. maximal IC).
+  ConceptSimilarity(const ontology::Ontology& ontology,
+                    const corpus::Corpus* corpus, SemanticMeasure measure);
+
+  /// Distance under the configured measure; lower means more similar.
+  double Distance(ontology::ConceptId a, ontology::ConceptId b);
+
+  /// The paper's document-document function (Eq. 3) generalized to this
+  /// measure: average best-match distance in both directions.
+  double DocDocDistance(std::span<const ontology::ConceptId> d1,
+                        std::span<const ontology::ConceptId> d2);
+
+  /// Information content of a concept (kResnik / kLin only).
+  double InformationContent(ontology::ConceptId c) const;
+
+ private:
+  /// Common ancestors of a and b (via ancestor-map join), with their
+  /// up-distances from each side.
+  struct CommonAncestor {
+    ontology::ConceptId concept_id;
+    std::uint32_t up_a;
+    std::uint32_t up_b;
+  };
+  std::vector<CommonAncestor> CommonAncestors(ontology::ConceptId a,
+                                              ontology::ConceptId b);
+
+  const ontology::Ontology* ontology_;
+  SemanticMeasure measure_;
+  ontology::DistanceOracle oracle_;
+  std::vector<double> information_content_;  // Empty unless IC-based.
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_SEMANTIC_SIMILARITY_H_

@@ -1,0 +1,87 @@
+#include "core/ta_ranker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace ecdr::core {
+
+TaRanker::TaRanker(const corpus::Corpus& corpus,
+                   const index::PrecomputedPostings& postings)
+    : corpus_(&corpus), postings_(&postings) {}
+
+util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
+    std::span<const ontology::ConceptId> query, std::uint32_t k) {
+  last_stats_ = Stats();
+  util::WallTimer timer;
+  std::vector<ontology::ConceptId> concepts(query.begin(), query.end());
+  std::sort(concepts.begin(), concepts.end());
+  concepts.erase(std::unique(concepts.begin(), concepts.end()),
+                 concepts.end());
+  if (concepts.empty()) {
+    return util::InvalidArgumentError("query has no concepts");
+  }
+  for (ontology::ConceptId c : concepts) {
+    if (!corpus_->ontology().Contains(c)) {
+      return util::InvalidArgumentError("query references unknown concept id " +
+                                        std::to_string(c));
+    }
+  }
+  if (k == 0) return std::vector<ScoredDocument>{};
+
+  std::vector<std::span<const index::PrecomputedPostings::Entry>> lists;
+  lists.reserve(concepts.size());
+  for (ontology::ConceptId c : concepts) {
+    lists.push_back(postings_->SortedPostings(c));
+  }
+
+  std::vector<ScoredDocument> heap;  // Max-heap: worst kept at front.
+  std::unordered_set<corpus::DocId> seen;
+  std::vector<std::uint32_t> last_seen(concepts.size(), 0);
+  std::size_t depth = 0;
+  bool exhausted = false;
+  while (!exhausted) {
+    exhausted = true;
+    // One round of sorted access: advance one position in each list.
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      if (depth >= lists[i].size()) continue;
+      exhausted = false;
+      const auto& entry = lists[i][depth];
+      ++last_stats_.sorted_accesses;
+      last_seen[i] = entry.distance;
+      if (!seen.insert(entry.doc).second) continue;
+      // Random access on the remaining lists for the exact aggregate.
+      std::uint64_t total = entry.distance;
+      for (std::size_t j = 0; j < concepts.size(); ++j) {
+        if (j == i) continue;
+        ++last_stats_.random_accesses;
+        total += postings_->Distance(concepts[j], entry.doc);
+      }
+      ++last_stats_.documents_scored;
+      const ScoredDocument scored{entry.doc, static_cast<double>(total)};
+      if (heap.size() < k) {
+        heap.push_back(scored);
+        std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+      } else if (ScoredBefore(scored, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
+        heap.back() = scored;
+        std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+      }
+    }
+    ++depth;
+    // Threshold test: no unseen document can aggregate below the sum of
+    // the distances at the current sorted-access positions.
+    std::uint64_t threshold = 0;
+    for (std::uint32_t d : last_seen) threshold += d;
+    if (heap.size() == k &&
+        static_cast<double>(threshold) >= heap.front().distance) {
+      break;
+    }
+  }
+  std::sort(heap.begin(), heap.end(), ScoredBefore);
+  last_stats_.seconds = timer.ElapsedSeconds();
+  return heap;
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,54 @@
+// Threshold Algorithm baseline for RDS (Fagin et al., discussed in paper
+// Sections 4.1 / 5.1).
+//
+// Uses the offline PrecomputedPostings: for each query concept, a
+// postings list of (doc, Ddc) sorted ascending by distance supports
+// sorted access; random access resolves a document's distance on the
+// other lists. TA stops once the threshold — the sum of the last
+// distances seen under sorted access — reaches the current k-th best
+// aggregate. The paper rules TA out for SDS (the bidirectional Eq. 3
+// breaks the model) and out of its experiments for space reasons; we
+// implement it for RDS so bench_ablation_ta can measure the tradeoff.
+
+#ifndef ECDR_CORE_TA_RANKER_H_
+#define ECDR_CORE_TA_RANKER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/scored_document.h"
+#include "corpus/corpus.h"
+#include "index/precomputed_postings.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+class TaRanker {
+ public:
+  struct Stats {
+    std::uint64_t sorted_accesses = 0;
+    std::uint64_t random_accesses = 0;
+    std::uint64_t documents_scored = 0;
+    double seconds = 0.0;
+  };
+
+  TaRanker(const corpus::Corpus& corpus,
+           const index::PrecomputedPostings& postings);
+
+  /// RDS top-k, ascending by (distance, id) — same contract as the other
+  /// rankers.
+  util::StatusOr<std::vector<ScoredDocument>> TopKRelevant(
+      std::span<const ontology::ConceptId> query, std::uint32_t k);
+
+  const Stats& last_stats() const { return last_stats_; }
+
+ private:
+  const corpus::Corpus* corpus_;
+  const index::PrecomputedPostings* postings_;
+  Stats last_stats_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_TA_RANKER_H_

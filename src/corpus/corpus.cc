@@ -1,0 +1,49 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace ecdr::corpus {
+
+util::StatusOr<DocId> Corpus::AddDocument(Document doc) {
+  if (doc.empty()) {
+    return util::InvalidArgumentError("document has no concepts");
+  }
+  // Concepts are sorted, so the largest is at the back.
+  const ontology::ConceptId largest = doc.concepts().back();
+  if (!ontology_->Contains(largest)) {
+    return util::InvalidArgumentError(
+        "document references concept id " + std::to_string(largest) +
+        " outside the ontology (" + std::to_string(ontology_->num_concepts()) +
+        " concepts)");
+  }
+  documents_.push_back(std::move(doc));
+  return static_cast<DocId>(documents_.size() - 1);
+}
+
+CorpusStats ComputeCorpusStats(const Corpus& corpus) {
+  CorpusStats stats;
+  stats.num_documents = corpus.num_documents();
+  util::RunningStat sizes;
+  std::unordered_map<ontology::ConceptId, std::uint32_t> cf;
+  for (DocId d = 0; d < corpus.num_documents(); ++d) {
+    const Document& doc = corpus.document(d);
+    sizes.Add(static_cast<double>(doc.size()));
+    for (ontology::ConceptId c : doc.concepts()) ++cf[c];
+  }
+  stats.num_distinct_concepts = static_cast<std::uint32_t>(cf.size());
+  stats.avg_concepts_per_document = sizes.mean();
+  stats.min_concepts_per_document = static_cast<std::size_t>(sizes.min());
+  stats.max_concepts_per_document = static_cast<std::size_t>(sizes.max());
+  util::RunningStat cf_stat;
+  for (const auto& [concept_id, count] : cf) {
+    cf_stat.Add(static_cast<double>(count));
+  }
+  stats.cf_mean = cf_stat.mean();
+  stats.cf_stddev = cf_stat.stddev();
+  return stats;
+}
+
+}  // namespace ecdr::corpus

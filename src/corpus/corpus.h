@@ -1,0 +1,70 @@
+// A collection of concept-annotated documents bound to an ontology.
+//
+// Documents can be appended after construction — one of the paper's
+// selling points over the TA baseline is that no distance precomputation
+// is needed, so "when a new patient arrives at the point-of-care, we can
+// instantly add his or her EMR to our database" (Section 1). The inverted
+// index (index/inverted_index.h) supports the matching incremental
+// update.
+
+#ifndef ECDR_CORPUS_CORPUS_H_
+#define ECDR_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/document.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::corpus {
+
+class Corpus {
+ public:
+  explicit Corpus(const ontology::Ontology& ontology) : ontology_(&ontology) {}
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  /// Appends `doc` and returns its id. Fails if the document is empty or
+  /// references a concept outside the ontology.
+  util::StatusOr<DocId> AddDocument(Document doc);
+
+  std::uint32_t num_documents() const {
+    return static_cast<std::uint32_t>(documents_.size());
+  }
+
+  const Document& document(DocId id) const {
+    ECDR_DCHECK_LT(id, documents_.size());
+    return documents_[id];
+  }
+
+  const ontology::Ontology& ontology() const { return *ontology_; }
+
+ private:
+  const ontology::Ontology* ontology_;
+  std::vector<Document> documents_;
+};
+
+/// The quantities the paper reports in Table 3 (plus concept collection
+/// frequencies, which drive the mu+sigma filter of Section 6.1).
+struct CorpusStats {
+  std::uint32_t num_documents = 0;
+  std::uint32_t num_distinct_concepts = 0;
+  double avg_concepts_per_document = 0.0;
+  std::size_t min_concepts_per_document = 0;
+  std::size_t max_concepts_per_document = 0;
+  /// Mean and standard deviation of per-concept collection frequency
+  /// (number of documents containing the concept), over concepts that
+  /// appear at least once.
+  double cf_mean = 0.0;
+  double cf_stddev = 0.0;
+};
+
+CorpusStats ComputeCorpusStats(const Corpus& corpus);
+
+}  // namespace ecdr::corpus
+
+#endif  // ECDR_CORPUS_CORPUS_H_

@@ -1,0 +1,152 @@
+#include "corpus/corpus_io.h"
+
+#include <fstream>
+
+#include "util/binary_stream.h"
+#include "util/string_util.h"
+
+namespace ecdr::corpus {
+
+namespace {
+
+constexpr char kMagic[] = "ecdr-corpus-v1";
+constexpr std::uint64_t kBinaryMagic = 0x3176435244434531ULL;  // "1ECDRC v1"
+
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    const std::string_view stripped = util::StripWhitespace(*line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    *line = std::string(stripped);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::IoError("cannot open '" + path + "' for writing");
+  out << kMagic << '\n';
+  out << "documents " << corpus.num_documents() << '\n';
+  for (DocId d = 0; d < corpus.num_documents(); ++d) {
+    const Document& doc = corpus.document(d);
+    out << doc.size();
+    for (ontology::ConceptId c : doc.concepts()) out << ' ' << c;
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return util::IoError("write to '" + path + "' failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<Corpus> LoadCorpus(const ontology::Ontology& ontology,
+                                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!NextLine(in, &line) || line != kMagic) {
+    return util::InvalidArgumentError("'" + path +
+                                      "': missing ecdr-corpus-v1 header");
+  }
+  if (!NextLine(in, &line)) {
+    return util::InvalidArgumentError("'" + path + "': missing document count");
+  }
+  std::uint32_t num_documents = 0;
+  {
+    const auto pieces = util::Split(line, ' ');
+    if (pieces.size() != 2 || pieces[0] != "documents" ||
+        !util::ParseUint32(pieces[1], &num_documents)) {
+      return util::InvalidArgumentError("'" + path + "': bad documents line '" +
+                                        line + "'");
+    }
+  }
+  Corpus corpus(ontology);
+  for (std::uint32_t d = 0; d < num_documents; ++d) {
+    if (!NextLine(in, &line)) {
+      return util::InvalidArgumentError(
+          "'" + path + "': expected " + std::to_string(num_documents) +
+          " documents, got " + std::to_string(d));
+    }
+    const auto pieces = util::Split(line, ' ');
+    std::uint32_t count = 0;
+    if (pieces.empty() || !util::ParseUint32(pieces[0], &count) ||
+        pieces.size() != count + 1) {
+      return util::InvalidArgumentError("'" + path + "': bad document line '" +
+                                        line + "'");
+    }
+    std::vector<ontology::ConceptId> concepts;
+    concepts.reserve(count);
+    for (std::uint32_t i = 1; i <= count; ++i) {
+      std::uint32_t concept_id = 0;
+      if (!util::ParseUint32(pieces[i], &concept_id)) {
+        return util::InvalidArgumentError("'" + path +
+                                          "': bad concept id '" +
+                                          std::string(pieces[i]) + "'");
+      }
+      concepts.push_back(concept_id);
+    }
+    util::StatusOr<DocId> added =
+        corpus.AddDocument(Document(std::move(concepts)));
+    ECDR_RETURN_IF_ERROR(added.status());
+  }
+  return corpus;
+}
+
+
+util::Status SaveCorpusBinary(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::IoError("cannot open '" + path + "' for writing");
+  util::BinaryWriter writer(out);
+  writer.WriteU64(kBinaryMagic);
+  writer.WriteU32(corpus.num_documents());
+  for (DocId d = 0; d < corpus.num_documents(); ++d) {
+    const auto concepts = corpus.document(d).concepts();
+    writer.WriteU32Vector({concepts.begin(), concepts.end()});
+  }
+  out.flush();
+  if (!writer.ok() || !out) {
+    return util::IoError("write to '" + path + "' failed");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<Corpus> LoadCorpusBinary(const ontology::Ontology& ontology,
+                                        const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open '" + path + "' for reading");
+  util::BinaryReader reader(in);
+  std::uint64_t magic = 0;
+  ECDR_RETURN_IF_ERROR(reader.ReadU64(&magic));
+  if (magic != kBinaryMagic) {
+    return util::InvalidArgumentError("'" + path +
+                                      "': not an ecdr binary corpus");
+  }
+  std::uint32_t num_documents = 0;
+  ECDR_RETURN_IF_ERROR(reader.ReadU32(&num_documents));
+  Corpus corpus(ontology);
+  for (std::uint32_t d = 0; d < num_documents; ++d) {
+    std::vector<std::uint32_t> concepts;
+    ECDR_RETURN_IF_ERROR(reader.ReadU32Vector(&concepts));
+    util::StatusOr<DocId> added =
+        corpus.AddDocument(Document(std::move(concepts)));
+    ECDR_RETURN_IF_ERROR(added.status());
+  }
+  return corpus;
+}
+
+
+util::StatusOr<Corpus> LoadCorpusAuto(const ontology::Ontology& ontology,
+                                      const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return util::IoError("cannot open '" + path + "' for reading");
+  util::BinaryReader reader(probe);
+  std::uint64_t magic = 0;
+  const bool is_binary =
+      reader.ReadU64(&magic).ok() && magic == kBinaryMagic;
+  probe.close();
+  return is_binary ? LoadCorpusBinary(ontology, path)
+                   : LoadCorpus(ontology, path);
+}
+
+}  // namespace ecdr::corpus

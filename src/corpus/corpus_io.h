@@ -1,0 +1,39 @@
+// Text serialization for corpora.
+//
+// Format (line-oriented, '#' comments and blank lines ignored):
+//   ecdr-corpus-v1
+//   documents <N>
+//   <k> <c1> <c2> ... <ck>   # N lines, one document each
+//
+// Loading validates every document against the supplied ontology.
+
+#ifndef ECDR_CORPUS_CORPUS_IO_H_
+#define ECDR_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace ecdr::corpus {
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+util::StatusOr<Corpus> LoadCorpus(const ontology::Ontology& ontology,
+                                  const std::string& path);
+
+/// Binary counterparts for large corpora (little-endian; see
+/// util/binary_stream.h). Loading revalidates every document against
+/// the ontology.
+util::Status SaveCorpusBinary(const Corpus& corpus, const std::string& path);
+
+util::StatusOr<Corpus> LoadCorpusBinary(const ontology::Ontology& ontology,
+                                        const std::string& path);
+
+/// Sniffs the format (binary magic vs text header) and dispatches.
+util::StatusOr<Corpus> LoadCorpusAuto(const ontology::Ontology& ontology,
+                                      const std::string& path);
+
+}  // namespace ecdr::corpus
+
+#endif  // ECDR_CORPUS_CORPUS_IO_H_

@@ -1,0 +1,18 @@
+#include "corpus/document.h"
+
+#include <algorithm>
+
+namespace ecdr::corpus {
+
+Document::Document(std::vector<ontology::ConceptId> concepts)
+    : concepts_(std::move(concepts)) {
+  std::sort(concepts_.begin(), concepts_.end());
+  concepts_.erase(std::unique(concepts_.begin(), concepts_.end()),
+                  concepts_.end());
+}
+
+bool Document::ContainsConcept(ontology::ConceptId c) const {
+  return std::binary_search(concepts_.begin(), concepts_.end(), c);
+}
+
+}  // namespace ecdr::corpus

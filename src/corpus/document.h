@@ -1,0 +1,46 @@
+// A document viewed as a set of ontology concepts (paper Section 3.1).
+//
+// The paper (and the biomedical literature it follows) models an EMR as
+// the set of ontological concepts extracted from its text; free text is
+// out of scope. Concepts are stored sorted and deduplicated.
+
+#ifndef ECDR_CORPUS_DOCUMENT_H_
+#define ECDR_CORPUS_DOCUMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ontology/types.h"
+
+namespace ecdr::corpus {
+
+/// Dense identifier of a document within one Corpus (0-based).
+using DocId = std::uint32_t;
+inline constexpr DocId kInvalidDoc = 0xFFFFFFFFu;
+
+class Document {
+ public:
+  Document() = default;
+
+  /// Takes ownership of `concepts`; sorts and deduplicates them.
+  explicit Document(std::vector<ontology::ConceptId> concepts);
+
+  std::span<const ontology::ConceptId> concepts() const { return concepts_; }
+  std::size_t size() const { return concepts_.size(); }
+  bool empty() const { return concepts_.empty(); }
+
+  /// Binary search over the sorted concept set.
+  bool ContainsConcept(ontology::ConceptId c) const;
+
+  friend bool operator==(const Document& a, const Document& b) {
+    return a.concepts_ == b.concepts_;
+  }
+
+ private:
+  std::vector<ontology::ConceptId> concepts_;
+};
+
+}  // namespace ecdr::corpus
+
+#endif  // ECDR_CORPUS_DOCUMENT_H_

@@ -1,0 +1,65 @@
+#include "corpus/filters.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ecdr::corpus {
+
+util::StatusOr<Corpus> ApplyConceptFilters(const Corpus& corpus,
+                                           const ConceptFilterOptions& options,
+                                           ConceptFilterReport* report) {
+  const ontology::Ontology& ontology = corpus.ontology();
+  ConceptFilterReport local_report;
+
+  // Collection frequencies over the unfiltered corpus.
+  std::unordered_map<ontology::ConceptId, std::uint32_t> cf;
+  for (DocId d = 0; d < corpus.num_documents(); ++d) {
+    for (ontology::ConceptId c : corpus.document(d).concepts()) ++cf[c];
+  }
+  double cf_threshold = 0.0;
+  if (options.apply_cf_threshold && !cf.empty()) {
+    double mean = 0.0;
+    for (const auto& [concept_id, count] : cf) mean += count;
+    mean /= static_cast<double>(cf.size());
+    double variance = 0.0;
+    for (const auto& [concept_id, count] : cf) {
+      const double delta = count - mean;
+      variance += delta * delta;
+    }
+    variance /= static_cast<double>(cf.size());
+    cf_threshold = mean + options.cf_sigma_multiplier * std::sqrt(variance);
+  }
+  local_report.cf_threshold = cf_threshold;
+
+  std::unordered_set<ontology::ConceptId> removed;
+  for (const auto& [concept_id, count] : cf) {
+    if (ontology.depth(concept_id) < options.min_depth) {
+      ++local_report.concepts_removed_by_depth;
+      removed.insert(concept_id);
+    } else if (options.apply_cf_threshold && count > cf_threshold) {
+      ++local_report.concepts_removed_by_cf;
+      removed.insert(concept_id);
+    } else {
+      ++local_report.concepts_kept;
+    }
+  }
+
+  Corpus filtered(ontology);
+  for (DocId d = 0; d < corpus.num_documents(); ++d) {
+    std::vector<ontology::ConceptId> kept;
+    for (ontology::ConceptId c : corpus.document(d).concepts()) {
+      if (!removed.contains(c)) kept.push_back(c);
+    }
+    if (kept.empty()) {
+      ++local_report.documents_dropped_empty;
+      continue;
+    }
+    util::StatusOr<DocId> added = filtered.AddDocument(Document(std::move(kept)));
+    ECDR_RETURN_IF_ERROR(added.status());
+  }
+  if (report != nullptr) *report = local_report;
+  return filtered;
+}
+
+}  // namespace ecdr::corpus

@@ -1,0 +1,48 @@
+// Concept filtering per the paper's experimental setup (Section 6.1):
+//
+//   "we set a depth and a collection frequency (cf) threshold such that
+//    we exclude generic or very common concepts (such as 'disease' or
+//    'blood' respectively). For depth threshold we used a default value
+//    of 4 [...]. we used mu+sigma as the default cf threshold for each
+//    dataset."
+//
+// Filtering removes the offending concepts from every document; documents
+// left empty are dropped (and reported).
+
+#ifndef ECDR_CORPUS_FILTERS_H_
+#define ECDR_CORPUS_FILTERS_H_
+
+#include <cstdint>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace ecdr::corpus {
+
+struct ConceptFilterOptions {
+  /// Concepts at ontology depth < min_depth are removed (paper default 4).
+  std::uint32_t min_depth = 4;
+
+  /// When true, concepts whose collection frequency exceeds
+  /// mean + cf_sigma_multiplier * stddev are removed.
+  bool apply_cf_threshold = true;
+  double cf_sigma_multiplier = 1.0;
+};
+
+struct ConceptFilterReport {
+  std::uint32_t concepts_removed_by_depth = 0;
+  std::uint32_t concepts_removed_by_cf = 0;
+  std::uint32_t concepts_kept = 0;
+  std::uint32_t documents_dropped_empty = 0;
+  double cf_threshold = 0.0;
+};
+
+/// Returns a new corpus (over the same ontology) with filtered documents.
+/// `report`, if non-null, receives what was removed.
+util::StatusOr<Corpus> ApplyConceptFilters(const Corpus& corpus,
+                                           const ConceptFilterOptions& options,
+                                           ConceptFilterReport* report);
+
+}  // namespace ecdr::corpus
+
+#endif  // ECDR_CORPUS_FILTERS_H_

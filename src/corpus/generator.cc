@@ -1,0 +1,130 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace ecdr::corpus {
+
+namespace {
+
+using ontology::ConceptId;
+using ontology::Ontology;
+
+/// Uniformly picks a concept with depth >= min_depth (rejection
+/// sampling; falls back to any concept if the ontology is too shallow).
+ConceptId PickConcept(const Ontology& ontology, std::uint32_t min_depth,
+                      util::Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto c = static_cast<ConceptId>(
+        rng.UniformInt(0, ontology.num_concepts() - 1));
+    if (ontology.depth(c) >= min_depth) return c;
+  }
+  return static_cast<ConceptId>(rng.UniformInt(0, ontology.num_concepts() - 1));
+}
+
+/// One step of a neighborhood random walk: move to a uniformly chosen
+/// parent or child (children twice as likely, to keep walks from racing
+/// to the root).
+ConceptId WalkStep(const Ontology& ontology, ConceptId from, util::Rng& rng) {
+  const auto parents = ontology.parents(from);
+  const auto children = ontology.children(from);
+  const std::size_t weight = parents.size() + 2 * children.size();
+  if (weight == 0) return from;
+  std::size_t pick = static_cast<std::size_t>(rng.UniformInt(0, weight - 1));
+  if (pick < parents.size()) return parents[pick];
+  pick -= parents.size();
+  return children[pick / 2];
+}
+
+}  // namespace
+
+util::StatusOr<Corpus> GenerateCorpus(const ontology::Ontology& ontology,
+                                      const CorpusGeneratorConfig& config) {
+  if (config.num_documents == 0) {
+    return util::InvalidArgumentError("num_documents must be positive");
+  }
+  if (config.avg_concepts_per_doc < 1.0) {
+    return util::InvalidArgumentError("avg_concepts_per_doc must be >= 1");
+  }
+  if (config.cohesion < 0.0 || config.cohesion > 1.0) {
+    return util::InvalidArgumentError("cohesion must be in [0, 1]");
+  }
+  util::Rng rng(config.seed);
+  Corpus corpus(ontology);
+  std::unordered_set<ConceptId> picked;
+  for (std::uint32_t d = 0; d < config.num_documents; ++d) {
+    const auto lo = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(config.avg_concepts_per_doc / 2.0));
+    const auto hi = std::max<std::uint64_t>(
+        lo, static_cast<std::uint64_t>(config.avg_concepts_per_doc * 1.5));
+    const std::uint64_t target = rng.UniformInt(lo, hi);
+
+    picked.clear();
+    const auto cluster_quota =
+        static_cast<std::uint64_t>(config.cohesion * target);
+    if (cluster_quota > 0 && config.clusters_per_doc > 0) {
+      const std::uint64_t per_cluster =
+          std::max<std::uint64_t>(1, cluster_quota / config.clusters_per_doc);
+      for (std::uint32_t s = 0;
+           s < config.clusters_per_doc && picked.size() < cluster_quota; ++s) {
+        const ConceptId seed_concept =
+            PickConcept(ontology, config.min_concept_depth, rng);
+        ConceptId current = seed_concept;
+        // Grow the cluster with restarts: short walks stay local.
+        std::uint64_t grown = 0;
+        std::uint64_t attempts = 0;
+        while (grown < per_cluster && attempts < per_cluster * 8) {
+          ++attempts;
+          if (ontology.depth(current) >= config.min_concept_depth &&
+              picked.insert(current).second) {
+            ++grown;
+          }
+          const auto walked = static_cast<std::uint32_t>(
+              rng.UniformInt(1, std::max<std::uint32_t>(
+                                    1, config.cluster_walk_length)));
+          current = seed_concept;
+          for (std::uint32_t w = 0; w < walked; ++w) {
+            current = WalkStep(ontology, current, rng);
+          }
+        }
+      }
+    }
+    while (picked.size() < target) {
+      picked.insert(PickConcept(ontology, config.min_concept_depth, rng));
+    }
+    std::vector<ConceptId> concepts(picked.begin(), picked.end());
+    util::StatusOr<DocId> added =
+        corpus.AddDocument(Document(std::move(concepts)));
+    ECDR_RETURN_IF_ERROR(added.status());
+  }
+  return corpus;
+}
+
+CorpusGeneratorConfig PatientLikeConfig(double scale, std::uint64_t seed) {
+  CorpusGeneratorConfig config;
+  config.num_documents = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(983 * scale)));
+  config.avg_concepts_per_doc = 706.6;
+  config.cohesion = 0.85;
+  config.clusters_per_doc = 8;
+  config.cluster_walk_length = 3;
+  config.seed = seed;
+  return config;
+}
+
+CorpusGeneratorConfig RadioLikeConfig(double scale, std::uint64_t seed) {
+  CorpusGeneratorConfig config;
+  config.num_documents = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(12373 * scale)));
+  config.avg_concepts_per_doc = 125.3;
+  config.cohesion = 0.15;
+  config.clusters_per_doc = 4;
+  config.cluster_walk_length = 3;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace ecdr::corpus

@@ -1,0 +1,57 @@
+// Synthetic MIMIC-II-like corpus generation.
+//
+// The paper's two corpora come from the MIMIC-II clinical database
+// (Table 3), which requires a data-use agreement, so the benchmark
+// harness substitutes synthetic corpora that match its shape:
+//
+//             docs     avg concepts/doc   character
+//   PATIENT    983           706.6        concepts dense & cohesive
+//   RADIO   12,373           125.3        concepts sparse
+//
+// Cohesion is what drives the paper's epsilon-threshold asymmetry
+// (Fig. 7): PATIENT documents contain many concepts that are close to
+// each other in the ontology, so kNDS is better off waiting (eps=0),
+// while RADIO's sparse documents favor eager probing (eps=0.9). We model
+// cohesion by sampling a fraction of each document's concepts from short
+// random walks around a few cluster seeds, and the rest uniformly.
+
+#ifndef ECDR_CORPUS_GENERATOR_H_
+#define ECDR_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "corpus/corpus.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::corpus {
+
+struct CorpusGeneratorConfig {
+  std::uint32_t num_documents = 1000;
+  double avg_concepts_per_doc = 100.0;
+  /// Document sizes are uniform in [avg/2, 3*avg/2] (>= 1).
+  /// Fraction of a document's concepts drawn from cluster walks; the
+  /// remainder is uniform over the ontology.
+  double cohesion = 0.5;
+  /// Number of cluster seeds per document (used when cohesion > 0).
+  std::uint32_t clusters_per_doc = 4;
+  /// Maximum random-walk steps from a seed when growing a cluster.
+  std::uint32_t cluster_walk_length = 3;
+  /// Concepts shallower than this are never sampled (they would be
+  /// removed by the depth filter anyway).
+  std::uint32_t min_concept_depth = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a corpus over `ontology`. Deterministic in the seed.
+util::StatusOr<Corpus> GenerateCorpus(const ontology::Ontology& ontology,
+                                      const CorpusGeneratorConfig& config);
+
+/// Presets matching the paper's Table 3 shape. `scale` in (0, 1] scales
+/// the document count (1.0 reproduces the paper's sizes).
+CorpusGeneratorConfig PatientLikeConfig(double scale, std::uint64_t seed);
+CorpusGeneratorConfig RadioLikeConfig(double scale, std::uint64_t seed);
+
+}  // namespace ecdr::corpus
+
+#endif  // ECDR_CORPUS_GENERATOR_H_

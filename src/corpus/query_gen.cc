@@ -1,0 +1,71 @@
+#include "corpus/query_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace ecdr::corpus {
+
+std::vector<std::vector<ontology::ConceptId>> GenerateRdsQueries(
+    const Corpus& corpus, std::uint32_t num_queries, std::uint32_t query_size,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Pool of concepts that occur in at least one document.
+  std::unordered_set<ontology::ConceptId> pool_set;
+  for (DocId d = 0; d < corpus.num_documents(); ++d) {
+    for (ontology::ConceptId c : corpus.document(d).concepts()) {
+      pool_set.insert(c);
+    }
+  }
+  std::vector<ontology::ConceptId> pool(pool_set.begin(), pool_set.end());
+  std::sort(pool.begin(), pool.end());  // Determinism across hash orders.
+
+  std::vector<std::vector<ontology::ConceptId>> queries;
+  queries.reserve(num_queries);
+  const auto effective_size = static_cast<std::uint32_t>(
+      std::min<std::size_t>(query_size, pool.size()));
+  for (std::uint32_t i = 0; i < num_queries; ++i) {
+    std::vector<ontology::ConceptId> query;
+    query.reserve(effective_size);
+    for (std::uint32_t index : rng.SampleWithoutReplacement(
+             static_cast<std::uint32_t>(pool.size()), effective_size)) {
+      query.push_back(pool[index]);
+    }
+    std::sort(query.begin(), query.end());
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<DocId> SampleQueryDocuments(const Corpus& corpus,
+                                        std::uint32_t num_queries,
+                                        std::uint64_t seed) {
+  ECDR_CHECK_GT(corpus.num_documents(), 0u);
+  util::Rng rng(seed);
+  std::vector<DocId> docs;
+  docs.reserve(num_queries);
+  for (std::uint32_t i = 0; i < num_queries; ++i) {
+    docs.push_back(
+        static_cast<DocId>(rng.UniformInt(0, corpus.num_documents() - 1)));
+  }
+  return docs;
+}
+
+std::vector<Document> GenerateQueryDocuments(
+    const ontology::Ontology& ontology, std::uint32_t num_queries,
+    std::uint32_t num_concepts, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto effective_size = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(num_concepts, ontology.num_concepts()));
+  std::vector<Document> docs;
+  docs.reserve(num_queries);
+  for (std::uint32_t i = 0; i < num_queries; ++i) {
+    std::vector<ontology::ConceptId> concepts = rng.SampleWithoutReplacement(
+        ontology.num_concepts(), effective_size);
+    docs.emplace_back(std::move(concepts));
+  }
+  return docs;
+}
+
+}  // namespace ecdr::corpus

@@ -1,0 +1,42 @@
+// Query workload generation for benchmarks and examples.
+//
+// The paper's experiments use randomly generated queries: sets of nq
+// concepts for RDS, documents randomly picked from the corpus for SDS,
+// and randomly generated query documents for the distance-calculation
+// experiment (Fig. 6).
+
+#ifndef ECDR_CORPUS_QUERY_GEN_H_
+#define ECDR_CORPUS_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "ontology/types.h"
+
+namespace ecdr::corpus {
+
+/// Generates `num_queries` RDS queries of `query_size` distinct concepts
+/// each, drawn uniformly from the set of concepts that occur in the
+/// corpus (so queries are answerable and realistic). If the corpus has
+/// fewer distinct concepts than `query_size`, queries are smaller.
+std::vector<std::vector<ontology::ConceptId>> GenerateRdsQueries(
+    const Corpus& corpus, std::uint32_t num_queries, std::uint32_t query_size,
+    std::uint64_t seed);
+
+/// Picks `num_queries` document ids uniformly (with replacement) to serve
+/// as SDS query documents.
+std::vector<DocId> SampleQueryDocuments(const Corpus& corpus,
+                                        std::uint32_t num_queries,
+                                        std::uint64_t seed);
+
+/// Generates standalone query documents of `num_concepts` concepts drawn
+/// uniformly from the ontology (Fig. 6 workload: the query document need
+/// not be in the corpus).
+std::vector<Document> GenerateQueryDocuments(
+    const ontology::Ontology& ontology, std::uint32_t num_queries,
+    std::uint32_t num_concepts, std::uint64_t seed);
+
+}  // namespace ecdr::corpus
+
+#endif  // ECDR_CORPUS_QUERY_GEN_H_

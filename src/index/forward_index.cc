@@ -1,0 +1,4 @@
+#include "index/forward_index.h"
+
+// ForwardIndex is header-only today; this TU anchors the target and
+// reserves the file for future disk-backed variants.

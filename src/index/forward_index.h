@@ -1,0 +1,42 @@
+// Forward index: document -> concepts.
+//
+// The paper's architecture keeps both an inverted and a forward index
+// (Section 5.3, "Data Structures"); kNDS uses the forward side when it
+// hands a candidate document to DRC and when it needs |Cd| for the
+// SDS lower bound. Documents are stored in the corpus; this view adds
+// the index-shaped interface and membership tests.
+
+#ifndef ECDR_INDEX_FORWARD_INDEX_H_
+#define ECDR_INDEX_FORWARD_INDEX_H_
+
+#include <span>
+
+#include "corpus/corpus.h"
+
+namespace ecdr::index {
+
+class ForwardIndex {
+ public:
+  explicit ForwardIndex(const corpus::Corpus& corpus) : corpus_(&corpus) {}
+
+  std::span<const ontology::ConceptId> Concepts(corpus::DocId d) const {
+    return corpus_->document(d).concepts();
+  }
+
+  std::size_t NumConcepts(corpus::DocId d) const {
+    return corpus_->document(d).size();
+  }
+
+  bool Contains(corpus::DocId d, ontology::ConceptId c) const {
+    return corpus_->document(d).ContainsConcept(c);
+  }
+
+  std::uint32_t num_documents() const { return corpus_->num_documents(); }
+
+ private:
+  const corpus::Corpus* corpus_;
+};
+
+}  // namespace ecdr::index
+
+#endif  // ECDR_INDEX_FORWARD_INDEX_H_

@@ -1,0 +1,22 @@
+#include "index/inverted_index.h"
+
+namespace ecdr::index {
+
+InvertedIndex::InvertedIndex(const corpus::Corpus& corpus)
+    : postings_(corpus.ontology().num_concepts()) {
+  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+    AddDocument(d, corpus.document(d));
+  }
+}
+
+void InvertedIndex::AddDocument(corpus::DocId id,
+                                const corpus::Document& doc) {
+  ECDR_CHECK_EQ(id, num_documents_);
+  for (ontology::ConceptId c : doc.concepts()) {
+    ECDR_CHECK_LT(c, postings_.size());
+    postings_[c].push_back(id);
+  }
+  ++num_documents_;
+}
+
+}  // namespace ecdr::index

@@ -1,0 +1,50 @@
+// Inverted index: concept -> documents containing it.
+//
+// kNDS consults this index for every concept the breadth-first expansion
+// visits (paper Section 5.3). It supports incremental document insertion
+// so a corpus can grow without any offline rebuild — the paper's
+// advantage over TA-style precomputed distance postings.
+
+#ifndef ECDR_INDEX_INVERTED_INDEX_H_
+#define ECDR_INDEX_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/document.h"
+#include "ontology/types.h"
+
+namespace ecdr::index {
+
+class InvertedIndex {
+ public:
+  /// Builds over all documents currently in `corpus`.
+  explicit InvertedIndex(const corpus::Corpus& corpus);
+
+  /// Document ids containing `c`, in increasing id order.
+  std::span<const corpus::DocId> Postings(ontology::ConceptId c) const {
+    ECDR_DCHECK_LT(c, postings_.size());
+    return postings_[c];
+  }
+
+  /// Number of documents containing `c` (the collection frequency).
+  std::size_t PostingsSize(ontology::ConceptId c) const {
+    return Postings(c).size();
+  }
+
+  /// Registers a document appended to the corpus after construction.
+  /// `id` must be the value Corpus::AddDocument returned and ids must be
+  /// registered in increasing order.
+  void AddDocument(corpus::DocId id, const corpus::Document& doc);
+
+  std::uint32_t num_indexed_documents() const { return num_documents_; }
+
+ private:
+  std::vector<std::vector<corpus::DocId>> postings_;
+  std::uint32_t num_documents_ = 0;
+};
+
+}  // namespace ecdr::index
+
+#endif  // ECDR_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,52 @@
+#include "index/precomputed_postings.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace ecdr::index {
+
+PrecomputedPostings::PrecomputedPostings(const corpus::Corpus& corpus) {
+  util::WallTimer timer;
+  const ontology::Ontology& ontology = corpus.ontology();
+  const std::uint32_t num_concepts = ontology.num_concepts();
+  by_distance_.resize(num_concepts);
+  by_doc_.resize(num_concepts);
+  for (auto& list : by_doc_) list.reserve(corpus.num_documents());
+
+  ontology::DistanceOracle oracle(ontology);
+  std::vector<std::uint32_t> dist;
+  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+    oracle.DistancesFromSet(corpus.document(d).concepts(), &dist);
+    for (ontology::ConceptId c = 0; c < num_concepts; ++c) {
+      // Documents are appended in id order, so by_doc_ stays sorted.
+      by_doc_[c].push_back(Entry{d, dist[c]});
+    }
+  }
+  for (ontology::ConceptId c = 0; c < num_concepts; ++c) {
+    by_distance_[c] = by_doc_[c];
+    std::sort(by_distance_[c].begin(), by_distance_[c].end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.doc < b.doc;
+              });
+    memory_bytes_ +=
+        (by_distance_[c].size() + by_doc_[c].size()) * sizeof(Entry);
+  }
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+std::uint32_t PrecomputedPostings::Distance(ontology::ConceptId c,
+                                            corpus::DocId doc) const {
+  ECDR_DCHECK_LT(c, by_doc_.size());
+  const auto& list = by_doc_[c];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), doc,
+      [](const Entry& entry, corpus::DocId target) {
+        return entry.doc < target;
+      });
+  ECDR_CHECK(it != list.end() && it->doc == doc);
+  return it->distance;
+}
+
+}  // namespace ecdr::index

@@ -1,0 +1,59 @@
+// Offline distance postings for the Threshold Algorithm baseline.
+//
+// The baseline the paper discusses (Sections 4.1, 5.1) precomputes
+// Ddc(d, c) for every document and every concept — O(|D| * |C|) space —
+// and keeps a per-concept postings list sorted by distance so TA can
+// consume it by sorted access. The paper argues this is impractical at
+// UMLS scale and useless for SDS; we build it anyway (at benchmark
+// scale) so the TA-vs-kNDS tradeoff in bench_ablation_ta is measured,
+// not asserted.
+
+#ifndef ECDR_INDEX_PRECOMPUTED_POSTINGS_H_
+#define ECDR_INDEX_PRECOMPUTED_POSTINGS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "ontology/distance_oracle.h"
+
+namespace ecdr::index {
+
+class PrecomputedPostings {
+ public:
+  struct Entry {
+    corpus::DocId doc;
+    std::uint32_t distance;
+  };
+
+  /// Builds the full |D| x |C| distance table: one multi-source
+  /// valid-path BFS per document. This is the expensive offline step the
+  /// paper's approach avoids; build_seconds() reports its cost.
+  explicit PrecomputedPostings(const corpus::Corpus& corpus);
+
+  /// Postings of `c` sorted by ascending distance (ties by doc id) —
+  /// TA's sorted access.
+  std::span<const Entry> SortedPostings(ontology::ConceptId c) const {
+    ECDR_DCHECK_LT(c, by_distance_.size());
+    return by_distance_[c];
+  }
+
+  /// Ddc(doc, c) — TA's random access. O(log |D|).
+  std::uint32_t Distance(ontology::ConceptId c, corpus::DocId doc) const;
+
+  double build_seconds() const { return build_seconds_; }
+  std::uint64_t memory_bytes() const { return memory_bytes_; }
+
+ private:
+  // by_distance_: TA sorted access; by_doc_: random access (sorted by
+  // doc id, binary-searched).
+  std::vector<std::vector<Entry>> by_distance_;
+  std::vector<std::vector<Entry>> by_doc_;
+  double build_seconds_ = 0.0;
+  std::uint64_t memory_bytes_ = 0;
+};
+
+}  // namespace ecdr::index
+
+#endif  // ECDR_INDEX_PRECOMPUTED_POSTINGS_H_

@@ -1,0 +1,124 @@
+#include "ontology/dewey.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ecdr::ontology {
+
+bool DeweyLess(std::span<const std::uint32_t> a,
+               std::span<const std::uint32_t> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b) {
+  const std::size_t limit = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::string FormatDewey(std::span<const std::uint32_t> address) {
+  if (address.empty()) return "<root>";
+  std::string result;
+  for (std::size_t i = 0; i < address.size(); ++i) {
+    if (i > 0) result += '.';
+    result += std::to_string(address[i]);
+  }
+  return result;
+}
+
+util::StatusOr<DeweyAddress> ParseDewey(std::string_view text) {
+  DeweyAddress address;
+  if (text.empty()) return address;
+  for (std::string_view piece : util::Split(text, '.')) {
+    std::uint32_t component = 0;
+    if (!util::ParseUint32(piece, &component) || component == 0) {
+      return util::InvalidArgumentError("bad Dewey component '" +
+                                        std::string(piece) + "'");
+    }
+    address.push_back(component);
+  }
+  return address;
+}
+
+ConceptId DeweyResolver::Resolve(
+    std::span<const std::uint32_t> address) const {
+  ConceptId current = ontology_->root();
+  for (std::uint32_t component : address) {
+    const auto children = ontology_->children(current);
+    if (component == 0 || component > children.size()) {
+      return kInvalidConcept;
+    }
+    current = children[component - 1];
+  }
+  return current;
+}
+
+AddressEnumerator::AddressEnumerator(const Ontology& ontology,
+                                     AddressEnumeratorOptions options)
+    : ontology_(&ontology), options_(options) {
+  ECDR_CHECK_GT(options_.max_addresses, 0u);
+}
+
+const std::vector<DeweyAddress>& AddressEnumerator::Addresses(ConceptId c) {
+  ECDR_CHECK(ontology_->Contains(c));
+  return Compute(c).addresses;
+}
+
+bool AddressEnumerator::truncated(ConceptId c) const {
+  const auto it = cache_.find(c);
+  return it != cache_.end() && it->second.truncated;
+}
+
+void AddressEnumerator::ClearCache() {
+  cache_.clear();
+  cached_addresses_ = 0;
+}
+
+const AddressEnumerator::Entry& AddressEnumerator::Compute(ConceptId c) {
+  const auto it = cache_.find(c);
+  if (it != cache_.end()) return it->second;
+
+  Entry entry;
+  if (c == ontology_->root()) {
+    entry.addresses.push_back({});
+  } else {
+    const auto parents = ontology_->parents(c);
+    const auto ordinals = ontology_->parent_ordinals(c);
+    // Recurse on parents first; element references in the node-based map
+    // remain stable across later insertions.
+    std::vector<const Entry*> parent_entries(parents.size());
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      parent_entries[i] = &Compute(parents[i]);
+    }
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      entry.truncated |= parent_entries[i]->truncated;
+      for (const DeweyAddress& parent_address :
+           parent_entries[i]->addresses) {
+        DeweyAddress address = parent_address;
+        address.push_back(ordinals[i]);
+        entry.addresses.push_back(std::move(address));
+      }
+    }
+    if (entry.addresses.size() > options_.max_addresses) {
+      // Keep the shortest addresses (ties broken lexicographically).
+      std::stable_sort(entry.addresses.begin(), entry.addresses.end(),
+                       [](const DeweyAddress& a, const DeweyAddress& b) {
+                         if (a.size() != b.size()) return a.size() < b.size();
+                         return DeweyLess(a, b);
+                       });
+      entry.addresses.resize(options_.max_addresses);
+      entry.truncated = true;
+    }
+    std::sort(entry.addresses.begin(), entry.addresses.end(),
+              [](const DeweyAddress& a, const DeweyAddress& b) {
+                return DeweyLess(a, b);
+              });
+  }
+  cached_addresses_ += entry.addresses.size();
+  return cache_.emplace(c, std::move(entry)).first->second;
+}
+
+}  // namespace ecdr::ontology

@@ -1,0 +1,103 @@
+// Dewey addresses over the ontology DAG (paper Section 3.1).
+//
+// Every root-to-concept path is encoded as the sequence of 1-based child
+// ordinals taken at each step ("Dewey Decimal Coding"); the root's address
+// is the empty sequence. Because the ontology is a DAG, a concept with
+// multiple parents has multiple addresses (SNOMED-CT averages 9.78
+// addresses per concept). The D-Radix index (core/d_radix.h) is built
+// from these address sets.
+
+#ifndef ECDR_ONTOLOGY_DEWEY_H_
+#define ECDR_ONTOLOGY_DEWEY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "ontology/types.h"
+#include "util/status.h"
+
+namespace ecdr::ontology {
+
+/// One root-to-concept path as a sequence of 1-based child ordinals.
+using DeweyAddress = std::vector<std::uint32_t>;
+
+/// Lexicographic comparison of addresses (component-wise numeric).
+bool DeweyLess(std::span<const std::uint32_t> a,
+               std::span<const std::uint32_t> b);
+
+/// Length of the longest common prefix of `a` and `b`, in components.
+std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b);
+
+/// "1.1.2" rendering; the empty (root) address renders as "<root>".
+std::string FormatDewey(std::span<const std::uint32_t> address);
+
+/// Parses "1.1.2"; "" parses to the root (empty) address. Components must
+/// be positive integers.
+util::StatusOr<DeweyAddress> ParseDewey(std::string_view text);
+
+/// Maps a Dewey address back to the concept it denotes by walking child
+/// ordinals from the root. This is the FindNodeByDewey primitive of the
+/// paper's InsertPath routine.
+class DeweyResolver {
+ public:
+  explicit DeweyResolver(const Ontology& ontology) : ontology_(&ontology) {}
+
+  /// Returns kInvalidConcept if any component is out of range.
+  ConceptId Resolve(std::span<const std::uint32_t> address) const;
+
+ private:
+  const Ontology* ontology_;
+};
+
+struct AddressEnumeratorOptions {
+  /// Per-concept cap on enumerated addresses. When a concept exceeds the
+  /// cap, the shortest addresses are kept (shortest root-paths carry the
+  /// smallest distances, so truncation can only make DRC distances
+  /// conservative). The synthetic generator keeps path counts far below
+  /// the default, so truncation is a safety valve, not the common case.
+  std::size_t max_addresses = 4096;
+};
+
+/// Enumerates and caches the full Dewey address set of each concept,
+/// sorted lexicographically (the order DRC consumes them in).
+class AddressEnumerator {
+ public:
+  explicit AddressEnumerator(const Ontology& ontology,
+                             AddressEnumeratorOptions options = {});
+
+  /// All addresses of `c`, lexicographically sorted. The reference stays
+  /// valid until ClearCache(). Thread-compatible, not thread-safe.
+  const std::vector<DeweyAddress>& Addresses(ConceptId c);
+
+  /// True if Addresses(c) was truncated at the cap (call after
+  /// Addresses(c)).
+  bool truncated(ConceptId c) const;
+
+  void ClearCache();
+
+  /// Total addresses currently cached, across concepts.
+  std::uint64_t cached_addresses() const { return cached_addresses_; }
+
+ private:
+  struct Entry {
+    std::vector<DeweyAddress> addresses;
+    bool truncated = false;
+  };
+
+  const Entry& Compute(ConceptId c);
+
+  const Ontology* ontology_;
+  AddressEnumeratorOptions options_;
+  std::unordered_map<ConceptId, Entry> cache_;
+  std::uint64_t cached_addresses_ = 0;
+};
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_DEWEY_H_

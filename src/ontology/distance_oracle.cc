@@ -1,0 +1,100 @@
+#include "ontology/distance_oracle.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ecdr::ontology {
+
+DistanceOracle::DistanceOracle(const Ontology& ontology)
+    : ontology_(&ontology), bfs_(ontology) {}
+
+void DistanceOracle::UpDistances(
+    ConceptId c, std::unordered_map<ConceptId, std::uint32_t>* out) const {
+  out->clear();
+  std::queue<ConceptId> frontier;
+  out->emplace(c, 0);
+  frontier.push(c);
+  while (!frontier.empty()) {
+    const ConceptId current = frontier.front();
+    frontier.pop();
+    const std::uint32_t next_distance = out->at(current) + 1;
+    for (ConceptId parent : ontology_->parents(current)) {
+      if (out->emplace(parent, next_distance).second) {
+        frontier.push(parent);
+      }
+    }
+  }
+}
+
+std::uint32_t DistanceOracle::ConceptDistance(ConceptId a, ConceptId b) {
+  std::unordered_map<ConceptId, std::uint32_t> up_a;
+  std::unordered_map<ConceptId, std::uint32_t> up_b;
+  UpDistances(a, &up_a);
+  UpDistances(b, &up_b);
+  std::uint32_t best = kInfiniteDistance;
+  // Join on common ancestors; iterate the smaller map.
+  const auto& small = up_a.size() <= up_b.size() ? up_a : up_b;
+  const auto& large = up_a.size() <= up_b.size() ? up_b : up_a;
+  for (const auto& [ancestor, dist_small] : small) {
+    const auto it = large.find(ancestor);
+    if (it != large.end()) {
+      best = std::min(best, dist_small + it->second);
+    }
+  }
+  return best;
+}
+
+void DistanceOracle::DistancesFromSet(std::span<const ConceptId> sources,
+                                      std::vector<std::uint32_t>* dist) {
+  dist->assign(ontology_->num_concepts(), kInfiniteDistance);
+  bfs_.Start(sources);
+  std::vector<ConceptId> visited;
+  std::uint32_t level = 0;
+  while (bfs_.NextLevel(&visited, &level)) {
+    for (ConceptId c : visited) (*dist)[c] = level;
+    visited.clear();
+  }
+}
+
+std::uint32_t DistanceOracle::DocConceptDistance(
+    std::span<const ConceptId> doc, ConceptId c) {
+  DistancesFromSet(doc, &scratch_dist_);
+  return scratch_dist_[c];
+}
+
+namespace {
+
+std::vector<ConceptId> Distinct(std::span<const ConceptId> concepts) {
+  std::vector<ConceptId> result(concepts.begin(), concepts.end());
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t DistanceOracle::DocQueryDistance(
+    std::span<const ConceptId> doc, std::span<const ConceptId> query) {
+  DistancesFromSet(doc, &scratch_dist_);
+  std::uint64_t total = 0;
+  // Queries and documents are concept *sets*: count each concept once.
+  for (ConceptId q : Distinct(query)) {
+    ECDR_CHECK_NE(scratch_dist_[q], kInfiniteDistance);
+    total += scratch_dist_[q];
+  }
+  return total;
+}
+
+double DistanceOracle::DocDocDistance(std::span<const ConceptId> d1,
+                                      std::span<const ConceptId> d2) {
+  ECDR_CHECK(!d1.empty());
+  ECDR_CHECK(!d2.empty());
+  const std::vector<ConceptId> set1 = Distinct(d1);
+  const std::vector<ConceptId> set2 = Distinct(d2);
+  const std::uint64_t from_d1 = DocQueryDistance(set2, set1);  // each c1 to d2
+  const std::uint64_t from_d2 = DocQueryDistance(set1, set2);  // each c2 to d1
+  return static_cast<double>(from_d1) / static_cast<double>(set1.size()) +
+         static_cast<double>(from_d2) / static_cast<double>(set2.size());
+}
+
+}  // namespace ecdr::ontology

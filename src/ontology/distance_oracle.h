@@ -1,0 +1,73 @@
+// Reference implementation of the paper's semantic distances (Section 3.2).
+//
+// Concept-concept distance D(ci, cj): length of the shortest valid path,
+// i.e. min over common ancestors a of up(ci, a) + up(cj, a), computed by
+// joining ancestor distance maps — deliberately an independent
+// implementation from ValidPathBfs and from DRC so the three can be
+// cross-validated in tests.
+//
+// Document-level distances (Eqs. 1-3):
+//   Ddc(d, c)    = min_{ci in d} D(ci, c)
+//   Ddq(d, q)    = sum_i Ddc(d, qi)
+//   Ddd(d1, d2)  = sum_{ci in d1} Ddc(d2, ci)/|C1|
+//                + sum_{cj in d2} Ddc(d1, cj)/|C2|
+// These use a multi-source ValidPathBfs sweep (O(|C| + |E|)), making the
+// oracle fast enough to serve as the test oracle and as a strong
+// exhaustive baseline.
+
+#ifndef ECDR_ONTOLOGY_DISTANCE_ORACLE_H_
+#define ECDR_ONTOLOGY_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "ontology/types.h"
+#include "ontology/valid_path_bfs.h"
+
+namespace ecdr::ontology {
+
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const Ontology& ontology);
+
+  /// Shortest valid-path distance between two concepts. With a single
+  /// root this is always finite.
+  std::uint32_t ConceptDistance(ConceptId a, ConceptId b);
+
+  /// Minimum number of is-a edges from `c` up to each of its ancestors
+  /// (including c itself at 0). Exposed for the quadratic baseline.
+  void UpDistances(ConceptId c,
+                   std::unordered_map<ConceptId, std::uint32_t>* out) const;
+
+  /// Fills dist[c] with the minimum valid-path distance from any source
+  /// (kInfiniteDistance when unreachable). `dist` is resized to the
+  /// concept count.
+  void DistancesFromSet(std::span<const ConceptId> sources,
+                        std::vector<std::uint32_t>* dist);
+
+  /// Ddc(d, c) for a single concept. O(|C| + |E|); use DistancesFromSet
+  /// for batches.
+  std::uint32_t DocConceptDistance(std::span<const ConceptId> doc,
+                                   ConceptId c);
+
+  /// Ddq(d, q) — Eq. 2 (unnormalized sum over query concepts).
+  std::uint64_t DocQueryDistance(std::span<const ConceptId> doc,
+                                 std::span<const ConceptId> query);
+
+  /// Ddd(d1, d2) — Eq. 3 (symmetric, normalized per side). Requires both
+  /// documents non-empty.
+  double DocDocDistance(std::span<const ConceptId> d1,
+                        std::span<const ConceptId> d2);
+
+ private:
+  const Ontology* ontology_;
+  ValidPathBfs bfs_;
+  std::vector<std::uint32_t> scratch_dist_;
+};
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_DISTANCE_ORACLE_H_

@@ -1,0 +1,104 @@
+#include "ontology/generator.h"
+
+#include <algorithm>
+
+#include "ontology/ontology_builder.h"
+#include "util/random.h"
+
+namespace ecdr::ontology {
+
+util::StatusOr<Ontology> GenerateOntology(
+    const OntologyGeneratorConfig& config) {
+  if (config.num_concepts == 0) {
+    return util::InvalidArgumentError("num_concepts must be positive");
+  }
+  if (config.recency_window <= 0.0 || config.recency_window > 1.0) {
+    return util::InvalidArgumentError("recency_window must be in (0, 1]");
+  }
+  util::Rng rng(config.seed);
+  OntologyBuilder builder;
+  for (std::uint32_t i = 0; i < config.num_concepts; ++i) {
+    builder.AddConcept(config.name_prefix + std::to_string(i));
+  }
+
+  // paths[i] tracks the Dewey address count of node i so extra parents
+  // can be vetoed before they blow past the cap.
+  std::vector<std::uint64_t> paths(config.num_concepts, 0);
+  paths[0] = 1;  // Root.
+
+  std::vector<ConceptId> extra_parents;
+  for (ConceptId node = 1; node < config.num_concepts; ++node) {
+    // Primary parent: recency-biased to deepen the hierarchy.
+    ConceptId primary;
+    if (rng.Bernoulli(config.recency_bias)) {
+      const auto window = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(config.recency_window * node));
+      primary = static_cast<ConceptId>(rng.UniformInt(node - window, node - 1));
+    } else {
+      primary = static_cast<ConceptId>(rng.UniformInt(0, node - 1));
+    }
+    util::Status status = builder.AddEdge(primary, node);
+    ECDR_CHECK(status.ok());
+    paths[node] = paths[primary];
+
+    if (node >= 2 && rng.Bernoulli(config.extra_parent_prob)) {
+      extra_parents.clear();
+      const auto attempts = static_cast<std::uint32_t>(
+          rng.UniformInt(1, std::max<std::uint32_t>(1, config.max_extra_parents)));
+      for (std::uint32_t a = 0; a < attempts; ++a) {
+        const auto candidate =
+            static_cast<ConceptId>(rng.UniformInt(0, node - 1));
+        if (candidate == primary) continue;
+        if (std::find(extra_parents.begin(), extra_parents.end(), candidate) !=
+            extra_parents.end()) {
+          continue;
+        }
+        if (paths[node] + paths[candidate] > config.max_paths_per_concept) {
+          continue;
+        }
+        extra_parents.push_back(candidate);
+        paths[node] += paths[candidate];
+      }
+      for (ConceptId parent : extra_parents) {
+        status = builder.AddEdge(parent, node);
+        ECDR_CHECK(status.ok());
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+OntologyShapeStats ComputeShapeStats(const Ontology& ontology) {
+  OntologyShapeStats stats;
+  stats.num_concepts = ontology.num_concepts();
+  stats.num_edges = ontology.num_edges();
+  stats.max_depth = ontology.max_depth();
+  std::uint32_t internal = 0;
+  std::uint64_t internal_children = 0;
+  std::uint32_t leaves = 0;
+  double depth_sum = 0.0;
+  double path_sum = 0.0;
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    const auto num_children = ontology.children(c).size();
+    if (num_children > 0) {
+      ++internal;
+      internal_children += num_children;
+    } else {
+      ++leaves;
+    }
+    depth_sum += ontology.depth(c);
+    const auto path_count = static_cast<double>(ontology.path_count(c));
+    path_sum += path_count;
+    stats.max_path_count = std::max(stats.max_path_count, path_count);
+  }
+  const auto n = static_cast<double>(ontology.num_concepts());
+  stats.avg_children_internal =
+      internal == 0 ? 0.0
+                    : static_cast<double>(internal_children) / internal;
+  stats.leaf_fraction = leaves / n;
+  stats.avg_depth = depth_sum / n;
+  stats.avg_path_count = path_sum / n;
+  return stats;
+}
+
+}  // namespace ecdr::ontology

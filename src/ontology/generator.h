@@ -1,0 +1,75 @@
+// Synthetic SNOMED-CT-like ontology generation.
+//
+// The paper evaluates on the SNOMED-CT is-a hierarchy (296,433 concepts,
+// avg 4.53 children per internal node, avg 9.78 Dewey addresses per
+// concept of avg length 14.1). SNOMED-CT itself is licensed and the
+// paper's MIMIC-II concept mappings are not distributed, so the benchmark
+// harness generates ontologies that match those *shape* statistics:
+//   - nodes are attached one at a time, so the graph is a DAG by
+//     construction with node 0 as the unique root;
+//   - the primary parent is drawn either uniformly (random-recursive-tree
+//     behaviour, average depth ~ ln n) or from a recent window
+//     (`recency_bias`), which deepens the hierarchy toward SNOMED's ~14;
+//   - extra parents (`extra_parent_prob`) make it a DAG and multiply the
+//     Dewey address count; candidates that would push a node's path count
+//     past `max_paths_per_concept` are skipped, bounding the address
+//     explosion that real ontologies also avoid.
+
+#ifndef ECDR_ONTOLOGY_GENERATOR_H_
+#define ECDR_ONTOLOGY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::ontology {
+
+struct OntologyGeneratorConfig {
+  std::uint32_t num_concepts = 10'000;
+
+  /// Probability that a node's primary parent is drawn from the most
+  /// recently created `recency_window` fraction of nodes (deepens the
+  /// DAG); otherwise the parent is uniform over all existing nodes.
+  double recency_bias = 0.55;
+  double recency_window = 0.05;
+
+  /// Probability that a node receives extra parents beyond the primary
+  /// one, and how many are attempted when it does.
+  double extra_parent_prob = 0.13;
+  std::uint32_t max_extra_parents = 1;
+
+  /// Nodes whose Dewey address count would exceed this are not given the
+  /// offending extra parent.
+  std::uint64_t max_paths_per_concept = 128;
+
+  std::uint64_t seed = 42;
+
+  /// Concepts are named "<name_prefix><index>".
+  std::string name_prefix = "C";
+};
+
+/// Generates a single-rooted DAG ontology per the config. Deterministic
+/// in the seed.
+util::StatusOr<Ontology> GenerateOntology(const OntologyGeneratorConfig& config);
+
+/// Shape statistics used to validate generated ontologies against the
+/// paper's published SNOMED-CT numbers and to report the substrate in
+/// benchmark output.
+struct OntologyShapeStats {
+  std::uint32_t num_concepts = 0;
+  std::uint64_t num_edges = 0;
+  double avg_children_internal = 0.0;  // over nodes with >= 1 child
+  double leaf_fraction = 0.0;
+  double avg_depth = 0.0;
+  std::uint32_t max_depth = 0;
+  double avg_path_count = 0.0;  // Dewey addresses per concept
+  double max_path_count = 0.0;
+};
+
+OntologyShapeStats ComputeShapeStats(const Ontology& ontology);
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_GENERATOR_H_

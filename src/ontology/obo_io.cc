@@ -1,0 +1,131 @@
+#include "ontology/obo_io.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ontology/ontology_builder.h"
+#include "util/string_util.h"
+
+namespace ecdr::ontology {
+
+namespace {
+
+struct OboTerm {
+  std::string id;
+  std::string name;
+  std::vector<std::string> synonyms;
+  std::vector<std::string> parents;  // is_a targets, by id.
+  bool obsolete = false;
+};
+
+/// "synonym: "text" SCOPE []" -> text. Returns empty on malformed input.
+std::string ParseSynonymValue(std::string_view value) {
+  const auto first = value.find('"');
+  if (first == std::string_view::npos) return "";
+  const auto last = value.find('"', first + 1);
+  if (last == std::string_view::npos) return "";
+  return std::string(value.substr(first + 1, last - first - 1));
+}
+
+}  // namespace
+
+util::StatusOr<Ontology> LoadOboOntology(const std::string& path,
+                                         const OboImportOptions& options) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open '" + path + "' for reading");
+
+  std::vector<OboTerm> terms;
+  bool in_term_stanza = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view stripped = util::StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '!') continue;
+    if (stripped.front() == '[') {
+      in_term_stanza = stripped == "[Term]";
+      if (in_term_stanza) terms.emplace_back();
+      continue;
+    }
+    if (!in_term_stanza) continue;
+    const auto colon = stripped.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view tag = stripped.substr(0, colon);
+    std::string_view value = util::StripWhitespace(stripped.substr(colon + 1));
+    // Trailing "! comment" applies to id-valued tags.
+    OboTerm& term = terms.back();
+    if (tag == "id") {
+      term.id = std::string(value);
+    } else if (tag == "name") {
+      term.name = std::string(value);
+    } else if (tag == "is_a") {
+      const auto bang = value.find('!');
+      if (bang != std::string_view::npos) {
+        value = util::StripWhitespace(value.substr(0, bang));
+      }
+      term.parents.emplace_back(value);
+    } else if (tag == "synonym") {
+      const std::string synonym = ParseSynonymValue(value);
+      if (!synonym.empty()) term.synonyms.push_back(synonym);
+    } else if (tag == "is_obsolete") {
+      term.obsolete = value == "true";
+    }
+  }
+
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept(options.virtual_root_name);
+  std::unordered_map<std::string, ConceptId> by_id;
+  for (const OboTerm& term : terms) {
+    if (term.obsolete) continue;
+    if (term.id.empty()) {
+      return util::InvalidArgumentError("'" + path +
+                                        "': [Term] stanza without an id");
+    }
+    if (by_id.contains(term.id)) {
+      return util::InvalidArgumentError("'" + path + "': duplicate term id '" +
+                                        term.id + "'");
+    }
+    by_id.emplace(term.id, builder.AddConcept(term.id));
+  }
+  if (by_id.empty()) {
+    return util::InvalidArgumentError("'" + path + "': no usable [Term] "
+                                      "stanzas");
+  }
+  for (const OboTerm& term : terms) {
+    if (term.obsolete) continue;
+    const ConceptId concept_id = by_id.at(term.id);
+    if (term.parents.empty()) {
+      ECDR_RETURN_IF_ERROR(builder.AddEdge(root, concept_id));
+    } else {
+      for (const std::string& parent : term.parents) {
+        const auto it = by_id.find(parent);
+        if (it == by_id.end()) {
+          return util::InvalidArgumentError(
+              "'" + path + "': term '" + term.id +
+              "' has is_a to unknown or obsolete term '" + parent + "'");
+        }
+        ECDR_RETURN_IF_ERROR(builder.AddEdge(it->second, concept_id));
+      }
+    }
+  }
+  if (options.import_synonyms) {
+    // Names/synonyms may collide across terms (ids never do); first
+    // mention wins and later duplicates are skipped quietly.
+    std::unordered_set<std::string> used;
+    used.insert(options.virtual_root_name);
+    for (const auto& [id, concept_id] : by_id) used.insert(id);
+    for (const OboTerm& term : terms) {
+      if (term.obsolete) continue;
+      const ConceptId concept_id = by_id.at(term.id);
+      const auto add = [&](const std::string& synonym) {
+        if (synonym.empty() || !used.insert(synonym).second) return;
+        ECDR_CHECK(builder.AddSynonym(concept_id, synonym).ok());
+      };
+      add(term.name);
+      for (const std::string& synonym : term.synonyms) add(synonym);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ecdr::ontology

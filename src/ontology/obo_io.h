@@ -1,0 +1,48 @@
+// Importer for a pragmatic subset of the OBO flat-file format, the
+// lingua franca for distributing biomedical ontologies (Gene Ontology,
+// Human Phenotype Ontology, Disease Ontology, ...). This is the
+// adoption path for running the library on a real ontology.
+//
+// Recognized content:
+//
+//   [Term]
+//   id: GO:0008150
+//   name: biological_process
+//   synonym: "some synonym" EXACT []
+//   is_a: GO:0003674 ! parent name
+//   is_obsolete: true          # term is skipped
+//
+// Everything else ([Typedef] stanzas, other tags) is ignored. Because
+// the library requires a single-rooted DAG and OBO files routinely have
+// several roots, all parentless terms are attached under a virtual root
+// concept named by `options.virtual_root_name`.
+
+#ifndef ECDR_ONTOLOGY_OBO_IO_H_
+#define ECDR_ONTOLOGY_OBO_IO_H_
+
+#include <string>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::ontology {
+
+struct OboImportOptions {
+  /// Name for the virtual root introduced when the file has multiple
+  /// (or zero explicit) roots.
+  std::string virtual_root_name = "<obo-root>";
+
+  /// Import `synonym:` tags as concept synonyms.
+  bool import_synonyms = true;
+};
+
+/// Parses an OBO file into an Ontology. Term ids become concept names;
+/// `name:` values become synonyms (they often collide across terms,
+/// which ids never do). is_a references to unknown or obsolete terms
+/// are reported as errors.
+util::StatusOr<Ontology> LoadOboOntology(const std::string& path,
+                                         const OboImportOptions& options = {});
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_OBO_IO_H_

@@ -1,0 +1,12 @@
+#include "ontology/ontology.h"
+
+namespace ecdr::ontology {
+
+ConceptId Ontology::FindByName(std::string_view name) const {
+  // unordered_map<string,...>::find with heterogeneous lookup requires a
+  // transparent hash; a temporary string keeps the container simple.
+  const auto it = name_index_.find(std::string(name));
+  return it == name_index_.end() ? kInvalidConcept : it->second;
+}
+
+}  // namespace ecdr::ontology

@@ -1,0 +1,121 @@
+// In-memory concept ontology: a single-rooted DAG of is-a edges.
+//
+// This is the substrate the paper's algorithms run on (Section 3.1). The
+// ontology is immutable after construction (see OntologyBuilder) and is
+// stored in CSR form: child lists preserve insertion order, and the
+// 1-based position of a child within its parent's list is the Dewey
+// component for that edge, so every root-to-concept path spells a Dewey
+// address (see ontology/dewey.h).
+
+#ifndef ECDR_ONTOLOGY_ONTOLOGY_H_
+#define ECDR_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/types.h"
+#include "util/macros.h"
+
+namespace ecdr::ontology {
+
+/// Immutable concept DAG. Construct with OntologyBuilder.
+class Ontology {
+ public:
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  std::uint32_t num_concepts() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  std::uint64_t num_edges() const { return child_ids_.size(); }
+
+  /// The unique concept with no parents.
+  ConceptId root() const { return root_; }
+
+  bool Contains(ConceptId c) const { return c < num_concepts(); }
+
+  const std::string& name(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    return names_[c];
+  }
+
+  /// Returns kInvalidConcept when no concept has this name. Synonyms
+  /// resolve to their concept (the paper's "heart attack" ==
+  /// "myocardial infarction" case).
+  ConceptId FindByName(std::string_view name) const;
+
+  /// Alternative names registered for `c` (possibly empty).
+  std::span<const std::string> synonyms(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    if (synonyms_.empty()) return {};
+    return synonyms_[c];
+  }
+
+  std::uint32_t num_synonyms() const { return num_synonyms_; }
+
+  /// Children in Dewey order: children(c)[i] has Dewey component i+1.
+  std::span<const ConceptId> children(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    return {child_ids_.data() + child_offsets_[c],
+            child_offsets_[c + 1] - child_offsets_[c]};
+  }
+
+  std::span<const ConceptId> parents(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    return {parent_ids_.data() + parent_offsets_[c],
+            parent_offsets_[c + 1] - parent_offsets_[c]};
+  }
+
+  /// parent_ordinals(c)[i] is the 1-based Dewey component of the edge
+  /// parents(c)[i] -> c.
+  std::span<const std::uint32_t> parent_ordinals(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    return {parent_ordinals_.data() + parent_offsets_[c],
+            parent_offsets_[c + 1] - parent_offsets_[c]};
+  }
+
+  /// Minimum number of edges on any root-to-c path (root has depth 0).
+  std::uint32_t depth(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    return depth_[c];
+  }
+
+  std::uint32_t max_depth() const { return max_depth_; }
+
+  /// Number of distinct root-to-c paths (== number of Dewey addresses),
+  /// saturated at kPathCountSaturation for pathological DAGs.
+  std::uint64_t path_count(ConceptId c) const {
+    ECDR_DCHECK(Contains(c));
+    return path_counts_[c];
+  }
+
+  static constexpr std::uint64_t kPathCountSaturation = 1ULL << 40;
+
+ private:
+  friend class OntologyBuilder;
+  Ontology() = default;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> synonyms_;  // Empty if none at all.
+  std::uint32_t num_synonyms_ = 0;
+  std::unordered_map<std::string, ConceptId> name_index_;  // Names + synonyms.
+  std::vector<std::size_t> child_offsets_;  // size num_concepts + 1
+  std::vector<ConceptId> child_ids_;
+  std::vector<std::size_t> parent_offsets_;  // size num_concepts + 1
+  std::vector<ConceptId> parent_ids_;
+  std::vector<std::uint32_t> parent_ordinals_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint64_t> path_counts_;
+  ConceptId root_ = kInvalidConcept;
+  std::uint32_t max_depth_ = 0;
+};
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,161 @@
+#include "ontology/ontology_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace ecdr::ontology {
+
+ConceptId OntologyBuilder::AddConcept(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<ConceptId>(names_.size() - 1);
+}
+
+util::Status OntologyBuilder::AddEdge(ConceptId parent, ConceptId child) {
+  if (parent >= names_.size() || child >= names_.size()) {
+    return util::InvalidArgumentError("edge endpoint is not a known concept");
+  }
+  if (parent == child) {
+    return util::InvalidArgumentError("self edge on concept '" +
+                                      names_[parent] + "'");
+  }
+  edges_.emplace_back(parent, child);
+  return util::Status::Ok();
+}
+
+util::Status OntologyBuilder::AddSynonym(ConceptId concept_id,
+                                         std::string synonym) {
+  if (concept_id >= names_.size()) {
+    return util::InvalidArgumentError("synonym target is not a known concept");
+  }
+  synonyms_.emplace_back(concept_id, std::move(synonym));
+  return util::Status::Ok();
+}
+
+util::StatusOr<Ontology> OntologyBuilder::Build() && {
+  const auto n = static_cast<std::uint32_t>(names_.size());
+  if (n == 0) return util::InvalidArgumentError("ontology has no concepts");
+
+  Ontology ontology;
+  ontology.name_index_.reserve(n + synonyms_.size());
+  for (ConceptId c = 0; c < n; ++c) {
+    if (!ontology.name_index_.emplace(names_[c], c).second) {
+      return util::InvalidArgumentError("duplicate concept name '" +
+                                        names_[c] + "'");
+    }
+  }
+  if (!synonyms_.empty()) {
+    ontology.synonyms_.resize(n);
+    for (auto& [concept_id, synonym] : synonyms_) {
+      if (!ontology.name_index_.emplace(synonym, concept_id).second) {
+        return util::InvalidArgumentError(
+            "synonym '" + synonym + "' collides with another name or synonym");
+      }
+      ontology.synonyms_[concept_id].push_back(std::move(synonym));
+      ++ontology.num_synonyms_;
+    }
+  }
+
+  // Duplicate-edge detection.
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges_.size() * 2);
+    for (const auto& [parent, child] : edges_) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(parent) << 32) | child;
+      if (!seen.insert(key).second) {
+        return util::InvalidArgumentError(
+            "duplicate edge '" + names_[parent] + "' -> '" + names_[child] +
+            "'");
+      }
+    }
+  }
+
+  // Child CSR in insertion order (defines Dewey ordinals).
+  std::vector<std::uint32_t> child_counts(n, 0);
+  std::vector<std::uint32_t> parent_counts(n, 0);
+  for (const auto& [parent, child] : edges_) {
+    ++child_counts[parent];
+    ++parent_counts[child];
+  }
+  ontology.child_offsets_.assign(n + 1, 0);
+  ontology.parent_offsets_.assign(n + 1, 0);
+  for (ConceptId c = 0; c < n; ++c) {
+    ontology.child_offsets_[c + 1] = ontology.child_offsets_[c] + child_counts[c];
+    ontology.parent_offsets_[c + 1] =
+        ontology.parent_offsets_[c] + parent_counts[c];
+  }
+  ontology.child_ids_.resize(edges_.size());
+  ontology.parent_ids_.resize(edges_.size());
+  ontology.parent_ordinals_.resize(edges_.size());
+  {
+    std::vector<std::size_t> child_fill(ontology.child_offsets_.begin(),
+                                        ontology.child_offsets_.end() - 1);
+    std::vector<std::size_t> parent_fill(ontology.parent_offsets_.begin(),
+                                         ontology.parent_offsets_.end() - 1);
+    for (const auto& [parent, child] : edges_) {
+      const std::size_t child_slot = child_fill[parent]++;
+      ontology.child_ids_[child_slot] = child;
+      // 1-based Dewey ordinal of this child within the parent's list.
+      const auto ordinal = static_cast<std::uint32_t>(
+          child_slot - ontology.child_offsets_[parent] + 1);
+      const std::size_t parent_slot = parent_fill[child]++;
+      ontology.parent_ids_[parent_slot] = parent;
+      ontology.parent_ordinals_[parent_slot] = ordinal;
+    }
+  }
+
+  // Exactly one root.
+  ConceptId root = kInvalidConcept;
+  for (ConceptId c = 0; c < n; ++c) {
+    if (parent_counts[c] == 0) {
+      if (root != kInvalidConcept) {
+        return util::InvalidArgumentError(
+            "multiple roots: '" + names_[root] + "' and '" + names_[c] + "'");
+      }
+      root = c;
+    }
+  }
+  if (root == kInvalidConcept) {
+    return util::InvalidArgumentError("no root concept (graph has a cycle)");
+  }
+  ontology.root_ = root;
+
+  // Acyclicity + depth + path counts in one Kahn pass over parents.
+  std::vector<std::uint32_t> pending(parent_counts);
+  ontology.depth_.assign(n, 0);
+  ontology.path_counts_.assign(n, 0);
+  ontology.path_counts_[root] = 1;
+  std::queue<ConceptId> ready;
+  ready.push(root);
+  std::uint32_t processed = 0;
+  std::uint32_t max_depth = 0;
+  while (!ready.empty()) {
+    const ConceptId c = ready.front();
+    ready.pop();
+    ++processed;
+    max_depth = std::max(max_depth, ontology.depth_[c]);
+    for (std::size_t i = ontology.child_offsets_[c];
+         i < ontology.child_offsets_[c + 1]; ++i) {
+      const ConceptId child = ontology.child_ids_[i];
+      const std::uint32_t candidate_depth = ontology.depth_[c] + 1;
+      if (ontology.path_counts_[child] == 0 ||
+          candidate_depth < ontology.depth_[child]) {
+        ontology.depth_[child] = candidate_depth;
+      }
+      ontology.path_counts_[child] = std::min(
+          Ontology::kPathCountSaturation,
+          ontology.path_counts_[child] + ontology.path_counts_[c]);
+      if (--pending[child] == 0) ready.push(child);
+    }
+  }
+  if (processed != n) {
+    return util::InvalidArgumentError(
+        "ontology is not a DAG or has concepts unreachable from the root");
+  }
+  ontology.max_depth_ = max_depth;
+  ontology.names_ = std::move(names_);
+  return ontology;
+}
+
+}  // namespace ecdr::ontology

@@ -1,0 +1,57 @@
+// Incremental construction and validation of an Ontology.
+//
+// Usage:
+//   OntologyBuilder builder;
+//   ConceptId root = builder.AddConcept("root");
+//   ConceptId heart = builder.AddConcept("heart disease");
+//   builder.AddEdge(root, heart);
+//   util::StatusOr<Ontology> ontology = std::move(builder).Build();
+//
+// Build() validates the paper's structural assumptions: the graph must be
+// a DAG with exactly one root from which every concept is reachable, with
+// no duplicate or self edges. Edge insertion order under a given parent
+// defines that parent's Dewey child ordinals.
+
+#ifndef ECDR_ONTOLOGY_ONTOLOGY_BUILDER_H_
+#define ECDR_ONTOLOGY_ONTOLOGY_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::ontology {
+
+class OntologyBuilder {
+ public:
+  /// Registers a concept and returns its id. Duplicate names are detected
+  /// at Build() time.
+  ConceptId AddConcept(std::string name);
+
+  /// Adds an is-a edge child -> parent (stored parent-to-child). Both ids
+  /// must come from AddConcept.
+  util::Status AddEdge(ConceptId parent, ConceptId child);
+
+  /// Registers an alternative name for `concept_id`; FindByName will
+  /// resolve it. Collisions with names or other synonyms are detected
+  /// at Build().
+  util::Status AddSynonym(ConceptId concept_id, std::string synonym);
+
+  std::uint32_t num_concepts() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+
+  /// Validates and freezes the ontology. The builder is consumed.
+  util::StatusOr<Ontology> Build() &&;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::pair<ConceptId, ConceptId>> edges_;  // (parent, child)
+  std::vector<std::pair<ConceptId, std::string>> synonyms_;
+};
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_ONTOLOGY_BUILDER_H_

@@ -1,0 +1,233 @@
+#include "ontology/ontology_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ontology/ontology_builder.h"
+#include "util/binary_stream.h"
+#include "util/string_util.h"
+
+namespace ecdr::ontology {
+
+namespace {
+
+constexpr char kMagic[] = "ecdr-ontology-v1";
+constexpr std::uint64_t kBinaryMagic = 0x31764F5244434531ULL;  // "1ECDRO v1"
+
+// Reads the next semantic line (skipping blanks and '#' comments).
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    const std::string_view stripped = util::StripWhitespace(*line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    *line = std::string(stripped);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Status SaveOntology(const Ontology& ontology, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::IoError("cannot open '" + path + "' for writing");
+  out << kMagic << '\n';
+  out << "concepts " << ontology.num_concepts() << '\n';
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    out << ontology.name(c) << '\n';
+  }
+  out << "edges " << ontology.num_edges() << '\n';
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    for (ConceptId child : ontology.children(c)) {
+      out << c << ' ' << child << '\n';
+    }
+  }
+  if (ontology.num_synonyms() > 0) {
+    out << "synonyms " << ontology.num_synonyms() << '\n';
+    for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+      for (const std::string& synonym : ontology.synonyms(c)) {
+        out << c << ' ' << synonym << '\n';
+      }
+    }
+  }
+  out.flush();
+  if (!out) return util::IoError("write to '" + path + "' failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<Ontology> LoadOntology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!NextLine(in, &line) || line != kMagic) {
+    return util::InvalidArgumentError("'" + path +
+                                      "': missing ecdr-ontology-v1 header");
+  }
+
+  if (!NextLine(in, &line)) {
+    return util::InvalidArgumentError("'" + path + "': missing concept count");
+  }
+  std::uint32_t num_concepts = 0;
+  {
+    const auto pieces = util::Split(line, ' ');
+    if (pieces.size() != 2 || pieces[0] != "concepts" ||
+        !util::ParseUint32(pieces[1], &num_concepts)) {
+      return util::InvalidArgumentError("'" + path + "': bad concepts line '" +
+                                        line + "'");
+    }
+  }
+
+  OntologyBuilder builder;
+  for (std::uint32_t i = 0; i < num_concepts; ++i) {
+    // Concept names are raw lines; blank names are invalid so NextLine's
+    // blank-skipping cannot hide one.
+    if (!NextLine(in, &line)) {
+      return util::InvalidArgumentError(
+          "'" + path + "': expected " + std::to_string(num_concepts) +
+          " concept names, got " + std::to_string(i));
+    }
+    builder.AddConcept(line);
+  }
+
+  if (!NextLine(in, &line)) {
+    return util::InvalidArgumentError("'" + path + "': missing edge count");
+  }
+  std::uint64_t num_edges = 0;
+  {
+    const auto pieces = util::Split(line, ' ');
+    if (pieces.size() != 2 || pieces[0] != "edges" ||
+        !util::ParseUint64(pieces[1], &num_edges)) {
+      return util::InvalidArgumentError("'" + path + "': bad edges line '" +
+                                        line + "'");
+    }
+  }
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    if (!NextLine(in, &line)) {
+      return util::InvalidArgumentError(
+          "'" + path + "': expected " + std::to_string(num_edges) +
+          " edges, got " + std::to_string(i));
+    }
+    const auto pieces = util::Split(line, ' ');
+    std::uint32_t parent = 0;
+    std::uint32_t child = 0;
+    if (pieces.size() != 2 || !util::ParseUint32(pieces[0], &parent) ||
+        !util::ParseUint32(pieces[1], &child)) {
+      return util::InvalidArgumentError("'" + path + "': bad edge line '" +
+                                        line + "'");
+    }
+    ECDR_RETURN_IF_ERROR(builder.AddEdge(parent, child));
+  }
+  // Optional synonyms section.
+  if (NextLine(in, &line)) {
+    const auto pieces = util::Split(line, ' ');
+    std::uint32_t num_synonyms = 0;
+    if (pieces.size() != 2 || pieces[0] != "synonyms" ||
+        !util::ParseUint32(pieces[1], &num_synonyms)) {
+      return util::InvalidArgumentError("'" + path +
+                                        "': bad synonyms line '" + line + "'");
+    }
+    for (std::uint32_t i = 0; i < num_synonyms; ++i) {
+      if (!NextLine(in, &line)) {
+        return util::InvalidArgumentError(
+            "'" + path + "': expected " + std::to_string(num_synonyms) +
+            " synonyms, got " + std::to_string(i));
+      }
+      const auto space = line.find(' ');
+      std::uint32_t concept_id = 0;
+      if (space == std::string::npos ||
+          !util::ParseUint32(std::string_view(line).substr(0, space),
+                             &concept_id)) {
+        return util::InvalidArgumentError("'" + path +
+                                          "': bad synonym line '" + line +
+                                          "'");
+      }
+      ECDR_RETURN_IF_ERROR(
+          builder.AddSynonym(concept_id, line.substr(space + 1)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+
+util::Status SaveOntologyBinary(const Ontology& ontology,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::IoError("cannot open '" + path + "' for writing");
+  util::BinaryWriter writer(out);
+  writer.WriteU64(kBinaryMagic);
+  writer.WriteU32(ontology.num_concepts());
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    writer.WriteString(ontology.name(c));
+  }
+  writer.WriteU64(ontology.num_edges());
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    for (ConceptId child : ontology.children(c)) {
+      writer.WriteU32(c);
+      writer.WriteU32(child);
+    }
+  }
+  writer.WriteU32(ontology.num_synonyms());
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    for (const std::string& synonym : ontology.synonyms(c)) {
+      writer.WriteU32(c);
+      writer.WriteString(synonym);
+    }
+  }
+  out.flush();
+  if (!writer.ok() || !out) {
+    return util::IoError("write to '" + path + "' failed");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<Ontology> LoadOntologyBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open '" + path + "' for reading");
+  util::BinaryReader reader(in);
+  std::uint64_t magic = 0;
+  ECDR_RETURN_IF_ERROR(reader.ReadU64(&magic));
+  if (magic != kBinaryMagic) {
+    return util::InvalidArgumentError("'" + path +
+                                      "': not an ecdr binary ontology");
+  }
+  std::uint32_t num_concepts = 0;
+  ECDR_RETURN_IF_ERROR(reader.ReadU32(&num_concepts));
+  OntologyBuilder builder;
+  for (std::uint32_t i = 0; i < num_concepts; ++i) {
+    std::string name;
+    ECDR_RETURN_IF_ERROR(reader.ReadString(&name));
+    builder.AddConcept(std::move(name));
+  }
+  std::uint64_t num_edges = 0;
+  ECDR_RETURN_IF_ERROR(reader.ReadU64(&num_edges));
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    std::uint32_t parent = 0;
+    std::uint32_t child = 0;
+    ECDR_RETURN_IF_ERROR(reader.ReadU32(&parent));
+    ECDR_RETURN_IF_ERROR(reader.ReadU32(&child));
+    ECDR_RETURN_IF_ERROR(builder.AddEdge(parent, child));
+  }
+  std::uint32_t num_synonyms = 0;
+  ECDR_RETURN_IF_ERROR(reader.ReadU32(&num_synonyms));
+  for (std::uint32_t i = 0; i < num_synonyms; ++i) {
+    std::uint32_t concept_id = 0;
+    std::string synonym;
+    ECDR_RETURN_IF_ERROR(reader.ReadU32(&concept_id));
+    ECDR_RETURN_IF_ERROR(reader.ReadString(&synonym));
+    ECDR_RETURN_IF_ERROR(builder.AddSynonym(concept_id, std::move(synonym)));
+  }
+  return std::move(builder).Build();
+}
+
+
+util::StatusOr<Ontology> LoadOntologyAuto(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return util::IoError("cannot open '" + path + "' for reading");
+  util::BinaryReader reader(probe);
+  std::uint64_t magic = 0;
+  const bool is_binary =
+      reader.ReadU64(&magic).ok() && magic == kBinaryMagic;
+  probe.close();
+  return is_binary ? LoadOntologyBinary(path) : LoadOntology(path);
+}
+
+}  // namespace ecdr::ontology

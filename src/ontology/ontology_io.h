@@ -1,0 +1,40 @@
+// Text serialization for ontologies.
+//
+// Format (line-oriented, '#' comments and blank lines ignored):
+//   ecdr-ontology-v1
+//   concepts <N>
+//   <name>                 # N lines; line order assigns ids 0..N-1
+//   edges <M>
+//   <parent-id> <child-id> # M lines; order defines Dewey child ordinals
+//
+// Loading re-runs full OntologyBuilder validation, so corrupt files
+// (cycles, multiple roots, dangling ids) are rejected with a Status.
+
+#ifndef ECDR_ONTOLOGY_ONTOLOGY_IO_H_
+#define ECDR_ONTOLOGY_ONTOLOGY_IO_H_
+
+#include <string>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ecdr::ontology {
+
+util::Status SaveOntology(const Ontology& ontology, const std::string& path);
+
+util::StatusOr<Ontology> LoadOntology(const std::string& path);
+
+/// Binary counterparts for large ontologies (little-endian; see
+/// util/binary_stream.h). Loading revalidates through OntologyBuilder,
+/// so a corrupt file cannot produce a malformed DAG.
+util::Status SaveOntologyBinary(const Ontology& ontology,
+                                const std::string& path);
+
+util::StatusOr<Ontology> LoadOntologyBinary(const std::string& path);
+
+/// Sniffs the format (binary magic vs text header) and dispatches.
+util::StatusOr<Ontology> LoadOntologyAuto(const std::string& path);
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_ONTOLOGY_IO_H_

@@ -1,0 +1,21 @@
+// Fundamental identifier types for the ontology layer.
+
+#ifndef ECDR_ONTOLOGY_TYPES_H_
+#define ECDR_ONTOLOGY_TYPES_H_
+
+#include <cstdint>
+
+namespace ecdr::ontology {
+
+/// Dense identifier of a concept within one Ontology (0-based).
+using ConceptId = std::uint32_t;
+
+/// Sentinel for "no concept" (failed lookups, unresolved Dewey addresses).
+inline constexpr ConceptId kInvalidConcept = 0xFFFFFFFFu;
+
+/// Distances are edge counts; this sentinel means "not reachable yet".
+inline constexpr std::uint32_t kInfiniteDistance = 0xFFFFFFFFu;
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_TYPES_H_

@@ -1,0 +1,76 @@
+#include "ontology/valid_path_bfs.h"
+
+namespace ecdr::ontology {
+
+ValidPathBfs::ValidPathBfs(const Ontology& ontology)
+    : ontology_(&ontology),
+      ascending_epoch_(ontology.num_concepts(), 0),
+      descending_epoch_(ontology.num_concepts(), 0),
+      reported_epoch_(ontology.num_concepts(), 0) {}
+
+void ValidPathBfs::Start(std::span<const ConceptId> sources) {
+  ++epoch_;
+  ascending_.clear();
+  descending_.clear();
+  next_ascending_.clear();
+  next_descending_.clear();
+  level_ = 0;
+  for (ConceptId c : sources) {
+    ECDR_DCHECK(ontology_->Contains(c));
+    if (MarkAscending(c)) ascending_.push_back(c);
+  }
+}
+
+bool ValidPathBfs::MarkAscending(ConceptId c) {
+  if (ascending_epoch_[c] == epoch_) return false;
+  ascending_epoch_[c] = epoch_;
+  return true;
+}
+
+bool ValidPathBfs::MarkDescending(ConceptId c) {
+  // An ascending visit strictly dominates a descending one: it expands
+  // the same children plus the parents. Skip descending if either state
+  // was already reached.
+  if (descending_epoch_[c] == epoch_ || ascending_epoch_[c] == epoch_) {
+    return false;
+  }
+  descending_epoch_[c] = epoch_;
+  return true;
+}
+
+bool ValidPathBfs::NextLevel(std::vector<ConceptId>* out,
+                             std::uint32_t* level) {
+  if (ascending_.empty() && descending_.empty()) return false;
+  *level = level_;
+
+  const auto report = [&](ConceptId c) {
+    if (reported_epoch_[c] != epoch_) {
+      reported_epoch_[c] = epoch_;
+      out->push_back(c);
+    }
+  };
+
+  next_ascending_.clear();
+  next_descending_.clear();
+  for (ConceptId c : ascending_) {
+    report(c);
+    for (ConceptId parent : ontology_->parents(c)) {
+      if (MarkAscending(parent)) next_ascending_.push_back(parent);
+    }
+    for (ConceptId child : ontology_->children(c)) {
+      if (MarkDescending(child)) next_descending_.push_back(child);
+    }
+  }
+  for (ConceptId c : descending_) {
+    report(c);
+    for (ConceptId child : ontology_->children(c)) {
+      if (MarkDescending(child)) next_descending_.push_back(child);
+    }
+  }
+  ascending_.swap(next_ascending_);
+  descending_.swap(next_descending_);
+  ++level_;
+  return true;
+}
+
+}  // namespace ecdr::ontology

@@ -1,0 +1,68 @@
+// Breadth-first traversal over *valid* paths (paper Sections 3.2, 5.3).
+//
+// A valid path between two concepts ascends is-a edges to a common
+// ancestor and then descends; a path may never go down and back up (in
+// paper Fig. 3, D(G, F) is 5 via the root, not 2 through their shared
+// child J). The traversal therefore tracks an "ascending"/"descending"
+// automaton state per concept:
+//   - from an ascending visit we may continue to parents (still
+//     ascending) or switch to children (descending);
+//   - from a descending visit we may only continue to children.
+// Each concept is expanded at most once per state, so a full traversal is
+// O(|C| + |E|). A concept is *reported* once, at its minimum valid-path
+// distance from the source set.
+//
+// kNDS runs one of these per query concept; the distance oracle runs a
+// single multi-source instance.
+
+#ifndef ECDR_ONTOLOGY_VALID_PATH_BFS_H_
+#define ECDR_ONTOLOGY_VALID_PATH_BFS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "ontology/types.h"
+
+namespace ecdr::ontology {
+
+class ValidPathBfs {
+ public:
+  explicit ValidPathBfs(const Ontology& ontology);
+
+  /// Restarts the traversal from `sources` (all at distance 0).
+  /// Reuses internal state across runs without clearing (epoch trick).
+  void Start(std::span<const ConceptId> sources);
+
+  /// Reports the concepts first reached at the next distance level:
+  /// appends them to `out` and sets `*level` to their distance, then
+  /// expands the frontier. Returns false (touching neither output) once
+  /// the traversal is exhausted.
+  bool NextLevel(std::vector<ConceptId>* out, std::uint32_t* level);
+
+  /// Concepts queued for the *next* unreported level; this is the queue
+  /// size kNDS's node-queue limit applies to.
+  std::size_t frontier_size() const {
+    return ascending_.size() + descending_.size();
+  }
+
+  bool exhausted() const { return frontier_size() == 0; }
+
+ private:
+  bool MarkAscending(ConceptId c);
+  bool MarkDescending(ConceptId c);
+
+  const Ontology* ontology_;
+  std::vector<std::uint32_t> ascending_epoch_;
+  std::vector<std::uint32_t> descending_epoch_;
+  std::vector<std::uint32_t> reported_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<ConceptId> ascending_, descending_;
+  std::vector<ConceptId> next_ascending_, next_descending_;
+  std::uint32_t level_ = 0;
+};
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_VALID_PATH_BFS_H_

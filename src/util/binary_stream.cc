@@ -1,0 +1,84 @@
+#include "util/binary_stream.h"
+
+namespace ecdr::util {
+
+namespace {
+
+// The formats are defined little-endian; serialize byte by byte so the
+// code is endianness-independent.
+void PutUint(std::ostream& out, std::uint64_t value, int bytes) {
+  char buffer[8];
+  for (int i = 0; i < bytes; ++i) {
+    buffer[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  out.write(buffer, bytes);
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU32(std::uint32_t value) { PutUint(*out_, value, 4); }
+
+void BinaryWriter::WriteU64(std::uint64_t value) { PutUint(*out_, value, 8); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  out_->write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<std::uint32_t>& values) {
+  WriteU32(static_cast<std::uint32_t>(values.size()));
+  for (std::uint32_t v : values) WriteU32(v);
+}
+
+Status BinaryReader::ReadBytes(void* buffer, std::size_t count) {
+  in_->read(static_cast<char*>(buffer),
+            static_cast<std::streamsize>(count));
+  if (static_cast<std::size_t>(in_->gcount()) != count) {
+    return IoError("unexpected end of binary stream");
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU32(std::uint32_t* out) {
+  unsigned char buffer[4];
+  ECDR_RETURN_IF_ERROR(ReadBytes(buffer, 4));
+  *out = 0;
+  for (int i = 3; i >= 0; --i) *out = (*out << 8) | buffer[i];
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU64(std::uint64_t* out) {
+  unsigned char buffer[8];
+  ECDR_RETURN_IF_ERROR(ReadBytes(buffer, 8));
+  *out = 0;
+  for (int i = 7; i >= 0; --i) *out = (*out << 8) | buffer[i];
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  std::uint32_t size = 0;
+  ECDR_RETURN_IF_ERROR(ReadU32(&size));
+  if (size > max_allocation_) {
+    return IoError("string length " + std::to_string(size) +
+                   " exceeds allocation guard");
+  }
+  out->resize(size);
+  if (size == 0) return Status::Ok();
+  return ReadBytes(out->data(), size);
+}
+
+Status BinaryReader::ReadU32Vector(std::vector<std::uint32_t>* out) {
+  std::uint32_t size = 0;
+  ECDR_RETURN_IF_ERROR(ReadU32(&size));
+  if (static_cast<std::uint64_t>(size) * 4 > max_allocation_) {
+    return IoError("vector length " + std::to_string(size) +
+                   " exceeds allocation guard");
+  }
+  out->resize(size);
+  for (std::uint32_t& v : *out) {
+    ECDR_RETURN_IF_ERROR(ReadU32(&v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ecdr::util

@@ -1,0 +1,64 @@
+// Little-endian binary (de)serialization primitives for the *.bin
+// formats. The text formats (ontology_io/corpus_io) stay the durable
+// interchange representation; the binary formats exist because a
+// SNOMED-scale ontology (296K concepts, ~3M Dewey components) takes
+// noticeable time to re-parse from text on every process start.
+//
+// Readers validate as they go and report failures via Status instead of
+// crashing on truncated or corrupt files.
+
+#ifndef ECDR_UTIL_BINARY_STREAM_H_
+#define ECDR_UTIL_BINARY_STREAM_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ecdr::util {
+
+/// Sequential little-endian writer over a std::ostream.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  /// Length-prefixed (u32) bytes.
+  void WriteString(const std::string& value);
+  void WriteU32Vector(const std::vector<std::uint32_t>& values);
+
+  /// True if every write so far succeeded.
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Sequential little-endian reader; all methods fail cleanly at EOF.
+class BinaryReader {
+ public:
+  /// `max_allocation` guards length prefixes so corrupt files cannot
+  /// trigger absurd allocations.
+  explicit BinaryReader(std::istream& in,
+                        std::uint64_t max_allocation = 1ULL << 32)
+      : in_(&in), max_allocation_(max_allocation) {}
+
+  Status ReadU32(std::uint32_t* out);
+  Status ReadU64(std::uint64_t* out);
+  Status ReadString(std::string* out);
+  Status ReadU32Vector(std::vector<std::uint32_t>* out);
+
+ private:
+  Status ReadBytes(void* buffer, std::size_t count);
+
+  std::istream* in_;
+  std::uint64_t max_allocation_;
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_BINARY_STREAM_H_

@@ -1,0 +1,65 @@
+// Assertion macros used throughout the library.
+//
+// The library does not use C++ exceptions. Unrecoverable internal errors
+// (broken invariants, misuse of an API that documents a precondition)
+// terminate the process through ECDR_CHECK*; recoverable errors are
+// reported through util::Status (see util/status.h).
+
+#ifndef ECDR_UTIL_MACROS_H_
+#define ECDR_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ECDR_PREDICT_FALSE(x) (__builtin_expect(false || (x), false))
+#define ECDR_PREDICT_TRUE(x) (__builtin_expect(false || (x), true))
+
+// Crashes the process with a file/line message when `condition` is false.
+// Active in all build modes; use for cheap invariant checks.
+#define ECDR_CHECK(condition)                                        \
+  do {                                                               \
+    if (ECDR_PREDICT_FALSE(!(condition))) {                          \
+      std::fprintf(stderr, "ECDR_CHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #condition);                  \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#define ECDR_CHECK_OP(op, a, b)                                      \
+  do {                                                               \
+    if (ECDR_PREDICT_FALSE(!((a)op(b)))) {                           \
+      std::fprintf(stderr, "ECDR_CHECK failed at %s:%d: %s %s %s\n", \
+                   __FILE__, __LINE__, #a, #op, #b);                 \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#define ECDR_CHECK_EQ(a, b) ECDR_CHECK_OP(==, a, b)
+#define ECDR_CHECK_NE(a, b) ECDR_CHECK_OP(!=, a, b)
+#define ECDR_CHECK_LT(a, b) ECDR_CHECK_OP(<, a, b)
+#define ECDR_CHECK_LE(a, b) ECDR_CHECK_OP(<=, a, b)
+#define ECDR_CHECK_GT(a, b) ECDR_CHECK_OP(>, a, b)
+#define ECDR_CHECK_GE(a, b) ECDR_CHECK_OP(>=, a, b)
+
+// Debug-only variants: compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define ECDR_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#define ECDR_DCHECK_EQ(a, b) ECDR_DCHECK((a) == (b))
+#define ECDR_DCHECK_NE(a, b) ECDR_DCHECK((a) != (b))
+#define ECDR_DCHECK_LT(a, b) ECDR_DCHECK((a) < (b))
+#define ECDR_DCHECK_LE(a, b) ECDR_DCHECK((a) <= (b))
+#define ECDR_DCHECK_GT(a, b) ECDR_DCHECK((a) > (b))
+#define ECDR_DCHECK_GE(a, b) ECDR_DCHECK((a) >= (b))
+#else
+#define ECDR_DCHECK(condition) ECDR_CHECK(condition)
+#define ECDR_DCHECK_EQ(a, b) ECDR_CHECK_EQ(a, b)
+#define ECDR_DCHECK_NE(a, b) ECDR_CHECK_NE(a, b)
+#define ECDR_DCHECK_LT(a, b) ECDR_CHECK_LT(a, b)
+#define ECDR_DCHECK_LE(a, b) ECDR_CHECK_LE(a, b)
+#define ECDR_DCHECK_GT(a, b) ECDR_CHECK_GT(a, b)
+#define ECDR_DCHECK_GE(a, b) ECDR_CHECK_GE(a, b)
+#endif
+
+#endif  // ECDR_UTIL_MACROS_H_

@@ -1,0 +1,95 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ecdr::util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  ECDR_CHECK_LE(lo, hi);
+  const std::uint64_t span = hi - lo + 1;  // Wraps to 0 for the full range.
+  if (span == 0) return Next();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
+  std::uint64_t draw = Next();
+  while (ECDR_PREDICT_FALSE(draw >= limit)) draw = Next();
+  return lo + draw % span;
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  ECDR_CHECK_GT(mean, 0.0);
+  // 1 - UniformDouble() lies in (0, 1], so the logarithm is finite.
+  return -mean * std::log(1.0 - UniformDouble());
+}
+
+std::vector<std::uint32_t> Rng::SampleWithoutReplacement(
+    std::uint32_t universe, std::uint32_t count) {
+  ECDR_CHECK_LE(count, universe);
+  std::vector<std::uint32_t> result;
+  result.reserve(count);
+  if (count * 3ULL >= universe) {
+    // Dense case: partial Fisher-Yates over the full universe.
+    std::vector<std::uint32_t> pool(universe);
+    for (std::uint32_t i = 0; i < universe; ++i) pool[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t j =
+          static_cast<std::uint32_t>(UniformInt(i, universe - 1));
+      std::swap(pool[i], pool[j]);
+      result.push_back(pool[i]);
+    }
+    return result;
+  }
+  // Sparse case: rejection sampling with a hash set.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(count * 2);
+  while (result.size() < count) {
+    auto candidate = static_cast<std::uint32_t>(UniformInt(0, universe - 1));
+    if (seen.insert(candidate).second) result.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace ecdr::util

@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford) used for corpus statistics,
+// the paper's mu+sigma collection-frequency threshold, and benchmark
+// reporting.
+
+#ifndef ECDR_UTIL_STATS_H_
+#define ECDR_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ecdr::util {
+
+/// Single-pass mean / variance / min / max accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-quantile (q in [0,1]) of `values` by nearest-rank; the
+/// input is copied and partially sorted. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_STATS_H_

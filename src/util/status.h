@@ -1,0 +1,120 @@
+// Lightweight error propagation without exceptions.
+//
+// Status carries an error code plus a human-readable message; StatusOr<T>
+// carries either a value or a non-OK Status. The design mirrors
+// absl::Status / absl::StatusOr but is self-contained.
+
+#ifndef ECDR_UTIL_STATUS_H_
+#define ECDR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace ecdr::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+/// An OK-or-error result. Cheap to copy when OK (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+
+/// Either a T or a non-OK Status. Accessing value() on an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from T and Status intentionally mirror
+  // absl::StatusOr ergonomics: `return value;` / `return SomeError(...);`.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    ECDR_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    ECDR_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    ECDR_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    ECDR_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define ECDR_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::ecdr::util::Status ecdr_status__ = (expr);  \
+    if (!ecdr_status__.ok()) return ecdr_status__; \
+  } while (0)
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_STATUS_H_

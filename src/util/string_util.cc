@@ -1,0 +1,73 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace ecdr::util {
+
+std::vector<std::string_view> Split(std::string_view text, char delimiter) {
+  std::vector<std::string_view> pieces;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(text.substr(start));
+      return pieces;
+    }
+    pieces.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view delimiter) {
+  std::string result;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result.append(delimiter);
+    result.append(pieces[i]);
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool ParseUint64(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.front() == '-' || text.front() == '+') return false;
+  // strtoull requires NUL termination; string_views here are short.
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint32(std::string_view text, std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!ParseUint64(text, &wide)) return false;
+  if (wide > std::numeric_limits<std::uint32_t>::max()) return false;
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace ecdr::util

@@ -1,0 +1,33 @@
+// Small string helpers shared by the text serialization formats and the
+// CLI tools. Parsing helpers report failure via return value rather than
+// exceptions.
+
+#ifndef ECDR_UTIL_STRING_UTIL_H_
+#define ECDR_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecdr::util {
+
+/// Splits `text` on `delimiter`; consecutive delimiters yield empty pieces.
+std::vector<std::string_view> Split(std::string_view text, char delimiter);
+
+/// Joins `pieces` with `delimiter`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses the whole of `text` as the target type. Returns false (leaving
+/// `out` untouched) on any syntax error, overflow, or trailing garbage.
+bool ParseUint32(std::string_view text, std::uint32_t* out);
+bool ParseUint64(std::string_view text, std::uint64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+// Aligned-table and CSV output for the benchmark harness. Every bench
+// binary prints the rows/series of the corresponding paper table or
+// figure through this class so output stays uniform and parseable.
+
+#ifndef ECDR_UTIL_TABLE_PRINTER_H_
+#define ECDR_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecdr::util {
+
+/// Collects rows of string cells and renders them aligned or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatSeconds(double seconds);
+
+  /// Renders with space-padded columns and a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas get quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing for benchmarks and per-phase cost accounting.
+
+#ifndef ECDR_UTIL_TIMER_H_
+#define ECDR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ecdr::util {
+
+/// Measures elapsed wall-clock time with a steady (monotonic) clock.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Adds the scope's elapsed time to an accumulator on destruction.
+/// Used by kNDS to split query time into traversal vs. distance phases.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* total_seconds)
+      : total_seconds_(total_seconds) {}
+  ~ScopedAccumulator() { *total_seconds_ += timer_.ElapsedSeconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double* total_seconds_;
+  WallTimer timer_;
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_TIMER_H_

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "corpus/corpus_io.h"
+#include "corpus/generator.h"
+#include "ontology/generator.h"
+#include "ontology/ontology_builder.h"
+#include "ontology/ontology_io.h"
+#include "util/binary_stream.h"
+
+namespace ecdr {
+namespace {
+
+TEST(BinaryStreamTest, PrimitivesRoundTrip) {
+  std::stringstream buffer;
+  util::BinaryWriter writer(buffer);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteString("hello binary");
+  writer.WriteString("");
+  writer.WriteU32Vector({1, 2, 3});
+  ASSERT_TRUE(writer.ok());
+
+  util::BinaryReader reader(buffer);
+  std::uint32_t u32 = 0;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  std::uint64_t u64 = 0;
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  std::string text;
+  ASSERT_TRUE(reader.ReadString(&text).ok());
+  EXPECT_EQ(text, "hello binary");
+  ASSERT_TRUE(reader.ReadString(&text).ok());
+  EXPECT_EQ(text, "");
+  std::vector<std::uint32_t> values;
+  ASSERT_TRUE(reader.ReadU32Vector(&values).ok());
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{1, 2, 3}));
+  // Stream is exhausted now.
+  EXPECT_FALSE(reader.ReadU32(&u32).ok());
+}
+
+TEST(BinaryStreamTest, LittleEndianLayout) {
+  std::stringstream buffer;
+  util::BinaryWriter writer(buffer);
+  writer.WriteU32(0x01020304u);
+  const std::string bytes = buffer.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(BinaryStreamTest, AllocationGuardRejectsCorruptLengths) {
+  std::stringstream buffer;
+  util::BinaryWriter writer(buffer);
+  writer.WriteU32(0xFFFFFFFFu);  // Absurd length prefix.
+  util::BinaryReader reader(buffer, /*max_allocation=*/1024);
+  std::string text;
+  EXPECT_FALSE(reader.ReadString(&text).ok());
+}
+
+TEST(BinaryOntologyIoTest, RoundTripWithSynonyms) {
+  ontology::OntologyBuilder builder;
+  const auto root = builder.AddConcept("root");
+  const auto child = builder.AddConcept("child");
+  ASSERT_TRUE(builder.AddEdge(root, child).ok());
+  ASSERT_TRUE(builder.AddSynonym(child, "kid").ok());
+  auto original = std::move(builder).Build();
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = ::testing::TempDir() + "/ontology.bin";
+  ASSERT_TRUE(ontology::SaveOntologyBinary(*original, path).ok());
+  const auto loaded = ontology::LoadOntologyBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_concepts(), 2u);
+  EXPECT_EQ(loaded->FindByName("kid"), child);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryOntologyIoTest, RoundTripLargeGeneratedOntology) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 5'000;
+  config.seed = 77;
+  const auto original = ontology::GenerateOntology(config);
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/ontology_large.bin";
+  ASSERT_TRUE(ontology::SaveOntologyBinary(*original, path).ok());
+  const auto loaded = ontology::LoadOntologyBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_concepts(), original->num_concepts());
+  EXPECT_EQ(loaded->num_edges(), original->num_edges());
+  for (ontology::ConceptId c = 0; c < original->num_concepts(); c += 97) {
+    EXPECT_EQ(loaded->depth(c), original->depth(c));
+    EXPECT_EQ(loaded->path_count(c), original->path_count(c));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryOntologyIoTest, RejectsCorruptInput) {
+  EXPECT_FALSE(ontology::LoadOntologyBinary("/nonexistent.bin").ok());
+  const std::string path = ::testing::TempDir() + "/ontology_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage garbage garbage";
+  }
+  EXPECT_FALSE(ontology::LoadOntologyBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryOntologyIoTest, RejectsTruncatedFile) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 100;
+  const auto original = ontology::GenerateOntology(config);
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/ontology_trunc.bin";
+  ASSERT_TRUE(ontology::SaveOntologyBinary(*original, path).ok());
+  // Truncate to half.
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(), static_cast<long>(content.size() / 2));
+  }
+  EXPECT_FALSE(ontology::LoadOntologyBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCorpusIoTest, RoundTrip) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 500;
+  ontology_config.seed = 78;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 40;
+  corpus_config.avg_concepts_per_doc = 15;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 79;
+  const auto original = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = ::testing::TempDir() + "/corpus.bin";
+  ASSERT_TRUE(corpus::SaveCorpusBinary(*original, path).ok());
+  const auto loaded = corpus::LoadCorpusBinary(*ontology, path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_documents(), original->num_documents());
+  for (corpus::DocId d = 0; d < original->num_documents(); ++d) {
+    EXPECT_EQ(loaded->document(d), original->document(d));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCorpusIoTest, ValidatesAgainstOntology) {
+  ontology::OntologyBuilder small_builder;
+  const auto root = small_builder.AddConcept("root");
+  (void)root;
+  auto small = std::move(small_builder).Build();
+  ASSERT_TRUE(small.ok());
+
+  ontology::OntologyGeneratorConfig big_config;
+  big_config.num_concepts = 100;
+  const auto big = ontology::GenerateOntology(big_config);
+  ASSERT_TRUE(big.ok());
+  corpus::Corpus corpus(*big);
+  ASSERT_TRUE(corpus.AddDocument(corpus::Document({50, 60})).ok());
+  const std::string path = ::testing::TempDir() + "/corpus_mismatch.bin";
+  ASSERT_TRUE(corpus::SaveCorpusBinary(corpus, path).ok());
+  // Loading against the 1-concept ontology must fail validation.
+  EXPECT_FALSE(corpus::LoadCorpusBinary(*small, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ecdr

@@ -1,0 +1,87 @@
+// Concurrency contract: the Ontology, Corpus and InvertedIndex are
+// immutable after construction and safely shared across threads, while
+// AddressEnumerator / Drc / Knds hold per-query mutable state and must
+// be per-thread. This test runs one kNDS engine per thread over shared
+// read-only structures and checks every thread reproduces the serial
+// results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/inverted_index.h"
+#include "ontology/generator.h"
+
+namespace ecdr::core {
+namespace {
+
+TEST(ConcurrencyTest, PerThreadEnginesOverSharedIndexesAgree) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 2'000;
+  ontology_config.seed = 90;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 150;
+  corpus_config.avg_concepts_per_doc = 20;
+  corpus_config.seed = 91;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  const index::InvertedIndex index(*corpus);
+
+  const auto queries = corpus::GenerateRdsQueries(*corpus, 12, 4, 92);
+
+  // Serial reference results.
+  std::vector<std::vector<ScoredDocument>> expected;
+  {
+    ontology::AddressEnumerator enumerator(*ontology);
+    Drc drc(*ontology, &enumerator);
+    Knds knds(*corpus, index, &drc);
+    for (const auto& query : queries) {
+      const auto results = knds.SearchRds(query, 5);
+      ASSERT_TRUE(results.ok());
+      expected.push_back(*results);
+    }
+  }
+
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      // Per-thread mutable machinery over the shared read-only corpus,
+      // index and ontology.
+      ontology::AddressEnumerator enumerator(*ontology);
+      Drc drc(*ontology, &enumerator);
+      Knds knds(*corpus, index, &drc);
+      // Stagger which query each thread starts with.
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const std::size_t index_q = (q + t) % queries.size();
+        const auto results = knds.SearchRds(queries[index_q], 5);
+        if (!results.ok() ||
+            results->size() != expected[index_q].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t i = 0; i < results->size(); ++i) {
+          if ((*results)[i].distance != expected[index_q][i].distance) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,183 @@
+#include "corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "corpus/document.h"
+#include "corpus/filters.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::corpus {
+namespace {
+
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+TEST(DocumentTest, SortsAndDeduplicates) {
+  const Document doc({5, 3, 5, 1, 3});
+  EXPECT_EQ(doc.size(), 3u);
+  const std::vector<ConceptId> expected = {1, 3, 5};
+  EXPECT_TRUE(std::equal(doc.concepts().begin(), doc.concepts().end(),
+                         expected.begin(), expected.end()));
+  EXPECT_TRUE(doc.ContainsConcept(3));
+  EXPECT_FALSE(doc.ContainsConcept(4));
+}
+
+TEST(CorpusTest, AddDocumentValidation) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  EXPECT_FALSE(corpus.AddDocument(Document(std::vector<ConceptId>{})).ok());
+  EXPECT_FALSE(corpus.AddDocument(Document({9999})).ok());
+  const auto id = corpus.AddDocument(Document({fig3['F'], fig3['R']}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(corpus.num_documents(), 1u);
+  EXPECT_EQ(corpus.document(0).size(), 2u);
+}
+
+TEST(CorpusTest, StatsMatchHandComputation) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(
+      Document({fig3['F'], fig3['T'], fig3['V'], fig3['L']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['I']})).ok());
+  const CorpusStats stats = ComputeCorpusStats(corpus);
+  EXPECT_EQ(stats.num_documents, 3u);
+  EXPECT_EQ(stats.num_distinct_concepts, 6u);  // F,R,T,V,L,I
+  EXPECT_DOUBLE_EQ(stats.avg_concepts_per_document, 7.0 / 3);
+  EXPECT_EQ(stats.min_concepts_per_document, 1u);
+  EXPECT_EQ(stats.max_concepts_per_document, 4u);
+  // cf: F=2, others=1 -> mean 7/6.
+  EXPECT_DOUBLE_EQ(stats.cf_mean, 7.0 / 6);
+}
+
+TEST(FiltersTest, DepthThresholdRemovesShallowConcepts) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  // F (depth 2) and R (depth 5) with a depth-4 threshold: F is removed.
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ConceptFilterOptions options;
+  options.min_depth = 4;
+  options.apply_cf_threshold = false;
+  ConceptFilterReport report;
+  const auto filtered = ApplyConceptFilters(corpus, options, &report);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(report.concepts_removed_by_depth, 1u);
+  EXPECT_EQ(filtered->num_documents(), 1u);
+  EXPECT_EQ(filtered->document(0).size(), 1u);
+  EXPECT_TRUE(filtered->document(0).ContainsConcept(fig3['R']));
+}
+
+TEST(FiltersTest, DocumentsLeftEmptyAreDropped) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['A'], fig3['B']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['R']})).ok());
+  ConceptFilterOptions options;
+  options.min_depth = 4;
+  options.apply_cf_threshold = false;
+  ConceptFilterReport report;
+  const auto filtered = ApplyConceptFilters(corpus, options, &report);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(report.documents_dropped_empty, 1u);
+  EXPECT_EQ(filtered->num_documents(), 1u);
+}
+
+TEST(FiltersTest, CfThresholdRemovesVeryCommonConcepts) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  // R appears in 10 documents, the others once: cf(R) is an outlier.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ConceptId> concepts = {fig3['R']};
+    if (i == 0) concepts.push_back(fig3['T']);
+    if (i == 1) concepts.push_back(fig3['V']);
+    if (i == 2) concepts.push_back(fig3['U']);
+    ASSERT_TRUE(corpus.AddDocument(Document(std::move(concepts))).ok());
+  }
+  ConceptFilterOptions options;
+  options.min_depth = 0;
+  options.apply_cf_threshold = true;
+  ConceptFilterReport report;
+  const auto filtered = ApplyConceptFilters(corpus, options, &report);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(report.concepts_removed_by_cf, 1u);
+  for (DocId d = 0; d < filtered->num_documents(); ++d) {
+    EXPECT_FALSE(filtered->document(d).ContainsConcept(fig3['R']));
+  }
+}
+
+TEST(CorpusIoTest, RoundTrip) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['I']})).ok());
+  const std::string path = ::testing::TempDir() + "/corpus_roundtrip.txt";
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  const auto loaded = LoadCorpus(fig3.ontology, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_documents(), 2u);
+  EXPECT_EQ(loaded->document(0), corpus.document(0));
+  EXPECT_EQ(loaded->document(1), corpus.document(1));
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, MissingFileFails) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const auto loaded = LoadCorpus(fig3.ontology, "/nonexistent/corpus.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(CorpusIoTest, CorruptHeaderFails) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const std::string path = ::testing::TempDir() + "/corpus_corrupt.txt";
+  {
+    std::ofstream out(path);
+    out << "not-a-corpus\n";
+  }
+  EXPECT_FALSE(LoadCorpus(fig3.ontology, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, WrongConceptCountFails) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const std::string path = ::testing::TempDir() + "/corpus_badline.txt";
+  {
+    std::ofstream out(path);
+    out << "ecdr-corpus-v1\ndocuments 1\n3 1 2\n";  // Says 3, lists 2.
+  }
+  EXPECT_FALSE(LoadCorpus(fig3.ontology, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, OutOfOntologyConceptFails) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const std::string path = ::testing::TempDir() + "/corpus_badconcept.txt";
+  {
+    std::ofstream out(path);
+    out << "ecdr-corpus-v1\ndocuments 1\n1 5000\n";
+  }
+  EXPECT_FALSE(LoadCorpus(fig3.ontology, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, TruncatedDocumentListFails) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const std::string path = ::testing::TempDir() + "/corpus_truncated.txt";
+  {
+    std::ofstream out(path);
+    out << "ecdr-corpus-v1\ndocuments 2\n1 1\n";  // Only one of two docs.
+  }
+  EXPECT_FALSE(LoadCorpus(fig3.ontology, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ecdr::corpus

@@ -1,0 +1,239 @@
+#include "core/d_radix.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/drc.h"
+#include "ontology/dewey.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+#include "util/random.h"
+
+namespace ecdr::core {
+namespace {
+
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ontology::DeweyAddress;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+// Builds the paper's running-example index: d = {F, R, T, V},
+// q = {I, L, U} on the Figure 3 ontology (Example 2 / Figure 5).
+DRadixDag BuildPaperIndex(const Fig3& fig3) {
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  auto dag = drc.BuildIndex(d, q);
+  ECDR_CHECK(dag.ok());
+  return std::move(dag).value();
+}
+
+TEST(DRadixTest, PaperExample2NodeSet) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const DRadixDag dag = BuildPaperIndex(fig3);
+  // Figure 5(d): nodes A(root), G, I, J, R, U, V, F, T, H, L — 11 nodes.
+  EXPECT_EQ(dag.num_nodes(), 11u);
+  for (char name : {'A', 'G', 'I', 'J', 'R', 'U', 'V', 'F', 'T', 'H', 'L'}) {
+    EXPECT_NE(dag.FindNode(fig3[name]), DRadixDag::kInvalidNode)
+        << "missing node " << name;
+  }
+  // Merged-away concepts must not appear.
+  for (char name : {'B', 'C', 'D', 'E', 'K', 'M', 'N', 'O', 'P', 'Q', 'S'}) {
+    EXPECT_EQ(dag.FindNode(fig3[name]), DRadixDag::kInvalidNode)
+        << "unexpected node " << name;
+  }
+  EXPECT_TRUE(dag.CheckInvariants().ok());
+}
+
+TEST(DRadixTest, PaperExample2EdgeStructure) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const DRadixDag dag = BuildPaperIndex(fig3);
+  EXPECT_EQ(dag.num_edges(), 11u);
+
+  // J is the shared (DAG) node: reached from G (edge "2") and from F
+  // (edge "1").
+  const auto j = dag.FindNode(fig3['J']);
+  EXPECT_EQ(dag.node(j).in_degree, 2u);
+
+  const auto expect_edge = [&](char from, char to,
+                               const std::string& label) {
+    const auto from_index = dag.FindNode(fig3[from]);
+    ASSERT_NE(from_index, DRadixDag::kInvalidNode);
+    for (const DRadixDag::Edge& edge : dag.node(from_index).children) {
+      if (edge.target == dag.FindNode(fig3[to])) {
+        EXPECT_EQ(ontology::FormatDewey(edge.label), label)
+            << from << " -> " << to;
+        return;
+      }
+    }
+    FAIL() << "no edge " << from << " -> " << to;
+  };
+  // Figure 5(d) edges ("B, E, G and J merged" happens on the A->G edge).
+  expect_edge('A', 'G', "1.1.1");
+  expect_edge('A', 'F', "3.1");
+  expect_edge('G', 'I', "1");
+  expect_edge('G', 'J', "2");
+  expect_edge('J', 'R', "1.1");
+  expect_edge('J', 'V', "2.1.1");
+  expect_edge('R', 'U', "1");
+  expect_edge('F', 'J', "1");
+  expect_edge('F', 'H', "2");
+  expect_edge('H', 'T', "1.1.1");
+  expect_edge('H', 'L', "2");
+}
+
+TEST(DRadixTest, PaperFigure5gDistances) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const DRadixDag dag = BuildPaperIndex(fig3);
+  // (dist to nearest document concept, dist to nearest query concept)
+  // after the bottom-up + top-down tuning sweeps — Figure 5(g).
+  const std::vector<std::pair<char, std::pair<std::uint32_t, std::uint32_t>>>
+      expected = {
+          {'A', {2, 4}}, {'G', {3, 1}}, {'I', {4, 0}}, {'J', {1, 2}},
+          {'R', {0, 1}}, {'U', {1, 0}}, {'V', {0, 5}}, {'F', {0, 2}},
+          {'T', {0, 4}}, {'H', {1, 1}}, {'L', {2, 0}},
+      };
+  for (const auto& [name, dists] : expected) {
+    const auto index = dag.FindNode(fig3[name]);
+    ASSERT_NE(index, DRadixDag::kInvalidNode) << name;
+    EXPECT_EQ(dag.node(index).dist_to_doc, dists.first) << "doc dist " << name;
+    EXPECT_EQ(dag.node(index).dist_to_query, dists.second)
+        << "query dist " << name;
+  }
+}
+
+TEST(DRadixTest, DocAndQueryFlags) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const DRadixDag dag = BuildPaperIndex(fig3);
+  for (char name : {'F', 'R', 'T', 'V'}) {
+    const auto& node = dag.node(dag.FindNode(fig3[name]));
+    EXPECT_TRUE(node.in_doc) << name;
+    EXPECT_FALSE(node.in_query) << name;
+  }
+  for (char name : {'I', 'L', 'U'}) {
+    const auto& node = dag.node(dag.FindNode(fig3[name]));
+    EXPECT_FALSE(node.in_doc) << name;
+    EXPECT_TRUE(node.in_query) << name;
+  }
+  for (char name : {'A', 'G', 'J', 'H'}) {
+    const auto& node = dag.node(dag.FindNode(fig3[name]));
+    EXPECT_FALSE(node.in_doc) << name;
+    EXPECT_FALSE(node.in_query) << name;
+  }
+}
+
+TEST(DRadixTest, ConceptOnBothSidesGetsBothFlags) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R']};
+  const std::vector<ConceptId> q = {fig3['R'], fig3['L']};
+  const auto dag = drc.BuildIndex(d, q);
+  ASSERT_TRUE(dag.ok());
+  const auto& r_node = dag->node(dag->FindNode(fig3['R']));
+  EXPECT_TRUE(r_node.in_doc);
+  EXPECT_TRUE(r_node.in_query);
+  EXPECT_EQ(r_node.dist_to_doc, 0u);
+  EXPECT_EQ(r_node.dist_to_query, 0u);
+}
+
+// Insertion order must not affect tuned distances (the paper inserts in
+// lexicographic merge order; the structure is canonical enough that any
+// order yields the same distances).
+TEST(DRadixTest, InsertionOrderIndependentDistances) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+
+  // Reference distances from the sorted build.
+  const DRadixDag reference = BuildPaperIndex(fig3);
+
+  std::vector<std::tuple<ConceptId, DeweyAddress, bool, bool>> inserts;
+  for (ConceptId c : d) {
+    for (const auto& address : enumerator.Addresses(c)) {
+      inserts.emplace_back(c, address, true, false);
+    }
+  }
+  for (ConceptId c : q) {
+    for (const auto& address : enumerator.Addresses(c)) {
+      inserts.emplace_back(c, address, false, true);
+    }
+  }
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.Shuffle(inserts);
+    DRadixDag dag(fig3.ontology);
+    for (const auto& [c, address, in_doc, in_query] : inserts) {
+      dag.InsertAddress(c, address, in_doc, in_query);
+    }
+    ASSERT_TRUE(dag.CheckInvariants().ok()) << "trial " << trial;
+    dag.TuneDistances();
+    for (std::size_t i = 0; i < reference.num_nodes(); ++i) {
+      const auto& ref_node = reference.node(
+          static_cast<DRadixDag::NodeIndex>(i));
+      const auto index = dag.FindNode(ref_node.concept_id);
+      ASSERT_NE(index, DRadixDag::kInvalidNode);
+      EXPECT_EQ(dag.node(index).dist_to_doc, ref_node.dist_to_doc);
+      EXPECT_EQ(dag.node(index).dist_to_query, ref_node.dist_to_query);
+    }
+  }
+}
+
+// Property: on random DAG ontologies, tuned distances at every node
+// agree with the brute-force oracle's document-concept distances.
+class DRadixOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DRadixOracleTest, TunedDistancesMatchOracle) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 250;
+  config.extra_parent_prob = 0.35;
+  config.seed = GetParam();
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  ontology::DistanceOracle oracle(*ontology);
+  util::Rng rng(GetParam() * 31 + 5);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ConceptId> doc = rng.SampleWithoutReplacement(
+        ontology->num_concepts(), 8);
+    std::vector<ConceptId> query = rng.SampleWithoutReplacement(
+        ontology->num_concepts(), 4);
+    auto dag = drc.BuildIndex(doc, query);
+    ASSERT_TRUE(dag.ok());
+    ASSERT_TRUE(dag->CheckInvariants().ok());
+    std::vector<std::uint32_t> to_doc;
+    std::vector<std::uint32_t> to_query;
+    oracle.DistancesFromSet(doc, &to_doc);
+    oracle.DistancesFromSet(query, &to_query);
+    for (std::size_t i = 0; i < dag->num_nodes(); ++i) {
+      const auto& node = dag->node(static_cast<DRadixDag::NodeIndex>(i));
+      // Distances inside the D-Radix may only be *attained* at concepts
+      // of d/q themselves; interior nodes still must never report less
+      // than the true distance, and must be exact at flagged nodes.
+      EXPECT_GE(node.dist_to_doc, to_doc[node.concept_id]);
+      EXPECT_GE(node.dist_to_query, to_query[node.concept_id]);
+      if (node.in_doc || node.in_query) {
+        EXPECT_EQ(node.dist_to_doc, to_doc[node.concept_id]);
+        EXPECT_EQ(node.dist_to_query, to_query[node.concept_id]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DRadixOracleTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,154 @@
+#include "ontology/dewey.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::ontology {
+namespace {
+
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+std::vector<std::string> Formatted(const std::vector<DeweyAddress>& list) {
+  std::vector<std::string> out;
+  out.reserve(list.size());
+  for (const auto& address : list) out.push_back(FormatDewey(address));
+  return out;
+}
+
+TEST(DeweyTest, FormatAndParseRoundTrip) {
+  const DeweyAddress address = {1, 12, 3};
+  EXPECT_EQ(FormatDewey(address), "1.12.3");
+  const auto parsed = ParseDewey("1.12.3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, address);
+}
+
+TEST(DeweyTest, RootAddress) {
+  EXPECT_EQ(FormatDewey(DeweyAddress{}), "<root>");
+  const auto parsed = ParseDewey("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(DeweyTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseDewey("1..2").ok());
+  EXPECT_FALSE(ParseDewey("1.0.2").ok());  // Components are 1-based.
+  EXPECT_FALSE(ParseDewey("1.x").ok());
+  EXPECT_FALSE(ParseDewey("-1").ok());
+  EXPECT_FALSE(ParseDewey("1.").ok());
+}
+
+TEST(DeweyTest, LexicographicOrder) {
+  const DeweyAddress a = {1, 1, 1};
+  const DeweyAddress b = {1, 1, 1, 2};
+  const DeweyAddress c = {1, 2};
+  EXPECT_TRUE(DeweyLess(a, b));  // Prefix sorts first.
+  EXPECT_TRUE(DeweyLess(b, c));
+  EXPECT_TRUE(DeweyLess(a, c));
+  EXPECT_FALSE(DeweyLess(a, a));
+}
+
+TEST(DeweyTest, CommonPrefix) {
+  const DeweyAddress a = {1, 1, 1, 2, 1, 1};
+  const DeweyAddress b = {1, 1, 1, 1};
+  EXPECT_EQ(DeweyCommonPrefix(a, b), 3u);
+  EXPECT_EQ(DeweyCommonPrefix(a, a), a.size());
+  EXPECT_EQ(DeweyCommonPrefix(a, DeweyAddress{}), 0u);
+}
+
+// Table 1 of the paper: the Dewey address lists for d = {F, R, T, V} and
+// q = {I, L, U} on the Figure 3 ontology.
+TEST(AddressEnumeratorTest, PaperTable1Addresses) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['I'])),
+            (std::vector<std::string>{"1.1.1.1"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['R'])),
+            (std::vector<std::string>{"1.1.1.2.1.1", "3.1.1.1.1"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['U'])),
+            (std::vector<std::string>{"1.1.1.2.1.1.1", "3.1.1.1.1.1"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['V'])),
+            (std::vector<std::string>{"1.1.1.2.2.1.1", "3.1.1.2.1.1"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['F'])),
+            (std::vector<std::string>{"3.1"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['T'])),
+            (std::vector<std::string>{"3.1.2.1.1.1"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['L'])),
+            (std::vector<std::string>{"3.1.2.2"}));
+  EXPECT_EQ(Formatted(enumerator.Addresses(fig3['A'])),
+            (std::vector<std::string>{"<root>"}));
+}
+
+TEST(AddressEnumeratorTest, AddressCountMatchesPathCount) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    EXPECT_EQ(enumerator.Addresses(c).size(), fig3.ontology.path_count(c))
+        << fig3.ontology.name(c);
+    EXPECT_FALSE(enumerator.truncated(c));
+  }
+}
+
+TEST(DeweyResolverTest, ResolvesEveryEnumeratedAddress) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  const DeweyResolver resolver(fig3.ontology);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    for (const DeweyAddress& address : enumerator.Addresses(c)) {
+      EXPECT_EQ(resolver.Resolve(address), c) << FormatDewey(address);
+    }
+  }
+}
+
+TEST(DeweyResolverTest, RejectsOutOfRangeComponents) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const DeweyResolver resolver(fig3.ontology);
+  EXPECT_EQ(resolver.Resolve(DeweyAddress{4}), kInvalidConcept);  // A has 3.
+  EXPECT_EQ(resolver.Resolve(DeweyAddress{1, 1, 1, 1, 3}), kInvalidConcept);
+  EXPECT_EQ(resolver.Resolve(DeweyAddress{0}), kInvalidConcept);
+}
+
+TEST(AddressEnumeratorTest, CapKeepsShortestAddressesAndMarksTruncation) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumeratorOptions options;
+  options.max_addresses = 1;
+  AddressEnumerator enumerator(fig3.ontology, options);
+  // R has two addresses; the cap keeps the shorter one (3.1.1.1.1).
+  const auto& addresses = enumerator.Addresses(fig3['R']);
+  ASSERT_EQ(addresses.size(), 1u);
+  EXPECT_EQ(FormatDewey(addresses[0]), "3.1.1.1.1");
+  EXPECT_TRUE(enumerator.truncated(fig3['R']));
+}
+
+TEST(AddressEnumeratorTest, AddressesAreSortedLexicographically) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    const auto& addresses = enumerator.Addresses(c);
+    EXPECT_TRUE(std::is_sorted(addresses.begin(), addresses.end(),
+                               [](const DeweyAddress& a,
+                                  const DeweyAddress& b) {
+                                 return DeweyLess(a, b);
+                               }));
+  }
+}
+
+TEST(AddressEnumeratorTest, CacheClearsAndRecounts) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  enumerator.Addresses(fig3['V']);
+  EXPECT_GT(enumerator.cached_addresses(), 0u);
+  enumerator.ClearCache();
+  EXPECT_EQ(enumerator.cached_addresses(), 0u);
+  EXPECT_EQ(enumerator.Addresses(fig3['V']).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ecdr::ontology

@@ -1,0 +1,122 @@
+#include "ontology/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::ontology {
+namespace {
+
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+// Section 3.2: "the shortest path distance D(G, F) is not 2 but 5
+// because it has to pass through one of their common ancestors, A."
+TEST(DistanceOracleTest, PaperValidPathRuleGF) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  EXPECT_EQ(oracle.ConceptDistance(fig3['G'], fig3['F']), 5u);
+  EXPECT_EQ(oracle.ConceptDistance(fig3['F'], fig3['G']), 5u);
+}
+
+TEST(DistanceOracleTest, AncestorDescendantDistances) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  EXPECT_EQ(oracle.ConceptDistance(fig3['A'], fig3['A']), 0u);
+  EXPECT_EQ(oracle.ConceptDistance(fig3['A'], fig3['F']), 2u);
+  EXPECT_EQ(oracle.ConceptDistance(fig3['F'], fig3['L']), 2u);
+  // J to U: straight descent J -> O -> R -> U.
+  EXPECT_EQ(oracle.ConceptDistance(fig3['J'], fig3['U']), 3u);
+  // F is J's parent.
+  EXPECT_EQ(oracle.ConceptDistance(fig3['F'], fig3['J']), 1u);
+}
+
+TEST(DistanceOracleTest, MultiParentShortcutsAreUsed) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  // R to F: up through J to F = 3 (not through A = 5 + 2).
+  EXPECT_EQ(oracle.ConceptDistance(fig3['R'], fig3['F']), 3u);
+  // I to R: up to G (1), down G -> J -> O -> R (3).
+  EXPECT_EQ(oracle.ConceptDistance(fig3['I'], fig3['R']), 4u);
+}
+
+// Example 1: d = {F, R, T, V}, q = {I, L, U}:
+//   Ddq(d, q) = Ddc(d, I) + Ddc(d, L) + Ddc(d, U) = 4 + 2 + 1 = 7.
+TEST(DistanceOracleTest, PaperExample1DocQueryDistance) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  EXPECT_EQ(oracle.DocConceptDistance(d, fig3['I']), 4u);
+  EXPECT_EQ(oracle.DocConceptDistance(d, fig3['L']), 2u);
+  EXPECT_EQ(oracle.DocConceptDistance(d, fig3['U']), 1u);
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  EXPECT_EQ(oracle.DocQueryDistance(d, q), 7u);
+}
+
+// The SDS counterpart on the same sets: Ddd(d, q) per Eq. 3.
+//   Ddc(q, F) = 2, Ddc(q, R) = 1, Ddc(q, T) = 4, Ddc(q, V) = 5.
+//   Ddd = (2+1+4+5)/4 + (4+2+1)/3 = 3 + 7/3.
+TEST(DistanceOracleTest, PaperExample1DocDocDistance) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  EXPECT_EQ(oracle.DocConceptDistance(q, fig3['F']), 2u);
+  EXPECT_EQ(oracle.DocConceptDistance(q, fig3['R']), 1u);
+  EXPECT_EQ(oracle.DocConceptDistance(q, fig3['T']), 4u);
+  EXPECT_EQ(oracle.DocConceptDistance(q, fig3['V']), 5u);
+  EXPECT_DOUBLE_EQ(oracle.DocDocDistance(d, q), 12.0 / 4 + 7.0 / 3);
+  // Symmetry (Eq. 3 is symmetric).
+  EXPECT_DOUBLE_EQ(oracle.DocDocDistance(q, d), oracle.DocDocDistance(d, q));
+}
+
+TEST(DistanceOracleTest, DistanceToSelfWithinDocumentIsZero) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R']};
+  EXPECT_EQ(oracle.DocConceptDistance(d, fig3['F']), 0u);
+  EXPECT_DOUBLE_EQ(oracle.DocDocDistance(d, d), 0.0);
+}
+
+TEST(DistanceOracleTest, UpDistancesAreMinimal) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  std::unordered_map<ConceptId, std::uint32_t> up;
+  oracle.UpDistances(fig3['R'], &up);
+  EXPECT_EQ(up.at(fig3['R']), 0u);
+  EXPECT_EQ(up.at(fig3['O']), 1u);
+  EXPECT_EQ(up.at(fig3['J']), 2u);
+  EXPECT_EQ(up.at(fig3['F']), 3u);   // Via J's F-parent.
+  EXPECT_EQ(up.at(fig3['A']), 5u);   // min(G-side 5, F-side 5).
+  EXPECT_FALSE(up.contains(fig3['L']));  // Not an ancestor.
+}
+
+TEST(DistanceOracleTest, DuplicateConceptsCountOnce) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['I'], fig3['L']};
+  const std::vector<ConceptId> q_set = {fig3['I'], fig3['L']};
+  EXPECT_EQ(oracle.DocQueryDistance(d, q), oracle.DocQueryDistance(d, q_set));
+}
+
+TEST(DistanceOracleTest, DistancesFromSetMatchesSingleSources) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  DistanceOracle oracle(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['F'], fig3['I']};
+  std::vector<std::uint32_t> dist;
+  oracle.DistancesFromSet(sources, &dist);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    const std::uint32_t expected =
+        std::min(oracle.ConceptDistance(fig3['F'], c),
+                 oracle.ConceptDistance(fig3['I'], c));
+    EXPECT_EQ(dist[c], expected) << fig3.ontology.name(c);
+  }
+}
+
+}  // namespace
+}  // namespace ecdr::ontology

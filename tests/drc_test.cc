@@ -1,0 +1,184 @@
+#include "core/drc.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/baseline_distance.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+#include "util/random.h"
+
+namespace ecdr::core {
+namespace {
+
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+TEST(DrcTest, PaperExample1Distances) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  const auto ddq = drc.DocQueryDistance(d, q);
+  ASSERT_TRUE(ddq.ok());
+  EXPECT_EQ(*ddq, 7u);  // Example 1: 4 + 2 + 1.
+  const auto ddd = drc.DocDocDistance(d, q);
+  ASSERT_TRUE(ddd.ok());
+  EXPECT_DOUBLE_EQ(*ddd, 12.0 / 4 + 7.0 / 3);
+}
+
+TEST(DrcTest, DddIsSymmetric) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  EXPECT_DOUBLE_EQ(*drc.DocDocDistance(d, q), *drc.DocDocDistance(q, d));
+}
+
+TEST(DrcTest, IdenticalDocumentsAreAtDistanceZero) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T']};
+  EXPECT_DOUBLE_EQ(*drc.DocDocDistance(d, d), 0.0);
+  EXPECT_EQ(*drc.DocQueryDistance(d, d), 0u);
+}
+
+TEST(DrcTest, EmptyInputsAreRejected) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F']};
+  const std::vector<ConceptId> empty;
+  EXPECT_FALSE(drc.DocQueryDistance(empty, d).ok());
+  EXPECT_FALSE(drc.DocQueryDistance(d, empty).ok());
+  EXPECT_FALSE(drc.DocDocDistance(empty, d).ok());
+}
+
+TEST(DrcTest, UnknownConceptsAreRejected) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F']};
+  const std::vector<ConceptId> bad = {999};
+  const auto result = drc.DocQueryDistance(d, bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(DrcTest, DuplicateQueryConceptsCountOnce) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R']};
+  const std::vector<ConceptId> q1 = {fig3['I'], fig3['I'], fig3['L']};
+  const std::vector<ConceptId> q2 = {fig3['I'], fig3['L']};
+  EXPECT_EQ(*drc.DocQueryDistance(d, q1), *drc.DocQueryDistance(d, q2));
+}
+
+TEST(DrcTest, QueryOverlappingDocument) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R']};
+  const std::vector<ConceptId> q = {fig3['F'], fig3['L']};
+  // Ddc(d, F) = 0, Ddc(d, L) = 2 (L up H up F).
+  EXPECT_EQ(*drc.DocQueryDistance(d, q), 2u);
+}
+
+TEST(DrcTest, RootAsQueryConcept) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F']};
+  const std::vector<ConceptId> q = {fig3['A']};
+  EXPECT_EQ(*drc.DocQueryDistance(d, q), 2u);  // F up D up A.
+}
+
+TEST(DrcTest, StatsAccumulate) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R']};
+  const std::vector<ConceptId> q = {fig3['I']};
+  ASSERT_TRUE(drc.DocQueryDistance(d, q).ok());
+  EXPECT_EQ(drc.stats().calls, 1u);
+  // F has 1 address, R has 2, I has 1 -> 4 insertions.
+  EXPECT_EQ(drc.stats().addresses_inserted, 4u);
+  ASSERT_TRUE(drc.DocQueryDistance(d, q).ok());
+  EXPECT_EQ(drc.stats().calls, 2u);
+  drc.ResetStats();
+  EXPECT_EQ(drc.stats().calls, 0u);
+}
+
+// Three-way agreement on random ontologies: DRC == quadratic baseline ==
+// multi-source-BFS oracle, for both Ddq and Ddd. This is the paper's
+// core correctness claim for Section 4.
+struct AgreementParam {
+  std::uint64_t seed;
+  std::uint32_t num_concepts;
+  double extra_parent_prob;
+};
+
+class DistanceAgreementTest
+    : public ::testing::TestWithParam<AgreementParam> {};
+
+TEST_P(DistanceAgreementTest, DrcMatchesBaselineAndOracle) {
+  const AgreementParam param = GetParam();
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = param.num_concepts;
+  config.extra_parent_prob = param.extra_parent_prob;
+  config.seed = param.seed;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  BaselineDistance baseline(*ontology);
+  ontology::DistanceOracle oracle(*ontology);
+  util::Rng rng(param.seed * 1009 + 17);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto nd = static_cast<std::uint32_t>(rng.UniformInt(1, 20));
+    const auto nq = static_cast<std::uint32_t>(rng.UniformInt(1, 10));
+    const std::vector<ConceptId> doc =
+        rng.SampleWithoutReplacement(ontology->num_concepts(), nd);
+    const std::vector<ConceptId> query =
+        rng.SampleWithoutReplacement(ontology->num_concepts(), nq);
+
+    const auto drc_ddq = drc.DocQueryDistance(doc, query);
+    ASSERT_TRUE(drc_ddq.ok());
+    EXPECT_EQ(*drc_ddq, oracle.DocQueryDistance(doc, query));
+    EXPECT_EQ(*drc_ddq, *baseline.DocQueryDistance(doc, query));
+
+    const auto drc_ddd = drc.DocDocDistance(doc, query);
+    ASSERT_TRUE(drc_ddd.ok());
+    EXPECT_DOUBLE_EQ(*drc_ddd, oracle.DocDocDistance(doc, query));
+    EXPECT_DOUBLE_EQ(*drc_ddd, *baseline.DocDocDistance(doc, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomOntologies, DistanceAgreementTest,
+    ::testing::Values(AgreementParam{101, 60, 0.0},    // Pure tree.
+                      AgreementParam{102, 60, 0.5},    // Dense DAG.
+                      AgreementParam{103, 200, 0.2},
+                      AgreementParam{104, 200, 0.4},
+                      AgreementParam{105, 500, 0.15},
+                      AgreementParam{106, 500, 0.35},
+                      AgreementParam{107, 1000, 0.25},
+                      AgreementParam{108, 50, 0.8},    // Very multi-parent.
+                      AgreementParam{109, 2000, 0.1},
+                      AgreementParam{110, 2000, 0.3}));
+
+}  // namespace
+}  // namespace ecdr::core

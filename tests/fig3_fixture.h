@@ -1,0 +1,70 @@
+// Reconstruction of the paper's Figure 3 ontology, used by the tests
+// that replay the paper's worked examples.
+//
+// The node set A..V and the edge structure are recovered from Table 1's
+// Dewey address lists and the narration of Examples 1-4:
+//   - A is the root; its children are B(1), C(2), D(3);
+//   - I = 1.1.1.1 gives the chain A -> B -> E -> G -> I;
+//   - J has two parents (G at 1.1.1.2 and F at 3.1.1);
+//   - R = 1.1.1.2.1.1 / 3.1.1.1.1 places O between J and R; U = R.1;
+//   - V = 1.1.1.2.2.1.1 / 3.1.1.2.1.1 places P, Q between J and V;
+//   - F = 3.1 (child of D), H = 3.1.2 with children K(1), L(2);
+//   - T = 3.1.2.1.1.1 places S between K and T.
+// Example 1's distances (Ddc(d, I) = 4, Ddc(d, L) = 2, Ddc(d, U) = 1 for
+// d = {F, R, T, V}) and Example 4's BFS neighbor sets all hold on this
+// reconstruction, which the tests verify.
+
+#ifndef ECDR_TESTS_FIG3_FIXTURE_H_
+#define ECDR_TESTS_FIG3_FIXTURE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "ontology/ontology.h"
+#include "ontology/ontology_builder.h"
+
+namespace ecdr::testing {
+
+struct Fig3 {
+  ontology::Ontology ontology;
+  std::map<char, ontology::ConceptId> id;
+
+  ontology::ConceptId operator[](char name) const { return id.at(name); }
+};
+
+inline Fig3 MakeFig3Ontology() {
+  ontology::OntologyBuilder builder;
+  std::map<char, ontology::ConceptId> id;
+  for (char c = 'A'; c <= 'V'; ++c) {
+    id[c] = builder.AddConcept(std::string(1, c));
+  }
+  // Edge insertion order defines Dewey child ordinals.
+  const std::pair<char, char> edges[] = {
+      {'A', 'B'}, {'A', 'C'}, {'A', 'D'},  // A: B=1, C=2, D=3
+      {'B', 'E'},                          // B: E=1
+      {'E', 'G'},                          // E: G=1
+      {'G', 'I'}, {'G', 'J'},              // G: I=1, J=2
+      {'I', 'M'}, {'I', 'N'},              // I: M=1, N=2
+      {'J', 'O'}, {'J', 'P'},              // J: O=1, P=2
+      {'O', 'R'},                          // O: R=1
+      {'R', 'U'},                          // R: U=1
+      {'P', 'Q'},                          // P: Q=1
+      {'Q', 'V'},                          // Q: V=1
+      {'D', 'F'},                          // D: F=1
+      {'F', 'J'}, {'F', 'H'},              // F: J=1, H=2  (J's 2nd parent)
+      {'H', 'K'}, {'H', 'L'},              // H: K=1, L=2
+      {'K', 'S'},                          // K: S=1
+      {'S', 'T'},                          // S: T=1
+  };
+  for (const auto& [parent, child] : edges) {
+    ECDR_CHECK(builder.AddEdge(id[parent], id[child]).ok());
+  }
+  util::StatusOr<ontology::Ontology> built = std::move(builder).Build();
+  ECDR_CHECK(built.ok());
+  return Fig3{std::move(built).value(), std::move(id)};
+}
+
+}  // namespace ecdr::testing
+
+#endif  // ECDR_TESTS_FIG3_FIXTURE_H_

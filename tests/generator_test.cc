@@ -1,0 +1,212 @@
+#include "ontology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "corpus/generator.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/ontology_io.h"
+
+namespace ecdr {
+namespace {
+
+TEST(OntologyGeneratorTest, RejectsBadConfig) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 0;
+  EXPECT_FALSE(ontology::GenerateOntology(config).ok());
+  config.num_concepts = 10;
+  config.recency_window = 0.0;
+  EXPECT_FALSE(ontology::GenerateOntology(config).ok());
+}
+
+TEST(OntologyGeneratorTest, DeterministicInSeed) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 500;
+  config.seed = 99;
+  const auto a = ontology::GenerateOntology(config);
+  const auto b = ontology::GenerateOntology(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  for (ontology::ConceptId c = 0; c < a->num_concepts(); ++c) {
+    const auto pa = a->parents(c);
+    const auto pb = b->parents(c);
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+  }
+  config.seed = 100;
+  const auto c = ontology::GenerateOntology(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->num_edges(), c->num_edges());
+}
+
+TEST(OntologyGeneratorTest, ShapeMatchesSnomedLikeTargets) {
+  // SNOMED-CT (paper Section 6.1): ~9.78 addresses/concept of length
+  // ~14.1. The generator should land in a credible neighborhood at
+  // benchmark scale.
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 20'000;
+  config.seed = 7;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  const auto stats = ontology::ComputeShapeStats(*ontology);
+  EXPECT_EQ(stats.num_concepts, 20'000u);
+  EXPECT_GT(stats.avg_depth, 6.0);
+  EXPECT_LT(stats.avg_depth, 30.0);
+  EXPECT_GT(stats.avg_path_count, 2.0);
+  EXPECT_LT(stats.avg_path_count, 64.0);
+  EXPECT_LE(stats.max_path_count, config.max_paths_per_concept);
+  EXPECT_GT(stats.leaf_fraction, 0.3);
+}
+
+TEST(OntologyGeneratorTest, PathCapIsRespected) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 5'000;
+  config.extra_parent_prob = 0.6;
+  config.max_extra_parents = 4;
+  config.max_paths_per_concept = 64;
+  config.seed = 11;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  for (ontology::ConceptId c = 0; c < ontology->num_concepts(); ++c) {
+    EXPECT_LE(ontology->path_count(c), 64u);
+  }
+}
+
+TEST(OntologyIoTest, RoundTripPreservesStructure) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 200;
+  config.seed = 21;
+  const auto original = ontology::GenerateOntology(config);
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/ontology_roundtrip.txt";
+  ASSERT_TRUE(ontology::SaveOntology(*original, path).ok());
+  const auto loaded = ontology::LoadOntology(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_concepts(), original->num_concepts());
+  EXPECT_EQ(loaded->num_edges(), original->num_edges());
+  EXPECT_EQ(loaded->root(), original->root());
+  for (ontology::ConceptId c = 0; c < original->num_concepts(); ++c) {
+    EXPECT_EQ(loaded->name(c), original->name(c));
+    EXPECT_EQ(loaded->depth(c), original->depth(c));
+    const auto oc = original->children(c);
+    const auto lc = loaded->children(c);
+    ASSERT_EQ(oc.size(), lc.size());
+    EXPECT_TRUE(std::equal(oc.begin(), oc.end(), lc.begin(), lc.end()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OntologyIoTest, FailureInjection) {
+  EXPECT_FALSE(ontology::LoadOntology("/nonexistent/file.txt").ok());
+  const std::string path = ::testing::TempDir() + "/ontology_corrupt.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 2\n0 1\n1 0\n",
+               f);  // A 2-cycle: no root, rejected at Build().
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ontology::LoadOntology(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusGeneratorTest, RejectsBadConfig) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 100;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = 0;
+  EXPECT_FALSE(corpus::GenerateCorpus(*ontology, config).ok());
+  config.num_documents = 5;
+  config.cohesion = 1.5;
+  EXPECT_FALSE(corpus::GenerateCorpus(*ontology, config).ok());
+}
+
+TEST(CorpusGeneratorTest, SizesTrackConfig) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 3'000;
+  ontology_config.seed = 31;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = 200;
+  config.avg_concepts_per_doc = 40;
+  config.seed = 32;
+  const auto corpus = corpus::GenerateCorpus(*ontology, config);
+  ASSERT_TRUE(corpus.ok());
+  const auto stats = corpus::ComputeCorpusStats(*corpus);
+  EXPECT_EQ(stats.num_documents, 200u);
+  EXPECT_GT(stats.avg_concepts_per_document, 20.0);
+  EXPECT_LT(stats.avg_concepts_per_document, 70.0);
+}
+
+TEST(CorpusGeneratorTest, CohesionConcentratesConcepts) {
+  // A cohesive corpus reuses fewer distinct concepts per document
+  // neighborhood than a uniform one of the same size.
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 5'000;
+  ontology_config.seed = 41;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+
+  corpus::CorpusGeneratorConfig cohesive;
+  cohesive.num_documents = 20;
+  cohesive.avg_concepts_per_doc = 30;
+  cohesive.cohesion = 1.0;
+  cohesive.clusters_per_doc = 2;
+  cohesive.seed = 42;
+  corpus::CorpusGeneratorConfig sparse = cohesive;
+  sparse.cohesion = 0.0;
+
+  const auto cohesive_corpus = corpus::GenerateCorpus(*ontology, cohesive);
+  const auto sparse_corpus = corpus::GenerateCorpus(*ontology, sparse);
+  ASSERT_TRUE(cohesive_corpus.ok());
+  ASSERT_TRUE(sparse_corpus.ok());
+  // Cohesion = concepts of one document lie close together in the
+  // ontology: the mean distance from each concept to its nearest
+  // same-document neighbor must be clearly smaller than under uniform
+  // sampling. (This is exactly the PATIENT-vs-RADIO contrast the paper's
+  // Fig. 7 asymmetry rests on.)
+  ontology::DistanceOracle oracle(*ontology);
+  const auto mean_nearest_neighbor = [&](const corpus::Corpus& c) {
+    double total = 0.0;
+    std::uint64_t count = 0;
+    std::vector<std::uint32_t> dist;
+    for (corpus::DocId d = 0; d < c.num_documents(); ++d) {
+      const auto concepts = c.document(d).concepts();
+      for (ontology::ConceptId x : concepts) {
+        std::uint32_t best = ontology::kInfiniteDistance;
+        for (ontology::ConceptId y : concepts) {
+          if (x == y) continue;
+          best = std::min(best, oracle.ConceptDistance(x, y));
+        }
+        if (best != ontology::kInfiniteDistance) {
+          total += best;
+          ++count;
+        }
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  EXPECT_LT(mean_nearest_neighbor(*cohesive_corpus) + 0.5,
+            mean_nearest_neighbor(*sparse_corpus));
+}
+
+TEST(CorpusGeneratorTest, PresetsMatchPaperShape) {
+  const auto patient = corpus::PatientLikeConfig(1.0, 1);
+  EXPECT_EQ(patient.num_documents, 983u);
+  EXPECT_NEAR(patient.avg_concepts_per_doc, 706.6, 1e-9);
+  const auto radio = corpus::RadioLikeConfig(1.0, 1);
+  EXPECT_EQ(radio.num_documents, 12373u);
+  EXPECT_NEAR(radio.avg_concepts_per_doc, 125.3, 1e-9);
+  const auto scaled = corpus::RadioLikeConfig(0.1, 1);
+  EXPECT_EQ(scaled.num_documents, 1237u);
+}
+
+}  // namespace
+}  // namespace ecdr

@@ -1,0 +1,95 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "index/forward_index.h"
+#include "index/precomputed_postings.h"
+#include "ontology/distance_oracle.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::index {
+namespace {
+
+using corpus::Corpus;
+using corpus::DocId;
+using corpus::Document;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+TEST(InvertedIndexTest, PostingsMatchBruteForce) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['R'], fig3['T']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['I']})).ok());
+  const InvertedIndex index(corpus);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    std::vector<DocId> expected;
+    for (DocId d = 0; d < corpus.num_documents(); ++d) {
+      if (corpus.document(d).ContainsConcept(c)) expected.push_back(d);
+    }
+    const auto postings = index.Postings(c);
+    EXPECT_TRUE(std::equal(postings.begin(), postings.end(),
+                           expected.begin(), expected.end()))
+        << fig3.ontology.name(c);
+  }
+}
+
+TEST(InvertedIndexTest, IncrementalAddKeepsOrder) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F']})).ok());
+  InvertedIndex index(corpus);
+  EXPECT_EQ(index.num_indexed_documents(), 1u);
+
+  const auto id = corpus.AddDocument(Document({fig3['F'], fig3['R']}));
+  ASSERT_TRUE(id.ok());
+  index.AddDocument(*id, corpus.document(*id));
+  EXPECT_EQ(index.num_indexed_documents(), 2u);
+  const auto postings = index.Postings(fig3['F']);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], 0u);
+  EXPECT_EQ(postings[1], 1u);
+}
+
+TEST(ForwardIndexTest, MirrorsCorpus) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  const ForwardIndex forward(corpus);
+  EXPECT_EQ(forward.num_documents(), 1u);
+  EXPECT_EQ(forward.NumConcepts(0), 2u);
+  EXPECT_TRUE(forward.Contains(0, fig3['F']));
+  EXPECT_FALSE(forward.Contains(0, fig3['L']));
+}
+
+TEST(PrecomputedPostingsTest, DistancesMatchOracleAndListsAreSorted) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['I'], fig3['M']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['T']})).ok());
+  const PrecomputedPostings postings(corpus);
+  ontology::DistanceOracle oracle(fig3.ontology);
+
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    const auto list = postings.SortedPostings(c);
+    ASSERT_EQ(list.size(), corpus.num_documents());
+    for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+      EXPECT_LE(list[i].distance, list[i + 1].distance);
+    }
+    for (DocId d = 0; d < corpus.num_documents(); ++d) {
+      EXPECT_EQ(postings.Distance(c, d),
+                oracle.DocConceptDistance(corpus.document(d).concepts(), c))
+          << "concept " << fig3.ontology.name(c) << " doc " << d;
+    }
+  }
+  EXPECT_GT(postings.memory_bytes(), 0u);
+  EXPECT_GE(postings.build_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ecdr::index

@@ -1,0 +1,202 @@
+// Full-pipeline integration test: generate -> filter -> persist (binary)
+// -> reload -> engine -> RDS / SDS / weighted / expanded queries, all
+// cross-checked against the exhaustive baseline. This is the "downstream
+// user's first afternoon" exercised in one test.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/concept_weights.h"
+#include "core/exhaustive_ranker.h"
+#include "core/query_expansion.h"
+#include "core/ranking_engine.h"
+#include "corpus/corpus_io.h"
+#include "corpus/filters.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "ontology/generator.h"
+#include "ontology/ontology_io.h"
+
+namespace ecdr {
+namespace {
+
+using core::ScoredDocument;
+using ontology::ConceptId;
+
+TEST(IntegrationTest, GeneratePersistReloadSearch) {
+  // 1. Generate a mid-sized world.
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 8'000;
+  ontology_config.seed = 1001;
+  auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 250;
+  corpus_config.avg_concepts_per_doc = 35;
+  corpus_config.cohesion = 0.5;
+  corpus_config.seed = 1002;
+  auto raw_corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(raw_corpus.ok());
+
+  // 2. Apply the paper's filters.
+  corpus::ConceptFilterReport report;
+  auto filtered = corpus::ApplyConceptFilters(
+      *raw_corpus, corpus::ConceptFilterOptions{}, &report);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_GT(filtered->num_documents(), 200u);
+
+  // 3. Persist both in the binary format and reload.
+  const std::string ontology_path =
+      ::testing::TempDir() + "/integration_ontology.bin";
+  const std::string corpus_path =
+      ::testing::TempDir() + "/integration_corpus.bin";
+  ASSERT_TRUE(ontology::SaveOntologyBinary(*ontology, ontology_path).ok());
+  ASSERT_TRUE(corpus::SaveCorpusBinary(*filtered, corpus_path).ok());
+
+  auto engine =
+      core::RankingEngine::CreateFromFiles(ontology_path, corpus_path);
+  ASSERT_TRUE(engine.ok());
+  core::RankingEngine& ranking = **engine;
+  EXPECT_EQ(ranking.corpus().num_documents(), filtered->num_documents());
+
+  // 4. Reference ranker over the same reloaded state.
+  ontology::AddressEnumerator enumerator(ranking.ontology());
+  core::Drc drc(ranking.ontology(), &enumerator);
+  core::ExhaustiveRanker exhaustive(ranking.corpus(), &drc);
+
+  const auto queries =
+      corpus::GenerateRdsQueries(ranking.corpus(), 5, 4, 1003);
+  for (const auto& query : queries) {
+    const auto got = ranking.FindRelevant(query, 8);
+    ASSERT_TRUE(got.ok());
+    const auto want = exhaustive.TopKRelevant(query, 8);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*got)[i].distance, (*want)[i].distance);
+    }
+  }
+
+  // 5. SDS through the engine.
+  const auto similar = ranking.FindSimilar(7, 5);
+  ASSERT_TRUE(similar.ok());
+  EXPECT_EQ((*similar)[0].id, 7u);
+  EXPECT_DOUBLE_EQ((*similar)[0].distance, 0.0);
+
+  // 6. Expanded, weighted query through the engine.
+  core::QueryExpansionOptions expansion;
+  expansion.radius = 2;
+  const auto expanded =
+      core::ExpandQuery(ranking.ontology(), queries[0], expansion);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_GT(expanded->size(), queries[0].size());
+  const auto weighted_got = ranking.FindRelevantWeighted(*expanded, 8);
+  ASSERT_TRUE(weighted_got.ok());
+  const auto weighted_want = exhaustive.TopKRelevantWeighted(*expanded, 8);
+  ASSERT_TRUE(weighted_want.ok());
+  ASSERT_EQ(weighted_got->size(), weighted_want->size());
+  for (std::size_t i = 0; i < weighted_got->size(); ++i) {
+    EXPECT_NEAR((*weighted_got)[i].distance, (*weighted_want)[i].distance,
+                1e-9);
+  }
+
+  // 7. Live insertion: a near-duplicate of document 7 lands next to it.
+  std::vector<ConceptId> clone(
+      ranking.corpus().document(7).concepts().begin(),
+      ranking.corpus().document(7).concepts().end());
+  clone.pop_back();
+  const auto added = ranking.AddDocument(std::move(clone));
+  ASSERT_TRUE(added.ok());
+  const auto after = ranking.FindSimilar(7, 2);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 2u);
+  EXPECT_EQ((*after)[1].id, *added);
+
+  std::remove(ontology_path.c_str());
+  std::remove(corpus_path.c_str());
+}
+
+TEST(IntegrationTest, SimulatedIoLatencyDoesNotChangeResults) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 500;
+  ontology_config.seed = 1101;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 60;
+  corpus_config.avg_concepts_per_doc = 8;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 1102;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  index::InvertedIndex index(*corpus);
+  ontology::AddressEnumerator enumerator(*ontology);
+  core::Drc drc(*ontology, &enumerator);
+
+  core::KndsOptions plain_options;
+  core::Knds plain(*corpus, index, &drc, plain_options);
+  core::KndsOptions io_options;
+  io_options.simulated_postings_access_seconds = 2e-6;
+  core::Knds with_io(*corpus, index, &drc, io_options);
+
+  for (const auto& query :
+       corpus::GenerateRdsQueries(*corpus, 4, 3, 1103)) {
+    const auto a = plain.SearchRds(query, 5);
+    const auto b = with_io.SearchRds(query, 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*a)[i].distance, (*b)[i].distance);
+    }
+  }
+}
+
+TEST(IntegrationTest, ProgressiveOutputOnRandomWorlds) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 600;
+  ontology_config.seed = 1201;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 80;
+  corpus_config.avg_concepts_per_doc = 10;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 1202;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  index::InvertedIndex index(*corpus);
+  ontology::AddressEnumerator enumerator(*ontology);
+  core::Drc drc(*ontology, &enumerator);
+  core::Knds knds(*corpus, index, &drc);
+
+  std::vector<ScoredDocument> streamed;
+  knds.set_progress_callback(
+      [&](const ScoredDocument& scored) { streamed.push_back(scored); });
+
+  for (const auto& query :
+       corpus::GenerateRdsQueries(*corpus, 4, 4, 1203)) {
+    streamed.clear();
+    const auto results = knds.SearchRds(query, 6);
+    ASSERT_TRUE(results.ok());
+    // Stream = final results, each exactly once, nondecreasing distance.
+    ASSERT_EQ(streamed.size(), results->size());
+    for (std::size_t i = 0; i + 1 < streamed.size(); ++i) {
+      EXPECT_LE(streamed[i].distance, streamed[i + 1].distance);
+    }
+    std::set<corpus::DocId> streamed_ids;
+    for (const auto& scored : streamed) {
+      EXPECT_TRUE(streamed_ids.insert(scored.id).second);
+    }
+    for (const auto& result : *results) {
+      EXPECT_TRUE(streamed_ids.contains(result.id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecdr

@@ -1,0 +1,435 @@
+#include "core/knds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/exhaustive_ranker.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/inverted_index.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+#include "util/random.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::Corpus;
+using corpus::DocId;
+using corpus::Document;
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+std::vector<double> Distances(const std::vector<ScoredDocument>& results) {
+  std::vector<double> distances;
+  distances.reserve(results.size());
+  for (const auto& r : results) distances.push_back(r.distance);
+  return distances;
+}
+
+void ExpectSameTopK(const std::vector<ScoredDocument>& got,
+                    const std::vector<ScoredDocument>& want,
+                    const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  // The top-k *distance multiset* is unique even when ties straddle the
+  // k-th position, so compare distances, not ids.
+  const std::vector<double> got_d = Distances(got);
+  const std::vector<double> want_d = Distances(want);
+  for (std::size_t i = 0; i < got_d.size(); ++i) {
+    EXPECT_NEAR(got_d[i], want_d[i], 1e-9)
+        << context << " position " << i;
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                             [](const ScoredDocument& a,
+                                const ScoredDocument& b) {
+                               return !ScoredBefore(b, a);
+                             }))
+      << context;
+}
+
+// A small world assembled around the Figure 3 ontology.
+struct Fig3World {
+  Fig3 fig3;
+  Corpus corpus;
+  AddressEnumerator enumerator;
+  Drc drc;
+  index::InvertedIndex index;
+
+  explicit Fig3World(Fig3 base, std::vector<Document> docs)
+      : fig3(std::move(base)),
+        corpus(fig3.ontology),
+        enumerator(fig3.ontology),
+        drc(fig3.ontology, &enumerator),
+        index((FillCorpus(docs), corpus)) {}
+
+  // Sub-objects hold pointers into fig3.ontology; relocation would
+  // dangle them. Factories rely on C++17 guaranteed copy elision.
+  Fig3World(const Fig3World&) = delete;
+  Fig3World(Fig3World&&) = delete;
+
+ private:
+  void FillCorpus(std::vector<Document>& docs) {
+    for (Document& doc : docs) {
+      ECDR_CHECK(corpus.AddDocument(std::move(doc)).ok());
+    }
+  }
+};
+
+Fig3World MakeFig3World() {
+  Fig3 fig3 = MakeFig3Ontology();
+  std::vector<Document> docs;
+  docs.push_back(Document({fig3['F'], fig3['R']}));           // d0
+  docs.push_back(Document({fig3['I'], fig3['M']}));           // d1
+  docs.push_back(Document({fig3['F'], fig3['I']}));           // d2
+  docs.push_back(Document({fig3['T'], fig3['V'], fig3['U']}));// d3
+  docs.push_back(Document({fig3['L'], fig3['K']}));           // d4
+  docs.push_back(Document({fig3['A']}));                      // d5
+  docs.push_back(Document({fig3['J'], fig3['O'], fig3['P']}));// d6
+  docs.push_back(Document({fig3['R'], fig3['U'], fig3['V'], fig3['Q']}));
+  return Fig3World(std::move(fig3), std::move(docs));
+}
+
+TEST(KndsTest, RdsMatchesExhaustiveOnFig3) {
+  Fig3World world = MakeFig3World();
+  ExhaustiveRanker exhaustive(world.corpus, &world.drc);
+  const std::vector<ConceptId> query = {world.fig3['F'], world.fig3['I']};
+  for (const double eps : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    for (const std::uint32_t k : {1u, 2u, 3u, 5u, 8u}) {
+      KndsOptions options;
+      options.error_threshold = eps;
+      Knds knds(world.corpus, world.index, &world.drc, options);
+      const auto got = knds.SearchRds(query, k);
+      ASSERT_TRUE(got.ok());
+      const auto want = exhaustive.TopKRelevant(query, k);
+      ASSERT_TRUE(want.ok());
+      ExpectSameTopK(*got, *want,
+                     "eps=" + std::to_string(eps) + " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(KndsTest, SdsMatchesExhaustiveOnFig3) {
+  Fig3World world = MakeFig3World();
+  ExhaustiveRanker exhaustive(world.corpus, &world.drc);
+  const Document query_doc(
+      {world.fig3['I'], world.fig3['L'], world.fig3['U']});
+  for (const double eps : {0.0, 0.5, 1.0}) {
+    for (const std::uint32_t k : {1u, 3u, 8u}) {
+      KndsOptions options;
+      options.error_threshold = eps;
+      Knds knds(world.corpus, world.index, &world.drc, options);
+      const auto got = knds.SearchSds(query_doc, k);
+      ASSERT_TRUE(got.ok());
+      const auto want = exhaustive.TopKSimilar(query_doc, k);
+      ASSERT_TRUE(want.ok());
+      ExpectSameTopK(*got, *want,
+                     "eps=" + std::to_string(eps) + " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(KndsTest, QueryDocFromCorpusRanksItselfFirst) {
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  const auto results = knds.SearchSds(world.corpus.document(3), 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].id, 3u);
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+}
+
+TEST(KndsTest, KLargerThanCorpusReturnsEverything) {
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  const std::vector<ConceptId> query = {world.fig3['L']};
+  const auto results = knds.SearchRds(query, 100);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), world.corpus.num_documents());
+}
+
+TEST(KndsTest, KZeroReturnsEmpty) {
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  const std::vector<ConceptId> query = {world.fig3['L']};
+  const auto results = knds.SearchRds(query, 0);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(KndsTest, InvalidQueriesAreRejected) {
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  EXPECT_FALSE(knds.SearchRds({}, 3).ok());
+  const std::vector<ConceptId> bad = {4242};
+  EXPECT_FALSE(knds.SearchRds(bad, 3).ok());
+}
+
+TEST(KndsTest, InvalidErrorThresholdIsRejected) {
+  Fig3World world = MakeFig3World();
+  KndsOptions options;
+  options.error_threshold = 1.5;
+  Knds knds(world.corpus, world.index, &world.drc, options);
+  const std::vector<ConceptId> query = {world.fig3['F']};
+  EXPECT_FALSE(knds.SearchRds(query, 1).ok());
+}
+
+TEST(KndsTest, TinyQueueLimitForcesExaminationButStaysCorrect) {
+  Fig3World world = MakeFig3World();
+  ExhaustiveRanker exhaustive(world.corpus, &world.drc);
+  KndsOptions options;
+  options.node_queue_limit = 1;  // Force-examine on every level.
+  options.error_threshold = 0.0;
+  Knds knds(world.corpus, world.index, &world.drc, options);
+  const std::vector<ConceptId> query = {world.fig3['F'], world.fig3['I']};
+  const auto got = knds.SearchRds(query, 3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(knds.last_stats().queue_limit_hits, 0u);
+  const auto want = exhaustive.TopKRelevant(query, 3);
+  ASSERT_TRUE(want.ok());
+  ExpectSameTopK(*got, *want, "queue-limit");
+}
+
+TEST(KndsTest, OptimizationTogglesPreserveResults) {
+  Fig3World world = MakeFig3World();
+  ExhaustiveRanker exhaustive(world.corpus, &world.drc);
+  const std::vector<ConceptId> query = {world.fig3['F'], world.fig3['U']};
+  const auto want = exhaustive.TopKRelevant(query, 3);
+  ASSERT_TRUE(want.ok());
+  for (const bool prune : {false, true}) {
+    for (const bool heap : {false, true}) {
+      for (const bool shortcut : {false, true}) {
+        KndsOptions options;
+        options.prune_candidates = prune;
+        options.partial_candidate_heap = heap;
+        options.covered_distance_shortcut = shortcut;
+        Knds knds(world.corpus, world.index, &world.drc, options);
+        const auto got = knds.SearchRds(query, 3);
+        ASSERT_TRUE(got.ok());
+        ExpectSameTopK(*got, *want,
+                       "prune=" + std::to_string(prune) +
+                           " heap=" + std::to_string(heap) +
+                           " shortcut=" + std::to_string(shortcut));
+      }
+    }
+  }
+}
+
+TEST(KndsTest, CoveredShortcutAgreesWithDrc) {
+  // eps=0 waits for full coverage, so with the shortcut ON, no DRC call
+  // should be needed for RDS, and results must still match.
+  Fig3World world = MakeFig3World();
+  const std::vector<ConceptId> query = {world.fig3['F'], world.fig3['I']};
+  KndsOptions options;
+  options.error_threshold = 0.0;
+  options.covered_distance_shortcut = true;
+  Knds with_shortcut(world.corpus, world.index, &world.drc, options);
+  const auto got_shortcut = with_shortcut.SearchRds(query, 4);
+  ASSERT_TRUE(got_shortcut.ok());
+  EXPECT_EQ(with_shortcut.last_stats().drc_calls, 0u);
+
+  options.covered_distance_shortcut = false;
+  Knds without_shortcut(world.corpus, world.index, &world.drc, options);
+  const auto got_drc = without_shortcut.SearchRds(query, 4);
+  ASSERT_TRUE(got_drc.ok());
+  EXPECT_GT(without_shortcut.last_stats().drc_calls, 0u);
+  ExpectSameTopK(*got_shortcut, *got_drc, "shortcut-vs-drc");
+}
+
+TEST(KndsTest, ProgressiveOutputStreamsFinalResultsInOrder) {
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  std::vector<ScoredDocument> streamed;
+  knds.set_progress_callback(
+      [&](const ScoredDocument& scored) { streamed.push_back(scored); });
+  const std::vector<ConceptId> query = {world.fig3['F'], world.fig3['I']};
+  const auto results = knds.SearchRds(query, 4);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(streamed.size(), results->size());
+  // Every result is emitted exactly once; distances arrive nondecreasing.
+  for (std::size_t i = 0; i + 1 < streamed.size(); ++i) {
+    EXPECT_LE(streamed[i].distance, streamed[i + 1].distance);
+  }
+  std::vector<double> streamed_d = Distances(streamed);
+  std::vector<double> result_d = Distances(*results);
+  std::sort(streamed_d.begin(), streamed_d.end());
+  std::sort(result_d.begin(), result_d.end());
+  EXPECT_EQ(streamed_d, result_d);
+}
+
+TEST(KndsTest, IncrementalDocumentInsertionIsSearchable) {
+  // The paper's on-the-fly update story: add an EMR, update the inverted
+  // index, and the next query sees it — no precomputation.
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  const std::vector<ConceptId> query = {world.fig3['N']};
+  const auto before = knds.SearchRds(query, 1);
+  ASSERT_TRUE(before.ok());
+
+  const auto id = world.corpus.AddDocument(Document({world.fig3['N']}));
+  ASSERT_TRUE(id.ok());
+  world.index.AddDocument(*id, world.corpus.document(*id));
+
+  const auto after = knds.SearchRds(query, 1);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_EQ((*after)[0].id, *id);
+  EXPECT_DOUBLE_EQ((*after)[0].distance, 0.0);
+  EXPECT_LT((*after)[0].distance, (*before)[0].distance);
+}
+
+TEST(KndsTest, StatsAreCoherent) {
+  Fig3World world = MakeFig3World();
+  Knds knds(world.corpus, world.index, &world.drc);
+  const std::vector<ConceptId> query = {world.fig3['F'], world.fig3['I']};
+  const auto results = knds.SearchRds(query, 2);
+  ASSERT_TRUE(results.ok());
+  const KndsStats& stats = knds.last_stats();
+  EXPECT_GE(stats.documents_examined, results->size());
+  EXPECT_LE(stats.documents_examined, world.corpus.num_documents());
+  EXPECT_LE(stats.documents_touched, world.corpus.num_documents());
+  EXPECT_GT(stats.levels, 0u);
+  EXPECT_GT(stats.concept_visits, 0u);
+  EXPECT_GE(stats.total_seconds, stats.distance_seconds);
+}
+
+// Property suite: kNDS == exhaustive on randomly generated worlds across
+// the whole option space. One parameter seeds everything.
+struct RandomWorldParam {
+  std::uint64_t seed;
+  double eps;
+  std::uint32_t k;
+  bool sds;
+};
+
+class KndsRandomWorldTest
+    : public ::testing::TestWithParam<RandomWorldParam> {};
+
+TEST_P(KndsRandomWorldTest, MatchesExhaustive) {
+  const RandomWorldParam param = GetParam();
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 400;
+  ontology_config.extra_parent_prob = 0.25;
+  ontology_config.seed = param.seed;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 60;
+  corpus_config.avg_concepts_per_doc = 12;
+  corpus_config.cohesion = 0.5;
+  corpus_config.clusters_per_doc = 2;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = param.seed + 1;
+  auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  index::InvertedIndex index(*corpus);
+  ExhaustiveRanker exhaustive(*corpus, &drc);
+  KndsOptions options;
+  options.error_threshold = param.eps;
+  Knds knds(*corpus, index, &drc, options);
+
+  if (param.sds) {
+    const auto query_docs = corpus::SampleQueryDocuments(*corpus, 3,
+                                                         param.seed + 2);
+    for (const DocId q : query_docs) {
+      const Document& query_doc = corpus->document(q);
+      const auto got = knds.SearchSds(query_doc, param.k);
+      ASSERT_TRUE(got.ok());
+      const auto want = exhaustive.TopKSimilar(query_doc, param.k);
+      ASSERT_TRUE(want.ok());
+      ExpectSameTopK(*got, *want, "sds seed=" + std::to_string(param.seed));
+    }
+  } else {
+    const auto queries = corpus::GenerateRdsQueries(*corpus, 3, 4,
+                                                    param.seed + 2);
+    for (const auto& query : queries) {
+      const auto got = knds.SearchRds(query, param.k);
+      ASSERT_TRUE(got.ok());
+      const auto want = exhaustive.TopKRelevant(query, param.k);
+      ASSERT_TRUE(want.ok());
+      ExpectSameTopK(*got, *want, "rds seed=" + std::to_string(param.seed));
+    }
+  }
+}
+
+// Independent end-to-end check: every distance kNDS returns must equal
+// the brute-force oracle's value for that document (exhaustive-DRC
+// comparisons alone would not catch a bug shared by kNDS and DRC).
+class KndsOracleDistanceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KndsOracleDistanceTest, ReturnedDistancesMatchOracle) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 350;
+  ontology_config.extra_parent_prob = 0.3;
+  ontology_config.seed = GetParam();
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 70;
+  corpus_config.avg_concepts_per_doc = 9;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = GetParam() + 1;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  index::InvertedIndex index(*corpus);
+  Knds knds(*corpus, index, &drc);
+  ontology::DistanceOracle oracle(*ontology);
+
+  for (const auto& query :
+       corpus::GenerateRdsQueries(*corpus, 3, 4, GetParam() + 2)) {
+    const auto results = knds.SearchRds(query, 6);
+    ASSERT_TRUE(results.ok());
+    for (const auto& result : *results) {
+      EXPECT_DOUBLE_EQ(result.distance,
+                       static_cast<double>(oracle.DocQueryDistance(
+                           corpus->document(result.id).concepts(), query)));
+    }
+  }
+  for (const DocId q :
+       corpus::SampleQueryDocuments(*corpus, 2, GetParam() + 3)) {
+    const auto results = knds.SearchSds(corpus->document(q), 6);
+    ASSERT_TRUE(results.ok());
+    for (const auto& result : *results) {
+      EXPECT_DOUBLE_EQ(result.distance,
+                       oracle.DocDocDistance(
+                           corpus->document(q).concepts(),
+                           corpus->document(result.id).concepts()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KndsOracleDistanceTest,
+                         ::testing::Values(501, 502, 503, 504, 505, 506, 507,
+                                           508));
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorlds, KndsRandomWorldTest,
+    ::testing::Values(
+        RandomWorldParam{201, 0.0, 3, false},
+        RandomWorldParam{202, 0.5, 3, false},
+        RandomWorldParam{203, 1.0, 3, false},
+        RandomWorldParam{204, 0.25, 10, false},
+        RandomWorldParam{205, 0.75, 1, false},
+        RandomWorldParam{206, 0.9, 25, false},
+        RandomWorldParam{207, 0.0, 3, true},
+        RandomWorldParam{208, 0.5, 3, true},
+        RandomWorldParam{209, 1.0, 3, true},
+        RandomWorldParam{210, 0.25, 10, true},
+        RandomWorldParam{211, 0.75, 1, true},
+        RandomWorldParam{212, 0.9, 25, true}));
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,154 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology_builder.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::ontology {
+namespace {
+
+TEST(OntologyBuilderTest, EmptyOntologyIsRejected) {
+  OntologyBuilder builder;
+  const auto result = std::move(builder).Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(OntologyBuilderTest, SingleConceptOntology) {
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept("root");
+  const auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root(), root);
+  EXPECT_EQ(result->num_concepts(), 1u);
+  EXPECT_EQ(result->num_edges(), 0u);
+  EXPECT_EQ(result->depth(root), 0u);
+  EXPECT_EQ(result->path_count(root), 1u);
+}
+
+TEST(OntologyBuilderTest, DuplicateNameIsRejected) {
+  OntologyBuilder builder;
+  builder.AddConcept("x");
+  builder.AddConcept("x");
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(OntologyBuilderTest, SelfEdgeIsRejected) {
+  OntologyBuilder builder;
+  const ConceptId a = builder.AddConcept("a");
+  EXPECT_FALSE(builder.AddEdge(a, a).ok());
+}
+
+TEST(OntologyBuilderTest, UnknownEndpointIsRejected) {
+  OntologyBuilder builder;
+  const ConceptId a = builder.AddConcept("a");
+  EXPECT_FALSE(builder.AddEdge(a, 99).ok());
+  EXPECT_FALSE(builder.AddEdge(99, a).ok());
+}
+
+TEST(OntologyBuilderTest, DuplicateEdgeIsRejected) {
+  OntologyBuilder builder;
+  const ConceptId a = builder.AddConcept("a");
+  const ConceptId b = builder.AddConcept("b");
+  ASSERT_TRUE(builder.AddEdge(a, b).ok());
+  ASSERT_TRUE(builder.AddEdge(a, b).ok());  // Detected at Build().
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(OntologyBuilderTest, MultipleRootsAreRejected) {
+  OntologyBuilder builder;
+  const ConceptId a = builder.AddConcept("a");
+  const ConceptId b = builder.AddConcept("b");
+  const ConceptId c = builder.AddConcept("c");
+  ASSERT_TRUE(builder.AddEdge(a, c).ok());
+  ASSERT_TRUE(builder.AddEdge(b, c).ok());  // a and b are both roots.
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(OntologyBuilderTest, CycleIsRejected) {
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept("root");
+  const ConceptId a = builder.AddConcept("a");
+  const ConceptId b = builder.AddConcept("b");
+  ASSERT_TRUE(builder.AddEdge(root, a).ok());
+  ASSERT_TRUE(builder.AddEdge(a, b).ok());
+  ASSERT_TRUE(builder.AddEdge(b, a).ok());
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(OntologyBuilderTest, UnreachableConceptIsRejected) {
+  OntologyBuilder builder;
+  builder.AddConcept("root");
+  builder.AddConcept("island");
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(OntologyTest, Fig3Structure) {
+  const testing::Fig3 fig3 = testing::MakeFig3Ontology();
+  const Ontology& onto = fig3.ontology;
+  EXPECT_EQ(onto.num_concepts(), 22u);
+  EXPECT_EQ(onto.num_edges(), 22u);
+  EXPECT_EQ(onto.root(), fig3['A']);
+  EXPECT_EQ(onto.name(fig3['J']), "J");
+  EXPECT_EQ(onto.FindByName("J"), fig3['J']);
+  EXPECT_EQ(onto.FindByName("nonexistent"), kInvalidConcept);
+
+  // Children in Dewey order.
+  const auto a_children = onto.children(fig3['A']);
+  ASSERT_EQ(a_children.size(), 3u);
+  EXPECT_EQ(a_children[0], fig3['B']);
+  EXPECT_EQ(a_children[1], fig3['C']);
+  EXPECT_EQ(a_children[2], fig3['D']);
+
+  // J has two parents with the right ordinals: G's child #2, F's child #1.
+  const auto j_parents = onto.parents(fig3['J']);
+  const auto j_ordinals = onto.parent_ordinals(fig3['J']);
+  ASSERT_EQ(j_parents.size(), 2u);
+  ASSERT_EQ(j_ordinals.size(), 2u);
+  for (std::size_t i = 0; i < j_parents.size(); ++i) {
+    if (j_parents[i] == fig3['G']) {
+      EXPECT_EQ(j_ordinals[i], 2u);
+    } else {
+      EXPECT_EQ(j_parents[i], fig3['F']);
+      EXPECT_EQ(j_ordinals[i], 1u);
+    }
+  }
+}
+
+TEST(OntologyTest, Fig3Depths) {
+  const testing::Fig3 fig3 = testing::MakeFig3Ontology();
+  const Ontology& onto = fig3.ontology;
+  EXPECT_EQ(onto.depth(fig3['A']), 0u);
+  EXPECT_EQ(onto.depth(fig3['D']), 1u);
+  EXPECT_EQ(onto.depth(fig3['F']), 2u);
+  // J: min(depth via G = 4, via F = 3) = 3.
+  EXPECT_EQ(onto.depth(fig3['J']), 3u);
+  EXPECT_EQ(onto.depth(fig3['I']), 4u);
+  // R: min(6 via G-side, 5 via F-side) = 5.
+  EXPECT_EQ(onto.depth(fig3['R']), 5u);
+  EXPECT_EQ(onto.depth(fig3['T']), 6u);
+  // Deepest min-depth nodes are T, U, V at 6 (V's G-side path has length
+  // 7, but depth is the minimum).
+  EXPECT_EQ(onto.depth(fig3['U']), 6u);
+  EXPECT_EQ(onto.depth(fig3['V']), 6u);
+  EXPECT_EQ(onto.max_depth(), 6u);
+}
+
+TEST(OntologyTest, Fig3PathCounts) {
+  const testing::Fig3 fig3 = testing::MakeFig3Ontology();
+  const Ontology& onto = fig3.ontology;
+  EXPECT_EQ(onto.path_count(fig3['A']), 1u);
+  EXPECT_EQ(onto.path_count(fig3['I']), 1u);
+  EXPECT_EQ(onto.path_count(fig3['J']), 2u);  // Via G and via F.
+  EXPECT_EQ(onto.path_count(fig3['R']), 2u);
+  EXPECT_EQ(onto.path_count(fig3['U']), 2u);
+  EXPECT_EQ(onto.path_count(fig3['V']), 2u);
+  EXPECT_EQ(onto.path_count(fig3['T']), 1u);
+}
+
+}  // namespace
+}  // namespace ecdr::ontology

@@ -1,0 +1,147 @@
+#include "core/query_expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::Corpus;
+using corpus::Document;
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+std::map<ConceptId, double> AsMap(const std::vector<WeightedConcept>& list) {
+  std::map<ConceptId, double> map;
+  for (const auto& wc : list) map[wc.concept_id] = wc.weight;
+  return map;
+}
+
+TEST(QueryExpansionTest, SourceKeepsWeightOne) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const std::vector<ConceptId> query = {fig3['F']};
+  const auto expanded = ExpandQuery(fig3.ontology, query);
+  ASSERT_TRUE(expanded.ok());
+  const auto map = AsMap(*expanded);
+  EXPECT_DOUBLE_EQ(map.at(fig3['F']), 1.0);
+}
+
+TEST(QueryExpansionTest, WeightsDecayWithValidPathDistance) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  QueryExpansionOptions options;
+  options.radius = 2;
+  options.decay = 0.5;
+  options.max_expansions_per_concept = 100;
+  const std::vector<ConceptId> query = {fig3['F']};
+  const auto expanded = ExpandQuery(fig3.ontology, query, options);
+  ASSERT_TRUE(expanded.ok());
+  const auto map = AsMap(*expanded);
+  // Level 1 from F: D, H, J at 0.5.
+  EXPECT_DOUBLE_EQ(map.at(fig3['D']), 0.5);
+  EXPECT_DOUBLE_EQ(map.at(fig3['H']), 0.5);
+  EXPECT_DOUBLE_EQ(map.at(fig3['J']), 0.5);
+  // Level 2: A, K, L, O, P at 0.25 — and NOT G (valid-path rule).
+  EXPECT_DOUBLE_EQ(map.at(fig3['A']), 0.25);
+  EXPECT_DOUBLE_EQ(map.at(fig3['L']), 0.25);
+  EXPECT_FALSE(map.contains(fig3['G']));
+  // Nothing beyond the radius.
+  EXPECT_FALSE(map.contains(fig3['T']));  // distance 4 from F via H,K,S.
+}
+
+TEST(QueryExpansionTest, AncestorsOnlyClimbsUpward) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  QueryExpansionOptions options;
+  options.radius = 3;
+  options.ancestors_only = true;
+  options.max_expansions_per_concept = 100;
+  const std::vector<ConceptId> query = {fig3['R']};
+  const auto expanded = ExpandQuery(fig3.ontology, query, options);
+  ASSERT_TRUE(expanded.ok());
+  const auto map = AsMap(*expanded);
+  // Ancestors of R within 3 hops: O(1), J(2), G(3), F(3).
+  EXPECT_TRUE(map.contains(fig3['O']));
+  EXPECT_TRUE(map.contains(fig3['J']));
+  EXPECT_TRUE(map.contains(fig3['G']));
+  EXPECT_TRUE(map.contains(fig3['F']));
+  // No descendants or siblings.
+  EXPECT_FALSE(map.contains(fig3['U']));
+  EXPECT_FALSE(map.contains(fig3['V']));
+}
+
+TEST(QueryExpansionTest, OverlappingExpansionsKeepLargestWeight) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  QueryExpansionOptions options;
+  options.radius = 2;
+  options.decay = 0.5;
+  options.max_expansions_per_concept = 100;
+  // J is 1 step from F (weight 0.5) and 2 steps from I via G (0.25).
+  const std::vector<ConceptId> query = {fig3['F'], fig3['I']};
+  const auto expanded = ExpandQuery(fig3.ontology, query, options);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_DOUBLE_EQ(AsMap(*expanded).at(fig3['J']), 0.5);
+}
+
+TEST(QueryExpansionTest, CapLimitsExpansionsPerConcept) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  QueryExpansionOptions options;
+  options.radius = 3;
+  options.max_expansions_per_concept = 2;
+  const std::vector<ConceptId> query = {fig3['F']};
+  const auto expanded = ExpandQuery(fig3.ontology, query, options);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->size(), 3u);  // Source + 2 nearest.
+}
+
+TEST(QueryExpansionTest, ValidatesInput) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  EXPECT_FALSE(ExpandQuery(fig3.ontology, {}).ok());
+  const std::vector<ConceptId> bad = {9999};
+  EXPECT_FALSE(ExpandQuery(fig3.ontology, bad).ok());
+  QueryExpansionOptions options;
+  options.decay = 0.0;
+  const std::vector<ConceptId> query = {fig3['F']};
+  EXPECT_FALSE(ExpandQuery(fig3.ontology, query, options).ok());
+}
+
+TEST(QueryExpansionTest, ExpandedSearchRecallsNearMissDocuments) {
+  // The motivating case from the paper's introduction: a document about
+  // "thrombosis" should surface for an "aortic valve stenosis"-adjacent
+  // query once expansion pulls in nearby concepts. Here: doc contains
+  // only L; the exact query {T} misses it at raw distance, but the
+  // expanded query scores it through the shared ancestor H.
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['L']})).ok());   // doc 0
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['M']})).ok());   // doc 1 far
+  index::InvertedIndex index(corpus);
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  Knds knds(corpus, index, &drc);
+
+  QueryExpansionOptions options;
+  options.radius = 3;
+  options.decay = 0.5;
+  options.max_expansions_per_concept = 100;
+  const std::vector<ConceptId> query = {fig3['T']};
+  const auto expanded = ExpandQuery(fig3.ontology, query, options);
+  ASSERT_TRUE(expanded.ok());
+  const auto results = knds.SearchRdsWeighted(*expanded, 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].id, 0u);  // The L-document wins.
+  EXPECT_LT((*results)[0].distance, (*results)[1].distance);
+}
+
+}  // namespace
+}  // namespace ecdr::core

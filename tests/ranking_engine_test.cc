@@ -1,0 +1,133 @@
+#include "core/ranking_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "ontology/ontology_io.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::core {
+namespace {
+
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+std::unique_ptr<RankingEngine> MakeEngine() {
+  Fig3 fig3 = MakeFig3Ontology();
+  auto engine = RankingEngine::Create(std::move(fig3.ontology));
+  const auto& onto = engine->ontology();
+  const auto c = [&](const char* name) { return onto.FindByName(name); };
+  ECDR_CHECK(engine->AddDocument({c("F"), c("R")}).ok());
+  ECDR_CHECK(engine->AddDocument({c("I"), c("M")}).ok());
+  ECDR_CHECK(engine->AddDocument({c("T"), c("V")}).ok());
+  ECDR_CHECK(engine->AddDocument({c("L")}).ok());
+  return engine;
+}
+
+TEST(RankingEngineTest, EndToEndRds) {
+  const auto engine = MakeEngine();
+  const std::vector<ConceptId> query = {engine->ontology().FindByName("F")};
+  const auto results = engine->FindRelevant(query, 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].id, 0u);  // Contains F itself.
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+}
+
+TEST(RankingEngineTest, FindRelevantByName) {
+  const auto engine = MakeEngine();
+  const std::vector<std::string_view> names = {"F", "I"};
+  const auto results = engine->FindRelevantByName(names, 4);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 4u);
+  const std::vector<std::string_view> bad = {"nonexistent"};
+  const auto missing = engine->FindRelevantByName(bad, 4);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RankingEngineTest, FindSimilarAndDistance) {
+  const auto engine = MakeEngine();
+  const auto results = engine->FindSimilar(0, 4);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].id, 0u);
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+  const auto distance = engine->DocumentDistance(0, 0);
+  ASSERT_TRUE(distance.ok());
+  EXPECT_DOUBLE_EQ(*distance, 0.0);
+  EXPECT_FALSE(engine->FindSimilar(99, 1).ok());
+  EXPECT_FALSE(engine->DocumentDistance(0, 99).ok());
+}
+
+TEST(RankingEngineTest, FindSimilarToExternalConcepts) {
+  const auto engine = MakeEngine();
+  const auto& onto = engine->ontology();
+  const auto results = engine->FindSimilarToConcepts(
+      {onto.FindByName("T"), onto.FindByName("V")}, 1);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].id, 2u);  // The {T, V} document.
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+  EXPECT_FALSE(engine->FindSimilarToConcepts({}, 1).ok());
+}
+
+TEST(RankingEngineTest, AddDocumentIsImmediatelySearchable) {
+  const auto engine = MakeEngine();
+  const auto& onto = engine->ontology();
+  const auto id = engine->AddDocument({onto.FindByName("N")});
+  ASSERT_TRUE(id.ok());
+  const std::vector<ConceptId> query = {onto.FindByName("N")};
+  const auto results = engine->FindRelevant(query, 1);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].id, *id);
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+  EXPECT_FALSE(engine->AddDocument({}).ok());
+  EXPECT_FALSE(engine->AddDocument({12345}).ok());
+}
+
+TEST(RankingEngineTest, WeightedQueries) {
+  const auto engine = MakeEngine();
+  const auto& onto = engine->ontology();
+  const std::vector<WeightedConcept> query = {
+      {onto.FindByName("F"), 2.0}, {onto.FindByName("I"), 0.5}};
+  const auto results = engine->FindRelevantWeighted(query, 4);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 4u);
+}
+
+TEST(RankingEngineTest, CreateFromFiles) {
+  Fig3 fig3 = MakeFig3Ontology();
+  const std::string ontology_path =
+      ::testing::TempDir() + "/engine_ontology.txt";
+  const std::string corpus_path = ::testing::TempDir() + "/engine_corpus.txt";
+  ASSERT_TRUE(ontology::SaveOntology(fig3.ontology, ontology_path).ok());
+  {
+    corpus::Corpus corpus(fig3.ontology);
+    ASSERT_TRUE(
+        corpus.AddDocument(corpus::Document({fig3['F'], fig3['R']})).ok());
+    ASSERT_TRUE(corpus::SaveCorpus(corpus, corpus_path).ok());
+  }
+  auto engine = RankingEngine::CreateFromFiles(ontology_path, corpus_path);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->corpus().num_documents(), 1u);
+  const std::vector<ConceptId> query = {
+      (*engine)->ontology().FindByName("F")};
+  const auto results = (*engine)->FindRelevant(query, 1);
+  ASSERT_TRUE(results.ok());
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+
+  EXPECT_FALSE(
+      RankingEngine::CreateFromFiles("/nonexistent", corpus_path).ok());
+  EXPECT_FALSE(
+      RankingEngine::CreateFromFiles(ontology_path, "/nonexistent").ok());
+  std::remove(ontology_path.c_str());
+  std::remove(corpus_path.c_str());
+}
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,119 @@
+#include "core/semantic_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ontology/distance_oracle.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::Corpus;
+using corpus::Document;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+Corpus MakeSmallCorpus(const Fig3& fig3) {
+  Corpus corpus(fig3.ontology);
+  ECDR_CHECK(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ECDR_CHECK(corpus.AddDocument(Document({fig3['R'], fig3['U']})).ok());
+  ECDR_CHECK(corpus.AddDocument(Document({fig3['I']})).ok());
+  return corpus;
+}
+
+TEST(SemanticSimilarityTest, ShortestPathMatchesOracle) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ConceptSimilarity similarity(fig3.ontology, nullptr,
+                               SemanticMeasure::kShortestPath);
+  ontology::DistanceOracle oracle(fig3.ontology);
+  for (char a : {'F', 'G', 'R', 'L'}) {
+    for (char b : {'A', 'I', 'T', 'V'}) {
+      EXPECT_DOUBLE_EQ(similarity.Distance(fig3[a], fig3[b]),
+                       oracle.ConceptDistance(fig3[a], fig3[b]))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(SemanticSimilarityTest, MeasuresAreSymmetricAndZeroOnIdentity) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const Corpus corpus = MakeSmallCorpus(fig3);
+  for (const SemanticMeasure measure :
+       {SemanticMeasure::kShortestPath, SemanticMeasure::kWuPalmer,
+        SemanticMeasure::kLin}) {
+    ConceptSimilarity similarity(fig3.ontology, &corpus, measure);
+    EXPECT_DOUBLE_EQ(similarity.Distance(fig3['R'], fig3['R']), 0.0)
+        << SemanticMeasureName(measure);
+    for (char a : {'F', 'I', 'R'}) {
+      for (char b : {'L', 'T', 'G'}) {
+        EXPECT_DOUBLE_EQ(similarity.Distance(fig3[a], fig3[b]),
+                         similarity.Distance(fig3[b], fig3[a]))
+            << SemanticMeasureName(measure);
+      }
+    }
+  }
+}
+
+TEST(SemanticSimilarityTest, WuPalmerAndLinAreBounded) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const Corpus corpus = MakeSmallCorpus(fig3);
+  for (const SemanticMeasure measure :
+       {SemanticMeasure::kWuPalmer, SemanticMeasure::kLin}) {
+    ConceptSimilarity similarity(fig3.ontology, &corpus, measure);
+    for (ConceptId a = 0; a < fig3.ontology.num_concepts(); ++a) {
+      for (ConceptId b = a; b < fig3.ontology.num_concepts(); b += 3) {
+        const double d = similarity.Distance(a, b);
+        EXPECT_GE(d, 0.0) << SemanticMeasureName(measure);
+        EXPECT_LE(d, 1.0) << SemanticMeasureName(measure);
+      }
+    }
+  }
+}
+
+TEST(SemanticSimilarityTest, InformationContentDecreasesTowardRoot) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const Corpus corpus = MakeSmallCorpus(fig3);
+  ConceptSimilarity similarity(fig3.ontology, &corpus,
+                               SemanticMeasure::kResnik);
+  EXPECT_DOUBLE_EQ(similarity.InformationContent(fig3['A']), 0.0);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    for (ConceptId parent : fig3.ontology.parents(c)) {
+      EXPECT_LE(similarity.InformationContent(parent),
+                similarity.InformationContent(c) + 1e-12)
+          << fig3.ontology.name(parent) << " vs " << fig3.ontology.name(c);
+    }
+  }
+}
+
+TEST(SemanticSimilarityTest, CloserPairsScoreCloser) {
+  // Under every measure, R and U (parent/child, deep) should be closer
+  // than R and L (opposite subtrees).
+  const Fig3 fig3 = MakeFig3Ontology();
+  const Corpus corpus = MakeSmallCorpus(fig3);
+  for (const SemanticMeasure measure :
+       {SemanticMeasure::kShortestPath, SemanticMeasure::kWuPalmer,
+        SemanticMeasure::kResnik, SemanticMeasure::kLin}) {
+    ConceptSimilarity similarity(fig3.ontology, &corpus, measure);
+    EXPECT_LT(similarity.Distance(fig3['R'], fig3['U']),
+              similarity.Distance(fig3['R'], fig3['L']))
+        << SemanticMeasureName(measure);
+  }
+}
+
+TEST(SemanticSimilarityTest, DocDocGeneralizationReducesToEq3) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ConceptSimilarity similarity(fig3.ontology, nullptr,
+                               SemanticMeasure::kShortestPath);
+  ontology::DistanceOracle oracle(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  EXPECT_DOUBLE_EQ(similarity.DocDocDistance(d, q),
+                   oracle.DocDocDistance(d, q));
+}
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,237 @@
+// Adversarial-shape stress tests. Random DAGs from the generator are
+// "benign"; these hand-built pathologies target the algorithms' weak
+// spots: deep chains (radix compression of long labels), wide stars
+// (fanout and Dewey ordinal width), stacked diamonds (exponential-ish
+// address multiplication and shared-node reuse in the D-Radix), and
+// layered complete bipartite graphs (maximal multi-parent density).
+// Every shape cross-validates DRC against the oracle and kNDS against
+// the exhaustive ranker.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "ontology/dewey.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/ontology_builder.h"
+#include "util/random.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::Corpus;
+using corpus::Document;
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ontology::Ontology;
+using ontology::OntologyBuilder;
+
+/// A chain root -> c1 -> ... -> c_depth.
+Ontology MakeChain(std::uint32_t depth) {
+  OntologyBuilder builder;
+  ConceptId previous = builder.AddConcept("n0");
+  for (std::uint32_t i = 1; i <= depth; ++i) {
+    const ConceptId current = builder.AddConcept("n" + std::to_string(i));
+    ECDR_CHECK(builder.AddEdge(previous, current).ok());
+    previous = current;
+  }
+  auto built = std::move(builder).Build();
+  ECDR_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+/// A root with `width` leaf children.
+Ontology MakeStar(std::uint32_t width) {
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept("root");
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const ConceptId leaf = builder.AddConcept("leaf" + std::to_string(i));
+    ECDR_CHECK(builder.AddEdge(root, leaf).ok());
+  }
+  auto built = std::move(builder).Build();
+  ECDR_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+/// `stacks` diamonds in sequence: each level is {top -> left,right ->
+/// bottom}; the bottom concept has 2^stacks Dewey addresses.
+Ontology MakeDiamondStack(std::uint32_t stacks) {
+  OntologyBuilder builder;
+  ConceptId top = builder.AddConcept("top0");
+  for (std::uint32_t i = 0; i < stacks; ++i) {
+    const std::string suffix = std::to_string(i);
+    const ConceptId left = builder.AddConcept("left" + suffix);
+    const ConceptId right = builder.AddConcept("right" + suffix);
+    const ConceptId bottom = builder.AddConcept("top" + std::to_string(i + 1));
+    ECDR_CHECK(builder.AddEdge(top, left).ok());
+    ECDR_CHECK(builder.AddEdge(top, right).ok());
+    ECDR_CHECK(builder.AddEdge(left, bottom).ok());
+    ECDR_CHECK(builder.AddEdge(right, bottom).ok());
+    top = bottom;
+  }
+  auto built = std::move(builder).Build();
+  ECDR_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+/// `layers` layers of `width` nodes each, every node connected to every
+/// node of the next layer (max multi-parent density).
+Ontology MakeBipartiteLayers(std::uint32_t layers, std::uint32_t width) {
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept("root");
+  std::vector<ConceptId> previous = {root};
+  for (std::uint32_t layer = 0; layer < layers; ++layer) {
+    std::vector<ConceptId> current;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      current.push_back(builder.AddConcept(
+          "l" + std::to_string(layer) + "n" + std::to_string(i)));
+      for (const ConceptId parent : previous) {
+        ECDR_CHECK(builder.AddEdge(parent, current.back()).ok());
+      }
+    }
+    previous = std::move(current);
+  }
+  auto built = std::move(builder).Build();
+  ECDR_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+void CheckDrcAgainstOracle(const Ontology& ontology, std::uint64_t seed,
+                           std::uint32_t trials, std::uint32_t set_size) {
+  AddressEnumerator enumerator(ontology);
+  Drc drc(ontology, &enumerator);
+  ontology::DistanceOracle oracle(ontology);
+  util::Rng rng(seed);
+  const std::uint32_t n = ontology.num_concepts();
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto size = std::min(set_size, n);
+    const std::vector<ConceptId> doc =
+        rng.SampleWithoutReplacement(n, size);
+    const std::vector<ConceptId> query =
+        rng.SampleWithoutReplacement(n, std::min(4u, n));
+    const auto dag = drc.BuildIndex(doc, query);
+    ASSERT_TRUE(dag.ok());
+    ASSERT_TRUE(dag->CheckInvariants().ok());
+    EXPECT_EQ(*drc.DocQueryDistance(doc, query),
+              oracle.DocQueryDistance(doc, query));
+    EXPECT_DOUBLE_EQ(*drc.DocDocDistance(doc, query),
+                     oracle.DocDocDistance(doc, query));
+  }
+}
+
+TEST(StressTest, DeepChain) {
+  const Ontology chain = MakeChain(300);
+  CheckDrcAgainstOracle(chain, 1, 5, 10);
+  // On a chain the distance is just the index gap.
+  AddressEnumerator enumerator(chain);
+  Drc drc(chain, &enumerator);
+  const std::vector<ConceptId> doc = {10};
+  const std::vector<ConceptId> query = {250};
+  EXPECT_EQ(*drc.DocQueryDistance(doc, query), 240u);
+}
+
+TEST(StressTest, WideStar) {
+  const Ontology star = MakeStar(2000);
+  CheckDrcAgainstOracle(star, 2, 5, 50);
+  // Any two leaves are at distance 2 through the root.
+  AddressEnumerator enumerator(star);
+  Drc drc(star, &enumerator);
+  const std::vector<ConceptId> doc = {1};
+  const std::vector<ConceptId> query = {1999};
+  EXPECT_EQ(*drc.DocQueryDistance(doc, query), 2u);
+}
+
+TEST(StressTest, DiamondStackAddressExplosionIsCapped) {
+  // 16 stacked diamonds: the bottom has 2^16 = 65,536 root paths; the
+  // enumerator must cap without crashing and distances stay exact (all
+  // addresses are symmetric, so truncation loses nothing here).
+  const Ontology diamonds = MakeDiamondStack(16);
+  ontology::AddressEnumeratorOptions options;
+  options.max_addresses = 128;
+  AddressEnumerator enumerator(diamonds, options);
+  const ConceptId bottom = diamonds.FindByName("top16");
+  ASSERT_NE(bottom, ontology::kInvalidConcept);
+  EXPECT_EQ(diamonds.path_count(bottom), 1u << 16);
+  EXPECT_EQ(enumerator.Addresses(bottom).size(), 128u);
+  EXPECT_TRUE(enumerator.truncated(bottom));
+
+  Drc drc(diamonds, &enumerator);
+  ontology::DistanceOracle oracle(diamonds);
+  const std::vector<ConceptId> doc = {diamonds.FindByName("left3")};
+  const std::vector<ConceptId> query = {diamonds.FindByName("right12")};
+  EXPECT_EQ(*drc.DocQueryDistance(doc, query),
+            oracle.DocQueryDistance(doc, query));
+}
+
+TEST(StressTest, DiamondStackExactWithoutTruncation) {
+  const Ontology diamonds = MakeDiamondStack(8);  // 256 addresses, no cap.
+  CheckDrcAgainstOracle(diamonds, 3, 8, 6);
+}
+
+TEST(StressTest, BipartiteLayers) {
+  const Ontology bipartite = MakeBipartiteLayers(4, 5);
+  CheckDrcAgainstOracle(bipartite, 4, 8, 8);
+}
+
+TEST(StressTest, KndsOnPathologicalShapes) {
+  for (int shape = 0; shape < 3; ++shape) {
+    const Ontology ontology = shape == 0   ? MakeChain(120)
+                              : shape == 1 ? MakeDiamondStack(8)
+                                           : MakeBipartiteLayers(3, 6);
+    Corpus corpus(ontology);
+    util::Rng rng(50 + shape);
+    for (int d = 0; d < 30; ++d) {
+      std::vector<ConceptId> concepts = rng.SampleWithoutReplacement(
+          ontology.num_concepts(),
+          std::min<std::uint32_t>(5, ontology.num_concepts()));
+      ECDR_CHECK(corpus.AddDocument(Document(std::move(concepts))).ok());
+    }
+    index::InvertedIndex index(corpus);
+    AddressEnumerator enumerator(ontology);
+    Drc drc(ontology, &enumerator);
+    ExhaustiveRanker exhaustive(corpus, &drc);
+    for (const double eps : {0.0, 1.0}) {
+      KndsOptions options;
+      options.error_threshold = eps;
+      Knds knds(corpus, index, &drc, options);
+      const std::vector<ConceptId> query =
+          rng.SampleWithoutReplacement(ontology.num_concepts(), 3);
+      const auto got = knds.SearchRds(query, 5);
+      ASSERT_TRUE(got.ok());
+      const auto want = exhaustive.TopKRelevant(query, 5);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got->size(), want->size());
+      for (std::size_t i = 0; i < got->size(); ++i) {
+        EXPECT_DOUBLE_EQ((*got)[i].distance, (*want)[i].distance)
+            << "shape=" << shape << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(StressTest, SingleConceptWorld) {
+  OntologyBuilder builder;
+  const ConceptId only = builder.AddConcept("only");
+  auto ontology = std::move(builder).Build();
+  ASSERT_TRUE(ontology.ok());
+  Corpus corpus(*ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({only})).ok());
+  index::InvertedIndex index(corpus);
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  Knds knds(corpus, index, &drc);
+  const std::vector<ConceptId> query = {only};
+  const auto results = knds.SearchRds(query, 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_DOUBLE_EQ((*results)[0].distance, 0.0);
+}
+
+}  // namespace
+}  // namespace ecdr::core

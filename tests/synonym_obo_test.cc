@@ -1,0 +1,199 @@
+// Tests for synonym support (Section 1: "heart attack" and "myocardial
+// infarction" represent the same ontology concept) and for the OBO
+// flat-file importer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "ontology/obo_io.h"
+#include "ontology/ontology_builder.h"
+#include "ontology/ontology_io.h"
+
+namespace ecdr::ontology {
+namespace {
+
+TEST(SynonymTest, FindByNameResolvesSynonyms) {
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept("clinical finding");
+  const ConceptId mi = builder.AddConcept("myocardial infarction");
+  ASSERT_TRUE(builder.AddEdge(root, mi).ok());
+  ASSERT_TRUE(builder.AddSynonym(mi, "heart attack").ok());
+  ASSERT_TRUE(builder.AddSynonym(mi, "MI").ok());
+  const auto ontology = std::move(builder).Build();
+  ASSERT_TRUE(ontology.ok());
+  EXPECT_EQ(ontology->FindByName("myocardial infarction"), mi);
+  EXPECT_EQ(ontology->FindByName("heart attack"), mi);
+  EXPECT_EQ(ontology->FindByName("MI"), mi);
+  EXPECT_EQ(ontology->synonyms(mi).size(), 2u);
+  EXPECT_EQ(ontology->synonyms(root).size(), 0u);
+  EXPECT_EQ(ontology->num_synonyms(), 2u);
+}
+
+TEST(SynonymTest, CollisionsAreRejected) {
+  {
+    OntologyBuilder builder;
+    const ConceptId root = builder.AddConcept("a");
+    const ConceptId b = builder.AddConcept("b");
+    ASSERT_TRUE(builder.AddEdge(root, b).ok());
+    ASSERT_TRUE(builder.AddSynonym(b, "a").ok());  // Collides with a name.
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  {
+    OntologyBuilder builder;
+    const ConceptId root = builder.AddConcept("a");
+    const ConceptId b = builder.AddConcept("b");
+    ASSERT_TRUE(builder.AddEdge(root, b).ok());
+    ASSERT_TRUE(builder.AddSynonym(root, "x").ok());
+    ASSERT_TRUE(builder.AddSynonym(b, "x").ok());  // Duplicate synonym.
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  OntologyBuilder builder;
+  builder.AddConcept("a");
+  EXPECT_FALSE(builder.AddSynonym(42, "x").ok());  // Unknown concept.
+}
+
+TEST(SynonymTest, TextFormatRoundTripsSynonyms) {
+  OntologyBuilder builder;
+  const ConceptId root = builder.AddConcept("root");
+  const ConceptId child = builder.AddConcept("child");
+  ASSERT_TRUE(builder.AddEdge(root, child).ok());
+  ASSERT_TRUE(builder.AddSynonym(child, "kid with spaces").ok());
+  auto original = std::move(builder).Build();
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = ::testing::TempDir() + "/synonyms_roundtrip.txt";
+  ASSERT_TRUE(SaveOntology(*original, path).ok());
+  const auto loaded = LoadOntology(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->FindByName("kid with spaces"), child);
+  EXPECT_EQ(loaded->num_synonyms(), 1u);
+  std::remove(path.c_str());
+}
+
+class OboImportTest : public ::testing::Test {
+ protected:
+  std::string WriteObo(const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/test.obo";
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  void TearDown() override {
+    std::remove((::testing::TempDir() + "/test.obo").c_str());
+  }
+};
+
+constexpr char kSmallObo[] = R"(format-version: 1.2
+! A comment line.
+
+[Term]
+id: EX:0001
+name: process
+
+[Term]
+id: EX:0002
+name: metabolic process
+synonym: "metabolism" EXACT []
+is_a: EX:0001 ! process
+
+[Term]
+id: EX:0003
+name: growth
+is_a: EX:0001
+
+[Term]
+id: EX:0004
+name: old growth
+is_obsolete: true
+
+[Typedef]
+id: part_of
+name: part of
+)";
+
+TEST_F(OboImportTest, ImportsTermsEdgesAndSynonyms) {
+  const auto ontology = LoadOboOntology(WriteObo(kSmallObo));
+  ASSERT_TRUE(ontology.ok());
+  // Virtual root + 3 live terms (the obsolete one is skipped).
+  EXPECT_EQ(ontology->num_concepts(), 4u);
+  const ConceptId process = ontology->FindByName("EX:0001");
+  const ConceptId metabolic = ontology->FindByName("EX:0002");
+  ASSERT_NE(process, kInvalidConcept);
+  ASSERT_NE(metabolic, kInvalidConcept);
+  // Names and synonyms resolve.
+  EXPECT_EQ(ontology->FindByName("metabolic process"), metabolic);
+  EXPECT_EQ(ontology->FindByName("metabolism"), metabolic);
+  EXPECT_EQ(ontology->FindByName("old growth"), kInvalidConcept);
+  // Structure: the explicit root hangs under the virtual root.
+  const auto parents = ontology->parents(metabolic);
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], process);
+  EXPECT_EQ(ontology->depth(metabolic), 2u);  // virtual root -> EX:0001 -> EX:0002
+}
+
+TEST_F(OboImportTest, MultipleRootsShareTheVirtualRoot) {
+  const auto ontology = LoadOboOntology(WriteObo(R"([Term]
+id: A:1
+name: alpha
+
+[Term]
+id: B:1
+name: beta
+)"));
+  ASSERT_TRUE(ontology.ok());
+  EXPECT_EQ(ontology->num_concepts(), 3u);
+  EXPECT_EQ(ontology->depth(ontology->FindByName("A:1")), 1u);
+  EXPECT_EQ(ontology->depth(ontology->FindByName("B:1")), 1u);
+}
+
+TEST_F(OboImportTest, DuplicateNamesBecomeFirstComeSynonyms) {
+  const auto ontology = LoadOboOntology(WriteObo(R"([Term]
+id: A:1
+name: shared name
+
+[Term]
+id: B:1
+name: shared name
+)"));
+  ASSERT_TRUE(ontology.ok());
+  // The name resolves to the first term; the import does not fail.
+  EXPECT_EQ(ontology->FindByName("shared name"),
+            ontology->FindByName("A:1"));
+}
+
+TEST_F(OboImportTest, RejectsBrokenInputs) {
+  EXPECT_FALSE(LoadOboOntology("/nonexistent.obo").ok());
+  EXPECT_FALSE(LoadOboOntology(WriteObo("format-version: 1.2\n")).ok());
+  EXPECT_FALSE(LoadOboOntology(WriteObo(R"([Term]
+id: A:1
+is_a: MISSING:1
+)")).ok());
+  EXPECT_FALSE(LoadOboOntology(WriteObo(R"([Term]
+name: no id here
+)")).ok());
+  // Cycles are caught by the builder.
+  EXPECT_FALSE(LoadOboOntology(WriteObo(R"([Term]
+id: A:1
+is_a: B:1
+
+[Term]
+id: B:1
+is_a: A:1
+)")).ok());
+}
+
+TEST_F(OboImportTest, SynonymImportCanBeDisabled) {
+  OboImportOptions options;
+  options.import_synonyms = false;
+  const auto ontology = LoadOboOntology(WriteObo(kSmallObo), options);
+  ASSERT_TRUE(ontology.ok());
+  EXPECT_EQ(ontology->FindByName("metabolism"), kInvalidConcept);
+  EXPECT_EQ(ontology->num_synonyms(), 0u);
+}
+
+}  // namespace
+}  // namespace ecdr::ontology

@@ -1,0 +1,136 @@
+#include "core/ta_ranker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/exhaustive_ranker.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::Corpus;
+using corpus::Document;
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+TEST(TaRankerTest, MatchesExhaustiveOnFig3) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F'], fig3['R']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['I'], fig3['M']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['T'], fig3['V']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['L']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['A']})).ok());
+
+  const index::PrecomputedPostings postings(corpus);
+  TaRanker ta(corpus, postings);
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  ExhaustiveRanker exhaustive(corpus, &drc);
+
+  const std::vector<ConceptId> query = {fig3['F'], fig3['I']};
+  for (const std::uint32_t k : {1u, 2u, 3u, 5u}) {
+    const auto got = ta.TopKRelevant(query, k);
+    ASSERT_TRUE(got.ok());
+    const auto want = exhaustive.TopKRelevant(query, k);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*got)[i].distance, (*want)[i].distance)
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(TaRankerTest, ValidatesInput) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F']})).ok());
+  const index::PrecomputedPostings postings(corpus);
+  TaRanker ta(corpus, postings);
+  EXPECT_FALSE(ta.TopKRelevant({}, 3).ok());
+  const std::vector<ConceptId> bad = {999};
+  EXPECT_FALSE(ta.TopKRelevant(bad, 3).ok());
+  const std::vector<ConceptId> query = {fig3['F']};
+  const auto empty = ta.TopKRelevant(query, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(TaRankerTest, EarlyTerminationScoresFewerDocuments) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 300;
+  ontology_config.seed = 55;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 120;
+  corpus_config.avg_concepts_per_doc = 8;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 56;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  const index::PrecomputedPostings postings(*corpus);
+  TaRanker ta(*corpus, postings);
+
+  const auto queries = corpus::GenerateRdsQueries(*corpus, 5, 3, 57);
+  bool any_early_stop = false;
+  for (const auto& query : queries) {
+    const auto results = ta.TopKRelevant(query, 3);
+    ASSERT_TRUE(results.ok());
+    EXPECT_EQ(results->size(), 3u);
+    if (ta.last_stats().documents_scored < corpus->num_documents()) {
+      any_early_stop = true;
+    }
+  }
+  EXPECT_TRUE(any_early_stop);
+}
+
+class TaAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaAgreementTest, MatchesExhaustiveOnRandomWorlds) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 200;
+  ontology_config.extra_parent_prob = 0.3;
+  ontology_config.seed = GetParam();
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 50;
+  corpus_config.avg_concepts_per_doc = 6;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = GetParam() + 1;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  const index::PrecomputedPostings postings(*corpus);
+  TaRanker ta(*corpus, postings);
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  ExhaustiveRanker exhaustive(*corpus, &drc);
+
+  for (const auto& query :
+       corpus::GenerateRdsQueries(*corpus, 4, 4, GetParam() + 2)) {
+    const auto got = ta.TopKRelevant(query, 5);
+    ASSERT_TRUE(got.ok());
+    const auto want = exhaustive.TopKRelevant(query, 5);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*got)[i].distance, (*want)[i].distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaAgreementTest,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace ecdr::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  StatusOr<int> error = NotFoundError("nope");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(8);
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 10; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(4);
+  for (const std::uint32_t universe : {10u, 100u, 10000u}) {
+    for (const std::uint32_t count : {1u, 5u, 10u}) {
+      const auto sample = rng.SampleWithoutReplacement(universe, count);
+      EXPECT_EQ(sample.size(), count);
+      std::set<std::uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (const auto v : sample) EXPECT_LT(v, universe);
+    }
+  }
+  const auto all = rng.SampleWithoutReplacement(7, 7);
+  EXPECT_EQ(std::set<std::uint32_t>(all.begin(), all.end()).size(), 7u);
+}
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(x);
+  }
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);  // Classic textbook data set.
+  EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, EmptyIsSafe) {
+  const RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(QuantileTest, NearestRank) {
+  std::vector<double> values = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(StringUtilTest, Split) {
+  const auto pieces = Split("a.b..c", '.');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\r\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, ParseUint32) {
+  std::uint32_t v = 0;
+  EXPECT_TRUE(ParseUint32("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_FALSE(ParseUint32("", &v));
+  EXPECT_FALSE(ParseUint32("12x", &v));
+  EXPECT_FALSE(ParseUint32("-1", &v));
+  EXPECT_FALSE(ParseUint32("99999999999", &v));  // Overflow.
+  EXPECT_TRUE(ParseUint32("4294967295", &v));
+  EXPECT_EQ(v, 4294967295u);
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvQuoting) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.5), "500.00 ms");
+  EXPECT_EQ(TablePrinter::FormatSeconds(2.0), "2.00 s");
+  EXPECT_EQ(TablePrinter::FormatSeconds(5e-6), "5.0 us");
+}
+
+}  // namespace
+}  // namespace ecdr::util

@@ -1,0 +1,174 @@
+#include "ontology/valid_path_bfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+#include "util/random.h"
+
+namespace ecdr::ontology {
+namespace {
+
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+std::set<std::string> NamesAtLevel(const Fig3& fig3, ValidPathBfs& bfs,
+                                   std::uint32_t want_level) {
+  std::vector<ConceptId> visited;
+  std::uint32_t level = 0;
+  while (bfs.NextLevel(&visited, &level)) {
+    if (level == want_level) {
+      std::set<std::string> names;
+      for (ConceptId c : visited) names.insert(fig3.ontology.name(c));
+      return names;
+    }
+    visited.clear();
+  }
+  return {};
+}
+
+// Example 4 (Table 2): from F the first level reaches {D, H, J} — not G,
+// because descending to J forbids re-ascending to G (valid-path rule).
+TEST(ValidPathBfsTest, Fig3NeighborsOfF) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['F']};
+  bfs.Start(sources);
+  EXPECT_EQ(NamesAtLevel(fig3, bfs, 1),
+            (std::set<std::string>{"D", "H", "J"}));
+}
+
+TEST(ValidPathBfsTest, Fig3NeighborsOfI) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['I']};
+  bfs.Start(sources);
+  EXPECT_EQ(NamesAtLevel(fig3, bfs, 1),
+            (std::set<std::string>{"G", "M", "N"}));
+}
+
+// Example 4's second iteration from F: {A, K, L, O, P}. G is *not*
+// reached from F at level 2 (the only length-2 route goes down to J and
+// back up, which is invalid).
+TEST(ValidPathBfsTest, Fig3SecondLevelFromF) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['F']};
+  bfs.Start(sources);
+  EXPECT_EQ(NamesAtLevel(fig3, bfs, 2),
+            (std::set<std::string>{"A", "K", "L", "O", "P"}));
+}
+
+TEST(ValidPathBfsTest, Fig3SecondLevelFromI) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['I']};
+  bfs.Start(sources);
+  EXPECT_EQ(NamesAtLevel(fig3, bfs, 2), (std::set<std::string>{"E", "J"}));
+}
+
+// Example 3: a parallel BFS from q = {I, L, U} examines {G, M, N, R, H}
+// in its second iteration (level 1).
+TEST(ValidPathBfsTest, Fig3Example3UnionOfLevelOne) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  std::set<std::string> level1;
+  for (char origin : {'I', 'L', 'U'}) {
+    ValidPathBfs bfs(fig3.ontology);
+    const std::vector<ConceptId> sources = {fig3[origin]};
+    bfs.Start(sources);
+    for (const std::string& name : NamesAtLevel(fig3, bfs, 1)) {
+      level1.insert(name);
+    }
+  }
+  EXPECT_EQ(level1, (std::set<std::string>{"G", "M", "N", "R", "H"}));
+}
+
+TEST(ValidPathBfsTest, SourcesReportAtLevelZero) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['F'], fig3['I']};
+  bfs.Start(sources);
+  EXPECT_EQ(NamesAtLevel(fig3, bfs, 0), (std::set<std::string>{"F", "I"}));
+}
+
+TEST(ValidPathBfsTest, VisitsEveryConceptExactlyOnce) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> sources = {fig3['T']};
+  bfs.Start(sources);
+  std::vector<ConceptId> all;
+  std::vector<ConceptId> visited;
+  std::uint32_t level = 0;
+  while (bfs.NextLevel(&visited, &level)) {
+    all.insert(all.end(), visited.begin(), visited.end());
+    visited.clear();
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  EXPECT_EQ(all.size(), fig3.ontology.num_concepts());
+}
+
+TEST(ValidPathBfsTest, RestartWithEpochsIsClean) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  ValidPathBfs bfs(fig3.ontology);
+  const std::vector<ConceptId> first = {fig3['F']};
+  bfs.Start(first);
+  std::vector<ConceptId> visited;
+  std::uint32_t level = 0;
+  while (bfs.NextLevel(&visited, &level)) visited.clear();
+  // Restart from a different source; results must match a fresh instance.
+  const std::vector<ConceptId> second = {fig3['I']};
+  bfs.Start(second);
+  EXPECT_EQ(NamesAtLevel(fig3, bfs, 1),
+            (std::set<std::string>{"G", "M", "N"}));
+}
+
+// Property: BFS report levels equal the oracle's valid-path distances on
+// randomly generated DAG ontologies.
+class BfsOracleAgreementTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BfsOracleAgreementTest, LevelsMatchOracleDistances) {
+  OntologyGeneratorConfig config;
+  config.num_concepts = 300;
+  config.extra_parent_prob = 0.3;
+  config.seed = GetParam();
+  const auto ontology = GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  DistanceOracle oracle(*ontology);
+  util::Rng rng(GetParam() * 977 + 1);
+
+  ValidPathBfs bfs(*ontology);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto source =
+        static_cast<ConceptId>(rng.UniformInt(0, ontology->num_concepts() - 1));
+    std::vector<std::uint32_t> level_of(ontology->num_concepts(),
+                                        kInfiniteDistance);
+    const std::vector<ConceptId> sources = {source};
+    bfs.Start(sources);
+    std::vector<ConceptId> visited;
+    std::uint32_t level = 0;
+    while (bfs.NextLevel(&visited, &level)) {
+      for (ConceptId c : visited) level_of[c] = level;
+      visited.clear();
+    }
+    for (ConceptId c = 0; c < ontology->num_concepts(); ++c) {
+      // Spot-check a subset to keep the quadratic oracle affordable.
+      if ((c + source) % 17 != 0) continue;
+      EXPECT_EQ(level_of[c], oracle.ConceptDistance(source, c))
+          << "source=" << source << " target=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsOracleAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ecdr::ontology

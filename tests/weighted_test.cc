@@ -1,0 +1,209 @@
+// Tests for the weighted distance / ranking extensions
+// (core/concept_weights.h): weighted DRC against hand computations and
+// the oracle, weighted kNDS against the weighted exhaustive ranker.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/concept_weights.h"
+#include "core/drc.h"
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "util/random.h"
+#include "index/inverted_index.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::Corpus;
+using corpus::DocId;
+using corpus::Document;
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+TEST(ConceptWeightsTest, UniformIsAllOnes) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  const ConceptWeights weights = ConceptWeights::Uniform(fig3.ontology);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    EXPECT_DOUBLE_EQ(weights.of(c), 1.0);
+  }
+  const std::vector<ConceptId> some = {fig3['F'], fig3['R']};
+  EXPECT_DOUBLE_EQ(weights.TotalOf(some), 2.0);
+}
+
+TEST(ConceptWeightsTest, InformationContentWeightsFavorSpecificConcepts) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['R'], fig3['U']})).ok());
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['V']})).ok());
+  const ConceptWeights weights =
+      ConceptWeights::FromInformationContent(fig3.ontology, corpus);
+  // The root gets the floor weight of 1; deep leaves weigh more.
+  EXPECT_DOUBLE_EQ(weights.of(fig3['A']), 1.0);
+  EXPECT_GT(weights.of(fig3['U']), weights.of(fig3['A']));
+  EXPECT_GT(weights.of(fig3['U']), weights.of(fig3['J']));
+}
+
+TEST(WeightedDrcTest, PaperExample1WithWeights) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  // Example 1 distances: Ddc(d, I) = 4, Ddc(d, L) = 2, Ddc(d, U) = 1.
+  const std::vector<WeightedConcept> q = {
+      {fig3['I'], 2.0}, {fig3['L'], 0.5}, {fig3['U'], 3.0}};
+  const auto distance = drc.DocQueryDistanceWeighted(d, q);
+  ASSERT_TRUE(distance.ok());
+  EXPECT_DOUBLE_EQ(*distance, 2.0 * 4 + 0.5 * 2 + 3.0 * 1);
+}
+
+TEST(WeightedDrcTest, UniformWeightsReduceToUnweighted) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  std::vector<WeightedConcept> weighted;
+  for (ConceptId c : q) weighted.push_back({c, 1.0});
+  EXPECT_DOUBLE_EQ(*drc.DocQueryDistanceWeighted(d, weighted),
+                   static_cast<double>(*drc.DocQueryDistance(d, q)));
+  const ConceptWeights uniform = ConceptWeights::Uniform(fig3.ontology);
+  EXPECT_DOUBLE_EQ(*drc.DocDocDistanceWeighted(d, q, uniform),
+                   *drc.DocDocDistance(d, q));
+}
+
+TEST(WeightedDrcTest, DuplicateConceptsKeepLargestWeight) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  const std::vector<ConceptId> d = {fig3['F']};
+  const std::vector<WeightedConcept> q = {
+      {fig3['L'], 0.25}, {fig3['L'], 0.75}};
+  // Ddc(d, L) = 2; max weight 0.75 applies once.
+  EXPECT_DOUBLE_EQ(*drc.DocQueryDistanceWeighted(d, q), 1.5);
+}
+
+TEST(WeightedDrcTest, WeightedDddMatchesHandComputation) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  // Weight everything 1 except R (weight 3) and I (weight 2).
+  std::vector<double> raw(fig3.ontology.num_concepts(), 1.0);
+  raw[fig3['R']] = 3.0;
+  raw[fig3['I']] = 2.0;
+  const ConceptWeights weights{std::move(raw)};
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  // Ddc(q, .): F=2 R=1 T=4 V=5; Ddc(d, .): I=4 L=2 U=1.
+  const double expected =
+      (1 * 2 + 3 * 1 + 1 * 4 + 1 * 5) / (1 + 3 + 1 + 1.0) +
+      (2 * 4 + 1 * 2 + 1 * 1) / (2 + 1 + 1.0);
+  EXPECT_DOUBLE_EQ(*drc.DocDocDistanceWeighted(d, q, weights), expected);
+}
+
+TEST(QueryNormalizationTest, SortsDedupsAndKeepsMaxWeight) {
+  const std::vector<WeightedConcept> raw = {
+      {7, 0.5}, {3, 1.0}, {7, 0.9}, {3, 0.2}};
+  const auto normalized = NormalizeWeightedConcepts(raw);
+  ASSERT_EQ(normalized.size(), 2u);
+  EXPECT_EQ(normalized[0].concept_id, 3u);
+  EXPECT_DOUBLE_EQ(normalized[0].weight, 1.0);
+  EXPECT_EQ(normalized[1].concept_id, 7u);
+  EXPECT_DOUBLE_EQ(normalized[1].weight, 0.9);
+}
+
+// Property: weighted kNDS == weighted exhaustive on random worlds.
+class WeightedKndsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedKndsTest, MatchesWeightedExhaustive) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 300;
+  ontology_config.extra_parent_prob = 0.25;
+  ontology_config.seed = GetParam();
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 50;
+  corpus_config.avg_concepts_per_doc = 10;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = GetParam() + 1;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+
+  AddressEnumerator enumerator(*ontology);
+  Drc drc(*ontology, &enumerator);
+  index::InvertedIndex index(*corpus);
+  ExhaustiveRanker exhaustive(*corpus, &drc);
+  util::Rng rng(GetParam() + 2);
+
+  // Weighted RDS across error thresholds.
+  for (const double eps : {0.0, 0.5, 1.0}) {
+    KndsOptions options;
+    options.error_threshold = eps;
+    Knds knds(*corpus, index, &drc, options);
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<WeightedConcept> query;
+      for (ConceptId c :
+           rng.SampleWithoutReplacement(ontology->num_concepts(), 4)) {
+        query.push_back(WeightedConcept{c, 0.25 + rng.UniformDouble() * 2.0});
+      }
+      const auto got = knds.SearchRdsWeighted(query, 5);
+      ASSERT_TRUE(got.ok());
+      const auto want = exhaustive.TopKRelevantWeighted(query, 5);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got->size(), want->size());
+      for (std::size_t i = 0; i < got->size(); ++i) {
+        EXPECT_NEAR((*got)[i].distance, (*want)[i].distance, 1e-9)
+            << "eps=" << eps << " i=" << i;
+      }
+    }
+  }
+
+  // Weighted SDS with information-content weights.
+  const ConceptWeights ic_weights =
+      ConceptWeights::FromInformationContent(*ontology, *corpus);
+  Knds knds(*corpus, index, &drc);
+  for (const DocId q : corpus::SampleQueryDocuments(*corpus, 2,
+                                                    GetParam() + 3)) {
+    const auto got =
+        knds.SearchSdsWeighted(corpus->document(q), ic_weights, 5);
+    ASSERT_TRUE(got.ok());
+    const auto want =
+        exhaustive.TopKSimilarWeighted(corpus->document(q), ic_weights, 5);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      EXPECT_NEAR((*got)[i].distance, (*want)[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedKndsTest,
+                         ::testing::Values(401, 402, 403, 404, 405, 406));
+
+TEST(WeightedKndsTest, RejectsNonPositiveWeights) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  Corpus corpus(fig3.ontology);
+  ASSERT_TRUE(corpus.AddDocument(Document({fig3['F']})).ok());
+  index::InvertedIndex index(corpus);
+  AddressEnumerator enumerator(fig3.ontology);
+  Drc drc(fig3.ontology, &enumerator);
+  Knds knds(corpus, index, &drc);
+  const std::vector<WeightedConcept> query = {{fig3['L'], 0.0}};
+  EXPECT_FALSE(knds.SearchRdsWeighted(query, 1).ok());
+}
+
+}  // namespace
+}  // namespace ecdr::core

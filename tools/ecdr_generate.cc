@@ -1,0 +1,118 @@
+// CLI: generate a synthetic ontology and/or corpus and write them to the
+// library's text formats.
+//
+//   ecdr_generate --ontology-out onto.txt --concepts 20000 ...
+//                 --corpus-out corpus.txt --docs 1000 --avg-concepts 120 ...
+//                 --cohesion 0.3 --seed 7 [--filter]
+//
+// With --corpus-out but no --ontology-out, --ontology-in must name an
+// existing ontology file.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "corpus/corpus_io.h"
+#include "corpus/filters.h"
+#include "corpus/generator.h"
+#include "ontology/generator.h"
+#include "ontology/ontology_io.h"
+#include "tools/tool_flags.h"
+
+int main(int argc, char** argv) {
+  ecdr::tools::Flags flags(argc, argv);
+  const std::string ontology_out = flags.GetString("ontology-out", "");
+  const std::string ontology_in = flags.GetString("ontology-in", "");
+  const std::string corpus_out = flags.GetString("corpus-out", "");
+  const std::uint32_t concepts = flags.GetUint32("concepts", 20'000);
+  const std::uint32_t docs = flags.GetUint32("docs", 1'000);
+  const double avg_concepts = flags.GetDouble("avg-concepts", 120.0);
+  const double cohesion = flags.GetDouble("cohesion", 0.3);
+  const std::uint64_t seed = flags.GetUint32("seed", 42);
+  const bool filter = flags.GetBool("filter", false);
+  const bool binary = flags.GetBool("binary", false);
+  flags.CheckAllConsumed();
+
+  if (ontology_out.empty() && corpus_out.empty()) {
+    std::fprintf(stderr,
+                 "nothing to do: pass --ontology-out and/or --corpus-out\n");
+    return 2;
+  }
+
+  std::unique_ptr<ecdr::ontology::Ontology> ontology;
+  if (!ontology_in.empty()) {
+    auto loaded = ecdr::ontology::LoadOntologyAuto(ontology_in);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    ontology = std::make_unique<ecdr::ontology::Ontology>(
+        std::move(loaded).value());
+  } else {
+    ecdr::ontology::OntologyGeneratorConfig config;
+    config.num_concepts = concepts;
+    config.seed = seed;
+    auto generated = ecdr::ontology::GenerateOntology(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    ontology = std::make_unique<ecdr::ontology::Ontology>(
+        std::move(generated).value());
+  }
+
+  if (!ontology_out.empty()) {
+    const auto status = binary
+        ? ecdr::ontology::SaveOntologyBinary(*ontology, ontology_out)
+        : ecdr::ontology::SaveOntology(*ontology, ontology_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    const auto stats = ecdr::ontology::ComputeShapeStats(*ontology);
+    std::printf(
+        "wrote %s: %u concepts, %llu edges, avg depth %.1f, "
+        "%.1f addresses/concept\n",
+        ontology_out.c_str(), stats.num_concepts,
+        static_cast<unsigned long long>(stats.num_edges), stats.avg_depth,
+        stats.avg_path_count);
+  }
+
+  if (!corpus_out.empty()) {
+    ecdr::corpus::CorpusGeneratorConfig config;
+    config.num_documents = docs;
+    config.avg_concepts_per_doc = avg_concepts;
+    config.cohesion = cohesion;
+    config.seed = seed + 1;
+    auto corpus = ecdr::corpus::GenerateCorpus(*ontology, config);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    if (filter) {
+      ecdr::corpus::ConceptFilterReport report;
+      auto filtered = ecdr::corpus::ApplyConceptFilters(
+          *corpus, ecdr::corpus::ConceptFilterOptions{}, &report);
+      if (!filtered.ok()) {
+        std::fprintf(stderr, "%s\n", filtered.status().ToString().c_str());
+        return 1;
+      }
+      corpus = std::move(filtered);
+      std::printf("filters removed %u concepts by depth, %u by cf\n",
+                  report.concepts_removed_by_depth,
+                  report.concepts_removed_by_cf);
+    }
+    const auto status = binary
+        ? ecdr::corpus::SaveCorpusBinary(*corpus, corpus_out)
+        : ecdr::corpus::SaveCorpus(*corpus, corpus_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    const auto stats = ecdr::corpus::ComputeCorpusStats(*corpus);
+    std::printf("wrote %s: %u docs, %.1f avg concepts/doc\n",
+                corpus_out.c_str(), stats.num_documents,
+                stats.avg_concepts_per_document);
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// CLI: run RDS / SDS queries against an ontology + corpus on disk.
+//
+//   # RDS by a concept name (names may contain spaces; synonyms work)
+//   # and/or a comma-separated id list:
+//   ecdr_query --ontology onto.txt --corpus corpus.txt --k 10 ...
+//              --concept "heart disease" --concept-ids 17,42
+//
+//   # SDS by document id:
+//   ecdr_query --ontology onto.txt --corpus corpus.txt --doc 12 --k 5
+//
+// Optional: --eps 0.5 (error threshold), --baseline (cross-check against
+// the exhaustive ranker), --stats (print search statistics).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "corpus/corpus_io.h"
+#include "index/inverted_index.h"
+#include "ontology/ontology_io.h"
+#include "tools/tool_flags.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  ecdr::tools::Flags flags(argc, argv);
+  const std::string ontology_path = flags.GetString("ontology", "");
+  const std::string corpus_path = flags.GetString("corpus", "");
+  const std::string concept_name = flags.GetString("concept", "");
+  const std::string concept_ids = flags.GetString("concept-ids", "");
+  const std::uint32_t doc_id = flags.GetUint32("doc", 0xFFFFFFFFu);
+  const std::uint32_t k = flags.GetUint32("k", 10);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const bool run_baseline = flags.GetBool("baseline", false);
+  const bool print_stats = flags.GetBool("stats", false);
+  flags.CheckAllConsumed();
+
+  if (ontology_path.empty() || corpus_path.empty()) {
+    std::fprintf(stderr, "--ontology and --corpus are required\n");
+    return 2;
+  }
+  auto ontology = ecdr::ontology::LoadOntologyAuto(ontology_path);
+  if (!ontology.ok()) {
+    std::fprintf(stderr, "%s\n", ontology.status().ToString().c_str());
+    return 1;
+  }
+  auto corpus = ecdr::corpus::LoadCorpusAuto(*ontology, corpus_path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // Assemble the query: SDS if --doc, otherwise RDS from names/ids.
+  std::vector<ecdr::ontology::ConceptId> query;
+  if (!concept_name.empty()) {
+    const auto id = ontology->FindByName(concept_name);
+    if (id == ecdr::ontology::kInvalidConcept) {
+      std::fprintf(stderr, "unknown concept '%s'\n", concept_name.c_str());
+      return 1;
+    }
+    query.push_back(id);
+  }
+  if (!concept_ids.empty()) {
+    for (const auto piece : ecdr::util::Split(concept_ids, ',')) {
+      std::uint32_t id = 0;
+      if (!ecdr::util::ParseUint32(piece, &id) || !ontology->Contains(id)) {
+        std::fprintf(stderr, "bad concept id '%s'\n",
+                     std::string(piece).c_str());
+        return 1;
+      }
+      query.push_back(id);
+    }
+  }
+  const bool sds = doc_id != 0xFFFFFFFFu;
+  if (sds == !query.empty()) {
+    std::fprintf(stderr,
+                 "pass either --doc (SDS) or --concept/--concept-ids (RDS)\n");
+    return 2;
+  }
+  if (sds && doc_id >= corpus->num_documents()) {
+    std::fprintf(stderr, "--doc %u out of range (%u documents)\n", doc_id,
+                 corpus->num_documents());
+    return 1;
+  }
+
+  ecdr::index::InvertedIndex inverted(*corpus);
+  ecdr::ontology::AddressEnumerator addresses(*ontology);
+  ecdr::core::Drc drc(*ontology, &addresses);
+  ecdr::core::KndsOptions options;
+  options.error_threshold = eps;
+  ecdr::core::Knds knds(*corpus, inverted, &drc, options);
+
+  const auto results = sds
+                           ? knds.SearchSds(corpus->document(doc_id), k)
+                           : knds.SearchRds(query, k);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s top-%u:\n", sds ? "SDS" : "RDS", k);
+  for (const auto& result : *results) {
+    std::printf("  doc %-8u distance %.4f\n", result.id, result.distance);
+  }
+  if (print_stats) {
+    const auto& stats = knds.last_stats();
+    std::printf(
+        "levels=%llu visits=%llu touched=%llu examined=%llu drc=%llu "
+        "pruned=%llu time=%.2fms (traversal %.2fms, distance %.2fms)\n",
+        static_cast<unsigned long long>(stats.levels),
+        static_cast<unsigned long long>(stats.concept_visits),
+        static_cast<unsigned long long>(stats.documents_touched),
+        static_cast<unsigned long long>(stats.documents_examined),
+        static_cast<unsigned long long>(stats.drc_calls),
+        static_cast<unsigned long long>(stats.documents_pruned),
+        stats.total_seconds * 1e3, stats.traversal_seconds * 1e3,
+        stats.distance_seconds * 1e3);
+  }
+  if (run_baseline) {
+    ecdr::core::ExhaustiveRanker baseline(*corpus, &drc);
+    const auto check = sds
+                           ? baseline.TopKSimilar(corpus->document(doc_id), k)
+                           : baseline.TopKRelevant(query, k);
+    ECDR_CHECK(check.ok());
+    bool match = check->size() == results->size();
+    for (std::size_t i = 0; match && i < check->size(); ++i) {
+      match = (*check)[i].distance == (*results)[i].distance;
+    }
+    std::printf("exhaustive cross-check: %s (%.2f ms)\n",
+                match ? "MATCH" : "MISMATCH",
+                baseline.last_stats().seconds * 1e3);
+    if (!match) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// CLI: print statistics for an ontology and/or corpus file.
+//
+//   ecdr_stats --ontology onto.txt [--corpus corpus.txt]
+
+#include <cstdio>
+#include <string>
+
+#include "corpus/corpus_io.h"
+#include "ontology/generator.h"
+#include "ontology/ontology_io.h"
+#include "tools/tool_flags.h"
+
+int main(int argc, char** argv) {
+  ecdr::tools::Flags flags(argc, argv);
+  const std::string ontology_path = flags.GetString("ontology", "");
+  const std::string corpus_path = flags.GetString("corpus", "");
+  flags.CheckAllConsumed();
+  if (ontology_path.empty()) {
+    std::fprintf(stderr, "--ontology is required\n");
+    return 2;
+  }
+  auto ontology = ecdr::ontology::LoadOntologyAuto(ontology_path);
+  if (!ontology.ok()) {
+    std::fprintf(stderr, "%s\n", ontology.status().ToString().c_str());
+    return 1;
+  }
+  const auto shape = ecdr::ontology::ComputeShapeStats(*ontology);
+  std::printf("ontology %s\n", ontology_path.c_str());
+  std::printf("  concepts:               %u\n", shape.num_concepts);
+  std::printf("  is-a edges:             %llu\n",
+              static_cast<unsigned long long>(shape.num_edges));
+  std::printf("  avg depth:              %.2f\n", shape.avg_depth);
+  std::printf("  max depth:              %u\n", shape.max_depth);
+  std::printf("  avg addresses/concept:  %.2f\n", shape.avg_path_count);
+  std::printf("  max addresses/concept:  %.0f\n", shape.max_path_count);
+  std::printf("  leaf fraction:          %.2f\n", shape.leaf_fraction);
+  std::printf("  avg children (internal):%.2f\n",
+              shape.avg_children_internal);
+
+  if (!corpus_path.empty()) {
+    auto corpus = ecdr::corpus::LoadCorpusAuto(*ontology, corpus_path);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    const auto stats = ecdr::corpus::ComputeCorpusStats(*corpus);
+    std::printf("corpus %s\n", corpus_path.c_str());
+    std::printf("  documents:              %u\n", stats.num_documents);
+    std::printf("  distinct concepts:      %u\n",
+                stats.num_distinct_concepts);
+    std::printf("  avg concepts/document:  %.2f\n",
+                stats.avg_concepts_per_document);
+    std::printf("  min/max concepts/doc:   %zu / %zu\n",
+                stats.min_concepts_per_document,
+                stats.max_concepts_per_document);
+    std::printf("  cf mean / stddev:       %.2f / %.2f\n", stats.cf_mean,
+                stats.cf_stddev);
+  }
+  return 0;
+}

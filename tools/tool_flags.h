@@ -1,0 +1,104 @@
+// Minimal --flag=value / --flag value parsing for the CLI tools.
+
+#ifndef ECDR_TOOLS_TOOL_FLAGS_H_
+#define ECDR_TOOLS_TOOL_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace ecdr::tools {
+
+/// Parsed command line: --key=value / --key value pairs plus positional
+/// arguments. Unknown flags are the caller's problem (checked via
+/// Consumed()).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return default_value;
+    consumed_.push_back(key);
+    return it->second;
+  }
+
+  std::uint32_t GetUint32(const std::string& key,
+                          std::uint32_t default_value) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return default_value;
+    consumed_.push_back(key);
+    std::uint32_t value = 0;
+    if (!util::ParseUint32(it->second, &value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", key.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return value;
+  }
+
+  double GetDouble(const std::string& key, double default_value) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return default_value;
+    consumed_.push_back(key);
+    double value = 0;
+    if (!util::ParseDouble(it->second, &value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", key.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return value;
+  }
+
+  bool GetBool(const std::string& key, bool default_value) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return default_value;
+    consumed_.push_back(key);
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Exits with an error if any --flag was not consumed by a Get*.
+  void CheckAllConsumed() const {
+    for (const auto& [key, value] : values_) {
+      bool used = false;
+      for (const auto& name : consumed_) used |= name == key;
+      if (!used) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecdr::tools
+
+#endif  // ECDR_TOOLS_TOOL_FLAGS_H_
