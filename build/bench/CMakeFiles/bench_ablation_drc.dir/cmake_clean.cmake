@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drc.dir/bench_ablation_drc.cc.o"
+  "CMakeFiles/bench_ablation_drc.dir/bench_ablation_drc.cc.o.d"
+  "bench_ablation_drc"
+  "bench_ablation_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

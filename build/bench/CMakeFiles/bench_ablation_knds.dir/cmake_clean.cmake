@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knds.dir/bench_ablation_knds.cc.o"
+  "CMakeFiles/bench_ablation_knds.dir/bench_ablation_knds.cc.o.d"
+  "bench_ablation_knds"
+  "bench_ablation_knds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

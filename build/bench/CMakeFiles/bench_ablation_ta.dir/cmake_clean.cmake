@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ta.dir/bench_ablation_ta.cc.o"
+  "CMakeFiles/bench_ablation_ta.dir/bench_ablation_ta.cc.o.d"
+  "bench_ablation_ta"
+  "bench_ablation_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

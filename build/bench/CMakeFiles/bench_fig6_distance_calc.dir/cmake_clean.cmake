@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_distance_calc.dir/bench_fig6_distance_calc.cc.o"
+  "CMakeFiles/bench_fig6_distance_calc.dir/bench_fig6_distance_calc.cc.o.d"
+  "bench_fig6_distance_calc"
+  "bench_fig6_distance_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_distance_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

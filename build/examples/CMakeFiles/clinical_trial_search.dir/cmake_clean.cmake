@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_trial_search.dir/clinical_trial_search.cpp.o"
+  "CMakeFiles/clinical_trial_search.dir/clinical_trial_search.cpp.o.d"
+  "clinical_trial_search"
+  "clinical_trial_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_trial_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expanded_search.dir/expanded_search.cpp.o"
+  "CMakeFiles/expanded_search.dir/expanded_search.cpp.o.d"
+  "expanded_search"
+  "expanded_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expanded_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patient_similarity.dir/patient_similarity.cpp.o"
+  "CMakeFiles/patient_similarity.dir/patient_similarity.cpp.o.d"
+  "patient_similarity"
+  "patient_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patient_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

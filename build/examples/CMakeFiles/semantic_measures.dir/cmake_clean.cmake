@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_measures.dir/semantic_measures.cpp.o"
+  "CMakeFiles/semantic_measures.dir/semantic_measures.cpp.o.d"
+  "semantic_measures"
+  "semantic_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_distance.cc" "src/CMakeFiles/ecdr_core.dir/core/baseline_distance.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/baseline_distance.cc.o.d"
+  "/root/repo/src/core/concept_weights.cc" "src/CMakeFiles/ecdr_core.dir/core/concept_weights.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/concept_weights.cc.o.d"
+  "/root/repo/src/core/d_radix.cc" "src/CMakeFiles/ecdr_core.dir/core/d_radix.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/d_radix.cc.o.d"
+  "/root/repo/src/core/drc.cc" "src/CMakeFiles/ecdr_core.dir/core/drc.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/drc.cc.o.d"
+  "/root/repo/src/core/exhaustive_ranker.cc" "src/CMakeFiles/ecdr_core.dir/core/exhaustive_ranker.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/exhaustive_ranker.cc.o.d"
+  "/root/repo/src/core/knds.cc" "src/CMakeFiles/ecdr_core.dir/core/knds.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/knds.cc.o.d"
+  "/root/repo/src/core/query_expansion.cc" "src/CMakeFiles/ecdr_core.dir/core/query_expansion.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/query_expansion.cc.o.d"
+  "/root/repo/src/core/ranking_engine.cc" "src/CMakeFiles/ecdr_core.dir/core/ranking_engine.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/ranking_engine.cc.o.d"
+  "/root/repo/src/core/semantic_similarity.cc" "src/CMakeFiles/ecdr_core.dir/core/semantic_similarity.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/semantic_similarity.cc.o.d"
+  "/root/repo/src/core/ta_ranker.cc" "src/CMakeFiles/ecdr_core.dir/core/ta_ranker.cc.o" "gcc" "src/CMakeFiles/ecdr_core.dir/core/ta_ranker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecdr_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecdr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecdr_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_core.dir/core/baseline_distance.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/baseline_distance.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/concept_weights.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/concept_weights.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/d_radix.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/d_radix.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/drc.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/drc.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/exhaustive_ranker.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/exhaustive_ranker.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/knds.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/knds.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/query_expansion.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/query_expansion.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/ranking_engine.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/ranking_engine.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/semantic_similarity.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/semantic_similarity.cc.o.d"
+  "CMakeFiles/ecdr_core.dir/core/ta_ranker.cc.o"
+  "CMakeFiles/ecdr_core.dir/core/ta_ranker.cc.o.d"
+  "libecdr_core.a"
+  "libecdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/ecdr_corpus.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/ecdr_corpus.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/CMakeFiles/ecdr_corpus.dir/corpus/corpus_io.cc.o" "gcc" "src/CMakeFiles/ecdr_corpus.dir/corpus/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/document.cc" "src/CMakeFiles/ecdr_corpus.dir/corpus/document.cc.o" "gcc" "src/CMakeFiles/ecdr_corpus.dir/corpus/document.cc.o.d"
+  "/root/repo/src/corpus/filters.cc" "src/CMakeFiles/ecdr_corpus.dir/corpus/filters.cc.o" "gcc" "src/CMakeFiles/ecdr_corpus.dir/corpus/filters.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/CMakeFiles/ecdr_corpus.dir/corpus/generator.cc.o" "gcc" "src/CMakeFiles/ecdr_corpus.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/corpus/query_gen.cc" "src/CMakeFiles/ecdr_corpus.dir/corpus/query_gen.cc.o" "gcc" "src/CMakeFiles/ecdr_corpus.dir/corpus/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecdr_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

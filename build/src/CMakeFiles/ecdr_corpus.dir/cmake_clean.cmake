@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_corpus.dir/corpus/corpus.cc.o"
+  "CMakeFiles/ecdr_corpus.dir/corpus/corpus.cc.o.d"
+  "CMakeFiles/ecdr_corpus.dir/corpus/corpus_io.cc.o"
+  "CMakeFiles/ecdr_corpus.dir/corpus/corpus_io.cc.o.d"
+  "CMakeFiles/ecdr_corpus.dir/corpus/document.cc.o"
+  "CMakeFiles/ecdr_corpus.dir/corpus/document.cc.o.d"
+  "CMakeFiles/ecdr_corpus.dir/corpus/filters.cc.o"
+  "CMakeFiles/ecdr_corpus.dir/corpus/filters.cc.o.d"
+  "CMakeFiles/ecdr_corpus.dir/corpus/generator.cc.o"
+  "CMakeFiles/ecdr_corpus.dir/corpus/generator.cc.o.d"
+  "CMakeFiles/ecdr_corpus.dir/corpus/query_gen.cc.o"
+  "CMakeFiles/ecdr_corpus.dir/corpus/query_gen.cc.o.d"
+  "libecdr_corpus.a"
+  "libecdr_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

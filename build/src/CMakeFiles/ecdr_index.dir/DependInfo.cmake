@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/forward_index.cc" "src/CMakeFiles/ecdr_index.dir/index/forward_index.cc.o" "gcc" "src/CMakeFiles/ecdr_index.dir/index/forward_index.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/ecdr_index.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/ecdr_index.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/precomputed_postings.cc" "src/CMakeFiles/ecdr_index.dir/index/precomputed_postings.cc.o" "gcc" "src/CMakeFiles/ecdr_index.dir/index/precomputed_postings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecdr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecdr_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

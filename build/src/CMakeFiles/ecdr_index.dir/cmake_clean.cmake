@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_index.dir/index/forward_index.cc.o"
+  "CMakeFiles/ecdr_index.dir/index/forward_index.cc.o.d"
+  "CMakeFiles/ecdr_index.dir/index/inverted_index.cc.o"
+  "CMakeFiles/ecdr_index.dir/index/inverted_index.cc.o.d"
+  "CMakeFiles/ecdr_index.dir/index/precomputed_postings.cc.o"
+  "CMakeFiles/ecdr_index.dir/index/precomputed_postings.cc.o.d"
+  "libecdr_index.a"
+  "libecdr_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/dewey.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/dewey.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/dewey.cc.o.d"
+  "/root/repo/src/ontology/distance_oracle.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/distance_oracle.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/distance_oracle.cc.o.d"
+  "/root/repo/src/ontology/generator.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/generator.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/generator.cc.o.d"
+  "/root/repo/src/ontology/obo_io.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/obo_io.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/obo_io.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/ontology.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/ontology.cc.o.d"
+  "/root/repo/src/ontology/ontology_builder.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/ontology_builder.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/ontology_builder.cc.o.d"
+  "/root/repo/src/ontology/ontology_io.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/ontology_io.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/ontology_io.cc.o.d"
+  "/root/repo/src/ontology/valid_path_bfs.cc" "src/CMakeFiles/ecdr_ontology.dir/ontology/valid_path_bfs.cc.o" "gcc" "src/CMakeFiles/ecdr_ontology.dir/ontology/valid_path_bfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

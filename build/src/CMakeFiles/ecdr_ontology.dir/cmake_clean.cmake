@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_ontology.dir/ontology/dewey.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/dewey.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/distance_oracle.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/distance_oracle.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/generator.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/generator.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/obo_io.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/obo_io.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/ontology.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/ontology.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/ontology_builder.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/ontology_builder.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/ontology_io.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/ontology_io.cc.o.d"
+  "CMakeFiles/ecdr_ontology.dir/ontology/valid_path_bfs.cc.o"
+  "CMakeFiles/ecdr_ontology.dir/ontology/valid_path_bfs.cc.o.d"
+  "libecdr_ontology.a"
+  "libecdr_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

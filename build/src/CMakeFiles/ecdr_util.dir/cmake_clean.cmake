@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_util.dir/util/binary_stream.cc.o"
+  "CMakeFiles/ecdr_util.dir/util/binary_stream.cc.o.d"
+  "CMakeFiles/ecdr_util.dir/util/random.cc.o"
+  "CMakeFiles/ecdr_util.dir/util/random.cc.o.d"
+  "CMakeFiles/ecdr_util.dir/util/stats.cc.o"
+  "CMakeFiles/ecdr_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/ecdr_util.dir/util/status.cc.o"
+  "CMakeFiles/ecdr_util.dir/util/status.cc.o.d"
+  "CMakeFiles/ecdr_util.dir/util/string_util.cc.o"
+  "CMakeFiles/ecdr_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/ecdr_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/ecdr_util.dir/util/table_printer.cc.o.d"
+  "libecdr_util.a"
+  "libecdr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

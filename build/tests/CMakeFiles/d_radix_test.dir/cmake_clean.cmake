@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d_radix_test.dir/d_radix_test.cc.o"
+  "CMakeFiles/d_radix_test.dir/d_radix_test.cc.o.d"
+  "d_radix_test"
+  "d_radix_test.pdb"
+  "d_radix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d_radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knds_test.dir/knds_test.cc.o"
+  "CMakeFiles/knds_test.dir/knds_test.cc.o.d"
+  "knds_test"
+  "knds_test.pdb"
+  "knds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synonym_obo_test.dir/synonym_obo_test.cc.o"
+  "CMakeFiles/synonym_obo_test.dir/synonym_obo_test.cc.o.d"
+  "synonym_obo_test"
+  "synonym_obo_test.pdb"
+  "synonym_obo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synonym_obo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

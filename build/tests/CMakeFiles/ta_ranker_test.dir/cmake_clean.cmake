@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ta_ranker_test.dir/ta_ranker_test.cc.o"
+  "CMakeFiles/ta_ranker_test.dir/ta_ranker_test.cc.o.d"
+  "ta_ranker_test"
+  "ta_ranker_test.pdb"
+  "ta_ranker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ta_ranker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valid_path_bfs_test.dir/valid_path_bfs_test.cc.o"
+  "CMakeFiles/valid_path_bfs_test.dir/valid_path_bfs_test.cc.o.d"
+  "valid_path_bfs_test"
+  "valid_path_bfs_test.pdb"
+  "valid_path_bfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valid_path_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

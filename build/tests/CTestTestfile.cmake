@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ontology_test[1]_include.cmake")
+include("/root/repo/build/tests/dewey_test[1]_include.cmake")
+include("/root/repo/build/tests/valid_path_bfs_test[1]_include.cmake")
+include("/root/repo/build/tests/distance_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/d_radix_test[1]_include.cmake")
+include("/root/repo/build/tests/drc_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/knds_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/ta_ranker_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/semantic_similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_test[1]_include.cmake")
+include("/root/repo/build/tests/query_expansion_test[1]_include.cmake")
+include("/root/repo/build/tests/ranking_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/synonym_obo_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_io_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

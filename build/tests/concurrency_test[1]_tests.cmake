@@ -1,0 +1,3 @@
+add_test([=[ConcurrencyTest.PerThreadEnginesOverSharedIndexesAgree]=]  /root/repo/build/tests/concurrency_test [==[--gtest_filter=ConcurrencyTest.PerThreadEnginesOverSharedIndexesAgree]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ConcurrencyTest.PerThreadEnginesOverSharedIndexesAgree]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  concurrency_test_TESTS ConcurrencyTest.PerThreadEnginesOverSharedIndexesAgree)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_generate.dir/ecdr_generate.cc.o"
+  "CMakeFiles/ecdr_generate.dir/ecdr_generate.cc.o.d"
+  "ecdr_generate"
+  "ecdr_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

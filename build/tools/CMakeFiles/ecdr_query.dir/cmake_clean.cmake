@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_query.dir/ecdr_query.cc.o"
+  "CMakeFiles/ecdr_query.dir/ecdr_query.cc.o.d"
+  "ecdr_query"
+  "ecdr_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

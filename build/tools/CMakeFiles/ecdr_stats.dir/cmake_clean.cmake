@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdr_stats.dir/ecdr_stats.cc.o"
+  "CMakeFiles/ecdr_stats.dir/ecdr_stats.cc.o.d"
+  "ecdr_stats"
+  "ecdr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
