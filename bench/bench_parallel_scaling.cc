@@ -1,0 +1,195 @@
+// Parallel query execution: kNDS wall-clock vs KndsOptions::num_threads
+// over the Fig. 9 top-k workload (k=10, nq=5), on PATIENT and RADIO,
+// RDS and SDS. Sweeps 1/2/4/8 lanes, reports p50/p95 per-query latency
+// and the speedup over the serial run, verifies every lane count
+// returns the serial results bit-for-bit, and writes the rows to
+// BENCH_parallel_scaling.json.
+//
+// Expected shape: speedup approaches the physical core count while the
+// wave sizes stay large (DRC verification dominates); on a single-core
+// machine all configurations tie, modulo pool overhead — the
+// determinism check is then the interesting output.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/drc.h"
+#include "core/knds.h"
+#include "corpus/query_gen.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using ecdr::bench::Collection;
+using ecdr::util::TablePrinter;
+
+constexpr std::uint32_t kDefaultNq = 5;
+constexpr std::uint32_t kTopK = 10;
+constexpr std::size_t kThreadSweep[] = {1, 2, 4, 8};
+
+struct Row {
+  std::string collection;
+  std::string mode;
+  std::size_t threads = 1;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double speedup = 1.0;
+  std::uint64_t parallel_waves = 0;
+  std::uint64_t speculative_drc_calls = 0;
+  bool matches_serial = true;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+bool SameResults(const std::vector<ecdr::core::ScoredDocument>& a,
+                 const std::vector<ecdr::core::ScoredDocument>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+void RunCollection(const ecdr::ontology::Ontology& ontology,
+                   ecdr::ontology::AddressEnumerator* enumerator,
+                   const Collection& collection, bool sds,
+                   std::uint32_t queries, std::vector<Row>* rows) {
+  const auto rds_queries = ecdr::corpus::GenerateRdsQueries(
+      *collection.corpus, queries, kDefaultNq, 700);
+  const auto sds_queries =
+      ecdr::corpus::SampleQueryDocuments(*collection.corpus, queries, 701);
+
+  ecdr::core::KndsOptions options;
+  options.error_threshold =
+      sds ? collection.sds_error_threshold : collection.rds_error_threshold;
+
+  std::vector<std::vector<ecdr::core::ScoredDocument>> reference;
+  double serial_mean_ms = 0.0;
+  for (const std::size_t threads : kThreadSweep) {
+    options.num_threads = threads;
+    ecdr::core::Drc drc(ontology, enumerator);
+    ecdr::core::Knds knds(*collection.corpus, *collection.inverted, &drc,
+                          options);
+
+    Row row;
+    row.collection = collection.name;
+    row.mode = sds ? "SDS" : "RDS";
+    row.threads = threads;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(queries);
+    for (std::uint32_t q = 0; q < queries; ++q) {
+      const auto result =
+          sds ? knds.SearchSds(collection.corpus->document(sds_queries[q]),
+                               kTopK)
+              : knds.SearchRds(rds_queries[q], kTopK);
+      ECDR_CHECK(result.ok());
+      latencies_ms.push_back(knds.last_stats().total_seconds * 1e3);
+      row.parallel_waves += knds.last_stats().parallel_waves;
+      row.speculative_drc_calls += knds.last_stats().speculative_drc_calls;
+      if (threads == 1) {
+        reference.push_back(*result);
+      } else {
+        row.matches_serial =
+            row.matches_serial && SameResults(reference[q], *result);
+      }
+    }
+    for (const double ms : latencies_ms) row.mean_ms += ms;
+    row.mean_ms /= static_cast<double>(latencies_ms.size());
+    row.p50_ms = Percentile(latencies_ms, 0.50);
+    row.p95_ms = Percentile(latencies_ms, 0.95);
+    if (threads == 1) serial_mean_ms = row.mean_ms;
+    row.speedup = serial_mean_ms / std::max(1e-9, row.mean_ms);
+    rows->push_back(row);
+  }
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  std::fprintf(file, "{\n  \"benchmark\": \"parallel_scaling\",\n");
+  std::fprintf(file, "  \"workload\": \"fig9_topk\",\n  \"k\": %u,\n",
+               kTopK);
+  std::fprintf(file, "  \"hardware_concurrency\": %zu,\n",
+               ecdr::util::ThreadPool::DefaultThreads());
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"collection\": \"%s\", \"mode\": \"%s\", "
+                 "\"threads\": %zu, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+                 "\"mean_ms\": %.4f, \"speedup\": %.3f, "
+                 "\"parallel_waves\": %llu, \"speculative_drc_calls\": %llu, "
+                 "\"matches_serial\": %s}%s\n",
+                 row.collection.c_str(), row.mode.c_str(), row.threads,
+                 row.p50_ms, row.p95_ms, row.mean_ms, row.speedup,
+                 static_cast<unsigned long long>(row.parallel_waves),
+                 static_cast<unsigned long long>(row.speculative_drc_calls),
+                 row.matches_serial ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint32_t queries = ecdr::bench::QueriesFromEnv();
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(scale);
+  ecdr::bench::PrintTestbedBanner(
+      "Parallel scaling: kNDS latency vs num_threads (Fig. 9 workload, "
+      "k=10)",
+      testbed, scale, queries);
+  std::printf("hardware_concurrency=%zu\n\n",
+              ecdr::util::ThreadPool::DefaultThreads());
+
+  // Frozen shared address cache, as RankingEngine configures it.
+  ecdr::ontology::AddressEnumerator enumerator(*testbed.ontology);
+  enumerator.PrecomputeAll();
+
+  std::vector<Row> rows;
+  for (const bool sds : {false, true}) {
+    RunCollection(*testbed.ontology, &enumerator, testbed.patient, sds,
+                  queries, &rows);
+    RunCollection(*testbed.ontology, &enumerator, testbed.radio, sds,
+                  queries, &rows);
+  }
+
+  TablePrinter table({"collection", "mode", "threads", "p50 ms", "p95 ms",
+                      "mean ms", "speedup", "waves", "spec DRC",
+                      "matches serial"});
+  bool all_match = true;
+  for (const Row& row : rows) {
+    all_match = all_match && row.matches_serial;
+    table.AddRow({row.collection, row.mode, std::to_string(row.threads),
+                  TablePrinter::FormatDouble(row.p50_ms, 3),
+                  TablePrinter::FormatDouble(row.p95_ms, 3),
+                  TablePrinter::FormatDouble(row.mean_ms, 3),
+                  TablePrinter::FormatDouble(row.speedup, 2) + "x",
+                  std::to_string(row.parallel_waves),
+                  std::to_string(row.speculative_drc_calls),
+                  row.matches_serial ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  WriteJson(rows, "BENCH_parallel_scaling.json");
+  std::printf("\nwrote BENCH_parallel_scaling.json\n");
+  std::printf("all thread counts match the serial results: %s\n",
+              all_match ? "yes" : "NO");
+  ECDR_CHECK(all_match);
+  return 0;
+}

@@ -37,8 +37,17 @@ class Drc {
 
   /// `addresses` caches Dewey address sets across calls and documents;
   /// it is shared, unowned, and must outlive the engine.
+  ///
+  /// A Drc instance is cheap to construct (two pointers) but holds
+  /// mutable per-instance stats, so concurrent callers use one instance
+  /// per thread, sharing the (thread-safe) AddressEnumerator.
   Drc(const ontology::Ontology& ontology,
       ontology::AddressEnumerator* addresses);
+
+  /// The shared dependencies, exposed so parallel call sites can spin up
+  /// per-lane engines over the same ontology and address cache.
+  const ontology::Ontology& ontology() const { return *ontology_; }
+  ontology::AddressEnumerator* addresses() const { return addresses_; }
 
   /// Ddq(d, q) — Eq. 2: the (unnormalized) sum over query concepts of
   /// the distance to the nearest document concept. Duplicate concepts in
@@ -78,6 +87,17 @@ class Drc {
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  /// Folds another engine's counters into this one — how per-lane
+  /// engines report back after a parallel batch (call single-threaded,
+  /// after the batch has been joined).
+  void MergeStatsFrom(const Stats& other) {
+    stats_.calls += other.calls;
+    stats_.addresses_inserted += other.addresses_inserted;
+    stats_.nodes_built += other.nodes_built;
+    stats_.edges_built += other.edges_built;
+    stats_.seconds += other.seconds;
+  }
 
  private:
   /// One (address, concept, flags) entry of the merged Pd/Pq insert list.

@@ -1,13 +1,15 @@
 #include "core/exhaustive_ranker.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/timer.h"
 
 namespace ecdr::core {
 
-ExhaustiveRanker::ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc)
-    : corpus_(&corpus), drc_(drc) {
+ExhaustiveRanker::ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc,
+                                   Options options)
+    : corpus_(&corpus), drc_(drc), options_(options) {
   ECDR_CHECK(drc != nullptr);
 }
 
@@ -16,22 +18,82 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
     std::uint32_t k, ScoreFn&& score) {
   last_stats_ = Stats();
   util::WallTimer timer;
+
+  const std::size_t requested = options_.num_threads == 0
+                                    ? util::ThreadPool::DefaultThreads()
+                                    : options_.num_threads;
+  util::ThreadPool* pool = options_.pool;
+  if (requested > 1 && pool == nullptr) {
+    if (owned_pool_ == nullptr) {
+      owned_pool_ = std::make_unique<util::ThreadPool>(requested - 1);
+    }
+    pool = owned_pool_.get();
+  }
+  const std::size_t num_docs = corpus_->num_documents();
+  const std::size_t lanes =
+      requested > 1 && pool != nullptr && num_docs > 1
+          ? pool->num_threads() + 1
+          : 1;
+
   // Max-heap of the k best: the worst kept document sits at the front.
+  const auto push_scored = [](std::vector<ScoredDocument>* heap,
+                              std::uint32_t limit,
+                              const ScoredDocument& scored) {
+    if (heap->size() < limit) {
+      heap->push_back(scored);
+      std::push_heap(heap->begin(), heap->end(), ScoredBefore);
+    } else if (limit > 0 && ScoredBefore(scored, heap->front())) {
+      std::pop_heap(heap->begin(), heap->end(), ScoredBefore);
+      heap->back() = scored;
+      std::push_heap(heap->begin(), heap->end(), ScoredBefore);
+    }
+  };
+
   std::vector<ScoredDocument> heap;
-  for (corpus::DocId d = 0; d < corpus_->num_documents(); ++d) {
-    util::StatusOr<double> distance = score(d);
-    ECDR_RETURN_IF_ERROR(distance.status());
-    ++last_stats_.documents_scored;
-    const ScoredDocument scored{d, *distance};
-    if (heap.size() < k) {
-      heap.push_back(scored);
-      std::push_heap(heap.begin(), heap.end(), ScoredBefore);
-    } else if (k > 0 && ScoredBefore(scored, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
-      heap.back() = scored;
-      std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+  if (lanes == 1) {
+    for (corpus::DocId d = 0; d < num_docs; ++d) {
+      util::StatusOr<double> distance = score(drc_, d);
+      ECDR_RETURN_IF_ERROR(distance.status());
+      ++last_stats_.documents_scored;
+      push_scored(&heap, k, ScoredDocument{d, *distance});
+    }
+  } else {
+    // Shard the scan: each lane keeps its own Drc engine, top-k heap and
+    // counters; merge after the join. An errored lane stops scoring and
+    // records its first error.
+    struct LaneState {
+      std::unique_ptr<Drc> drc;
+      std::vector<ScoredDocument> heap;
+      util::Status status = util::Status::Ok();
+      std::uint64_t scored = 0;
+    };
+    std::vector<LaneState> lane_states(lanes);
+    for (LaneState& state : lane_states) {
+      state.drc = std::make_unique<Drc>(drc_->ontology(), drc_->addresses());
+    }
+    pool->ParallelFor(num_docs, [&](std::size_t d, std::size_t lane) {
+      LaneState& state = lane_states[lane];
+      if (!state.status.ok()) return;
+      util::StatusOr<double> distance =
+          score(state.drc.get(), static_cast<corpus::DocId>(d));
+      if (!distance.ok()) {
+        state.status = distance.status();
+        return;
+      }
+      ++state.scored;
+      push_scored(&state.heap, k,
+                  ScoredDocument{static_cast<corpus::DocId>(d), *distance});
+    });
+    for (LaneState& state : lane_states) {
+      ECDR_RETURN_IF_ERROR(state.status);
+      last_stats_.documents_scored += state.scored;
+      drc_->MergeStatsFrom(state.drc->stats());
+      for (const ScoredDocument& scored : state.heap) {
+        push_scored(&heap, k, scored);
+      }
     }
   }
+
   std::sort(heap.begin(), heap.end(), ScoredBefore);
   last_stats_.seconds = timer.ElapsedSeconds();
   return heap;
@@ -39,9 +101,9 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
 
 util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k) {
-  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
+  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
     util::StatusOr<std::uint64_t> distance =
-        drc_->DocQueryDistance(corpus_->document(d).concepts(), query);
+        engine->DocQueryDistance(corpus_->document(d).concepts(), query);
     ECDR_RETURN_IF_ERROR(distance.status());
     return static_cast<double>(*distance);
   });
@@ -49,9 +111,9 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKRelevant(
 
 util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKSimilar(
     const corpus::Document& query_doc, std::uint32_t k) {
-  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
-    return drc_->DocDocDistance(query_doc.concepts(),
-                                corpus_->document(d).concepts());
+  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+    return engine->DocDocDistance(query_doc.concepts(),
+                                  corpus_->document(d).concepts());
   });
 }
 
@@ -60,9 +122,9 @@ ExhaustiveRanker::TopKRelevantWeighted(std::span<const WeightedConcept> query,
                                        std::uint32_t k) {
   const std::vector<WeightedConcept> normalized =
       NormalizeWeightedConcepts(query);
-  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
-    return drc_->DocQueryDistanceWeighted(corpus_->document(d).concepts(),
-                                          normalized);
+  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+    return engine->DocQueryDistanceWeighted(corpus_->document(d).concepts(),
+                                            normalized);
   });
 }
 
@@ -70,8 +132,8 @@ util::StatusOr<std::vector<ScoredDocument>>
 ExhaustiveRanker::TopKSimilarWeighted(const corpus::Document& query_doc,
                                       const ConceptWeights& weights,
                                       std::uint32_t k) {
-  return Rank(k, [&](corpus::DocId d) -> util::StatusOr<double> {
-    return drc_->DocDocDistanceWeighted(
+  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+    return engine->DocDocDistanceWeighted(
         query_doc.concepts(), corpus_->document(d).concepts(), weights);
   });
 }

@@ -7,6 +7,7 @@
 #define ECDR_CORE_EXHAUSTIVE_RANKER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,18 +15,34 @@
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ecdr::core {
 
+struct ExhaustiveRankerOptions {
+  /// Lanes for scoring document shards concurrently. 0 = hardware
+  /// concurrency, 1 = serial. Results are identical at any lane count
+  /// (every document is scored exactly; the merged top-k under the
+  /// (distance, id) total order does not depend on scan order).
+  std::size_t num_threads = 0;
+
+  /// Optional shared worker pool; when null and the effective lane
+  /// count exceeds 1, a private pool is created lazily.
+  util::ThreadPool* pool = nullptr;
+};
+
 class ExhaustiveRanker {
  public:
+  using Options = ExhaustiveRankerOptions;
+
   struct Stats {
     std::uint64_t documents_scored = 0;
     double seconds = 0.0;
   };
 
   /// `drc` is shared and unowned; it must outlive the ranker.
-  ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc);
+  ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc,
+                   Options options = {});
 
   /// RDS (Definition 1): the k documents with smallest Ddq, ascending,
   /// ties by document id.
@@ -47,13 +64,17 @@ class ExhaustiveRanker {
   const Stats& last_stats() const { return last_stats_; }
 
  private:
+  /// `score` is called as score(engine, doc) where `engine` is the lane's
+  /// private Drc (drc_ itself on the serial path).
   template <typename ScoreFn>
   util::StatusOr<std::vector<ScoredDocument>> Rank(std::uint32_t k,
                                                    ScoreFn&& score);
 
   const corpus::Corpus* corpus_;
   Drc* drc_;
+  Options options_;
   Stats last_stats_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
 };
 
 }  // namespace ecdr::core

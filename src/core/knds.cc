@@ -38,8 +38,12 @@ bool CandidateBefore(const Candidate& a, const Candidate& b) {
 }  // namespace
 
 Knds::Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-           Drc* drc, KndsOptions options)
-    : corpus_(&corpus), index_(&index), drc_(drc), options_(options) {
+           Drc* drc, KndsOptions options, util::ThreadPool* pool)
+    : corpus_(&corpus),
+      index_(&index),
+      drc_(drc),
+      options_(options),
+      pool_(pool) {
   ECDR_CHECK(drc != nullptr);
   // Concept ids share a word with the report flag in frontier entries.
   ECDR_CHECK_LT(corpus.ontology().num_concepts(), kReportFlag);
@@ -132,6 +136,34 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   const auto n = static_cast<std::uint32_t>(origins.size());
   const std::size_t words = (n + 63) / 64;
 
+  // Parallel lane setup; lanes == 1 keeps the fully serial path. Lane
+  // engines share the (thread-safe) Dewey address cache but carry their
+  // own stats, merged back into drc_ before returning.
+  const std::size_t requested = options_.num_threads == 0
+                                    ? util::ThreadPool::DefaultThreads()
+                                    : options_.num_threads;
+  util::ThreadPool* pool = pool_;
+  if (requested > 1 && pool == nullptr) {
+    if (owned_pool_ == nullptr) {
+      owned_pool_ = std::make_unique<util::ThreadPool>(requested - 1);
+    }
+    pool = owned_pool_.get();
+  }
+  const std::size_t lanes =
+      requested > 1 && pool != nullptr ? pool->num_threads() + 1 : 1;
+  std::vector<std::unique_ptr<Drc>> lane_drcs;
+  if (lanes > 1) {
+    lane_drcs.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      lane_drcs.push_back(
+          std::make_unique<Drc>(drc_->ontology(), drc_->addresses()));
+    }
+  }
+  // Waves larger than the lane count amortize scheduling, but overshoot
+  // (distances verified past the serial stopping point) grows with the
+  // wave, so keep it a small multiple.
+  const std::size_t max_wave = lanes > 1 ? lanes * 4 : 1;
+
   // Per-origin weights (uniform 1.0 when none were supplied) and the
   // weighted query reconstruction for exact weighted distances.
   std::vector<double> weight_of(n, 1.0);
@@ -190,8 +222,46 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
 
   std::unordered_set<corpus::DocId> emitted;
 
+  // Exact distances verified speculatively by parallel waves, consumed
+  // by the serial replay — possibly at a later level, since an exact
+  // distance does not depend on the level it was computed at.
+  std::unordered_map<corpus::DocId, double> exact_memo;
+  std::uint64_t wave_invocations = 0;
+  std::uint64_t memo_consumed = 0;
+
+  // Computes the exact distance of one document on the given engine;
+  // shared by the serial path (drc_) and the wave workers (their lane's
+  // engine).
+  const auto compute_exact = [&](Drc* engine,
+                                 corpus::DocId doc_id) -> double {
+    const corpus::Document& doc = corpus_->document(doc_id);
+    if (sds) {
+      util::StatusOr<double> distance =
+          weighted ? engine->DocDocDistanceWeighted(query_doc->concepts(),
+                                                    doc.concepts(),
+                                                    *doc_weights)
+                   : engine->DocDocDistance(query_doc->concepts(),
+                                            doc.concepts());
+      ECDR_CHECK(distance.ok());
+      return *distance;
+    }
+    if (weighted) {
+      util::StatusOr<double> distance =
+          engine->DocQueryDistanceWeighted(doc.concepts(), weighted_query);
+      ECDR_CHECK(distance.ok());
+      return *distance;
+    }
+    util::StatusOr<std::uint64_t> distance =
+        engine->DocQueryDistance(doc.concepts(), origins);
+    ECDR_CHECK(distance.ok());
+    return static_cast<double>(*distance);
+  };
+
   std::uint32_t level = 0;
   std::vector<Candidate> candidates;
+  std::vector<Candidate> wave;
+  std::vector<corpus::DocId> to_verify;
+  std::vector<double> wave_exact;
   while (true) {
     // ---- Breadth-first expansion: visit all concepts at distance
     // `level`, update Md / M'd for their documents, grow the frontier.
@@ -342,76 +412,63 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       std::sort(candidates.begin(), candidates.end(), CandidateBefore);
     }
 
+    // With multiple lanes, gate-passing candidates are pulled in waves,
+    // their DRC distances verified concurrently, and each wave is then
+    // consumed by an exact replay of the serial examination order — so
+    // every lane count returns the serial results (see DESIGN.md,
+    // "Threading model").
     double min_remaining_lower = kInf;
     std::size_t cursor = 0;
     std::size_t heap_end = candidates.size();
-    while (true) {
-      const Candidate* next_candidate = nullptr;
+    const auto next_candidate = [&]() -> const Candidate* {
       if (options_.partial_candidate_heap) {
-        if (heap_end == 0) break;
+        if (heap_end == 0) return nullptr;
         std::pop_heap(candidates.begin(),
                       candidates.begin() + static_cast<long>(heap_end),
                       [](const Candidate& a, const Candidate& b) {
                         return CandidateBefore(b, a);
                       });
         --heap_end;
-        next_candidate = &candidates[heap_end];
-      } else {
-        if (cursor == candidates.size()) break;
-        next_candidate = &candidates[cursor++];
+        return &candidates[heap_end];
       }
-      const Candidate& candidate = *next_candidate;
-      if (heap.size() == k && candidate.lower_bound >= kth_distance()) {
-        min_remaining_lower = candidate.lower_bound;
-        break;
-      }
-      const double error =
-          candidate.lower_bound <= 0.0
-              ? 0.0
-              : 1.0 - candidate.partial / candidate.lower_bound;
-      if (!force_examine && error > options_.error_threshold) {
-        min_remaining_lower = candidate.lower_bound;
-        break;
-      }
+      if (cursor == candidates.size()) return nullptr;
+      return &candidates[cursor++];
+    };
 
-      // Examine: move the document from Ld to Sd with an exact distance.
+    const auto shortcut_applies = [&](const Candidate& candidate,
+                                      const DocState& state) {
+      // Optimization 3: all query nodes (and for SDS all document
+      // concepts) are covered, so the partial distance is exact. In
+      // weighted mode exact distances always come from DRC so their
+      // floating-point accumulation order is deterministic.
+      const bool fully_covered =
+          state.fwd_covered == n &&
+          (!sds ||
+           state.rev_covered == corpus_->document(candidate.doc).size());
+      return options_.covered_distance_shortcut && !weighted &&
+             fully_covered;
+    };
+
+    // Examine: move the document from Ld to Sd with an exact distance.
+    const auto examine = [&](const Candidate& candidate) {
       const auto state_it = ld.find(candidate.doc);
       ECDR_DCHECK(state_it != ld.end());
       const DocState& state = state_it->second;
-      const corpus::Document& doc = corpus_->document(candidate.doc);
       double exact = 0.0;
-      const bool fully_covered =
-          state.fwd_covered == n &&
-          (!sds || state.rev_covered == doc.size());
-      if (options_.covered_distance_shortcut && !weighted && fully_covered) {
-        // Optimization 3: all query nodes (and for SDS all document
-        // concepts) are covered, so the partial distance is exact. In
-        // weighted mode exact distances always come from DRC so their
-        // floating-point accumulation order is deterministic.
+      if (shortcut_applies(candidate, state)) {
         exact = candidate.partial;
+      } else if (const auto memo = exact_memo.find(candidate.doc);
+                 memo != exact_memo.end()) {
+        // A wave already verified this document (possibly at an earlier
+        // level); consuming the memoized value stands in for the serial
+        // path's DRC call.
+        ++stats_.drc_calls;
+        ++memo_consumed;
+        exact = memo->second;
       } else {
         util::ScopedAccumulator drc_time(&stats_.distance_seconds);
         ++stats_.drc_calls;
-        if (sds) {
-          util::StatusOr<double> distance =
-              weighted ? drc_->DocDocDistanceWeighted(
-                             query_doc->concepts(), doc.concepts(),
-                             *doc_weights)
-                       : drc_->DocDocDistance(query_doc->concepts(),
-                                              doc.concepts());
-          ECDR_CHECK(distance.ok());
-          exact = *distance;
-        } else if (weighted) {
-          util::StatusOr<double> distance =
-              drc_->DocQueryDistanceWeighted(doc.concepts(), weighted_query);
-          ECDR_CHECK(distance.ok());
-          exact = *distance;
-        } else {
-          util::StatusOr<std::uint64_t> distance =
-              drc_->DocQueryDistance(doc.concepts(), origins);
-          ECDR_CHECK(distance.ok());
-          exact = static_cast<double>(*distance);
-        }
+        exact = compute_exact(drc_, candidate.doc);
       }
       ++stats_.documents_examined;
       phase[candidate.doc] = kExamined;
@@ -425,6 +482,79 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
         std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
         heap.back() = scored;
         std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+      }
+    };
+
+    bool level_done = false;
+    while (!level_done) {
+      // ---- Wave selection under the current k-th best — the most
+      // permissive bound the serial loop could apply to these
+      // candidates, so the wave is a superset of what the serial loop
+      // would examine before its next stop. Serial mode degenerates to
+      // waves of one candidate, which IS the historical loop.
+      wave.clear();
+      while (wave.size() < max_wave) {
+        const Candidate* candidate = next_candidate();
+        if (candidate == nullptr) {
+          level_done = true;
+          break;
+        }
+        if (heap.size() == k && candidate->lower_bound >= kth_distance()) {
+          min_remaining_lower = candidate->lower_bound;
+          level_done = true;
+          break;
+        }
+        const double error =
+            candidate->lower_bound <= 0.0
+                ? 0.0
+                : 1.0 - candidate->partial / candidate->lower_bound;
+        if (!force_examine && error > options_.error_threshold) {
+          min_remaining_lower = candidate->lower_bound;
+          level_done = true;
+          break;
+        }
+        wave.push_back(*candidate);
+      }
+      if (wave.empty()) break;
+
+      // ---- Concurrent verification of the wave's unknown distances.
+      if (lanes > 1) {
+        to_verify.clear();
+        for (const Candidate& candidate : wave) {
+          if (exact_memo.contains(candidate.doc)) continue;
+          if (shortcut_applies(candidate, ld.find(candidate.doc)->second)) {
+            continue;
+          }
+          to_verify.push_back(candidate.doc);
+        }
+        if (to_verify.size() > 1) {
+          util::ScopedAccumulator drc_time(&stats_.distance_seconds);
+          wave_exact.assign(to_verify.size(), 0.0);
+          pool->ParallelFor(
+              to_verify.size(), [&](std::size_t i, std::size_t lane) {
+                wave_exact[i] =
+                    compute_exact(lane_drcs[lane].get(), to_verify[i]);
+              });
+          for (std::size_t i = 0; i < to_verify.size(); ++i) {
+            exact_memo.emplace(to_verify[i], wave_exact[i]);
+          }
+          wave_invocations += to_verify.size();
+          ++stats_.parallel_waves;
+        }
+      }
+
+      // ---- Serial replay. The error gate cannot newly fail (it is
+      // independent of the heap); only the k-th-best gate can, as
+      // results accumulate mid-wave.
+      for (const Candidate& candidate : wave) {
+        if (heap.size() == k && candidate.lower_bound >= kth_distance()) {
+          min_remaining_lower = candidate.lower_bound;
+          level_done = true;
+          // Unexamined wave members stay in Ld; their memoized exact
+          // distances keep their value for later levels.
+          break;
+        }
+        examine(candidate);
       }
     }
 
@@ -475,6 +605,10 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       if (emitted.insert(scored.id).second) progress_callback_(scored);
     }
   }
+  for (const std::unique_ptr<Drc>& lane : lane_drcs) {
+    drc_->MergeStatsFrom(lane->stats());
+  }
+  stats_.speculative_drc_calls = wave_invocations - memo_consumed;
   stats_.total_seconds = total_timer.ElapsedSeconds();
   stats_.traversal_seconds =
       std::max(0.0, stats_.total_seconds - stats_.distance_seconds);

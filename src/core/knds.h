@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,7 @@
 #include "corpus/corpus.h"
 #include "index/inverted_index.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ecdr::core {
 
@@ -75,6 +77,15 @@ struct KndsOptions {
   /// waiting for coverage is expensive and eager DRC probing pays off
   /// on sparse collections (Fig. 7 c-e). 0 disables it.
   double simulated_postings_access_seconds = 0.0;
+
+  /// Lanes for concurrent DRC verification (the dominant cost once the
+  /// error gate fires — paper Figs. 6-7). 0 = hardware concurrency; 1 =
+  /// today's fully serial execution. Any value returns bit-identical
+  /// top-k sets and distances: waves of gate-passing candidates are
+  /// verified speculatively in parallel, then consumed by an exact
+  /// replay of the serial examination order (see DESIGN.md, "Threading
+  /// model").
+  std::size_t num_threads = 0;
 };
 
 struct KndsStats {
@@ -85,6 +96,10 @@ struct KndsStats {
   std::uint64_t drc_calls = 0;          // examined minus shortcut hits
   std::uint64_t documents_pruned = 0;
   std::uint64_t queue_limit_hits = 0;
+  std::uint64_t parallel_waves = 0;     // concurrent verification batches
+  // DRC probes computed speculatively in a wave but never consumed by
+  // the serial replay (wasted work; bounded by the wave size).
+  std::uint64_t speculative_drc_calls = 0;
   double traversal_seconds = 0.0;       // BFS + bookkeeping
   double distance_seconds = 0.0;        // DRC probes
   double total_seconds = 0.0;
@@ -95,8 +110,14 @@ class Knds {
   /// All dependencies are shared and unowned. The inverted index must
   /// cover every document of the corpus (keep it updated through
   /// InvertedIndex::AddDocument when appending documents).
+  ///
+  /// `pool` (optional) supplies the worker threads for concurrent DRC
+  /// verification so several engines can share one pool (RankingEngine
+  /// does this). When null and the effective num_threads exceeds 1, the
+  /// engine lazily creates a private pool of num_threads - 1 workers
+  /// (the searching thread is the extra lane).
   Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-       Drc* drc, KndsOptions options = {});
+       Drc* drc, KndsOptions options = {}, util::ThreadPool* pool = nullptr);
 
   /// RDS (Definition 1). Duplicate query concepts are ignored. Returns
   /// up to k documents, ascending by (distance, id).
@@ -172,6 +193,8 @@ class Knds {
   KndsOptions options_;
   KndsStats stats_;
   ProgressCallback progress_callback_;
+  util::ThreadPool* pool_;                        // external, may be null
+  std::unique_ptr<util::ThreadPool> owned_pool_;  // lazily created
 };
 
 }  // namespace ecdr::core

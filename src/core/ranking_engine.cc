@@ -6,14 +6,22 @@
 namespace ecdr::core {
 
 RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
-    : ontology_(std::make_unique<ontology::Ontology>(std::move(ontology))),
+    : options_(options),
+      ontology_(std::make_unique<ontology::Ontology>(std::move(ontology))),
       corpus_(std::make_unique<corpus::Corpus>(*ontology_)),
       inverted_(std::make_unique<index::InvertedIndex>(*corpus_)),
       addresses_(std::make_unique<ontology::AddressEnumerator>(
-          *ontology_, options.addresses)),
-      drc_(std::make_unique<Drc>(*ontology_, addresses_.get())),
-      knds_(std::make_unique<Knds>(*corpus_, *inverted_, drc_.get(),
-                                   options.knds)) {}
+          *ontology_, options.addresses)) {
+  if (options_.precompute_addresses) addresses_->PrecomputeAll();
+  const std::size_t threads = options_.knds.num_threads == 0
+                                  ? util::ThreadPool::DefaultThreads()
+                                  : options_.knds.num_threads;
+  if (threads > 1) {
+    // Shared across all concurrent searches; each search adds itself as
+    // the extra lane, so size the pool one short of the lane count.
+    pool_ = std::make_unique<util::ThreadPool>(threads - 1);
+  }
+}
 
 std::unique_ptr<RankingEngine> RankingEngine::Create(
     ontology::Ontology ontology, Options options) {
@@ -43,6 +51,7 @@ util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::CreateFromFiles(
 
 util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
     std::vector<ontology::ConceptId> concepts) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   util::StatusOr<corpus::DocId> added =
       corpus_->AddDocument(corpus::Document(std::move(concepts)));
   ECDR_RETURN_IF_ERROR(added.status());
@@ -50,9 +59,26 @@ util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
   return added;
 }
 
+template <typename SearchFn>
+util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
+    SearchFn&& search) {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  // Per-call engines: Drc and Knds hold per-query mutable state, so
+  // concurrent readers each get their own (cheap — a few pointers) over
+  // the shared corpus, index and frozen address cache.
+  Drc drc(*ontology_, addresses_.get());
+  Knds knds(*corpus_, *inverted_, &drc, options_.knds, pool_.get());
+  util::StatusOr<std::vector<ScoredDocument>> result = search(&knds);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    last_knds_stats_ = knds.last_stats();
+  }
+  return result;
+}
+
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k) {
-  return knds_->SearchRds(query, k);
+  return RunSearch([&](Knds* knds) { return knds->SearchRds(query, k); });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
@@ -67,22 +93,28 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
     }
     query.push_back(id);
   }
-  return knds_->SearchRds(query, k);
+  return RunSearch([&](Knds* knds) { return knds->SearchRds(query, k); });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
 RankingEngine::FindRelevantWeighted(std::span<const WeightedConcept> query,
                                     std::uint32_t k) {
-  return knds_->SearchRdsWeighted(query, k);
+  return RunSearch(
+      [&](Knds* knds) { return knds->SearchRdsWeighted(query, k); });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindSimilar(
     corpus::DocId doc, std::uint32_t k) {
-  if (doc >= corpus_->num_documents()) {
-    return util::OutOfRangeError("document id " + std::to_string(doc) +
-                                 " out of range");
-  }
-  return knds_->SearchSds(corpus_->document(doc), k);
+  return RunSearch([&](Knds* knds)
+                       -> util::StatusOr<std::vector<ScoredDocument>> {
+    // Range-check under the reader lock so a racing AddDocument cannot
+    // invalidate the answer between check and search.
+    if (doc >= corpus_->num_documents()) {
+      return util::OutOfRangeError("document id " + std::to_string(doc) +
+                                   " out of range");
+    }
+    return knds->SearchSds(corpus_->document(doc), k);
+  });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
@@ -92,16 +124,19 @@ RankingEngine::FindSimilarToConcepts(
   if (query_doc.empty()) {
     return util::InvalidArgumentError("query document has no concepts");
   }
-  return knds_->SearchSds(query_doc, k);
+  return RunSearch(
+      [&](Knds* knds) { return knds->SearchSds(query_doc, k); });
 }
 
 util::StatusOr<double> RankingEngine::DocumentDistance(corpus::DocId a,
                                                        corpus::DocId b) {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   if (a >= corpus_->num_documents() || b >= corpus_->num_documents()) {
     return util::OutOfRangeError("document id out of range");
   }
-  return drc_->DocDocDistance(corpus_->document(a).concepts(),
-                              corpus_->document(b).concepts());
+  Drc drc(*ontology_, addresses_.get());
+  return drc.DocDocDistance(corpus_->document(a).concepts(),
+                            corpus_->document(b).concepts());
 }
 
 }  // namespace ecdr::core

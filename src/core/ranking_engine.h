@@ -1,20 +1,30 @@
 // RankingEngine — the one-stop facade a serving process embeds.
 //
 // Owns the whole stack (ontology, corpus, inverted index, Dewey address
-// cache, DRC, kNDS) with consistent lifetimes, so callers don't wire
-// five components by hand or keep the inverted index in sync
-// themselves. Supports the paper's point-of-care story: AddDocument()
-// makes a record searchable immediately.
+// cache, kNDS machinery, worker pool) with consistent lifetimes, so
+// callers don't wire five components by hand or keep the inverted index
+// in sync themselves. Supports the paper's point-of-care story:
+// AddDocument() makes a record searchable immediately.
 //
 //   auto engine = core::RankingEngine::Create(std::move(ontology));
 //   auto id = engine->AddDocument({valve, hypertension});
 //   auto top = engine->FindRelevant({cardiac}, 10);
 //   auto similar = engine->FindSimilar(*id, 10);
+//
+// Thread safety: Find*/DocumentDistance may run from any number of
+// threads concurrently; AddDocument takes the engine's writer lock and
+// excludes searches for the duration of one index insert. Each search
+// uses its own short-lived Drc/Knds over the shared frozen Dewey address
+// cache, and all searches share the engine's worker pool for intra-query
+// parallelism (Options::knds.num_threads; see DESIGN.md, "Threading
+// model").
 
 #ifndef ECDR_CORE_RANKING_ENGINE_H_
 #define ECDR_CORE_RANKING_ENGINE_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -27,15 +37,25 @@
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ecdr::core {
 
+struct RankingEngineOptions {
+  KndsOptions knds;
+  ontology::AddressEnumeratorOptions addresses;
+
+  /// Enumerate every concept's Dewey addresses at construction and
+  /// freeze the cache, making address lookups lock-free for concurrent
+  /// searches (one up-front pass over the ontology). Disable for
+  /// short-lived engines over large ontologies that only touch a few
+  /// concepts; lookups then serialize on a mutex while the cache warms.
+  bool precompute_addresses = true;
+};
+
 class RankingEngine {
  public:
-  struct Options {
-    KndsOptions knds;
-    ontology::AddressEnumeratorOptions addresses;
-  };
+  using Options = RankingEngineOptions;
 
   /// Takes ownership of the ontology; the corpus starts empty.
   static std::unique_ptr<RankingEngine> Create(ontology::Ontology ontology,
@@ -49,7 +69,8 @@ class RankingEngine {
   RankingEngine(const RankingEngine&) = delete;
   RankingEngine& operator=(const RankingEngine&) = delete;
 
-  /// Adds a document and indexes it; searchable immediately.
+  /// Adds a document and indexes it; searchable immediately. Excludes
+  /// concurrent searches while the corpus and inverted index mutate.
   util::StatusOr<corpus::DocId> AddDocument(
       std::vector<ontology::ConceptId> concepts);
 
@@ -78,10 +99,22 @@ class RankingEngine {
 
   const ontology::Ontology& ontology() const { return *ontology_; }
   const corpus::Corpus& corpus() const { return *corpus_; }
-  const KndsStats& last_search_stats() const { return knds_->last_stats(); }
+
+  /// Stats of the most recent completed search, by value (concurrent
+  /// searches overwrite it in completion order).
+  KndsStats last_search_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return last_knds_stats_;
+  }
 
  private:
   RankingEngine(ontology::Ontology ontology, Options options);
+
+  /// Runs `search` on a per-call Knds under the reader lock.
+  template <typename SearchFn>
+  util::StatusOr<std::vector<ScoredDocument>> RunSearch(SearchFn&& search);
+
+  Options options_;
 
   // unique_ptr members keep internal cross-pointers stable; the engine
   // itself is handed out by pointer.
@@ -89,8 +122,12 @@ class RankingEngine {
   std::unique_ptr<corpus::Corpus> corpus_;
   std::unique_ptr<index::InvertedIndex> inverted_;
   std::unique_ptr<ontology::AddressEnumerator> addresses_;
-  std::unique_ptr<Drc> drc_;
-  std::unique_ptr<Knds> knds_;
+  std::unique_ptr<util::ThreadPool> pool_;  // Null when searches are serial.
+
+  // Readers: searches / distance probes; writer: AddDocument.
+  mutable std::shared_mutex mutex_;
+  mutable std::mutex stats_mutex_;
+  KndsStats last_knds_stats_;
 };
 
 }  // namespace ecdr::core

@@ -8,8 +8,9 @@
 namespace ecdr::core {
 
 TaRanker::TaRanker(const corpus::Corpus& corpus,
-                   const index::PrecomputedPostings& postings)
-    : corpus_(&corpus), postings_(&postings) {}
+                   const index::PrecomputedPostings& postings,
+                   Options options)
+    : corpus_(&corpus), postings_(&postings), options_(options) {}
 
 util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k) {
@@ -36,14 +37,58 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
     lists.push_back(postings_->SortedPostings(c));
   }
 
+  const std::size_t requested = options_.num_threads == 0
+                                    ? util::ThreadPool::DefaultThreads()
+                                    : options_.num_threads;
+  util::ThreadPool* pool = options_.pool;
+  if (requested > 1 && pool == nullptr && concepts.size() > 1) {
+    if (owned_pool_ == nullptr) {
+      owned_pool_ = std::make_unique<util::ThreadPool>(requested - 1);
+    }
+    pool = owned_pool_.get();
+  }
+  const bool parallel = requested > 1 && pool != nullptr;
+
   std::vector<ScoredDocument> heap;  // Max-heap: worst kept at front.
+  const auto push_scored = [&](const ScoredDocument& scored) {
+    if (heap.size() < k) {
+      heap.push_back(scored);
+      std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+    } else if (ScoredBefore(scored, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
+      heap.back() = scored;
+      std::push_heap(heap.begin(), heap.end(), ScoredBefore);
+    }
+  };
+  // Aggregates one discovery: the sorted-access distance from the list
+  // that surfaced the document plus random accesses on the other lists.
+  // Read-only against the postings, so discoveries of one round can be
+  // scored concurrently; the round structure itself (sorted access,
+  // threshold) stays serial.
+  struct Discovery {
+    corpus::DocId doc;
+    std::uint32_t distance;  // From the discovering list.
+    std::size_t list;
+  };
+  const auto aggregate = [&](const Discovery& d) {
+    std::uint64_t total = d.distance;
+    for (std::size_t j = 0; j < concepts.size(); ++j) {
+      if (j == d.list) continue;
+      total += postings_->Distance(concepts[j], d.doc);
+    }
+    return total;
+  };
+
   std::unordered_set<corpus::DocId> seen;
   std::vector<std::uint32_t> last_seen(concepts.size(), 0);
+  std::vector<Discovery> round;
+  std::vector<std::uint64_t> round_totals;
   std::size_t depth = 0;
   bool exhausted = false;
   while (!exhausted) {
     exhausted = true;
     // One round of sorted access: advance one position in each list.
+    round.clear();
     for (std::size_t i = 0; i < lists.size(); ++i) {
       if (depth >= lists[i].size()) continue;
       exhausted = false;
@@ -51,23 +96,25 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
       ++last_stats_.sorted_accesses;
       last_seen[i] = entry.distance;
       if (!seen.insert(entry.doc).second) continue;
-      // Random access on the remaining lists for the exact aggregate.
-      std::uint64_t total = entry.distance;
-      for (std::size_t j = 0; j < concepts.size(); ++j) {
-        if (j == i) continue;
-        ++last_stats_.random_accesses;
-        total += postings_->Distance(concepts[j], entry.doc);
+      round.push_back(Discovery{entry.doc, entry.distance, i});
+    }
+    // Score the round's discoveries (exact aggregates; order-independent,
+    // so sharding them across lanes cannot change the result).
+    round_totals.assign(round.size(), 0);
+    if (parallel && round.size() > 1) {
+      pool->ParallelFor(round.size(), [&](std::size_t i, std::size_t) {
+        round_totals[i] = aggregate(round[i]);
+      });
+    } else {
+      for (std::size_t i = 0; i < round.size(); ++i) {
+        round_totals[i] = aggregate(round[i]);
       }
+    }
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      last_stats_.random_accesses += concepts.size() - 1;
       ++last_stats_.documents_scored;
-      const ScoredDocument scored{entry.doc, static_cast<double>(total)};
-      if (heap.size() < k) {
-        heap.push_back(scored);
-        std::push_heap(heap.begin(), heap.end(), ScoredBefore);
-      } else if (ScoredBefore(scored, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), ScoredBefore);
-        heap.back() = scored;
-        std::push_heap(heap.begin(), heap.end(), ScoredBefore);
-      }
+      push_scored(
+          ScoredDocument{round[i].doc, static_cast<double>(round_totals[i])});
     }
     ++depth;
     // Threshold test: no unseen document can aggregate below the sum of

@@ -14,6 +14,7 @@
 #define ECDR_CORE_TA_RANKER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,11 +22,28 @@
 #include "corpus/corpus.h"
 #include "index/precomputed_postings.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ecdr::core {
 
+struct TaRankerOptions {
+  /// Lanes for the per-round random accesses (aggregating each newly
+  /// seen document across the other postings lists — TA's dominant
+  /// cost for multi-concept queries). Sorted access stays serial: the
+  /// round structure and threshold are inherently sequential. 0 =
+  /// hardware concurrency, 1 = serial; results are identical at any
+  /// lane count (aggregates are exact lookups).
+  std::size_t num_threads = 0;
+
+  /// Optional shared worker pool; when null and the effective lane
+  /// count exceeds 1, a private pool is created lazily.
+  util::ThreadPool* pool = nullptr;
+};
+
 class TaRanker {
  public:
+  using Options = TaRankerOptions;
+
   struct Stats {
     std::uint64_t sorted_accesses = 0;
     std::uint64_t random_accesses = 0;
@@ -34,7 +52,7 @@ class TaRanker {
   };
 
   TaRanker(const corpus::Corpus& corpus,
-           const index::PrecomputedPostings& postings);
+           const index::PrecomputedPostings& postings, Options options = {});
 
   /// RDS top-k, ascending by (distance, id) — same contract as the other
   /// rankers.
@@ -46,7 +64,9 @@ class TaRanker {
  private:
   const corpus::Corpus* corpus_;
   const index::PrecomputedPostings* postings_;
+  Options options_;
   Stats last_stats_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
 };
 
 }  // namespace ecdr::core

@@ -64,17 +64,37 @@ AddressEnumerator::AddressEnumerator(const Ontology& ontology,
 
 const std::vector<DeweyAddress>& AddressEnumerator::Addresses(ConceptId c) {
   ECDR_CHECK(ontology_->Contains(c));
+  if (frozen_.load(std::memory_order_acquire)) {
+    // PrecomputeAll cached every concept, so the map is immutable here.
+    const auto it = cache_.find(c);
+    ECDR_CHECK(it != cache_.end());
+    return it->second.addresses;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   return Compute(c).addresses;
 }
 
+void AddressEnumerator::PrecomputeAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ConceptId c = 0; c < ontology_->num_concepts(); ++c) Compute(c);
+  frozen_.store(true, std::memory_order_release);
+}
+
 bool AddressEnumerator::truncated(ConceptId c) const {
+  if (frozen_.load(std::memory_order_acquire)) {
+    const auto it = cache_.find(c);
+    return it != cache_.end() && it->second.truncated;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(c);
   return it != cache_.end() && it->second.truncated;
 }
 
 void AddressEnumerator::ClearCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frozen_.store(false, std::memory_order_release);
   cache_.clear();
-  cached_addresses_ = 0;
+  cached_addresses_.store(0, std::memory_order_relaxed);
 }
 
 const AddressEnumerator::Entry& AddressEnumerator::Compute(ConceptId c) {
@@ -117,7 +137,8 @@ const AddressEnumerator::Entry& AddressEnumerator::Compute(ConceptId c) {
                 return DeweyLess(a, b);
               });
   }
-  cached_addresses_ += entry.addresses.size();
+  cached_addresses_.fetch_add(entry.addresses.size(),
+                              std::memory_order_relaxed);
   return cache_.emplace(c, std::move(entry)).first->second;
 }
 

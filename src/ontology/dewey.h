@@ -10,7 +10,9 @@
 #ifndef ECDR_ONTOLOGY_DEWEY_H_
 #define ECDR_ONTOLOGY_DEWEY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -66,23 +68,42 @@ struct AddressEnumeratorOptions {
 
 /// Enumerates and caches the full Dewey address set of each concept,
 /// sorted lexicographically (the order DRC consumes them in).
+///
+/// Thread safety: Addresses()/truncated() are safe to call from multiple
+/// threads. While the cache is still growing they serialize on an
+/// internal mutex; after PrecomputeAll() the cache is frozen (immutable)
+/// and lookups are lock-free, which is the intended serving mode —
+/// freeze once the ontology is final, then share one enumerator across
+/// every query thread. Cached references stay valid until ClearCache(),
+/// which (like construction) must not race with readers.
 class AddressEnumerator {
  public:
   explicit AddressEnumerator(const Ontology& ontology,
                              AddressEnumeratorOptions options = {});
 
   /// All addresses of `c`, lexicographically sorted. The reference stays
-  /// valid until ClearCache(). Thread-compatible, not thread-safe.
+  /// valid until ClearCache().
   const std::vector<DeweyAddress>& Addresses(ConceptId c);
+
+  /// Enumerates every concept's addresses and freezes the cache: all
+  /// later Addresses()/truncated() calls are lock-free reads of the
+  /// now-immutable cache. Costs one pass over the whole ontology.
+  void PrecomputeAll();
+
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
   /// True if Addresses(c) was truncated at the cap (call after
   /// Addresses(c)).
   bool truncated(ConceptId c) const;
 
+  /// Drops every cached entry and unfreezes. Not safe to call while any
+  /// other thread may read the enumerator.
   void ClearCache();
 
   /// Total addresses currently cached, across concepts.
-  std::uint64_t cached_addresses() const { return cached_addresses_; }
+  std::uint64_t cached_addresses() const {
+    return cached_addresses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -90,12 +111,16 @@ class AddressEnumerator {
     bool truncated = false;
   };
 
+  /// Requires mutex_ held (entries are published under the lock; the
+  /// frozen fast path never calls this).
   const Entry& Compute(ConceptId c);
 
   const Ontology* ontology_;
   AddressEnumeratorOptions options_;
+  mutable std::mutex mutex_;
+  std::atomic<bool> frozen_{false};
   std::unordered_map<ConceptId, Entry> cache_;
-  std::uint64_t cached_addresses_ = 0;
+  std::atomic<std::uint64_t> cached_addresses_{0};
 };
 
 }  // namespace ecdr::ontology

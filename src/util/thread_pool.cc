@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/macros.h"
+
+namespace ecdr::util {
+
+std::size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (std::size_t lane = 0; lane < num_threads; ++lane) {
+    threads_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void(std::size_t)> fn) {
+  ECDR_CHECK(!threads_.empty());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ECDR_CHECK(!stopping_);
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(std::size_t lane) {
+  while (true) {
+    std::function<void(std::size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(lane);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, num_threads());
+    return;
+  }
+
+  // Work-stealing over a shared item counter: each participant loops
+  // claiming the next unclaimed item. Helpers that arrive after the
+  // batch drained exit immediately, so stale pool tasks are harmless —
+  // the shared_ptr keeps the state alive past ParallelFor's return, and
+  // `fn` is only dereferenced for successfully claimed items, all of
+  // which finish before the caller unblocks.
+  struct BatchState {
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->fn = &fn;
+  state->n = n;
+
+  const auto drain = [](const std::shared_ptr<BatchState>& batch,
+                        std::size_t lane) {
+    while (true) {
+      const std::size_t i =
+          batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->n) return;
+      (*batch->fn)(i, lane);
+      if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          batch->n) {
+        // The waiter checks `done` under the mutex; locking here closes
+        // the window between its check and its wait.
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        batch->all_done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(n - 1, num_threads());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain](std::size_t lane) { drain(state, lane); });
+  }
+  drain(state, num_threads());
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace ecdr::util

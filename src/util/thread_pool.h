@@ -1,0 +1,74 @@
+// Fixed-size worker pool with a shared FIFO task queue.
+//
+// The pool exists for intra-query parallelism on the serving path: kNDS
+// verifies DRC exact distances in concurrent waves, and the baseline
+// rankers shard their document scans. Tasks receive the executing *lane*
+// index so a call site can hand each lane its own scratch state (for
+// example a per-lane Drc engine) without locking:
+//
+//   [0, num_threads())  — pool worker threads;
+//   num_threads()       — the calling thread, which helps drain its own
+//                         batch inside ParallelFor.
+//
+// Scratch arrays therefore need num_threads() + 1 slots. Within one
+// ParallelFor call no two in-flight items ever share a lane, which is
+// the invariant per-call scratch relies on; distinct concurrent
+// ParallelFor calls (e.g. two RankingEngine readers) may reuse the same
+// lane numbers but index into their own per-call scratch.
+
+#ifndef ECDR_UTIL_THREAD_POOL_H_
+#define ECDR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecdr::util {
+
+class ThreadPool {
+ public:
+  /// Hardware concurrency, at least 1 (the standard permits 0 for
+  /// "unknown").
+  static std::size_t DefaultThreads();
+
+  /// Spawns `num_threads` workers. 0 is allowed: every ParallelFor then
+  /// degenerates to a serial loop on the caller.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains already-queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues fn; some worker eventually invokes fn(worker_lane).
+  /// Requires a non-empty pool. Safe from multiple threads.
+  void Submit(std::function<void(std::size_t)> fn);
+
+  /// Runs fn(item, lane) for every item in [0, n) and blocks until all
+  /// invocations complete. The calling thread participates with lane ==
+  /// num_threads(). Safe from multiple threads concurrently; must not be
+  /// called from inside a pool task (a worker waiting on its own pool
+  /// can deadlock).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(std::size_t lane);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void(std::size_t)>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_THREAD_POOL_H_

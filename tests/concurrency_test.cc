@@ -1,49 +1,77 @@
-// Concurrency contract: the Ontology, Corpus and InvertedIndex are
-// immutable after construction and safely shared across threads, while
-// AddressEnumerator / Drc / Knds hold per-query mutable state and must
-// be per-thread. This test runs one kNDS engine per thread over shared
-// read-only structures and checks every thread reproduces the serial
-// results.
+// Concurrency contract (see DESIGN.md, "Threading model"): the Ontology,
+// Corpus and InvertedIndex are immutable after construction and safely
+// shared across threads; AddressEnumerator serializes on an internal
+// mutex while warming and becomes lock-free once frozen via
+// PrecomputeAll(); Drc / Knds hold per-query mutable state and must be
+// per-thread (or per-call). RankingEngine layers a reader/writer lock on
+// top so any number of Find* calls may race one AddDocument writer.
+// These tests cover all three layers, plus the determinism guarantee:
+// kNDS returns bit-identical results at any KndsOptions::num_threads.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/drc.h"
 #include "core/exhaustive_ranker.h"
 #include "core/knds.h"
+#include "core/ranking_engine.h"
+#include "core/ta_ranker.h"
 #include "corpus/generator.h"
 #include "corpus/query_gen.h"
 #include "index/inverted_index.h"
+#include "index/precomputed_postings.h"
 #include "ontology/generator.h"
 
 namespace ecdr::core {
 namespace {
 
-TEST(ConcurrencyTest, PerThreadEnginesOverSharedIndexesAgree) {
-  ontology::OntologyGeneratorConfig ontology_config;
-  ontology_config.num_concepts = 2'000;
-  ontology_config.seed = 90;
-  const auto ontology = ontology::GenerateOntology(ontology_config);
-  ASSERT_TRUE(ontology.ok());
-  corpus::CorpusGeneratorConfig corpus_config;
-  corpus_config.num_documents = 150;
-  corpus_config.avg_concepts_per_doc = 20;
-  corpus_config.seed = 91;
-  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
-  ASSERT_TRUE(corpus.ok());
-  const index::InvertedIndex index(*corpus);
+ontology::Ontology MakeOntology(std::uint64_t seed, std::uint32_t concepts) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = concepts;
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
 
-  const auto queries = corpus::GenerateRdsQueries(*corpus, 12, 4, 92);
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed, std::uint32_t docs) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = docs;
+  config.avg_concepts_per_doc = 20;
+  config.seed = seed;
+  auto corpus = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+void ExpectSameResults(const std::vector<ScoredDocument>& a,
+                       const std::vector<ScoredDocument>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+TEST(ConcurrencyTest, PerThreadEnginesOverSharedIndexesAgree) {
+  const auto ontology = MakeOntology(90, 2'000);
+  const auto corpus = MakeCorpus(ontology, 91, 150);
+  const index::InvertedIndex index(corpus);
+
+  const auto queries = corpus::GenerateRdsQueries(corpus, 12, 4, 92);
 
   // Serial reference results.
   std::vector<std::vector<ScoredDocument>> expected;
   {
-    ontology::AddressEnumerator enumerator(*ontology);
-    Drc drc(*ontology, &enumerator);
-    Knds knds(*corpus, index, &drc);
+    ontology::AddressEnumerator enumerator(ontology);
+    Drc drc(ontology, &enumerator);
+    Knds knds(corpus, index, &drc);
     for (const auto& query : queries) {
       const auto results = knds.SearchRds(query, 5);
       ASSERT_TRUE(results.ok());
@@ -59,9 +87,9 @@ TEST(ConcurrencyTest, PerThreadEnginesOverSharedIndexesAgree) {
     threads.emplace_back([&, t]() {
       // Per-thread mutable machinery over the shared read-only corpus,
       // index and ontology.
-      ontology::AddressEnumerator enumerator(*ontology);
-      Drc drc(*ontology, &enumerator);
-      Knds knds(*corpus, index, &drc);
+      ontology::AddressEnumerator enumerator(ontology);
+      Drc drc(ontology, &enumerator);
+      Knds knds(corpus, index, &drc);
       // Stagger which query each thread starts with.
       for (std::size_t q = 0; q < queries.size(); ++q) {
         const std::size_t index_q = (q + t) % queries.size();
@@ -81,6 +109,241 @@ TEST(ConcurrencyTest, PerThreadEnginesOverSharedIndexesAgree) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// A frozen AddressEnumerator shared by per-thread Drc engines must
+// produce the same distances as per-thread enumerators (the engine's
+// internal sharing pattern, tested without the engine's locks).
+TEST(ConcurrencyTest, SharedFrozenAddressEnumeratorAgrees) {
+  const auto ontology = MakeOntology(80, 1'500);
+  const auto corpus = MakeCorpus(ontology, 81, 100);
+  const index::InvertedIndex index(corpus);
+  const auto queries = corpus::GenerateRdsQueries(corpus, 8, 3, 82);
+
+  std::vector<std::vector<ScoredDocument>> expected;
+  {
+    ontology::AddressEnumerator enumerator(ontology);
+    Drc drc(ontology, &enumerator);
+    Knds knds(corpus, index, &drc);
+    for (const auto& query : queries) {
+      const auto results = knds.SearchRds(query, 5);
+      ASSERT_TRUE(results.ok());
+      expected.push_back(*results);
+    }
+  }
+
+  ontology::AddressEnumerator shared(ontology);
+  shared.PrecomputeAll();
+  ASSERT_TRUE(shared.frozen());
+
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Drc drc(ontology, &shared);
+      Knds knds(corpus, index, &drc);
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const std::size_t index_q = (q + t) % queries.size();
+        const auto results = knds.SearchRds(queries[index_q], 5);
+        if (!results.ok()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t i = 0; i < results->size(); ++i) {
+          if ((*results)[i].id != expected[index_q][i].id ||
+              (*results)[i].distance != expected[index_q][i].distance) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// kNDS determinism: num_threads = 1 and num_threads = 8 must return
+// identical top-k ids AND distances, for RDS, weighted RDS and SDS. The
+// speculative-wave design also keeps DRC consumption identical (every
+// exact distance the serial replay uses is either memoized or computed
+// in the same order), so drc_calls must match too.
+TEST(ConcurrencyTest, ParallelKndsMatchesSerialBitForBit) {
+  const auto ontology = MakeOntology(70, 2'500);
+  const auto corpus = MakeCorpus(ontology, 71, 200);
+  const index::InvertedIndex index(corpus);
+  const auto queries = corpus::GenerateRdsQueries(corpus, 10, 4, 72);
+
+  ontology::AddressEnumerator enumerator(ontology);
+  enumerator.PrecomputeAll();
+
+  KndsOptions serial_options;
+  serial_options.num_threads = 1;
+  KndsOptions parallel_options;
+  parallel_options.num_threads = 8;
+
+  for (const std::uint32_t k : {1u, 5u, 20u}) {
+    for (const auto& query : queries) {
+      Drc serial_drc(ontology, &enumerator);
+      Knds serial(corpus, index, &serial_drc, serial_options);
+      const auto want = serial.SearchRds(query, k);
+      ASSERT_TRUE(want.ok());
+
+      Drc parallel_drc(ontology, &enumerator);
+      Knds parallel(corpus, index, &parallel_drc, parallel_options);
+      const auto got = parallel.SearchRds(query, k);
+      ASSERT_TRUE(got.ok());
+
+      ExpectSameResults(*want, *got);
+      EXPECT_EQ(serial.last_stats().drc_calls, parallel.last_stats().drc_calls);
+      EXPECT_EQ(serial.last_stats().documents_examined,
+                parallel.last_stats().documents_examined);
+    }
+  }
+
+  // SDS: each of the first few documents queried against the rest.
+  for (corpus::DocId d = 0; d < 5; ++d) {
+    Drc serial_drc(ontology, &enumerator);
+    Knds serial(corpus, index, &serial_drc, serial_options);
+    const auto want = serial.SearchSds(corpus.document(d), 10);
+    ASSERT_TRUE(want.ok());
+
+    Drc parallel_drc(ontology, &enumerator);
+    Knds parallel(corpus, index, &parallel_drc, parallel_options);
+    const auto got = parallel.SearchSds(corpus.document(d), 10);
+    ASSERT_TRUE(got.ok());
+
+    ExpectSameResults(*want, *got);
+    EXPECT_EQ(serial.last_stats().drc_calls, parallel.last_stats().drc_calls);
+  }
+}
+
+// Baseline rankers: sharded scoring must not change the top-k (the
+// (distance, id) total order is scan-order independent).
+TEST(ConcurrencyTest, ParallelBaselinesMatchSerial) {
+  const auto ontology = MakeOntology(60, 1'500);
+  const auto corpus = MakeCorpus(ontology, 61, 120);
+  const auto queries = corpus::GenerateRdsQueries(corpus, 6, 3, 62);
+
+  ontology::AddressEnumerator enumerator(ontology);
+  enumerator.PrecomputeAll();
+
+  ExhaustiveRankerOptions serial_options;
+  serial_options.num_threads = 1;
+  ExhaustiveRankerOptions parallel_options;
+  parallel_options.num_threads = 8;
+
+  Drc serial_drc(ontology, &enumerator);
+  ExhaustiveRanker serial(corpus, &serial_drc, serial_options);
+  Drc parallel_drc(ontology, &enumerator);
+  ExhaustiveRanker parallel(corpus, &parallel_drc, parallel_options);
+
+  for (const auto& query : queries) {
+    const auto want = serial.TopKRelevant(query, 10);
+    ASSERT_TRUE(want.ok());
+    const auto got = parallel.TopKRelevant(query, 10);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResults(*want, *got);
+    EXPECT_EQ(serial.last_stats().documents_scored,
+              parallel.last_stats().documents_scored);
+
+    const auto want_sds = serial.TopKSimilar(corpus.document(0), 10);
+    ASSERT_TRUE(want_sds.ok());
+    const auto got_sds = parallel.TopKSimilar(corpus.document(0), 10);
+    ASSERT_TRUE(got_sds.ok());
+    ExpectSameResults(*want_sds, *got_sds);
+  }
+
+  // TA over precomputed postings: parallel random accesses, same top-k.
+  const index::PrecomputedPostings postings(corpus);
+  TaRankerOptions ta_serial_options;
+  ta_serial_options.num_threads = 1;
+  TaRankerOptions ta_parallel_options;
+  ta_parallel_options.num_threads = 8;
+  TaRanker ta_serial(corpus, postings, ta_serial_options);
+  TaRanker ta_parallel(corpus, postings, ta_parallel_options);
+  for (const auto& query : queries) {
+    const auto want = ta_serial.TopKRelevant(query, 10);
+    ASSERT_TRUE(want.ok());
+    const auto got = ta_parallel.TopKRelevant(query, 10);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResults(*want, *got);
+  }
+}
+
+// RankingEngine reader/writer contract: N threads hammer FindRelevant /
+// FindSimilar while a writer thread keeps calling AddDocument. Every
+// search must succeed, and searches launched after an insert completes
+// must see a consistent corpus (no torn index state). Readers run a
+// fixed number of iterations — glibc's rwlock prefers readers, so a
+// stop-flag driven by writer completion could starve the writer forever
+// on a loaded machine.
+TEST(ConcurrencyTest, SearchesRaceOneWriterSafely) {
+  auto ontology = MakeOntology(50, 1'500);
+  const auto seed_docs = MakeCorpus(ontology, 51, 80);
+  const auto extra_docs = MakeCorpus(ontology, 52, 60);
+  const auto queries = corpus::GenerateRdsQueries(seed_docs, 6, 3, 53);
+
+  RankingEngineOptions options;
+  options.knds.num_threads = 4;  // Exercise the shared pool under racing.
+  auto engine = RankingEngine::Create(std::move(ontology), options);
+
+  for (corpus::DocId d = 0; d < seed_docs.num_documents(); ++d) {
+    const auto& concepts = seed_docs.document(d).concepts();
+    const auto added = engine->AddDocument(
+        std::vector<ontology::ConceptId>(concepts.begin(), concepts.end()));
+    ASSERT_TRUE(added.ok());
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kIterationsPerReader = 25;
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> searches{0};
+
+  // Writer on its own thread; it may be held off while readers hold the
+  // shared lock but always finishes once the finite readers drain.
+  std::thread writer([&]() {
+    for (corpus::DocId d = 0; d < extra_docs.num_documents(); ++d) {
+      const auto& concepts = extra_docs.document(d).concepts();
+      const auto added = engine->AddDocument(
+          std::vector<ontology::ConceptId>(concepts.begin(), concepts.end()));
+      if (!added.ok()) ++failures;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      std::size_t q = static_cast<std::size_t>(t);
+      for (int iter = 0; iter < kIterationsPerReader; ++iter) {
+        const auto relevant =
+            engine->FindRelevant(queries[q % queries.size()], 5);
+        if (!relevant.ok() || relevant->empty()) ++failures;
+        const auto similar =
+            engine->FindSimilar(static_cast<corpus::DocId>(q % 20), 5);
+        if (!similar.ok()) ++failures;
+        ++q;
+        ++searches;
+      }
+    });
+  }
+
+  for (auto& reader : readers) reader.join();
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(searches.load(),
+            static_cast<std::uint64_t>(kReaders) * kIterationsPerReader);
+  EXPECT_EQ(engine->corpus().num_documents(),
+            seed_docs.num_documents() + extra_docs.num_documents());
+
+  // Post-race search sees every inserted document as a candidate pool.
+  const auto final_results = engine->FindRelevant(queries[0], 5);
+  ASSERT_TRUE(final_results.ok());
+  EXPECT_FALSE(final_results->empty());
 }
 
 }  // namespace
