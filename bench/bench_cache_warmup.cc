@@ -1,0 +1,222 @@
+// Cross-query cache warm-up: kNDS latency on the Fig. 9 top-k workload
+// (k=10, nq=5) with a cold vs warm Ddq memo, on PATIENT and RADIO, RDS
+// and SDS. Each configuration runs the same query set twice against one
+// shared DdqMemo: the first pass fills it (cold), the second is served
+// from it (warm). Reports p50/p95 per-query latency for both passes,
+// the warm/cold speedup, and the memo hit/miss counters, and writes the
+// rows to BENCH_cache_warmup.json.
+//
+// The covered-distance shortcut is disabled so every exact distance
+// flows through DRC and therefore through the memo — the regime the
+// cache exists for. Warm results are verified bit-identical to cold
+// (the memo stores the exact DRC doubles).
+//
+// Expected shape: warm p50 >= 1.5x faster than cold — DRC calls, the
+// dominant per-query cost, collapse to hash lookups; the residual warm
+// cost is the BFS traversal.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/distance_cache.h"
+#include "core/drc.h"
+#include "core/knds.h"
+#include "corpus/query_gen.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using ecdr::bench::Collection;
+using ecdr::util::TablePrinter;
+
+constexpr std::uint32_t kDefaultNq = 5;
+constexpr std::uint32_t kTopK = 10;
+
+struct Row {
+  std::string collection;
+  std::string mode;
+  double cold_p50_ms = 0.0;
+  double cold_p95_ms = 0.0;
+  double warm_p50_ms = 0.0;
+  double warm_p95_ms = 0.0;
+  double p50_speedup = 0.0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  double warm_hit_rate = 0.0;
+  std::uint64_t warm_drc_calls = 0;
+  bool matches_cold = true;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+bool SameResults(const std::vector<ecdr::core::ScoredDocument>& a,
+                 const std::vector<ecdr::core::ScoredDocument>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+void RunCollection(const ecdr::ontology::Ontology& ontology,
+                   ecdr::ontology::AddressEnumerator* enumerator,
+                   const Collection& collection, bool sds,
+                   std::uint32_t queries, std::vector<Row>* rows) {
+  const auto rds_queries = ecdr::corpus::GenerateRdsQueries(
+      *collection.corpus, queries, kDefaultNq, 800);
+  const auto sds_queries =
+      ecdr::corpus::SampleQueryDocuments(*collection.corpus, queries, 801);
+
+  ecdr::core::KndsOptions options;
+  options.error_threshold =
+      sds ? collection.sds_error_threshold : collection.rds_error_threshold;
+  options.covered_distance_shortcut = false;
+
+  ecdr::core::DdqMemo memo(options.cache);
+  ecdr::core::Drc drc(ontology, enumerator);
+  ecdr::core::Knds knds(*collection.corpus, *collection.inverted, &drc,
+                        options, nullptr, &memo);
+
+  Row row;
+  row.collection = collection.name;
+  row.mode = sds ? "SDS" : "RDS";
+
+  std::vector<std::vector<ecdr::core::ScoredDocument>> cold_results;
+  cold_results.reserve(queries);
+  std::vector<double> cold_ms, warm_ms;
+  cold_ms.reserve(queries);
+  warm_ms.reserve(queries);
+  const auto counters_before_warm = [&]() { return memo.counters(); };
+  ecdr::util::CacheCounters warm_base;
+
+  for (const bool warm : {false, true}) {
+    if (warm) warm_base = counters_before_warm();
+    for (std::uint32_t q = 0; q < queries; ++q) {
+      const auto result =
+          sds ? knds.SearchSds(collection.corpus->document(sds_queries[q]),
+                               kTopK)
+              : knds.SearchRds(rds_queries[q], kTopK);
+      ECDR_CHECK(result.ok());
+      const double ms = knds.last_stats().total_seconds * 1e3;
+      if (warm) {
+        warm_ms.push_back(ms);
+        row.warm_drc_calls += knds.last_stats().drc_calls;
+        row.matches_cold =
+            row.matches_cold && SameResults(cold_results[q], *result);
+      } else {
+        cold_ms.push_back(ms);
+        cold_results.push_back(*result);
+      }
+    }
+  }
+
+  const auto warm_counters = memo.counters();
+  row.warm_hits = warm_counters.hits - warm_base.hits;
+  row.warm_misses = warm_counters.misses - warm_base.misses;
+  const std::uint64_t lookups = row.warm_hits + row.warm_misses;
+  row.warm_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(row.warm_hits) /
+                         static_cast<double>(lookups);
+  row.cold_p50_ms = Percentile(cold_ms, 0.50);
+  row.cold_p95_ms = Percentile(cold_ms, 0.95);
+  row.warm_p50_ms = Percentile(warm_ms, 0.50);
+  row.warm_p95_ms = Percentile(warm_ms, 0.95);
+  row.p50_speedup = row.cold_p50_ms / std::max(1e-9, row.warm_p50_ms);
+  rows->push_back(row);
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  std::fprintf(file, "{\n  \"benchmark\": \"cache_warmup\",\n");
+  std::fprintf(file, "  \"workload\": \"fig9_topk\",\n  \"k\": %u,\n",
+               kTopK);
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"collection\": \"%s\", \"mode\": \"%s\", "
+                 "\"cold_p50_ms\": %.4f, \"cold_p95_ms\": %.4f, "
+                 "\"warm_p50_ms\": %.4f, \"warm_p95_ms\": %.4f, "
+                 "\"p50_speedup\": %.3f, \"warm_hits\": %llu, "
+                 "\"warm_misses\": %llu, \"warm_hit_rate\": %.4f, "
+                 "\"warm_drc_calls\": %llu, \"matches_cold\": %s}%s\n",
+                 row.collection.c_str(), row.mode.c_str(), row.cold_p50_ms,
+                 row.cold_p95_ms, row.warm_p50_ms, row.warm_p95_ms,
+                 row.p50_speedup,
+                 static_cast<unsigned long long>(row.warm_hits),
+                 static_cast<unsigned long long>(row.warm_misses),
+                 row.warm_hit_rate,
+                 static_cast<unsigned long long>(row.warm_drc_calls),
+                 row.matches_cold ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint32_t queries = ecdr::bench::QueriesFromEnv();
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(scale);
+  ecdr::bench::PrintTestbedBanner(
+      "Cache warm-up: kNDS latency cold vs warm Ddq memo (Fig. 9 "
+      "workload, k=10)",
+      testbed, scale, queries);
+
+  // Frozen shared address cache, as RankingEngine configures it.
+  ecdr::ontology::AddressEnumerator enumerator(*testbed.ontology);
+  enumerator.PrecomputeAll();
+
+  std::vector<Row> rows;
+  for (const bool sds : {false, true}) {
+    RunCollection(*testbed.ontology, &enumerator, testbed.patient, sds,
+                  queries, &rows);
+    RunCollection(*testbed.ontology, &enumerator, testbed.radio, sds,
+                  queries, &rows);
+  }
+
+  TablePrinter table({"collection", "mode", "cold p50 ms", "cold p95 ms",
+                      "warm p50 ms", "warm p95 ms", "p50 speedup",
+                      "hit rate", "warm DRC", "matches cold"});
+  bool all_match = true;
+  bool all_fast = true;
+  for (const Row& row : rows) {
+    all_match = all_match && row.matches_cold;
+    all_fast = all_fast && row.p50_speedup >= 1.5;
+    table.AddRow({row.collection, row.mode,
+                  TablePrinter::FormatDouble(row.cold_p50_ms, 3),
+                  TablePrinter::FormatDouble(row.cold_p95_ms, 3),
+                  TablePrinter::FormatDouble(row.warm_p50_ms, 3),
+                  TablePrinter::FormatDouble(row.warm_p95_ms, 3),
+                  TablePrinter::FormatDouble(row.p50_speedup, 2) + "x",
+                  TablePrinter::FormatDouble(row.warm_hit_rate * 100.0, 1) +
+                      "%",
+                  std::to_string(row.warm_drc_calls),
+                  row.matches_cold ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  WriteJson(rows, "BENCH_cache_warmup.json");
+  std::printf("\nwrote BENCH_cache_warmup.json\n");
+  std::printf("warm results match cold bit-for-bit: %s\n",
+              all_match ? "yes" : "NO");
+  std::printf("warm p50 >= 1.5x faster in every configuration: %s\n",
+              all_fast ? "yes" : "NO");
+  ECDR_CHECK(all_match);
+  return 0;
+}

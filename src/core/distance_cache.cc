@@ -1,0 +1,88 @@
+#include "core/distance_cache.h"
+
+#include <bit>
+
+namespace ecdr::core {
+
+namespace {
+
+// SplitMix64 finalizer — the mixing step of the PRNG in util/random.cc,
+// reused here as a hash combiner. Two lanes seeded differently give the
+// 128-bit signature; a collision must defeat both lanes at once.
+std::uint64_t Mix(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+struct SigBuilder {
+  std::uint64_t lo;
+  std::uint64_t hi;
+
+  explicit SigBuilder(std::uint64_t tag)
+      : lo(Mix(tag ^ 0x6A09E667F3BCC908ull)),
+        hi(Mix(tag ^ 0xBB67AE8584CAA73Bull)) {}
+
+  void Add(std::uint64_t word) {
+    lo = Mix(lo ^ word);
+    hi = Mix(hi + (word ^ 0x9E3779B97F4A7C15ull));
+  }
+
+  QuerySig Done() const { return QuerySig{lo, hi, /*valid=*/true}; }
+};
+
+}  // namespace
+
+QuerySig SignatureOfConcepts(std::span<const ontology::ConceptId> concepts,
+                             bool sds) {
+  SigBuilder builder(sds ? 2 : 1);
+  for (ontology::ConceptId c : concepts) builder.Add(c);
+  return builder.Done();
+}
+
+QuerySig SignatureOfWeighted(std::span<const WeightedConcept> concepts) {
+  SigBuilder builder(3);
+  for (const WeightedConcept& wc : concepts) {
+    builder.Add(wc.concept_id);
+    builder.Add(std::bit_cast<std::uint64_t>(wc.weight));
+  }
+  return builder.Done();
+}
+
+DdqMemo::DdqMemo(const CacheOptions& options)
+    : cache_(util::ShardedLruCacheOptions{options.effective_ddq_capacity(),
+                                          options.num_shards}) {}
+
+DdqMemo::Key DdqMemo::KeyOf(const QuerySig& sig, corpus::DocId doc) {
+  std::uint32_t version = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(version_mutex_);
+    const auto it = doc_versions_.find(doc);
+    if (it != doc_versions_.end()) version = it->second;
+  }
+  return Key{sig.lo, sig.hi,
+             (static_cast<std::uint64_t>(version) << 32) | doc};
+}
+
+bool DdqMemo::Get(const QuerySig& sig, corpus::DocId doc, double* value) {
+  if (!sig.valid || !enabled()) return false;
+  return cache_.Get(KeyOf(sig, doc), value);
+}
+
+void DdqMemo::Put(const QuerySig& sig, corpus::DocId doc, double value) {
+  if (!sig.valid || !enabled()) return;
+  cache_.Put(KeyOf(sig, doc), value);
+}
+
+void DdqMemo::InvalidateDocument(corpus::DocId doc) {
+  {
+    std::unique_lock<std::shared_mutex> lock(version_mutex_);
+    ++doc_versions_[doc];
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,144 @@
+// Per-engine memo of exact document-query distances.
+//
+// kNDS's dominant cost once the error gate fires is the exact DRC run
+// per examined document (paper Figs. 6-7). Real query logs re-issue the
+// same queries against mostly the same corpus, so an engine that
+// remembers Ddq(d, q) for the (canonical query, document) pairs it has
+// already paid for can answer warm queries almost traversal-only. The
+// memo stores exactly the double DRC returned, so a hit is bit-identical
+// to a recomputation and cached searches return the same results as
+// uncached ones (asserted by tests/differential_test.cc).
+//
+// Keys: a 128-bit canonical query signature (mode tag + sorted distinct
+// concept ids, plus weights for weighted RDS) and the document id.
+// Queries are sets, so permutations and duplicates of the same concepts
+// share one signature. SDS signatures hash the query document's concept
+// set; weighted SDS is not memoized (its value depends on the full
+// per-concept weight table).
+//
+// Invalidation: the ontology is immutable, so signatures never go
+// stale; documents can change (RankingEngine::AddDocument bumps the
+// engine epoch and calls InvalidateDocument for the touched id). Each
+// document carries a version; keys embed the version at insertion, so
+// invalidated entries simply stop matching and age out of the LRU —
+// no scan, and the concept-pair cache is never flushed.
+//
+// Thread safety: fully thread-safe (sharded LRU + a reader/writer lock
+// on the version table); one memo is shared by every concurrent search
+// lane of an engine.
+
+#ifndef ECDR_CORE_DISTANCE_CACHE_H_
+#define ECDR_CORE_DISTANCE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+
+#include "core/concept_weights.h"
+#include "corpus/document.h"
+#include "util/lru_cache.h"
+#include "util/stats.h"
+
+namespace ecdr::core {
+
+/// Capacity / enable knobs for the engine-level caches, plumbed through
+/// KndsOptions and RankingEngine construction.
+struct CacheOptions {
+  /// Ddq memo entries ((query signature, document) pairs). 0 disables.
+  std::size_t ddq_capacity = 1 << 16;
+  bool enable_ddq_memo = true;
+
+  /// Concept-pair distance cache entries (see
+  /// ontology/concept_pair_cache.h). 0 disables.
+  std::size_t concept_pair_capacity = 1 << 20;
+  bool enable_concept_pair_cache = true;
+
+  /// Lock granularity of the Ddq memo.
+  std::size_t num_shards = 16;
+
+  std::size_t effective_ddq_capacity() const {
+    return enable_ddq_memo ? ddq_capacity : 0;
+  }
+  std::size_t effective_concept_pair_capacity() const {
+    return enable_concept_pair_cache ? concept_pair_capacity : 0;
+  }
+};
+
+/// Canonical 128-bit query signature. Invalid signatures (default) make
+/// every memo call a bypass, so non-memoizable search modes keep the
+/// unconditional call shape.
+struct QuerySig {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool valid = false;
+};
+
+/// Signature of an unweighted concept-set query. `concepts` must be
+/// sorted and distinct (the canonical form every ranker already
+/// computes). `sds` separates the RDS Ddq domain from the SDS Ddd
+/// domain — the same concept set yields different distances there.
+QuerySig SignatureOfConcepts(std::span<const ontology::ConceptId> concepts,
+                             bool sds);
+
+/// Signature of a weighted RDS query; `concepts` must be normalized
+/// (sorted, distinct, via NormalizeWeightedConcepts).
+QuerySig SignatureOfWeighted(std::span<const WeightedConcept> concepts);
+
+class DdqMemo {
+ public:
+  explicit DdqMemo(const CacheOptions& options = {});
+
+  /// True (filling *value) on a fresh hit. Always false for invalid
+  /// signatures, disabled memos, and entries invalidated since
+  /// insertion.
+  bool Get(const QuerySig& sig, corpus::DocId doc, double* value);
+
+  /// Records the exact distance; dropped for invalid signatures.
+  void Put(const QuerySig& sig, corpus::DocId doc, double value);
+
+  /// Invalidates every entry of `doc` (version bump — stale keys stop
+  /// matching and age out of the LRU) and advances the epoch.
+  void InvalidateDocument(corpus::DocId doc);
+
+  /// Count of InvalidateDocument calls; RankingEngine bumps it once per
+  /// AddDocument.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  util::CacheCounters counters() const { return cache_.counters(); }
+  std::size_t size() const { return cache_.size(); }
+  bool enabled() const { return cache_.capacity() > 0; }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  struct Key {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::uint64_t doc_and_version = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t h = key.lo;
+      h = (h ^ (key.hi + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+      h = (h ^ (key.doc_and_version + 0x9E3779B97F4A7C15ull + (h << 6) +
+                (h >> 2)));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  Key KeyOf(const QuerySig& sig, corpus::DocId doc);
+
+  util::ShardedLruCache<Key, double, KeyHash> cache_;
+  std::atomic<std::uint64_t> epoch_{0};
+  // Read-mostly: every lookup reads a version, only invalidation writes.
+  mutable std::shared_mutex version_mutex_;
+  std::unordered_map<corpus::DocId, std::uint32_t> doc_versions_;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_DISTANCE_CACHE_H_

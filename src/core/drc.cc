@@ -8,7 +8,7 @@ namespace ecdr::core {
 
 Drc::Drc(const ontology::Ontology& ontology,
          ontology::AddressEnumerator* addresses)
-    : ontology_(&ontology), addresses_(addresses) {
+    : ontology_(&ontology), addresses_(addresses), address_lease_(addresses) {
   ECDR_CHECK(addresses != nullptr);
 }
 

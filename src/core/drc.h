@@ -119,6 +119,9 @@ class Drc {
 
   const ontology::Ontology* ontology_;
   ontology::AddressEnumerator* addresses_;
+  // Blocks AddressEnumerator::ClearCache() for this engine's lifetime:
+  // DRC keeps references into the address cache between calls.
+  ontology::AddressEnumerator::ReaderLease address_lease_;
   Stats stats_;
 };
 

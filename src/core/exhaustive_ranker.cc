@@ -1,11 +1,24 @@
 #include "core/exhaustive_ranker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
 #include "util/timer.h"
 
 namespace ecdr::core {
+
+namespace {
+
+std::vector<ontology::ConceptId> Distinct(
+    std::span<const ontology::ConceptId> concepts) {
+  std::vector<ontology::ConceptId> result(concepts.begin(), concepts.end());
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace
 
 ExhaustiveRanker::ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc,
                                    Options options)
@@ -15,9 +28,33 @@ ExhaustiveRanker::ExhaustiveRanker(const corpus::Corpus& corpus, Drc* drc,
 
 template <typename ScoreFn>
 util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
-    std::uint32_t k, ScoreFn&& score) {
+    std::uint32_t k, const QuerySig& sig, ScoreFn&& score) {
   last_stats_ = Stats();
   util::WallTimer timer;
+
+  // Memo consult wrapped around the exact scoring; lanes call this
+  // concurrently, so the counters are atomic (folded into last_stats_
+  // after the scan).
+  DdqMemo* memo =
+      sig.valid && options_.ddq_memo != nullptr && options_.ddq_memo->enabled()
+          ? options_.ddq_memo
+          : nullptr;
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> memo_misses{0};
+  const auto memoized_score = [&](Drc* engine,
+                                  corpus::DocId d) -> util::StatusOr<double> {
+    if (memo != nullptr) {
+      double cached = 0.0;
+      if (memo->Get(sig, d, &cached)) {
+        memo_hits.fetch_add(1, std::memory_order_relaxed);
+        return cached;
+      }
+      memo_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    util::StatusOr<double> distance = score(engine, d);
+    if (memo != nullptr && distance.ok()) memo->Put(sig, d, *distance);
+    return distance;
+  };
 
   const std::size_t requested = options_.num_threads == 0
                                     ? util::ThreadPool::DefaultThreads()
@@ -52,7 +89,7 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
   std::vector<ScoredDocument> heap;
   if (lanes == 1) {
     for (corpus::DocId d = 0; d < num_docs; ++d) {
-      util::StatusOr<double> distance = score(drc_, d);
+      util::StatusOr<double> distance = memoized_score(drc_, d);
       ECDR_RETURN_IF_ERROR(distance.status());
       ++last_stats_.documents_scored;
       push_scored(&heap, k, ScoredDocument{d, *distance});
@@ -75,7 +112,7 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
       LaneState& state = lane_states[lane];
       if (!state.status.ok()) return;
       util::StatusOr<double> distance =
-          score(state.drc.get(), static_cast<corpus::DocId>(d));
+          memoized_score(state.drc.get(), static_cast<corpus::DocId>(d));
       if (!distance.ok()) {
         state.status = distance.status();
         return;
@@ -95,26 +132,35 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
   }
 
   std::sort(heap.begin(), heap.end(), ScoredBefore);
+  last_stats_.ddq_memo_hits = memo_hits.load(std::memory_order_relaxed);
+  last_stats_.ddq_memo_misses = memo_misses.load(std::memory_order_relaxed);
   last_stats_.seconds = timer.ElapsedSeconds();
   return heap;
 }
 
 util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k) {
-  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
-    util::StatusOr<std::uint64_t> distance =
-        engine->DocQueryDistance(corpus_->document(d).concepts(), query);
-    ECDR_RETURN_IF_ERROR(distance.status());
-    return static_cast<double>(*distance);
-  });
+  const std::vector<ontology::ConceptId> canonical = Distinct(query);
+  const QuerySig sig = SignatureOfConcepts(canonical, /*sds=*/false);
+  return Rank(k, sig,
+              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+                util::StatusOr<std::uint64_t> distance =
+                    engine->DocQueryDistance(corpus_->document(d).concepts(),
+                                             canonical);
+                ECDR_RETURN_IF_ERROR(distance.status());
+                return static_cast<double>(*distance);
+              });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKSimilar(
     const corpus::Document& query_doc, std::uint32_t k) {
-  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
-    return engine->DocDocDistance(query_doc.concepts(),
-                                  corpus_->document(d).concepts());
-  });
+  // Document concepts are already sorted and unique.
+  const QuerySig sig = SignatureOfConcepts(query_doc.concepts(), /*sds=*/true);
+  return Rank(k, sig,
+              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+                return engine->DocDocDistance(
+                    query_doc.concepts(), corpus_->document(d).concepts());
+              });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
@@ -122,20 +168,26 @@ ExhaustiveRanker::TopKRelevantWeighted(std::span<const WeightedConcept> query,
                                        std::uint32_t k) {
   const std::vector<WeightedConcept> normalized =
       NormalizeWeightedConcepts(query);
-  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
-    return engine->DocQueryDistanceWeighted(corpus_->document(d).concepts(),
-                                            normalized);
-  });
+  const QuerySig sig = SignatureOfWeighted(normalized);
+  return Rank(k, sig,
+              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+                return engine->DocQueryDistanceWeighted(
+                    corpus_->document(d).concepts(), normalized);
+              });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
 ExhaustiveRanker::TopKSimilarWeighted(const corpus::Document& query_doc,
                                       const ConceptWeights& weights,
                                       std::uint32_t k) {
-  return Rank(k, [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
-    return engine->DocDocDistanceWeighted(
-        query_doc.concepts(), corpus_->document(d).concepts(), weights);
-  });
+  // Weighted SDS depends on the full per-concept weight table, so it is
+  // not memoized: the invalid signature bypasses the memo.
+  return Rank(k, QuerySig{},
+              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+                return engine->DocDocDistanceWeighted(
+                    query_doc.concepts(), corpus_->document(d).concepts(),
+                    weights);
+              });
 }
 
 }  // namespace ecdr::core

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/distance_cache.h"
 #include "core/drc.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
@@ -29,6 +30,13 @@ struct ExhaustiveRankerOptions {
   /// Optional shared worker pool; when null and the effective lane
   /// count exceeds 1, a private pool is created lazily.
   util::ThreadPool* pool = nullptr;
+
+  /// Optional shared Ddq memo (unowned, thread-safe); consulted before
+  /// each exact scoring and fed with every computed distance. The memo
+  /// stores exact DRC outputs, so rankings are bit-identical with or
+  /// without it, and entries are interchangeable with Knds / TaRanker
+  /// over the same engine state.
+  DdqMemo* ddq_memo = nullptr;
 };
 
 class ExhaustiveRanker {
@@ -37,6 +45,8 @@ class ExhaustiveRanker {
 
   struct Stats {
     std::uint64_t documents_scored = 0;
+    std::uint64_t ddq_memo_hits = 0;
+    std::uint64_t ddq_memo_misses = 0;
     double seconds = 0.0;
   };
 
@@ -65,9 +75,11 @@ class ExhaustiveRanker {
 
  private:
   /// `score` is called as score(engine, doc) where `engine` is the lane's
-  /// private Drc (drc_ itself on the serial path).
+  /// private Drc (drc_ itself on the serial path). `sig` (invalid = no
+  /// memoization) keys the Ddq memo consult wrapped around `score`.
   template <typename ScoreFn>
   util::StatusOr<std::vector<ScoredDocument>> Rank(std::uint32_t k,
+                                                   const QuerySig& sig,
                                                    ScoreFn&& score);
 
   const corpus::Corpus* corpus_;

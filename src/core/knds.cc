@@ -1,6 +1,7 @@
 #include "core/knds.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <unordered_set>
 
@@ -38,12 +39,14 @@ bool CandidateBefore(const Candidate& a, const Candidate& b) {
 }  // namespace
 
 Knds::Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-           Drc* drc, KndsOptions options, util::ThreadPool* pool)
+           Drc* drc, KndsOptions options, util::ThreadPool* pool,
+           DdqMemo* ddq_memo)
     : corpus_(&corpus),
       index_(&index),
       drc_(drc),
       options_(options),
-      pool_(pool) {
+      pool_(pool),
+      ddq_memo_(ddq_memo) {
   ECDR_CHECK(drc != nullptr);
   // Concept ids share a word with the report flag in frontier entries.
   ECDR_CHECK_LT(corpus.ontology().num_concepts(), kReportFlag);
@@ -181,6 +184,22 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     }
   }
 
+  // Canonical query signature for the cross-query Ddq memo. Weighted SDS
+  // stays invalid (its distance depends on the full weight table), which
+  // turns every memo call into a bypass.
+  QuerySig memo_sig;
+  if (ddq_memo_ != nullptr && ddq_memo_->enabled()) {
+    if (!weighted) {
+      memo_sig = SignatureOfConcepts(origins, sds);
+    } else if (!sds) {
+      memo_sig = SignatureOfWeighted(weighted_query);
+    }
+  }
+  // Wave workers call compute_exact concurrently; fold into stats_ after
+  // the search.
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> memo_misses{0};
+
   // Per-(concept, origin) visited bits for the two automaton states.
   std::vector<std::uint64_t> up_bits(
       static_cast<std::size_t>(num_concepts) * words, 0);
@@ -219,6 +238,16 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   const auto kth_distance = [&]() {
     return heap.size() == k ? heap.front().distance : kInf;
   };
+  // Whether a document whose distance is at best `lower_bound` can still
+  // displace the current k-th best under the (distance, id) total order.
+  // The id matters: a candidate tied at the k-th distance with a smaller
+  // id than the incumbent still belongs in the top-k, so distance-only
+  // gating would drop it and break bit-for-bit agreement with the
+  // exhaustive ranker.
+  const auto can_beat_kth = [&](double lower_bound, corpus::DocId doc) {
+    return heap.size() < k ||
+           ScoredBefore(ScoredDocument{doc, lower_bound}, heap.front());
+  };
 
   std::unordered_set<corpus::DocId> emitted;
 
@@ -234,7 +263,18 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   // engine).
   const auto compute_exact = [&](Drc* engine,
                                  corpus::DocId doc_id) -> double {
+    if (memo_sig.valid) {
+      double cached = 0.0;
+      if (ddq_memo_->Get(memo_sig, doc_id, &cached)) {
+        // The memo stores exactly the double a DRC run returned, so a
+        // hit is bit-identical to recomputing.
+        memo_hits.fetch_add(1, std::memory_order_relaxed);
+        return cached;
+      }
+      memo_misses.fetch_add(1, std::memory_order_relaxed);
+    }
     const corpus::Document& doc = corpus_->document(doc_id);
+    double exact = 0.0;
     if (sds) {
       util::StatusOr<double> distance =
           weighted ? engine->DocDocDistanceWeighted(query_doc->concepts(),
@@ -243,18 +283,20 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
                    : engine->DocDocDistance(query_doc->concepts(),
                                             doc.concepts());
       ECDR_CHECK(distance.ok());
-      return *distance;
-    }
-    if (weighted) {
+      exact = *distance;
+    } else if (weighted) {
       util::StatusOr<double> distance =
           engine->DocQueryDistanceWeighted(doc.concepts(), weighted_query);
       ECDR_CHECK(distance.ok());
-      return *distance;
+      exact = *distance;
+    } else {
+      util::StatusOr<std::uint64_t> distance =
+          engine->DocQueryDistance(doc.concepts(), origins);
+      ECDR_CHECK(distance.ok());
+      exact = static_cast<double>(*distance);
     }
-    util::StatusOr<std::uint64_t> distance =
-        engine->DocQueryDistance(doc.concepts(), origins);
-    ECDR_CHECK(distance.ok());
-    return static_cast<double>(*distance);
+    if (memo_sig.valid) ddq_memo_->Put(memo_sig, doc_id, exact);
+    return exact;
   };
 
   std::uint32_t level = 0;
@@ -390,10 +432,11 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     candidates.reserve(ld.size());
     for (auto it = ld.begin(); it != ld.end();) {
       const Candidate candidate = bounds(it->first, it->second);
-      if (options_.prune_candidates && heap.size() == k &&
-          candidate.lower_bound >= kth_distance()) {
-        // Lower bounds only grow with the level, so this document can
-        // never re-qualify (Section 5.3, optimization 1).
+      if (options_.prune_candidates &&
+          !can_beat_kth(candidate.lower_bound, it->first)) {
+        // Lower bounds only grow with the level (and the k-th best only
+        // improves), so this document can never re-qualify (Section 5.3,
+        // optimization 1).
         phase[it->first] = kPruned;
         ++stats_.documents_pruned;
         it = ld.erase(it);
@@ -486,6 +529,11 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     };
 
     bool level_done = false;
+    // Set when the k-th-best gate stopped the level: the stopping
+    // candidate cannot beat the k-th best, and CandidateBefore orders
+    // ties by id, so neither can any candidate after it — everything
+    // left in Ld is provably out.
+    bool tail_blocked = false;
     while (!level_done) {
       // ---- Wave selection under the current k-th best — the most
       // permissive bound the serial loop could apply to these
@@ -499,8 +547,9 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
           level_done = true;
           break;
         }
-        if (heap.size() == k && candidate->lower_bound >= kth_distance()) {
+        if (!can_beat_kth(candidate->lower_bound, candidate->doc)) {
           min_remaining_lower = candidate->lower_bound;
+          tail_blocked = true;
           level_done = true;
           break;
         }
@@ -547,8 +596,9 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       // independent of the heap); only the k-th-best gate can, as
       // results accumulate mid-wave.
       for (const Candidate& candidate : wave) {
-        if (heap.size() == k && candidate.lower_bound >= kth_distance()) {
+        if (!can_beat_kth(candidate.lower_bound, candidate.doc)) {
           min_remaining_lower = candidate.lower_bound;
+          tail_blocked = true;
           level_done = true;
           // Unexamined wave members stay in Ld; their memoized exact
           // distances keep their value for later levels.
@@ -559,8 +609,13 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     }
 
     // ---- Termination: no remaining (partially visited or untouched)
-    // document can beat the current k-th best.
+    // document can beat the current k-th best under the (distance, id)
+    // total order.
     double d_minus = min_remaining_lower;
+    // Untouched documents have unknown ids, so a tie at the k-th
+    // distance could still displace the incumbent — they are only ruled
+    // out by a strictly larger bound (or an exhausted frontier).
+    bool unseen_can_beat = false;
     if (!frontier_exhausted) {
       const double next = static_cast<double>(level) + 1.0;
       // An untouched document has every origin uncovered (and for SDS
@@ -569,14 +624,16 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       const double unseen_lower =
           sds ? 2.0 * next : total_origin_weight * next;
       d_minus = std::min(d_minus, unseen_lower);
+      unseen_can_beat = heap.size() < k || unseen_lower <= kth_distance();
     }
 
-    // Progressive output (optimization 4): a result at or below every
-    // remaining lower bound is final.
+    // Progressive output (optimization 4): a result strictly below every
+    // remaining lower bound is final (a tie could still be displaced by
+    // a remaining document with a smaller id, so equality must wait).
     if (progress_callback_) {
       std::vector<ScoredDocument> ready;
       for (const ScoredDocument& scored : heap) {
-        if (scored.distance <= d_minus && !emitted.contains(scored.id)) {
+        if (scored.distance < d_minus && !emitted.contains(scored.id)) {
           ready.push_back(scored);
         }
       }
@@ -587,7 +644,12 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       }
     }
 
-    if (heap.size() == k && d_minus >= kth_distance()) break;
+    // Candidates still in Ld can only be ruled out by the id-aware gate
+    // (tail_blocked); a distance-only bound is not enough under ties.
+    if (heap.size() == k && !unseen_can_beat &&
+        (ld.empty() || tail_blocked)) {
+      break;
+    }
     if (frontier_exhausted && ld.empty()) break;
 
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -609,6 +671,8 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     drc_->MergeStatsFrom(lane->stats());
   }
   stats_.speculative_drc_calls = wave_invocations - memo_consumed;
+  stats_.ddq_memo_hits = memo_hits.load(std::memory_order_relaxed);
+  stats_.ddq_memo_misses = memo_misses.load(std::memory_order_relaxed);
   stats_.total_seconds = total_timer.ElapsedSeconds();
   stats_.traversal_seconds =
       std::max(0.0, stats_.total_seconds - stats_.distance_seconds);

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/distance_cache.h"
 #include "core/drc.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
@@ -86,6 +87,12 @@ struct KndsOptions {
   /// replay of the serial examination order (see DESIGN.md, "Threading
   /// model").
   std::size_t num_threads = 0;
+
+  /// Capacities / enable flags for the cross-query caches. Knds does not
+  /// own any cache — RankingEngine builds its DdqMemo and
+  /// ConceptPairCache from this block and hands them down; standalone
+  /// Knds users pass a DdqMemo to the constructor themselves.
+  CacheOptions cache;
 };
 
 struct KndsStats {
@@ -100,6 +107,11 @@ struct KndsStats {
   // DRC probes computed speculatively in a wave but never consumed by
   // the serial replay (wasted work; bounded by the wave size).
   std::uint64_t speculative_drc_calls = 0;
+  // Cross-query Ddq memo outcomes (zero when no memo is attached or the
+  // search mode is not memoizable). A hit counts as a drc_call — it
+  // stands in for one — but costs no DRC run.
+  std::uint64_t ddq_memo_hits = 0;
+  std::uint64_t ddq_memo_misses = 0;
   double traversal_seconds = 0.0;       // BFS + bookkeeping
   double distance_seconds = 0.0;        // DRC probes
   double total_seconds = 0.0;
@@ -116,8 +128,14 @@ class Knds {
   /// does this). When null and the effective num_threads exceeds 1, the
   /// engine lazily creates a private pool of num_threads - 1 workers
   /// (the searching thread is the extra lane).
+  ///
+  /// `ddq_memo` (optional, unowned, thread-safe) is consulted before
+  /// every exact DRC run and fed with every computed distance; see
+  /// core/distance_cache.h. Hits return the exact stored double, so
+  /// results are bit-identical with or without a memo.
   Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-       Drc* drc, KndsOptions options = {}, util::ThreadPool* pool = nullptr);
+       Drc* drc, KndsOptions options = {}, util::ThreadPool* pool = nullptr,
+       DdqMemo* ddq_memo = nullptr);
 
   /// RDS (Definition 1). Duplicate query concepts are ignored. Returns
   /// up to k documents, ascending by (distance, id).
@@ -195,6 +213,7 @@ class Knds {
   ProgressCallback progress_callback_;
   util::ThreadPool* pool_;                        // external, may be null
   std::unique_ptr<util::ThreadPool> owned_pool_;  // lazily created
+  DdqMemo* ddq_memo_;                             // external, may be null
 };
 
 }  // namespace ecdr::core

@@ -11,7 +11,11 @@ RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
       corpus_(std::make_unique<corpus::Corpus>(*ontology_)),
       inverted_(std::make_unique<index::InvertedIndex>(*corpus_)),
       addresses_(std::make_unique<ontology::AddressEnumerator>(
-          *ontology_, options.addresses)) {
+          *ontology_, options.addresses)),
+      pair_cache_(ontology::ConceptPairCacheOptions{
+          options.knds.cache.effective_concept_pair_capacity(),
+          /*num_shards=*/64}),
+      ddq_memo_(options.knds.cache) {
   if (options_.precompute_addresses) addresses_->PrecomputeAll();
   const std::size_t threads = options_.knds.num_threads == 0
                                   ? util::ThreadPool::DefaultThreads()
@@ -56,6 +60,12 @@ util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
       corpus_->AddDocument(corpus::Document(std::move(concepts)));
   ECDR_RETURN_IF_ERROR(added.status());
   inverted_->AddDocument(*added, corpus_->document(*added));
+  // Version-invalidate the touched document's Ddq entries and advance
+  // the engine epoch. Concept-pair distances are untouched: the ontology
+  // cannot change. (For a freshly appended id this is defensive — it has
+  // no entries yet — but it keeps the epoch an exact AddDocument count
+  // and stays correct if document ids are ever recycled.)
+  ddq_memo_.InvalidateDocument(*added);
   return added;
 }
 
@@ -67,7 +77,8 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
   // concurrent readers each get their own (cheap — a few pointers) over
   // the shared corpus, index and frozen address cache.
   Drc drc(*ontology_, addresses_.get());
-  Knds knds(*corpus_, *inverted_, &drc, options_.knds, pool_.get());
+  Knds knds(*corpus_, *inverted_, &drc, options_.knds, pool_.get(),
+            &ddq_memo_);
   util::StatusOr<std::vector<ScoredDocument>> result = search(&knds);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);

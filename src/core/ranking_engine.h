@@ -29,11 +29,13 @@
 #include <string_view>
 #include <vector>
 
+#include "core/distance_cache.h"
 #include "core/drc.h"
 #include "core/knds.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
 #include "index/inverted_index.h"
+#include "ontology/concept_pair_cache.h"
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
 #include "util/status.h"
@@ -107,6 +109,32 @@ class RankingEngine {
     return last_knds_stats_;
   }
 
+  /// Cumulative hit/miss/eviction counters of the engine's cross-query
+  /// Ddq memo (see core/distance_cache.h).
+  util::CacheCounters ddq_memo_counters() const {
+    return ddq_memo_.counters();
+  }
+
+  /// Counters of the engine's concept-pair distance cache (fed by
+  /// DistanceOracle / ConceptSimilarity instances built over
+  /// concept_pair_cache(); never invalidated — the ontology is
+  /// immutable).
+  util::CacheCounters concept_pair_counters() const {
+    return pair_cache_.counters();
+  }
+
+  /// Monotone cache epoch; AddDocument bumps it once per insert. A
+  /// bumped epoch means Ddq entries of the touched document no longer
+  /// match (version-keyed), while concept-pair distances survive.
+  std::uint64_t cache_epoch() const { return ddq_memo_.epoch(); }
+
+  /// The engine's shared caches, for callers composing extra components
+  /// (e.g. a ConceptSimilarity over the engine's ontology, or a
+  /// standalone Knds / ExhaustiveRanker / TaRanker sharing warm state).
+  /// Both are thread-safe and live as long as the engine.
+  ontology::ConceptPairCache* concept_pair_cache() { return &pair_cache_; }
+  DdqMemo* ddq_memo() { return &ddq_memo_; }
+
  private:
   RankingEngine(ontology::Ontology ontology, Options options);
 
@@ -123,6 +151,10 @@ class RankingEngine {
   std::unique_ptr<index::InvertedIndex> inverted_;
   std::unique_ptr<ontology::AddressEnumerator> addresses_;
   std::unique_ptr<util::ThreadPool> pool_;  // Null when searches are serial.
+
+  // Cross-query caches (Options::knds.cache), shared by every search.
+  ontology::ConceptPairCache pair_cache_;
+  DdqMemo ddq_memo_;
 
   // Readers: searches / distance probes; writer: AddDocument.
   mutable std::shared_mutex mutex_;

@@ -22,8 +22,11 @@ const char* SemanticMeasureName(SemanticMeasure measure) {
 
 ConceptSimilarity::ConceptSimilarity(const ontology::Ontology& ontology,
                                      const corpus::Corpus* corpus,
-                                     SemanticMeasure measure)
-    : ontology_(&ontology), measure_(measure), oracle_(ontology) {
+                                     SemanticMeasure measure,
+                                     ontology::ConceptPairCache* pair_cache)
+    : ontology_(&ontology),
+      measure_(measure),
+      oracle_(ontology, pair_cache) {
   if (measure != SemanticMeasure::kResnik && measure != SemanticMeasure::kLin) {
     return;
   }

@@ -51,9 +51,13 @@ class ConceptSimilarity {
  public:
   /// `corpus` may be null for kShortestPath / kWuPalmer; kResnik / kLin
   /// require it for concept occurrence statistics (concepts that never
-  /// occur get the minimum probability, i.e. maximal IC).
+  /// occur get the minimum probability, i.e. maximal IC). `pair_cache`
+  /// (optional, unowned, thread-safe) memoizes the kShortestPath
+  /// concept distances across instances; see
+  /// ontology/concept_pair_cache.h.
   ConceptSimilarity(const ontology::Ontology& ontology,
-                    const corpus::Corpus* corpus, SemanticMeasure measure);
+                    const corpus::Corpus* corpus, SemanticMeasure measure,
+                    ontology::ConceptPairCache* pair_cache = nullptr);
 
   /// Distance under the configured measure; lower means more similar.
   double Distance(ontology::ConceptId a, ontology::ConceptId b);

@@ -60,21 +60,43 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
       std::push_heap(heap.begin(), heap.end(), ScoredBefore);
     }
   };
+  // Cross-query Ddq memo: TA's aggregate for `doc` IS DocQueryDistance
+  // (doc, concepts) — exact integer sums below 2^53 — so it shares
+  // entries with the other RDS rankers. A hit replaces the document's
+  // random accesses.
+  const QuerySig memo_sig = SignatureOfConcepts(concepts, /*sds=*/false);
+  DdqMemo* memo =
+      options_.ddq_memo != nullptr && options_.ddq_memo->enabled()
+          ? options_.ddq_memo
+          : nullptr;
+
   // Aggregates one discovery: the sorted-access distance from the list
   // that surfaced the document plus random accesses on the other lists.
   // Read-only against the postings, so discoveries of one round can be
   // scored concurrently; the round structure itself (sorted access,
-  // threshold) stays serial.
+  // threshold) stays serial. `*memo_hit` reports whether the memo
+  // answered (stats are folded in serially after the round).
   struct Discovery {
     corpus::DocId doc;
     std::uint32_t distance;  // From the discovering list.
     std::size_t list;
   };
-  const auto aggregate = [&](const Discovery& d) {
+  const auto aggregate = [&](const Discovery& d, bool* memo_hit) {
+    if (memo != nullptr) {
+      double cached = 0.0;
+      if (memo->Get(memo_sig, d.doc, &cached)) {
+        *memo_hit = true;
+        return static_cast<std::uint64_t>(cached);
+      }
+    }
+    *memo_hit = false;
     std::uint64_t total = d.distance;
     for (std::size_t j = 0; j < concepts.size(); ++j) {
       if (j == d.list) continue;
       total += postings_->Distance(concepts[j], d.doc);
+    }
+    if (memo != nullptr) {
+      memo->Put(memo_sig, d.doc, static_cast<double>(total));
     }
     return total;
   };
@@ -83,6 +105,7 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
   std::vector<std::uint32_t> last_seen(concepts.size(), 0);
   std::vector<Discovery> round;
   std::vector<std::uint64_t> round_totals;
+  std::vector<std::uint8_t> round_hits;
   std::size_t depth = 0;
   bool exhausted = false;
   while (!exhausted) {
@@ -101,17 +124,27 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
     // Score the round's discoveries (exact aggregates; order-independent,
     // so sharding them across lanes cannot change the result).
     round_totals.assign(round.size(), 0);
+    round_hits.assign(round.size(), 0);
     if (parallel && round.size() > 1) {
       pool->ParallelFor(round.size(), [&](std::size_t i, std::size_t) {
-        round_totals[i] = aggregate(round[i]);
+        bool hit = false;
+        round_totals[i] = aggregate(round[i], &hit);
+        round_hits[i] = hit ? 1 : 0;
       });
     } else {
       for (std::size_t i = 0; i < round.size(); ++i) {
-        round_totals[i] = aggregate(round[i]);
+        bool hit = false;
+        round_totals[i] = aggregate(round[i], &hit);
+        round_hits[i] = hit ? 1 : 0;
       }
     }
     for (std::size_t i = 0; i < round.size(); ++i) {
-      last_stats_.random_accesses += concepts.size() - 1;
+      if (round_hits[i]) {
+        ++last_stats_.ddq_memo_hits;
+      } else {
+        if (memo != nullptr) ++last_stats_.ddq_memo_misses;
+        last_stats_.random_accesses += concepts.size() - 1;
+      }
       ++last_stats_.documents_scored;
       push_scored(
           ScoredDocument{round[i].doc, static_cast<double>(round_totals[i])});

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/distance_cache.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
 #include "index/precomputed_postings.h"
@@ -38,6 +39,12 @@ struct TaRankerOptions {
   /// Optional shared worker pool; when null and the effective lane
   /// count exceeds 1, a private pool is created lazily.
   util::ThreadPool* pool = nullptr;
+
+  /// Optional shared Ddq memo (unowned, thread-safe). TA aggregates are
+  /// exact integer Ddq sums (< 2^53), so entries are interchangeable
+  /// with the double-valued RDS distances Knds / ExhaustiveRanker
+  /// store; a hit skips the document's random accesses entirely.
+  DdqMemo* ddq_memo = nullptr;
 };
 
 class TaRanker {
@@ -48,6 +55,8 @@ class TaRanker {
     std::uint64_t sorted_accesses = 0;
     std::uint64_t random_accesses = 0;
     std::uint64_t documents_scored = 0;
+    std::uint64_t ddq_memo_hits = 0;
+    std::uint64_t ddq_memo_misses = 0;
     double seconds = 0.0;
   };
 

@@ -1,0 +1,17 @@
+#include "ontology/concept_pair_cache.h"
+
+namespace ecdr::ontology {
+
+ConceptPairCache::ConceptPairCache(Options options)
+    : cache_(util::ShardedLruCacheOptions{options.capacity,
+                                          options.num_shards}) {}
+
+bool ConceptPairCache::Get(ConceptId a, ConceptId b, std::uint32_t* distance) {
+  return cache_.Get(KeyOf(a, b), distance);
+}
+
+void ConceptPairCache::Put(ConceptId a, ConceptId b, std::uint32_t distance) {
+  cache_.Put(KeyOf(a, b), distance);
+}
+
+}  // namespace ecdr::ontology

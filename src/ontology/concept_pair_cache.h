@@ -1,0 +1,63 @@
+// Shared cache of concept-concept shortest valid-path distances.
+//
+// Real workloads re-touch the same hot concepts constantly (SNOMED-CT
+// concept popularity is heavily skewed), so D(ci, cj) values computed by
+// one query are very likely to be needed again by another. The ontology
+// is immutable for the lifetime of an engine, which makes the cached
+// distances valid forever: this cache is never invalidated, only
+// evicted under capacity pressure (contrast with the per-engine Ddq memo
+// in core/distance_cache.h, which is epoch-invalidated — see DESIGN.md,
+// "Cache hierarchy").
+//
+// Keys are unordered pairs: (a, b) and (b, a) share one entry keyed by
+// (min, max). Sharded locks (util/lru_cache.h) keep concurrent query
+// lanes from serializing; the intended pattern is one shared cache
+// behind per-thread DistanceOracle / ConceptSimilarity instances.
+
+#ifndef ECDR_ONTOLOGY_CONCEPT_PAIR_CACHE_H_
+#define ECDR_ONTOLOGY_CONCEPT_PAIR_CACHE_H_
+
+#include <cstdint>
+
+#include "ontology/types.h"
+#include "util/lru_cache.h"
+#include "util/stats.h"
+
+namespace ecdr::ontology {
+
+struct ConceptPairCacheOptions {
+  /// Total cached pairs; 0 disables (every lookup misses). 1M pairs
+  /// costs ~64 MB upper bound — far below quadratic precomputation over
+  /// a SNOMED-sized ontology.
+  std::size_t capacity = 1 << 20;
+  std::size_t num_shards = 64;
+};
+
+class ConceptPairCache {
+ public:
+  using Options = ConceptPairCacheOptions;
+
+  explicit ConceptPairCache(Options options = {});
+
+  /// True (filling *distance) if D(a, b) is cached; order-insensitive.
+  bool Get(ConceptId a, ConceptId b, std::uint32_t* distance);
+
+  /// Records D(a, b) == D(b, a).
+  void Put(ConceptId a, ConceptId b, std::uint32_t distance);
+
+  util::CacheCounters counters() const { return cache_.counters(); }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  static std::uint64_t KeyOf(ConceptId a, ConceptId b) {
+    const std::uint64_t lo = a < b ? a : b;
+    const std::uint64_t hi = a < b ? b : a;
+    return (hi << 32) | lo;
+  }
+
+  util::ShardedLruCache<std::uint64_t, std::uint32_t> cache_;
+};
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_CONCEPT_PAIR_CACHE_H_

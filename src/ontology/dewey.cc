@@ -91,6 +91,11 @@ bool AddressEnumerator::truncated(ConceptId c) const {
 }
 
 void AddressEnumerator::ClearCache() {
+  // Dropping the cache dangles every Addresses() reference a live reader
+  // holds — on a frozen enumerator readers don't even take the lock, so
+  // this would be a silent use-after-free. Check unconditionally: the
+  // tier-1 build defines NDEBUG, which would compile a DCHECK out.
+  ECDR_CHECK_EQ(live_readers(), 0);
   std::lock_guard<std::mutex> lock(mutex_);
   frozen_.store(false, std::memory_order_release);
   cache_.clear();

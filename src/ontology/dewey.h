@@ -81,6 +81,47 @@ class AddressEnumerator {
   explicit AddressEnumerator(const Ontology& ontology,
                              AddressEnumeratorOptions options = {});
 
+  /// RAII registration of a long-lived reader (every Drc engine holds
+  /// one for its lifetime). ClearCache() aborts (always-on check) while
+  /// any lease is live: clearing would dangle the address references
+  /// the reader may hold, and on a frozen enumerator readers are
+  /// lock-free, so there is no lock that could make the race benign.
+  class ReaderLease {
+   public:
+    ReaderLease() = default;
+    explicit ReaderLease(AddressEnumerator* enumerator)
+        : enumerator_(enumerator) {
+      if (enumerator_ != nullptr) {
+        enumerator_->live_readers_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    ~ReaderLease() { Release(); }
+    ReaderLease(ReaderLease&& other) noexcept
+        : enumerator_(other.enumerator_) {
+      other.enumerator_ = nullptr;
+    }
+    ReaderLease& operator=(ReaderLease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        enumerator_ = other.enumerator_;
+        other.enumerator_ = nullptr;
+      }
+      return *this;
+    }
+    ReaderLease(const ReaderLease&) = delete;
+    ReaderLease& operator=(const ReaderLease&) = delete;
+
+   private:
+    void Release() {
+      if (enumerator_ != nullptr) {
+        enumerator_->live_readers_.fetch_sub(1, std::memory_order_acq_rel);
+        enumerator_ = nullptr;
+      }
+    }
+
+    AddressEnumerator* enumerator_ = nullptr;
+  };
+
   /// All addresses of `c`, lexicographically sorted. The reference stays
   /// valid until ClearCache().
   const std::vector<DeweyAddress>& Addresses(ConceptId c);
@@ -97,8 +138,14 @@ class AddressEnumerator {
   bool truncated(ConceptId c) const;
 
   /// Drops every cached entry and unfreezes. Not safe to call while any
-  /// other thread may read the enumerator.
+  /// other thread may read the enumerator; aborts (always-on check, not
+  /// just in debug builds) if any ReaderLease is live.
   void ClearCache();
+
+  /// Currently registered ReaderLease count.
+  std::int64_t live_readers() const {
+    return live_readers_.load(std::memory_order_acquire);
+  }
 
   /// Total addresses currently cached, across concepts.
   std::uint64_t cached_addresses() const {
@@ -121,6 +168,7 @@ class AddressEnumerator {
   std::atomic<bool> frozen_{false};
   std::unordered_map<ConceptId, Entry> cache_;
   std::atomic<std::uint64_t> cached_addresses_{0};
+  std::atomic<std::int64_t> live_readers_{0};
 };
 
 }  // namespace ecdr::ontology

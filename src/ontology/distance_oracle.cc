@@ -5,8 +5,9 @@
 
 namespace ecdr::ontology {
 
-DistanceOracle::DistanceOracle(const Ontology& ontology)
-    : ontology_(&ontology), bfs_(ontology) {}
+DistanceOracle::DistanceOracle(const Ontology& ontology,
+                               ConceptPairCache* pair_cache)
+    : ontology_(&ontology), pair_cache_(pair_cache), bfs_(ontology) {}
 
 void DistanceOracle::UpDistances(
     ConceptId c, std::unordered_map<ConceptId, std::uint32_t>* out) const {
@@ -27,6 +28,10 @@ void DistanceOracle::UpDistances(
 }
 
 std::uint32_t DistanceOracle::ConceptDistance(ConceptId a, ConceptId b) {
+  std::uint32_t cached = 0;
+  if (pair_cache_ != nullptr && pair_cache_->Get(a, b, &cached)) {
+    return cached;
+  }
   std::unordered_map<ConceptId, std::uint32_t> up_a;
   std::unordered_map<ConceptId, std::uint32_t> up_b;
   UpDistances(a, &up_a);
@@ -41,6 +46,7 @@ std::uint32_t DistanceOracle::ConceptDistance(ConceptId a, ConceptId b) {
       best = std::min(best, dist_small + it->second);
     }
   }
+  if (pair_cache_ != nullptr) pair_cache_->Put(a, b, best);
   return best;
 }
 

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ontology/concept_pair_cache.h"
 #include "ontology/ontology.h"
 #include "ontology/types.h"
 #include "ontology/valid_path_bfs.h"
@@ -31,7 +32,12 @@ namespace ecdr::ontology {
 
 class DistanceOracle {
  public:
-  explicit DistanceOracle(const Ontology& ontology);
+  /// `pair_cache` (optional, unowned, must outlive the oracle) memoizes
+  /// ConceptDistance results across calls and across oracles — the
+  /// intended sharing pattern is one cache behind per-thread oracles
+  /// (the cache is thread-safe; the oracle is not).
+  explicit DistanceOracle(const Ontology& ontology,
+                          ConceptPairCache* pair_cache = nullptr);
 
   /// Shortest valid-path distance between two concepts. With a single
   /// root this is always finite.
@@ -64,6 +70,7 @@ class DistanceOracle {
 
  private:
   const Ontology* ontology_;
+  ConceptPairCache* pair_cache_;  // Unowned; may be null.
   ValidPathBfs bfs_;
   std::vector<std::uint32_t> scratch_dist_;
 };

@@ -1,0 +1,170 @@
+// Thread-safe sharded LRU cache.
+//
+// The cache is split into independently locked shards selected by key
+// hash, so concurrent query lanes touching different keys rarely
+// serialize: a Get/Put takes exactly one shard mutex for the duration of
+// one hash-map operation plus a list splice. Within a shard entries
+// evict in strict least-recently-used order; Get refreshes recency.
+//
+// Capacity semantics: `capacity` bounds the TOTAL entry count across
+// shards (each shard holds ~capacity/num_shards entries). A capacity of
+// 0 turns the cache into a pure bypass — Get always misses, Put stores
+// nothing — so call sites can keep one unconditional code path and let
+// CacheOptions decide (tested by CacheTest.CapacityZeroBypasses).
+//
+// Counters (hits / misses / evictions / entries) are maintained under
+// the shard locks and snapshotted by counters(); see util/stats.h.
+
+#ifndef ECDR_UTIL_LRU_CACHE_H_
+#define ECDR_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/stats.h"
+
+namespace ecdr::util {
+
+struct ShardedLruCacheOptions {
+  /// Total entry bound across all shards. 0 disables the cache entirely
+  /// (every Get misses, every Put is dropped).
+  std::size_t capacity = 0;
+
+  /// Lock granularity; rounded up to a power of two, clamped to
+  /// [1, capacity] so small caches don't degenerate into per-entry
+  /// shards.
+  std::size_t num_shards = 16;
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  using Options = ShardedLruCacheOptions;
+
+  explicit ShardedLruCache(Options options) : options_(options) {
+    std::size_t shards = 1;
+    while (shards < options.num_shards) shards <<= 1;
+    if (options_.capacity > 0 && shards > options_.capacity) {
+      shards = 1;
+      while (shards * 2 <= options_.capacity) shards <<= 1;
+    }
+    shard_mask_ = shards - 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    // Distribute the total bound; the ceiling keeps sum >= capacity so a
+    // perfectly balanced load never evicts below the requested size.
+    per_shard_capacity_ = (options_.capacity + shards - 1) / shards;
+  }
+
+  /// Copies the cached value into *out and refreshes its recency.
+  /// Returns false (counting a miss) when absent or when the cache is
+  /// disabled.
+  bool Get(const Key& key, Value* out) {
+    if (options_.capacity == 0) return false;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return false;
+    }
+    ++shard.hits;
+    // Move-to-front == most recently used.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts or overwrites; evicts the shard's least-recently-used entry
+  /// when the shard is full. No-op when the cache is disabled.
+  void Put(const Key& key, const Value& value) {
+    if (options_.capacity == 0) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.map.size() >= per_shard_capacity_) {
+      const auto& victim = shard.lru.back();
+      shard.map.erase(victim.first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    shard.lru.emplace_front(key, value);
+    shard.map.emplace(key, shard.lru.begin());
+  }
+
+  /// Drops every entry (counters are retained).
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->map.clear();
+      shard->lru.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t capacity() const { return options_.capacity; }
+
+  CacheCounters counters() const {
+    CacheCounters total;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total.hits += shard->hits;
+      total.misses += shard->misses;
+      total.evictions += shard->evictions;
+      total.entries += shard->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<Key, Value>> lru;  // Front = most recently used.
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Fibonacci spread of the hash picks the shard from the high bits,
+    // keeping shard choice independent of the map's bucket choice.
+    const std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    return *shards_[(h * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_];
+  }
+
+  Options options_;
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_LRU_CACHE_H_

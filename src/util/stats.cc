@@ -23,6 +23,12 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+double CacheCounters::hit_rate() const {
+  const std::uint64_t total = lookups();
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
 double Quantile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -38,6 +38,27 @@ class RunningStat {
 /// input is copied and partially sorted. Returns 0 for empty input.
 double Quantile(std::vector<double> values, double q);
 
+/// Snapshot of one cache's counters (see util/lru_cache.h); the cache
+/// layer surfaces these through KndsStats and the bench JSON output.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  /// Hits per lookup in [0, 1]; 0 when nothing was looked up.
+  double hit_rate() const;
+
+  CacheCounters& operator+=(const CacheCounters& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    entries += other.entries;
+    return *this;
+  }
+};
+
 }  // namespace ecdr::util
 
 #endif  // ECDR_UTIL_STATS_H_

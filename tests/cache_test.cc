@@ -1,0 +1,551 @@
+// The cross-query cache layer (see DESIGN.md, "Cache hierarchy"):
+// util::ShardedLruCache mechanics, the ontology-level concept-pair
+// cache, the per-engine Ddq memo with its version/epoch invalidation,
+// and the RankingEngine integration — warm searches must be
+// bit-identical to cold ones, AddDocument must bump the epoch without
+// flushing concept-pair distances, and one shared cache must survive
+// being hammered from many query threads racing a writer (the latter
+// also runs under the tsan preset via the `cache` label).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/distance_cache.h"
+#include "core/drc.h"
+#include "core/exhaustive_ranker.h"
+#include "core/knds.h"
+#include "core/ranking_engine.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/inverted_index.h"
+#include "ontology/concept_pair_cache.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "util/lru_cache.h"
+
+namespace ecdr::core {
+namespace {
+
+using util::ShardedLruCache;
+using util::ShardedLruCacheOptions;
+
+ontology::Ontology MakeOntology(std::uint64_t seed, std::uint32_t concepts) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = concepts;
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
+
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed, std::uint32_t docs) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = docs;
+  config.avg_concepts_per_doc = 15;
+  config.seed = seed;
+  auto corpus = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+void ExpectSameResults(const std::vector<ScoredDocument>& a,
+                       const std::vector<ScoredDocument>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache
+
+// num_shards = 1 makes the global eviction order observable: with every
+// entry in one shard, eviction is exact LRU.
+TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  ShardedLruCache<int, int> cache(ShardedLruCacheOptions{3, 1});
+  ASSERT_EQ(cache.num_shards(), 1u);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  int value = 0;
+  ASSERT_TRUE(cache.Get(1, &value));  // Refresh 1: LRU order is now 2,3,1.
+  cache.Put(4, 40);                   // Evicts 2.
+  EXPECT_FALSE(cache.Get(2, &value));
+  EXPECT_TRUE(cache.Get(1, &value));
+  EXPECT_EQ(value, 10);
+  EXPECT_TRUE(cache.Get(3, &value));
+  EXPECT_TRUE(cache.Get(4, &value));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+
+  cache.Put(5, 50);  // LRU order after the Gets was 1,3,4: evicts 1.
+  EXPECT_FALSE(cache.Get(1, &value));
+  EXPECT_TRUE(cache.Get(3, &value));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, OverwriteRefreshesRecencyAndValue) {
+  ShardedLruCache<int, int> cache(ShardedLruCacheOptions{2, 1});
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // Overwrite refreshes 1; 2 becomes LRU.
+  cache.Put(3, 30);  // Evicts 2.
+  int value = 0;
+  EXPECT_FALSE(cache.Get(2, &value));
+  ASSERT_TRUE(cache.Get(1, &value));
+  EXPECT_EQ(value, 11);
+}
+
+TEST(LruCacheTest, CapacityZeroBypasses) {
+  ShardedLruCache<int, int> cache(ShardedLruCacheOptions{0, 8});
+  cache.Put(1, 10);
+  int value = 0;
+  EXPECT_FALSE(cache.Get(1, &value));
+  EXPECT_EQ(cache.size(), 0u);
+  const util::CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 0u);
+  EXPECT_EQ(counters.entries, 0u);
+}
+
+TEST(LruCacheTest, CountersTrackHitsMissesEntries) {
+  ShardedLruCache<int, int> cache(ShardedLruCacheOptions{8, 2});
+  int value = 0;
+  EXPECT_FALSE(cache.Get(7, &value));
+  cache.Put(7, 70);
+  EXPECT_TRUE(cache.Get(7, &value));
+  EXPECT_TRUE(cache.Get(7, &value));
+  const util::CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+  EXPECT_EQ(counters.lookups(), 3u);
+  EXPECT_DOUBLE_EQ(counters.hit_rate(), 2.0 / 3.0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().hits, 2u);  // Clear keeps counters.
+}
+
+// ---------------------------------------------------------------------------
+// ConceptPairCache
+
+TEST(ConceptPairCacheTest, OrderInsensitiveKeys) {
+  ontology::ConceptPairCache cache;
+  std::uint32_t distance = 0;
+  EXPECT_FALSE(cache.Get(3, 9, &distance));
+  cache.Put(9, 3, 4);
+  ASSERT_TRUE(cache.Get(3, 9, &distance));
+  EXPECT_EQ(distance, 4u);
+  ASSERT_TRUE(cache.Get(9, 3, &distance));
+  EXPECT_EQ(distance, 4u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// Two oracles sharing one pair cache: the second oracle's lookups hit,
+// and cached distances match uncached computation exactly.
+TEST(ConceptPairCacheTest, SharedAcrossDistanceOracles) {
+  const auto ontology = MakeOntology(11, 400);
+  ontology::ConceptPairCache cache;
+  ontology::DistanceOracle uncached(ontology);
+  ontology::DistanceOracle first(ontology, &cache);
+  ontology::DistanceOracle second(ontology, &cache);
+
+  const std::vector<std::pair<ontology::ConceptId, ontology::ConceptId>>
+      pairs = {{1, 2}, {5, 17}, {200, 3}, {42, 42}, {399, 7}};
+  for (const auto& [a, b] : pairs) {
+    EXPECT_EQ(first.ConceptDistance(a, b), uncached.ConceptDistance(a, b));
+  }
+  const std::uint64_t misses_after_warm = cache.counters().misses;
+  EXPECT_GT(misses_after_warm, 0u);
+  for (const auto& [a, b] : pairs) {
+    // Order-swapped lookups from another oracle must all hit.
+    EXPECT_EQ(second.ConceptDistance(b, a), uncached.ConceptDistance(a, b));
+  }
+  EXPECT_EQ(cache.counters().misses, misses_after_warm);
+  EXPECT_EQ(cache.counters().hits, pairs.size());
+}
+
+// ---------------------------------------------------------------------------
+// DdqMemo
+
+TEST(DdqMemoTest, SignaturesCanonicalizeConceptSets) {
+  const std::vector<ontology::ConceptId> sorted = {3, 7, 19};
+  const QuerySig rds = SignatureOfConcepts(sorted, /*sds=*/false);
+  const QuerySig sds = SignatureOfConcepts(sorted, /*sds=*/true);
+  ASSERT_TRUE(rds.valid);
+  ASSERT_TRUE(sds.valid);
+  // Same concepts, different domains: RDS Ddq and SDS Ddd must not
+  // share entries.
+  EXPECT_FALSE(rds.lo == sds.lo && rds.hi == sds.hi);
+
+  const std::vector<WeightedConcept> weighted = {{3, 1.0}, {7, 2.0}};
+  const QuerySig wsig = SignatureOfWeighted(weighted);
+  ASSERT_TRUE(wsig.valid);
+  EXPECT_FALSE(wsig.lo == rds.lo && wsig.hi == rds.hi);
+  const std::vector<WeightedConcept> reweighted = {{3, 1.0}, {7, 2.5}};
+  const QuerySig wsig2 = SignatureOfWeighted(reweighted);
+  EXPECT_FALSE(wsig.lo == wsig2.lo && wsig.hi == wsig2.hi);
+}
+
+TEST(DdqMemoTest, StoresAndInvalidatesPerDocument) {
+  DdqMemo memo;
+  const QuerySig sig =
+      SignatureOfConcepts(std::vector<ontology::ConceptId>{1, 2}, false);
+  memo.Put(sig, 10, 3.5);
+  memo.Put(sig, 11, 4.5);
+  double value = 0.0;
+  ASSERT_TRUE(memo.Get(sig, 10, &value));
+  EXPECT_EQ(value, 3.5);
+
+  const std::uint64_t epoch_before = memo.epoch();
+  memo.InvalidateDocument(10);
+  EXPECT_EQ(memo.epoch(), epoch_before + 1);
+  EXPECT_FALSE(memo.Get(sig, 10, &value));  // Version-keyed: stale entry.
+  ASSERT_TRUE(memo.Get(sig, 11, &value));   // Other documents unaffected.
+  EXPECT_EQ(value, 4.5);
+
+  // Fresh value under the new version round-trips.
+  memo.Put(sig, 10, 9.25);
+  ASSERT_TRUE(memo.Get(sig, 10, &value));
+  EXPECT_EQ(value, 9.25);
+}
+
+TEST(DdqMemoTest, InvalidSignatureAndDisabledMemoBypass) {
+  DdqMemo memo;
+  double value = 0.0;
+  memo.Put(QuerySig{}, 1, 2.0);  // Invalid signature: dropped.
+  EXPECT_FALSE(memo.Get(QuerySig{}, 1, &value));
+  EXPECT_EQ(memo.size(), 0u);
+
+  CacheOptions disabled;
+  disabled.enable_ddq_memo = false;
+  DdqMemo off(disabled);
+  EXPECT_FALSE(off.enabled());
+  const QuerySig sig =
+      SignatureOfConcepts(std::vector<ontology::ConceptId>{1}, false);
+  off.Put(sig, 1, 2.0);
+  EXPECT_FALSE(off.Get(sig, 1, &value));
+  EXPECT_EQ(off.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+
+// Warm repeats of the same queries must reproduce the cold results
+// bit-for-bit while actually hitting the memo, across all three rankers
+// sharing one engine-owned memo.
+TEST(CacheTest, WarmSearchesMatchColdBitForBit) {
+  auto ontology = MakeOntology(21, 1'200);
+  const auto docs = MakeCorpus(ontology, 22, 120);
+  const auto queries = corpus::GenerateRdsQueries(docs, 8, 4, 23);
+
+  RankingEngineOptions options;
+  options.knds.num_threads = 1;
+  auto engine = RankingEngine::Create(std::move(ontology), options);
+  for (corpus::DocId d = 0; d < docs.num_documents(); ++d) {
+    const auto& concepts = docs.document(d).concepts();
+    ASSERT_TRUE(engine
+                    ->AddDocument(std::vector<ontology::ConceptId>(
+                        concepts.begin(), concepts.end()))
+                    .ok());
+  }
+
+  std::vector<std::vector<ScoredDocument>> cold;
+  for (const auto& query : queries) {
+    const auto results = engine->FindRelevant(query, 10);
+    ASSERT_TRUE(results.ok());
+    cold.push_back(*results);
+  }
+  const auto cold_sds = engine->FindSimilar(0, 10);
+  ASSERT_TRUE(cold_sds.ok());
+
+  const util::CacheCounters after_cold = engine->ddq_memo_counters();
+  EXPECT_GT(after_cold.misses, 0u);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto warm = engine->FindRelevant(queries[q], 10);
+    ASSERT_TRUE(warm.ok());
+    ExpectSameResults(cold[q], *warm);
+    EXPECT_GT(engine->last_search_stats().ddq_memo_hits, 0u);
+  }
+  const auto warm_sds = engine->FindSimilar(0, 10);
+  ASSERT_TRUE(warm_sds.ok());
+  ExpectSameResults(*cold_sds, *warm_sds);
+
+  const util::CacheCounters after_warm = engine->ddq_memo_counters();
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+}
+
+// A disabled cache must not change any ranking: same engine state, same
+// queries, capacity-0 memo and pair cache.
+TEST(CacheTest, DisabledCacheIsPureBypass) {
+  auto make_engine = [](bool enable) {
+    auto ontology = MakeOntology(31, 1'000);
+    RankingEngineOptions options;
+    options.knds.num_threads = 1;
+    options.knds.cache.enable_ddq_memo = enable;
+    options.knds.cache.enable_concept_pair_cache = enable;
+    return RankingEngine::Create(std::move(ontology), options);
+  };
+  auto cached = make_engine(true);
+  auto uncached = make_engine(false);
+  const auto docs = MakeCorpus(cached->ontology(), 32, 100);
+  for (corpus::DocId d = 0; d < docs.num_documents(); ++d) {
+    const auto& concepts = docs.document(d).concepts();
+    std::vector<ontology::ConceptId> ids(concepts.begin(), concepts.end());
+    ASSERT_TRUE(cached->AddDocument(ids).ok());
+    ASSERT_TRUE(uncached->AddDocument(std::move(ids)).ok());
+  }
+  const auto queries = corpus::GenerateRdsQueries(docs, 6, 3, 33);
+  for (int round = 0; round < 2; ++round) {  // Cold then warm.
+    for (const auto& query : queries) {
+      const auto with = cached->FindRelevant(query, 8);
+      const auto without = uncached->FindRelevant(query, 8);
+      ASSERT_TRUE(with.ok());
+      ASSERT_TRUE(without.ok());
+      ExpectSameResults(*without, *with);
+    }
+  }
+  EXPECT_EQ(uncached->ddq_memo_counters().lookups(), 0u);
+  EXPECT_GT(cached->ddq_memo_counters().hits, 0u);
+}
+
+// AddDocument must advance the epoch and leave the engine answering
+// with fresh Ddq values: a duplicate of the current best document must
+// appear in the warm top-k at exactly the same distance, and the
+// concept-pair cache must not be flushed by the insert.
+TEST(CacheTest, AddDocumentBumpsEpochAndReturnsFreshDdq) {
+  auto ontology = MakeOntology(41, 1'000);
+  const auto docs = MakeCorpus(ontology, 42, 100);
+  const auto queries = corpus::GenerateRdsQueries(docs, 4, 4, 43);
+
+  RankingEngineOptions options;
+  options.knds.num_threads = 1;
+  auto engine = RankingEngine::Create(std::move(ontology), options);
+  // Warm the concept-pair cache through the engine's shared instance.
+  ontology::DistanceOracle oracle(engine->ontology(),
+                                  engine->concept_pair_cache());
+  (void)oracle.ConceptDistance(1, 2);
+  const std::uint64_t pair_entries = engine->concept_pair_counters().entries;
+  EXPECT_GT(pair_entries, 0u);
+
+  std::uint64_t expected_epoch = 0;
+  EXPECT_EQ(engine->cache_epoch(), expected_epoch);
+  for (corpus::DocId d = 0; d < docs.num_documents(); ++d) {
+    const auto& concepts = docs.document(d).concepts();
+    ASSERT_TRUE(engine
+                    ->AddDocument(std::vector<ontology::ConceptId>(
+                        concepts.begin(), concepts.end()))
+                    .ok());
+    ++expected_epoch;
+    ASSERT_EQ(engine->cache_epoch(), expected_epoch);
+  }
+
+  for (const auto& query : queries) {
+    // Warm the memo on this query.
+    const auto cold = engine->FindRelevant(query, 5);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_EQ(cold->size(), 5u);
+
+    // Insert the query itself as a document: its Ddq is exactly 0, so
+    // the warm re-search must surface the new id — proving the engine
+    // computes a fresh Ddq for it rather than serving only stale memo
+    // state.
+    const auto inserted = engine->AddDocument(
+        std::vector<ontology::ConceptId>(query.begin(), query.end()));
+    ASSERT_TRUE(inserted.ok());
+    ++expected_epoch;
+    EXPECT_EQ(engine->cache_epoch(), expected_epoch);
+
+    std::size_t cold_zeros = 0;
+    for (const ScoredDocument& scored : *cold) {
+      if (scored.distance == 0.0) ++cold_zeros;
+    }
+    const auto warm = engine->FindRelevant(query, 5);
+    ASSERT_TRUE(warm.ok());
+    bool inserted_found = false;
+    for (const ScoredDocument& scored : *warm) {
+      if (scored.id == *inserted) {
+        inserted_found = true;
+        EXPECT_EQ(scored.distance, 0.0);
+      }
+    }
+    // Only ties at distance 0 with smaller ids could displace it.
+    if (cold_zeros < 5) {
+      EXPECT_TRUE(inserted_found);
+    }
+  }
+
+  // Document inserts never touch concept-pair distances.
+  EXPECT_GE(engine->concept_pair_counters().entries, pair_entries);
+}
+
+// Standalone rankers sharing one memo agree with their memo-less
+// counterparts: entries written by ExhaustiveRanker are consumed by
+// Knds and vice versa (both store exact DRC doubles).
+TEST(CacheTest, MemoSharedAcrossRankersIsExact) {
+  const auto ontology = MakeOntology(51, 1'000);
+  const auto corpus = MakeCorpus(ontology, 52, 90);
+  const index::InvertedIndex index(corpus);
+  const auto queries = corpus::GenerateRdsQueries(corpus, 5, 3, 53);
+
+  ontology::AddressEnumerator enumerator(ontology);
+  enumerator.PrecomputeAll();
+  DdqMemo memo;
+
+  for (const auto& query : queries) {
+    Drc plain_drc(ontology, &enumerator);
+    ExhaustiveRanker plain(corpus, &plain_drc);
+    const auto want = plain.TopKRelevant(query, 10);
+    ASSERT_TRUE(want.ok());
+
+    // Exhaustive fills the memo for every document...
+    Drc fill_drc(ontology, &enumerator);
+    ExhaustiveRankerOptions fill_options;
+    fill_options.ddq_memo = &memo;
+    ExhaustiveRanker fill(corpus, &fill_drc, fill_options);
+    const auto filled = fill.TopKRelevant(query, 10);
+    ASSERT_TRUE(filled.ok());
+    ExpectSameResults(*want, *filled);
+
+    // ...and a memo-backed Knds over the same query consumes them while
+    // returning the identical top-k. The covered-distance shortcut is
+    // disabled so every exact distance goes through the memo.
+    Drc knds_drc(ontology, &enumerator);
+    KndsOptions knds_options;
+    knds_options.covered_distance_shortcut = false;
+    Knds knds(corpus, index, &knds_drc, knds_options, nullptr, &memo);
+    const auto got = knds.SearchRds(query, 10);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResults(*want, *got);
+    EXPECT_GT(knds.last_stats().ddq_memo_hits, 0u);
+    EXPECT_EQ(knds.last_stats().ddq_memo_misses, 0u);
+    EXPECT_EQ(knds_drc.stats().calls, 0u);  // All distances memo-served.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Races (runs under the tsan preset via the `cache` label)
+
+// One shared DdqMemo hammered from 8 reader/writer query threads racing
+// an invalidator. Values are self-checking: entry(doc) == doc * 0.5, so
+// any hit must return exactly that.
+TEST(CacheTest, SharedMemoSurvivesEightThreadsRacingInvalidation) {
+  CacheOptions options;
+  options.ddq_capacity = 256;  // Small: forces concurrent eviction too.
+  DdqMemo memo(options);
+  const QuerySig sig =
+      SignatureOfConcepts(std::vector<ontology::ConceptId>{2, 3, 5}, false);
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 4'000;
+  constexpr corpus::DocId kDocs = 512;
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kIterations; ++i) {
+        const corpus::DocId doc =
+            static_cast<corpus::DocId>((i * 31 + t * 7) % kDocs);
+        double value = 0.0;
+        if (memo.Get(sig, doc, &value)) {
+          if (value != doc * 0.5) ++corrupt;
+        } else {
+          memo.Put(sig, doc, doc * 0.5);
+        }
+      }
+    });
+  }
+  std::thread invalidator([&]() {
+    for (corpus::DocId doc = 0; doc < kDocs; ++doc) {
+      memo.InvalidateDocument(doc % 16);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  invalidator.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_GT(memo.counters().lookups(), 0u);
+}
+
+// Full-stack version: 8 query threads against one engine (one shared
+// memo + pair cache) racing an AddDocument writer; every search must
+// succeed and the epoch must count the writer's inserts.
+TEST(CacheTest, EngineCachesSurviveSearchesRacingWriter) {
+  auto ontology = MakeOntology(61, 1'200);
+  const auto seed_docs = MakeCorpus(ontology, 62, 80);
+  const auto extra_docs = MakeCorpus(ontology, 63, 40);
+  const auto queries = corpus::GenerateRdsQueries(seed_docs, 8, 3, 64);
+
+  RankingEngineOptions options;
+  options.knds.num_threads = 2;  // Waves also share the memo.
+  options.knds.cache.ddq_capacity = 1 << 10;
+  // Force every exact distance through DRC so the warm re-query below
+  // must observe memo hits (the covered-distance shortcut would bypass
+  // the memo for fully-covered documents).
+  options.knds.covered_distance_shortcut = false;
+  auto engine = RankingEngine::Create(std::move(ontology), options);
+  for (corpus::DocId d = 0; d < seed_docs.num_documents(); ++d) {
+    const auto& concepts = seed_docs.document(d).concepts();
+    ASSERT_TRUE(engine
+                    ->AddDocument(std::vector<ontology::ConceptId>(
+                        concepts.begin(), concepts.end()))
+                    .ok());
+  }
+  const std::uint64_t epoch_before = engine->cache_epoch();
+
+  constexpr int kReaders = 8;
+  constexpr int kIterationsPerReader = 12;
+  std::atomic<int> failures{0};
+  std::thread writer([&]() {
+    for (corpus::DocId d = 0; d < extra_docs.num_documents(); ++d) {
+      const auto& concepts = extra_docs.document(d).concepts();
+      if (!engine
+               ->AddDocument(std::vector<ontology::ConceptId>(
+                   concepts.begin(), concepts.end()))
+               .ok()) {
+        ++failures;
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      std::size_t q = static_cast<std::size_t>(t);
+      for (int iter = 0; iter < kIterationsPerReader; ++iter) {
+        const auto relevant =
+            engine->FindRelevant(queries[q % queries.size()], 5);
+        if (!relevant.ok() || relevant->empty()) ++failures;
+        const auto similar =
+            engine->FindSimilar(static_cast<corpus::DocId>(q % 20), 5);
+        if (!similar.ok()) ++failures;
+        ++q;
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine->cache_epoch(),
+            epoch_before + extra_docs.num_documents());
+
+  // Quiesced engine: repeating a query now is warm and still correct.
+  const auto once = engine->FindRelevant(queries[0], 5);
+  const auto again = engine->FindRelevant(queries[0], 5);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(again.ok());
+  ExpectSameResults(*once, *again);
+  EXPECT_GT(engine->last_search_stats().ddq_memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ecdr::core

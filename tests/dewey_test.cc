@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tests/fig3_fixture.h"
@@ -148,6 +149,36 @@ TEST(AddressEnumeratorTest, CacheClearsAndRecounts) {
   enumerator.ClearCache();
   EXPECT_EQ(enumerator.cached_addresses(), 0u);
   EXPECT_EQ(enumerator.Addresses(fig3['V']).size(), 2u);
+}
+
+TEST(AddressEnumeratorTest, ReaderLeaseCountsAndReleases) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  EXPECT_EQ(enumerator.live_readers(), 0);
+  {
+    AddressEnumerator::ReaderLease lease(&enumerator);
+    EXPECT_EQ(enumerator.live_readers(), 1);
+    AddressEnumerator::ReaderLease moved(std::move(lease));
+    EXPECT_EQ(enumerator.live_readers(), 1);  // Move transfers, not adds.
+    AddressEnumerator::ReaderLease second(&enumerator);
+    EXPECT_EQ(enumerator.live_readers(), 2);
+  }
+  EXPECT_EQ(enumerator.live_readers(), 0);
+  enumerator.ClearCache();  // Legal again once every lease is gone.
+}
+
+// Regression: clearing a frozen enumerator under a live reader (here a
+// Drc engine holding its lease) used to silently dangle the reader's
+// address references; it must now abort via the always-on check even in
+// NDEBUG builds.
+TEST(AddressEnumeratorDeathTest, ClearCacheWithLiveReaderAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  enumerator.PrecomputeAll();
+  ASSERT_TRUE(enumerator.frozen());
+  AddressEnumerator::ReaderLease lease(&enumerator);
+  EXPECT_DEATH(enumerator.ClearCache(), "ECDR_CHECK failed");
 }
 
 }  // namespace

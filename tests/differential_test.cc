@@ -1,0 +1,171 @@
+// Differential correctness harness for the cache layer (and the
+// speculative-wave parallel path it composes with): over seeded random
+// ontologies and corpora, every Knds configuration — cache off/on ×
+// 1/8 verification threads, cold and warm — must return top-k results
+// that agree bit-for-bit with an oracle computed from the quadratic
+// BaselineDistance ("BL" in the paper's Fig. 6), which shares no code
+// with DRC's D-Radix machinery beyond the ontology itself.
+//
+// Distances compare with exact ==, not a tolerance: RDS distances are
+// integer sums, and both Ddd implementations evaluate the same
+// double(sum)/double(count) + double(sum)/double(count) expression over
+// exact integer sums, so IEEE determinism makes agreement bitwise. The
+// memo stores exactly the double DRC returned, so warm (memo-hit)
+// searches cannot drift either.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/baseline_distance.h"
+#include "core/distance_cache.h"
+#include "core/drc.h"
+#include "core/knds.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/inverted_index.h"
+#include "ontology/dewey.h"
+#include "ontology/generator.h"
+
+namespace ecdr::core {
+namespace {
+
+ontology::Ontology MakeOntology(std::uint64_t seed) {
+  ontology::OntologyGeneratorConfig config;
+  // Vary the shape with the seed: size 600..1'200, tree to dense DAG.
+  config.num_concepts = 600 + (seed % 4) * 200;
+  config.extra_parent_prob = 0.15 * (seed % 3);
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
+
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = 60 + (seed % 5) * 10;
+  config.avg_concepts_per_doc = 10 + (seed % 3) * 5;
+  config.seed = seed * 7919 + 1;
+  auto corpus = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+/// Oracle top-k by scoring EVERY document with the quadratic baseline
+/// and sorting by the (distance, id) total order.
+std::vector<ScoredDocument> BaselineTopK(
+    BaselineDistance* baseline, const corpus::Corpus& corpus,
+    std::span<const ontology::ConceptId> query, bool sds, std::uint32_t k) {
+  std::vector<ScoredDocument> all;
+  all.reserve(corpus.num_documents());
+  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+    const auto doc = corpus.document(d).concepts();
+    double distance = 0.0;
+    if (sds) {
+      const auto ddd = baseline->DocDocDistance(query, doc);
+      EXPECT_TRUE(ddd.ok());
+      distance = *ddd;
+    } else {
+      const auto ddq = baseline->DocQueryDistance(doc, query);
+      EXPECT_TRUE(ddq.ok());
+      distance = static_cast<double>(*ddq);
+    }
+    all.push_back(ScoredDocument{d, distance});
+  }
+  std::sort(all.begin(), all.end(), ScoredBefore);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredDocument>& want,
+                        const std::vector<ScoredDocument>& got,
+                        const char* label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id) << label << " rank " << i;
+    EXPECT_EQ(want[i].distance, got[i].distance) << label << " rank " << i;
+  }
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, KndsMatchesQuadraticOracleAcrossCacheAndThreads) {
+  const std::uint64_t seed = GetParam();
+  const ontology::Ontology ontology = MakeOntology(seed);
+  const corpus::Corpus corpus = MakeCorpus(ontology, seed);
+  const index::InvertedIndex index(corpus);
+  BaselineDistance baseline(ontology);
+
+  ontology::AddressEnumerator enumerator(ontology);
+  enumerator.PrecomputeAll();
+
+  const std::uint32_t k = 1 + (seed % 3) * 4;  // 1, 5 or 9.
+  const auto rds_queries =
+      corpus::GenerateRdsQueries(corpus, 2, 3 + seed % 3, seed * 13 + 7);
+  // SDS query: one corpus document per seed.
+  const corpus::DocId sds_doc =
+      static_cast<corpus::DocId>(seed % corpus.num_documents());
+
+  struct Config {
+    bool cache;
+    std::size_t threads;
+    const char* name;
+  };
+  const Config configs[] = {
+      {false, 1, "cache-off/1-thread"},
+      {false, 8, "cache-off/8-threads"},
+      {true, 1, "cache-on/1-thread"},
+      {true, 8, "cache-on/8-threads"},
+  };
+
+  for (const Config& config : configs) {
+    KndsOptions options;
+    options.num_threads = config.threads;
+    // Sweep the error gate with the seed; every setting must stay exact.
+    options.error_threshold = 0.5 * (seed % 3);
+    // Route every exact distance through DRC (and thus the memo): the
+    // shortcut would otherwise serve fully-covered documents from BFS
+    // partial sums and leave the memo untouched on low-threshold seeds.
+    options.covered_distance_shortcut = false;
+    options.cache.enable_ddq_memo = config.cache;
+    DdqMemo memo(options.cache);
+    Drc drc(ontology, &enumerator);
+    Knds knds(corpus, index, &drc, options, nullptr,
+              config.cache ? &memo : nullptr);
+
+    // Two passes: pass 0 is cold, pass 1 re-runs every query against the
+    // now-warm memo (for cache-off configs it just re-checks stability).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& query : rds_queries) {
+        const auto want =
+            BaselineTopK(&baseline, corpus, query, /*sds=*/false, k);
+        const auto got = knds.SearchRds(query, k);
+        ASSERT_TRUE(got.ok()) << config.name;
+        ExpectBitIdentical(want, *got, config.name);
+      }
+      const auto query_doc = corpus.document(sds_doc).concepts();
+      const auto want_sds =
+          BaselineTopK(&baseline, corpus, query_doc, /*sds=*/true, k);
+      const auto got_sds = knds.SearchSds(corpus.document(sds_doc), k);
+      ASSERT_TRUE(got_sds.ok()) << config.name;
+      ExpectBitIdentical(want_sds, *got_sds, config.name);
+    }
+    if (config.cache) {
+      // The warm pass must actually exercise the memo.
+      EXPECT_GT(memo.counters().hits, 0u) << config.name;
+    } else {
+      EXPECT_EQ(memo.counters().lookups(), 0u) << config.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, DifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ecdr::core
