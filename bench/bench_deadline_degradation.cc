@@ -1,0 +1,177 @@
+// Anytime quality vs deadline budget on the Fig. 9 top-k workload
+// (k=10, nq=5): each query first runs without a deadline to establish
+// the exact top-k and its latency, then re-runs under budgets set to
+// fractions of the collection's mean baseline latency. Reports, per
+// (collection, budget fraction): recall@k against the exact top-k, the
+// mean reported per-result error bound, and the fractions of queries
+// that truncated or escalated the error threshold. Rows go to
+// BENCH_deadline_degradation.json.
+//
+// Expected shape: recall rises monotonically with budget toward 1.0;
+// generous budgets (>= 1x mean latency) should rarely truncate, and
+// starved budgets should still return bounded results, never errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/drc.h"
+#include "core/knds.h"
+#include "corpus/query_gen.h"
+#include "util/deadline.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using ecdr::bench::Collection;
+using ecdr::util::TablePrinter;
+
+constexpr std::uint32_t kDefaultNq = 5;
+constexpr std::uint32_t kTopK = 10;
+constexpr double kBudgetFractions[] = {0.1, 0.25, 0.5, 1.0, 2.0};
+
+struct Row {
+  std::string collection;
+  double budget_fraction = 0.0;
+  double budget_ms = 0.0;
+  double recall_at_k = 0.0;
+  double mean_error_bound = 0.0;
+  double truncated_fraction = 0.0;
+  double escalated_fraction = 0.0;
+};
+
+void RunCollection(const ecdr::ontology::Ontology& ontology,
+                   ecdr::ontology::AddressEnumerator* enumerator,
+                   const Collection& collection, std::uint32_t queries,
+                   std::vector<Row>* rows) {
+  const auto rds_queries = ecdr::corpus::GenerateRdsQueries(
+      *collection.corpus, queries, kDefaultNq, 900);
+
+  ecdr::core::KndsOptions options;
+  options.error_threshold = collection.rds_error_threshold;
+  ecdr::core::Drc drc(ontology, enumerator);
+  ecdr::core::Knds knds(*collection.corpus, *collection.inverted, &drc,
+                        options);
+
+  // Baseline: exact top-k per query, and the mean latency that anchors
+  // the budget fractions.
+  std::vector<std::unordered_set<ecdr::corpus::DocId>> truth(queries);
+  double mean_latency_seconds = 0.0;
+  for (std::uint32_t q = 0; q < queries; ++q) {
+    const auto result = knds.SearchRds(rds_queries[q], kTopK);
+    ECDR_CHECK(result.ok());
+    ECDR_CHECK(!knds.last_stats().truncated);
+    for (const auto& scored : *result) truth[q].insert(scored.id);
+    mean_latency_seconds += knds.last_stats().total_seconds;
+  }
+  mean_latency_seconds /= std::max<std::uint32_t>(1, queries);
+
+  for (const double fraction : kBudgetFractions) {
+    Row row;
+    row.collection = collection.name;
+    row.budget_fraction = fraction;
+    const double budget = fraction * mean_latency_seconds;
+    row.budget_ms = budget * 1e3;
+    double recall_sum = 0.0;
+    double bound_sum = 0.0;
+    std::uint64_t bound_count = 0;
+    for (std::uint32_t q = 0; q < queries; ++q) {
+      ecdr::core::KndsOptions budgeted = options;
+      budgeted.deadline = ecdr::util::Deadline::After(budget);
+      ecdr::core::Knds anytime(*collection.corpus, *collection.inverted,
+                               &drc, budgeted);
+      const auto result = anytime.SearchRds(rds_queries[q], kTopK);
+      ECDR_CHECK(result.ok());
+      std::uint32_t found = 0;
+      for (const auto& scored : *result) {
+        if (truth[q].contains(scored.id)) ++found;
+        bound_sum += scored.error_bound;
+        ++bound_count;
+      }
+      recall_sum += truth[q].empty()
+                        ? 1.0
+                        : static_cast<double>(found) /
+                              static_cast<double>(truth[q].size());
+      if (anytime.last_stats().truncated) row.truncated_fraction += 1.0;
+      if (anytime.last_stats().error_threshold_escalated) {
+        row.escalated_fraction += 1.0;
+      }
+    }
+    const double nq = static_cast<double>(std::max<std::uint32_t>(1, queries));
+    row.recall_at_k = recall_sum / nq;
+    row.mean_error_bound =
+        bound_count == 0 ? 0.0
+                         : bound_sum / static_cast<double>(bound_count);
+    row.truncated_fraction /= nq;
+    row.escalated_fraction /= nq;
+    rows->push_back(row);
+  }
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  std::fprintf(file, "{\n  \"benchmark\": \"deadline_degradation\",\n");
+  std::fprintf(file, "  \"workload\": \"fig9_topk\",\n  \"k\": %u,\n", kTopK);
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"collection\": \"%s\", \"budget_fraction\": %.2f, "
+                 "\"budget_ms\": %.4f, \"recall_at_k\": %.4f, "
+                 "\"mean_error_bound\": %.4f, \"truncated_fraction\": %.3f, "
+                 "\"escalated_fraction\": %.3f}%s\n",
+                 row.collection.c_str(), row.budget_fraction, row.budget_ms,
+                 row.recall_at_k, row.mean_error_bound,
+                 row.truncated_fraction, row.escalated_fraction,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint32_t queries = ecdr::bench::QueriesFromEnv();
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(scale);
+  ecdr::bench::PrintTestbedBanner(
+      "Deadline degradation: anytime recall@k and error bounds vs budget "
+      "(Fig. 9 workload, k=10)",
+      testbed, scale, queries);
+
+  ecdr::ontology::AddressEnumerator enumerator(*testbed.ontology);
+  enumerator.PrecomputeAll();
+
+  std::vector<Row> rows;
+  RunCollection(*testbed.ontology, &enumerator, testbed.patient, queries,
+                &rows);
+  RunCollection(*testbed.ontology, &enumerator, testbed.radio, queries,
+                &rows);
+
+  TablePrinter table({"collection", "budget", "budget ms", "recall@k",
+                      "mean err bound", "truncated", "escalated"});
+  for (const Row& row : rows) {
+    table.AddRow({row.collection,
+                  TablePrinter::FormatDouble(row.budget_fraction, 2) + "x",
+                  TablePrinter::FormatDouble(row.budget_ms, 3),
+                  TablePrinter::FormatDouble(row.recall_at_k, 3),
+                  TablePrinter::FormatDouble(row.mean_error_bound, 3),
+                  TablePrinter::FormatDouble(row.truncated_fraction * 100.0,
+                                             0) +
+                      "%",
+                  TablePrinter::FormatDouble(row.escalated_fraction * 100.0,
+                                             0) +
+                      "%"});
+  }
+  table.Print(std::cout);
+
+  WriteJson(rows, "BENCH_deadline_degradation.json");
+  std::printf("\nwrote BENCH_deadline_degradation.json\n");
+  return 0;
+}

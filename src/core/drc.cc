@@ -76,13 +76,24 @@ util::StatusOr<DRadixDag> Drc::BuildIndex(
     std::span<const ontology::ConceptId> query) {
   ECDR_RETURN_IF_ERROR(ValidateConcepts(doc, "document"));
   ECDR_RETURN_IF_ERROR(ValidateConcepts(query, "query"));
+  ECDR_RETURN_IF_ERROR(
+      util::CheckCancellation(cancel_token_, deadline_, "DRC"));
   util::WallTimer timer;
 
   std::vector<PendingInsert> inserts;
   GatherInserts(doc, query, &inserts);
 
   DRadixDag dag(*ontology_);
+  // Poll coarsely during the insert sweep — large SDS pairs can carry
+  // tens of thousands of addresses — but keep the unexpired cost at one
+  // predictable branch per batch.
+  constexpr std::size_t kCancelPollStride = 1024;
+  std::size_t inserted = 0;
   for (const PendingInsert& pending : inserts) {
+    if (++inserted % kCancelPollStride == 0) {
+      ECDR_RETURN_IF_ERROR(
+          util::CheckCancellation(cancel_token_, deadline_, "DRC"));
+    }
     dag.InsertAddress(pending.concept_id, *pending.address, pending.in_doc,
                       pending.in_query);
   }

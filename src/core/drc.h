@@ -20,6 +20,7 @@
 #include "core/d_radix.h"
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace ecdr::core {
@@ -88,6 +89,19 @@ class Drc {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  /// Cooperative cancellation for direct callers with a budget (e.g.
+  /// RankingEngine::DocumentDistance): BuildIndex polls between address
+  /// insert batches and every distance entry point then returns
+  /// kCancelled / kDeadlineExceeded. Both may be unset (`token` null,
+  /// `deadline` infinite — the default, which costs nothing). Knds does
+  /// NOT set this on its engines: it stops between DRC calls instead, so
+  /// every distance it does compute is exact.
+  void SetCancellation(const util::CancelToken* token,
+                       util::Deadline deadline) {
+    cancel_token_ = token;
+    deadline_ = deadline;
+  }
+
   /// Folds another engine's counters into this one — how per-lane
   /// engines report back after a parallel batch (call single-threaded,
   /// after the batch has been joined).
@@ -122,6 +136,8 @@ class Drc {
   // Blocks AddressEnumerator::ClearCache() for this engine's lifetime:
   // DRC keeps references into the address cache between calls.
   ontology::AddressEnumerator::ReaderLease address_lease_;
+  const util::CancelToken* cancel_token_ = nullptr;
+  util::Deadline deadline_;
   Stats stats_;
 };
 

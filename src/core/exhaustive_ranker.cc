@@ -86,9 +86,21 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
     }
   };
 
+  // Stop polling for both paths; wave lanes read it concurrently.
+  const auto stop_requested = [&]() {
+    return (options_.cancel_token != nullptr &&
+            options_.cancel_token->cancelled()) ||
+           options_.deadline.Expired();
+  };
+  std::atomic<bool> truncated{false};
+
   std::vector<ScoredDocument> heap;
   if (lanes == 1) {
     for (corpus::DocId d = 0; d < num_docs; ++d) {
+      if (stop_requested()) {
+        truncated.store(true, std::memory_order_relaxed);
+        break;
+      }
       util::StatusOr<double> distance = memoized_score(drc_, d);
       ECDR_RETURN_IF_ERROR(distance.status());
       ++last_stats_.documents_scored;
@@ -108,19 +120,27 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
     for (LaneState& state : lane_states) {
       state.drc = std::make_unique<Drc>(drc_->ontology(), drc_->addresses());
     }
-    pool->ParallelFor(num_docs, [&](std::size_t d, std::size_t lane) {
-      LaneState& state = lane_states[lane];
-      if (!state.status.ok()) return;
-      util::StatusOr<double> distance =
-          memoized_score(state.drc.get(), static_cast<corpus::DocId>(d));
-      if (!distance.ok()) {
-        state.status = distance.status();
-        return;
-      }
-      ++state.scored;
-      push_scored(&state.heap, k,
-                  ScoredDocument{static_cast<corpus::DocId>(d), *distance});
-    });
+    pool->ParallelFor(
+        num_docs,
+        [&](std::size_t d, std::size_t lane) {
+          LaneState& state = lane_states[lane];
+          if (!state.status.ok()) return;
+          if (stop_requested()) {
+            truncated.store(true, std::memory_order_relaxed);
+            return;
+          }
+          util::StatusOr<double> distance =
+              memoized_score(state.drc.get(), static_cast<corpus::DocId>(d));
+          if (!distance.ok()) {
+            state.status = distance.status();
+            return;
+          }
+          ++state.scored;
+          push_scored(
+              &state.heap, k,
+              ScoredDocument{static_cast<corpus::DocId>(d), *distance});
+        },
+        options_.cancel_token);
     for (LaneState& state : lane_states) {
       ECDR_RETURN_IF_ERROR(state.status);
       last_stats_.documents_scored += state.scored;
@@ -132,6 +152,12 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
   }
 
   std::sort(heap.begin(), heap.end(), ScoredBefore);
+  // A cancelled ParallelFor can also skip items without any lane seeing
+  // the stop, so recheck after the join.
+  if (truncated.load(std::memory_order_relaxed) ||
+      (lanes > 1 && last_stats_.documents_scored < num_docs)) {
+    last_stats_.truncated = true;
+  }
   last_stats_.ddq_memo_hits = memo_hits.load(std::memory_order_relaxed);
   last_stats_.ddq_memo_misses = memo_misses.load(std::memory_order_relaxed);
   last_stats_.seconds = timer.ElapsedSeconds();

@@ -15,6 +15,7 @@
 #include "core/drc.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -37,6 +38,14 @@ struct ExhaustiveRankerOptions {
   /// without it, and entries are interchangeable with Knds / TaRanker
   /// over the same engine state.
   DdqMemo* ddq_memo = nullptr;
+
+  /// Cooperative cancellation, polled before each document. A stop ends
+  /// the scan: the ranker returns the top-k of the documents scored so
+  /// far — every distance exact, but NOT a global top-k — and sets
+  /// Stats::truncated. `cancel_token` may be null; the default deadline
+  /// never expires.
+  util::Deadline deadline;
+  const util::CancelToken* cancel_token = nullptr;
 };
 
 class ExhaustiveRanker {
@@ -47,6 +56,7 @@ class ExhaustiveRanker {
     std::uint64_t documents_scored = 0;
     std::uint64_t ddq_memo_hits = 0;
     std::uint64_t ddq_memo_misses = 0;
+    bool truncated = false;  // deadline/cancel stopped the scan early
     double seconds = 0.0;
   };
 

@@ -135,6 +135,37 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   ECDR_DCHECK(std::is_sorted(origins.begin(), origins.end()));
   if (k == 0) return std::vector<ScoredDocument>{};
 
+  // ---- Deadline / cancellation machinery. With no deadline and no
+  // token every check below is two predictable branches, so the default
+  // configuration runs the historical, bit-identical search.
+  enum class StopReason : std::uint8_t { kNone, kCancelled, kDeadline };
+  StopReason stop = StopReason::kNone;
+  const bool has_deadline = !options_.deadline.IsInfinite();
+  util::FaultInjector* const injector = options_.fault_injector;
+  // Serial-path poll: latches the first observed reason into `stop`.
+  const auto check_stop = [&]() {
+    if (stop != StopReason::kNone) return true;
+    if (options_.cancel_token != nullptr &&
+        options_.cancel_token->cancelled()) {
+      stop = StopReason::kCancelled;
+      return true;
+    }
+    if (has_deadline && options_.deadline.Expired()) {
+      stop = StopReason::kDeadline;
+      return true;
+    }
+    return false;
+  };
+  // Read-only poll for wave workers (no write to `stop`).
+  const auto stop_requested = [&]() {
+    return (options_.cancel_token != nullptr &&
+            options_.cancel_token->cancelled()) ||
+           (has_deadline && options_.deadline.Expired());
+  };
+  const double budget_seconds =
+      has_deadline ? options_.deadline.RemainingSeconds() : 0.0;
+  double effective_error_threshold = options_.error_threshold;
+
   const std::uint32_t num_concepts = onto.num_concepts();
   const auto n = static_cast<std::uint32_t>(origins.size());
   const std::size_t words = (n + 63) / 64;
@@ -273,6 +304,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       }
       memo_misses.fetch_add(1, std::memory_order_relaxed);
     }
+    if (injector != nullptr) injector->OnDrcCall();
     const corpus::Document& doc = corpus_->document(doc_id);
     double exact = 0.0;
     if (sds) {
@@ -304,10 +336,32 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   std::vector<Candidate> wave;
   std::vector<corpus::DocId> to_verify;
   std::vector<double> wave_exact;
+  std::vector<std::uint8_t> wave_verified;
+  // The lower bound any uncovered (origin, doc) pair is finalized at if
+  // the search truncates right now: `level` while the current level is
+  // still expanding (BFS has reached distance `level`), `level + 1` once
+  // its expansion completed.
+  double finalize_next = 0.0;
   while (true) {
+    if (check_stop()) break;
+    finalize_next = static_cast<double>(level);
+
+    // Degradation rung 1: with most of the budget gone, escalate the
+    // error gate to eps_theta = 1 so the remaining time verifies exact
+    // distances eagerly instead of waiting for tighter coverage that a
+    // truncation would throw away.
+    if (has_deadline && !stats_.error_threshold_escalated &&
+        total_timer.ElapsedSeconds() >=
+            options_.escalate_error_threshold_after * budget_seconds) {
+      effective_error_threshold = 1.0;
+      stats_.error_threshold_escalated = true;
+    }
+
     // ---- Breadth-first expansion: visit all concepts at distance
     // `level`, update Md / M'd for their documents, grow the frontier.
     const auto process_visit = [&](ConceptId c, std::uint32_t i) {
+      if (check_stop()) return;
+      if (injector != nullptr) injector->OnPostingsFetch();
       ++stats_.concept_visits;
       if (options_.simulated_postings_access_seconds > 0.0) {
         // Spin (rather than sleep) so sub-millisecond latencies are
@@ -364,6 +418,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     };
 
     for (std::uint32_t i = 0; i < n; ++i) {
+      if (stop != StopReason::kNone) break;
       for (std::uint32_t entry : asc[i]) {
         const ConceptId c = entry & ~kReportFlag;
         if (entry & kReportFlag) process_visit(c, i);
@@ -392,6 +447,10 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       }
     }
     ++stats_.levels;
+    // Visits skipped by a mid-expansion stop keep their (origin, doc)
+    // pairs uncovered, so the finalization bound must stay at `level`.
+    if (check_stop()) break;
+    finalize_next = static_cast<double>(level) + 1.0;
 
     std::size_t next_frontier = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -535,6 +594,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     // left in Ld is provably out.
     bool tail_blocked = false;
     while (!level_done) {
+      if (check_stop()) break;
       // ---- Wave selection under the current k-th best — the most
       // permissive bound the serial loop could apply to these
       // candidates, so the wave is a superset of what the serial loop
@@ -557,7 +617,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
             candidate->lower_bound <= 0.0
                 ? 0.0
                 : 1.0 - candidate->partial / candidate->lower_bound;
-        if (!force_examine && error > options_.error_threshold) {
+        if (!force_examine && error > effective_error_threshold) {
           min_remaining_lower = candidate->lower_bound;
           level_done = true;
           break;
@@ -579,16 +639,27 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
         if (to_verify.size() > 1) {
           util::ScopedAccumulator drc_time(&stats_.distance_seconds);
           wave_exact.assign(to_verify.size(), 0.0);
+          wave_verified.assign(to_verify.size(), 0);
           pool->ParallelFor(
-              to_verify.size(), [&](std::size_t i, std::size_t lane) {
+              to_verify.size(),
+              [&](std::size_t i, std::size_t lane) {
+                // Workers bail on a stop so the wave drains promptly;
+                // skipped entries simply stay unverified and fall back
+                // to their lower bounds at finalization.
+                if (stop_requested()) return;
                 wave_exact[i] =
                     compute_exact(lane_drcs[lane].get(), to_verify[i]);
-              });
+                wave_verified[i] = 1;
+              },
+              options_.cancel_token);
+          std::size_t verified = 0;
           for (std::size_t i = 0; i < to_verify.size(); ++i) {
+            if (!wave_verified[i]) continue;
             exact_memo.emplace(to_verify[i], wave_exact[i]);
+            ++verified;
           }
-          wave_invocations += to_verify.size();
-          ++stats_.parallel_waves;
+          wave_invocations += verified;
+          if (verified > 0) ++stats_.parallel_waves;
         }
       }
 
@@ -596,6 +667,10 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       // independent of the heap); only the k-th-best gate can, as
       // results accumulate mid-wave.
       for (const Candidate& candidate : wave) {
+        if (check_stop()) {
+          level_done = true;
+          break;
+        }
         if (!can_beat_kth(candidate.lower_bound, candidate.doc)) {
           min_remaining_lower = candidate.lower_bound;
           tail_blocked = true;
@@ -607,6 +682,11 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
         examine(candidate);
       }
     }
+    // Exact distances examined so far stay in the heap; everything else
+    // is finalized from bounds below. Skipping the termination test and
+    // progressive emission keeps emitted results a prefix of the
+    // uncancelled run's emission order.
+    if (stop != StopReason::kNone) break;
 
     // ---- Termination: no remaining (partially visited or untouched)
     // document can beat the current k-th best under the (distance, id)
@@ -661,11 +741,75 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     ++level;
   }
 
-  std::sort(heap.begin(), heap.end(), ScoredBefore);
-  if (progress_callback_) {
-    for (const ScoredDocument& scored : heap) {
-      if (emitted.insert(scored.id).second) progress_callback_(scored);
+  std::vector<ScoredDocument> results;
+  if (stop == StopReason::kNone) {
+    std::sort(heap.begin(), heap.end(), ScoredBefore);
+    if (progress_callback_) {
+      for (const ScoredDocument& scored : heap) {
+        if (emitted.insert(scored.id).second) progress_callback_(scored);
+      }
     }
+    results = std::move(heap);
+  } else {
+    // ---- Anytime finalization (deadline expiry or explicit cancel):
+    // merge the verified heap, wave-verified-but-unconsumed exact
+    // distances, and the remaining candidates at their lower bounds,
+    // each annotated with a provable absolute error bound. Verified
+    // entries carry error_bound 0; an unverified candidate is reported
+    // at its lower bound L with error_bound U - L, where U sums, per
+    // uncovered concept pair (a, b), the valid-path distance cap
+    // depth(a) + depth(b) — a path up a's min-depth parent chain to the
+    // root and down to b always exists with that length.
+    stats_.truncated = true;
+    stats_.cancelled = stop == StopReason::kCancelled;
+    results = std::move(heap);
+    const double max_depth = static_cast<double>(onto.max_depth());
+    std::vector<double> origin_depth(n, 0.0);
+    double min_origin_depth = kInf;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      origin_depth[i] = static_cast<double>(onto.depth(origins[i]));
+      min_origin_depth = std::min(min_origin_depth, origin_depth[i]);
+    }
+    for (const auto& [doc, state] : ld) {
+      if (const auto memo = exact_memo.find(doc); memo != exact_memo.end()) {
+        results.push_back(ScoredDocument{doc, memo->second, 0.0});
+        continue;
+      }
+      double fwd_lower = state.fwd_sum;
+      double fwd_upper = state.fwd_sum;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if ((state.covered_bits[i >> 6] >> (i & 63)) & 1u) continue;
+        fwd_lower += weight_of[i] * finalize_next;
+        fwd_upper += weight_of[i] * (origin_depth[i] + max_depth);
+      }
+      double lower = fwd_lower;
+      double upper = fwd_upper;
+      if (sds) {
+        // A concept this document contains with no concept_level was
+        // never reached by any origin, so its reverse-side distance is
+        // at least finalize_next and at most the cheapest origin's
+        // root-path cap.
+        const double doc_weight = doc_total_weight.at(doc);
+        double rev_lower = state.rev_sum;
+        double rev_upper = state.rev_sum;
+        for (ConceptId c : corpus_->document(doc).concepts()) {
+          if (concept_level[c] != kLevelUnseen) continue;
+          const double w = doc_weights == nullptr ? 1.0 : doc_weights->of(c);
+          rev_lower += w * finalize_next;
+          rev_upper +=
+              w * (min_origin_depth + static_cast<double>(onto.depth(c)));
+        }
+        lower = fwd_lower / total_origin_weight + rev_lower / doc_weight;
+        upper = fwd_upper / total_origin_weight + rev_upper / doc_weight;
+      }
+      results.push_back(
+          ScoredDocument{doc, lower, std::max(0.0, upper - lower)});
+    }
+    // Untouched documents are not representable here (no per-document
+    // state to bound them with); a truncated result may therefore hold
+    // fewer than k entries.
+    std::sort(results.begin(), results.end(), ScoredBefore);
+    if (results.size() > k) results.resize(k);
   }
   for (const std::unique_ptr<Drc>& lane : lane_drcs) {
     drc_->MergeStatsFrom(lane->stats());
@@ -676,7 +820,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   stats_.total_seconds = total_timer.ElapsedSeconds();
   stats_.traversal_seconds =
       std::max(0.0, stats_.total_seconds - stats_.distance_seconds);
-  return heap;
+  return results;
 }
 
 }  // namespace ecdr::core

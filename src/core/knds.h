@@ -47,6 +47,8 @@
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
 #include "index/inverted_index.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -93,6 +95,34 @@ struct KndsOptions {
   /// ConceptPairCache from this block and hands them down; standalone
   /// Knds users pass a DdqMemo to the constructor themselves.
   CacheOptions cache;
+
+  /// Absolute wall-clock budget for one Search* call. On expiry the
+  /// search stops expanding and finalizes the anytime result (verified
+  /// exact distances plus lower bounds with per-result error bounds;
+  /// KndsStats::truncated is set). The default never expires and leaves
+  /// behavior bit-identical to a deadline-free build. Note the deadline
+  /// is absolute: long-lived engines must refresh it per query
+  /// (RankingEngine does, via SearchControl).
+  util::Deadline deadline;
+
+  /// Cooperative cancellation (unowned, may be null; the caller keeps
+  /// the token alive for the duration of the search). Checked at
+  /// traversal-loop, candidate-sweep, and thread-pool-task granularity;
+  /// observing a cancel triggers the same anytime finalization as a
+  /// deadline expiry.
+  const util::CancelToken* cancel_token = nullptr;
+
+  /// First rung of the degradation ladder: once this fraction of the
+  /// deadline budget has elapsed, the error gate escalates to
+  /// eps_theta = 1 (probe DRC at first touch), converting remaining
+  /// traversal time into verified exact distances before a hard
+  /// truncation can hit. Ignored without a deadline.
+  double escalate_error_threshold_after = 0.5;
+
+  /// Fault-injection hooks for robustness tests (unowned, may be null;
+  /// see util/fault_injector.h). Observed on every postings fetch and
+  /// DRC task; null costs nothing.
+  util::FaultInjector* fault_injector = nullptr;
 };
 
 struct KndsStats {
@@ -112,6 +142,14 @@ struct KndsStats {
   // stands in for one — but costs no DRC run.
   std::uint64_t ddq_memo_hits = 0;
   std::uint64_t ddq_memo_misses = 0;
+  // Anytime contract: true when the search stopped early (deadline or
+  // cancel) and the results were finalized from verified distances plus
+  // lower bounds. `cancelled` distinguishes an explicit cancel from a
+  // deadline expiry; `error_threshold_escalated` records that the first
+  // degradation rung (eps_theta -> 1) fired before any truncation.
+  bool truncated = false;
+  bool cancelled = false;
+  bool error_threshold_escalated = false;
   double traversal_seconds = 0.0;       // BFS + bookkeeping
   double distance_seconds = 0.0;        // DRC probes
   double total_seconds = 0.0;

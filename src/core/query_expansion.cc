@@ -75,6 +75,8 @@ util::StatusOr<std::vector<WeightedConcept>> ExpandQuery(
 
   std::vector<WeightedConcept> expanded;
   for (ConceptId source : query) {
+    ECDR_RETURN_IF_ERROR(util::CheckCancellation(
+        options.cancel_token, options.deadline, "query expansion"));
     expanded.push_back(WeightedConcept{source, 1.0});
     std::vector<std::pair<ConceptId, std::uint32_t>> reached;
     if (options.ancestors_only) {

@@ -22,6 +22,7 @@
 
 #include "core/concept_weights.h"
 #include "ontology/ontology.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace ecdr::core {
@@ -41,6 +42,14 @@ struct QueryExpansionOptions {
   /// "query generalization". Otherwise expansion follows all valid
   /// paths, reaching siblings and descendants too.
   bool ancestors_only = false;
+
+  /// Cooperative cancellation, polled once per source concept (a full
+  /// valid-path BFS each — the expensive unit). Expansion has no anytime
+  /// form: a stop returns kCancelled / kDeadlineExceeded, never a
+  /// partial query. `cancel_token` may be null; the default deadline
+  /// never expires.
+  const util::CancelToken* cancel_token = nullptr;
+  util::Deadline deadline;
 };
 
 /// Expands `query` over the ontology. The original concepts are always

@@ -1,5 +1,8 @@
 #include "core/ranking_engine.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "corpus/corpus_io.h"
 #include "ontology/ontology_io.h"
 
@@ -69,16 +72,97 @@ util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
   return added;
 }
 
+util::Deadline RankingEngine::EffectiveDeadline(
+    const SearchControl& control) const {
+  if (!control.deadline.IsInfinite() ||
+      options_.admission.default_deadline_seconds <= 0.0) {
+    return control.deadline;
+  }
+  return util::Deadline::After(options_.admission.default_deadline_seconds);
+}
+
+util::Status RankingEngine::AcquireSearchSlot(
+    const util::Deadline& deadline, const util::CancelToken* cancel) {
+  const AdmissionOptions& admission = options_.admission;
+  if (admission.max_in_flight == 0) return util::Status::Ok();
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (in_flight_ < admission.max_in_flight) {
+    ++in_flight_;
+    ++admitted_;
+    return util::Status::Ok();
+  }
+  if (queued_ >= admission.max_queued) {
+    ++rejected_;
+    return util::ResourceExhaustedError(
+        "engine saturated: " + std::to_string(in_flight_) +
+        " searches in flight, " + std::to_string(queued_) + " queued");
+  }
+  ++queued_;
+  while (in_flight_ >= admission.max_in_flight) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      --queued_;
+      ++abandoned_;
+      return util::CancelledError("cancelled while queued for admission");
+    }
+    if (deadline.Expired()) {
+      --queued_;
+      ++abandoned_;
+      return util::DeadlineExceededError(
+          "deadline expired while queued for admission");
+    }
+    // Bounded wait slices so a cancel (which nothing notifies on) is
+    // observed promptly even under an infinite deadline.
+    auto wake = util::Deadline::Clock::now() + std::chrono::milliseconds(50);
+    if (!deadline.IsInfinite()) wake = std::min(wake, deadline.time_point());
+    admission_cv_.wait_until(lock, wake);
+  }
+  --queued_;
+  ++in_flight_;
+  ++admitted_;
+  return util::Status::Ok();
+}
+
+void RankingEngine::ReleaseSearchSlot() {
+  if (options_.admission.max_in_flight == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --in_flight_;
+  }
+  admission_cv_.notify_one();
+}
+
+AdmissionStats RankingEngine::admission_stats() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  AdmissionStats stats;
+  stats.admitted = admitted_;
+  stats.rejected = rejected_;
+  stats.abandoned = abandoned_;
+  stats.in_flight = in_flight_;
+  stats.queued = queued_;
+  return stats;
+}
+
 template <typename SearchFn>
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
-    SearchFn&& search) {
+    const SearchControl& control, SearchFn&& search) {
+  // One deadline bounds the whole query: the admission wait consumes
+  // part of the budget, the search gets whatever remains.
+  const util::Deadline deadline = EffectiveDeadline(control);
+  ECDR_RETURN_IF_ERROR(AcquireSearchSlot(deadline, control.cancel_token));
+  struct SlotRelease {
+    RankingEngine* engine;
+    ~SlotRelease() { engine->ReleaseSearchSlot(); }
+  } release{this};
+
   std::shared_lock<std::shared_mutex> lock(mutex_);
   // Per-call engines: Drc and Knds hold per-query mutable state, so
   // concurrent readers each get their own (cheap — a few pointers) over
   // the shared corpus, index and frozen address cache.
+  KndsOptions per_call = options_.knds;
+  per_call.deadline = deadline;
+  per_call.cancel_token = control.cancel_token;
   Drc drc(*ontology_, addresses_.get());
-  Knds knds(*corpus_, *inverted_, &drc, options_.knds, pool_.get(),
-            &ddq_memo_);
+  Knds knds(*corpus_, *inverted_, &drc, per_call, pool_.get(), &ddq_memo_);
   util::StatusOr<std::vector<ScoredDocument>> result = search(&knds);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -88,12 +172,15 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevant(
-    std::span<const ontology::ConceptId> query, std::uint32_t k) {
-  return RunSearch([&](Knds* knds) { return knds->SearchRds(query, k); });
+    std::span<const ontology::ConceptId> query, std::uint32_t k,
+    const SearchControl& control) {
+  return RunSearch(control,
+                   [&](Knds* knds) { return knds->SearchRds(query, k); });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
-    std::span<const std::string_view> names, std::uint32_t k) {
+    std::span<const std::string_view> names, std::uint32_t k,
+    const SearchControl& control) {
   std::vector<ontology::ConceptId> query;
   query.reserve(names.size());
   for (std::string_view name : names) {
@@ -104,20 +191,22 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
     }
     query.push_back(id);
   }
-  return RunSearch([&](Knds* knds) { return knds->SearchRds(query, k); });
+  return RunSearch(control,
+                   [&](Knds* knds) { return knds->SearchRds(query, k); });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
 RankingEngine::FindRelevantWeighted(std::span<const WeightedConcept> query,
-                                    std::uint32_t k) {
+                                    std::uint32_t k,
+                                    const SearchControl& control) {
   return RunSearch(
-      [&](Knds* knds) { return knds->SearchRdsWeighted(query, k); });
+      control, [&](Knds* knds) { return knds->SearchRdsWeighted(query, k); });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindSimilar(
-    corpus::DocId doc, std::uint32_t k) {
-  return RunSearch([&](Knds* knds)
-                       -> util::StatusOr<std::vector<ScoredDocument>> {
+    corpus::DocId doc, std::uint32_t k, const SearchControl& control) {
+  return RunSearch(control, [&](Knds* knds)
+                                -> util::StatusOr<std::vector<ScoredDocument>> {
     // Range-check under the reader lock so a racing AddDocument cannot
     // invalidate the answer between check and search.
     if (doc >= corpus_->num_documents()) {
@@ -130,22 +219,24 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindSimilar(
 
 util::StatusOr<std::vector<ScoredDocument>>
 RankingEngine::FindSimilarToConcepts(
-    std::vector<ontology::ConceptId> concepts, std::uint32_t k) {
+    std::vector<ontology::ConceptId> concepts, std::uint32_t k,
+    const SearchControl& control) {
   const corpus::Document query_doc(std::move(concepts));
   if (query_doc.empty()) {
     return util::InvalidArgumentError("query document has no concepts");
   }
-  return RunSearch(
-      [&](Knds* knds) { return knds->SearchSds(query_doc, k); });
+  return RunSearch(control,
+                   [&](Knds* knds) { return knds->SearchSds(query_doc, k); });
 }
 
-util::StatusOr<double> RankingEngine::DocumentDistance(corpus::DocId a,
-                                                       corpus::DocId b) {
+util::StatusOr<double> RankingEngine::DocumentDistance(
+    corpus::DocId a, corpus::DocId b, const SearchControl& control) {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   if (a >= corpus_->num_documents() || b >= corpus_->num_documents()) {
     return util::OutOfRangeError("document id out of range");
   }
   Drc drc(*ontology_, addresses_.get());
+  drc.SetCancellation(control.cancel_token, EffectiveDeadline(control));
   return drc.DocDocDistance(corpus_->document(a).concepts(),
                             corpus_->document(b).concepts());
 }

@@ -22,6 +22,7 @@
 #ifndef ECDR_CORE_RANKING_ENGINE_H_
 #define ECDR_CORE_RANKING_ENGINE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -38,14 +39,54 @@
 #include "ontology/concept_pair_cache.h"
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ecdr::core {
 
+/// Overload behavior of one engine (DESIGN.md "Deadlines, degradation,
+/// and overload"). Admission control is off by default — every search
+/// runs immediately, exactly the pre-admission behavior.
+struct AdmissionOptions {
+  /// Searches allowed to execute concurrently; 0 disables admission
+  /// control entirely (no limits, no queue, no counters).
+  std::size_t max_in_flight = 0;
+
+  /// Searches allowed to wait for a slot when saturated. Arrivals beyond
+  /// this are shed immediately with kResourceExhausted — the queue is
+  /// bounded, never unbounded.
+  std::size_t max_queued = 0;
+
+  /// Deadline budget applied to any search whose SearchControl carries
+  /// none, bounding both the queue wait and the search itself. 0 = no
+  /// default budget.
+  double default_deadline_seconds = 0.0;
+};
+
+/// Per-query execution controls, passed alongside any Find* call. The
+/// default value (infinite deadline, no token) preserves historical
+/// behavior bit-for-bit.
+struct SearchControl {
+  util::Deadline deadline;
+  /// Unowned; must outlive the call. Cancelling finalizes the anytime
+  /// result (KndsStats::truncated) or aborts a queued admission wait.
+  const util::CancelToken* cancel_token = nullptr;
+};
+
+/// Admission counters; cumulative except the two gauges.
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   // shed with kResourceExhausted (queue full)
+  std::uint64_t abandoned = 0;  // left the queue on deadline/cancel
+  std::size_t in_flight = 0;    // gauge
+  std::size_t queued = 0;       // gauge
+};
+
 struct RankingEngineOptions {
   KndsOptions knds;
   ontology::AddressEnumeratorOptions addresses;
+  AdmissionOptions admission;
 
   /// Enumerate every concept's Dewey addresses at construction and
   /// freeze the cache, making address lookups lock-free for concurrent
@@ -76,28 +117,44 @@ class RankingEngine {
   util::StatusOr<corpus::DocId> AddDocument(
       std::vector<ontology::ConceptId> concepts);
 
+  // Every Find* accepts a SearchControl carrying the query's deadline
+  // budget and cancel token; the default control changes nothing. All
+  // Find* calls pass admission control first (when enabled): saturated
+  // engines queue up to max_queued waiters — bounded by the control's
+  // deadline — and shed everything beyond that with kResourceExhausted.
+
   /// RDS by concept ids.
   util::StatusOr<std::vector<ScoredDocument>> FindRelevant(
-      std::span<const ontology::ConceptId> query, std::uint32_t k);
+      std::span<const ontology::ConceptId> query, std::uint32_t k,
+      const SearchControl& control = {});
 
   /// RDS by concept names (convenience; fails on unknown names).
   util::StatusOr<std::vector<ScoredDocument>> FindRelevantByName(
-      std::span<const std::string_view> names, std::uint32_t k);
+      std::span<const std::string_view> names, std::uint32_t k,
+      const SearchControl& control = {});
 
   /// RDS with weighted / expanded queries.
   util::StatusOr<std::vector<ScoredDocument>> FindRelevantWeighted(
-      std::span<const WeightedConcept> query, std::uint32_t k);
+      std::span<const WeightedConcept> query, std::uint32_t k,
+      const SearchControl& control = {});
 
   /// SDS for a document already in the corpus.
-  util::StatusOr<std::vector<ScoredDocument>> FindSimilar(corpus::DocId doc,
-                                                          std::uint32_t k);
+  util::StatusOr<std::vector<ScoredDocument>> FindSimilar(
+      corpus::DocId doc, std::uint32_t k, const SearchControl& control = {});
 
   /// SDS for an external document (e.g. a patient not yet admitted).
   util::StatusOr<std::vector<ScoredDocument>> FindSimilarToConcepts(
-      std::vector<ontology::ConceptId> concepts, std::uint32_t k);
+      std::vector<ontology::ConceptId> concepts, std::uint32_t k,
+      const SearchControl& control = {});
 
-  /// Exact Ddd between two indexed documents.
-  util::StatusOr<double> DocumentDistance(corpus::DocId a, corpus::DocId b);
+  /// Exact Ddd between two indexed documents. Bypasses admission (a
+  /// single DRC probe, not a search) but honors the control through
+  /// Drc's cooperative cancellation.
+  util::StatusOr<double> DocumentDistance(corpus::DocId a, corpus::DocId b,
+                                          const SearchControl& control = {});
+
+  /// Admission counters (zeroes while admission control is disabled).
+  AdmissionStats admission_stats() const;
 
   const ontology::Ontology& ontology() const { return *ontology_; }
   const corpus::Corpus& corpus() const { return *corpus_; }
@@ -138,9 +195,22 @@ class RankingEngine {
  private:
   RankingEngine(ontology::Ontology ontology, Options options);
 
-  /// Runs `search` on a per-call Knds under the reader lock.
+  /// Runs `search` on a per-call Knds under the reader lock, after
+  /// passing admission control with the control's effective deadline.
   template <typename SearchFn>
-  util::StatusOr<std::vector<ScoredDocument>> RunSearch(SearchFn&& search);
+  util::StatusOr<std::vector<ScoredDocument>> RunSearch(
+      const SearchControl& control, SearchFn&& search);
+
+  /// The control's deadline, or a fresh default_deadline_seconds budget
+  /// when the control carries none.
+  util::Deadline EffectiveDeadline(const SearchControl& control) const;
+
+  /// Blocks until an execution slot is free (bounded by `deadline` and
+  /// `cancel`), or fails with kResourceExhausted / kDeadlineExceeded /
+  /// kCancelled. No-op when admission control is disabled.
+  util::Status AcquireSearchSlot(const util::Deadline& deadline,
+                                 const util::CancelToken* cancel);
+  void ReleaseSearchSlot();
 
   Options options_;
 
@@ -160,6 +230,15 @@ class RankingEngine {
   mutable std::shared_mutex mutex_;
   mutable std::mutex stats_mutex_;
   KndsStats last_knds_stats_;
+
+  // Admission control (all guarded by admission_mutex_).
+  mutable std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  std::size_t in_flight_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t abandoned_ = 0;
 };
 
 }  // namespace ecdr::core

@@ -12,6 +12,12 @@ namespace ecdr::core {
 struct ScoredDocument {
   corpus::DocId id = corpus::kInvalidDoc;
   double distance = 0.0;
+
+  /// Anytime contract (DESIGN.md "Deadlines, degradation, and overload"):
+  /// 0 for a verified exact distance. For unverified results returned
+  /// from a truncated search, `distance` is a proven lower bound and the
+  /// true distance lies in [distance, distance + error_bound].
+  double error_bound = 0.0;
 };
 
 /// Total order used everywhere: smaller distance first, doc id breaking

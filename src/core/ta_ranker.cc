@@ -109,6 +109,14 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
   std::size_t depth = 0;
   bool exhausted = false;
   while (!exhausted) {
+    // One poll per round: a round is the smallest unit whose omission
+    // keeps the already-pushed aggregates exact.
+    if ((options_.cancel_token != nullptr &&
+         options_.cancel_token->cancelled()) ||
+        options_.deadline.Expired()) {
+      last_stats_.truncated = true;
+      break;
+    }
     exhausted = true;
     // One round of sorted access: advance one position in each list.
     round.clear();

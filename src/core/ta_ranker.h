@@ -22,6 +22,7 @@
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
 #include "index/precomputed_postings.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -45,6 +46,14 @@ struct TaRankerOptions {
   /// with the double-valued RDS distances Knds / ExhaustiveRanker
   /// store; a hit skips the document's random accesses entirely.
   DdqMemo* ddq_memo = nullptr;
+
+  /// Cooperative cancellation, polled once per sorted-access round. On a
+  /// stop the ranker returns the best k of the documents aggregated so
+  /// far (each aggregate exact, but the threshold guarantee has not been
+  /// reached) and sets Stats::truncated. `cancel_token` may be null; the
+  /// default deadline never expires.
+  util::Deadline deadline;
+  const util::CancelToken* cancel_token = nullptr;
 };
 
 class TaRanker {
@@ -57,6 +66,7 @@ class TaRanker {
     std::uint64_t documents_scored = 0;
     std::uint64_t ddq_memo_hits = 0;
     std::uint64_t ddq_memo_misses = 0;
+    bool truncated = false;  // deadline/cancel stopped the rounds early
     double seconds = 0.0;
   };
 

@@ -1,5 +1,6 @@
 #include "corpus/corpus_io.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "util/binary_stream.h"
@@ -115,7 +116,10 @@ util::StatusOr<Corpus> LoadCorpusBinary(const ontology::Ontology& ontology,
                                         const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::IoError("cannot open '" + path + "' for reading");
-  util::BinaryReader reader(in);
+  // Same guard-clamping rationale as LoadOntologyBinary: a corrupt
+  // length prefix cannot out-allocate the file that carries it.
+  util::BinaryReader reader(
+      in, std::max<std::uint64_t>(64, util::StreamByteSize(in)));
   std::uint64_t magic = 0;
   ECDR_RETURN_IF_ERROR(reader.ReadU64(&magic));
   if (magic != kBinaryMagic) {

@@ -1,5 +1,6 @@
 #include "ontology/ontology_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -182,7 +183,11 @@ util::Status SaveOntologyBinary(const Ontology& ontology,
 util::StatusOr<Ontology> LoadOntologyBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::IoError("cannot open '" + path + "' for reading");
-  util::BinaryReader reader(in);
+  // Clamp the allocation guard to the file's actual size: no honest
+  // length prefix can exceed the bytes that follow it, so a corrupt
+  // prefix fails cleanly instead of attempting a multi-GiB resize.
+  util::BinaryReader reader(
+      in, std::max<std::uint64_t>(64, util::StreamByteSize(in)));
   std::uint64_t magic = 0;
   ECDR_RETURN_IF_ERROR(reader.ReadU64(&magic));
   if (magic != kBinaryMagic) {

@@ -67,6 +67,16 @@ Status BinaryReader::ReadString(std::string* out) {
   return ReadBytes(out->data(), size);
 }
 
+std::uint64_t StreamByteSize(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return UINT64_MAX;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) return UINT64_MAX;
+  return static_cast<std::uint64_t>(end - here);
+}
+
 Status BinaryReader::ReadU32Vector(std::vector<std::uint32_t>* out) {
   std::uint32_t size = 0;
   ECDR_RETURN_IF_ERROR(ReadU32(&size));

@@ -59,6 +59,13 @@ class BinaryReader {
   std::uint64_t max_allocation_;
 };
 
+/// Bytes remaining between the stream's current position and its end
+/// (position restored before returning). Loaders use this to clamp
+/// BinaryReader's allocation guard to the file's actual size, so a
+/// corrupt length prefix can never allocate more than the file could
+/// possibly hold. Returns UINT64_MAX when the stream is not seekable.
+std::uint64_t StreamByteSize(std::istream& in);
+
 }  // namespace ecdr::util
 
 #endif  // ECDR_UTIL_BINARY_STREAM_H_

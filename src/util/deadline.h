@@ -1,0 +1,109 @@
+// Wall-clock deadlines and cooperative cancellation for the serving path.
+//
+// A Deadline is an absolute steady_clock instant; the default-constructed
+// value is infinite, so plumbing one through options structs costs nothing
+// for callers that never set it. A CancelToken is a shared atomic flag the
+// owner (or a FaultInjector) flips to request that in-flight work stop at
+// its next check point. Both are designed for very frequent polling:
+// Expired() on an infinite deadline is one comparison, and cancelled() is
+// one relaxed-ish atomic load, so call sites can afford a check per
+// traversal step, per DRC sweep iteration, and per thread-pool task.
+//
+// Cancellation is cooperative everywhere: nothing is torn down forcibly.
+// Components that observe a stop either return kCancelled /
+// kDeadlineExceeded (loaders, Drc, QueryExpansion) or switch to their
+// anytime finalization path (Knds — see DESIGN.md "Deadlines, degradation,
+// and overload").
+
+#ifndef ECDR_UTIL_DEADLINE_H_
+#define ECDR_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "util/status.h"
+
+namespace ecdr::util {
+
+/// An absolute point in time after which work should stop. Copyable and
+/// cheap; the default value never expires.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : time_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now. Non-positive budgets are already expired.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.time_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline At(Clock::time_point time) {
+    Deadline d;
+    d.time_ = time;
+    return d;
+  }
+
+  bool IsInfinite() const { return time_ == Clock::time_point::max(); }
+
+  /// One comparison when infinite; one clock read otherwise.
+  bool Expired() const { return !IsInfinite() && Clock::now() >= time_; }
+
+  /// Seconds until expiry (negative once expired); +inf when infinite.
+  double RemainingSeconds() const {
+    if (IsInfinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(time_ - Clock::now()).count();
+  }
+
+  /// For condition-variable wait_until on admission queues.
+  Clock::time_point time_point() const { return time_; }
+
+ private:
+  Clock::time_point time_;
+};
+
+/// A cooperative cancellation flag. The owner keeps the token alive for
+/// the duration of the calls it is passed to; workers only ever read it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token; only safe between runs (tests reuse one token
+  /// across many injected-cancellation searches).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Status-producing poll used by components that propagate cancellation
+/// as an error (loaders, Drc, QueryExpansion). `token` may be null.
+inline Status CheckCancellation(const CancelToken* token,
+                                const Deadline& deadline, const char* what) {
+  if (token != nullptr && token->cancelled()) {
+    return CancelledError(std::string(what) + ": cancelled");
+  }
+  if (deadline.Expired()) {
+    return DeadlineExceededError(std::string(what) + ": deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_DEADLINE_H_

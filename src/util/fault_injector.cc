@@ -1,0 +1,14 @@
+#include "util/fault_injector.h"
+
+#include "util/timer.h"
+
+namespace ecdr::util {
+
+void FaultInjector::SpinFor(double seconds) {
+  if (seconds <= 0.0) return;
+  WallTimer timer;
+  while (timer.ElapsedSeconds() < seconds) {
+  }
+}
+
+}  // namespace ecdr::util

@@ -1,0 +1,120 @@
+// Deterministic fault injection for robustness tests and soak runs.
+//
+// A FaultInjector sits on the serving path's two hot hooks — postings
+// fetches and DRC distance computations — and, driven purely by
+// hash(seed, op_index), injects latency spikes and/or fires an attached
+// CancelToken when the global operation counter reaches a configured
+// value. Determinism: the decision for operation N depends only on the
+// seed and N, never on wall-clock time or thread interleaving, so a
+// serial run with a given seed always injects the same faults at the
+// same points. (Under multi-threaded waves the *assignment* of op
+// indices to operations can vary with scheduling; tests that need an
+// exact replay run serially.)
+//
+// Delays spin rather than sleep, matching the simulated-postings-access
+// cost model in KndsOptions, so sub-millisecond spikes are honored and
+// show up in wall-clock measurements.
+
+#ifndef ECDR_UTIL_FAULT_INJECTOR_H_
+#define ECDR_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/deadline.h"
+
+namespace ecdr::util {
+
+struct FaultInjectorOptions {
+  /// Seed for the per-operation hash; two injectors with the same seed
+  /// make identical decisions.
+  std::uint64_t seed = 0;
+
+  /// Probability ([0,1]) that a postings fetch is hit by a latency
+  /// spike of `postings_delay_seconds`.
+  double postings_delay_probability = 0.0;
+  double postings_delay_seconds = 0.0;
+
+  /// Probability ([0,1]) that a DRC distance task is hit by a latency
+  /// spike of `drc_delay_seconds`.
+  double drc_delay_probability = 0.0;
+  double drc_delay_seconds = 0.0;
+
+  /// Fires the attached CancelToken when the global operation counter
+  /// (postings fetches + DRC tasks, 1-based) reaches this value.
+  /// 0 disables injected cancellation.
+  std::uint64_t cancel_at_op = 0;
+
+  /// Test-only synchronization point: invoked on every postings fetch
+  /// (before any injected delay). Lets a test park a query at a known
+  /// point — e.g. to hold an admission-control slot deterministically —
+  /// by blocking inside the hook. Null = no hook.
+  std::function<void()> postings_hook;
+};
+
+/// Thread-safe: the op counter is atomic and decisions are pure
+/// functions of (seed, op), so concurrent DRC waves may share one
+/// injector.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options,
+                         CancelToken* token = nullptr)
+      : options_(std::move(options)), token_(token) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Hook for Knds postings fetches (one per concept visit).
+  void OnPostingsFetch() {
+    if (options_.postings_hook) options_.postings_hook();
+    const std::uint64_t op = NextOp();
+    if (Decide(op, options_.postings_delay_probability)) {
+      SpinFor(options_.postings_delay_seconds);
+    }
+  }
+
+  /// Hook for DRC exact-distance tasks (serial or wave lanes).
+  void OnDrcCall() {
+    const std::uint64_t op = NextOp();
+    if (Decide(op, options_.drc_delay_probability)) {
+      SpinFor(options_.drc_delay_seconds);
+    }
+  }
+
+  /// Operations observed so far (for calibrating cancel_at_op in tests).
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  /// Claims the next 1-based op index and fires injected cancellation.
+  std::uint64_t NextOp() {
+    const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.cancel_at_op != 0 && op >= options_.cancel_at_op &&
+        token_ != nullptr) {
+      token_->Cancel();
+    }
+    return op;
+  }
+
+  /// SplitMix64-style mix of (seed, op) mapped to [0, 1).
+  bool Decide(std::uint64_t op, double probability) const {
+    if (probability <= 0.0) return false;
+    std::uint64_t z = options_.seed + op * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53 < probability;
+  }
+
+  static void SpinFor(double seconds);
+
+  FaultInjectorOptions options_;
+  CancelToken* token_;
+  std::atomic<std::uint64_t> ops_{0};
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_FAULT_INJECTOR_H_

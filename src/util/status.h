@@ -23,6 +23,12 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  // Not a real code: one past the last valid value, so tests can
+  // enumerate every code and assert it has a stable name. Keep last.
+  kNumStatusCodes,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -67,6 +73,15 @@ inline Status InternalError(std::string message) {
 }
 inline Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 /// Either a T or a non-OK Status. Accessing value() on an error aborts.

@@ -53,10 +53,14 @@ void ThreadPool::WorkerLoop(std::size_t lane) {
 }
 
 void ThreadPool::ParallelFor(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    const CancelToken* cancel) {
   if (n == 0) return;
   if (threads_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, num_threads());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i, num_threads());
+    }
     return;
   }
 
@@ -69,6 +73,7 @@ void ThreadPool::ParallelFor(
   struct BatchState {
     const std::function<void(std::size_t, std::size_t)>* fn;
     std::size_t n;
+    const CancelToken* cancel;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex mutex;
@@ -77,6 +82,7 @@ void ThreadPool::ParallelFor(
   auto state = std::make_shared<BatchState>();
   state->fn = &fn;
   state->n = n;
+  state->cancel = cancel;
 
   const auto drain = [](const std::shared_ptr<BatchState>& batch,
                         std::size_t lane) {
@@ -84,7 +90,12 @@ void ThreadPool::ParallelFor(
       const std::size_t i =
           batch->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch->n) return;
-      (*batch->fn)(i, lane);
+      // A cancelled batch still claims every item (and counts it done,
+      // below) so the waiter's done == n condition holds; it just stops
+      // invoking fn, which is what makes the drain prompt.
+      if (batch->cancel == nullptr || !batch->cancel->cancelled()) {
+        (*batch->fn)(i, lane);
+      }
       if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           batch->n) {
         // The waiter checks `done` under the mutex; locking here closes

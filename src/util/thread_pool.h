@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace ecdr::util {
 
 class ThreadPool {
@@ -56,8 +58,15 @@ class ThreadPool {
   /// num_threads(). Safe from multiple threads concurrently; must not be
   /// called from inside a pool task (a worker waiting on its own pool
   /// can deadlock).
+  ///
+  /// When `cancel` is non-null and becomes cancelled mid-batch, the
+  /// remaining unclaimed items are drained without invoking fn, so the
+  /// batch unblocks promptly; items already running finish normally.
+  /// The caller cannot tell from ParallelFor alone which items ran —
+  /// fn must record its own completions when that matters.
   void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& fn);
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   const CancelToken* cancel = nullptr);
 
  private:
   void WorkerLoop(std::size_t lane);

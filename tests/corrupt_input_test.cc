@@ -1,0 +1,291 @@
+// Table-driven hardening tests: malformed ontology / corpus / OBO input
+// must come back as a Status — never a crash, hang, or multi-GiB
+// allocation. Each table row is one corruption; a few valid rows prove
+// the loaders still accept well-formed input (the tables would pass
+// vacuously if the loader rejected everything).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "ontology/obo_io.h"
+#include "ontology/ontology_builder.h"
+#include "ontology/ontology_io.h"
+#include "util/binary_stream.h"
+
+namespace ecdr {
+namespace {
+
+std::string WriteTempFile(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+struct TextCase {
+  const char* name;
+  const char* content;
+  bool expect_ok;
+};
+
+class OboCorruptionTest : public ::testing::TestWithParam<TextCase> {};
+
+TEST_P(OboCorruptionTest, LoadsOrFailsCleanly) {
+  const TextCase& test = GetParam();
+  const std::string path =
+      WriteTempFile(std::string("obo_") + test.name + ".obo", test.content);
+  const auto loaded = ontology::LoadOboOntology(path);
+  EXPECT_EQ(loaded.ok(), test.expect_ok)
+      << (loaded.ok() ? "unexpectedly accepted"
+                      : loaded.status().message());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corrupt, OboCorruptionTest,
+    ::testing::Values(
+        TextCase{"valid", "[Term]\nid: A\nname: a\n\n"
+                          "[Term]\nid: B\nname: b\nis_a: A\n",
+                 true},
+        TextCase{"two_node_cycle", "[Term]\nid: A\nis_a: B\n\n"
+                                   "[Term]\nid: B\nis_a: A\n",
+                 false},
+        TextCase{"cycle_beside_root", "[Term]\nid: A\n\n"
+                                      "[Term]\nid: B\nis_a: C\n\n"
+                                      "[Term]\nid: C\nis_a: B\n",
+                 false},
+        TextCase{"self_is_a", "[Term]\nid: A\nis_a: A\n", false},
+        TextCase{"unknown_is_a", "[Term]\nid: A\nis_a: NOPE\n", false},
+        TextCase{"obsolete_is_a",
+                 "[Term]\nid: A\n\n"
+                 "[Term]\nid: B\nis_obsolete: true\n\n"
+                 "[Term]\nid: C\nis_a: B\n",
+                 false},
+        TextCase{"stanza_without_id", "[Term]\nname: nameless\n", false},
+        TextCase{"duplicate_ids", "[Term]\nid: A\n\n[Term]\nid: A\n", false},
+        TextCase{"no_terms", "! just a comment\n[Typedef]\nid: part_of\n",
+                 false}),
+    [](const ::testing::TestParamInfo<TextCase>& info) {
+      return info.param.name;
+    });
+
+class OntologyTextCorruptionTest : public ::testing::TestWithParam<TextCase> {
+};
+
+TEST_P(OntologyTextCorruptionTest, LoadsOrFailsCleanly) {
+  const TextCase& test = GetParam();
+  const std::string path = WriteTempFile(
+      std::string("ontology_") + test.name + ".txt", test.content);
+  const auto loaded = ontology::LoadOntology(path);
+  EXPECT_EQ(loaded.ok(), test.expect_ok)
+      << (loaded.ok() ? "unexpectedly accepted"
+                      : loaded.status().message());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corrupt, OntologyTextCorruptionTest,
+    ::testing::Values(
+        TextCase{"valid",
+                 "ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 1\n0 1\n",
+                 true},
+        TextCase{"missing_header", "concepts 1\nroot\nedges 0\n", false},
+        TextCase{"bad_concept_count",
+                 "ecdr-ontology-v1\nconcepts lots\nroot\nedges 0\n", false},
+        TextCase{"truncated_names",
+                 "ecdr-ontology-v1\nconcepts 5\nroot\nchild\n", false},
+        TextCase{"missing_edge_count",
+                 "ecdr-ontology-v1\nconcepts 1\nroot\n", false},
+        TextCase{"truncated_edges",
+                 "ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 3\n0 1\n",
+                 false},
+        TextCase{"edge_out_of_range",
+                 "ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 1\n0 7\n",
+                 false},
+        TextCase{"self_edge",
+                 "ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 1\n1 1\n",
+                 false},
+        TextCase{"duplicate_edge",
+                 "ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 2\n"
+                 "0 1\n0 1\n",
+                 false},
+        TextCase{"cycle",
+                 "ecdr-ontology-v1\nconcepts 3\nroot\na\nb\nedges 3\n"
+                 "0 1\n1 2\n2 1\n",
+                 false},
+        TextCase{"synonym_out_of_range",
+                 "ecdr-ontology-v1\nconcepts 2\nroot\nchild\nedges 1\n0 1\n"
+                 "synonyms 1\n9 kid\n",
+                 false}),
+    [](const ::testing::TestParamInfo<TextCase>& info) {
+      return info.param.name;
+    });
+
+class CorpusTextCorruptionTest : public ::testing::TestWithParam<TextCase> {};
+
+TEST_P(CorpusTextCorruptionTest, LoadsOrFailsCleanly) {
+  ontology::OntologyBuilder builder;
+  const auto root = builder.AddConcept("root");
+  const auto child = builder.AddConcept("child");
+  ASSERT_TRUE(builder.AddEdge(root, child).ok());
+  const auto ontology = std::move(builder).Build();
+  ASSERT_TRUE(ontology.ok());
+
+  const TextCase& test = GetParam();
+  const std::string path =
+      WriteTempFile(std::string("corpus_") + test.name + ".txt", test.content);
+  const auto loaded = corpus::LoadCorpus(*ontology, path);
+  EXPECT_EQ(loaded.ok(), test.expect_ok)
+      << (loaded.ok() ? "unexpectedly accepted"
+                      : loaded.status().message());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corrupt, CorpusTextCorruptionTest,
+    ::testing::Values(
+        TextCase{"valid", "ecdr-corpus-v1\ndocuments 1\n2 0 1\n", true},
+        TextCase{"missing_header", "documents 1\n1 0\n", false},
+        TextCase{"count_mismatch_too_few",
+                 "ecdr-corpus-v1\ndocuments 3\n1 0\n", false},
+        TextCase{"length_mismatch", "ecdr-corpus-v1\ndocuments 1\n3 0 1\n",
+                 false},
+        TextCase{"bad_concept_token",
+                 "ecdr-corpus-v1\ndocuments 1\n1 banana\n", false},
+        TextCase{"concept_out_of_range",
+                 "ecdr-corpus-v1\ndocuments 1\n1 42\n", false},
+        TextCase{"empty_document", "ecdr-corpus-v1\ndocuments 1\n0\n", false}),
+    [](const ::testing::TestParamInfo<TextCase>& info) {
+      return info.param.name;
+    });
+
+// Binary corruptions are byte surgery on a valid file: flip the magic,
+// truncate mid-record, or plant an absurd length prefix. The loaders
+// must fail via Status without ballooning memory (the allocation guard
+// is clamped to the file's size).
+
+std::string ValidBinaryOntologyBytes() {
+  ontology::OntologyBuilder builder;
+  const auto root = builder.AddConcept("root");
+  const auto child = builder.AddConcept("child");
+  EXPECT_TRUE(builder.AddEdge(root, child).ok());
+  EXPECT_TRUE(builder.AddSynonym(child, "kid").ok());
+  auto built = std::move(builder).Build();
+  EXPECT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/ontology_donor.bin";
+  EXPECT_TRUE(ontology::SaveOntologyBinary(*built, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(BinaryOntologyCorruptionTest, TruncationAtEveryPrefixFailsCleanly) {
+  const std::string bytes = ValidBinaryOntologyBytes();
+  ASSERT_GT(bytes.size(), 16u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::string path = WriteTempFile("ontology_prefix.bin",
+                                           bytes.substr(0, len));
+    const auto loaded = ontology::LoadOntologyBinary(path);
+    EXPECT_FALSE(loaded.ok()) << "prefix length " << len;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(BinaryOntologyCorruptionTest, OversizedLengthPrefixFailsWithoutOom) {
+  std::string bytes = ValidBinaryOntologyBytes();
+  // The first string length prefix sits right after the u64 magic and
+  // u32 concept count. Overwrite it with ~4 GiB.
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[12] = static_cast<char>(0xFC);
+  bytes[13] = static_cast<char>(0xFF);
+  bytes[14] = static_cast<char>(0xFF);
+  bytes[15] = static_cast<char>(0xFF);
+  const std::string path = WriteTempFile("ontology_bigprefix.bin", bytes);
+  const auto loaded = ontology::LoadOntologyBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryOntologyCorruptionTest, BadMagicRejected) {
+  std::string bytes = ValidBinaryOntologyBytes();
+  bytes[0] ^= 0x5A;
+  const std::string path = WriteTempFile("ontology_badmagic.bin", bytes);
+  EXPECT_FALSE(ontology::LoadOntologyBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCorpusCorruptionTest, CorruptionsFailCleanly) {
+  ontology::OntologyBuilder builder;
+  const auto root = builder.AddConcept("root");
+  const auto child = builder.AddConcept("child");
+  ASSERT_TRUE(builder.AddEdge(root, child).ok());
+  const auto ontology = std::move(builder).Build();
+  ASSERT_TRUE(ontology.ok());
+  corpus::Corpus corpus(*ontology);
+  ASSERT_TRUE(corpus.AddDocument(corpus::Document({0, 1})).ok());
+  const std::string donor = ::testing::TempDir() + "/corpus_donor.bin";
+  ASSERT_TRUE(corpus::SaveCorpusBinary(corpus, donor).ok());
+  std::ifstream in(donor, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::remove(donor.c_str());
+  ASSERT_GT(bytes.size(), 16u);
+
+  // Every truncation point.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::string path =
+        WriteTempFile("corpus_prefix.bin", bytes.substr(0, len));
+    EXPECT_FALSE(corpus::LoadCorpusBinary(*ontology, path).ok())
+        << "prefix length " << len;
+    std::remove(path.c_str());
+  }
+  // Oversized vector length prefix (first document, right after the u64
+  // magic and u32 document count).
+  {
+    std::string mutated = bytes;
+    mutated[12] = static_cast<char>(0xFC);
+    mutated[13] = static_cast<char>(0xFF);
+    mutated[14] = static_cast<char>(0xFF);
+    mutated[15] = static_cast<char>(0xFF);
+    const std::string path = WriteTempFile("corpus_bigprefix.bin", mutated);
+    EXPECT_FALSE(corpus::LoadCorpusBinary(*ontology, path).ok());
+    std::remove(path.c_str());
+  }
+  // Out-of-range concept id inside the document payload.
+  {
+    std::string mutated = bytes;
+    mutated[16] = static_cast<char>(0xFF);
+    const std::string path = WriteTempFile("corpus_badconcept.bin", mutated);
+    EXPECT_FALSE(corpus::LoadCorpusBinary(*ontology, path).ok());
+    std::remove(path.c_str());
+  }
+  // The untouched donor still loads (byte surgery above hit real fields).
+  {
+    const std::string path = WriteTempFile("corpus_intact.bin", bytes);
+    EXPECT_TRUE(corpus::LoadCorpusBinary(*ontology, path).ok());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StreamByteSizeTest, ReportsRemainingBytes) {
+  const std::string path = WriteTempFile("bytesize.bin", "0123456789");
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_EQ(util::StreamByteSize(in), 10u);
+  char c = 0;
+  in.read(&c, 1);
+  EXPECT_EQ(util::StreamByteSize(in), 9u);
+  // The probe must not disturb the read position.
+  in.read(&c, 1);
+  EXPECT_EQ(c, '1');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ecdr

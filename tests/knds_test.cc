@@ -431,5 +431,80 @@ INSTANTIATE_TEST_SUITE_P(
         RandomWorldParam{211, 0.75, 1, true},
         RandomWorldParam{212, 0.9, 25, true}));
 
+// Anytime contract, progressive side: results emitted through the
+// progress callback before a cancellation fires must be a prefix of the
+// uncancelled run's emission sequence — cancellation may only cut the
+// stream short, never reorder or alter what was already final.
+TEST(KndsAnytimeTest, ProgressiveOutputUnderCancellationIsPrefix) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 350;
+  ontology_config.extra_parent_prob = 0.25;
+  ontology_config.seed = 901;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 80;
+  corpus_config.avg_concepts_per_doc = 10;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 902;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  AddressEnumerator enumerator(*ontology);
+  index::InvertedIndex index(*corpus);
+  const auto query = corpus::GenerateRdsQueries(*corpus, 1, 4, 903).front();
+  constexpr std::uint32_t kK = 8;
+
+  // Baseline: uncancelled run, recording the emission order and the
+  // total fault-injector op count so the sweep can cover every op.
+  std::vector<DocId> baseline;
+  std::uint64_t total_ops = 0;
+  {
+    util::FaultInjector injector({});
+    Drc drc(*ontology, &enumerator);
+    KndsOptions options;
+    options.fault_injector = &injector;
+    Knds knds(*corpus, index, &drc, options);
+    knds.set_progress_callback(
+        [&](const ScoredDocument& doc) { baseline.push_back(doc.id); });
+    ASSERT_TRUE(knds.SearchRds(query, kK).ok());
+    total_ops = injector.ops();
+  }
+  ASSERT_FALSE(baseline.empty());
+  ASSERT_GT(total_ops, 0u);
+
+  // Stride the sweep to ~50 cancellation points (dense early, where the
+  // candidate set is still forming) to keep the test fast.
+  const std::uint64_t step = std::max<std::uint64_t>(1, total_ops / 50);
+  for (std::uint64_t cancel_at = 1; cancel_at <= total_ops;
+       cancel_at += (cancel_at < 10 ? 1 : step)) {
+    util::CancelToken token;
+    util::FaultInjectorOptions fault_options;
+    fault_options.cancel_at_op = cancel_at;
+    util::FaultInjector injector(fault_options, &token);
+    Drc drc(*ontology, &enumerator);
+    KndsOptions options;
+    options.cancel_token = &token;
+    options.fault_injector = &injector;
+    Knds knds(*corpus, index, &drc, options);
+    std::vector<DocId> emitted;
+    knds.set_progress_callback(
+        [&](const ScoredDocument& doc) { emitted.push_back(doc.id); });
+    const auto results = knds.SearchRds(query, kK);
+    ASSERT_TRUE(results.ok()) << "cancel_at=" << cancel_at;
+    ASSERT_LE(emitted.size(), baseline.size()) << "cancel_at=" << cancel_at;
+    for (std::size_t i = 0; i < emitted.size(); ++i) {
+      EXPECT_EQ(emitted[i], baseline[i])
+          << "cancel_at=" << cancel_at << " position " << i;
+    }
+    // A truncated run reports it; an untruncated run matched baseline.
+    if (!knds.last_stats().truncated) {
+      EXPECT_EQ(emitted.size(), baseline.size())
+          << "cancel_at=" << cancel_at;
+    } else {
+      EXPECT_TRUE(knds.last_stats().cancelled) << "cancel_at=" << cancel_at;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ecdr::core

@@ -1,0 +1,465 @@
+// Deterministic fault-injection suite for the anytime serving path
+// (labelled `robustness`; runs under ASan+UBSan in CI). Three invariant
+// families:
+//
+//   (a) Runs that never hit a deadline or cancel are bit-identical to a
+//       plain run — at any thread count, with a live-but-idle cancel
+//       token, an infinite deadline, and injected latency spikes.
+//   (b) A truncated run says so (KndsStats::truncated), and every
+//       reported (distance, error_bound) pair brackets the true
+//       distance computed by the brute-force oracle. Fixing the
+//       injector's cancellation op makes truncated runs repeatable
+//       bit-for-bit.
+//   (d) Admission control sheds overload with kResourceExhausted and
+//       bounds queue waits by the query's deadline. ((c) — corrupt
+//       input — lives in corrupt_input_test.cc.)
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/knds.h"
+#include "core/ranking_engine.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/inverted_index.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::DocId;
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+
+struct World {
+  std::unique_ptr<ontology::Ontology> ontology;
+  std::unique_ptr<corpus::Corpus> corpus;
+  std::unique_ptr<AddressEnumerator> enumerator;
+  std::unique_ptr<index::InvertedIndex> index;
+  std::vector<ontology::ConceptId> query;
+  corpus::DocId sds_query = 0;
+};
+
+World MakeWorld(std::uint64_t seed) {
+  World world;
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 300;
+  ontology_config.extra_parent_prob = 0.25;
+  ontology_config.seed = seed;
+  auto ontology = ontology::GenerateOntology(ontology_config);
+  EXPECT_TRUE(ontology.ok());
+  world.ontology =
+      std::make_unique<ontology::Ontology>(std::move(ontology).value());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 60;
+  corpus_config.avg_concepts_per_doc = 10;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = seed + 1;
+  auto corpus = corpus::GenerateCorpus(*world.ontology, corpus_config);
+  EXPECT_TRUE(corpus.ok());
+  world.corpus = std::make_unique<corpus::Corpus>(std::move(corpus).value());
+  world.enumerator = std::make_unique<AddressEnumerator>(*world.ontology);
+  world.index = std::make_unique<index::InvertedIndex>(*world.corpus);
+  world.query =
+      corpus::GenerateRdsQueries(*world.corpus, 1, 4, seed + 2).front();
+  world.sds_query =
+      corpus::SampleQueryDocuments(*world.corpus, 1, seed + 3).front();
+  return world;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredDocument>& got,
+                        const std::vector<ScoredDocument>& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " position " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance)
+        << context << " position " << i;
+    EXPECT_EQ(got[i].error_bound, want[i].error_bound)
+        << context << " position " << i;
+  }
+}
+
+class RobustnessSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// (a) The deadline/cancellation/fault plumbing is inert until it fires:
+// a token that never cancels, an infinite deadline, injected latency
+// spikes, and 8-lane parallel verification all return the plain serial
+// run's results bit-for-bit.
+TEST_P(RobustnessSeedTest, UnfiredControlsAreBitIdenticalAtAnyThreadCount) {
+  const std::uint64_t seed = GetParam();
+  const World world = MakeWorld(seed);
+  constexpr std::uint32_t kK = 10;
+
+  std::vector<ScoredDocument> baseline_rds;
+  std::vector<ScoredDocument> baseline_sds;
+  {
+    Drc drc(*world.ontology, world.enumerator.get());
+    KndsOptions options;
+    options.num_threads = 1;
+    Knds knds(*world.corpus, *world.index, &drc, options);
+    auto rds = knds.SearchRds(world.query, kK);
+    ASSERT_TRUE(rds.ok());
+    baseline_rds = std::move(rds).value();
+    auto sds = knds.SearchSds(world.corpus->document(world.sds_query), kK);
+    ASSERT_TRUE(sds.ok());
+    baseline_sds = std::move(sds).value();
+  }
+  for (const ScoredDocument& scored : baseline_rds) {
+    EXPECT_EQ(scored.error_bound, 0.0);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    util::CancelToken token;  // Present but never cancelled.
+    util::FaultInjectorOptions fault_options;
+    fault_options.seed = seed;
+    fault_options.postings_delay_probability = 0.25;
+    fault_options.postings_delay_seconds = 2e-6;
+    fault_options.drc_delay_probability = 0.25;
+    fault_options.drc_delay_seconds = 2e-6;
+    util::FaultInjector injector(fault_options, &token);
+    Drc drc(*world.ontology, world.enumerator.get());
+    KndsOptions options;
+    options.num_threads = threads;
+    options.deadline = util::Deadline::Infinite();
+    options.cancel_token = &token;
+    options.fault_injector = &injector;
+    Knds knds(*world.corpus, *world.index, &drc, options);
+    const std::string context =
+        "seed=" + std::to_string(seed) + " threads=" + std::to_string(threads);
+    const auto rds = knds.SearchRds(world.query, kK);
+    ASSERT_TRUE(rds.ok()) << context;
+    EXPECT_FALSE(knds.last_stats().truncated) << context;
+    ExpectBitIdentical(*rds, baseline_rds, context + " rds");
+    const auto sds = knds.SearchSds(world.corpus->document(world.sds_query),
+                                    kK);
+    ASSERT_TRUE(sds.ok()) << context;
+    EXPECT_FALSE(knds.last_stats().truncated) << context;
+    ExpectBitIdentical(*sds, baseline_sds, context + " sds");
+  }
+}
+
+// (b) Truncated runs are honest: the reported interval
+// [distance, distance + error_bound] brackets the oracle's true
+// distance, verified entries (error_bound 0) match it exactly, and a
+// fixed cancellation op reproduces the run bit-for-bit.
+TEST_P(RobustnessSeedTest, TruncatedErrorBoundsDominateTrueError) {
+  const std::uint64_t seed = GetParam();
+  const World world = MakeWorld(seed);
+  constexpr std::uint32_t kK = 10;
+  constexpr double kEps = 1e-9;
+  ontology::DistanceOracle oracle(*world.ontology);
+
+  const bool sds = seed % 2 == 1;  // Alternate search mode across seeds.
+  const corpus::Document& query_doc = world.corpus->document(world.sds_query);
+
+  std::uint64_t total_ops = 0;
+  {
+    util::FaultInjector injector({});
+    Drc drc(*world.ontology, world.enumerator.get());
+    KndsOptions options;
+    options.fault_injector = &injector;
+    Knds knds(*world.corpus, *world.index, &drc, options);
+    ASSERT_TRUE((sds ? knds.SearchSds(query_doc, kK)
+                     : knds.SearchRds(world.query, kK))
+                    .ok());
+    total_ops = injector.ops();
+  }
+  ASSERT_GT(total_ops, 0u);
+  for (const std::uint64_t cancel_at :
+       {std::uint64_t{1}, total_ops / 4, total_ops / 2}) {
+    if (cancel_at == 0) continue;
+    const std::string context = "seed=" + std::to_string(seed) +
+                                " cancel_at=" + std::to_string(cancel_at);
+    const auto run = [&]() {
+      util::CancelToken token;
+      util::FaultInjectorOptions fault_options;
+      fault_options.cancel_at_op = cancel_at;
+      util::FaultInjector injector(fault_options, &token);
+      Drc drc(*world.ontology, world.enumerator.get());
+      KndsOptions options;
+      options.cancel_token = &token;
+      options.fault_injector = &injector;
+      Knds knds(*world.corpus, *world.index, &drc, options);
+      auto results = sds ? knds.SearchSds(query_doc, kK)
+                         : knds.SearchRds(world.query, kK);
+      EXPECT_TRUE(results.ok()) << context;
+      EXPECT_TRUE(knds.last_stats().truncated) << context;
+      EXPECT_TRUE(knds.last_stats().cancelled) << context;
+      return std::move(results).value();
+    };
+    const std::vector<ScoredDocument> first = run();
+    // Determinism: the same cancellation point reproduces the result.
+    ExpectBitIdentical(run(), first, context + " determinism");
+    for (const ScoredDocument& scored : first) {
+      const double truth =
+          sds ? oracle.DocDocDistance(
+                    query_doc.concepts(),
+                    world.corpus->document(scored.id).concepts())
+              : static_cast<double>(oracle.DocQueryDistance(
+                    world.corpus->document(scored.id).concepts(),
+                    world.query));
+      EXPECT_GE(scored.error_bound, 0.0) << context;
+      if (scored.error_bound == 0.0) {
+        EXPECT_NEAR(scored.distance, truth, kEps)
+            << context << " doc " << scored.id;
+      } else {
+        EXPECT_GE(truth, scored.distance - kEps)
+            << context << " doc " << scored.id;
+        EXPECT_LE(truth, scored.distance + scored.error_bound + kEps)
+            << context << " doc " << scored.id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessSeedTest,
+                         ::testing::Range(std::uint64_t{1100},
+                                          std::uint64_t{1122}));
+
+// (d) Admission control: a saturated engine sheds immediately with
+// kResourceExhausted when the queue is full, and a queued query whose
+// deadline lapses leaves with kDeadlineExceeded. The fault injector's
+// postings hook parks the first query mid-search so saturation is
+// deterministic on any machine.
+TEST(AdmissionControlTest, ShedsAndTimesOutUnderSaturation) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 200;
+  ontology_config.seed = 4242;
+  auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool release = false;
+  util::FaultInjectorOptions fault_options;
+  bool first_call = true;
+  fault_options.postings_hook = [&]() {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    if (!first_call) return;
+    first_call = false;
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  };
+  util::FaultInjector injector(fault_options);
+
+  RankingEngineOptions engine_options;
+  engine_options.knds.num_threads = 1;
+  engine_options.knds.fault_injector = &injector;
+  engine_options.admission.max_in_flight = 1;
+  engine_options.admission.max_queued = 1;
+  auto engine =
+      RankingEngine::Create(std::move(ontology).value(), engine_options);
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 40;
+  corpus_config.avg_concepts_per_doc = 8;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 4243;
+  const auto seed_corpus =
+      corpus::GenerateCorpus(engine->ontology(), corpus_config);
+  ASSERT_TRUE(seed_corpus.ok());
+  for (DocId d = 0; d < seed_corpus->num_documents(); ++d) {
+    const auto concepts = seed_corpus->document(d).concepts();
+    ASSERT_TRUE(engine->AddDocument({concepts.begin(), concepts.end()}).ok());
+  }
+  const std::vector<ConceptId> query =
+      corpus::GenerateRdsQueries(*seed_corpus, 1, 3, 4244).front();
+
+  // Query A enters and parks inside the postings hook, holding the one
+  // execution slot.
+  util::Status parked_status = util::Status::Ok();
+  std::thread parked([&] {
+    const auto results = engine->FindRelevant(query, 5);
+    parked_status = results.status();
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered; });
+  }
+  EXPECT_EQ(engine->admission_stats().in_flight, 1u);
+
+  // Query B occupies the single queue slot and times out waiting.
+  util::Status queued_status = util::Status::Ok();
+  std::thread queued([&] {
+    SearchControl control;
+    control.deadline = util::Deadline::After(0.4);
+    const auto results = engine->FindRelevant(query, 5, control);
+    queued_status = results.status();
+  });
+  // Wait until B is visibly queued, so C's rejection below is
+  // deterministic rather than racing B for the queue slot.
+  while (engine->admission_stats().queued == 0) {
+    std::this_thread::yield();
+  }
+
+  // Query C finds the queue full and is shed immediately.
+  const auto shed = engine->FindRelevant(query, 5);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), util::StatusCode::kResourceExhausted);
+
+  queued.join();
+  EXPECT_EQ(queued_status.code(), util::StatusCode::kDeadlineExceeded);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  parked.join();
+  EXPECT_TRUE(parked_status.ok()) << parked_status.ToString();
+
+  const AdmissionStats stats = engine->admission_stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+// A queued query whose cancel token fires abandons the wait with
+// kCancelled, and a slot freed while another query is queued admits it.
+TEST(AdmissionControlTest, QueuedQueryHonorsCancelAndAdmitsAfterRelease) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 150;
+  ontology_config.seed = 4343;
+  auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool release = false;
+  bool first_call = true;
+  util::FaultInjectorOptions fault_options;
+  fault_options.postings_hook = [&]() {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    if (!first_call) return;
+    first_call = false;
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  };
+  util::FaultInjector injector(fault_options);
+
+  RankingEngineOptions engine_options;
+  engine_options.knds.num_threads = 1;
+  engine_options.knds.fault_injector = &injector;
+  engine_options.admission.max_in_flight = 1;
+  engine_options.admission.max_queued = 2;
+  auto engine =
+      RankingEngine::Create(std::move(ontology).value(), engine_options);
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 30;
+  corpus_config.avg_concepts_per_doc = 8;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 4344;
+  const auto seed_corpus =
+      corpus::GenerateCorpus(engine->ontology(), corpus_config);
+  ASSERT_TRUE(seed_corpus.ok());
+  for (DocId d = 0; d < seed_corpus->num_documents(); ++d) {
+    const auto concepts = seed_corpus->document(d).concepts();
+    ASSERT_TRUE(engine->AddDocument({concepts.begin(), concepts.end()}).ok());
+  }
+  const std::vector<ConceptId> query =
+      corpus::GenerateRdsQueries(*seed_corpus, 1, 3, 4345).front();
+
+  util::Status parked_status = util::Status::Ok();
+  std::thread parked([&] {
+    const auto results = engine->FindRelevant(query, 5);
+    parked_status = results.status();
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered; });
+  }
+
+  // Queued query 1: cancelled while waiting.
+  util::CancelToken cancel;
+  util::Status cancelled_status = util::Status::Ok();
+  std::thread cancelled_thread([&] {
+    SearchControl control;
+    control.cancel_token = &cancel;
+    const auto results = engine->FindRelevant(query, 5, control);
+    cancelled_status = results.status();
+  });
+  // Queued query 2: survives until the slot frees, then completes.
+  util::Status admitted_status = util::Status::Ok();
+  std::thread admitted_thread([&] {
+    const auto results = engine->FindRelevant(query, 5);
+    admitted_status = results.status();
+  });
+  while (engine->admission_stats().queued < 2) {
+    std::this_thread::yield();
+  }
+
+  cancel.Cancel();
+  cancelled_thread.join();
+  EXPECT_EQ(cancelled_status.code(), util::StatusCode::kCancelled);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  parked.join();
+  admitted_thread.join();
+  EXPECT_TRUE(parked_status.ok()) << parked_status.ToString();
+  EXPECT_TRUE(admitted_status.ok()) << admitted_status.ToString();
+
+  const AdmissionStats stats = engine->admission_stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+// A default engine-level deadline budget applies to controls that carry
+// none: an absurdly small default truncates the search (anytime result,
+// not an error), and KndsStats reports it.
+TEST(AdmissionControlTest, DefaultDeadlineBudgetTruncatesSearches) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 400;
+  ontology_config.seed = 4444;
+  auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  RankingEngineOptions engine_options;
+  engine_options.knds.num_threads = 1;
+  // Make traversal slow enough that a microscopic budget always lapses
+  // mid-search, deterministically on any machine.
+  engine_options.knds.simulated_postings_access_seconds = 1e-4;
+  engine_options.admission.default_deadline_seconds = 1e-6;
+  auto engine =
+      RankingEngine::Create(std::move(ontology).value(), engine_options);
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 50;
+  corpus_config.avg_concepts_per_doc = 10;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 4445;
+  const auto seed_corpus =
+      corpus::GenerateCorpus(engine->ontology(), corpus_config);
+  ASSERT_TRUE(seed_corpus.ok());
+  for (DocId d = 0; d < seed_corpus->num_documents(); ++d) {
+    const auto concepts = seed_corpus->document(d).concepts();
+    ASSERT_TRUE(engine->AddDocument({concepts.begin(), concepts.end()}).ok());
+  }
+  const std::vector<ConceptId> query =
+      corpus::GenerateRdsQueries(*seed_corpus, 1, 3, 4446).front();
+  const auto results = engine->FindRelevant(query, 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(engine->last_search_stats().truncated);
+}
+
+}  // namespace
+}  // namespace ecdr::core

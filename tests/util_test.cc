@@ -192,5 +192,27 @@ TEST(TablePrinterTest, FormatHelpers) {
   EXPECT_EQ(TablePrinter::FormatSeconds(5e-6), "5.0 us");
 }
 
+TEST(StatusTest, EveryCodeHasAStableUniqueName) {
+  // Adding an enum value without a StatusCodeName case would silently
+  // log "UNKNOWN" in error output; catch that at the sentinel.
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(StatusCode::kNumStatusCodes); ++i) {
+    const std::string name = StatusCodeName(static_cast<StatusCode>(i));
+    EXPECT_NE(name, "UNKNOWN") << "code " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "code " << i << " reuses name '" << name << "'";
+  }
+  // The sentinel itself is not a real code.
+  EXPECT_EQ(StatusCodeName(StatusCode::kNumStatusCodes),
+            std::string("UNKNOWN"));
+}
+
+TEST(StatusTest, NewErrorHelpersCarryTheirCodes) {
+  EXPECT_EQ(CancelledError("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(DeadlineExceededError("d").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhaustedError("r").code(),
+            StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace ecdr::util

@@ -9,7 +9,10 @@
 //   ecdr_query --ontology onto.txt --corpus corpus.txt --doc 12 --k 5
 //
 // Optional: --eps 0.5 (error threshold), --baseline (cross-check against
-// the exhaustive ranker), --stats (print search statistics).
+// the exhaustive ranker), --stats (print search statistics),
+// --deadline_ms 50 (anytime mode: stop at the budget and report partial
+// results with per-result error bounds; see DESIGN.md "Deadlines,
+// degradation, and overload").
 
 #include <cstdio>
 #include <string>
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   const std::uint32_t doc_id = flags.GetUint32("doc", 0xFFFFFFFFu);
   const std::uint32_t k = flags.GetUint32("k", 10);
   const double eps = flags.GetDouble("eps", 0.5);
+  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   const bool run_baseline = flags.GetBool("baseline", false);
   const bool print_stats = flags.GetBool("stats", false);
   flags.CheckAllConsumed();
@@ -90,6 +94,9 @@ int main(int argc, char** argv) {
   ecdr::core::Drc drc(*ontology, &addresses);
   ecdr::core::KndsOptions options;
   options.error_threshold = eps;
+  if (deadline_ms > 0.0) {
+    options.deadline = ecdr::util::Deadline::After(deadline_ms / 1e3);
+  }
   ecdr::core::Knds knds(*corpus, inverted, &drc, options);
 
   const auto results = sds
@@ -99,9 +106,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s top-%u:\n", sds ? "SDS" : "RDS", k);
+  const bool truncated = knds.last_stats().truncated;
+  std::printf("%s top-%u%s:\n", sds ? "SDS" : "RDS", k,
+              truncated ? " (TRUNCATED at deadline; distances are lower "
+                          "bounds where error_bound > 0)"
+                        : "");
   for (const auto& result : *results) {
-    std::printf("  doc %-8u distance %.4f\n", result.id, result.distance);
+    if (truncated) {
+      std::printf("  doc %-8u distance %.4f  error_bound %.4f\n", result.id,
+                  result.distance, result.error_bound);
+    } else {
+      std::printf("  doc %-8u distance %.4f\n", result.id, result.distance);
+    }
   }
   if (print_stats) {
     const auto& stats = knds.last_stats();
@@ -117,7 +133,11 @@ int main(int argc, char** argv) {
         stats.total_seconds * 1e3, stats.traversal_seconds * 1e3,
         stats.distance_seconds * 1e3);
   }
-  if (run_baseline) {
+  if (run_baseline && truncated) {
+    // A truncated run is allowed to disagree with the exhaustive ranker;
+    // its contract is the error bounds, not exactness.
+    std::printf("exhaustive cross-check: skipped (truncated result)\n");
+  } else if (run_baseline) {
     ecdr::core::ExhaustiveRanker baseline(*corpus, &drc);
     const auto check = sds
                            ? baseline.TopKSimilar(corpus->document(doc_id), k)
