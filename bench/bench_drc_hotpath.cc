@@ -1,0 +1,215 @@
+// DRC hot-path microbenchmark: ns/distance, allocations/distance, and
+// the build-vs-sweep split for exact Ddq/Ddd calls on the generated
+// SNOMED-like testbed (PATIENT corpus, Section 6.1 filters). This is
+// the referee for the allocation-free DRC data path: steady-state calls
+// on a warm engine must report 0 allocations/distance, and the ns/
+// distance trend across PRs is tracked via BENCH_drc_hotpath.json.
+//
+// The allocation numbers come from the counting operator-new hook in
+// util/alloc_counter.h, compiled into this binary only (see
+// ECDR_ALLOC_COUNTER_DEFINE_NEW below). `--smoke` runs a bounded
+// workload so CI can keep the binary from rotting.
+
+#define ECDR_ALLOC_COUNTER_DEFINE_NEW
+#include "util/alloc_counter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/drc.h"
+#include "corpus/query_gen.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using ecdr::util::TablePrinter;
+
+constexpr std::uint32_t kDefaultNq = 5;
+
+struct Row {
+  std::string workload;
+  std::uint64_t calls = 0;
+  double ns_per_distance = 0.0;
+  double allocs_per_distance = 0.0;
+  double bytes_per_distance = 0.0;
+  double build_fraction = 0.0;  // Gather + insert, of total call time.
+  double tune_fraction = 0.0;   // The two sweeps, of total call time.
+  double eval_fraction = 0.0;   // Remainder: lookups + summing.
+  double checksum = 0.0;        // Anti-DCE; also a cross-PR invariant.
+};
+
+struct Workload {
+  std::string name;
+  // Each pair is (doc concepts, query concepts); ddq sums, ddd averages.
+  std::vector<std::pair<std::span<const ecdr::ontology::ConceptId>,
+                        std::span<const ecdr::ontology::ConceptId>>>
+      pairs;
+  bool doc_doc = false;
+};
+
+Row MeasureWorkload(ecdr::core::Drc* drc, const Workload& workload,
+                    std::uint32_t repetitions) {
+  // Warm-up: two full passes grow every scratch buffer to its high-water
+  // mark, after which the steady state must not allocate.
+  double checksum = 0.0;
+  for (int warm = 0; warm < 2; ++warm) {
+    for (const auto& [doc, query] : workload.pairs) {
+      if (workload.doc_doc) {
+        const auto d = drc->DocDocDistance(doc, query);
+        ECDR_CHECK(d.ok());
+        checksum += *d;
+      } else {
+        const auto d = drc->DocQueryDistance(doc, query);
+        ECDR_CHECK(d.ok());
+        checksum += static_cast<double>(*d);
+      }
+    }
+  }
+
+  drc->ResetStats();
+  checksum = 0.0;
+  const ecdr::util::AllocationTally tally;
+  ecdr::util::WallTimer timer;
+  for (std::uint32_t rep = 0; rep < repetitions; ++rep) {
+    for (const auto& [doc, query] : workload.pairs) {
+      if (workload.doc_doc) {
+        const auto d = drc->DocDocDistance(doc, query);
+        ECDR_CHECK(d.ok());
+        checksum += *d;
+      } else {
+        const auto d = drc->DocQueryDistance(doc, query);
+        ECDR_CHECK(d.ok());
+        checksum += static_cast<double>(*d);
+      }
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  const std::uint64_t allocations = tally.allocations();
+  const std::uint64_t bytes = tally.bytes();
+
+  Row row;
+  row.workload = workload.name;
+  row.calls = static_cast<std::uint64_t>(repetitions) * workload.pairs.size();
+  ECDR_CHECK_GT(row.calls, 0u);
+  const double calls = static_cast<double>(row.calls);
+  row.ns_per_distance = elapsed * 1e9 / calls;
+  row.allocs_per_distance = static_cast<double>(allocations) / calls;
+  row.bytes_per_distance = static_cast<double>(bytes) / calls;
+  const ecdr::core::Drc::Stats& stats = drc->stats();
+  if (elapsed > 0.0) {
+    row.build_fraction = stats.build_seconds / elapsed;
+    row.tune_fraction = stats.tune_seconds / elapsed;
+    row.eval_fraction =
+        std::max(0.0, 1.0 - row.build_fraction - row.tune_fraction);
+  }
+  row.checksum = checksum;
+  return row;
+}
+
+void WriteJson(const std::vector<Row>& rows, double scale,
+               std::uint32_t num_concepts, bool smoke, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  std::fprintf(file, "{\n  \"benchmark\": \"drc_hotpath\",\n");
+  std::fprintf(file, "  \"scale\": %.4f,\n  \"num_concepts\": %u,\n", scale,
+               num_concepts);
+  std::fprintf(file, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        file,
+        "    {\"workload\": \"%s\", \"calls\": %llu, "
+        "\"ns_per_distance\": %.1f, \"allocs_per_distance\": %.3f, "
+        "\"bytes_per_distance\": %.1f, \"build_fraction\": %.3f, "
+        "\"tune_fraction\": %.3f, \"eval_fraction\": %.3f, "
+        "\"checksum\": %.4f}%s\n",
+        row.workload.c_str(), static_cast<unsigned long long>(row.calls),
+        row.ns_per_distance, row.allocs_per_distance, row.bytes_per_distance,
+        row.build_fraction, row.tune_fraction, row.eval_fraction, row.checksum,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint32_t pairs = smoke ? 8 : 64;
+  const std::uint32_t repetitions = smoke ? 2 : 20;
+
+  ecdr::bench::Testbed testbed =
+      ecdr::bench::BuildTestbed(scale, /*include_patient=*/true,
+                                /*include_radio=*/false);
+  ecdr::bench::PrintTestbedBanner(
+      "DRC hot path: ns/distance, allocations/distance, build-vs-sweep "
+      "split (exact Ddq/Ddd, warm engine)",
+      testbed, scale, pairs);
+
+  // Serving mode: frozen address cache, one engine reused across calls.
+  ecdr::ontology::AddressEnumerator enumerator(*testbed.ontology);
+  enumerator.PrecomputeAll();
+  ecdr::core::Drc drc(*testbed.ontology, &enumerator);
+
+  const ecdr::corpus::Corpus& corpus = *testbed.patient.corpus;
+  ECDR_CHECK_GT(corpus.num_documents(), 1u);
+  const auto rds_queries =
+      ecdr::corpus::GenerateRdsQueries(corpus, pairs, kDefaultNq, 900);
+
+  Workload ddq;
+  ddq.name = "ddq";
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    const ecdr::corpus::DocId doc = i % corpus.num_documents();
+    ddq.pairs.emplace_back(corpus.document(doc).concepts(),
+                           std::span<const ecdr::ontology::ConceptId>(
+                               rds_queries[i]));
+  }
+  Workload ddd;
+  ddd.name = "ddd";
+  ddd.doc_doc = true;
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    const ecdr::corpus::DocId a = i % corpus.num_documents();
+    const ecdr::corpus::DocId b =
+        (i * 7 + 1) % corpus.num_documents() == a
+            ? (a + 1) % corpus.num_documents()
+            : (i * 7 + 1) % corpus.num_documents();
+    ddd.pairs.emplace_back(corpus.document(a).concepts(),
+                           corpus.document(b).concepts());
+  }
+
+  std::vector<Row> rows;
+  rows.push_back(MeasureWorkload(&drc, ddq, repetitions));
+  rows.push_back(MeasureWorkload(&drc, ddd, repetitions));
+
+  TablePrinter table({"workload", "calls", "ns/dist", "allocs/dist",
+                      "bytes/dist", "build", "tune", "eval"});
+  for (const Row& row : rows) {
+    table.AddRow({row.workload, std::to_string(row.calls),
+                  TablePrinter::FormatDouble(row.ns_per_distance, 1),
+                  TablePrinter::FormatDouble(row.allocs_per_distance, 3),
+                  TablePrinter::FormatDouble(row.bytes_per_distance, 1),
+                  TablePrinter::FormatDouble(row.build_fraction * 100.0, 1) +
+                      "%",
+                  TablePrinter::FormatDouble(row.tune_fraction * 100.0, 1) +
+                      "%",
+                  TablePrinter::FormatDouble(row.eval_fraction * 100.0, 1) +
+                      "%"});
+  }
+  table.Print(std::cout);
+
+  WriteJson(rows, scale, testbed.ontology->num_concepts(), smoke,
+            "BENCH_drc_hotpath.json");
+  std::printf("\nwrote BENCH_drc_hotpath.json\n");
+  return 0;
+}

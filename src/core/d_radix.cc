@@ -6,28 +6,48 @@
 
 namespace ecdr::core {
 
-DRadixDag::DRadixDag(const ontology::Ontology& ontology)
-    : ontology_(&ontology) {
-  Node root;
-  root.concept_id = ontology.root();
-  nodes_.push_back(std::move(root));
-  node_index_.emplace(ontology.root(), 0);
-}
+void DRadixDag::Reset(const ontology::Ontology& ontology) {
+  ontology_ = &ontology;
+  concept_ids_.clear();
+  flags_.clear();
+  dist_to_doc_.clear();
+  dist_to_query_.clear();
+  in_degree_.clear();
+  first_edge_.clear();
+  edges_.clear();
+  num_live_edges_ = 0;
+  label_components_.clear();
 
-DRadixDag::NodeIndex DRadixDag::FindNode(ontology::ConceptId concept_id) const {
-  const auto it = node_index_.find(concept_id);
-  return it == node_index_.end() ? kInvalidNode : it->second;
+  if (concept_node_.size() != ontology.num_concepts()) {
+    concept_node_.assign(ontology.num_concepts(), kInvalidNode);
+    concept_epoch_.assign(ontology.num_concepts(), 0);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {
+    // Epoch wrapped: stale stamps could collide, so clear them once
+    // every 2^32 resets.
+    std::fill(concept_epoch_.begin(), concept_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  (void)NodeFor(ontology.root());
 }
 
 DRadixDag::NodeIndex DRadixDag::NodeFor(ontology::ConceptId concept_id) {
-  const auto [it, inserted] =
-      node_index_.emplace(concept_id, static_cast<NodeIndex>(nodes_.size()));
-  if (inserted) {
-    Node node;
-    node.concept_id = concept_id;
-    nodes_.push_back(std::move(node));
+  ECDR_DCHECK_LT(concept_id, concept_node_.size());
+  if (concept_epoch_[concept_id] == epoch_) {
+    return concept_node_[concept_id];
   }
-  return it->second;
+  const NodeIndex index = static_cast<NodeIndex>(concept_ids_.size());
+  concept_epoch_[concept_id] = epoch_;
+  concept_node_[concept_id] = index;
+  concept_ids_.push_back(concept_id);
+  flags_.push_back(0);
+  dist_to_doc_.push_back(kUnreachable);
+  dist_to_query_.push_back(kUnreachable);
+  in_degree_.push_back(0);
+  first_edge_.push_back(kNilEdge);
+  return index;
 }
 
 ontology::ConceptId DRadixDag::ResolveRelative(
@@ -44,70 +64,76 @@ ontology::ConceptId DRadixDag::ResolveRelative(
   return current;
 }
 
-void DRadixDag::AddEdgeRaw(NodeIndex parent, std::vector<std::uint32_t> label,
-                           NodeIndex target) {
-  ECDR_DCHECK(!label.empty());
+void DRadixDag::AddEdgeRaw(NodeIndex parent, std::uint32_t label_offset,
+                           std::uint32_t length, NodeIndex target) {
+  ECDR_DCHECK_GT(length, 0u);
   ECDR_DCHECK_NE(parent, target);
-  nodes_[parent].children.push_back(Edge{std::move(label), target});
-  ++nodes_[target].in_degree;
-  ++num_edges_;
+  const std::uint32_t slot = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(EdgeRec{label_offset, length, target, first_edge_[parent]});
+  first_edge_[parent] = slot;
+  ++in_degree_[target];
+  ++num_live_edges_;
 }
 
-DRadixDag::Edge DRadixDag::DetachEdge(NodeIndex parent,
-                                      std::size_t edge_position) {
-  auto& children = nodes_[parent].children;
-  ECDR_DCHECK_LT(edge_position, children.size());
-  Edge detached = std::move(children[edge_position]);
-  children.erase(children.begin() + static_cast<long>(edge_position));
-  --nodes_[detached.target].in_degree;
-  --num_edges_;
+DRadixDag::EdgeRec DRadixDag::DetachEdge(NodeIndex parent, std::uint32_t prev,
+                                         std::uint32_t e) {
+  const EdgeRec detached = edges_[e];
+  if (prev == kNilEdge) {
+    first_edge_[parent] = detached.next;
+  } else {
+    edges_[prev].next = detached.next;
+  }
+  --in_degree_[detached.target];
+  --num_live_edges_;
   return detached;
 }
 
-void DRadixDag::AttachEdge(NodeIndex parent, std::vector<std::uint32_t> label,
-                           NodeIndex target) {
-  ECDR_DCHECK(!label.empty());
+void DRadixDag::AttachEdge(NodeIndex parent, std::uint32_t label_offset,
+                           std::uint32_t length, NodeIndex target) {
+  ECDR_DCHECK_GT(length, 0u);
+  const std::uint32_t first_component = label_components_[label_offset];
   // At most one sibling edge can share the first component (radix
   // invariant, maintained inductively by the splits below).
-  std::size_t share_position = nodes_[parent].children.size();
-  for (std::size_t i = 0; i < nodes_[parent].children.size(); ++i) {
-    if (nodes_[parent].children[i].label.front() == label.front()) {
-      share_position = i;
-      break;
-    }
+  std::uint32_t prev = kNilEdge;
+  std::uint32_t e = first_edge_[parent];
+  while (e != kNilEdge &&
+         label_components_[edges_[e].label_offset] != first_component) {
+    prev = e;
+    e = edges_[e].next;
   }
-  if (share_position == nodes_[parent].children.size()) {
-    AddEdgeRaw(parent, std::move(label), target);
+  if (e == kNilEdge) {
+    AddEdgeRaw(parent, label_offset, length, target);
     return;
   }
 
-  const Edge& shared = nodes_[parent].children[share_position];
-  const std::size_t lcp = ontology::DeweyCommonPrefix(label, shared.label);
+  // Copy the record: AddEdgeRaw below may reallocate edges_.
+  const EdgeRec shared = edges_[e];
+  const std::uint32_t lcp = static_cast<std::uint32_t>(
+      ontology::DeweyCommonPrefix(
+          {label_components_.data() + label_offset, length},
+          LabelOf(shared)));
   ECDR_DCHECK_GE(lcp, 1u);
 
-  if (lcp == shared.label.size() && lcp == label.size()) {
+  if (lcp == shared.label_length && lcp == length) {
     // The address is already fully represented; by determinism of Dewey
     // resolution the existing edge must lead to the same concept.
     ECDR_CHECK_EQ(shared.target, target);
     return;
   }
 
-  if (lcp == shared.label.size()) {
+  if (lcp == shared.label_length) {
     // `label` extends the existing edge: descend with the remainder.
-    const NodeIndex next = shared.target;
-    label.erase(label.begin(), label.begin() + static_cast<long>(lcp));
-    AttachEdge(next, std::move(label), target);
+    AttachEdge(shared.target, label_offset + lcp, length - lcp, target);
     return;
   }
 
-  if (lcp == label.size()) {
+  if (lcp == length) {
     // `target` sits in the middle of the existing edge: splice it in.
-    Edge detached = DetachEdge(parent, share_position);
-    std::vector<std::uint32_t> rest(
-        detached.label.begin() + static_cast<long>(lcp),
-        detached.label.end());
-    AddEdgeRaw(parent, std::move(label), target);
-    AttachEdge(target, std::move(rest), detached.target);
+    // The detached remainder is a suffix run of the same address.
+    (void)DetachEdge(parent, prev, e);
+    AddEdgeRaw(parent, label_offset, length, target);
+    AttachEdge(target, shared.label_offset + lcp, shared.label_length - lcp,
+               shared.target);
     return;
   }
 
@@ -115,147 +141,164 @@ void DRadixDag::AttachEdge(NodeIndex parent, std::vector<std::uint32_t> label,
   // That concept may already exist elsewhere in the DAG (an alternative
   // Dewey address of it) — NodeFor reuses it, which is exactly what
   // makes this a DAG rather than a tree.
-  std::vector<std::uint32_t> prefix(label.begin(),
-                                    label.begin() + static_cast<long>(lcp));
-  const ontology::ConceptId mid_concept =
-      ResolveRelative(nodes_[parent].concept_id, prefix);
+  const ontology::ConceptId mid_concept = ResolveRelative(
+      concept_ids_[parent], {label_components_.data() + label_offset, lcp});
   ECDR_CHECK_NE(mid_concept, ontology::kInvalidConcept);
   const NodeIndex mid = NodeFor(mid_concept);
   ECDR_DCHECK_NE(mid, parent);
   ECDR_DCHECK_NE(mid, target);
 
-  Edge detached = DetachEdge(parent, share_position);
-  std::vector<std::uint32_t> shared_rest(
-      detached.label.begin() + static_cast<long>(lcp), detached.label.end());
-  std::vector<std::uint32_t> label_rest(
-      label.begin() + static_cast<long>(lcp), label.end());
-  AddEdgeRaw(parent, std::move(prefix), mid);
-  AttachEdge(mid, std::move(shared_rest), detached.target);
-  AttachEdge(mid, std::move(label_rest), target);
+  (void)DetachEdge(parent, prev, e);
+  AddEdgeRaw(parent, label_offset, lcp, mid);
+  AttachEdge(mid, shared.label_offset + lcp, shared.label_length - lcp,
+             shared.target);
+  AttachEdge(mid, label_offset + lcp, length - lcp, target);
 }
 
 void DRadixDag::InsertAddress(ontology::ConceptId concept_id,
                               std::span<const std::uint32_t> address,
                               bool in_doc, bool in_query) {
+  ECDR_DCHECK(ontology_ != nullptr);
   ECDR_DCHECK_EQ(ResolveRelative(ontology_->root(), address), concept_id);
+  const std::uint8_t new_flags = static_cast<std::uint8_t>(
+      (in_doc ? kInDocFlag : 0) | (in_query ? kInQueryFlag : 0));
   if (address.empty()) {
     ECDR_CHECK_EQ(concept_id, ontology_->root());
-    nodes_[0].in_doc |= in_doc;
-    nodes_[0].in_query |= in_query;
+    flags_[0] |= new_flags;
     return;
   }
   const NodeIndex target = NodeFor(concept_id);
-  AttachEdge(root(), {address.begin(), address.end()}, target);
-  nodes_[target].in_doc |= in_doc;
-  nodes_[target].in_query |= in_query;
+  // Copy the address into the arena once; every label this insertion
+  // produces (including splits) is a subrange of this run.
+  ECDR_DCHECK_LE(label_components_.size() + address.size(), 0xFFFFFFFFull);
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>(label_components_.size());
+  label_components_.insert(label_components_.end(), address.begin(),
+                           address.end());
+  AttachEdge(root(), offset, static_cast<std::uint32_t>(address.size()),
+             target);
+  flags_[target] |= new_flags;
 }
 
-std::vector<DRadixDag::NodeIndex> DRadixDag::TopologicalOrder() const {
-  std::vector<std::uint32_t> pending(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    pending[i] = nodes_[i].in_degree;
-  }
-  std::vector<NodeIndex> order;
-  order.reserve(nodes_.size());
-  ECDR_CHECK_EQ(pending[0], 0u);  // The root has no parents.
-  order.push_back(0);
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    for (const Edge& edge : nodes_[order[head]].children) {
-      if (--pending[edge.target] == 0) order.push_back(edge.target);
+void DRadixDag::BuildTopologicalOrder() const {
+  topo_pending_.assign(in_degree_.begin(), in_degree_.end());
+  topo_order_.clear();
+  topo_order_.reserve(concept_ids_.size());
+  ECDR_CHECK_EQ(topo_pending_[0], 0u);  // The root has no parents.
+  topo_order_.push_back(0);
+  for (std::size_t head = 0; head < topo_order_.size(); ++head) {
+    for (std::uint32_t e = first_edge_[topo_order_[head]]; e != kNilEdge;
+         e = edges_[e].next) {
+      if (--topo_pending_[edges_[e].target] == 0) {
+        topo_order_.push_back(edges_[e].target);
+      }
     }
   }
-  ECDR_CHECK_EQ(order.size(), nodes_.size());
-  return order;
+  ECDR_CHECK_EQ(topo_order_.size(), concept_ids_.size());
 }
 
 void DRadixDag::TuneDistances() {
-  for (Node& node : nodes_) {
-    node.dist_to_doc = node.in_doc ? 0 : kUnreachable;
-    node.dist_to_query = node.in_query ? 0 : kUnreachable;
+  const std::size_t n = concept_ids_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    dist_to_doc_[i] = (flags_[i] & kInDocFlag) != 0 ? 0 : kUnreachable;
+    dist_to_query_[i] = (flags_[i] & kInQueryFlag) != 0 ? 0 : kUnreachable;
   }
-  const std::vector<NodeIndex> order = TopologicalOrder();
+  BuildTopologicalOrder();
   // Bottom-up sweep (reverse topological): pull distances from children.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node& node = nodes_[*it];
-    for (const Edge& edge : node.children) {
-      const Node& child = nodes_[edge.target];
-      node.dist_to_doc =
-          std::min(node.dist_to_doc, child.dist_to_doc + edge.length());
-      node.dist_to_query =
-          std::min(node.dist_to_query, child.dist_to_query + edge.length());
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const NodeIndex index = *it;
+    std::uint32_t doc = dist_to_doc_[index];
+    std::uint32_t query = dist_to_query_[index];
+    for (std::uint32_t e = first_edge_[index]; e != kNilEdge;
+         e = edges_[e].next) {
+      const EdgeRec& edge = edges_[e];
+      doc = std::min(doc, dist_to_doc_[edge.target] + edge.label_length);
+      query =
+          std::min(query, dist_to_query_[edge.target] + edge.label_length);
     }
+    dist_to_doc_[index] = doc;
+    dist_to_query_[index] = query;
   }
   // Top-down sweep: push distances to children. After both sweeps each
   // node holds the minimum over all valid (ascend-then-descend) paths to
   // a flagged node, because every such path crests at some materialized
   // common ancestor.
-  for (NodeIndex index : order) {
-    const Node& node = nodes_[index];
-    for (const Edge& edge : node.children) {
-      Node& child = nodes_[edge.target];
-      child.dist_to_doc =
-          std::min(child.dist_to_doc, node.dist_to_doc + edge.length());
-      child.dist_to_query =
-          std::min(child.dist_to_query, node.dist_to_query + edge.length());
+  for (const NodeIndex index : topo_order_) {
+    const std::uint32_t doc = dist_to_doc_[index];
+    const std::uint32_t query = dist_to_query_[index];
+    for (std::uint32_t e = first_edge_[index]; e != kNilEdge;
+         e = edges_[e].next) {
+      const EdgeRec& edge = edges_[e];
+      dist_to_doc_[edge.target] =
+          std::min(dist_to_doc_[edge.target], doc + edge.label_length);
+      dist_to_query_[edge.target] =
+          std::min(dist_to_query_[edge.target], query + edge.label_length);
     }
   }
 }
 
 util::Status DRadixDag::CheckInvariants() const {
-  if (nodes_.empty() || nodes_[0].concept_id != ontology_->root()) {
+  if (concept_ids_.empty() || concept_ids_[0] != ontology_->root()) {
     return util::InternalError("node 0 is not the ontology root");
   }
-  std::vector<std::uint32_t> in_degree(nodes_.size(), 0);
+  std::vector<std::uint32_t> in_degree(concept_ids_.size(), 0);
   std::size_t edge_count = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const Node& node = nodes_[i];
-    const auto it = node_index_.find(node.concept_id);
-    if (it == node_index_.end() || it->second != i) {
+  for (std::size_t i = 0; i < concept_ids_.size(); ++i) {
+    const ontology::ConceptId concept_id = concept_ids_[i];
+    if (concept_epoch_[concept_id] != epoch_ ||
+        concept_node_[concept_id] != i) {
       return util::InternalError("node " + std::to_string(i) +
                                  " missing from or inconsistent with the "
                                  "concept index");
     }
-    for (std::size_t a = 0; a < node.children.size(); ++a) {
-      const Edge& edge = node.children[a];
-      if (edge.label.empty()) {
+    for (std::uint32_t a = first_edge_[i]; a != kNilEdge;
+         a = edges_[a].next) {
+      const EdgeRec& edge = edges_[a];
+      if (edge.label_length == 0) {
         return util::InternalError("empty edge label");
       }
-      if (edge.target >= nodes_.size()) {
+      if (edge.label_offset + edge.label_length > label_components_.size()) {
+        return util::InternalError("edge label outside the component arena");
+      }
+      if (edge.target >= concept_ids_.size()) {
         return util::InternalError("edge target out of range");
       }
       ++in_degree[edge.target];
       ++edge_count;
-      const ontology::ConceptId resolved =
-          ResolveRelative(node.concept_id, edge.label);
-      if (resolved != nodes_[edge.target].concept_id) {
+      const std::span<const std::uint32_t> label = LabelOf(edge);
+      const ontology::ConceptId resolved = ResolveRelative(concept_id, label);
+      if (resolved != concept_ids_[edge.target]) {
         return util::InternalError(
-            "edge label " + ontology::FormatDewey(edge.label) + " from '" +
-            ontology_->name(node.concept_id) + "' does not resolve to '" +
-            ontology_->name(nodes_[edge.target].concept_id) + "'");
+            "edge label " + ontology::FormatDewey(label) + " from '" +
+            ontology_->name(concept_id) + "' does not resolve to '" +
+            ontology_->name(concept_ids_[edge.target]) + "'");
       }
-      for (std::size_t b = a + 1; b < node.children.size(); ++b) {
-        if (node.children[b].label.front() == edge.label.front()) {
+      for (std::uint32_t b = edges_[a].next; b != kNilEdge;
+           b = edges_[b].next) {
+        if (label_components_[edges_[b].label_offset] ==
+            label_components_[edge.label_offset]) {
           return util::InternalError(
               "sibling edges share first Dewey component under '" +
-              ontology_->name(node.concept_id) + "'");
+              ontology_->name(concept_id) + "'");
         }
       }
     }
   }
-  if (edge_count != num_edges_) {
+  if (edge_count != num_live_edges_) {
     return util::InternalError("edge count bookkeeping mismatch");
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (in_degree[i] != nodes_[i].in_degree) {
+  for (std::size_t i = 0; i < concept_ids_.size(); ++i) {
+    if (in_degree[i] != in_degree_[i]) {
       return util::InternalError("in-degree bookkeeping mismatch at node " +
                                  std::to_string(i));
     }
   }
-  if (nodes_[0].in_degree != 0) {
+  if (in_degree_[0] != 0) {
     return util::InternalError("root has parents");
   }
-  // TopologicalOrder aborts on cycles; reaching it means sizes matched.
-  (void)TopologicalOrder();
+  // BuildTopologicalOrder aborts on cycles; completing it means every
+  // node was reached from the root.
+  BuildTopologicalOrder();
   return util::Status::Ok();
 }
 

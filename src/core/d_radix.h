@@ -16,13 +16,29 @@
 // and finalized by TuneDistances() (Eq. 4). Edge labels are runs of
 // Dewey components; an edge's length (its component count) is the number
 // of ontology is-a edges it compresses.
+//
+// Storage is structure-of-arrays, built for reuse: per-node attributes
+// live in parallel vectors, edges in one flat array chained into
+// per-node singly-linked lists, and edge labels are {offset,length}
+// runs in a DAG-owned component arena. InsertAddress() appends the
+// address to the arena exactly once; a label is always a contiguous
+// subrange of one inserted address, so radix splits are offset
+// arithmetic, never copies. Reset() rewinds the arena while keeping
+// capacity, and the concept -> node table is epoch-stamped so a reset
+// costs O(1), not O(num_concepts). One DRadixDag can therefore be
+// recycled across millions of DRC calls without touching the heap —
+// see core/drc.h's Drc::Scratch.
+//
+// The DAG is self-contained: it copies address components into its own
+// arena, so it may outlive the enumerator / Drc that built it. Edge
+// label spans handed out by node()/children() point into that arena and
+// stay valid until the next Reset().
 
 #ifndef ECDR_CORE_D_RADIX_H_
 #define ECDR_CORE_D_RADIX_H_
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "ontology/ontology.h"
@@ -38,8 +54,10 @@ class DRadixDag {
   /// Large enough to survive += label lengths without overflow.
   static constexpr std::uint32_t kUnreachable = 0x3FFFFFFFu;
 
+  /// A child edge, viewed: `label` points into the DAG's component
+  /// arena (valid until the next Reset()).
   struct Edge {
-    std::vector<std::uint32_t> label;  // Dewey components; length >= 1.
+    std::span<const std::uint32_t> label;  // Dewey components; length >= 1.
     NodeIndex target = kInvalidNode;
 
     std::uint32_t length() const {
@@ -47,6 +65,44 @@ class DRadixDag {
     }
   };
 
+  /// Forward range over a node's child edges (views assembled on the
+  /// fly from the flat edge array).
+  class EdgeRange {
+   public:
+    class Iterator {
+     public:
+      Iterator(const DRadixDag* dag, std::uint32_t edge)
+          : dag_(dag), edge_(edge) {}
+      Edge operator*() const { return dag_->EdgeAt(edge_); }
+      Iterator& operator++() {
+        edge_ = dag_->NextEdge(edge_);
+        return *this;
+      }
+      bool operator==(const Iterator& other) const {
+        return edge_ == other.edge_;
+      }
+      bool operator!=(const Iterator& other) const {
+        return edge_ != other.edge_;
+      }
+
+     private:
+      const DRadixDag* dag_;
+      std::uint32_t edge_;
+    };
+
+    EdgeRange(const DRadixDag* dag, std::uint32_t first)
+        : dag_(dag), first_(first) {}
+    Iterator begin() const { return Iterator(dag_, first_); }
+    Iterator end() const { return Iterator(dag_, kNilEdge); }
+    bool empty() const { return first_ == kNilEdge; }
+
+   private:
+    const DRadixDag* dag_;
+    std::uint32_t first_;
+  };
+
+  /// A node, viewed (assembled from the parallel arrays). Hot code uses
+  /// the direct per-attribute accessors below instead.
   struct Node {
     ontology::ConceptId concept_id = ontology::kInvalidConcept;
     bool in_doc = false;
@@ -55,17 +111,32 @@ class DRadixDag {
     /// TuneDistances().
     std::uint32_t dist_to_doc = kUnreachable;
     std::uint32_t dist_to_query = kUnreachable;
-    std::vector<Edge> children;
+    EdgeRange children;
     std::uint32_t in_degree = 0;
   };
 
+  /// An unbound arena: Reset(ontology) must run before any insertion.
+  DRadixDag() = default;
+
   /// Creates the index with a single root node for the ontology root.
-  explicit DRadixDag(const ontology::Ontology& ontology);
+  explicit DRadixDag(const ontology::Ontology& ontology) { Reset(ontology); }
+
+  DRadixDag(DRadixDag&&) = default;
+  DRadixDag& operator=(DRadixDag&&) = default;
+  DRadixDag(const DRadixDag&) = delete;
+  DRadixDag& operator=(const DRadixDag&) = delete;
+
+  /// Rewinds to a single root node over `ontology`, keeping every
+  /// buffer's capacity. O(1) apart from first-time (or first-ontology)
+  /// concept-table sizing; after warm-up it performs no allocation.
+  void Reset(const ontology::Ontology& ontology);
 
   /// Inserts one Dewey address of `concept`, flagged as a document and/or
-  /// query concept. `address` must resolve to `concept` in the ontology.
-  /// All addresses of all concepts in d and q must be inserted for the
-  /// distances to be exact (the paper's Pd / Pq lists).
+  /// query concept. `address` must resolve to `concept` in the ontology;
+  /// its components are copied into the DAG's arena, so the caller's
+  /// storage may be transient. All addresses of all concepts in d and q
+  /// must be inserted for the distances to be exact (the paper's Pd / Pq
+  /// lists).
   void InsertAddress(ontology::ConceptId concept_id,
                      std::span<const std::uint32_t> address, bool in_doc,
                      bool in_query);
@@ -77,15 +148,36 @@ class DRadixDag {
   void TuneDistances();
 
   NodeIndex root() const { return 0; }
-  const Node& node(NodeIndex i) const {
-    ECDR_DCHECK_LT(i, nodes_.size());
-    return nodes_[i];
+  Node node(NodeIndex i) const {
+    ECDR_DCHECK_LT(i, concept_ids_.size());
+    Node view{concept_ids_[i],
+              (flags_[i] & kInDocFlag) != 0,
+              (flags_[i] & kInQueryFlag) != 0,
+              dist_to_doc_[i],
+              dist_to_query_[i],
+              EdgeRange(this, first_edge_[i]),
+              in_degree_[i]};
+    return view;
   }
-  std::size_t num_nodes() const { return nodes_.size(); }
-  std::size_t num_edges() const { return num_edges_; }
+  std::size_t num_nodes() const { return concept_ids_.size(); }
+  std::size_t num_edges() const { return num_live_edges_; }
+
+  /// Hot-path per-attribute accessors (no view assembly).
+  ontology::ConceptId concept_id(NodeIndex i) const {
+    return concept_ids_[i];
+  }
+  std::uint32_t dist_to_doc(NodeIndex i) const { return dist_to_doc_[i]; }
+  std::uint32_t dist_to_query(NodeIndex i) const { return dist_to_query_[i]; }
+  EdgeRange children(NodeIndex i) const {
+    return EdgeRange(this, first_edge_[i]);
+  }
 
   /// Index of the node representing `concept`, or kInvalidNode.
-  NodeIndex FindNode(ontology::ConceptId concept_id) const;
+  NodeIndex FindNode(ontology::ConceptId concept_id) const {
+    ECDR_DCHECK(ontology_ != nullptr && ontology_->Contains(concept_id));
+    return concept_epoch_[concept_id] == epoch_ ? concept_node_[concept_id]
+                                                : kInvalidNode;
+  }
 
   /// Structural self-check used by tests: sibling edge labels share no
   /// first component, labels resolve to their targets' concepts, in-
@@ -94,28 +186,82 @@ class DRadixDag {
   util::Status CheckInvariants() const;
 
  private:
+  static constexpr std::uint32_t kNilEdge = 0xFFFFFFFFu;
+  static constexpr std::uint8_t kInDocFlag = 1;
+  static constexpr std::uint8_t kInQueryFlag = 2;
+
+  /// One slot of the flat edge array. The label is an {offset,length}
+  /// run in label_components_ (offsets, not pointers, so arena growth
+  /// never invalidates records). Slots detached by radix splits stay
+  /// behind as unreferenced garbage until the next Reset() — the
+  /// per-node lists simply skip them — which keeps DetachEdge O(1).
+  struct EdgeRec {
+    std::uint32_t label_offset = 0;
+    std::uint32_t label_length = 0;
+    NodeIndex target = kInvalidNode;
+    std::uint32_t next = kNilEdge;  // Next sibling under the same parent.
+  };
+
+  std::span<const std::uint32_t> LabelOf(const EdgeRec& rec) const {
+    return {label_components_.data() + rec.label_offset, rec.label_length};
+  }
+
+  Edge EdgeAt(std::uint32_t e) const {
+    const EdgeRec& rec = edges_[e];
+    return Edge{LabelOf(rec), rec.target};
+  }
+  std::uint32_t NextEdge(std::uint32_t e) const { return edges_[e].next; }
+
   NodeIndex NodeFor(ontology::ConceptId concept_id);
 
   /// Walks `components` down ontology child ordinals starting at `from`.
   ontology::ConceptId ResolveRelative(
-      ontology::ConceptId from, std::span<const std::uint32_t> components) const;
+      ontology::ConceptId from,
+      std::span<const std::uint32_t> components) const;
 
-  /// Adds an edge parent -> target with `label`, splitting existing edges
-  /// as needed to keep the radix invariants (the paper's InsertPath).
-  void AttachEdge(NodeIndex parent, std::vector<std::uint32_t> label,
-                  NodeIndex target);
+  /// Adds an edge parent -> target labelled by the arena run
+  /// [offset, offset + length), splitting existing edges as needed to
+  /// keep the radix invariants (the paper's InsertPath).
+  void AttachEdge(NodeIndex parent, std::uint32_t label_offset,
+                  std::uint32_t length, NodeIndex target);
 
-  void AddEdgeRaw(NodeIndex parent, std::vector<std::uint32_t> label,
-                  NodeIndex target);
-  Edge DetachEdge(NodeIndex parent, std::size_t edge_position);
+  void AddEdgeRaw(NodeIndex parent, std::uint32_t label_offset,
+                  std::uint32_t length, NodeIndex target);
 
-  /// Topological order from the root; computed lazily by TuneDistances.
-  std::vector<NodeIndex> TopologicalOrder() const;
+  /// Unlinks edge `e` (whose predecessor under `parent` is `prev`, or
+  /// kNilEdge if `e` is the list head) and returns a copy of its record.
+  EdgeRec DetachEdge(NodeIndex parent, std::uint32_t prev, std::uint32_t e);
 
-  const ontology::Ontology* ontology_;
-  std::vector<Node> nodes_;
-  std::unordered_map<ontology::ConceptId, NodeIndex> node_index_;
-  std::size_t num_edges_ = 0;
+  /// Kahn's algorithm from the root into topo_order_ (reused scratch).
+  void BuildTopologicalOrder() const;
+
+  const ontology::Ontology* ontology_ = nullptr;
+
+  // Node attributes, indexed by NodeIndex.
+  std::vector<ontology::ConceptId> concept_ids_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> dist_to_doc_;
+  std::vector<std::uint32_t> dist_to_query_;
+  std::vector<std::uint32_t> in_degree_;
+  std::vector<std::uint32_t> first_edge_;
+
+  std::vector<EdgeRec> edges_;
+  std::size_t num_live_edges_ = 0;
+
+  // Component arena the edge labels index into; one append per inserted
+  // address, rewound (capacity kept) by Reset().
+  std::vector<std::uint32_t> label_components_;
+
+  // Concept -> node map as an epoch-stamped direct-mapped table
+  // (concept ids are dense): a stamp != epoch_ means "absent", so
+  // Reset() only bumps epoch_ instead of clearing num_concepts entries.
+  std::vector<NodeIndex> concept_node_;
+  std::vector<std::uint32_t> concept_epoch_;
+  std::uint32_t epoch_ = 0;
+
+  // TuneDistances / CheckInvariants scratch, reused across generations.
+  mutable std::vector<NodeIndex> topo_order_;
+  mutable std::vector<std::uint32_t> topo_pending_;
 };
 
 }  // namespace ecdr::core

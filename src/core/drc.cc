@@ -7,9 +7,15 @@
 namespace ecdr::core {
 
 Drc::Drc(const ontology::Ontology& ontology,
-         ontology::AddressEnumerator* addresses)
+         ontology::AddressEnumerator* addresses, Scratch* scratch)
     : ontology_(&ontology), addresses_(addresses), address_lease_(addresses) {
   ECDR_CHECK(addresses != nullptr);
+  if (scratch == nullptr) {
+    owned_scratch_ = std::make_unique<Scratch>();
+    scratch_ = owned_scratch_.get();
+  } else {
+    scratch_ = scratch;
+  }
 }
 
 util::Status Drc::ValidateConcepts(
@@ -29,23 +35,44 @@ util::Status Drc::ValidateConcepts(
 }
 
 void Drc::GatherInserts(std::span<const ontology::ConceptId> doc,
-                        std::span<const ontology::ConceptId> query,
-                        std::vector<PendingInsert>* inserts) {
+                        std::span<const ontology::ConceptId> query) {
   // Deduplicate each side and merge flags for concepts on both sides so
-  // each concept's addresses are inserted exactly once.
-  std::vector<ontology::ConceptId> doc_set(doc.begin(), doc.end());
+  // each concept's addresses are inserted exactly once. The deduped
+  // sides stay behind in the scratch for the evaluation loops. All
+  // buffers reuse their capacity; std::sort is in-place.
+  std::vector<ontology::ConceptId>& doc_set = scratch_->doc_set;
+  std::vector<ontology::ConceptId>& query_set = scratch_->query_set;
+  doc_set.assign(doc.begin(), doc.end());
   std::sort(doc_set.begin(), doc_set.end());
   doc_set.erase(std::unique(doc_set.begin(), doc_set.end()), doc_set.end());
-  std::vector<ontology::ConceptId> query_set(query.begin(), query.end());
+  query_set.assign(query.begin(), query.end());
   std::sort(query_set.begin(), query_set.end());
   query_set.erase(std::unique(query_set.begin(), query_set.end()),
                   query_set.end());
 
-  inserts->clear();
+  std::vector<PendingInsert>& inserts = scratch_->inserts;
+  inserts.clear();
+  // Frozen enumerators serve the flat pool: addresses arrive as raw
+  // spans into one arena, no per-concept vector indirection. The
+  // growing (unfrozen) cache falls back to the legacy vectors. Both
+  // paths emit the same addresses in the same per-concept order, so the
+  // merged insert list — and every distance downstream — is identical.
+  const ontology::FlatDeweyPool* pool = addresses_->flat_pool();
   const auto add_concept = [&](ontology::ConceptId c, bool in_doc,
                                bool in_query) {
-    for (const ontology::DeweyAddress& address : addresses_->Addresses(c)) {
-      inserts->push_back(PendingInsert{&address, c, in_doc, in_query});
+    if (pool != nullptr) {
+      const std::uint32_t* base = pool->component_data();
+      for (const ontology::AddressSpan span : pool->spans(c)) {
+        inserts.push_back(
+            PendingInsert{base + span.offset, span.length, c, in_doc,
+                          in_query});
+      }
+    } else {
+      for (const ontology::DeweyAddress& address : addresses_->Addresses(c)) {
+        inserts.push_back(PendingInsert{
+            address.data(), static_cast<std::uint32_t>(address.size()), c,
+            in_doc, in_query});
+      }
     }
   };
   std::size_t di = 0;
@@ -64,64 +91,77 @@ void Drc::GatherInserts(std::span<const ontology::ConceptId> doc,
       ++qi;
     }
   }
-  // The paper consumes Pd and Pq in lexicographic merge order.
-  std::sort(inserts->begin(), inserts->end(),
-            [](const PendingInsert& a, const PendingInsert& b) {
-              return ontology::DeweyLess(*a.address, *b.address);
-            });
+  // The paper presents Pd and Pq as lexicographic lists, but the
+  // D-Radix DAG is insertion-order invariant: the compressed trie of a
+  // fixed (distinct) address set is unique, node flags OR together, and
+  // the tuning sweeps relax minima over the same edges whatever order
+  // they were added in. So no global sort — it was the single most
+  // expensive step of the build (one DeweyLess per comparison, O(n log
+  // n) of them per call). The merge above already yields a
+  // deterministic order: concepts ascending, each concept's addresses
+  // in the enumerator's lexicographic order.
 }
 
-util::StatusOr<DRadixDag> Drc::BuildIndex(
-    std::span<const ontology::ConceptId> doc,
-    std::span<const ontology::ConceptId> query) {
+util::Status Drc::BuildInto(DRadixDag* dag,
+                            std::span<const ontology::ConceptId> doc,
+                            std::span<const ontology::ConceptId> query) {
   ECDR_RETURN_IF_ERROR(ValidateConcepts(doc, "document"));
   ECDR_RETURN_IF_ERROR(ValidateConcepts(query, "query"));
   ECDR_RETURN_IF_ERROR(
       util::CheckCancellation(cancel_token_, deadline_, "DRC"));
   util::WallTimer timer;
 
-  std::vector<PendingInsert> inserts;
-  GatherInserts(doc, query, &inserts);
+  GatherInserts(doc, query);
 
-  DRadixDag dag(*ontology_);
+  dag->Reset(*ontology_);
   // Poll coarsely during the insert sweep — large SDS pairs can carry
   // tens of thousands of addresses — but keep the unexpired cost at one
   // predictable branch per batch.
   constexpr std::size_t kCancelPollStride = 1024;
   std::size_t inserted = 0;
-  for (const PendingInsert& pending : inserts) {
+  for (const PendingInsert& pending : scratch_->inserts) {
     if (++inserted % kCancelPollStride == 0) {
       ECDR_RETURN_IF_ERROR(
           util::CheckCancellation(cancel_token_, deadline_, "DRC"));
     }
-    dag.InsertAddress(pending.concept_id, *pending.address, pending.in_doc,
-                      pending.in_query);
+    dag->InsertAddress(pending.concept_id, {pending.address, pending.length},
+                       pending.in_doc, pending.in_query);
   }
-  dag.TuneDistances();
+  const double built_at = timer.ElapsedSeconds();
+  dag->TuneDistances();
+  const double tuned_at = timer.ElapsedSeconds();
 
   ++stats_.calls;
-  stats_.addresses_inserted += inserts.size();
-  stats_.nodes_built += dag.num_nodes();
-  stats_.edges_built += dag.num_edges();
-  stats_.seconds += timer.ElapsedSeconds();
+  stats_.addresses_inserted += scratch_->inserts.size();
+  stats_.nodes_built += dag->num_nodes();
+  stats_.edges_built += dag->num_edges();
+  stats_.seconds += tuned_at;
+  stats_.build_seconds += built_at;
+  stats_.tune_seconds += tuned_at - built_at;
+  return util::Status::Ok();
+}
+
+util::StatusOr<DRadixDag> Drc::BuildIndex(
+    std::span<const ontology::ConceptId> doc,
+    std::span<const ontology::ConceptId> query) {
+  DRadixDag dag(*ontology_);
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, doc, query));
   return dag;
 }
 
 util::StatusOr<std::uint64_t> Drc::DocQueryDistance(
     std::span<const ontology::ConceptId> doc,
     std::span<const ontology::ConceptId> query) {
-  util::StatusOr<DRadixDag> dag = BuildIndex(doc, query);
-  ECDR_RETURN_IF_ERROR(dag.status());
+  DRadixDag& dag = scratch_->dag;
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, doc, query));
   // Sum the nearest-document distances attached to the query nodes,
-  // counting each distinct query concept once.
+  // counting each distinct query concept once (GatherInserts left the
+  // deduped query side in the scratch).
   std::uint64_t total = 0;
-  std::vector<ontology::ConceptId> counted(query.begin(), query.end());
-  std::sort(counted.begin(), counted.end());
-  counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
-  for (ontology::ConceptId c : counted) {
-    const DRadixDag::NodeIndex index = dag->FindNode(c);
+  for (ontology::ConceptId c : scratch_->query_set) {
+    const DRadixDag::NodeIndex index = dag.FindNode(c);
     ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
-    const std::uint32_t distance = dag->node(index).dist_to_doc;
+    const std::uint32_t distance = dag.dist_to_doc(index);
     // A single-rooted ontology always connects the two sides.
     ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
     total += distance;
@@ -136,33 +176,31 @@ util::StatusOr<double> Drc::DocDocDistance(
   // Eq. 3 then reads: each d2 concept's nearest-d1 distance comes from
   // dist_to_doc, each d1 concept's nearest-d2 distance from
   // dist_to_query.
-  util::StatusOr<DRadixDag> dag = BuildIndex(d1, d2);
-  ECDR_RETURN_IF_ERROR(dag.status());
+  DRadixDag& dag = scratch_->dag;
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, d1, d2));
 
-  // Eq. 3 normalizes each side by its number of *distinct* concepts.
-  const auto side_sum = [&](std::span<const ontology::ConceptId> side,
-                            bool toward_doc, std::size_t* count) {
-    std::vector<ontology::ConceptId> counted(side.begin(), side.end());
-    std::sort(counted.begin(), counted.end());
-    counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
-    *count = counted.size();
+  // Eq. 3 normalizes each side by its number of *distinct* concepts;
+  // the deduped sides are already in the scratch.
+  const auto side_sum = [&](std::span<const ontology::ConceptId> counted,
+                            bool toward_doc) {
     std::uint64_t total = 0;
     for (ontology::ConceptId c : counted) {
-      const DRadixDag::NodeIndex index = dag->FindNode(c);
+      const DRadixDag::NodeIndex index = dag.FindNode(c);
       ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
-      const DRadixDag::Node& node = dag->node(index);
       const std::uint32_t distance =
-          toward_doc ? node.dist_to_doc : node.dist_to_query;
+          toward_doc ? dag.dist_to_doc(index) : dag.dist_to_query(index);
       ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
       total += distance;
     }
     return total;
   };
 
-  std::size_t size1 = 0;
-  std::size_t size2 = 0;
-  const std::uint64_t d1_to_d2 = side_sum(d1, /*toward_doc=*/false, &size1);
-  const std::uint64_t d2_to_d1 = side_sum(d2, /*toward_doc=*/true, &size2);
+  const std::size_t size1 = scratch_->doc_set.size();
+  const std::size_t size2 = scratch_->query_set.size();
+  const std::uint64_t d1_to_d2 =
+      side_sum(scratch_->doc_set, /*toward_doc=*/false);
+  const std::uint64_t d2_to_d1 =
+      side_sum(scratch_->query_set, /*toward_doc=*/true);
   return static_cast<double>(d1_to_d2) / static_cast<double>(size1) +
          static_cast<double>(d2_to_d1) / static_cast<double>(size2);
 }
@@ -170,20 +208,35 @@ util::StatusOr<double> Drc::DocDocDistance(
 util::StatusOr<double> Drc::DocQueryDistanceWeighted(
     std::span<const ontology::ConceptId> doc,
     std::span<const WeightedConcept> query) {
-  std::vector<WeightedConcept> normalized =
-      NormalizeWeightedConcepts(query);
-  std::vector<ontology::ConceptId> concepts;
-  concepts.reserve(normalized.size());
+  // Normalize in scratch (same semantics as NormalizeWeightedConcepts,
+  // minus its fresh vector).
+  std::vector<WeightedConcept>& normalized = scratch_->normalized;
+  normalized.assign(query.begin(), query.end());
+  std::sort(normalized.begin(), normalized.end(),
+            [](const WeightedConcept& a, const WeightedConcept& b) {
+              if (a.concept_id != b.concept_id) {
+                return a.concept_id < b.concept_id;
+              }
+              return a.weight > b.weight;
+            });
+  normalized.erase(
+      std::unique(normalized.begin(), normalized.end(),
+                  [](const WeightedConcept& a, const WeightedConcept& b) {
+                    return a.concept_id == b.concept_id;
+                  }),
+      normalized.end());
+  std::vector<ontology::ConceptId>& concepts = scratch_->concept_ids;
+  concepts.clear();
   for (const WeightedConcept& wc : normalized) {
     concepts.push_back(wc.concept_id);
   }
-  util::StatusOr<DRadixDag> dag = BuildIndex(doc, concepts);
-  ECDR_RETURN_IF_ERROR(dag.status());
+  DRadixDag& dag = scratch_->dag;
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, doc, concepts));
   double total = 0.0;
   for (const WeightedConcept& wc : normalized) {
-    const DRadixDag::NodeIndex index = dag->FindNode(wc.concept_id);
+    const DRadixDag::NodeIndex index = dag.FindNode(wc.concept_id);
     ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
-    const std::uint32_t distance = dag->node(index).dist_to_doc;
+    const std::uint32_t distance = dag.dist_to_doc(index);
     ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
     total += wc.weight * static_cast<double>(distance);
   }
@@ -193,21 +246,17 @@ util::StatusOr<double> Drc::DocQueryDistanceWeighted(
 util::StatusOr<double> Drc::DocDocDistanceWeighted(
     std::span<const ontology::ConceptId> d1,
     std::span<const ontology::ConceptId> d2, const ConceptWeights& weights) {
-  util::StatusOr<DRadixDag> dag = BuildIndex(d1, d2);
-  ECDR_RETURN_IF_ERROR(dag.status());
-  const auto side_sum = [&](std::span<const ontology::ConceptId> side,
+  DRadixDag& dag = scratch_->dag;
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, d1, d2));
+  const auto side_sum = [&](std::span<const ontology::ConceptId> counted,
                             bool toward_doc, double* total_weight) {
-    std::vector<ontology::ConceptId> counted(side.begin(), side.end());
-    std::sort(counted.begin(), counted.end());
-    counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
     double sum = 0.0;
     *total_weight = 0.0;
     for (ontology::ConceptId c : counted) {
-      const DRadixDag::NodeIndex index = dag->FindNode(c);
+      const DRadixDag::NodeIndex index = dag.FindNode(c);
       ECDR_CHECK_NE(index, DRadixDag::kInvalidNode);
-      const DRadixDag::Node& node = dag->node(index);
       const std::uint32_t distance =
-          toward_doc ? node.dist_to_doc : node.dist_to_query;
+          toward_doc ? dag.dist_to_doc(index) : dag.dist_to_query(index);
       ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
       const double w = weights.of(c);
       sum += w * static_cast<double>(distance);
@@ -217,8 +266,10 @@ util::StatusOr<double> Drc::DocDocDistanceWeighted(
   };
   double weight1 = 0.0;
   double weight2 = 0.0;
-  const double d1_to_d2 = side_sum(d1, /*toward_doc=*/false, &weight1);
-  const double d2_to_d1 = side_sum(d2, /*toward_doc=*/true, &weight2);
+  const double d1_to_d2 =
+      side_sum(scratch_->doc_set, /*toward_doc=*/false, &weight1);
+  const double d2_to_d1 =
+      side_sum(scratch_->query_set, /*toward_doc=*/true, &weight2);
   if (weight1 <= 0.0 || weight2 <= 0.0) {
     return util::InvalidArgumentError(
         "documents must carry positive total weight");

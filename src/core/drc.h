@@ -8,11 +8,20 @@
 // (4) evaluates Eq. 2 (Ddq) or Eq. 3 (Ddd) from the distances attached
 // to the query/document nodes. No precomputation over the corpus is
 // required — documents can be scored the moment they arrive.
+//
+// Memory: all per-call state (the DAG arena, the pending-insert list,
+// the dedup buffers) lives in a Drc::Scratch that is recycled across
+// calls, so a warm engine on a frozen AddressEnumerator (whose
+// FlatDeweyPool supplies addresses as raw spans) computes distances
+// with zero heap allocations — see DESIGN.md "Memory layout" and
+// tests/drc_alloc_test.cc.
 
 #ifndef ECDR_CORE_DRC_H_
 #define ECDR_CORE_DRC_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -34,16 +43,137 @@ class Drc {
     std::uint64_t nodes_built = 0;
     std::uint64_t edges_built = 0;
     double seconds = 0.0;
+    /// Phase split of `seconds`: gathering + inserting the address lists
+    /// (the D-Radix build) vs the two tuning sweeps. The remainder of a
+    /// distance call (node lookups and summing) is not timed separately.
+    double build_seconds = 0.0;
+    double tune_seconds = 0.0;
+  };
+
+  /// One (address, concept, flags) entry of the merged Pd/Pq insert
+  /// list. The address is a raw view into the AddressEnumerator's
+  /// storage (FlatDeweyPool arena when frozen, per-concept vectors
+  /// otherwise); both are pinned by the engine's ReaderLease.
+  struct PendingInsert {
+    const std::uint32_t* address = nullptr;  // Null only when length == 0.
+    std::uint32_t length = 0;
+    ontology::ConceptId concept_id = ontology::kInvalidConcept;
+    bool in_doc = false;
+    bool in_query = false;
+  };
+
+  /// Reusable per-call working memory: the D-Radix arena plus every
+  /// buffer a distance call fills. One Scratch serves one engine at a
+  /// time; recycling it across engines (via ScratchPool) is what keeps
+  /// per-query Drc construction allocation-free after warm-up. Scratch
+  /// contents are meaningless between calls — no state carries over.
+  class Scratch {
+   public:
+    Scratch() = default;
+    Scratch(Scratch&&) = default;
+    Scratch& operator=(Scratch&&) = default;
+    Scratch(const Scratch&) = delete;
+    Scratch& operator=(const Scratch&) = delete;
+
+   private:
+    friend class Drc;
+    DRadixDag dag;
+    std::vector<PendingInsert> inserts;
+    std::vector<ontology::ConceptId> doc_set;    // Dedup of the doc side.
+    std::vector<ontology::ConceptId> query_set;  // Dedup of the query side.
+    std::vector<ontology::ConceptId> concept_ids;
+    std::vector<WeightedConcept> normalized;
+  };
+
+  /// Thread-safe free list of Scratch arenas. Owned by long-lived
+  /// callers (RankingEngine) and handed to per-call engines and
+  /// parallel lanes, so the warm capacity survives both query and
+  /// thread boundaries. Leases are handed out most-recently-returned
+  /// first (hot pages).
+  class ScratchPool {
+   public:
+    /// RAII lease: acquires on construction, returns on destruction.
+    /// A default-constructed or null-pool lease holds nothing.
+    class Lease {
+     public:
+      Lease() = default;
+      explicit Lease(ScratchPool* pool) : pool_(pool) {
+        if (pool_ != nullptr) scratch_ = pool_->Acquire();
+      }
+      ~Lease() { Release(); }
+      Lease(Lease&& other) noexcept
+          : pool_(other.pool_), scratch_(std::move(other.scratch_)) {
+        other.pool_ = nullptr;
+      }
+      Lease& operator=(Lease&& other) noexcept {
+        if (this != &other) {
+          Release();
+          pool_ = other.pool_;
+          scratch_ = std::move(other.scratch_);
+          other.pool_ = nullptr;
+        }
+        return *this;
+      }
+      Lease(const Lease&) = delete;
+      Lease& operator=(const Lease&) = delete;
+
+      Scratch* get() const { return scratch_.get(); }
+
+     private:
+      void Release() {
+        if (pool_ != nullptr && scratch_ != nullptr) {
+          pool_->Return(std::move(scratch_));
+        }
+        pool_ = nullptr;
+        scratch_ = nullptr;
+      }
+
+      ScratchPool* pool_ = nullptr;
+      std::unique_ptr<Scratch> scratch_;
+    };
+
+    ScratchPool() = default;
+    ScratchPool(const ScratchPool&) = delete;
+    ScratchPool& operator=(const ScratchPool&) = delete;
+
+    std::size_t idle() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return free_.size();
+    }
+
+   private:
+    std::unique_ptr<Scratch> Acquire() {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+          std::unique_ptr<Scratch> scratch = std::move(free_.back());
+          free_.pop_back();
+          return scratch;
+        }
+      }
+      return std::make_unique<Scratch>();
+    }
+    void Return(std::unique_ptr<Scratch> scratch) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      free_.push_back(std::move(scratch));
+    }
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Scratch>> free_;
   };
 
   /// `addresses` caches Dewey address sets across calls and documents;
-  /// it is shared, unowned, and must outlive the engine.
+  /// it is shared, unowned, and must outlive the engine. `scratch`
+  /// (optional) supplies the working memory; when null the engine owns
+  /// a private one. A leased, already-warm scratch makes even a freshly
+  /// constructed engine allocation-free.
   ///
-  /// A Drc instance is cheap to construct (two pointers) but holds
-  /// mutable per-instance stats, so concurrent callers use one instance
-  /// per thread, sharing the (thread-safe) AddressEnumerator.
+  /// A Drc instance is cheap to construct but holds mutable
+  /// per-instance state (stats + scratch), so concurrent callers use
+  /// one instance per thread, sharing the (thread-safe)
+  /// AddressEnumerator.
   Drc(const ontology::Ontology& ontology,
-      ontology::AddressEnumerator* addresses);
+      ontology::AddressEnumerator* addresses, Scratch* scratch = nullptr);
 
   /// The shared dependencies, exposed so parallel call sites can spin up
   /// per-lane engines over the same ontology and address cache.
@@ -80,8 +210,11 @@ class Drc {
       std::span<const ontology::ConceptId> d2,
       const ConceptWeights& weights);
 
-  /// Builds (and tunes) the D-Radix DAG for d and q without evaluating a
-  /// distance — exposed for tests, examples and the ablation bench.
+  /// Builds (and tunes) a standalone D-Radix DAG for d and q without
+  /// evaluating a distance — exposed for tests, examples and the
+  /// ablation bench. Unlike the distance calls this allocates a fresh
+  /// arena per call. The returned DAG is self-contained (it owns its
+  /// label components) and may outlive this engine.
   util::StatusOr<DRadixDag> BuildIndex(
       std::span<const ontology::ConceptId> doc,
       std::span<const ontology::ConceptId> query);
@@ -90,7 +223,7 @@ class Drc {
   void ResetStats() { stats_ = Stats(); }
 
   /// Cooperative cancellation for direct callers with a budget (e.g.
-  /// RankingEngine::DocumentDistance): BuildIndex polls between address
+  /// RankingEngine::DocumentDistance): the build polls between address
   /// insert batches and every distance entry point then returns
   /// kCancelled / kDeadlineExceeded. Both may be unset (`token` null,
   /// `deadline` infinite — the default, which costs nothing). Knds does
@@ -111,33 +244,37 @@ class Drc {
     stats_.nodes_built += other.nodes_built;
     stats_.edges_built += other.edges_built;
     stats_.seconds += other.seconds;
+    stats_.build_seconds += other.build_seconds;
+    stats_.tune_seconds += other.tune_seconds;
   }
 
  private:
-  /// One (address, concept, flags) entry of the merged Pd/Pq insert list.
-  struct PendingInsert {
-    const ontology::DeweyAddress* address;
-    ontology::ConceptId concept_id;
-    bool in_doc;
-    bool in_query;
-  };
-
   util::Status ValidateConcepts(std::span<const ontology::ConceptId> concepts,
                                 const char* label) const;
 
   /// Gathers the merged, lexicographically sorted insert list for
-  /// doc + query (concepts present on both sides get both flags).
+  /// doc + query (concepts present on both sides get both flags) into
+  /// scratch_->inserts, leaving the deduped sides in scratch_->doc_set /
+  /// query_set for the evaluation loops.
   void GatherInserts(std::span<const ontology::ConceptId> doc,
-                     std::span<const ontology::ConceptId> query,
-                     std::vector<PendingInsert>* inserts);
+                     std::span<const ontology::ConceptId> query);
+
+  /// Validates, gathers, builds and tunes into `dag` (the scratch DAG
+  /// for distance calls, a fresh one for BuildIndex).
+  util::Status BuildInto(DRadixDag* dag,
+                         std::span<const ontology::ConceptId> doc,
+                         std::span<const ontology::ConceptId> query);
 
   const ontology::Ontology* ontology_;
   ontology::AddressEnumerator* addresses_;
   // Blocks AddressEnumerator::ClearCache() for this engine's lifetime:
-  // DRC keeps references into the address cache between calls.
+  // the gather phase holds {pointer,length} views into the address
+  // cache / flat pool until the D-Radix build copies them.
   ontology::AddressEnumerator::ReaderLease address_lease_;
   const util::CancelToken* cancel_token_ = nullptr;
   util::Deadline deadline_;
+  std::unique_ptr<Scratch> owned_scratch_;  // Used iff none was supplied.
+  Scratch* scratch_;
   Stats stats_;
 };
 

@@ -111,6 +111,8 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
     // counters; merge after the join. An errored lane stops scoring and
     // records its first error.
     struct LaneState {
+      // The scratch lease must outlive the engine borrowing it.
+      Drc::ScratchPool::Lease scratch;
       std::unique_ptr<Drc> drc;
       std::vector<ScoredDocument> heap;
       util::Status status = util::Status::Ok();
@@ -118,7 +120,9 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
     };
     std::vector<LaneState> lane_states(lanes);
     for (LaneState& state : lane_states) {
-      state.drc = std::make_unique<Drc>(drc_->ontology(), drc_->addresses());
+      state.scratch = Drc::ScratchPool::Lease(options_.drc_scratch_pool);
+      state.drc = std::make_unique<Drc>(drc_->ontology(), drc_->addresses(),
+                                        state.scratch.get());
     }
     pool->ParallelFor(
         num_docs,

@@ -46,6 +46,12 @@ struct ExhaustiveRankerOptions {
   /// never expires.
   util::Deadline deadline;
   const util::CancelToken* cancel_token = nullptr;
+
+  /// Optional shared free list of DRC scratch arenas (unowned,
+  /// thread-safe); per-lane engines lease from it so repeated scans
+  /// recycle warm buffers. Null = private per-lane scratches. Purely a
+  /// memory optimization: results are bit-identical either way.
+  Drc::ScratchPool* drc_scratch_pool = nullptr;
 };
 
 class ExhaustiveRanker {

@@ -185,12 +185,19 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
   }
   const std::size_t lanes =
       requested > 1 && pool != nullptr ? pool->num_threads() + 1 : 1;
+  // Lane engines lease warm scratch arenas from the shared pool (when
+  // provided) so their DRC calls skip the allocator; the leases must
+  // outlive the engines, hence the declaration order.
+  std::vector<Drc::ScratchPool::Lease> lane_scratches;
   std::vector<std::unique_ptr<Drc>> lane_drcs;
   if (lanes > 1) {
+    lane_scratches.reserve(lanes);
     lane_drcs.reserve(lanes);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      lane_drcs.push_back(
-          std::make_unique<Drc>(drc_->ontology(), drc_->addresses()));
+      lane_scratches.emplace_back(options_.drc_scratch_pool);
+      lane_drcs.push_back(std::make_unique<Drc>(drc_->ontology(),
+                                                drc_->addresses(),
+                                                lane_scratches.back().get()));
     }
   }
   // Waves larger than the lane count amortize scheduling, but overshoot

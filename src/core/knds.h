@@ -123,6 +123,15 @@ struct KndsOptions {
   /// see util/fault_injector.h). Observed on every postings fetch and
   /// DRC task; null costs nothing.
   util::FaultInjector* fault_injector = nullptr;
+
+  /// Optional shared free list of DRC scratch arenas (unowned,
+  /// thread-safe). When set, the per-lane verification engines lease
+  /// their working memory from it instead of growing fresh buffers, so
+  /// steady-state DRC calls stay allocation-free across queries and
+  /// threads (RankingEngine owns one per engine). Null = each lane owns
+  /// a private scratch for the duration of the search. Purely a memory
+  /// optimization: results are bit-identical either way.
+  Drc::ScratchPool* drc_scratch_pool = nullptr;
 };
 
 struct KndsStats {

@@ -161,7 +161,9 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
   KndsOptions per_call = options_.knds;
   per_call.deadline = deadline;
   per_call.cancel_token = control.cancel_token;
-  Drc drc(*ontology_, addresses_.get());
+  per_call.drc_scratch_pool = &drc_scratches_;
+  Drc::ScratchPool::Lease scratch(&drc_scratches_);
+  Drc drc(*ontology_, addresses_.get(), scratch.get());
   Knds knds(*corpus_, *inverted_, &drc, per_call, pool_.get(), &ddq_memo_);
   util::StatusOr<std::vector<ScoredDocument>> result = search(&knds);
   {
@@ -235,7 +237,8 @@ util::StatusOr<double> RankingEngine::DocumentDistance(
   if (a >= corpus_->num_documents() || b >= corpus_->num_documents()) {
     return util::OutOfRangeError("document id out of range");
   }
-  Drc drc(*ontology_, addresses_.get());
+  Drc::ScratchPool::Lease scratch(&drc_scratches_);
+  Drc drc(*ontology_, addresses_.get(), scratch.get());
   drc.SetCancellation(control.cancel_token, EffectiveDeadline(control));
   return drc.DocDocDistance(corpus_->document(a).concepts(),
                             corpus_->document(b).concepts());

@@ -226,6 +226,12 @@ class RankingEngine {
   ontology::ConceptPairCache pair_cache_;
   DdqMemo ddq_memo_;
 
+  // Warm DRC working memory, leased by every per-call engine and lane
+  // (see core/drc.h): after a few queries the free list holds one
+  // high-water-mark scratch per concurrent lane and steady-state
+  // distance calls stop allocating.
+  Drc::ScratchPool drc_scratches_;
+
   // Readers: searches / distance probes; writer: AddDocument.
   mutable std::shared_mutex mutex_;
   mutable std::mutex stats_mutex_;

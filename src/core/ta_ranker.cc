@@ -16,7 +16,8 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k) {
   last_stats_ = Stats();
   util::WallTimer timer;
-  std::vector<ontology::ConceptId> concepts(query.begin(), query.end());
+  std::vector<ontology::ConceptId>& concepts = scratch_.concepts;
+  concepts.assign(query.begin(), query.end());
   std::sort(concepts.begin(), concepts.end());
   concepts.erase(std::unique(concepts.begin(), concepts.end()),
                  concepts.end());
@@ -31,7 +32,9 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
   }
   if (k == 0) return std::vector<ScoredDocument>{};
 
-  std::vector<std::span<const index::PrecomputedPostings::Entry>> lists;
+  std::vector<std::span<const index::PrecomputedPostings::Entry>>& lists =
+      scratch_.lists;
+  lists.clear();
   lists.reserve(concepts.size());
   for (ontology::ConceptId c : concepts) {
     lists.push_back(postings_->SortedPostings(c));
@@ -76,11 +79,7 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
   // scored concurrently; the round structure itself (sorted access,
   // threshold) stays serial. `*memo_hit` reports whether the memo
   // answered (stats are folded in serially after the round).
-  struct Discovery {
-    corpus::DocId doc;
-    std::uint32_t distance;  // From the discovering list.
-    std::size_t list;
-  };
+  using Discovery = Scratch::Discovery;
   const auto aggregate = [&](const Discovery& d, bool* memo_hit) {
     if (memo != nullptr) {
       double cached = 0.0;
@@ -101,11 +100,13 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
     return total;
   };
 
-  std::unordered_set<corpus::DocId> seen;
-  std::vector<std::uint32_t> last_seen(concepts.size(), 0);
-  std::vector<Discovery> round;
-  std::vector<std::uint64_t> round_totals;
-  std::vector<std::uint8_t> round_hits;
+  std::unordered_set<corpus::DocId>& seen = scratch_.seen;
+  seen.clear();
+  std::vector<std::uint32_t>& last_seen = scratch_.last_seen;
+  last_seen.assign(concepts.size(), 0);
+  std::vector<Discovery>& round = scratch_.round;
+  std::vector<std::uint64_t>& round_totals = scratch_.round_totals;
+  std::vector<std::uint8_t>& round_hits = scratch_.round_hits;
   std::size_t depth = 0;
   bool exhausted = false;
   while (!exhausted) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "core/distance_cache.h"
@@ -86,6 +87,26 @@ class TaRanker {
   Options options_;
   Stats last_stats_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
+
+  // Per-call working memory, hoisted so repeated queries on one ranker
+  // reuse capacity instead of reallocating every round (TaRanker is
+  // single-caller like Drc; it was never thread-safe). Contents are
+  // rebuilt from scratch by each TopKRelevant call.
+  struct Scratch {
+    std::vector<ontology::ConceptId> concepts;
+    std::vector<std::span<const index::PrecomputedPostings::Entry>> lists;
+    std::unordered_set<corpus::DocId> seen;
+    std::vector<std::uint32_t> last_seen;
+    struct Discovery {
+      corpus::DocId doc;
+      std::uint32_t distance;  // From the discovering list.
+      std::size_t list;
+    };
+    std::vector<Discovery> round;
+    std::vector<std::uint64_t> round_totals;
+    std::vector<std::uint8_t> round_hits;
+  };
+  Scratch scratch_;
 };
 
 }  // namespace ecdr::core

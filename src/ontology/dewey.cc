@@ -1,6 +1,8 @@
 #include "ontology/dewey.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "util/string_util.h"
 
@@ -13,9 +15,28 @@ bool DeweyLess(std::span<const std::uint32_t> a,
 
 std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
                               std::span<const std::uint32_t> b) {
+  const std::uint32_t* pa = a.data();
+  const std::uint32_t* pb = b.data();
   const std::size_t limit = std::min(a.size(), b.size());
   std::size_t i = 0;
-  while (i < limit && a[i] == b[i]) ++i;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Compare two components per step as one 64-bit word; on a mismatch
+    // the low half of the word is the earlier component.
+    while (i + 2 <= limit) {
+      std::uint64_t wa;
+      std::uint64_t wb;
+      std::memcpy(&wa, pa + i, sizeof(wa));
+      std::memcpy(&wb, pb + i, sizeof(wb));
+      if (wa != wb) {
+        return i + (static_cast<std::uint32_t>(wa) ==
+                            static_cast<std::uint32_t>(wb)
+                        ? 1
+                        : 0);
+      }
+      i += 2;
+    }
+  }
+  while (i < limit && pa[i] == pb[i]) ++i;
   return i;
 }
 
@@ -77,6 +98,39 @@ const std::vector<DeweyAddress>& AddressEnumerator::Addresses(ConceptId c) {
 void AddressEnumerator::PrecomputeAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (ConceptId c = 0; c < ontology_->num_concepts(); ++c) Compute(c);
+  // Flatten into the pool, preserving each concept's lexicographic
+  // address order, so frozen-mode readers can consume raw spans.
+  pool_.Clear();
+  std::uint64_t total_addresses = 0;
+  std::uint64_t total_components = 0;
+  for (ConceptId c = 0; c < ontology_->num_concepts(); ++c) {
+    const Entry& entry = cache_.find(c)->second;
+    total_addresses += entry.addresses.size();
+    for (const DeweyAddress& address : entry.addresses) {
+      total_components += address.size();
+    }
+  }
+  // Spans index the arena with 32-bit offsets; SNOMED-scale address
+  // sets are ~3e7 components, far below the cap.
+  ECDR_CHECK_LE(total_addresses, 0xFFFFFFFFull);
+  ECDR_CHECK_LE(total_components, 0xFFFFFFFFull);
+  pool_.spans_.reserve(total_addresses);
+  pool_.components_.reserve(total_components);
+  pool_.concept_first_.reserve(ontology_->num_concepts() + 1);
+  for (ConceptId c = 0; c < ontology_->num_concepts(); ++c) {
+    pool_.concept_first_.push_back(
+        static_cast<std::uint32_t>(pool_.spans_.size()));
+    for (const DeweyAddress& address : cache_.find(c)->second.addresses) {
+      AddressSpan span;
+      span.offset = static_cast<std::uint32_t>(pool_.components_.size());
+      span.length = static_cast<std::uint32_t>(address.size());
+      pool_.components_.insert(pool_.components_.end(), address.begin(),
+                               address.end());
+      pool_.spans_.push_back(span);
+    }
+  }
+  pool_.concept_first_.push_back(
+      static_cast<std::uint32_t>(pool_.spans_.size()));
   frozen_.store(true, std::memory_order_release);
 }
 
@@ -99,6 +153,7 @@ void AddressEnumerator::ClearCache() {
   std::lock_guard<std::mutex> lock(mutex_);
   frozen_.store(false, std::memory_order_release);
   cache_.clear();
+  pool_.Clear();
   cached_addresses_.store(0, std::memory_order_relaxed);
 }
 

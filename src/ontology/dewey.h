@@ -21,6 +21,7 @@
 
 #include "ontology/ontology.h"
 #include "ontology/types.h"
+#include "util/macros.h"
 #include "util/status.h"
 
 namespace ecdr::ontology {
@@ -35,6 +36,73 @@ bool DeweyLess(std::span<const std::uint32_t> a,
 /// Length of the longest common prefix of `a` and `b`, in components.
 std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
                               std::span<const std::uint32_t> b);
+
+/// One address inside a FlatDeweyPool: `length` components starting at
+/// `offset` in the pool's component arena. `length == 0` is the root's
+/// empty address.
+struct AddressSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Every concept's Dewey address set in one contiguous layout: a single
+/// uint32 component arena plus {offset,len} spans, grouped per concept
+/// by a prefix array (CSR, like ontology::Ontology's edge storage).
+/// Addresses keep the enumerator's per-concept lexicographic order, so
+/// DRC can consume spans instead of vector<vector<uint32_t>> without
+/// changing the merge order it feeds the D-Radix build.
+///
+/// Built by AddressEnumerator::PrecomputeAll() and cleared by
+/// ClearCache(); the arena pointers it hands out follow the same
+/// lifetime contract as Addresses() references (ReaderLease guards).
+class FlatDeweyPool {
+ public:
+  /// False until the owning enumerator has precomputed (or after
+  /// ClearCache()); all other accessors require built().
+  bool built() const { return !concept_first_.empty(); }
+
+  std::uint32_t num_concepts() const {
+    return concept_first_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(concept_first_.size() - 1);
+  }
+
+  /// The spans of `c`'s addresses, lexicographically sorted.
+  std::span<const AddressSpan> spans(ConceptId c) const {
+    ECDR_DCHECK_LT(c + 1, concept_first_.size());
+    return {spans_.data() + concept_first_[c],
+            concept_first_[c + 1] - concept_first_[c]};
+  }
+
+  /// The components of one address.
+  std::span<const std::uint32_t> components(AddressSpan span) const {
+    ECDR_DCHECK_LE(span.offset + span.length, components_.size());
+    return {components_.data() + span.offset, span.length};
+  }
+
+  /// Base of the component arena, for callers that turn spans into raw
+  /// {pointer,length} views (the D-Radix edge labels).
+  const std::uint32_t* component_data() const { return components_.data(); }
+
+  std::uint64_t num_addresses() const { return spans_.size(); }
+  std::uint64_t num_components() const { return components_.size(); }
+
+ private:
+  friend class AddressEnumerator;
+
+  void Clear() {
+    components_.clear();
+    components_.shrink_to_fit();
+    spans_.clear();
+    spans_.shrink_to_fit();
+    concept_first_.clear();
+    concept_first_.shrink_to_fit();
+  }
+
+  std::vector<std::uint32_t> components_;
+  std::vector<AddressSpan> spans_;
+  std::vector<std::uint32_t> concept_first_;  // Size num_concepts + 1.
+};
 
 /// "1.1.2" rendering; the empty (root) address renders as "<root>".
 std::string FormatDewey(std::span<const std::uint32_t> address);
@@ -128,10 +196,21 @@ class AddressEnumerator {
 
   /// Enumerates every concept's addresses and freezes the cache: all
   /// later Addresses()/truncated() calls are lock-free reads of the
-  /// now-immutable cache. Costs one pass over the whole ontology.
+  /// now-immutable cache. Costs one pass over the whole ontology. Also
+  /// builds the FlatDeweyPool (see flat_pool()).
   void PrecomputeAll();
 
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// The flattened address pool, or nullptr before PrecomputeAll() /
+  /// after ClearCache(). Only the frozen enumerator serves spans: the
+  /// arena cannot be appended to without moving it, so the pool and the
+  /// growing per-concept cache cannot coexist. Returned pointers into
+  /// the arena stay valid until ClearCache() (take a ReaderLease, as
+  /// Drc does, to pin it).
+  const FlatDeweyPool* flat_pool() const {
+    return frozen() && pool_.built() ? &pool_ : nullptr;
+  }
 
   /// True if Addresses(c) was truncated at the cap (call after
   /// Addresses(c)).
@@ -166,6 +245,7 @@ class AddressEnumerator {
   AddressEnumeratorOptions options_;
   mutable std::mutex mutex_;
   std::atomic<bool> frozen_{false};
+  FlatDeweyPool pool_;
   std::unordered_map<ConceptId, Entry> cache_;
   std::atomic<std::uint64_t> cached_addresses_{0};
   std::atomic<std::int64_t> live_readers_{0};

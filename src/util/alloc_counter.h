@@ -1,0 +1,172 @@
+// Thread-local heap-allocation counting, used by the allocation
+// regression test (tests/drc_alloc_test.cc) and the DRC hot-path bench
+// (bench/bench_drc_hotpath.cc) to prove that steady-state distance
+// calls stay off the allocator.
+//
+// Two layers:
+//   1. The always-available counters + AllocationTally snapshot helper
+//      (this header, no macro needed). They only move when layer 2 is
+//      compiled in somewhere in the binary.
+//   2. Replacement global operator new/delete that bump the counters.
+//      The replacement operators must be non-inline namespace-scope
+//      definitions and must appear exactly once per binary, so they are
+//      gated: define ECDR_ALLOC_COUNTER_DEFINE_NEW before including
+//      this header in exactly ONE translation unit of the test or bench
+//      executable. Never define it in a library TU.
+//
+// The hook counts every allocation on the calling thread, including
+// ones from the standard library and the test framework — callers
+// bracket exactly the region under measurement with AllocationTally.
+
+#ifndef ECDR_UTIL_ALLOC_COUNTER_H_
+#define ECDR_UTIL_ALLOC_COUNTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace ecdr::util {
+
+struct AllocCounts {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+};
+
+namespace alloc_internal {
+inline thread_local AllocCounts t_counts;
+}  // namespace alloc_internal
+
+/// This thread's cumulative counters since thread start. Zero forever
+/// unless the defining TU (ECDR_ALLOC_COUNTER_DEFINE_NEW) is linked in.
+inline const AllocCounts& ThisThreadAllocCounts() {
+  return alloc_internal::t_counts;
+}
+
+inline void NoteAllocation(std::size_t bytes) {
+  alloc_internal::t_counts.allocations += 1;
+  alloc_internal::t_counts.bytes += bytes;
+}
+
+inline void NoteFree() { alloc_internal::t_counts.frees += 1; }
+
+/// Snapshot-diff helper: constructed before the region under test,
+/// queried after. Counts only this thread's activity.
+class AllocationTally {
+ public:
+  AllocationTally() : start_(alloc_internal::t_counts) {}
+
+  std::uint64_t allocations() const {
+    return alloc_internal::t_counts.allocations - start_.allocations;
+  }
+  std::uint64_t frees() const {
+    return alloc_internal::t_counts.frees - start_.frees;
+  }
+  std::uint64_t bytes() const {
+    return alloc_internal::t_counts.bytes - start_.bytes;
+  }
+
+ private:
+  AllocCounts start_;
+};
+
+}  // namespace ecdr::util
+
+#ifdef ECDR_ALLOC_COUNTER_DEFINE_NEW
+
+namespace ecdr::util::alloc_internal {
+
+inline void* CountedAlloc(std::size_t size) {
+  NoteAllocation(size);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+inline void* CountedAllocAligned(std::size_t size, std::size_t alignment) {
+  NoteAllocation(size);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0) {
+    std::abort();
+  }
+  return p;
+}
+
+inline void CountedFree(void* p) {
+  if (p == nullptr) return;
+  NoteFree();
+  std::free(p);
+}
+
+}  // namespace ecdr::util::alloc_internal
+
+// Replacement allocation functions ([new.delete.single]/[new.delete.array]).
+// Everything funnels through malloc/free, so the aligned and unaligned
+// deletes are interchangeable with posix_memalign-produced pointers.
+void* operator new(std::size_t size) {
+  return ecdr::util::alloc_internal::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return ecdr::util::alloc_internal::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ecdr::util::alloc_internal::CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ecdr::util::alloc_internal::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return ecdr::util::alloc_internal::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ecdr::util::alloc_internal::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return ecdr::util::alloc_internal::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return ecdr::util::alloc_internal::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ecdr::util::alloc_internal::CountedFree(p);
+}
+
+#endif  // ECDR_ALLOC_COUNTER_DEFINE_NEW
+
+#endif  // ECDR_UTIL_ALLOC_COUNTER_H_

@@ -1,0 +1,167 @@
+// Proves the tentpole property of the DRC hot path: after warm-up,
+// repeated distance computations on one Drc engine perform ZERO heap
+// allocations. The replacement operator new defined in this TU (via
+// ECDR_ALLOC_COUNTER_DEFINE_NEW) counts every allocation on this
+// thread; the steady-state loops must not move the counter.
+//
+// The guarantee rests on: the FlatDeweyPool serving address spans
+// without materializing vectors, the D-Radix arena reusing capacity
+// across Reset(), and Drc::Scratch recycling every per-call buffer.
+
+#define ECDR_ALLOC_COUNTER_DEFINE_NEW
+#include "util/alloc_counter.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concept_weights.h"
+#include "core/drc.h"
+#include "ontology/dewey.h"
+#include "ontology/generator.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+namespace {
+
+using ontology::AddressEnumerator;
+using ontology::ConceptId;
+
+struct Fixture {
+  ontology::Ontology ontology;
+  AddressEnumerator enumerator;
+  Drc drc;
+  ConceptWeights weights;
+
+  explicit Fixture(ontology::Ontology o)
+      : ontology(std::move(o)),
+        enumerator(ontology),
+        drc(ontology, &enumerator),
+        weights(ConceptWeights::Uniform(ontology)) {
+    enumerator.PrecomputeAll();
+  }
+};
+
+Fixture MakeFixture() {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 2'000;
+  config.seed = 77;
+  auto ontology = GenerateOntology(config);
+  ECDR_CHECK(ontology.ok());
+  return Fixture(std::move(ontology).value());
+}
+
+// Deterministic pseudo-document over the fixture ontology.
+std::vector<ConceptId> MakeConcepts(std::uint64_t salt, std::size_t count,
+                                    std::uint32_t num_concepts) {
+  std::vector<ConceptId> concepts;
+  concepts.reserve(count);
+  std::uint64_t state = salt * 6364136223846793005ull + 1442695040888963407ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    concepts.push_back(static_cast<ConceptId>((state >> 33) % num_concepts));
+  }
+  return concepts;
+}
+
+TEST(DrcAllocTest, SteadyStateDistanceCallsDoNotAllocate) {
+  Fixture fx = MakeFixture();
+  ASSERT_NE(fx.enumerator.flat_pool(), nullptr);
+
+  const std::uint32_t n = fx.ontology.num_concepts();
+  const std::vector<ConceptId> doc_a = MakeConcepts(1, 24, n);
+  const std::vector<ConceptId> doc_b = MakeConcepts(2, 16, n);
+  const std::vector<ConceptId> query = MakeConcepts(3, 6, n);
+  std::vector<WeightedConcept> weighted;
+  for (ConceptId c : query) weighted.push_back({c, 1.5});
+
+  // Warm-up: grows every scratch buffer (and the Ddq/Ddd code paths'
+  // high-water marks) to capacity.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fx.drc.DocQueryDistance(doc_a, query).ok());
+    ASSERT_TRUE(fx.drc.DocDocDistance(doc_a, doc_b).ok());
+    ASSERT_TRUE(fx.drc.DocQueryDistanceWeighted(doc_a, weighted).ok());
+    ASSERT_TRUE(fx.drc.DocDocDistanceWeighted(doc_a, doc_b, fx.weights).ok());
+  }
+
+  // Steady state: counters must not move. Results are accumulated into
+  // plain locals (no gtest macros inside the measured region — their
+  // bookkeeping could allocate) and checked afterwards.
+  constexpr int kCalls = 50;
+  std::uint64_t ddq_sum = 0;
+  double ddd_sum = 0.0;
+  bool all_ok = true;
+  util::AllocationTally tally;
+  for (int i = 0; i < kCalls; ++i) {
+    auto ddq = fx.drc.DocQueryDistance(doc_a, query);
+    auto ddd = fx.drc.DocDocDistance(doc_a, doc_b);
+    auto wdq = fx.drc.DocQueryDistanceWeighted(doc_a, weighted);
+    auto wdd = fx.drc.DocDocDistanceWeighted(doc_a, doc_b, fx.weights);
+    all_ok = all_ok && ddq.ok() && ddd.ok() && wdq.ok() && wdd.ok();
+    if (!all_ok) break;
+    ddq_sum += *ddq;
+    ddd_sum += *ddd + *wdq + *wdd;
+  }
+  const std::uint64_t allocations = tally.allocations();
+  const std::uint64_t bytes = tally.bytes();
+
+  EXPECT_TRUE(all_ok);
+  EXPECT_GT(ddq_sum, 0u);
+  EXPECT_GT(ddd_sum, 0.0);
+  EXPECT_EQ(allocations, 0u) << bytes << " bytes allocated in "
+                             << kCalls << " steady-state iterations";
+}
+
+// Alternating between differently-sized inputs must also settle: the
+// scratch keeps the high-water capacity of the largest input.
+TEST(DrcAllocTest, AlternatingInputsSettleToZeroAllocations) {
+  Fixture fx = MakeFixture();
+  const std::uint32_t n = fx.ontology.num_concepts();
+  std::vector<std::vector<ConceptId>> docs;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    docs.push_back(MakeConcepts(100 + i, 4 + 6 * i, n));
+  }
+  const std::vector<ConceptId> query = MakeConcepts(42, 5, n);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& doc : docs) {
+      ASSERT_TRUE(fx.drc.DocQueryDistance(doc, query).ok());
+    }
+  }
+
+  std::uint64_t checksum = 0;
+  bool all_ok = true;
+  util::AllocationTally tally;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (const auto& doc : docs) {
+      auto ddq = fx.drc.DocQueryDistance(doc, query);
+      all_ok = all_ok && ddq.ok();
+      if (!all_ok) break;
+      checksum += *ddq;
+    }
+  }
+  const std::uint64_t allocations = tally.allocations();
+
+  EXPECT_TRUE(all_ok);
+  EXPECT_GT(checksum, 0u);
+  EXPECT_EQ(allocations, 0u);
+}
+
+// The legacy (unfrozen, no pool) path is NOT required to be
+// allocation-free — but the counter itself must observe the process
+// allocating, proving the instrument works and the zero above is not a
+// broken hook.
+TEST(DrcAllocTest, CounterObservesAllocations) {
+  util::AllocationTally tally;
+  std::vector<std::uint64_t>* v = new std::vector<std::uint64_t>(1024);
+  const std::uint64_t after_new = tally.allocations();
+  delete v;
+  const std::uint64_t frees = tally.frees();
+  EXPECT_GE(after_new, 2u);  // The vector object + its buffer.
+  EXPECT_GE(frees, 2u);
+  EXPECT_GE(tally.bytes(), 1024 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace ecdr::core

@@ -1,0 +1,144 @@
+// FlatDeweyPool round-trip tests: the pool built by PrecomputeAll()
+// must reproduce the legacy per-concept address vectors exactly — same
+// address count, same components, same lexicographic order — because
+// DRC's build consumes the pool verbatim and the D-Radix merge order
+// (hence the whole ranking) depends on it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drc.h"
+#include "ontology/dewey.h"
+#include "ontology/generator.h"
+#include "tests/fig3_fixture.h"
+
+namespace ecdr::ontology {
+namespace {
+
+using ::ecdr::testing::Fig3;
+using ::ecdr::testing::MakeFig3Ontology;
+
+// Pool spans of `c` must equal the legacy Addresses(c) vectors,
+// element for element and in the same order.
+void ExpectPoolMatchesLegacy(AddressEnumerator* enumerator,
+                             const FlatDeweyPool* pool, ConceptId c) {
+  const std::vector<DeweyAddress>& legacy = enumerator->Addresses(c);
+  const std::span<const AddressSpan> spans = pool->spans(c);
+  ASSERT_EQ(spans.size(), legacy.size()) << "concept " << c;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    const std::span<const std::uint32_t> components =
+        pool->components(spans[i]);
+    EXPECT_TRUE(std::equal(components.begin(), components.end(),
+                           legacy[i].begin(), legacy[i].end()))
+        << "concept " << c << " address " << i << ": pool "
+        << FormatDewey(components) << " vs legacy " << FormatDewey(legacy[i]);
+  }
+}
+
+TEST(FlatDeweyPoolTest, RoundTripsGeneratedOntologies) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    OntologyGeneratorConfig config;
+    config.num_concepts = 600;
+    config.seed = seed;
+    auto ontology = GenerateOntology(config);
+    ASSERT_TRUE(ontology.ok()) << ontology.status().message();
+
+    AddressEnumerator enumerator(*ontology);
+    ASSERT_EQ(enumerator.flat_pool(), nullptr);  // Not frozen yet.
+    enumerator.PrecomputeAll();
+    const FlatDeweyPool* pool = enumerator.flat_pool();
+    ASSERT_NE(pool, nullptr) << "seed " << seed;
+    ASSERT_EQ(pool->num_concepts(), ontology->num_concepts());
+
+    std::uint64_t total_addresses = 0;
+    for (ConceptId c = 0; c < ontology->num_concepts(); ++c) {
+      ExpectPoolMatchesLegacy(&enumerator, pool, c);
+      total_addresses += pool->spans(c).size();
+    }
+    EXPECT_EQ(pool->num_addresses(), total_addresses) << "seed " << seed;
+  }
+}
+
+TEST(FlatDeweyPoolTest, RootHasTheEmptyAddress) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  enumerator.PrecomputeAll();
+  const FlatDeweyPool* pool = enumerator.flat_pool();
+  ASSERT_NE(pool, nullptr);
+  const std::span<const AddressSpan> root_spans =
+      pool->spans(fig3.ontology.root());
+  ASSERT_EQ(root_spans.size(), 1u);
+  EXPECT_EQ(root_spans[0].length, 0u);
+  EXPECT_TRUE(pool->components(root_spans[0]).empty());
+}
+
+TEST(FlatDeweyPoolTest, MultiParentConceptKeepsAllAddressesSorted) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  enumerator.PrecomputeAll();
+  const FlatDeweyPool* pool = enumerator.flat_pool();
+  ASSERT_NE(pool, nullptr);
+  // J has parents G and F (Table 1): two addresses, lexicographically
+  // sorted; R below J doubles them.
+  const std::span<const AddressSpan> j = pool->spans(fig3['J']);
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(FormatDewey(pool->components(j[0])), "1.1.1.2");
+  EXPECT_EQ(FormatDewey(pool->components(j[1])), "3.1.1");
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    const std::span<const AddressSpan> spans = pool->spans(c);
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_FALSE(DeweyLess(pool->components(spans[i]),
+                             pool->components(spans[i - 1])))
+          << "concept " << c << " out of order at address " << i;
+    }
+    ExpectPoolMatchesLegacy(&enumerator, pool, c);
+  }
+}
+
+TEST(FlatDeweyPoolTest, ClearCacheDropsThePool) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  enumerator.PrecomputeAll();
+  ASSERT_NE(enumerator.flat_pool(), nullptr);
+  enumerator.ClearCache();
+  EXPECT_EQ(enumerator.flat_pool(), nullptr);
+  // Re-precomputing rebuilds an identical pool.
+  enumerator.PrecomputeAll();
+  const FlatDeweyPool* pool = enumerator.flat_pool();
+  ASSERT_NE(pool, nullptr);
+  for (ConceptId c = 0; c < fig3.ontology.num_concepts(); ++c) {
+    ExpectPoolMatchesLegacy(&enumerator, pool, c);
+  }
+}
+
+// The pool path (frozen) and the legacy path (unfrozen) must produce
+// identical distances: same inserts in the same order (drc.cc's
+// GatherInserts switches between them on flat_pool()).
+TEST(FlatDeweyPoolTest, FrozenAndUnfrozenDistancesAgree) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator frozen(fig3.ontology);
+  frozen.PrecomputeAll();
+  AddressEnumerator unfrozen(fig3.ontology);
+  core::Drc pool_drc(fig3.ontology, &frozen);
+  core::Drc legacy_drc(fig3.ontology, &unfrozen);
+
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+  auto pool_ddq = pool_drc.DocQueryDistance(d, q);
+  auto legacy_ddq = legacy_drc.DocQueryDistance(d, q);
+  ASSERT_TRUE(pool_ddq.ok() && legacy_ddq.ok());
+  EXPECT_EQ(*pool_ddq, *legacy_ddq);
+  EXPECT_EQ(*pool_ddq, 7u);  // Example 1: 4 + 2 + 1.
+
+  auto pool_ddd = pool_drc.DocDocDistance(d, q);
+  auto legacy_ddd = legacy_drc.DocDocDistance(d, q);
+  ASSERT_TRUE(pool_ddd.ok() && legacy_ddd.ok());
+  EXPECT_EQ(*pool_ddd, *legacy_ddd);
+}
+
+}  // namespace
+}  // namespace ecdr::ontology
