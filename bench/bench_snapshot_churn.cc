@@ -1,0 +1,207 @@
+// Snapshot-churn benchmark: reader latency (p50/p95) and throughput
+// while a writer publishes copy-on-write generations at a controlled
+// rate. This is the referee for the lock-free read path: searches
+// acquire the engine snapshot with one atomic load and never take an
+// engine mutex, so reader latency must stay flat as the publish rate
+// grows — the pre-snapshot engine's reader/writer lock would collapse
+// here instead.
+//
+// Steady-state assertions (the bench fails hard, not just regresses):
+// every search succeeds under churn, the retire list drains to zero
+// once readers stop (no generation leak), the write buffer is empty
+// after the final flush, and the generation counter accounts for every
+// publish. Trends across PRs are tracked via BENCH_snapshot_churn.json;
+// `--smoke` runs a bounded workload so CI can keep the binary from
+// rotting.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/ranking_engine.h"
+#include "corpus/query_gen.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using ecdr::util::TablePrinter;
+
+struct Row {
+  std::string mode;        // "idle", "<N>qps", "max"
+  double writer_qps = 0.0; // requested; <0 = unthrottled
+  std::uint64_t searches = 0;
+  std::uint64_t published = 0;  // generations published during the run
+  double reader_qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::size_t retired_live_end = 0;  // after drain; asserted == 0
+};
+
+double Percentile(std::vector<double>* latencies, double fraction) {
+  ECDR_CHECK(!latencies->empty());
+  std::sort(latencies->begin(), latencies->end());
+  const std::size_t index = std::min(
+      latencies->size() - 1,
+      static_cast<std::size_t>(fraction * static_cast<double>(latencies->size())));
+  return (*latencies)[index];
+}
+
+void WriteJson(const std::vector<Row>& rows, double scale, bool smoke,
+               const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  std::fprintf(file, "{\n  \"benchmark\": \"snapshot_churn\",\n");
+  std::fprintf(file, "  \"scale\": %.4f,\n", scale);
+  std::fprintf(file, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        file,
+        "    {\"mode\": \"%s\", \"writer_qps\": %.1f, \"searches\": %llu, "
+        "\"generations_published\": %llu, \"reader_qps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"retired_live_end\": %zu}%s\n",
+        row.mode.c_str(), row.writer_qps,
+        static_cast<unsigned long long>(row.searches),
+        static_cast<unsigned long long>(row.published), row.reader_qps,
+        row.p50_ms, row.p95_ms, row.retired_live_end,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::uint64_t searches_per_mode = smoke ? 40 : 400;
+
+  ecdr::bench::Testbed testbed =
+      ecdr::bench::BuildTestbed(scale, /*include_patient=*/true,
+                                /*include_radio=*/false);
+  ecdr::bench::PrintTestbedBanner(
+      "Snapshot churn: reader p50/p95 and throughput vs writer publish "
+      "rate (lock-free reads, copy-on-write publishes)",
+      testbed, scale, static_cast<std::uint32_t>(searches_per_mode));
+
+  const ecdr::corpus::Corpus& base = *testbed.patient.corpus;
+  ECDR_CHECK_GT(base.num_documents(), 1u);
+  const auto queries = ecdr::corpus::GenerateRdsQueries(
+      base, /*num_queries=*/16, /*concepts_per_query=*/5, /*seed=*/901);
+
+  ecdr::core::RankingEngineOptions options;
+  options.knds.num_threads = 1;
+  options.knds.error_threshold = ecdr::bench::kPatientRdsErrorThreshold;
+  // Roll appends over into bounded shards so a publish clones one tail
+  // shard, not the whole index.
+  options.snapshot.target_docs_per_shard =
+      std::max<std::uint32_t>(64, base.num_documents() / 8);
+  auto engine = ecdr::core::RankingEngine::Create(
+      std::move(*testbed.ontology), options);
+  ECDR_CHECK(engine->AddCorpus(base).ok());
+
+  struct Mode {
+    std::string name;
+    double qps;  // 0 = no writer, < 0 = unthrottled
+  };
+  const std::vector<Mode> modes = {
+      {"idle", 0.0}, {"100qps", 100.0}, {"1000qps", 1000.0}, {"max", -1.0}};
+
+  std::vector<Row> rows;
+  for (const Mode& mode : modes) {
+    const std::uint64_t published_before =
+        engine->snapshot_stats().published;
+
+    std::atomic<bool> stop{false};
+    std::thread writer;
+    if (mode.qps != 0.0) {
+      writer = std::thread([&] {
+        std::uint32_t next = 0;
+        const auto pinned = engine->snapshot();
+        while (!stop.load(std::memory_order_acquire)) {
+          const auto concepts =
+              pinned->corpus.document(next % base.num_documents()).concepts();
+          ECDR_CHECK(
+              engine->AddDocument({concepts.begin(), concepts.end()}).ok());
+          ++next;
+          if (mode.qps > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(1.0 / mode.qps));
+          }
+        }
+      });
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(searches_per_mode);
+    ecdr::util::WallTimer mode_timer;
+    for (std::uint64_t s = 0; s < searches_per_mode; ++s) {
+      const auto& query = queries[s % queries.size()];
+      ecdr::util::WallTimer timer;
+      const auto results = engine->FindRelevant(query, /*k=*/10);
+      latencies.push_back(timer.ElapsedSeconds() * 1e3);
+      // Under churn every search still succeeds — reads never block on
+      // or fail because of the writer.
+      ECDR_CHECK(results.ok());
+    }
+    const double mode_seconds = mode_timer.ElapsedSeconds();
+
+    if (writer.joinable()) {
+      stop.store(true, std::memory_order_release);
+      writer.join();
+    }
+    engine->Flush();
+
+    // Steady state: with no reader in flight and no pin held, every
+    // superseded generation has died — the retire list is empty.
+    const ecdr::core::SnapshotStats stats = engine->snapshot_stats();
+    ECDR_CHECK_EQ(stats.retired_live, 0u);
+    ECDR_CHECK_EQ(stats.pending_documents, 0u);
+    // Generation accounting: the publish counter and the current
+    // generation agree (generation is 0-based).
+    ECDR_CHECK_EQ(stats.generation + 1, stats.published);
+
+    Row row;
+    row.mode = mode.name;
+    row.writer_qps = mode.qps;
+    row.searches = searches_per_mode;
+    row.published = stats.published - published_before;
+    row.reader_qps =
+        mode_seconds > 0.0
+            ? static_cast<double>(searches_per_mode) / mode_seconds
+            : 0.0;
+    row.p50_ms = Percentile(&latencies, 0.50);
+    row.p95_ms = Percentile(&latencies, 0.95);
+    row.retired_live_end = stats.retired_live;
+    rows.push_back(row);
+  }
+
+  TablePrinter table({"writer", "searches", "published", "reader qps",
+                      "p50 ms", "p95 ms", "retired@end"});
+  for (const Row& row : rows) {
+    table.AddRow({row.mode, std::to_string(row.searches),
+                  std::to_string(row.published),
+                  TablePrinter::FormatDouble(row.reader_qps, 1),
+                  TablePrinter::FormatDouble(row.p50_ms, 3),
+                  TablePrinter::FormatDouble(row.p95_ms, 3),
+                  std::to_string(row.retired_live_end)});
+  }
+  table.Print(std::cout);
+
+  WriteJson(rows, scale, smoke, "BENCH_snapshot_churn.json");
+  std::printf("\nwrote BENCH_snapshot_churn.json\n");
+  return 0;
+}

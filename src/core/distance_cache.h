@@ -17,11 +17,14 @@
 // per-concept weight table).
 //
 // Invalidation: the ontology is immutable, so signatures never go
-// stale; documents can change (RankingEngine::AddDocument bumps the
-// engine epoch and calls InvalidateDocument for the touched id). Each
-// document carries a version; keys embed the version at insertion, so
+// stale; documents can change (publishing a snapshot bumps the engine
+// epoch and calls InvalidateDocument for each new id). Each document
+// carries a version; keys embed the version at insertion, so
 // invalidated entries simply stop matching and age out of the LRU —
-// no scan, and the concept-pair cache is never flushed.
+// no scan, and the concept-pair cache is never flushed. Epochs are
+// snapshot-scoped: EngineSnapshot::ddq_epoch records the epoch its
+// generation was published at, so entries written at or before it
+// cover every document that generation can see.
 //
 // Thread safety: fully thread-safe (sharded LRU + a reader/writer lock
 // on the version table); one memo is shared by every concurrent search
@@ -102,8 +105,9 @@ class DdqMemo {
   /// matching and age out of the LRU) and advances the epoch.
   void InvalidateDocument(corpus::DocId doc);
 
-  /// Count of InvalidateDocument calls; RankingEngine bumps it once per
-  /// AddDocument.
+  /// Count of InvalidateDocument calls; the snapshot builder bumps it
+  /// once per published document and stamps the resulting value into
+  /// the generation (EngineSnapshot::ddq_epoch).
   std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_acquire);
   }

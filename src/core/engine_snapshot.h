@@ -1,0 +1,70 @@
+// EngineSnapshot — one immutable, reference-counted generation of the
+// engine's searchable state (DESIGN.md, "Snapshot lifecycle").
+//
+// A snapshot bundles everything a search reads: the corpus view, the
+// forward and sharded inverted indexes, and the cache epoch the
+// generation was published at, plus a ReaderLease pinning the frozen
+// AddressEnumerator / FlatDeweyPool for as long as any reader holds the
+// generation (so AddressEnumerator::ClearCache aborts rather than
+// dangling an in-flight search — the lease count is the snapshot
+// refcount's shadow in the address layer).
+//
+// Readers obtain the current snapshot from the engine with one atomic
+// load (util::SnapshotHandle<EngineSnapshot>::Acquire) and run
+// start-to-finish against it; writers never mutate a published
+// snapshot, they publish a successor built copy-on-write by
+// core::SnapshotBuilder. Corpus and ShardedIndex copies share segments
+// and shards by refcount, so a snapshot costs O(changed tail shard),
+// not O(collection).
+
+#ifndef ECDR_CORE_ENGINE_SNAPSHOT_H_
+#define ECDR_CORE_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "corpus/corpus.h"
+#include "index/forward_index.h"
+#include "index/sharded_index.h"
+#include "ontology/dewey.h"
+
+namespace ecdr::core {
+
+struct EngineSnapshot {
+  /// `addresses` may be null (no lease taken); when set, the snapshot
+  /// holds a ReaderLease on it for its whole lifetime.
+  EngineSnapshot(std::uint64_t generation_in, corpus::Corpus corpus_in,
+                 index::ShardedIndex index_in,
+                 ontology::AddressEnumerator* addresses,
+                 std::uint64_t ddq_epoch_in)
+      : generation(generation_in),
+        corpus(std::move(corpus_in)),
+        index(std::move(index_in)),
+        forward(corpus),
+        address_lease(addresses),
+        ddq_epoch(ddq_epoch_in) {}
+
+  // forward points into this object: pin it in place.
+  EngineSnapshot(const EngineSnapshot&) = delete;
+  EngineSnapshot& operator=(const EngineSnapshot&) = delete;
+
+  /// Monotone publish counter; generation 0 is the empty corpus a fresh
+  /// engine starts with.
+  const std::uint64_t generation;
+
+  const corpus::Corpus corpus;
+  const index::ShardedIndex index;
+  const index::ForwardIndex forward;  // document -> concepts view of `corpus`
+
+  /// Pins the frozen Dewey address cache while this generation lives.
+  const ontology::AddressEnumerator::ReaderLease address_lease;
+
+  /// The engine DdqMemo epoch this generation was published at: entries
+  /// written at or before this epoch cover every document the snapshot
+  /// can see. Snapshot-scoped where the pre-snapshot engine had one
+  /// global mutable epoch.
+  const std::uint64_t ddq_epoch;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_ENGINE_SNAPSHOT_H_

@@ -41,8 +41,9 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
           : nullptr;
   std::atomic<std::uint64_t> memo_hits{0};
   std::atomic<std::uint64_t> memo_misses{0};
-  const auto memoized_score = [&](Drc* engine,
-                                  corpus::DocId d) -> util::StatusOr<double> {
+  const auto memoized_score =
+      [&](Drc* engine, corpus::DocId d,
+          const corpus::Document& doc) -> util::StatusOr<double> {
     if (memo != nullptr) {
       double cached = 0.0;
       if (memo->Get(sig, d, &cached)) {
@@ -51,7 +52,7 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
       }
       memo_misses.fetch_add(1, std::memory_order_relaxed);
     }
-    util::StatusOr<double> distance = score(engine, d);
+    util::StatusOr<double> distance = score(engine, d, doc);
     if (memo != nullptr && distance.ok()) memo->Put(sig, d, *distance);
     return distance;
   };
@@ -96,15 +97,27 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
 
   std::vector<ScoredDocument> heap;
   if (lanes == 1) {
-    for (corpus::DocId d = 0; d < num_docs; ++d) {
-      if (stop_requested()) {
-        truncated.store(true, std::memory_order_relaxed);
-        break;
+    // Walk segment by segment: segments cover contiguous ascending id
+    // ranges, so this visits exactly 0..num_docs-1 in order while
+    // resolving each document with one span index instead of a
+    // per-document segment search.
+    bool stopped = false;
+    for (std::size_t s = 0; s < corpus_->num_segments() && !stopped; ++s) {
+      const corpus::DocId base = corpus_->segment_base(s);
+      const std::span<const corpus::Document> docs =
+          corpus_->segment_documents(s);
+      for (std::size_t i = 0; i < docs.size(); ++i) {
+        if (stop_requested()) {
+          truncated.store(true, std::memory_order_relaxed);
+          stopped = true;
+          break;
+        }
+        const corpus::DocId d = base + static_cast<corpus::DocId>(i);
+        util::StatusOr<double> distance = memoized_score(drc_, d, docs[i]);
+        ECDR_RETURN_IF_ERROR(distance.status());
+        ++last_stats_.documents_scored;
+        push_scored(&heap, k, ScoredDocument{d, *distance});
       }
-      util::StatusOr<double> distance = memoized_score(drc_, d);
-      ECDR_RETURN_IF_ERROR(distance.status());
-      ++last_stats_.documents_scored;
-      push_scored(&heap, k, ScoredDocument{d, *distance});
     }
   } else {
     // Shard the scan: each lane keeps its own Drc engine, top-k heap and
@@ -133,16 +146,15 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
             truncated.store(true, std::memory_order_relaxed);
             return;
           }
+          const corpus::DocId id = static_cast<corpus::DocId>(d);
           util::StatusOr<double> distance =
-              memoized_score(state.drc.get(), static_cast<corpus::DocId>(d));
+              memoized_score(state.drc.get(), id, corpus_->document(id));
           if (!distance.ok()) {
             state.status = distance.status();
             return;
           }
           ++state.scored;
-          push_scored(
-              &state.heap, k,
-              ScoredDocument{static_cast<corpus::DocId>(d), *distance});
+          push_scored(&state.heap, k, ScoredDocument{id, *distance});
         },
         options_.cancel_token);
     for (LaneState& state : lane_states) {
@@ -173,10 +185,10 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKRelevant(
   const std::vector<ontology::ConceptId> canonical = Distinct(query);
   const QuerySig sig = SignatureOfConcepts(canonical, /*sds=*/false);
   return Rank(k, sig,
-              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+              [&](Drc* engine, corpus::DocId,
+                  const corpus::Document& doc) -> util::StatusOr<double> {
                 util::StatusOr<std::uint64_t> distance =
-                    engine->DocQueryDistance(corpus_->document(d).concepts(),
-                                             canonical);
+                    engine->DocQueryDistance(doc.concepts(), canonical);
                 ECDR_RETURN_IF_ERROR(distance.status());
                 return static_cast<double>(*distance);
               });
@@ -187,9 +199,10 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::TopKSimilar(
   // Document concepts are already sorted and unique.
   const QuerySig sig = SignatureOfConcepts(query_doc.concepts(), /*sds=*/true);
   return Rank(k, sig,
-              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
-                return engine->DocDocDistance(
-                    query_doc.concepts(), corpus_->document(d).concepts());
+              [&](Drc* engine, corpus::DocId,
+                  const corpus::Document& doc) -> util::StatusOr<double> {
+                return engine->DocDocDistance(query_doc.concepts(),
+                                              doc.concepts());
               });
 }
 
@@ -200,9 +213,10 @@ ExhaustiveRanker::TopKRelevantWeighted(std::span<const WeightedConcept> query,
       NormalizeWeightedConcepts(query);
   const QuerySig sig = SignatureOfWeighted(normalized);
   return Rank(k, sig,
-              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
-                return engine->DocQueryDistanceWeighted(
-                    corpus_->document(d).concepts(), normalized);
+              [&](Drc* engine, corpus::DocId,
+                  const corpus::Document& doc) -> util::StatusOr<double> {
+                return engine->DocQueryDistanceWeighted(doc.concepts(),
+                                                        normalized);
               });
 }
 
@@ -213,10 +227,10 @@ ExhaustiveRanker::TopKSimilarWeighted(const corpus::Document& query_doc,
   // Weighted SDS depends on the full per-concept weight table, so it is
   // not memoized: the invalid signature bypasses the memo.
   return Rank(k, QuerySig{},
-              [&](Drc* engine, corpus::DocId d) -> util::StatusOr<double> {
+              [&](Drc* engine, corpus::DocId,
+                  const corpus::Document& doc) -> util::StatusOr<double> {
                 return engine->DocDocDistanceWeighted(
-                    query_doc.concepts(), corpus_->document(d).concepts(),
-                    weights);
+                    query_doc.concepts(), doc.concepts(), weights);
               });
 }
 

@@ -2,6 +2,13 @@
 // document in the collection with DRC and keep the k closest. No pruning
 // — this isolates exactly the benefit of kNDS's branch-and-bound (both
 // use the same DRC distance component, as in the paper's setup).
+//
+// Segment/shard aware: the serial scan walks the corpus segment by
+// segment (contiguous id ranges — see corpus/corpus.h), and the
+// parallel scan fans documents out across lanes with private top-k
+// heaps merged under the id-aware (distance, id) order; both are
+// bit-identical to a flat scan at any segment count, so the ranker
+// works unchanged over an EngineSnapshot's sharded corpus view.
 
 #ifndef ECDR_CORE_EXHAUSTIVE_RANKER_H_
 #define ECDR_CORE_EXHAUSTIVE_RANKER_H_
@@ -90,9 +97,10 @@ class ExhaustiveRanker {
   const Stats& last_stats() const { return last_stats_; }
 
  private:
-  /// `score` is called as score(engine, doc) where `engine` is the lane's
-  /// private Drc (drc_ itself on the serial path). `sig` (invalid = no
-  /// memoization) keys the Ddq memo consult wrapped around `score`.
+  /// `score` is called as score(engine, id, doc) where `engine` is the
+  /// lane's private Drc (drc_ itself on the serial path) and `doc` the
+  /// already-resolved document. `sig` (invalid = no memoization) keys
+  /// the Ddq memo consult wrapped around `score`.
   template <typename ScoreFn>
   util::StatusOr<std::vector<ScoredDocument>> Rank(std::uint32_t k,
                                                    const QuerySig& sig,

@@ -38,11 +38,10 @@ bool CandidateBefore(const Candidate& a, const Candidate& b) {
 
 }  // namespace
 
-Knds::Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-           Drc* drc, KndsOptions options, util::ThreadPool* pool,
-           DdqMemo* ddq_memo)
+Knds::Knds(const corpus::Corpus& corpus, index::IndexView index, Drc* drc,
+           KndsOptions options, util::ThreadPool* pool, DdqMemo* ddq_memo)
     : corpus_(&corpus),
-      index_(&index),
+      index_(index),
       drc_(drc),
       options_(options),
       pool_(pool),
@@ -366,6 +365,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
 
     // ---- Breadth-first expansion: visit all concepts at distance
     // `level`, update Md / M'd for their documents, grow the frontier.
+    const std::size_t index_shards = index_.num_shards();
     const auto process_visit = [&](ConceptId c, std::uint32_t i) {
       if (check_stop()) return;
       if (injector != nullptr) injector->OnPostingsFetch();
@@ -385,8 +385,8 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
       }
       const double concept_weight =
           doc_weights == nullptr ? 1.0 : doc_weights->of(c);
-      for (corpus::DocId doc : index_->Postings(c)) {
-        if (phase[doc] >= kExamined) continue;
+      const auto visit_posting = [&](corpus::DocId doc) {
+        if (phase[doc] >= kExamined) return;
         DocState* state;
         if (phase[doc] == kUntouched) {
           phase[doc] = kActive;
@@ -420,6 +420,15 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
           ++state->rev_covered;
           state->rev_covered_weight += concept_weight;
           state->rev_sum += concept_weight * static_cast<double>(level);
+        }
+      };
+      // Shards cover contiguous, ascending id ranges, so walking them in
+      // order yields the same increasing-id posting sequence as a single
+      // whole-corpus index — the first-touch bookkeeping above is
+      // shard-count invariant.
+      for (std::size_t shard = 0; shard < index_shards; ++shard) {
+        for (corpus::DocId doc : index_.Postings(shard, c)) {
+          visit_posting(doc);
         }
       }
     };

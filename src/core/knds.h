@@ -46,7 +46,7 @@
 #include "core/drc.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
-#include "index/inverted_index.h"
+#include "index/sharded_index.h"
 #include "util/deadline.h"
 #include "util/fault_injector.h"
 #include "util/status.h"
@@ -166,9 +166,14 @@ struct KndsStats {
 
 class Knds {
  public:
-  /// All dependencies are shared and unowned. The inverted index must
-  /// cover every document of the corpus (keep it updated through
-  /// InvertedIndex::AddDocument when appending documents).
+  /// All dependencies are shared and unowned. `index` is a view over
+  /// either a whole-corpus InvertedIndex (implicit conversion — one
+  /// shard) or a ShardedIndex; it must cover every document of the
+  /// corpus (keep a standalone InvertedIndex updated through
+  /// InvertedIndex::AddDocument when appending documents). The BFS
+  /// consumes postings shard by shard in increasing id-range order,
+  /// which visits documents in exactly the order a single index would —
+  /// results are bit-identical at any shard count.
   ///
   /// `pool` (optional) supplies the worker threads for concurrent DRC
   /// verification so several engines can share one pool (RankingEngine
@@ -180,8 +185,8 @@ class Knds {
   /// every exact DRC run and fed with every computed distance; see
   /// core/distance_cache.h. Hits return the exact stored double, so
   /// results are bit-identical with or without a memo.
-  Knds(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-       Drc* drc, KndsOptions options = {}, util::ThreadPool* pool = nullptr,
+  Knds(const corpus::Corpus& corpus, index::IndexView index, Drc* drc,
+       KndsOptions options = {}, util::ThreadPool* pool = nullptr,
        DdqMemo* ddq_memo = nullptr);
 
   /// RDS (Definition 1). Duplicate query concepts are ignored. Returns
@@ -253,7 +258,7 @@ class Knds {
       bool weighted, std::uint32_t k);
 
   const corpus::Corpus* corpus_;
-  const index::InvertedIndex* index_;
+  index::IndexView index_;
   Drc* drc_;
   KndsOptions options_;
   KndsStats stats_;

@@ -11,8 +11,6 @@ namespace ecdr::core {
 RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
     : options_(options),
       ontology_(std::make_unique<ontology::Ontology>(std::move(ontology))),
-      corpus_(std::make_unique<corpus::Corpus>(*ontology_)),
-      inverted_(std::make_unique<index::InvertedIndex>(*corpus_)),
       addresses_(std::make_unique<ontology::AddressEnumerator>(
           *ontology_, options.addresses)),
       pair_cache_(ontology::ConceptPairCacheOptions{
@@ -20,6 +18,10 @@ RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
           /*num_shards=*/64}),
       ddq_memo_(options.knds.cache) {
   if (options_.precompute_addresses) addresses_->PrecomputeAll();
+  // The builder publishes generation 0 (empty corpus) into root_, so
+  // searches may start before the first write.
+  builder_ = std::make_unique<SnapshotBuilder>(
+      *ontology_, addresses_.get(), &ddq_memo_, &root_, options_.snapshot);
   const std::size_t threads = options_.knds.num_threads == 0
                                   ? util::ThreadPool::DefaultThreads()
                                   : options_.knds.num_threads;
@@ -47,29 +49,32 @@ util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::CreateFromFiles(
   util::StatusOr<corpus::Corpus> corpus =
       corpus::LoadCorpusAuto(*engine->ontology_, corpus_path);
   ECDR_RETURN_IF_ERROR(corpus.status());
-  for (corpus::DocId d = 0; d < corpus->num_documents(); ++d) {
-    util::StatusOr<corpus::DocId> added =
-        engine->corpus_->AddDocument(corpus->document(d));
-    ECDR_RETURN_IF_ERROR(added.status());
-    engine->inverted_->AddDocument(*added, engine->corpus_->document(*added));
-  }
+  ECDR_RETURN_IF_ERROR(engine->AddCorpus(*corpus));
   return engine;
 }
 
 util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
     std::vector<ontology::ConceptId> concepts) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  util::StatusOr<corpus::DocId> added =
-      corpus_->AddDocument(corpus::Document(std::move(concepts)));
-  ECDR_RETURN_IF_ERROR(added.status());
-  inverted_->AddDocument(*added, corpus_->document(*added));
-  // Version-invalidate the touched document's Ddq entries and advance
-  // the engine epoch. Concept-pair distances are untouched: the ontology
-  // cannot change. (For a freshly appended id this is defensive — it has
-  // no entries yet — but it keeps the epoch an exact AddDocument count
-  // and stays correct if document ids are ever recycled.)
-  ddq_memo_.InvalidateDocument(*added);
-  return added;
+  return builder_->AddDocument(corpus::Document(std::move(concepts)));
+}
+
+util::Status RankingEngine::AddCorpus(const corpus::Corpus& source) {
+  return builder_->AddCorpus(source);
+}
+
+void RankingEngine::Flush() { builder_->Flush(); }
+
+SnapshotStats RankingEngine::snapshot_stats() const {
+  SnapshotStats stats;
+  const util::SnapshotHandle<EngineSnapshot>::Stats handle = root_.stats();
+  stats.published = handle.published;
+  stats.acquires = handle.acquires;
+  stats.retired_live = handle.retired_live;
+  const std::shared_ptr<const EngineSnapshot> snap = root_.Acquire();
+  stats.generation = snap->generation;
+  stats.index_shards = snap->index.num_shards();
+  stats.pending_documents = builder_->pending_documents();
+  return stats;
 }
 
 util::Deadline RankingEngine::EffectiveDeadline(
@@ -154,30 +159,33 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
     ~SlotRelease() { engine->ReleaseSearchSlot(); }
   } release{this};
 
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  // The whole read path: one atomic load pins this generation for the
+  // duration of the search. Writers publish successors concurrently;
+  // nothing here blocks on them or on other readers.
+  const std::shared_ptr<const EngineSnapshot> snap = root_.Acquire();
   // Per-call engines: Drc and Knds hold per-query mutable state, so
   // concurrent readers each get their own (cheap — a few pointers) over
-  // the shared corpus, index and frozen address cache.
+  // the snapshot's corpus, index and the shared frozen address cache.
   KndsOptions per_call = options_.knds;
   per_call.deadline = deadline;
   per_call.cancel_token = control.cancel_token;
   per_call.drc_scratch_pool = &drc_scratches_;
   Drc::ScratchPool::Lease scratch(&drc_scratches_);
   Drc drc(*ontology_, addresses_.get(), scratch.get());
-  Knds knds(*corpus_, *inverted_, &drc, per_call, pool_.get(), &ddq_memo_);
-  util::StatusOr<std::vector<ScoredDocument>> result = search(&knds);
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    last_knds_stats_ = knds.last_stats();
-  }
+  Knds knds(snap->corpus, snap->index, &drc, per_call, pool_.get(),
+            &ddq_memo_);
+  util::StatusOr<std::vector<ScoredDocument>> result = search(&knds, *snap);
+  last_stats_.store(std::make_shared<const KndsStats>(knds.last_stats()),
+                    std::memory_order_release);
   return result;
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k,
     const SearchControl& control) {
-  return RunSearch(control,
-                   [&](Knds* knds) { return knds->SearchRds(query, k); });
+  return RunSearch(control, [&](Knds* knds, const EngineSnapshot&) {
+    return knds->SearchRds(query, k);
+  });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
@@ -193,30 +201,35 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
     }
     query.push_back(id);
   }
-  return RunSearch(control,
-                   [&](Knds* knds) { return knds->SearchRds(query, k); });
+  return RunSearch(control, [&](Knds* knds, const EngineSnapshot&) {
+    return knds->SearchRds(query, k);
+  });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
 RankingEngine::FindRelevantWeighted(std::span<const WeightedConcept> query,
                                     std::uint32_t k,
                                     const SearchControl& control) {
-  return RunSearch(
-      control, [&](Knds* knds) { return knds->SearchRdsWeighted(query, k); });
+  return RunSearch(control, [&](Knds* knds, const EngineSnapshot&) {
+    return knds->SearchRdsWeighted(query, k);
+  });
 }
 
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindSimilar(
     corpus::DocId doc, std::uint32_t k, const SearchControl& control) {
-  return RunSearch(control, [&](Knds* knds)
-                                -> util::StatusOr<std::vector<ScoredDocument>> {
-    // Range-check under the reader lock so a racing AddDocument cannot
-    // invalidate the answer between check and search.
-    if (doc >= corpus_->num_documents()) {
-      return util::OutOfRangeError("document id " + std::to_string(doc) +
-                                   " out of range");
-    }
-    return knds->SearchSds(corpus_->document(doc), k);
-  });
+  return RunSearch(
+      control,
+      [&](Knds* knds, const EngineSnapshot& snap)
+          -> util::StatusOr<std::vector<ScoredDocument>> {
+        // Range-check against the search's own snapshot: the id and the
+        // searched corpus belong to one generation, so a concurrent
+        // publish cannot invalidate the answer between check and search.
+        if (doc >= snap.corpus.num_documents()) {
+          return util::OutOfRangeError("document id " + std::to_string(doc) +
+                                       " out of range");
+        }
+        return knds->SearchSds(snap.corpus.document(doc), k);
+      });
 }
 
 util::StatusOr<std::vector<ScoredDocument>>
@@ -227,21 +240,22 @@ RankingEngine::FindSimilarToConcepts(
   if (query_doc.empty()) {
     return util::InvalidArgumentError("query document has no concepts");
   }
-  return RunSearch(control,
-                   [&](Knds* knds) { return knds->SearchSds(query_doc, k); });
+  return RunSearch(control, [&](Knds* knds, const EngineSnapshot&) {
+    return knds->SearchSds(query_doc, k);
+  });
 }
 
 util::StatusOr<double> RankingEngine::DocumentDistance(
     corpus::DocId a, corpus::DocId b, const SearchControl& control) {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  if (a >= corpus_->num_documents() || b >= corpus_->num_documents()) {
+  const std::shared_ptr<const EngineSnapshot> snap = root_.Acquire();
+  if (a >= snap->corpus.num_documents() || b >= snap->corpus.num_documents()) {
     return util::OutOfRangeError("document id out of range");
   }
   Drc::ScratchPool::Lease scratch(&drc_scratches_);
   Drc drc(*ontology_, addresses_.get(), scratch.get());
   drc.SetCancellation(control.cancel_token, EffectiveDeadline(control));
-  return drc.DocDocDistance(corpus_->document(a).concepts(),
-                            corpus_->document(b).concepts());
+  return drc.DocDocDistance(snap->corpus.document(a).concepts(),
+                            snap->corpus.document(b).concepts());
 }
 
 }  // namespace ecdr::core

@@ -1,45 +1,55 @@
 // RankingEngine — the one-stop facade a serving process embeds.
 //
-// Owns the whole stack (ontology, corpus, inverted index, Dewey address
-// cache, kNDS machinery, worker pool) with consistent lifetimes, so
-// callers don't wire five components by hand or keep the inverted index
-// in sync themselves. Supports the paper's point-of-care story:
-// AddDocument() makes a record searchable immediately.
+// Owns the whole stack (ontology, snapshot chain of corpus + sharded
+// inverted index, Dewey address cache, kNDS machinery, worker pool)
+// with consistent lifetimes, so callers don't wire five components by
+// hand or keep the inverted index in sync themselves. Supports the
+// paper's point-of-care story: AddDocument() makes a record searchable
+// immediately (with the default publish_batch_size of 1).
 //
 //   auto engine = core::RankingEngine::Create(std::move(ontology));
 //   auto id = engine->AddDocument({valve, hypertension});
 //   auto top = engine->FindRelevant({cardiac}, 10);
 //   auto similar = engine->FindSimilar(*id, 10);
 //
-// Thread safety: Find*/DocumentDistance may run from any number of
-// threads concurrently; AddDocument takes the engine's writer lock and
-// excludes searches for the duration of one index insert. Each search
-// uses its own short-lived Drc/Knds over the shared frozen Dewey address
-// cache, and all searches share the engine's worker pool for intra-query
-// parallelism (Options::knds.num_threads; see DESIGN.md, "Threading
-// model").
+// Thread safety — snapshot isolation (DESIGN.md, "Snapshot lifecycle"):
+// engine state lives in immutable, reference-counted EngineSnapshot
+// generations. Find*/DocumentDistance acquire the current generation
+// with one atomic load and run start-to-finish against it — the read
+// path takes no engine mutex and is never blocked by a writer.
+// AddDocument goes through the engine's SnapshotBuilder, which appends
+// the document copy-on-write (only the corpus tail segment and tail
+// index shard are cloned) and atomically publishes the successor
+// generation; superseded generations die when their last in-flight
+// search drops them. Each search uses its own short-lived Drc/Knds over
+// the shared frozen Dewey address cache, and all searches share the
+// engine's worker pool for intra-query parallelism
+// (Options::knds.num_threads; see DESIGN.md, "Threading model").
 
 #ifndef ECDR_CORE_RANKING_ENGINE_H_
 #define ECDR_CORE_RANKING_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "core/distance_cache.h"
 #include "core/drc.h"
+#include "core/engine_snapshot.h"
 #include "core/knds.h"
 #include "core/scored_document.h"
+#include "core/snapshot_builder.h"
 #include "corpus/corpus.h"
-#include "index/inverted_index.h"
+#include "index/sharded_index.h"
 #include "ontology/concept_pair_cache.h"
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
 #include "util/deadline.h"
+#include "util/snapshot.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -83,10 +93,25 @@ struct AdmissionStats {
   std::size_t queued = 0;       // gauge
 };
 
+/// Snapshot-chain counters (see snapshot_stats()).
+struct SnapshotStats {
+  std::uint64_t generation = 0;      // current snapshot's generation
+  std::uint64_t published = 0;       // generations published so far
+  std::uint64_t acquires = 0;        // atomic root loads (≥ one per search)
+  std::size_t retired_live = 0;      // superseded generations still pinned
+  std::size_t index_shards = 0;      // shards in the current generation
+  std::size_t pending_documents = 0; // writes buffered, not yet published
+};
+
 struct RankingEngineOptions {
   KndsOptions knds;
   ontology::AddressEnumeratorOptions addresses;
   AdmissionOptions admission;
+
+  /// Shard layout and write buffering of the snapshot chain (README,
+  /// "Sharding knobs"). The defaults — one shard, publish per add —
+  /// reproduce the unsharded engine bit-for-bit.
+  SnapshotOptions snapshot;
 
   /// Enumerate every concept's Dewey addresses at construction and
   /// freeze the cache, making address lookups lock-free for concurrent
@@ -105,6 +130,8 @@ class RankingEngine {
                                                Options options = {});
 
   /// Loads both files in either the text or binary format (sniffed).
+  /// The corpus is bulk-loaded into Options::snapshot.num_shards
+  /// contiguous shards.
   static util::StatusOr<std::unique_ptr<RankingEngine>> CreateFromFiles(
       const std::string& ontology_path, const std::string& corpus_path,
       Options options = {});
@@ -112,10 +139,21 @@ class RankingEngine {
   RankingEngine(const RankingEngine&) = delete;
   RankingEngine& operator=(const RankingEngine&) = delete;
 
-  /// Adds a document and indexes it; searchable immediately. Excludes
-  /// concurrent searches while the corpus and inverted index mutate.
+  /// Adds a document through the snapshot builder. With the default
+  /// publish_batch_size of 1 it is searchable on return; with batching
+  /// it becomes visible when the batch publishes (or on Flush()). Never
+  /// blocks searches. Fails with kResourceExhausted when the builder's
+  /// bounded pending-delta queue is full.
   util::StatusOr<corpus::DocId> AddDocument(
       std::vector<ontology::ConceptId> concepts);
+
+  /// Bulk-appends every document of `source` and publishes one new
+  /// generation (a fresh engine is partitioned into
+  /// Options::snapshot.num_shards shards).
+  util::Status AddCorpus(const corpus::Corpus& source);
+
+  /// Publishes any write-buffered documents now.
+  void Flush();
 
   // Every Find* accepts a SearchControl carrying the query's deadline
   // budget and cancel token; the default control changes nothing. All
@@ -149,21 +187,40 @@ class RankingEngine {
 
   /// Exact Ddd between two indexed documents. Bypasses admission (a
   /// single DRC probe, not a search) but honors the control through
-  /// Drc's cooperative cancellation.
+  /// Drc's cooperative cancellation. Both ids are resolved against one
+  /// snapshot.
   util::StatusOr<double> DocumentDistance(corpus::DocId a, corpus::DocId b,
                                           const SearchControl& control = {});
+
+  /// The current generation. Holding the returned pointer pins the
+  /// generation (and, through its ReaderLease, the frozen address
+  /// cache): corpus/index references inside stay valid for as long as
+  /// the caller keeps it, regardless of concurrent publishes.
+  std::shared_ptr<const EngineSnapshot> snapshot() const {
+    return root_.Acquire();
+  }
+
+  /// Counters of the snapshot chain: current generation, publishes,
+  /// root acquires, superseded-but-pinned generations, shard count,
+  /// write-buffered documents.
+  SnapshotStats snapshot_stats() const;
 
   /// Admission counters (zeroes while admission control is disabled).
   AdmissionStats admission_stats() const;
 
   const ontology::Ontology& ontology() const { return *ontology_; }
-  const corpus::Corpus& corpus() const { return *corpus_; }
+
+  /// The current generation's corpus. The reference is valid until the
+  /// next publish retires that generation — concurrent readers should
+  /// hold snapshot() instead.
+  const corpus::Corpus& corpus() const { return root_.Acquire()->corpus; }
 
   /// Stats of the most recent completed search, by value (concurrent
-  /// searches overwrite it in completion order).
+  /// searches overwrite it in completion order; lock-free).
   KndsStats last_search_stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return last_knds_stats_;
+    const std::shared_ptr<const KndsStats> stats =
+        last_stats_.load(std::memory_order_acquire);
+    return stats != nullptr ? *stats : KndsStats{};
   }
 
   /// Cumulative hit/miss/eviction counters of the engine's cross-query
@@ -180,9 +237,11 @@ class RankingEngine {
     return pair_cache_.counters();
   }
 
-  /// Monotone cache epoch; AddDocument bumps it once per insert. A
+  /// Monotone cache epoch; each published document bumps it once. A
   /// bumped epoch means Ddq entries of the touched document no longer
   /// match (version-keyed), while concept-pair distances survive.
+  /// Snapshot-scoped form: snapshot()->ddq_epoch is the epoch the
+  /// current generation was published at.
   std::uint64_t cache_epoch() const { return ddq_memo_.epoch(); }
 
   /// The engine's shared caches, for callers composing extra components
@@ -195,8 +254,10 @@ class RankingEngine {
  private:
   RankingEngine(ontology::Ontology ontology, Options options);
 
-  /// Runs `search` on a per-call Knds under the reader lock, after
-  /// passing admission control with the control's effective deadline.
+  /// Acquires the current snapshot (one atomic load — no engine mutex
+  /// anywhere on this path) and runs `search` on a per-call Knds over
+  /// it, after passing admission control with the control's effective
+  /// deadline.
   template <typename SearchFn>
   util::StatusOr<std::vector<ScoredDocument>> RunSearch(
       const SearchControl& control, SearchFn&& search);
@@ -217,8 +278,6 @@ class RankingEngine {
   // unique_ptr members keep internal cross-pointers stable; the engine
   // itself is handed out by pointer.
   std::unique_ptr<ontology::Ontology> ontology_;
-  std::unique_ptr<corpus::Corpus> corpus_;
-  std::unique_ptr<index::InvertedIndex> inverted_;
   std::unique_ptr<ontology::AddressEnumerator> addresses_;
   std::unique_ptr<util::ThreadPool> pool_;  // Null when searches are serial.
 
@@ -232,12 +291,16 @@ class RankingEngine {
   // distance calls stop allocating.
   Drc::ScratchPool drc_scratches_;
 
-  // Readers: searches / distance probes; writer: AddDocument.
-  mutable std::shared_mutex mutex_;
-  mutable std::mutex stats_mutex_;
-  KndsStats last_knds_stats_;
+  // The snapshot chain. Readers: one atomic Acquire per search; writer:
+  // builder_ publishes copy-on-write generations.
+  util::SnapshotHandle<EngineSnapshot> root_;
+  std::unique_ptr<SnapshotBuilder> builder_;
 
-  // Admission control (all guarded by admission_mutex_).
+  // Most recent search's stats, published lock-free.
+  std::atomic<std::shared_ptr<const KndsStats>> last_stats_;
+
+  // Admission control (all guarded by admission_mutex_; untouched when
+  // admission is disabled — the default).
   mutable std::mutex admission_mutex_;
   std::condition_variable admission_cv_;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,134 @@
+#include "core/snapshot_builder.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace ecdr::core {
+
+SnapshotBuilder::SnapshotBuilder(const ontology::Ontology& ontology,
+                                 ontology::AddressEnumerator* addresses,
+                                 DdqMemo* ddq_memo,
+                                 util::SnapshotHandle<EngineSnapshot>* root,
+                                 SnapshotOptions options)
+    : ontology_(&ontology),
+      addresses_(addresses),
+      ddq_memo_(ddq_memo),
+      root_(root),
+      options_(options) {
+  ECDR_CHECK(root != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  PublishLocked();  // generation 0: the empty corpus
+}
+
+util::Status SnapshotBuilder::Validate(const corpus::Document& doc) const {
+  // Mirrors Corpus::AddDocument so errors surface here, before the
+  // document enters the pending delta (the publish-time insert below is
+  // then infallible).
+  if (doc.empty()) {
+    return util::InvalidArgumentError("document has no concepts");
+  }
+  const ontology::ConceptId largest = doc.concepts().back();
+  if (!ontology_->Contains(largest)) {
+    return util::InvalidArgumentError(
+        "document references concept id " + std::to_string(largest) +
+        " outside the ontology (" + std::to_string(ontology_->num_concepts()) +
+        " concepts)");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<corpus::DocId> SnapshotBuilder::AddDocument(
+    corpus::Document doc) {
+  ECDR_RETURN_IF_ERROR(Validate(doc));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.size() >= options_.max_pending_docs) {
+    return util::ResourceExhaustedError(
+        "write buffer full: " + std::to_string(pending_.size()) +
+        " documents pending publish (max_pending_docs=" +
+        std::to_string(options_.max_pending_docs) + "); Flush() or retry");
+  }
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  const corpus::DocId id = static_cast<corpus::DocId>(
+      current->corpus.num_documents() + pending_.size());
+  pending_.push_back(std::move(doc));
+  // publish_batch_size 0 = manual mode: only Flush() publishes. A batch
+  // larger than max_pending_docs can likewise never fill — both drain
+  // through Flush() and shed with kResourceExhausted above meanwhile.
+  if (options_.publish_batch_size > 0 &&
+      pending_.size() >= options_.publish_batch_size) {
+    PublishLocked();
+  }
+  return id;
+}
+
+util::Status SnapshotBuilder::AddCorpus(const corpus::Corpus& source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty()) PublishLocked();
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  corpus::Corpus next = current->corpus;
+  const corpus::DocId first_new = next.num_documents();
+  const std::uint64_t total = first_new + source.num_documents();
+  if (next.segment_target() == 0 && options_.num_shards > 1 && total > 0) {
+    next.set_segment_target(static_cast<std::uint32_t>(
+        (total + options_.num_shards - 1) / options_.num_shards));
+  }
+  for (corpus::DocId d = 0; d < source.num_documents(); ++d) {
+    const util::StatusOr<corpus::DocId> added =
+        next.AddDocument(source.document(d));
+    ECDR_RETURN_IF_ERROR(added.status());
+  }
+  index::ShardedIndex next_index(next, &current->index);
+  if (ddq_memo_ != nullptr) {
+    for (corpus::DocId d = first_new; d < next.num_documents(); ++d) {
+      ddq_memo_->InvalidateDocument(d);
+    }
+  }
+  root_->Publish(std::make_shared<EngineSnapshot>(
+      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
+  return util::Status::Ok();
+}
+
+void SnapshotBuilder::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty()) PublishLocked();
+}
+
+void SnapshotBuilder::PublishLocked() {
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  corpus::Corpus next =
+      current != nullptr ? current->corpus : corpus::Corpus(*ontology_);
+  if (current == nullptr) {
+    next.set_segment_target(options_.target_docs_per_shard);
+  }
+  const corpus::DocId first_new = next.num_documents();
+  for (corpus::Document& doc : pending_) {
+    // Validated on entry; the only failure modes were caught there.
+    const util::StatusOr<corpus::DocId> added = next.AddDocument(std::move(doc));
+    ECDR_CHECK(added.ok());
+  }
+  pending_.clear();
+  index::ShardedIndex next_index(next,
+                                 current != nullptr ? &current->index : nullptr);
+  if (ddq_memo_ != nullptr) {
+    for (corpus::DocId d = first_new; d < next.num_documents(); ++d) {
+      ddq_memo_->InvalidateDocument(d);
+    }
+  }
+  root_->Publish(std::make_shared<EngineSnapshot>(
+      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
+}
+
+std::size_t SnapshotBuilder::pending_documents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::uint64_t SnapshotBuilder::generations_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_generation_;
+}
+
+}  // namespace ecdr::core

@@ -1,0 +1,125 @@
+// SnapshotBuilder — the single-writer path that turns AddDocument calls
+// into published EngineSnapshot generations (DESIGN.md, "Snapshot
+// lifecycle").
+//
+// Writes never touch a published snapshot. The builder batches incoming
+// documents into a bounded pending delta, and on publish:
+//   1. copies the current snapshot's corpus (cheap — segments are
+//      shared) and appends the delta, which clones only the tail
+//      segment (copy-on-write);
+//   2. rebuilds the sharded inverted index against the new corpus,
+//      sharing every shard whose id range is unchanged — only the
+//      touched tail shard (plus any rollover shard) is built;
+//   3. version-invalidates the new documents' DdqMemo entries and
+//      stamps the new generation with the resulting cache epoch;
+//   4. atomically swaps the engine's root pointer. In-flight searches
+//      keep their generation; new searches see the new one.
+//
+// With publish_batch_size == 1 (the default) every AddDocument
+// publishes immediately — the paper's point-of-care contract, a record
+// is searchable the moment it is inserted. Larger batches amortize
+// publish cost under write-heavy load; documents then become visible
+// atomically when the batch fills or Flush() runs. The pending delta is
+// bounded: once max_pending_docs documents await publish, AddDocument
+// fails fast with kResourceExhausted instead of buffering without
+// limit (mirroring the admission controller's shedding on the read
+// side).
+//
+// Thread safety: all methods are safe to call concurrently; writers
+// serialize on the builder's mutex. Readers of the published root are
+// never blocked — they do not take this (or any) mutex.
+
+#ifndef ECDR_CORE_SNAPSHOT_BUILDER_H_
+#define ECDR_CORE_SNAPSHOT_BUILDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/distance_cache.h"
+#include "core/engine_snapshot.h"
+#include "corpus/corpus.h"
+#include "ontology/dewey.h"
+#include "ontology/ontology.h"
+#include "util/snapshot.h"
+#include "util/status.h"
+
+namespace ecdr::core {
+
+/// Shard layout and write-buffering knobs (README, "Sharding knobs").
+struct SnapshotOptions {
+  /// Contiguous shards a bulk load (AddCorpus / CreateFromFiles) is
+  /// partitioned into. 1 = unsharded. Ignored when
+  /// target_docs_per_shard already fixes the layout.
+  std::size_t num_shards = 1;
+
+  /// Documents per shard before appends roll over into a fresh tail
+  /// shard. Bounds the cost of a publish (the shared tail shard is
+  /// cloned per batch). 0 = never roll over: one growing tail.
+  std::uint32_t target_docs_per_shard = 0;
+
+  /// Pending documents per publish. 1 (default) publishes on every
+  /// AddDocument — immediately searchable; larger values batch, and the
+  /// batch becomes visible atomically. 0 = manual: documents buffer
+  /// until Flush() (the pending bound below still applies).
+  std::size_t publish_batch_size = 1;
+
+  /// Bound on the pending delta. AddDocument fails with
+  /// kResourceExhausted once this many documents await publish.
+  std::size_t max_pending_docs = 1024;
+};
+
+class SnapshotBuilder {
+ public:
+  /// Publishes the empty generation-0 snapshot into `root`. All
+  /// pointers are unowned and must outlive the builder; `addresses` and
+  /// `ddq_memo` may be null.
+  SnapshotBuilder(const ontology::Ontology& ontology,
+                  ontology::AddressEnumerator* addresses, DdqMemo* ddq_memo,
+                  util::SnapshotHandle<EngineSnapshot>* root,
+                  SnapshotOptions options);
+
+  SnapshotBuilder(const SnapshotBuilder&) = delete;
+  SnapshotBuilder& operator=(const SnapshotBuilder&) = delete;
+
+  /// Validates and enqueues `doc`, returning the id it will occupy;
+  /// publishes when the batch is full. Fails with kInvalidArgument on a
+  /// bad document and kResourceExhausted when the pending delta is full
+  /// (the caller may Flush() and retry).
+  util::StatusOr<corpus::DocId> AddDocument(corpus::Document doc);
+
+  /// Bulk load: appends every document of `source` and publishes once.
+  /// A fresh engine is partitioned into SnapshotOptions::num_shards
+  /// contiguous shards.
+  util::Status AddCorpus(const corpus::Corpus& source);
+
+  /// Publishes any pending documents now. No-op when none are pending.
+  void Flush();
+
+  std::size_t pending_documents() const;
+
+  /// Total snapshots published, including the empty generation 0; the
+  /// current snapshot's generation is this minus one.
+  std::uint64_t generations_published() const;
+
+ private:
+  /// Appends `pending_` to a copy of the current corpus and publishes
+  /// the next generation. `mutex_` must be held.
+  void PublishLocked();
+
+  util::Status Validate(const corpus::Document& doc) const;
+
+  const ontology::Ontology* ontology_;
+  ontology::AddressEnumerator* addresses_;
+  DdqMemo* ddq_memo_;
+  util::SnapshotHandle<EngineSnapshot>* root_;
+  SnapshotOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<corpus::Document> pending_;
+  std::uint64_t next_generation_ = 0;
+};
+
+}  // namespace ecdr::core
+
+#endif  // ECDR_CORE_SNAPSHOT_BUILDER_H_

@@ -9,6 +9,12 @@
 // aggregate. The paper rules TA out for SDS (the bidirectional Eq. 3
 // breaks the model) and out of its experiments for space reasons; we
 // implement it for RDS so bench_ablation_ta can measure the tradeoff.
+//
+// Sharding note: PrecomputedPostings is a whole-corpus offline build
+// (distance-sorted lists cannot be merged shard-wise without
+// re-sorting), so TaRanker runs against one corpus generation — pin an
+// EngineSnapshot and build the postings over snapshot->corpus; the
+// snapshot keeps that generation alive for the ranker's lifetime.
 
 #ifndef ECDR_CORE_TA_RANKER_H_
 #define ECDR_CORE_TA_RANKER_H_

@@ -19,8 +19,33 @@ util::StatusOr<DocId> Corpus::AddDocument(Document doc) {
         " outside the ontology (" + std::to_string(ontology_->num_concepts()) +
         " concepts)");
   }
-  documents_.push_back(std::move(doc));
-  return static_cast<DocId>(documents_.size() - 1);
+  const bool tail_full =
+      !segments_.empty() && segment_target_ > 0 &&
+      segments_.back()->docs.size() >= segment_target_;
+  if (segments_.empty() || tail_full) {
+    auto segment = std::make_shared<Segment>();
+    segment->base = num_documents_;
+    segments_.push_back(std::move(segment));
+  } else if (segments_.back().use_count() > 1) {
+    // The tail is shared with a copy (a published snapshot): clone it
+    // before writing so that copy keeps its frozen view — copy-on-write.
+    segments_.back() = std::make_shared<Segment>(*segments_.back());
+  }
+  segments_.back()->docs.push_back(std::move(doc));
+  return num_documents_++;
+}
+
+Corpus Resharded(const Corpus& source, std::size_t num_segments) {
+  ECDR_CHECK_GT(num_segments, 0u);
+  Corpus result(source.ontology());
+  const std::uint32_t n = source.num_documents();
+  result.set_segment_target(static_cast<std::uint32_t>(
+      (n + num_segments - 1) / num_segments));
+  for (DocId d = 0; d < n; ++d) {
+    const util::StatusOr<DocId> added = result.AddDocument(source.document(d));
+    ECDR_CHECK(added.ok());
+  }
+  return result;
 }
 
 CorpusStats ComputeCorpusStats(const Corpus& corpus) {

@@ -6,11 +6,31 @@
 // instantly add his or her EMR to our database" (Section 1). The inverted
 // index (index/inverted_index.h) supports the matching incremental
 // update.
+//
+// Storage is segmented: documents live in contiguous id-range segments
+// ([base, base + size)), and copying a Corpus is cheap — the copy shares
+// every segment. A subsequent append to either side clones only the
+// (shared) tail segment before writing: copy-on-write. This is what
+// lets core::SnapshotBuilder publish a new immutable corpus generation
+// per write batch while searches keep reading the old one
+// (DESIGN.md, "Snapshot lifecycle"). With the default segment target of
+// 0 a corpus is one growing segment — exactly the historical layout.
+// Iterating segments in order visits documents in increasing id order,
+// so per-segment consumers (index::ShardedIndex, the rankers) see the
+// same global document order as an unsegmented scan — the basis of the
+// bit-identical-at-any-shard-count guarantee.
+//
+// Thread safety: const access is safe from any number of threads.
+// AddDocument requires external serialization against both writes and
+// reads of *this* corpus value (snapshot copies are unaffected — they
+// own their segments by refcount).
 
 #ifndef ECDR_CORPUS_CORPUS_H_
 #define ECDR_CORPUS_CORPUS_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "corpus/document.h"
@@ -23,30 +43,73 @@ class Corpus {
  public:
   explicit Corpus(const ontology::Ontology& ontology) : ontology_(&ontology) {}
 
-  Corpus(const Corpus&) = delete;
-  Corpus& operator=(const Corpus&) = delete;
+  // Copies share segments (cheap, copy-on-write on the next append);
+  // moves transfer them.
+  Corpus(const Corpus&) = default;
+  Corpus& operator=(const Corpus&) = default;
   Corpus(Corpus&&) = default;
   Corpus& operator=(Corpus&&) = default;
 
   /// Appends `doc` and returns its id. Fails if the document is empty or
-  /// references a concept outside the ontology.
+  /// references a concept outside the ontology. Starts a new segment
+  /// when the tail reached segment_target(); clones the tail first when
+  /// it is shared with a copy of this corpus.
   util::StatusOr<DocId> AddDocument(Document doc);
 
-  std::uint32_t num_documents() const {
-    return static_cast<std::uint32_t>(documents_.size());
-  }
+  std::uint32_t num_documents() const { return num_documents_; }
 
   const Document& document(DocId id) const {
-    ECDR_DCHECK_LT(id, documents_.size());
-    return documents_[id];
+    ECDR_DCHECK_LT(id, num_documents_);
+    // Appends land in the tail and most corpora hold few segments, so
+    // scan backwards from the tail; one segment = zero iterations.
+    std::size_t s = segments_.size() - 1;
+    while (segments_[s]->base > id) --s;
+    return segments_[s]->docs[id - segments_[s]->base];
   }
 
   const ontology::Ontology& ontology() const { return *ontology_; }
 
+  // ---- Segment (shard) layout ----------------------------------------
+
+  /// Documents per segment before the tail rolls over into a fresh one.
+  /// 0 (the default) = never roll over: one growing segment. Affects
+  /// future appends only; existing segments keep their size.
+  void set_segment_target(std::uint32_t target) { segment_target_ = target; }
+  std::uint32_t segment_target() const { return segment_target_; }
+
+  std::size_t num_segments() const { return segments_.size(); }
+
+  /// First document id of segment `s`.
+  DocId segment_base(std::size_t s) const {
+    ECDR_DCHECK_LT(s, segments_.size());
+    return segments_[s]->base;
+  }
+
+  /// The documents of segment `s`, ids [segment_base(s),
+  /// segment_base(s) + size). Valid until the segment is appended to.
+  std::span<const Document> segment_documents(std::size_t s) const {
+    ECDR_DCHECK_LT(s, segments_.size());
+    return segments_[s]->docs;
+  }
+
  private:
+  struct Segment {
+    DocId base = 0;
+    std::vector<Document> docs;
+  };
+
   const ontology::Ontology* ontology_;
-  std::vector<Document> documents_;
+  std::uint32_t segment_target_ = 0;
+  std::uint32_t num_documents_ = 0;
+  std::vector<std::shared_ptr<Segment>> segments_;
 };
+
+/// The same documents re-laid-out into `num_segments` contiguous
+/// segments of (near-)equal size — how tests and tools stand up a
+/// sharded engine over an existing collection. The result's
+/// segment_target() is left at the computed per-segment size, so
+/// further appends keep rolling over at that size.
+Corpus Resharded(const Corpus& source, std::size_t num_segments);
 
 /// The quantities the paper reports in Table 3 (plus concept collection
 /// frequencies, which drive the mu+sigma filter of Section 6.1).

@@ -2,16 +2,19 @@
 
 namespace ecdr::index {
 
-InvertedIndex::InvertedIndex(const corpus::Corpus& corpus)
-    : postings_(corpus.ontology().num_concepts()) {
-  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+InvertedIndex::InvertedIndex(const corpus::Corpus& corpus,
+                             corpus::DocId first, std::uint32_t count)
+    : postings_(corpus.ontology().num_concepts()), first_doc_(first) {
+  ECDR_CHECK_LE(static_cast<std::uint64_t>(first) + count,
+                corpus.num_documents());
+  for (corpus::DocId d = first; d < first + count; ++d) {
     AddDocument(d, corpus.document(d));
   }
 }
 
 void InvertedIndex::AddDocument(corpus::DocId id,
                                 const corpus::Document& doc) {
-  ECDR_CHECK_EQ(id, num_documents_);
+  ECDR_CHECK_EQ(id, first_doc_ + num_documents_);
   for (ontology::ConceptId c : doc.concepts()) {
     ECDR_CHECK_LT(c, postings_.size());
     postings_[c].push_back(id);

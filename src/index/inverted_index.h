@@ -4,6 +4,11 @@
 // visits (paper Section 5.3). It supports incremental document insertion
 // so a corpus can grow without any offline rebuild — the paper's
 // advantage over TA-style precomputed distance postings.
+//
+// An index can also cover just a contiguous id range of the corpus (the
+// ranged constructor) — that is the shard form index::ShardedIndex
+// composes into a copy-on-write index over the whole collection.
+// Posting lists always store global document ids.
 
 #ifndef ECDR_INDEX_INVERTED_INDEX_H_
 #define ECDR_INDEX_INVERTED_INDEX_H_
@@ -20,7 +25,13 @@ namespace ecdr::index {
 class InvertedIndex {
  public:
   /// Builds over all documents currently in `corpus`.
-  explicit InvertedIndex(const corpus::Corpus& corpus);
+  explicit InvertedIndex(const corpus::Corpus& corpus)
+      : InvertedIndex(corpus, 0, corpus.num_documents()) {}
+
+  /// Builds over the id range [first, first + count) only — the shard
+  /// constructor. `first + count` must not exceed the corpus size.
+  InvertedIndex(const corpus::Corpus& corpus, corpus::DocId first,
+                std::uint32_t count);
 
   /// Document ids containing `c`, in increasing id order.
   std::span<const corpus::DocId> Postings(ontology::ConceptId c) const {
@@ -35,13 +46,18 @@ class InvertedIndex {
 
   /// Registers a document appended to the corpus after construction.
   /// `id` must be the value Corpus::AddDocument returned and ids must be
-  /// registered in increasing order.
+  /// registered in increasing order (for a ranged index, consecutively
+  /// from first_doc()).
   void AddDocument(corpus::DocId id, const corpus::Document& doc);
+
+  /// First document id this index covers (0 for a whole-corpus index).
+  corpus::DocId first_doc() const { return first_doc_; }
 
   std::uint32_t num_indexed_documents() const { return num_documents_; }
 
  private:
   std::vector<std::vector<corpus::DocId>> postings_;
+  corpus::DocId first_doc_ = 0;
   std::uint32_t num_documents_ = 0;
 };
 

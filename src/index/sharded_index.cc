@@ -1,0 +1,26 @@
+#include "index/sharded_index.h"
+
+namespace ecdr::index {
+
+ShardedIndex::ShardedIndex(const corpus::Corpus& corpus,
+                           const ShardedIndex* previous)
+    : num_documents_(corpus.num_documents()) {
+  const std::size_t segments = corpus.num_segments();
+  shards_.reserve(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const corpus::DocId base = corpus.segment_base(s);
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(corpus.segment_documents(s).size());
+    if (previous != nullptr && s < previous->shards_.size()) {
+      const std::shared_ptr<const InvertedIndex>& old = previous->shards_[s];
+      if (old->first_doc() == base && old->num_indexed_documents() == count) {
+        shards_.push_back(old);
+        ++shards_reused_;
+        continue;
+      }
+    }
+    shards_.push_back(std::make_shared<InvertedIndex>(corpus, base, count));
+  }
+}
+
+}  // namespace ecdr::index

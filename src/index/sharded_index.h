@@ -1,0 +1,135 @@
+// ShardedIndex — a copy-on-write inverted index over corpus segments —
+// and IndexView, the uniform per-shard postings interface the rankers
+// consume.
+//
+// The index is split into one shard per corpus segment (contiguous
+// document id ranges; see corpus/corpus.h). Shards are immutable and
+// reference-counted: rebuilding the index after a write batch shares
+// every shard whose id range did not change and constructs fresh shards
+// only for segments that grew or are new. With appends landing in the
+// corpus tail segment, a publish therefore clones exactly one shard
+// (plus any fresh rollover shard) no matter how large the collection is
+// — the copy-on-write half of the snapshot publish path (DESIGN.md,
+// "Snapshot lifecycle").
+//
+// Because shard s covers ids [base_s, base_s + size_s) and shards are
+// ordered by base, iterating Postings(0, c), Postings(1, c), ... yields
+// exactly the increasing-id posting order of a single whole-corpus
+// InvertedIndex. Candidate generation that fans out per-shard and
+// merges with the id-aware (distance, id) tie-break is therefore
+// bit-identical to the unsharded engine at any shard count.
+//
+// IndexView adapts both forms — a plain InvertedIndex (one shard) and a
+// ShardedIndex — behind the same two calls, so core::Knds and friends
+// take either without caring which. It is a non-owning view: the caller
+// keeps the underlying index alive (core::EngineSnapshot does, by
+// bundling index and view into one refcounted generation).
+
+#ifndef ECDR_INDEX_SHARDED_INDEX_H_
+#define ECDR_INDEX_SHARDED_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "ontology/types.h"
+
+namespace ecdr::index {
+
+class ShardedIndex {
+ public:
+  /// An empty index (no shards, no documents).
+  ShardedIndex() = default;
+
+  /// Builds one shard per segment of `corpus`. When `previous` is an
+  /// index built over an earlier copy of the same corpus (fewer
+  /// documents, same prefix — the snapshot-publish invariant), shards
+  /// whose [base, size) range is unchanged are shared with it instead of
+  /// rebuilt.
+  explicit ShardedIndex(const corpus::Corpus& corpus,
+                        const ShardedIndex* previous = nullptr);
+
+  // Copies share all shards (cheap); the type is immutable after
+  // construction, so shared shards are safe from any thread.
+  ShardedIndex(const ShardedIndex&) = default;
+  ShardedIndex& operator=(const ShardedIndex&) = default;
+  ShardedIndex(ShardedIndex&&) = default;
+  ShardedIndex& operator=(ShardedIndex&&) = default;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Documents of shard `s` containing `c`, in increasing (global) id
+  /// order. Concatenating over s = 0..num_shards()-1 gives the full
+  /// posting list in increasing id order.
+  std::span<const corpus::DocId> Postings(std::size_t s,
+                                          ontology::ConceptId c) const {
+    ECDR_DCHECK_LT(s, shards_.size());
+    return shards_[s]->Postings(c);
+  }
+
+  /// Total number of documents containing `c`, across shards.
+  std::size_t PostingsSize(ontology::ConceptId c) const {
+    std::size_t size = 0;
+    for (const auto& shard : shards_) size += shard->PostingsSize(c);
+    return size;
+  }
+
+  const InvertedIndex& shard(std::size_t s) const {
+    ECDR_DCHECK_LT(s, shards_.size());
+    return *shards_[s];
+  }
+
+  std::uint32_t num_indexed_documents() const { return num_documents_; }
+
+  /// Shards shared with `previous` at construction — the copy-on-write
+  /// savings of the last rebuild (observability; the snapshot tests
+  /// assert a tail-append publish reuses all but the tail shard).
+  std::size_t shards_reused() const { return shards_reused_; }
+
+ private:
+  std::vector<std::shared_ptr<const InvertedIndex>> shards_;
+  std::uint32_t num_documents_ = 0;
+  std::size_t shards_reused_ = 0;
+};
+
+/// Uniform per-shard view over either index form. Non-owning.
+class IndexView {
+ public:
+  /// A whole-corpus InvertedIndex, seen as a single shard.
+  IndexView(const InvertedIndex& index) : single_(&index) {}
+
+  IndexView(const ShardedIndex& index) : sharded_(&index) {}
+
+  std::size_t num_shards() const {
+    return single_ != nullptr ? 1 : sharded_->num_shards();
+  }
+
+  std::span<const corpus::DocId> Postings(std::size_t s,
+                                          ontology::ConceptId c) const {
+    if (single_ != nullptr) {
+      ECDR_DCHECK_EQ(s, 0u);
+      return single_->Postings(c);
+    }
+    return sharded_->Postings(s, c);
+  }
+
+  std::size_t PostingsSize(ontology::ConceptId c) const {
+    return single_ != nullptr ? single_->PostingsSize(c)
+                              : sharded_->PostingsSize(c);
+  }
+
+  std::uint32_t num_indexed_documents() const {
+    return single_ != nullptr ? single_->num_indexed_documents()
+                              : sharded_->num_indexed_documents();
+  }
+
+ private:
+  const InvertedIndex* single_ = nullptr;
+  const ShardedIndex* sharded_ = nullptr;
+};
+
+}  // namespace ecdr::index
+
+#endif  // ECDR_INDEX_SHARDED_INDEX_H_

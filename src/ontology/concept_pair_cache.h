@@ -5,9 +5,10 @@
 // one query are very likely to be needed again by another. The ontology
 // is immutable for the lifetime of an engine, which makes the cached
 // distances valid forever: this cache is never invalidated, only
-// evicted under capacity pressure (contrast with the per-engine Ddq memo
-// in core/distance_cache.h, which is epoch-invalidated — see DESIGN.md,
-// "Cache hierarchy").
+// evicted under capacity pressure, and entries remain valid across
+// every published engine snapshot (contrast with the per-engine Ddq
+// memo in core/distance_cache.h, whose epochs are snapshot-scoped —
+// see DESIGN.md, "Cache hierarchy" and "Snapshot lifecycle").
 //
 // Keys are unordered pairs: (a, b) and (b, a) share one entry keyed by
 // (min, max). Sharded locks (util/lru_cache.h) keep concurrent query

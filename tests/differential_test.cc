@@ -28,6 +28,7 @@
 #include "corpus/generator.h"
 #include "corpus/query_gen.h"
 #include "index/inverted_index.h"
+#include "index/sharded_index.h"
 #include "ontology/dewey.h"
 #include "ontology/generator.h"
 
@@ -161,6 +162,65 @@ TEST_P(DifferentialTest, KndsMatchesQuadraticOracleAcrossCacheAndThreads) {
     } else {
       EXPECT_EQ(memo.counters().lookups(), 0u) << config.name;
     }
+  }
+}
+
+// Sharding the index must be invisible to search: shards cover
+// contiguous ascending id ranges and Knds walks them in order, so the
+// posting iteration sequence — and with it every first-touch Ld
+// bookkeeping decision — is identical at any shard count. Verified
+// bit-for-bit against the single-index run over the same 20 seeds.
+TEST_P(DifferentialTest, ShardedIndexBitIdenticalAtAnyShardCount) {
+  const std::uint64_t seed = GetParam();
+  const ontology::Ontology ontology = MakeOntology(seed);
+  const corpus::Corpus corpus = MakeCorpus(ontology, seed);
+  const index::InvertedIndex index(corpus);
+
+  ontology::AddressEnumerator enumerator(ontology);
+  enumerator.PrecomputeAll();
+
+  const std::uint32_t k = 1 + (seed % 3) * 4;
+  const auto rds_queries =
+      corpus::GenerateRdsQueries(corpus, 2, 3 + seed % 3, seed * 13 + 7);
+  const corpus::DocId sds_doc =
+      static_cast<corpus::DocId>(seed % corpus.num_documents());
+
+  KndsOptions options;
+  options.error_threshold = 0.5 * (seed % 3);
+
+  // Reference: the historical single whole-corpus index.
+  std::vector<std::vector<ScoredDocument>> want_rds;
+  std::vector<ScoredDocument> want_sds;
+  {
+    Drc drc(ontology, &enumerator);
+    Knds knds(corpus, index, &drc, options);
+    for (const auto& query : rds_queries) {
+      auto got = knds.SearchRds(query, k);
+      ASSERT_TRUE(got.ok());
+      want_rds.push_back(*std::move(got));
+    }
+    auto got = knds.SearchSds(corpus.document(sds_doc), k);
+    ASSERT_TRUE(got.ok());
+    want_sds = *std::move(got);
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}}) {
+    const corpus::Corpus resharded = corpus::Resharded(corpus, shards);
+    ASSERT_EQ(resharded.num_documents(), corpus.num_documents());
+    const index::ShardedIndex sharded(resharded);
+    EXPECT_EQ(sharded.num_shards(), resharded.num_segments());
+
+    Drc drc(ontology, &enumerator);
+    Knds knds(resharded, sharded, &drc, options);
+    for (std::size_t q = 0; q < rds_queries.size(); ++q) {
+      const auto got = knds.SearchRds(rds_queries[q], k);
+      ASSERT_TRUE(got.ok()) << shards << " shards";
+      ExpectBitIdentical(want_rds[q], *got, "sharded rds");
+    }
+    const auto got_sds = knds.SearchSds(resharded.document(sds_doc), k);
+    ASSERT_TRUE(got_sds.ok()) << shards << " shards";
+    ExpectBitIdentical(want_sds, *got_sds, "sharded sds");
   }
 }
 

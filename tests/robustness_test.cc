@@ -29,6 +29,7 @@
 #include "corpus/generator.h"
 #include "corpus/query_gen.h"
 #include "index/inverted_index.h"
+#include "index/sharded_index.h"
 #include "ontology/distance_oracle.h"
 #include "ontology/generator.h"
 #include "util/deadline.h"
@@ -220,6 +221,76 @@ TEST_P(RobustnessSeedTest, TruncatedErrorBoundsDominateTrueError) {
             << context << " doc " << scored.id;
       }
     }
+  }
+}
+
+// Sharding is invisible to the fault machinery too: the injector's
+// postings op fires once per concept visit (outside the per-shard
+// loop), so a fixed cancel_at_op lands on the same operation — and
+// yields the bit-identical truncated result — at any shard count. Both
+// complete and truncated runs are compared against the single-index
+// reference at 1, 4 and 8 shards over all 22 seeds.
+TEST_P(RobustnessSeedTest, ShardedRunsAreBitIdenticalIncludingTruncation) {
+  const std::uint64_t seed = GetParam();
+  const World world = MakeWorld(seed);
+  constexpr std::uint32_t kK = 10;
+
+  // Single-index reference: one complete run (also counting injector
+  // ops) and one run truncated halfway.
+  std::vector<ScoredDocument> complete_want;
+  std::uint64_t total_ops = 0;
+  {
+    util::FaultInjector injector({});
+    Drc drc(*world.ontology, world.enumerator.get());
+    KndsOptions options;
+    options.fault_injector = &injector;
+    Knds knds(*world.corpus, *world.index, &drc, options);
+    auto results = knds.SearchRds(world.query, kK);
+    ASSERT_TRUE(results.ok());
+    complete_want = std::move(results).value();
+    total_ops = injector.ops();
+  }
+  ASSERT_GT(total_ops, 1u);
+  const std::uint64_t cancel_at = total_ops / 2;
+  const auto truncated_run = [&](const corpus::Corpus& corpus,
+                                 index::IndexView index) {
+    util::CancelToken token;
+    util::FaultInjectorOptions fault_options;
+    fault_options.cancel_at_op = cancel_at;
+    util::FaultInjector injector(fault_options, &token);
+    Drc drc(*world.ontology, world.enumerator.get());
+    KndsOptions options;
+    options.cancel_token = &token;
+    options.fault_injector = &injector;
+    Knds knds(corpus, index, &drc, options);
+    auto results = knds.SearchRds(world.query, kK);
+    EXPECT_TRUE(results.ok());
+    EXPECT_TRUE(knds.last_stats().truncated);
+    return std::move(results).value();
+  };
+  const std::vector<ScoredDocument> truncated_want =
+      truncated_run(*world.corpus, *world.index);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}}) {
+    const std::string context = "seed=" + std::to_string(seed) +
+                                " shards=" + std::to_string(shards);
+    const corpus::Corpus resharded = corpus::Resharded(*world.corpus, shards);
+    const index::ShardedIndex sharded(resharded);
+
+    util::FaultInjector injector({});
+    Drc drc(*world.ontology, world.enumerator.get());
+    KndsOptions options;
+    options.fault_injector = &injector;
+    Knds knds(resharded, sharded, &drc, options);
+    auto complete = knds.SearchRds(world.query, kK);
+    ASSERT_TRUE(complete.ok()) << context;
+    ExpectBitIdentical(*complete, complete_want, context + " complete");
+    // Same operation count → a fixed cancel point means the same thing.
+    EXPECT_EQ(injector.ops(), total_ops) << context;
+
+    ExpectBitIdentical(truncated_run(resharded, sharded), truncated_want,
+                       context + " truncated");
   }
 }
 

@@ -1,0 +1,350 @@
+// Snapshot-isolation suite (labelled `concurrency`; runs under TSan in
+// CI). Covers the copy-on-write publish path end to end:
+//
+//   - SnapshotHandle publish/acquire/retire accounting;
+//   - pinned generations stay searchable and immutable across publishes
+//     (shared segments / shards, ReaderLease on the address cache);
+//   - write buffering: batched publishes become visible atomically,
+//     the bounded pending delta sheds with kResourceExhausted, Flush()
+//     drains it;
+//   - copy-on-write economics: a tail append reuses every shard but
+//     the tail;
+//   - a linearizability-style check: with a writer adding documents
+//     concurrently with readers, every search result is bit-identical
+//     to the result over SOME published corpus prefix, and the prefixes
+//     a reader observes never move backwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/drc.h"
+#include "core/knds.h"
+#include "core/ranking_engine.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/inverted_index.h"
+#include "ontology/dewey.h"
+#include "ontology/generator.h"
+#include "util/snapshot.h"
+
+namespace ecdr::core {
+namespace {
+
+using corpus::DocId;
+using ontology::ConceptId;
+
+ontology::Ontology MakeOntology(std::uint64_t seed) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 250;
+  config.extra_parent_prob = 0.2;
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
+
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed, std::uint32_t num_documents) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = num_documents;
+  config.avg_concepts_per_doc = 8;
+  config.min_concept_depth = 1;
+  config.seed = seed;
+  auto corpus = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+std::vector<ConceptId> DocConcepts(const corpus::Corpus& corpus, DocId d) {
+  const auto concepts = corpus.document(d).concepts();
+  return {concepts.begin(), concepts.end()};
+}
+
+bool SameResults(const std::vector<ScoredDocument>& a,
+                 const std::vector<ScoredDocument>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+TEST(SnapshotHandleTest, PublishRetiresAndReadersPinGenerations) {
+  util::SnapshotHandle<int> handle;
+  handle.Publish(std::make_shared<const int>(0));
+  EXPECT_EQ(*handle.Acquire(), 0);
+
+  // A superseded generation nobody holds dies at publish: no retire.
+  handle.Publish(std::make_shared<const int>(1));
+  EXPECT_EQ(handle.retired_live(), 0u);
+
+  // A pinned generation survives its retirement until released.
+  const std::shared_ptr<const int> pinned = handle.Acquire();
+  handle.Publish(std::make_shared<const int>(2));
+  EXPECT_EQ(*pinned, 1);
+  EXPECT_EQ(*handle.Acquire(), 2);
+  EXPECT_EQ(handle.retired_live(), 1u);
+
+  const util::SnapshotHandle<int>::Stats stats = handle.stats();
+  EXPECT_EQ(stats.published, 3u);
+  EXPECT_GE(stats.acquires, 3u);
+}
+
+TEST(SnapshotIsolationTest, PinnedGenerationIsImmutableAcrossPublishes) {
+  auto engine = RankingEngine::Create(MakeOntology(901));
+  const corpus::Corpus source = MakeCorpus(engine->ontology(), 902, 20);
+  for (DocId d = 0; d < 10; ++d) {
+    ASSERT_TRUE(engine->AddDocument(DocConcepts(source, d)).ok());
+  }
+  const std::vector<ConceptId> query =
+      corpus::GenerateRdsQueries(source, 1, 3, 903).front();
+
+  // Pin the 10-document generation, then keep writing.
+  const std::shared_ptr<const EngineSnapshot> pinned = engine->snapshot();
+  EXPECT_EQ(pinned->corpus.num_documents(), 10u);
+  for (DocId d = 10; d < 20; ++d) {
+    ASSERT_TRUE(engine->AddDocument(DocConcepts(source, d)).ok());
+  }
+
+  // The pinned generation still sees exactly its 10 documents; the
+  // engine's current generation sees all 20.
+  EXPECT_EQ(pinned->corpus.num_documents(), 10u);
+  EXPECT_EQ(pinned->index.num_indexed_documents(), 10u);
+  EXPECT_EQ(engine->snapshot()->corpus.num_documents(), 20u);
+  EXPECT_GT(engine->snapshot()->generation, pinned->generation);
+
+  // Searching the pinned generation by hand matches a from-scratch
+  // engine over the same 10-document prefix, bit for bit.
+  corpus::Corpus prefix(engine->ontology());
+  for (DocId d = 0; d < 10; ++d) {
+    ASSERT_TRUE(prefix.AddDocument(source.document(d)).ok());
+  }
+  const index::InvertedIndex prefix_index(prefix);
+  ontology::AddressEnumerator enumerator(engine->ontology());
+  Drc prefix_drc(engine->ontology(), &enumerator);
+  Knds prefix_knds(prefix, prefix_index, &prefix_drc);
+  const auto want = prefix_knds.SearchRds(query, 5);
+  ASSERT_TRUE(want.ok());
+
+  Drc drc(engine->ontology(), &enumerator);
+  Knds knds(pinned->corpus, pinned->index, &drc);
+  const auto got = knds.SearchRds(query, 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(SameResults(*want, *got));
+
+  // Releasing the pin lets the superseded generations drain.
+  const SnapshotStats before = engine->snapshot_stats();
+  EXPECT_GE(before.retired_live, 1u);
+}
+
+TEST(SnapshotBuilderTest, BatchedPublishesAreAtomicallyVisible) {
+  RankingEngineOptions options;
+  options.snapshot.publish_batch_size = 3;
+  auto engine = RankingEngine::Create(MakeOntology(911), options);
+  const corpus::Corpus source = MakeCorpus(engine->ontology(), 912, 7);
+
+  // Two pending adds are invisible to readers...
+  ASSERT_TRUE(engine->AddDocument(DocConcepts(source, 0)).ok());
+  ASSERT_TRUE(engine->AddDocument(DocConcepts(source, 1)).ok());
+  EXPECT_EQ(engine->snapshot()->corpus.num_documents(), 0u);
+  EXPECT_EQ(engine->snapshot_stats().pending_documents, 2u);
+
+  // ...until the third completes the batch and all three land at once.
+  ASSERT_TRUE(engine->AddDocument(DocConcepts(source, 2)).ok());
+  EXPECT_EQ(engine->snapshot()->corpus.num_documents(), 3u);
+  EXPECT_EQ(engine->snapshot_stats().pending_documents, 0u);
+
+  // Flush publishes a partial batch on demand.
+  ASSERT_TRUE(engine->AddDocument(DocConcepts(source, 3)).ok());
+  EXPECT_EQ(engine->snapshot()->corpus.num_documents(), 3u);
+  engine->Flush();
+  EXPECT_EQ(engine->snapshot()->corpus.num_documents(), 4u);
+
+  // Ids are assigned at enqueue time, in order.
+  const auto id = engine->AddDocument(DocConcepts(source, 4));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 4u);
+}
+
+TEST(SnapshotBuilderTest, BoundedPendingDeltaShedsWithResourceExhausted) {
+  RankingEngineOptions options;
+  options.snapshot.publish_batch_size = 0;  // manual publishing
+  options.snapshot.max_pending_docs = 3;
+  auto engine = RankingEngine::Create(MakeOntology(921), options);
+  const corpus::Corpus source = MakeCorpus(engine->ontology(), 922, 5);
+
+  for (DocId d = 0; d < 3; ++d) {
+    ASSERT_TRUE(engine->AddDocument(DocConcepts(source, d)).ok());
+  }
+  EXPECT_EQ(engine->snapshot_stats().pending_documents, 3u);
+
+  // The delta is full: the write is shed, not buffered or dropped.
+  const auto shed = engine->AddDocument(DocConcepts(source, 3));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), util::StatusCode::kResourceExhausted);
+
+  // Flush drains the buffer; the shed write succeeds on retry with the
+  // id it would have had.
+  engine->Flush();
+  EXPECT_EQ(engine->snapshot()->corpus.num_documents(), 3u);
+  const auto retried = engine->AddDocument(DocConcepts(source, 3));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 3u);
+}
+
+TEST(SnapshotBuilderTest, TailAppendReusesEveryShardButTheTail) {
+  RankingEngineOptions options;
+  options.snapshot.target_docs_per_shard = 5;
+  auto engine = RankingEngine::Create(MakeOntology(931), options);
+  const corpus::Corpus source = MakeCorpus(engine->ontology(), 932, 16);
+  for (DocId d = 0; d < source.num_documents(); ++d) {
+    ASSERT_TRUE(engine->AddDocument(DocConcepts(source, d)).ok());
+  }
+
+  // 16 documents at 5 per shard: three full shards plus the tail.
+  const std::shared_ptr<const EngineSnapshot> snap = engine->snapshot();
+  ASSERT_EQ(snap->index.num_shards(), 4u);
+  EXPECT_EQ(snap->corpus.num_segments(), 4u);
+
+  // The last publish appended into the tail: every sealed shard was
+  // shared with the previous generation, only the tail was rebuilt.
+  EXPECT_EQ(snap->index.shards_reused(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(snap->index.shard(s).num_indexed_documents(), 5u);
+  }
+  EXPECT_EQ(snap->index.shard(3).num_indexed_documents(), 1u);
+}
+
+TEST(SnapshotBuilderTest, BulkLoadPartitionsIntoRequestedShards) {
+  RankingEngineOptions options;
+  options.snapshot.num_shards = 4;
+  auto engine = RankingEngine::Create(MakeOntology(941), options);
+  const corpus::Corpus source = MakeCorpus(engine->ontology(), 942, 22);
+  ASSERT_TRUE(engine->AddCorpus(source).ok());
+
+  const std::shared_ptr<const EngineSnapshot> snap = engine->snapshot();
+  EXPECT_EQ(snap->corpus.num_documents(), 22u);
+  EXPECT_EQ(snap->index.num_shards(), 4u);
+  EXPECT_EQ(snap->index.num_indexed_documents(), 22u);
+}
+
+// The linearizability-style check of the issue: one writer inserts
+// documents 0..N-1 in order (publish-per-add) while readers search the
+// same query in a loop. Every result a reader gets must be
+// bit-identical to the search over SOME prefix of the insertion order —
+// i.e. against some published generation, never a torn mix — and the
+// matched prefix length never decreases within a reader (publishes are
+// totally ordered and the root swap is atomic).
+TEST(SnapshotLinearizabilityTest, ConcurrentSearchesSeeSomePublishedPrefix) {
+  constexpr std::uint32_t kDocs = 24;
+  constexpr std::uint32_t kK = 5;
+  constexpr std::size_t kReaders = 2;
+
+  ontology::Ontology ontology = MakeOntology(951);
+  const corpus::Corpus source = MakeCorpus(ontology, 952, kDocs);
+  const std::vector<ConceptId> query =
+      corpus::GenerateRdsQueries(source, 1, 3, 953).front();
+
+  // Expected result per prefix length, computed single-threaded against
+  // a from-scratch index over documents [0, p).
+  std::vector<std::vector<ScoredDocument>> expected(kDocs + 1);
+  {
+    ontology::AddressEnumerator enumerator(ontology);
+    corpus::Corpus prefix(ontology);
+    for (std::uint32_t p = 0; p <= kDocs; ++p) {
+      if (p > 0) {
+        ASSERT_TRUE(prefix.AddDocument(source.document(p - 1)).ok());
+      }
+      const index::InvertedIndex index(prefix);
+      Drc drc(ontology, &enumerator);
+      Knds knds(prefix, index, &drc);
+      auto results = knds.SearchRds(query, kK);
+      ASSERT_TRUE(results.ok());
+      expected[p] = *std::move(results);
+    }
+  }
+
+  RankingEngineOptions options;
+  options.knds.num_threads = 1;
+  auto engine = RankingEngine::Create(std::move(ontology), options);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::uint32_t> failures{0};
+  std::vector<std::string> reader_errors(kReaders);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint32_t last_prefix = 0;
+      std::uint64_t last_generation = 0;
+      while (true) {
+        const bool final_pass = writer_done.load(std::memory_order_acquire);
+        const std::uint64_t generation = engine->snapshot()->generation;
+        const auto results = engine->FindRelevant(query, kK);
+        if (!results.ok()) {
+          reader_errors[r] = results.status().ToString();
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // Find the smallest acceptable prefix (≥ the last one seen)
+        // whose expected result matches this one bit for bit.
+        std::uint32_t match = kDocs + 1;
+        for (std::uint32_t p = last_prefix; p <= kDocs; ++p) {
+          if (SameResults(expected[p], *results)) {
+            match = p;
+            break;
+          }
+        }
+        if (match > kDocs) {
+          reader_errors[r] =
+              "result matches no published prefix >= " +
+              std::to_string(last_prefix);
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        last_prefix = match;
+        // Generations a reader observes never move backwards.
+        if (generation < last_generation) {
+          reader_errors[r] = "generation moved backwards";
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        last_generation = generation;
+        if (final_pass) return;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (DocId d = 0; d < kDocs; ++d) {
+    const auto id = engine->AddDocument(DocConcepts(source, d));
+    ASSERT_TRUE(id.ok());
+    ASSERT_EQ(*id, d);
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  ASSERT_EQ(failures.load(), 0u)
+      << reader_errors[0] << " | " << reader_errors[1];
+
+  // After the writer finishes, a fresh search must see the full corpus.
+  const auto final_results = engine->FindRelevant(query, kK);
+  ASSERT_TRUE(final_results.ok());
+  EXPECT_TRUE(SameResults(expected[kDocs], *final_results));
+
+  const SnapshotStats stats = engine->snapshot_stats();
+  EXPECT_EQ(stats.generation, kDocs);  // gen 0 = empty + one per add
+  EXPECT_EQ(stats.published, kDocs + 1);
+  EXPECT_EQ(stats.pending_documents, 0u);
+  EXPECT_GT(stats.acquires, 0u);
+}
+
+}  // namespace
+}  // namespace ecdr::core

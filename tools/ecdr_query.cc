@@ -1,4 +1,6 @@
-// CLI: run RDS / SDS queries against an ontology + corpus on disk.
+// CLI: run RDS / SDS queries against an ontology + corpus on disk,
+// through the full RankingEngine (snapshot isolation, admission,
+// caches) rather than a bare Knds.
 //
 //   # RDS by a concept name (names may contain spaces; synonyms work)
 //   # and/or a comma-separated id list:
@@ -8,21 +10,31 @@
 //   # SDS by document id:
 //   ecdr_query --ontology onto.txt --corpus corpus.txt --doc 12 --k 5
 //
+// Engine knobs: --threads 4 (intra-query lanes; 0 = hardware),
+// --shards 4 (bulk-load shard count), --repeat 20 (run the query N
+// times), --writer_qps 100 (run a background writer appending document
+// copies at that rate while the queries execute — searches never block
+// on it; see DESIGN.md "Snapshot lifecycle").
+//
 // Optional: --eps 0.5 (error threshold), --baseline (cross-check against
-// the exhaustive ranker), --stats (print search statistics),
-// --deadline_ms 50 (anytime mode: stop at the budget and report partial
-// results with per-result error bounds; see DESIGN.md "Deadlines,
-// degradation, and overload").
+// the exhaustive ranker), --stats (print per-query search, snapshot and
+// admission statistics), --deadline_ms 50 (anytime mode: stop at the
+// budget and report partial results with per-result error bounds; see
+// DESIGN.md "Deadlines, degradation, and overload").
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/drc.h"
 #include "core/exhaustive_ranker.h"
 #include "core/knds.h"
+#include "core/ranking_engine.h"
 #include "corpus/corpus_io.h"
-#include "index/inverted_index.h"
 #include "ontology/ontology_io.h"
 #include "tools/tool_flags.h"
 #include "util/string_util.h"
@@ -37,6 +49,10 @@ int main(int argc, char** argv) {
   const std::uint32_t k = flags.GetUint32("k", 10);
   const double eps = flags.GetDouble("eps", 0.5);
   const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const std::uint32_t threads = flags.GetUint32("threads", 1);
+  const std::uint32_t shards = flags.GetUint32("shards", 1);
+  const std::uint32_t repeat = flags.GetUint32("repeat", 1);
+  const double writer_qps = flags.GetDouble("writer_qps", 0.0);
   const bool run_baseline = flags.GetBool("baseline", false);
   const bool print_stats = flags.GetBool("stats", false);
   flags.CheckAllConsumed();
@@ -45,21 +61,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--ontology and --corpus are required\n");
     return 2;
   }
-  auto ontology = ecdr::ontology::LoadOntologyAuto(ontology_path);
-  if (!ontology.ok()) {
-    std::fprintf(stderr, "%s\n", ontology.status().ToString().c_str());
+  ecdr::core::RankingEngineOptions engine_options;
+  engine_options.knds.num_threads = threads;
+  engine_options.knds.error_threshold = eps;
+  engine_options.snapshot.num_shards = shards;
+  auto engine = ecdr::core::RankingEngine::CreateFromFiles(
+      ontology_path, corpus_path, engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  auto corpus = ecdr::corpus::LoadCorpusAuto(*ontology, corpus_path);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
-    return 1;
-  }
+  const ecdr::ontology::Ontology& ontology = (*engine)->ontology();
 
   // Assemble the query: SDS if --doc, otherwise RDS from names/ids.
   std::vector<ecdr::ontology::ConceptId> query;
   if (!concept_name.empty()) {
-    const auto id = ontology->FindByName(concept_name);
+    const auto id = ontology.FindByName(concept_name);
     if (id == ecdr::ontology::kInvalidConcept) {
       std::fprintf(stderr, "unknown concept '%s'\n", concept_name.c_str());
       return 1;
@@ -69,7 +86,7 @@ int main(int argc, char** argv) {
   if (!concept_ids.empty()) {
     for (const auto piece : ecdr::util::Split(concept_ids, ',')) {
       std::uint32_t id = 0;
-      if (!ecdr::util::ParseUint32(piece, &id) || !ontology->Contains(id)) {
+      if (!ecdr::util::ParseUint32(piece, &id) || !ontology.Contains(id)) {
         std::fprintf(stderr, "bad concept id '%s'\n",
                      std::string(piece).c_str());
         return 1;
@@ -83,30 +100,86 @@ int main(int argc, char** argv) {
                  "pass either --doc (SDS) or --concept/--concept-ids (RDS)\n");
     return 2;
   }
-  if (sds && doc_id >= corpus->num_documents()) {
+  const std::uint32_t loaded_docs =
+      (*engine)->snapshot()->corpus.num_documents();
+  if (sds && doc_id >= loaded_docs) {
     std::fprintf(stderr, "--doc %u out of range (%u documents)\n", doc_id,
-                 corpus->num_documents());
+                 loaded_docs);
     return 1;
   }
 
-  ecdr::index::InvertedIndex inverted(*corpus);
-  ecdr::ontology::AddressEnumerator addresses(*ontology);
-  ecdr::core::Drc drc(*ontology, &addresses);
-  ecdr::core::KndsOptions options;
-  options.error_threshold = eps;
-  if (deadline_ms > 0.0) {
-    options.deadline = ecdr::util::Deadline::After(deadline_ms / 1e3);
+  // Optional background writer: appends copies of the loaded documents
+  // at --writer_qps while the queries below run. Reads are snapshot-
+  // isolated, so this changes throughput, never correctness.
+  std::atomic<bool> writer_stop{false};
+  std::uint64_t writer_appended = 0;
+  std::thread writer;
+  if (writer_qps > 0.0) {
+    writer = std::thread([&] {
+      const auto period = std::chrono::duration<double>(1.0 / writer_qps);
+      std::uint32_t next = 0;
+      const auto base = (*engine)->snapshot();
+      while (!writer_stop.load(std::memory_order_acquire)) {
+        const auto concepts =
+            base->corpus.document(next % loaded_docs).concepts();
+        if ((*engine)
+                ->AddDocument({concepts.begin(), concepts.end()})
+                .ok()) {
+          ++writer_appended;
+        }
+        ++next;
+        std::this_thread::sleep_for(period);
+      }
+    });
   }
-  ecdr::core::Knds knds(*corpus, inverted, &drc, options);
 
-  const auto results = sds
-                           ? knds.SearchSds(corpus->document(doc_id), k)
-                           : knds.SearchRds(query, k);
+  ecdr::util::StatusOr<std::vector<ecdr::core::ScoredDocument>> results =
+      std::vector<ecdr::core::ScoredDocument>{};
+  for (std::uint32_t run = 0; run < repeat; ++run) {
+    ecdr::core::SearchControl control;
+    if (deadline_ms > 0.0) {
+      control.deadline = ecdr::util::Deadline::After(deadline_ms / 1e3);
+    }
+    results = sds ? (*engine)->FindSimilar(doc_id, k, control)
+                  : (*engine)->FindRelevant(query, k, control);
+    if (!results.ok()) break;
+    if (print_stats) {
+      const auto stats = (*engine)->last_search_stats();
+      const auto snapshot = (*engine)->snapshot_stats();
+      const auto admission = (*engine)->admission_stats();
+      std::printf(
+          "query %u: levels=%llu visits=%llu touched=%llu examined=%llu "
+          "drc=%llu pruned=%llu%s time=%.2fms | snapshot gen=%llu "
+          "shards=%zu retired=%zu pending=%zu | admission admitted=%llu "
+          "rejected=%llu in_flight=%zu\n",
+          run, static_cast<unsigned long long>(stats.levels),
+          static_cast<unsigned long long>(stats.concept_visits),
+          static_cast<unsigned long long>(stats.documents_touched),
+          static_cast<unsigned long long>(stats.documents_examined),
+          static_cast<unsigned long long>(stats.drc_calls),
+          static_cast<unsigned long long>(stats.documents_pruned),
+          stats.truncated ? " TRUNCATED" : "", stats.total_seconds * 1e3,
+          static_cast<unsigned long long>(snapshot.generation),
+          snapshot.index_shards, snapshot.retired_live,
+          snapshot.pending_documents,
+          static_cast<unsigned long long>(admission.admitted),
+          static_cast<unsigned long long>(admission.rejected),
+          admission.in_flight);
+    }
+  }
+  if (writer.joinable()) {
+    writer_stop.store(true, std::memory_order_release);
+    writer.join();
+    std::printf("writer: appended %llu documents (corpus now %u)\n",
+                static_cast<unsigned long long>(writer_appended),
+                (*engine)->snapshot()->corpus.num_documents());
+  }
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;
   }
-  const bool truncated = knds.last_stats().truncated;
+
+  const bool truncated = (*engine)->last_search_stats().truncated;
   std::printf("%s top-%u%s:\n", sds ? "SDS" : "RDS", k,
               truncated ? " (TRUNCATED at deadline; distances are lower "
                           "bounds where error_bound > 0)"
@@ -119,37 +192,37 @@ int main(int argc, char** argv) {
       std::printf("  doc %-8u distance %.4f\n", result.id, result.distance);
     }
   }
-  if (print_stats) {
-    const auto& stats = knds.last_stats();
-    std::printf(
-        "levels=%llu visits=%llu touched=%llu examined=%llu drc=%llu "
-        "pruned=%llu time=%.2fms (traversal %.2fms, distance %.2fms)\n",
-        static_cast<unsigned long long>(stats.levels),
-        static_cast<unsigned long long>(stats.concept_visits),
-        static_cast<unsigned long long>(stats.documents_touched),
-        static_cast<unsigned long long>(stats.documents_examined),
-        static_cast<unsigned long long>(stats.drc_calls),
-        static_cast<unsigned long long>(stats.documents_pruned),
-        stats.total_seconds * 1e3, stats.traversal_seconds * 1e3,
-        stats.distance_seconds * 1e3);
-  }
+
   if (run_baseline && truncated) {
     // A truncated run is allowed to disagree with the exhaustive ranker;
     // its contract is the error bounds, not exactness.
     std::printf("exhaustive cross-check: skipped (truncated result)\n");
   } else if (run_baseline) {
-    ecdr::core::ExhaustiveRanker baseline(*corpus, &drc);
-    const auto check = sds
-                           ? baseline.TopKSimilar(corpus->document(doc_id), k)
-                           : baseline.TopKRelevant(query, k);
+    // Pin one generation and compare Knds vs the exhaustive ranker over
+    // that exact corpus — coherent even if a writer was running.
+    const auto snap = (*engine)->snapshot();
+    ecdr::ontology::AddressEnumerator addresses(ontology);
+    ecdr::core::Drc drc(ontology, &addresses);
+    ecdr::core::KndsOptions knds_options;
+    knds_options.error_threshold = eps;
+    ecdr::core::Knds knds(snap->corpus, snap->index, &drc, knds_options);
+    const auto pinned = sds ? knds.SearchSds(snap->corpus.document(doc_id), k)
+                            : knds.SearchRds(query, k);
+    ECDR_CHECK(pinned.ok());
+    ecdr::core::ExhaustiveRanker baseline(snap->corpus, &drc);
+    const auto check =
+        sds ? baseline.TopKSimilar(snap->corpus.document(doc_id), k)
+            : baseline.TopKRelevant(query, k);
     ECDR_CHECK(check.ok());
-    bool match = check->size() == results->size();
+    bool match = check->size() == pinned->size();
     for (std::size_t i = 0; match && i < check->size(); ++i) {
-      match = (*check)[i].distance == (*results)[i].distance;
+      match = (*check)[i].distance == (*pinned)[i].distance &&
+              (*check)[i].id == (*pinned)[i].id;
     }
-    std::printf("exhaustive cross-check: %s (%.2f ms)\n",
+    std::printf("exhaustive cross-check: %s (%.2f ms, generation %llu)\n",
                 match ? "MATCH" : "MISMATCH",
-                baseline.last_stats().seconds * 1e3);
+                baseline.last_stats().seconds * 1e3,
+                static_cast<unsigned long long>(snap->generation));
     if (!match) return 1;
   }
   return 0;
