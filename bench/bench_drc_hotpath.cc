@@ -1,14 +1,26 @@
 // DRC hot-path microbenchmark: ns/distance, allocations/distance, and
-// the build-vs-sweep split for exact Ddq/Ddd calls on the generated
+// the build/tune/eval split for exact Ddq/Ddd calls on the generated
 // SNOMED-like testbed (PATIENT corpus, Section 6.1 filters). This is
 // the referee for the allocation-free DRC data path: steady-state calls
 // on a warm engine must report 0 allocations/distance, and the ns/
 // distance trend across PRs is tracked via BENCH_drc_hotpath.json.
 //
+// The workload is document-at-a-time, mirroring how the rankers drive
+// the engine: each query sweeps a run of candidate documents on one
+// engine, so both reuse paths are exercised the way serving exercises
+// them — ddq calls hit the per-document DAG cache (copy the prebuilt
+// doc DAG, insert the query on top), ddd sweeps keep the persistent
+// query skeleton and merge/detach each candidate under the rollback
+// log. The `*_noreuse` rows measure the same sweeps on an engine with
+// DrcOptions::skeleton_reuse = false — the paper's full per-call
+// rebuild — and serve as the in-run "before" baseline (the CI
+// regression gate also uses them to normalize out machine speed).
+//
 // The allocation numbers come from the counting operator-new hook in
 // util/alloc_counter.h, compiled into this binary only (see
 // ECDR_ALLOC_COUNTER_DEFINE_NEW below). `--smoke` runs a bounded
-// workload so CI can keep the binary from rotting.
+// workload so CI can keep the binary from rotting; even the smoke
+// sweeps keep >= 2 documents per query so the reuse path runs.
 
 #define ECDR_ALLOC_COUNTER_DEFINE_NEW
 #include "util/alloc_counter.h"
@@ -37,15 +49,26 @@ struct Row {
   double ns_per_distance = 0.0;
   double allocs_per_distance = 0.0;
   double bytes_per_distance = 0.0;
-  double build_fraction = 0.0;  // Gather + insert, of total call time.
+  double build_fraction = 0.0;  // Skeleton/merge insertion, of call time.
   double tune_fraction = 0.0;   // The two sweeps, of total call time.
-  double eval_fraction = 0.0;   // Remainder: lookups + summing.
-  double checksum = 0.0;        // Anti-DCE; also a cross-PR invariant.
+  double eval_fraction = 0.0;   // Directly timed lookups + summing.
+  double skeleton_reuse_rate = 0.0;  // reuses / (builds + reuses).
+  double doc_dag_hit_rate = 0.0;     // hits / (builds + hits).
+  // Fraction of calls that reused cached structure instead of building
+  // it: a skeleton reuse or a doc-DAG cache hit. Shown as the table's
+  // "reuse" column.
+  double structure_reuse_rate = 0.0;
+  std::uint64_t doc_paths_detached = 0;
+  double checksum = 0.0;  // Anti-DCE; also a cross-PR invariant.
 };
 
 struct Workload {
   std::string name;
-  // Each pair is (doc concepts, query concepts); ddq sums, ddd averages.
+  // Each pair is (doc concepts, query concepts), ordered query-major:
+  // consecutive pairs share the query side so the skeleton persists
+  // across each sweep. For ddd the "query" slot is the varying second
+  // document; the fixed anchor document sits in the doc slot, which
+  // DocDocDistance keeps as the skeleton side.
   std::vector<std::pair<std::span<const ecdr::ontology::ConceptId>,
                         std::span<const ecdr::ontology::ConceptId>>>
       pairs;
@@ -104,9 +127,26 @@ Row MeasureWorkload(ecdr::core::Drc* drc, const Workload& workload,
   if (elapsed > 0.0) {
     row.build_fraction = stats.build_seconds / elapsed;
     row.tune_fraction = stats.tune_seconds / elapsed;
-    row.eval_fraction =
-        std::max(0.0, 1.0 - row.build_fraction - row.tune_fraction);
+    row.eval_fraction = stats.eval_seconds / elapsed;
   }
+  const std::uint64_t skeleton_events =
+      stats.skeleton_builds + stats.skeleton_reuses;
+  if (skeleton_events > 0) {
+    row.skeleton_reuse_rate =
+        static_cast<double>(stats.skeleton_reuses) /
+        static_cast<double>(skeleton_events);
+  }
+  const std::uint64_t dag_events = stats.doc_dag_builds + stats.doc_dag_hits;
+  if (dag_events > 0) {
+    row.doc_dag_hit_rate = static_cast<double>(stats.doc_dag_hits) /
+                           static_cast<double>(dag_events);
+  }
+  if (skeleton_events + dag_events > 0) {
+    row.structure_reuse_rate =
+        static_cast<double>(stats.skeleton_reuses + stats.doc_dag_hits) /
+        static_cast<double>(skeleton_events + dag_events);
+  }
+  row.doc_paths_detached = stats.doc_paths_detached;
   row.checksum = checksum;
   return row;
 }
@@ -128,10 +168,15 @@ void WriteJson(const std::vector<Row>& rows, double scale,
         "\"ns_per_distance\": %.1f, \"allocs_per_distance\": %.3f, "
         "\"bytes_per_distance\": %.1f, \"build_fraction\": %.3f, "
         "\"tune_fraction\": %.3f, \"eval_fraction\": %.3f, "
+        "\"skeleton_reuse_rate\": %.3f, \"doc_dag_hit_rate\": %.3f, "
+        "\"structure_reuse_rate\": %.3f, \"doc_paths_detached\": %llu, "
         "\"checksum\": %.4f}%s\n",
         row.workload.c_str(), static_cast<unsigned long long>(row.calls),
         row.ns_per_distance, row.allocs_per_distance, row.bytes_per_distance,
-        row.build_fraction, row.tune_fraction, row.eval_fraction, row.checksum,
+        row.build_fraction, row.tune_fraction, row.eval_fraction,
+        row.skeleton_reuse_rate, row.doc_dag_hit_rate,
+        row.structure_reuse_rate,
+        static_cast<unsigned long long>(row.doc_paths_detached), row.checksum,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(file, "  ]\n}\n");
@@ -146,54 +191,77 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   const double scale = ecdr::bench::ScaleFromEnv();
-  const std::uint32_t pairs = smoke ? 8 : 64;
+  const std::uint32_t num_queries = smoke ? 4 : 16;
+  const std::uint32_t docs_per_query = smoke ? 2 : 8;
   const std::uint32_t repetitions = smoke ? 2 : 20;
 
   ecdr::bench::Testbed testbed =
       ecdr::bench::BuildTestbed(scale, /*include_patient=*/true,
                                 /*include_radio=*/false);
   ecdr::bench::PrintTestbedBanner(
-      "DRC hot path: ns/distance, allocations/distance, build-vs-sweep "
-      "split (exact Ddq/Ddd, warm engine)",
-      testbed, scale, pairs);
+      "DRC hot path: ns/distance, allocations/distance, build/tune/eval "
+      "split (exact Ddq/Ddd, warm engine, document-at-a-time sweeps)",
+      testbed, scale, num_queries * docs_per_query);
 
   // Serving mode: frozen address cache, one engine reused across calls.
   ecdr::ontology::AddressEnumerator enumerator(*testbed.ontology);
   enumerator.PrecomputeAll();
   ecdr::core::Drc drc(*testbed.ontology, &enumerator);
+  // The "before" engine: every call rebuilds the DAG from scratch, the
+  // paper's original per-pair cost model.
+  ecdr::core::DrcOptions noreuse_options;
+  noreuse_options.skeleton_reuse = false;
+  ecdr::core::Drc::Scratch noreuse_scratch;
+  ecdr::core::Drc noreuse_drc(*testbed.ontology, &enumerator,
+                              &noreuse_scratch, noreuse_options);
 
   const ecdr::corpus::Corpus& corpus = *testbed.patient.corpus;
   ECDR_CHECK_GT(corpus.num_documents(), 1u);
   const auto rds_queries =
-      ecdr::corpus::GenerateRdsQueries(corpus, pairs, kDefaultNq, 900);
+      ecdr::corpus::GenerateRdsQueries(corpus, num_queries, kDefaultNq, 900);
 
+  // ddq: each RDS query scores a run of candidate documents, the
+  // document-at-a-time order a ranker produces.
   Workload ddq;
   ddq.name = "ddq";
-  for (std::uint32_t i = 0; i < pairs; ++i) {
-    const ecdr::corpus::DocId doc = i % corpus.num_documents();
-    ddq.pairs.emplace_back(corpus.document(doc).concepts(),
-                           std::span<const ecdr::ontology::ConceptId>(
-                               rds_queries[i]));
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    for (std::uint32_t d = 0; d < docs_per_query; ++d) {
+      const ecdr::corpus::DocId doc =
+          (q * docs_per_query + d) % corpus.num_documents();
+      ddq.pairs.emplace_back(corpus.document(doc).concepts(),
+                             std::span<const ecdr::ontology::ConceptId>(
+                                 rds_queries[q]));
+    }
   }
+  // ddd: each anchor document (the SDS "query document") sweeps a run
+  // of candidate documents. DocDocDistance keeps the first argument as
+  // the persistent skeleton side.
   Workload ddd;
   ddd.name = "ddd";
   ddd.doc_doc = true;
-  for (std::uint32_t i = 0; i < pairs; ++i) {
-    const ecdr::corpus::DocId a = i % corpus.num_documents();
-    const ecdr::corpus::DocId b =
-        (i * 7 + 1) % corpus.num_documents() == a
-            ? (a + 1) % corpus.num_documents()
-            : (i * 7 + 1) % corpus.num_documents();
-    ddd.pairs.emplace_back(corpus.document(a).concepts(),
-                           corpus.document(b).concepts());
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    const ecdr::corpus::DocId a =
+        (q * 3 + 1) % corpus.num_documents();
+    for (std::uint32_t d = 0; d < docs_per_query; ++d) {
+      ecdr::corpus::DocId b =
+          (q * docs_per_query + d) * 7 % corpus.num_documents();
+      if (b == a) b = (b + 1) % corpus.num_documents();
+      ddd.pairs.emplace_back(corpus.document(a).concepts(),
+                             corpus.document(b).concepts());
+    }
   }
 
   std::vector<Row> rows;
   rows.push_back(MeasureWorkload(&drc, ddq, repetitions));
   rows.push_back(MeasureWorkload(&drc, ddd, repetitions));
+  rows.push_back(MeasureWorkload(&noreuse_drc, ddq, repetitions));
+  rows.back().workload = "ddq_noreuse";
+  rows.push_back(MeasureWorkload(&noreuse_drc, ddd, repetitions));
+  rows.back().workload = "ddd_noreuse";
 
   TablePrinter table({"workload", "calls", "ns/dist", "allocs/dist",
-                      "bytes/dist", "build", "tune", "eval"});
+                      "bytes/dist", "build", "tune", "eval", "reuse",
+                      "detached"});
   for (const Row& row : rows) {
     table.AddRow({row.workload, std::to_string(row.calls),
                   TablePrinter::FormatDouble(row.ns_per_distance, 1),
@@ -204,7 +272,11 @@ int main(int argc, char** argv) {
                   TablePrinter::FormatDouble(row.tune_fraction * 100.0, 1) +
                       "%",
                   TablePrinter::FormatDouble(row.eval_fraction * 100.0, 1) +
-                      "%"});
+                      "%",
+                  TablePrinter::FormatDouble(row.structure_reuse_rate * 100.0,
+                                             1) +
+                      "%",
+                  std::to_string(row.doc_paths_detached)});
   }
   table.Print(std::cout);
 

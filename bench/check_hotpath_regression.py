@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate DRC hot-path performance against the committed baseline.
+
+Usage: check_hotpath_regression.py <committed.json> <fresh.json>
+
+Compares the reuse rows (ddq, ddd) of a fresh bench_drc_hotpath run
+against the committed BENCH_drc_hotpath.json, normalizing away machine
+speed via the in-run no-reuse rows: both files carry ddq_noreuse /
+ddd_noreuse rows measured in the same process as their reuse rows, so
+
+    factor = fresh_noreuse / committed_noreuse
+
+estimates how much slower (or faster) this machine/build is than the
+one that produced the baseline, independent of the reuse machinery.
+The gate fails when
+
+    fresh_reuse > committed_reuse * factor * (1 + TOLERANCE)
+
+i.e. when the *relative* speedup of reuse over rebuild has regressed by
+more than TOLERANCE, which survives noisy CI runners that a raw
+ns-per-distance comparison would not. Also fails on any nonzero
+allocs_per_distance (the steady state must stay allocation-free).
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.15
+
+PAIRS = [("ddq", "ddq_noreuse"), ("ddd", "ddd_noreuse")]
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {row["workload"]: row for row in data["rows"]}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed = load_rows(argv[1])
+    fresh = load_rows(argv[2])
+
+    failed = False
+    for reuse, noreuse in PAIRS:
+        missing = [w for w in (reuse, noreuse)
+                   if w not in committed or w not in fresh]
+        if missing:
+            print(f"FAIL: missing workload rows {missing}")
+            failed = True
+            continue
+
+        factor = (fresh[noreuse]["ns_per_distance"]
+                  / committed[noreuse]["ns_per_distance"])
+        budget = committed[reuse]["ns_per_distance"] * factor * (1 + TOLERANCE)
+        got = fresh[reuse]["ns_per_distance"]
+        verdict = "ok" if got <= budget else "FAIL"
+        print(f"{verdict}: {reuse} {got:.1f} ns/distance "
+              f"(budget {budget:.1f} = committed "
+              f"{committed[reuse]['ns_per_distance']:.1f} "
+              f"x machine-factor {factor:.3f} x {1 + TOLERANCE:.2f})")
+        if got > budget:
+            failed = True
+
+        allocs = fresh[reuse]["allocs_per_distance"]
+        if allocs != 0:
+            print(f"FAIL: {reuse} allocs_per_distance {allocs} != 0")
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,7 @@
 
 namespace ecdr::core {
 
+
 void DRadixDag::Reset(const ontology::Ontology& ontology) {
   ontology_ = &ontology;
   concept_ids_.clear();
@@ -17,6 +18,12 @@ void DRadixDag::Reset(const ontology::Ontology& ontology) {
   edges_.clear();
   num_live_edges_ = 0;
   label_components_.clear();
+  // An open merge (e.g. a cancelled call's) dies with the state it
+  // guarded; the resume path points at discarded nodes.
+  merge_active_ = false;
+  undo_log_.clear();
+  resume_valid_ = false;
+  insert_path_.clear();
 
   if (concept_node_.size() != ontology.num_concepts()) {
     concept_node_.assign(ontology.num_concepts(), kInvalidNode);
@@ -31,6 +38,42 @@ void DRadixDag::Reset(const ontology::Ontology& ontology) {
   }
 
   (void)NodeFor(ontology.root());
+}
+
+void DRadixDag::CopyFrom(const DRadixDag& other) {
+  ECDR_CHECK(other.ontology_ != nullptr);
+  ECDR_CHECK(!other.merge_active_);
+  ontology_ = other.ontology_;
+  concept_ids_ = other.concept_ids_;
+  flags_ = other.flags_;
+  dist_to_doc_ = other.dist_to_doc_;
+  dist_to_query_ = other.dist_to_query_;
+  in_degree_ = other.in_degree_;
+  first_edge_ = other.first_edge_;
+  edges_ = other.edges_;
+  num_live_edges_ = other.num_live_edges_;
+  label_components_ = other.label_components_;
+  merge_active_ = false;
+  undo_log_.clear();
+  resume_valid_ = false;
+  insert_path_.clear();
+
+  // Re-register the copied nodes in this DAG's own concept table under
+  // a fresh epoch — same table sizing and wrap discipline as Reset().
+  if (concept_node_.size() != ontology_->num_concepts()) {
+    concept_node_.assign(ontology_->num_concepts(), kInvalidNode);
+    concept_epoch_.assign(ontology_->num_concepts(), 0);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {
+    std::fill(concept_epoch_.begin(), concept_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  for (std::size_t i = 0; i < concept_ids_.size(); ++i) {
+    const ontology::ConceptId concept_id = concept_ids_[i];
+    concept_epoch_[concept_id] = epoch_;
+    concept_node_[concept_id] = static_cast<NodeIndex>(i);
+  }
 }
 
 DRadixDag::NodeIndex DRadixDag::NodeFor(ontology::ConceptId concept_id) {
@@ -68,8 +111,21 @@ void DRadixDag::AddEdgeRaw(NodeIndex parent, std::uint32_t label_offset,
                            std::uint32_t length, NodeIndex target) {
   ECDR_DCHECK_GT(length, 0u);
   ECDR_DCHECK_NE(parent, target);
+  if (merge_active_) {
+    // Post-mark slots are undone by truncation; only pre-merge state
+    // needs old-value records.
+    if (parent < mark_nodes_) {
+      undo_log_.push_back(
+          UndoRec{UndoRec::kFirstEdge, parent, first_edge_[parent]});
+    }
+    if (target < mark_nodes_) {
+      undo_log_.push_back(
+          UndoRec{UndoRec::kInDegree, target, in_degree_[target]});
+    }
+  }
   const std::uint32_t slot = static_cast<std::uint32_t>(edges_.size());
-  edges_.push_back(EdgeRec{label_offset, length, target, first_edge_[parent]});
+  edges_.push_back(EdgeRec{label_offset, length, target, first_edge_[parent],
+                           label_components_[label_offset]});
   first_edge_[parent] = slot;
   ++in_degree_[target];
   ++num_live_edges_;
@@ -78,6 +134,22 @@ void DRadixDag::AddEdgeRaw(NodeIndex parent, std::uint32_t label_offset,
 DRadixDag::EdgeRec DRadixDag::DetachEdge(NodeIndex parent, std::uint32_t prev,
                                          std::uint32_t e) {
   const EdgeRec detached = edges_[e];
+  if (merge_active_) {
+    if (prev == kNilEdge) {
+      if (parent < mark_nodes_) {
+        undo_log_.push_back(
+            UndoRec{UndoRec::kFirstEdge, parent, first_edge_[parent]});
+      }
+    } else if (prev < mark_edges_) {
+      undo_log_.push_back(
+          UndoRec{UndoRec::kEdgeNext, prev, edges_[prev].next});
+    }
+    if (detached.target < mark_nodes_) {
+      undo_log_.push_back(
+          UndoRec{UndoRec::kInDegree, detached.target,
+                  in_degree_[detached.target]});
+    }
+  }
   if (prev == kNilEdge) {
     first_edge_[parent] = detached.next;
   } else {
@@ -88,6 +160,77 @@ DRadixDag::EdgeRec DRadixDag::DetachEdge(NodeIndex parent, std::uint32_t prev,
   return detached;
 }
 
+void DRadixDag::SetFlags(NodeIndex index, std::uint8_t new_flags) {
+  const std::uint8_t old_flags = flags_[index];
+  if ((old_flags | new_flags) == old_flags) return;
+  if (merge_active_ && index < mark_nodes_) {
+    undo_log_.push_back(UndoRec{UndoRec::kFlags, index, old_flags});
+  }
+  flags_[index] = old_flags | new_flags;
+}
+
+void DRadixDag::MarkFlags(ontology::ConceptId concept_id, bool in_doc,
+                          bool in_query) {
+  const NodeIndex index = FindNode(concept_id);
+  ECDR_CHECK_NE(index, kInvalidNode);
+  SetFlags(index, static_cast<std::uint8_t>((in_doc ? kInDocFlag : 0) |
+                                            (in_query ? kInQueryFlag : 0)));
+}
+
+void DRadixDag::BeginMerge() {
+  ECDR_CHECK(!merge_active_);
+  mark_nodes_ = static_cast<std::uint32_t>(concept_ids_.size());
+  mark_edges_ = static_cast<std::uint32_t>(edges_.size());
+  mark_labels_ = static_cast<std::uint32_t>(label_components_.size());
+  mark_live_edges_ = num_live_edges_;
+  undo_log_.clear();
+  merge_active_ = true;
+  // The resume path (from the last pre-merge insertion) stays valid:
+  // recorded nodes are pre-mark and a merge only ever adds below them.
+}
+
+void DRadixDag::RollbackMerge() {
+  ECDR_CHECK(merge_active_);
+  // Reverse replay: a slot logged more than once ends at its oldest —
+  // i.e. pre-merge — value.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    switch (it->kind) {
+      case UndoRec::kFirstEdge:
+        first_edge_[it->index] = it->value;
+        break;
+      case UndoRec::kEdgeNext:
+        edges_[it->index].next = it->value;
+        break;
+      case UndoRec::kFlags:
+        flags_[it->index] = static_cast<std::uint8_t>(it->value);
+        break;
+      case UndoRec::kInDegree:
+        in_degree_[it->index] = it->value;
+        break;
+    }
+  }
+  // Un-register the appended nodes: stamp 0 is never a live epoch
+  // (Reset() starts at 1), so FindNode reads "absent" without touching
+  // the rest of the table.
+  for (std::size_t i = mark_nodes_; i < concept_ids_.size(); ++i) {
+    concept_epoch_[concept_ids_[i]] = 0;
+  }
+  concept_ids_.resize(mark_nodes_);
+  flags_.resize(mark_nodes_);
+  dist_to_doc_.resize(mark_nodes_);
+  dist_to_query_.resize(mark_nodes_);
+  in_degree_.resize(mark_nodes_);
+  first_edge_.resize(mark_nodes_);
+  edges_.resize(mark_edges_);
+  label_components_.resize(mark_labels_);
+  num_live_edges_ = mark_live_edges_;
+  undo_log_.clear();
+  merge_active_ = false;
+  // The resume path may reference truncated nodes.
+  resume_valid_ = false;
+  insert_path_.clear();
+}
+
 void DRadixDag::AttachEdge(NodeIndex parent, std::uint32_t label_offset,
                            std::uint32_t length, NodeIndex target) {
   ECDR_DCHECK_GT(length, 0u);
@@ -96,8 +239,7 @@ void DRadixDag::AttachEdge(NodeIndex parent, std::uint32_t label_offset,
   // invariant, maintained inductively by the splits below).
   std::uint32_t prev = kNilEdge;
   std::uint32_t e = first_edge_[parent];
-  while (e != kNilEdge &&
-         label_components_[edges_[e].label_offset] != first_component) {
+  while (e != kNilEdge && edges_[e].label_first != first_component) {
     prev = e;
     e = edges_[e].next;
   }
@@ -155,6 +297,86 @@ void DRadixDag::AttachEdge(NodeIndex parent, std::uint32_t label_offset,
   AttachEdge(mid, label_offset + lcp, length - lcp, target);
 }
 
+void DRadixDag::AttachEdgeWalk(NodeIndex parent, std::uint32_t label_offset,
+                               std::uint32_t length, NodeIndex target,
+                               std::uint32_t depth) {
+  // The same case analysis as AttachEdge, but iterative along the
+  // address's own path (descents and splits loop instead of recursing)
+  // and recording every on-path node into insert_path_. Only the
+  // displaced suffix of a split — which leaves the path — still goes
+  // through the recursive AttachEdge.
+  for (;;) {
+    ECDR_DCHECK_GT(length, 0u);
+    const std::uint32_t first_component = label_components_[label_offset];
+    std::uint32_t prev = kNilEdge;
+    std::uint32_t e = first_edge_[parent];
+    while (e != kNilEdge && edges_[e].label_first != first_component) {
+      prev = e;
+      e = edges_[e].next;
+    }
+    if (e == kNilEdge) {
+      AddEdgeRaw(parent, label_offset, length, target);
+      insert_path_.push_back(PathEntry{target, depth + length});
+      return;
+    }
+
+    const EdgeRec shared = edges_[e];
+    const std::uint32_t lcp = static_cast<std::uint32_t>(
+        ontology::DeweyCommonPrefix(
+            {label_components_.data() + label_offset, length},
+            LabelOf(shared)));
+    ECDR_DCHECK_GE(lcp, 1u);
+
+    if (lcp == shared.label_length && lcp == length) {
+      ECDR_CHECK_EQ(shared.target, target);
+      insert_path_.push_back(PathEntry{target, depth + length});
+      return;
+    }
+
+    if (lcp == shared.label_length) {
+      // `label` extends the existing edge: descend with the remainder.
+      depth += lcp;
+      insert_path_.push_back(PathEntry{shared.target, depth});
+      parent = shared.target;
+      label_offset += lcp;
+      length -= lcp;
+      continue;
+    }
+
+    if (lcp == length) {
+      // `target` sits in the middle of the existing edge: splice it in.
+      (void)DetachEdge(parent, prev, e);
+      AddEdgeRaw(parent, label_offset, length, target);
+      AttachEdge(target, shared.label_offset + lcp,
+                 shared.label_length - lcp, shared.target);
+      insert_path_.push_back(PathEntry{target, depth + length});
+      return;
+    }
+
+    // Proper split: materialize the node at the longest common prefix
+    // (NodeFor reuses an existing node of that concept — the DAG case),
+    // re-attach the displaced suffix off-path, then keep walking from
+    // the split node with the remainder.
+    const ontology::ConceptId mid_concept = ResolveRelative(
+        concept_ids_[parent],
+        {label_components_.data() + label_offset, lcp});
+    ECDR_CHECK_NE(mid_concept, ontology::kInvalidConcept);
+    const NodeIndex mid = NodeFor(mid_concept);
+    ECDR_DCHECK_NE(mid, parent);
+    ECDR_DCHECK_NE(mid, target);
+
+    (void)DetachEdge(parent, prev, e);
+    AddEdgeRaw(parent, label_offset, lcp, mid);
+    AttachEdge(mid, shared.label_offset + lcp, shared.label_length - lcp,
+               shared.target);
+    depth += lcp;
+    insert_path_.push_back(PathEntry{mid, depth});
+    parent = mid;
+    label_offset += lcp;
+    length -= lcp;
+  }
+}
+
 void DRadixDag::InsertAddress(ontology::ConceptId concept_id,
                               std::span<const std::uint32_t> address,
                               bool in_doc, bool in_query) {
@@ -164,20 +386,79 @@ void DRadixDag::InsertAddress(ontology::ConceptId concept_id,
       (in_doc ? kInDocFlag : 0) | (in_query ? kInQueryFlag : 0));
   if (address.empty()) {
     ECDR_CHECK_EQ(concept_id, ontology_->root());
-    flags_[0] |= new_flags;
+    SetFlags(0, new_flags);
     return;
   }
+  const std::uint32_t lcp =
+      resume_valid_ ? static_cast<std::uint32_t>(
+                          ontology::DeweyCommonPrefix(prev_view_, address))
+                    : 0;
+  // This entry point owns a copy of the address, so the caller's
+  // storage may be transient.
+  prev_address_.assign(address.begin(), address.end());
+  prev_view_ = prev_address_;
+  InsertResumed(concept_id, address, lcp, new_flags);
+}
+
+void DRadixDag::InsertAddressResumed(ontology::ConceptId concept_id,
+                                     std::span<const std::uint32_t> address,
+                                     std::uint32_t lcp_with_previous,
+                                     bool in_doc, bool in_query) {
+  ECDR_DCHECK(ontology_ != nullptr);
+  ECDR_DCHECK(resume_valid_);
+  ECDR_DCHECK(!address.empty());
+  ECDR_DCHECK_EQ(ResolveRelative(ontology_->root(), address), concept_id);
+  // The hint must equal the true common prefix with the previously
+  // inserted address; DRC reads it off FlatDeweyPool::rank_lcp().
+  ECDR_DCHECK_EQ(lcp_with_previous,
+                 ontology::DeweyCommonPrefix(prev_view_, address));
+  const std::uint8_t new_flags = static_cast<std::uint8_t>(
+      (in_doc ? kInDocFlag : 0) | (in_query ? kInQueryFlag : 0));
+  // Keep a view only: the caller guarantees stability (pool arena).
+  prev_view_ = address;
+  InsertResumed(concept_id, address, lcp_with_previous, new_flags);
+}
+
+void DRadixDag::InsertResumed(ontology::ConceptId concept_id,
+                              std::span<const std::uint32_t> address,
+                              std::uint32_t lcp, std::uint8_t new_flags) {
   const NodeIndex target = NodeFor(concept_id);
-  // Copy the address into the arena once; every label this insertion
-  // produces (including splits) is a subrange of this run.
-  ECDR_DCHECK_LE(label_components_.size() + address.size(), 0xFFFFFFFFull);
+
+  // Resume: re-enter the radix walk at the deepest node recorded on the
+  // previous address's path that is still on this address's path (its
+  // depth does not exceed the common prefix). The walk below an entry
+  // only ever mutates structure strictly deeper than it, so shallower
+  // entries stay valid across insertions.
+  std::uint32_t base = 0;
+  NodeIndex start = root();
+  if (resume_valid_) {
+    while (insert_path_.back().depth > lcp) insert_path_.pop_back();
+    start = insert_path_.back().node;
+    base = insert_path_.back().depth;
+  } else {
+    insert_path_.clear();
+    insert_path_.push_back(PathEntry{root(), 0});
+  }
+  resume_valid_ = true;
+
+  const std::uint32_t length = static_cast<std::uint32_t>(address.size());
+  if (base == length) {
+    // The whole address was already materialized (a duplicate insert,
+    // or a prefix of the previous address): determinism of Dewey
+    // resolution pins the resume node to this concept's node.
+    ECDR_CHECK_EQ(start, target);
+    SetFlags(target, new_flags);
+    return;
+  }
+  // Copy the unshared suffix into the arena once; every label this
+  // insertion produces (including splits) is a subrange of this run.
+  ECDR_DCHECK_LE(label_components_.size() + (length - base), 0xFFFFFFFFull);
   const std::uint32_t offset =
       static_cast<std::uint32_t>(label_components_.size());
-  label_components_.insert(label_components_.end(), address.begin(),
+  label_components_.insert(label_components_.end(), address.begin() + base,
                            address.end());
-  AttachEdge(root(), offset, static_cast<std::uint32_t>(address.size()),
-             target);
-  flags_[target] |= new_flags;
+  AttachEdgeWalk(start, offset, length - base, target, base);
+  SetFlags(target, new_flags);
 }
 
 void DRadixDag::BuildTopologicalOrder() const {

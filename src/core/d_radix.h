@@ -131,6 +131,17 @@ class DRadixDag {
   /// concept-table sizing; after warm-up it performs no allocation.
   void Reset(const ontology::Ontology& ontology);
 
+  /// Replaces this DAG's contents with a copy of `other` (which must
+  /// not have an open merge). Equivalent to replaying other's exact
+  /// insertion sequence, but by bulk array copies: O(nodes + edges +
+  /// label components) sequential memory, no radix walks. This is how
+  /// DRC stamps a cached per-document DAG into the scratch arena before
+  /// layering a query on top (see drc.h). Buffers keep their capacity,
+  /// so copying same-shaped sources repeatedly does not allocate. The
+  /// copy starts a fresh generation (like Reset) and does not resume
+  /// other's insertion path: the next insertion walks from the root.
+  void CopyFrom(const DRadixDag& other);
+
   /// Inserts one Dewey address of `concept`, flagged as a document and/or
   /// query concept. `address` must resolve to `concept` in the ontology;
   /// its components are copied into the DAG's arena, so the caller's
@@ -141,11 +152,61 @@ class DRadixDag {
                      std::span<const std::uint32_t> address, bool in_doc,
                      bool in_query);
 
+  /// InsertAddress with the common-prefix length against the previously
+  /// inserted address supplied by the caller instead of recomputed here
+  /// (DRC derives it from FlatDeweyPool::rank_lcp() — a window minimum
+  /// of precomputed u32s instead of a component-wise compare). Two
+  /// extra contract points: an insertion must already be resumable
+  /// (some address was inserted since Reset(), and neither Rollback-
+  /// Merge nor Reset intervened), and `address` must stay readable
+  /// until the next insertion or Reset — the DAG keeps a view of it
+  /// instead of copying it. Pool-arena spans satisfy this for free.
+  void InsertAddressResumed(ontology::ConceptId concept_id,
+                            std::span<const std::uint32_t> address,
+                            std::uint32_t lcp_with_previous, bool in_doc,
+                            bool in_query);
+
+  /// True if the next insertion may use InsertAddressResumed.
+  bool resume_valid() const { return resume_valid_; }
+
   /// The tuning phase: one bottom-up and one top-down relaxation sweep in
   /// topological order (Eq. 4), after which every node's dist_to_doc /
   /// dist_to_query equal its shortest valid-path distance to the nearest
   /// document / query concept within the ontology.
   void TuneDistances();
+
+  /// Starts an undoable span: from here until RollbackMerge(), every
+  /// structural mutation of pre-existing state (head pointers, sibling
+  /// links, flags, in-degrees) is recorded in an undo log, and appended
+  /// nodes/edges/label components are tracked by size marks. This is
+  /// how DRC merges one candidate document's address paths into a
+  /// persistent query skeleton and detaches them afterwards: appended
+  /// storage is truncated, logged slots are replayed in reverse, so the
+  /// DAG returns to a state bit-identical with the pre-merge one (see
+  /// DESIGN.md "Query-skeleton reuse"). One merge may be open at a
+  /// time; Reset() discards an open merge.
+  void BeginMerge();
+
+  /// Undoes everything since BeginMerge() (see above). The restored
+  /// state is bit-identical except dist_to_doc_/dist_to_query_, which
+  /// are derived and overwritten wholesale by the next TuneDistances().
+  void RollbackMerge();
+
+  bool merge_active() const { return merge_active_; }
+
+  /// Undo-log length of the open merge — DRC's cheap proxy for "is a
+  /// rollback cheaper than a fresh skeleton build".
+  std::size_t merge_log_size() const { return undo_log_.size(); }
+
+  /// Bumps on every Reset(); lets callers detect that a DAG they cached
+  /// derived state against has been rebuilt behind their back.
+  std::uint32_t generation() const { return epoch_; }
+
+  /// ORs the doc/query flags onto the existing node of `concept_id`
+  /// (which must be in the DAG — it aborts otherwise). Used when a
+  /// merge adds a side flag to a concept whose addresses the skeleton
+  /// already carries; logged like any other merge mutation.
+  void MarkFlags(ontology::ConceptId concept_id, bool in_doc, bool in_query);
 
   NodeIndex root() const { return 0; }
   Node node(NodeIndex i) const {
@@ -200,6 +261,12 @@ class DRadixDag {
     std::uint32_t label_length = 0;
     NodeIndex target = kInvalidNode;
     std::uint32_t next = kNilEdge;  // Next sibling under the same parent.
+    // First label component, duplicated out of the arena so sibling
+    // scans stay inside this record instead of chasing label_offset
+    // (one dependent load per visited sibling on the hottest loop).
+    // Immutable after AddEdgeRaw, like offset/length: splits detach and
+    // re-add, so rollback's truncate-and-replay restores it for free.
+    std::uint32_t label_first = 0;
   };
 
   std::span<const std::uint32_t> LabelOf(const EdgeRec& rec) const {
@@ -214,6 +281,10 @@ class DRadixDag {
 
   NodeIndex NodeFor(ontology::ConceptId concept_id);
 
+  /// ORs `new_flags` into flags_[index], logging the old value when an
+  /// open merge touches a pre-merge node.
+  void SetFlags(NodeIndex index, std::uint8_t new_flags);
+
   /// Walks `components` down ontology child ordinals starting at `from`.
   ontology::ConceptId ResolveRelative(
       ontology::ConceptId from,
@@ -221,9 +292,20 @@ class DRadixDag {
 
   /// Adds an edge parent -> target labelled by the arena run
   /// [offset, offset + length), splitting existing edges as needed to
-  /// keep the radix invariants (the paper's InsertPath).
+  /// keep the radix invariants (the paper's InsertPath). Used for the
+  /// off-path suffix re-attachment a split displaces; the main
+  /// insertion path is the iterative AttachEdgeWalk below.
   void AttachEdge(NodeIndex parent, std::uint32_t label_offset,
                   std::uint32_t length, NodeIndex target);
+
+  /// Iterative AttachEdge along the current address's root path,
+  /// starting `depth` components below the root at `parent`. Pushes
+  /// every node it descends through, splits out, or creates onto
+  /// insert_path_ (with its component depth), which is what the next
+  /// InsertAddress resumes from.
+  void AttachEdgeWalk(NodeIndex parent, std::uint32_t label_offset,
+                      std::uint32_t length, NodeIndex target,
+                      std::uint32_t depth);
 
   void AddEdgeRaw(NodeIndex parent, std::uint32_t label_offset,
                   std::uint32_t length, NodeIndex target);
@@ -262,6 +344,58 @@ class DRadixDag {
   // TuneDistances / CheckInvariants scratch, reused across generations.
   mutable std::vector<NodeIndex> topo_order_;
   mutable std::vector<std::uint32_t> topo_pending_;
+
+  // ---- Merge/rollback state (BeginMerge .. RollbackMerge) ----
+  //
+  // Appended storage is undone by truncating to the size marks; in-place
+  // mutations of pre-mark slots are undone by replaying old-value
+  // records in reverse. Both reuse capacity across merges.
+  struct UndoRec {
+    enum Kind : std::uint32_t {
+      kFirstEdge,  // first_edge_[index] = value
+      kEdgeNext,   // edges_[index].next = value
+      kFlags,      // flags_[index] = value
+      kInDegree,   // in_degree_[index] = value
+    };
+    Kind kind;
+    std::uint32_t index;
+    std::uint32_t value;
+  };
+  bool merge_active_ = false;
+  std::uint32_t mark_nodes_ = 0;
+  std::uint32_t mark_edges_ = 0;
+  std::uint32_t mark_labels_ = 0;
+  std::size_t mark_live_edges_ = 0;
+  std::vector<UndoRec> undo_log_;
+
+  // ---- Insertion-resume state ----
+  //
+  // The materialized nodes on the most recently inserted address's root
+  // path, with their depths (in components), plus that address's
+  // components. The next InsertAddress computes the common prefix with
+  // the previous address and re-enters the radix walk at the deepest
+  // recorded node not below it — with inserts sorted by global address
+  // rank (drc.cc), nearly the whole walk is skipped. Correctness does
+  // not depend on insertion order: any recorded ancestor is a valid
+  // re-entry point, sorting only maximizes the shared prefix.
+  struct PathEntry {
+    NodeIndex node;
+    std::uint32_t depth;
+  };
+  std::vector<PathEntry> insert_path_;
+  // The previous address is held as a view: InsertAddressResumed points
+  // it at the caller's (stable) storage without copying; InsertAddress
+  // copies into prev_address_ and points the view there. Only plain
+  // InsertAddress ever reads it (to compute the resume LCP).
+  std::vector<std::uint32_t> prev_address_;
+  std::span<const std::uint32_t> prev_view_;
+  bool resume_valid_ = false;
+
+  /// Common tail of both insert entry points: resumes the walk at the
+  /// deepest recorded node with depth <= lcp and attaches the suffix.
+  void InsertResumed(ontology::ConceptId concept_id,
+                     std::span<const std::uint32_t> address,
+                     std::uint32_t lcp, std::uint8_t new_flags);
 };
 
 }  // namespace ecdr::core

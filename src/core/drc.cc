@@ -1,14 +1,59 @@
 #include "core/drc.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "ontology/flat_dewey_pool.h"
 #include "util/timer.h"
 
 namespace ecdr::core {
 
+namespace {
+
+// LSD radix sort of (rank << 32 | index) keys by the rank half: four
+// 8-bit passes, each skipped when its byte is constant across the key
+// set (ranks span far fewer than 32 bits in practice, so typically two
+// or three passes run). Rank ties cannot occur — ranks are a global
+// permutation — so stability games are unnecessary. Ends with the
+// sorted keys back in `keys`; `tmp` is warm scratch.
+void SortKeysByRank(std::vector<std::uint64_t>& keys,
+                    std::vector<std::uint64_t>& tmp) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+  tmp.resize(n);
+  std::uint64_t* src = keys.data();
+  std::uint64_t* dst = tmp.data();
+  for (int shift = 32; shift < 64; shift += 8) {
+    std::uint32_t hist[256] = {0};
+    for (std::size_t i = 0; i < n; ++i) {
+      ++hist[(src[i] >> shift) & 0xFF];
+    }
+    if (hist[(src[0] >> shift) & 0xFF] == n) continue;
+    std::uint32_t sum = 0;
+    for (std::uint32_t& h : hist) {
+      const std::uint32_t count = h;
+      h = sum;
+      sum += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[hist[(src[i] >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) {
+    std::memcpy(keys.data(), src, n * sizeof(std::uint64_t));
+  }
+}
+
+}  // namespace
+
 Drc::Drc(const ontology::Ontology& ontology,
-         ontology::AddressEnumerator* addresses, Scratch* scratch)
-    : ontology_(&ontology), addresses_(addresses), address_lease_(addresses) {
+         ontology::AddressEnumerator* addresses, Scratch* scratch,
+         DrcOptions options)
+    : ontology_(&ontology),
+      addresses_(addresses),
+      address_lease_(addresses),
+      options_(options) {
   ECDR_CHECK(addresses != nullptr);
   if (scratch == nullptr) {
     owned_scratch_ = std::make_unique<Scratch>();
@@ -111,33 +156,335 @@ util::Status Drc::BuildInto(DRadixDag* dag,
       util::CheckCancellation(cancel_token_, deadline_, "DRC"));
   util::WallTimer timer;
 
-  GatherInserts(doc, query);
-
-  dag->Reset(*ontology_);
-  // Poll coarsely during the insert sweep — large SDS pairs can carry
-  // tens of thousands of addresses — but keep the unexpired cost at one
-  // predictable branch per batch.
-  constexpr std::size_t kCancelPollStride = 1024;
-  std::size_t inserted = 0;
-  for (const PendingInsert& pending : scratch_->inserts) {
-    if (++inserted % kCancelPollStride == 0) {
-      ECDR_RETURN_IF_ERROR(
-          util::CheckCancellation(cancel_token_, deadline_, "DRC"));
+  if (options_.skeleton_reuse && dag == &scratch_->dag) {
+    // Distance calls on the scratch DAG reuse work across the sweep.
+    // Small-query calls (Ddq and its weighted variant) copy a cached
+    // per-document DAG and insert just the query; document-vs-document
+    // calls keep the persistent query skeleton and merge the candidate
+    // under the rollback log.
+    if (options_.doc_dag_cache_capacity > 0 &&
+        addresses_->flat_pool() != nullptr &&
+        query.size() <= options_.doc_dag_max_query_concepts) {
+      ECDR_RETURN_IF_ERROR(BuildWithDocDag(dag, doc, query));
+    } else {
+      ECDR_RETURN_IF_ERROR(BuildWithSkeleton(dag, doc, query));
     }
-    dag->InsertAddress(pending.concept_id, {pending.address, pending.length},
-                       pending.in_doc, pending.in_query);
+  } else {
+    // BuildIndex (standalone DAGs) and reuse-off engines: the paper's
+    // full per-call build. GatherInserts overwrites query_set — the
+    // skeleton's identity — so any skeleton standing in the scratch DAG
+    // no longer matches its signature and must be dropped.
+    scratch_->skeleton_valid = false;
+    GatherInserts(doc, query);
+
+    dag->Reset(*ontology_);
+    // Poll coarsely during the insert sweep — large SDS pairs can carry
+    // tens of thousands of addresses — but keep the unexpired cost at
+    // one predictable branch per batch.
+    constexpr std::size_t kCancelPollStride = 1024;
+    std::size_t inserted = 0;
+    for (const PendingInsert& pending : scratch_->inserts) {
+      if (++inserted % kCancelPollStride == 0) {
+        ECDR_RETURN_IF_ERROR(
+            util::CheckCancellation(cancel_token_, deadline_, "DRC"));
+      }
+      dag->InsertAddress(pending.concept_id,
+                         {pending.address, pending.length}, pending.in_doc,
+                         pending.in_query);
+    }
+    stats_.addresses_inserted += scratch_->inserts.size();
   }
   const double built_at = timer.ElapsedSeconds();
   dag->TuneDistances();
   const double tuned_at = timer.ElapsedSeconds();
 
   ++stats_.calls;
-  stats_.addresses_inserted += scratch_->inserts.size();
   stats_.nodes_built += dag->num_nodes();
   stats_.edges_built += dag->num_edges();
   stats_.seconds += tuned_at;
   stats_.build_seconds += built_at;
   stats_.tune_seconds += tuned_at - built_at;
+  return util::Status::Ok();
+}
+
+util::Status Drc::BuildWithSkeleton(DRadixDag* dag,
+                                    std::span<const ontology::ConceptId> doc,
+                                    std::span<const ontology::ConceptId>
+                                        query) {
+  Scratch& s = *scratch_;
+  constexpr std::size_t kCancelPollStride = 1024;
+
+  // Dedup the incoming query side into the probe buffer, then decide
+  // whether the skeleton standing in the DAG is exactly it.
+  std::vector<ontology::ConceptId>& probe = s.probe_set;
+  probe.assign(query.begin(), query.end());
+  std::sort(probe.begin(), probe.end());
+  probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+
+  const std::uint64_t addresses_generation = addresses_->cache_generation();
+  bool reuse = s.skeleton_valid &&
+               s.skeleton_ontology == static_cast<const void*>(ontology_) &&
+               s.skeleton_addresses_generation == addresses_generation &&
+               s.skeleton_dag_generation == dag->generation() &&
+               probe == s.query_set;
+  if (reuse && dag->merge_active() &&
+      dag->merge_log_size() > options_.max_rollback_entries) {
+    // The previous document perturbed so much pre-merge structure that
+    // replaying the log would cost more than a fresh skeleton build.
+    reuse = false;
+  }
+  if (reuse) {
+    if (dag->merge_active()) {
+      // Detach the previous call's document paths.
+      dag->RollbackMerge();
+      stats_.doc_paths_detached += s.skeleton_merged_paths;
+      s.skeleton_merged_paths = 0;
+    }
+    ++stats_.skeleton_reuses;
+  } else {
+    // (Re)build the skeleton: query side only, flagged in_query.
+    s.skeleton_valid = false;  // Stays false if cancelled mid-build.
+    s.query_set.swap(probe);
+    dag->Reset(*ontology_);
+    const ontology::FlatDeweyPool* pool = addresses_->flat_pool();
+    std::size_t inserted = 0;
+    for (const ontology::ConceptId c : s.query_set) {
+      if (pool != nullptr) {
+        const std::uint32_t* base = pool->component_data();
+        for (const ontology::AddressSpan span : pool->spans(c)) {
+          dag->InsertAddress(c, {base + span.offset, span.length},
+                             /*in_doc=*/false, /*in_query=*/true);
+          ++inserted;
+        }
+      } else {
+        for (const ontology::DeweyAddress& address :
+             addresses_->Addresses(c)) {
+          dag->InsertAddress(
+              c, {address.data(), address.size()},
+              /*in_doc=*/false, /*in_query=*/true);
+          ++inserted;
+        }
+      }
+      if (inserted >= kCancelPollStride) {
+        ECDR_RETURN_IF_ERROR(
+            util::CheckCancellation(cancel_token_, deadline_, "DRC"));
+        stats_.addresses_inserted += inserted;
+        inserted = 0;
+      }
+    }
+    stats_.addresses_inserted += inserted;
+    s.skeleton_ontology = ontology_;
+    s.skeleton_addresses_generation = addresses_generation;
+    s.skeleton_dag_generation = dag->generation();
+    s.skeleton_merged_paths = 0;
+    s.skeleton_valid = true;
+    ++stats_.skeleton_builds;
+  }
+
+  // Merge the document side under the rollback log. A cancelled merge
+  // simply stays open: the next matching call rolls it back first.
+  dag->BeginMerge();
+
+  std::vector<ontology::ConceptId>& doc_set = s.doc_set;
+  doc_set.assign(doc.begin(), doc.end());
+  std::sort(doc_set.begin(), doc_set.end());
+  doc_set.erase(std::unique(doc_set.begin(), doc_set.end()), doc_set.end());
+
+  // Gather the spans of doc-only concepts (concepts on both sides just
+  // get the doc flag added — their addresses already stand), building
+  // the (rank, index) sort keys as we go.
+  const ontology::FlatDeweyPool* pool = addresses_->flat_pool();
+  std::uint64_t merged = 0;
+  s.merge_spans.clear();
+  s.merge_concepts.clear();
+  s.merge_keys.clear();
+  std::size_t qi = 0;
+  std::size_t inserted = 0;
+  for (const ontology::ConceptId c : doc_set) {
+    while (qi < s.query_set.size() && s.query_set[qi] < c) ++qi;
+    if (qi < s.query_set.size() && s.query_set[qi] == c) {
+      dag->MarkFlags(c, /*in_doc=*/true, /*in_query=*/false);
+      continue;
+    }
+    if (pool != nullptr) {
+      const std::span<const ontology::AddressSpan> spans = pool->spans(c);
+      const std::span<const std::uint32_t> ranks = pool->ranks(c);
+      const std::uint32_t first =
+          static_cast<std::uint32_t>(s.merge_spans.size());
+      s.merge_spans.insert(s.merge_spans.end(), spans.begin(), spans.end());
+      s.merge_concepts.insert(s.merge_concepts.end(), spans.size(), c);
+      s.merge_keys.resize(s.merge_keys.size() + spans.size());
+      ontology::BuildSortKeys(ranks.data(), first, spans.size(),
+                              s.merge_keys.data() + first);
+    } else {
+      // Unfrozen enumerator: no global ranks yet; insert in the gather
+      // (concept-ascending) order, which is just as correct — sorting
+      // only speeds up the walk.
+      for (const ontology::DeweyAddress& address : addresses_->Addresses(c)) {
+        dag->InsertAddress(c, {address.data(), address.size()},
+                           /*in_doc=*/true, /*in_query=*/false);
+        ++merged;
+        if (++inserted % kCancelPollStride == 0) {
+          ECDR_RETURN_IF_ERROR(
+              util::CheckCancellation(cancel_token_, deadline_, "DRC"));
+        }
+      }
+    }
+  }
+  if (pool != nullptr) {
+    ECDR_RETURN_IF_ERROR(
+        InsertGatheredByRank(dag, /*in_doc=*/true, /*in_query=*/false));
+    merged += s.merge_keys.size();
+  }
+  s.skeleton_merged_paths = merged;
+  stats_.doc_paths_merged += merged;
+  stats_.addresses_inserted += merged;
+  return util::Status::Ok();
+}
+
+util::Status Drc::InsertGatheredByRank(DRadixDag* dag, bool in_doc,
+                                       bool in_query) {
+  // Globally rank-sorted insertion: consecutive addresses share the
+  // longest possible prefixes, so the D-Radix resume path (see
+  // d_radix.h) skips nearly the entire root walk of each insert.
+  Scratch& s = *scratch_;
+  const ontology::FlatDeweyPool* pool = addresses_->flat_pool();
+  SortKeysByRank(s.merge_keys, s.merge_keys_tmp);
+  const std::uint32_t* base = pool->component_data();
+  // Resume hints come precomputed: the LCP of two pool addresses is the
+  // minimum of rank_lcp over the rank window between them, so after the
+  // first (unhinted) insertion no address is ever compared component-
+  // by-component again. The windows of consecutive inserts are
+  // adjacent, so the whole sweep reads rank_lcp once, sequentially.
+  const std::span<const std::uint32_t> rank_lcp = pool->rank_lcp();
+  constexpr std::size_t kCancelPollStride = 1024;
+  std::uint32_t prev_rank = 0;
+  bool have_prev = false;
+  std::size_t inserted = 0;
+  for (const std::uint64_t key : s.merge_keys) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(key >> 32);
+    const std::uint32_t index = static_cast<std::uint32_t>(key);
+    const ontology::AddressSpan span = s.merge_spans[index];
+    const std::span<const std::uint32_t> address{base + span.offset,
+                                                 span.length};
+    if (have_prev && dag->resume_valid()) {
+      std::uint32_t lcp = rank_lcp[prev_rank + 1];
+      for (std::uint32_t r = prev_rank + 2; r <= rank; ++r) {
+        lcp = std::min(lcp, rank_lcp[r]);
+      }
+      dag->InsertAddressResumed(s.merge_concepts[index], address, lcp,
+                                in_doc, in_query);
+    } else {
+      dag->InsertAddress(s.merge_concepts[index], address, in_doc, in_query);
+    }
+    prev_rank = rank;
+    have_prev = true;
+    if (++inserted % kCancelPollStride == 0) {
+      ECDR_RETURN_IF_ERROR(
+          util::CheckCancellation(cancel_token_, deadline_, "DRC"));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Drc::BuildDocDag(std::span<const ontology::ConceptId> doc_set,
+                              DRadixDag* out) {
+  Scratch& s = *scratch_;
+  const ontology::FlatDeweyPool* pool = addresses_->flat_pool();
+  ECDR_CHECK(pool != nullptr);
+  out->Reset(*ontology_);
+  s.merge_spans.clear();
+  s.merge_concepts.clear();
+  s.merge_keys.clear();
+  for (const ontology::ConceptId c : doc_set) {
+    const std::span<const ontology::AddressSpan> spans = pool->spans(c);
+    const std::span<const std::uint32_t> ranks = pool->ranks(c);
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(s.merge_spans.size());
+    s.merge_spans.insert(s.merge_spans.end(), spans.begin(), spans.end());
+    s.merge_concepts.insert(s.merge_concepts.end(), spans.size(), c);
+    s.merge_keys.resize(s.merge_keys.size() + spans.size());
+    ontology::BuildSortKeys(ranks.data(), first, spans.size(),
+                            s.merge_keys.data() + first);
+  }
+  ECDR_RETURN_IF_ERROR(
+      InsertGatheredByRank(out, /*in_doc=*/true, /*in_query=*/false));
+  stats_.addresses_inserted += s.merge_keys.size();
+  return util::Status::Ok();
+}
+
+util::Status Drc::BuildWithDocDag(DRadixDag* dag,
+                                  std::span<const ontology::ConceptId> doc,
+                                  std::span<const ontology::ConceptId>
+                                      query) {
+  Scratch& s = *scratch_;
+  // Dedup the document side first: it is both the cache key and what
+  // the evaluation loops read.
+  std::vector<ontology::ConceptId>& doc_set = s.doc_set;
+  doc_set.assign(doc.begin(), doc.end());
+  std::sort(doc_set.begin(), doc_set.end());
+  doc_set.erase(std::unique(doc_set.begin(), doc_set.end()), doc_set.end());
+
+  // The cache keys address layouts, so it dies with the ontology /
+  // address-cache generation it was built against.
+  const std::uint64_t generation = addresses_->cache_generation();
+  if (s.doc_dag_ontology != static_cast<const void*>(ontology_) ||
+      s.doc_dag_generation != generation) {
+    s.doc_dags.clear();
+    s.doc_dag_ontology = ontology_;
+    s.doc_dag_generation = generation;
+  }
+
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a 64.
+  for (const ontology::ConceptId c : doc_set) {
+    hash ^= static_cast<std::uint64_t>(c);
+    hash *= 1099511628211ull;
+  }
+  const auto it = s.doc_dags.find(hash);
+  Scratch::DocDagEntry* entry = nullptr;
+  if (it != s.doc_dags.end()) {
+    if (it->second->doc_set != doc_set) {
+      // Two distinct documents collided on the hash: serve the call
+      // through the general path rather than evicting either.
+      return BuildWithSkeleton(dag, doc, query);
+    }
+    entry = it->second.get();
+    ++stats_.doc_dag_hits;
+  } else if (s.doc_dags.size() < options_.doc_dag_cache_capacity) {
+    auto fresh = std::make_unique<Scratch::DocDagEntry>();
+    fresh->doc_set = doc_set;
+    // A cancelled build dies with `fresh`; nothing partial is cached.
+    ECDR_RETURN_IF_ERROR(BuildDocDag(fresh->doc_set, &fresh->dag));
+    entry = s.doc_dags.emplace(hash, std::move(fresh)).first->second.get();
+    ++stats_.doc_dag_builds;
+  } else {
+    return BuildWithSkeleton(dag, doc, query);
+  }
+
+  // The copy overwrites whatever skeleton stood in the scratch DAG.
+  s.skeleton_valid = false;
+  dag->CopyFrom(entry->dag);
+
+  // Layer the query side on top. NodeFor's concept-identity merging
+  // makes copy-then-insert produce exactly the joint d+q DAG — the
+  // build is insertion-order invariant (see GatherInserts) — so
+  // distances are bit-identical with the other build paths.
+  std::vector<ontology::ConceptId>& query_set = s.query_set;
+  query_set.assign(query.begin(), query.end());
+  std::sort(query_set.begin(), query_set.end());
+  query_set.erase(std::unique(query_set.begin(), query_set.end()),
+                  query_set.end());
+  const ontology::FlatDeweyPool* pool = addresses_->flat_pool();
+  const std::uint32_t* base = pool->component_data();
+  std::size_t inserted = 0;
+  for (const ontology::ConceptId c : query_set) {
+    for (const ontology::AddressSpan span : pool->spans(c)) {
+      dag->InsertAddress(c, {base + span.offset, span.length},
+                         /*in_doc=*/false, /*in_query=*/true);
+      ++inserted;
+    }
+  }
+  stats_.addresses_inserted += inserted;
   return util::Status::Ok();
 }
 
@@ -155,8 +502,9 @@ util::StatusOr<std::uint64_t> Drc::DocQueryDistance(
   DRadixDag& dag = scratch_->dag;
   ECDR_RETURN_IF_ERROR(BuildInto(&dag, doc, query));
   // Sum the nearest-document distances attached to the query nodes,
-  // counting each distinct query concept once (GatherInserts left the
+  // counting each distinct query concept once (the build left the
   // deduped query side in the scratch).
+  util::WallTimer eval_timer;
   std::uint64_t total = 0;
   for (ontology::ConceptId c : scratch_->query_set) {
     const DRadixDag::NodeIndex index = dag.FindNode(c);
@@ -166,21 +514,28 @@ util::StatusOr<std::uint64_t> Drc::DocQueryDistance(
     ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
     total += distance;
   }
+  stats_.eval_seconds += eval_timer.ElapsedSeconds();
   return total;
 }
 
 util::StatusOr<double> Drc::DocDocDistance(
     std::span<const ontology::ConceptId> d1,
     std::span<const ontology::ConceptId> d2) {
-  // Build with d1 as the "document" side and d2 as the "query" side;
-  // Eq. 3 then reads: each d2 concept's nearest-d1 distance comes from
-  // dist_to_doc, each d1 concept's nearest-d2 distance from
-  // dist_to_query.
+  // Build with d2 as the "document" side and d1 as the "query" side:
+  // callers sweeping one fixed document against many candidates (kNDS
+  // SDS, the rankers) pass the fixed one as d1, so putting d1 on the
+  // query side makes it the reusable skeleton. Eq. 3 is symmetric in
+  // the labels: each d1 concept's nearest-d2 distance now comes from
+  // dist_to_doc, each d2 concept's from dist_to_query. Every distance
+  // is the same exact integer either way and each side still sums in
+  // ascending concept order, so the result is bit-identical to the
+  // historical d1-as-doc orientation.
   DRadixDag& dag = scratch_->dag;
-  ECDR_RETURN_IF_ERROR(BuildInto(&dag, d1, d2));
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, d2, d1));
 
   // Eq. 3 normalizes each side by its number of *distinct* concepts;
   // the deduped sides are already in the scratch.
+  util::WallTimer eval_timer;
   const auto side_sum = [&](std::span<const ontology::ConceptId> counted,
                             bool toward_doc) {
     std::uint64_t total = 0;
@@ -195,14 +550,17 @@ util::StatusOr<double> Drc::DocDocDistance(
     return total;
   };
 
-  const std::size_t size1 = scratch_->doc_set.size();
-  const std::size_t size2 = scratch_->query_set.size();
+  const std::size_t size1 = scratch_->query_set.size();  // d1, deduped.
+  const std::size_t size2 = scratch_->doc_set.size();    // d2, deduped.
   const std::uint64_t d1_to_d2 =
-      side_sum(scratch_->doc_set, /*toward_doc=*/false);
-  const std::uint64_t d2_to_d1 =
       side_sum(scratch_->query_set, /*toward_doc=*/true);
-  return static_cast<double>(d1_to_d2) / static_cast<double>(size1) +
-         static_cast<double>(d2_to_d1) / static_cast<double>(size2);
+  const std::uint64_t d2_to_d1 =
+      side_sum(scratch_->doc_set, /*toward_doc=*/false);
+  const double result =
+      static_cast<double>(d1_to_d2) / static_cast<double>(size1) +
+      static_cast<double>(d2_to_d1) / static_cast<double>(size2);
+  stats_.eval_seconds += eval_timer.ElapsedSeconds();
+  return result;
 }
 
 util::StatusOr<double> Drc::DocQueryDistanceWeighted(
@@ -232,6 +590,7 @@ util::StatusOr<double> Drc::DocQueryDistanceWeighted(
   }
   DRadixDag& dag = scratch_->dag;
   ECDR_RETURN_IF_ERROR(BuildInto(&dag, doc, concepts));
+  util::WallTimer eval_timer;
   double total = 0.0;
   for (const WeightedConcept& wc : normalized) {
     const DRadixDag::NodeIndex index = dag.FindNode(wc.concept_id);
@@ -240,14 +599,19 @@ util::StatusOr<double> Drc::DocQueryDistanceWeighted(
     ECDR_CHECK_LT(distance, DRadixDag::kUnreachable);
     total += wc.weight * static_cast<double>(distance);
   }
+  stats_.eval_seconds += eval_timer.ElapsedSeconds();
   return total;
 }
 
 util::StatusOr<double> Drc::DocDocDistanceWeighted(
     std::span<const ontology::ConceptId> d1,
     std::span<const ontology::ConceptId> d2, const ConceptWeights& weights) {
+  // d1 hosts the query side so it becomes the reusable skeleton across
+  // a fixed-d1 sweep — same swap (and same bit-identity argument) as
+  // DocDocDistance.
   DRadixDag& dag = scratch_->dag;
-  ECDR_RETURN_IF_ERROR(BuildInto(&dag, d1, d2));
+  ECDR_RETURN_IF_ERROR(BuildInto(&dag, d2, d1));
+  util::WallTimer eval_timer;
   const auto side_sum = [&](std::span<const ontology::ConceptId> counted,
                             bool toward_doc, double* total_weight) {
     double sum = 0.0;
@@ -267,14 +631,16 @@ util::StatusOr<double> Drc::DocDocDistanceWeighted(
   double weight1 = 0.0;
   double weight2 = 0.0;
   const double d1_to_d2 =
-      side_sum(scratch_->doc_set, /*toward_doc=*/false, &weight1);
+      side_sum(scratch_->query_set, /*toward_doc=*/true, &weight1);
   const double d2_to_d1 =
-      side_sum(scratch_->query_set, /*toward_doc=*/true, &weight2);
+      side_sum(scratch_->doc_set, /*toward_doc=*/false, &weight2);
   if (weight1 <= 0.0 || weight2 <= 0.0) {
     return util::InvalidArgumentError(
         "documents must carry positive total weight");
   }
-  return d1_to_d2 / weight1 + d2_to_d1 / weight2;
+  const double result = d1_to_d2 / weight1 + d2_to_d1 / weight2;
+  stats_.eval_seconds += eval_timer.ElapsedSeconds();
+  return result;
 }
 
 std::vector<WeightedConcept> NormalizeWeightedConcepts(

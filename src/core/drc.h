@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/concept_weights.h"
@@ -34,6 +35,39 @@
 
 namespace ecdr::core {
 
+/// Engine policy knobs. Propagated to per-lane engines by Knds and the
+/// rankers so a parallel sweep behaves like its parent engine.
+struct DrcOptions {
+  /// Keep the query-side D-Radix skeleton alive across consecutive
+  /// calls that share a query concept set: each candidate document is
+  /// merged into the skeleton under a rollback log and detached again
+  /// at the start of the next call (see DESIGN.md "Query-skeleton
+  /// reuse"). Distances are bit-identical with the rebuild-per-call
+  /// path; this only changes how much of the build is repeated.
+  bool skeleton_reuse = true;
+  /// Fallback valve: when one document's merge logged more undo records
+  /// than this, the next call rebuilds from Reset() instead of rolling
+  /// back (replaying a huge log would cost more than re-inserting the
+  /// small query side). Generous default — typical documents log a few
+  /// thousand records.
+  std::size_t max_rollback_entries = std::size_t{1} << 16;
+  /// The document-side counterpart of the skeleton: cache the fully
+  /// built doc-only D-Radix DAG of up to this many distinct documents
+  /// (per Scratch) and serve later calls by bulk-copying the cached DAG
+  /// and inserting just the query side on top. Because the build is
+  /// insertion-order invariant, copy-then-insert yields exactly the
+  /// joint d+q DAG, so distances are bit-identical to every other
+  /// path. 0 disables the cache. Requires a frozen enumerator (the
+  /// FlatDeweyPool); unfrozen engines fall back to the skeleton path.
+  std::size_t doc_dag_cache_capacity = 256;
+  /// Only calls whose raw query side has at most this many concepts
+  /// take the doc-DAG copy path: inserting a large query side per call
+  /// would forfeit the win, and such calls (document-vs-document
+  /// sweeps) are exactly the ones the persistent query skeleton
+  /// already serves.
+  std::size_t doc_dag_max_query_concepts = 64;
+};
+
 class Drc {
  public:
   /// Per-engine counters, cumulative across calls until ResetStats().
@@ -44,10 +78,28 @@ class Drc {
     std::uint64_t edges_built = 0;
     double seconds = 0.0;
     /// Phase split of `seconds`: gathering + inserting the address lists
-    /// (the D-Radix build) vs the two tuning sweeps. The remainder of a
-    /// distance call (node lookups and summing) is not timed separately.
+    /// (the D-Radix build) vs the two tuning sweeps.
     double build_seconds = 0.0;
     double tune_seconds = 0.0;
+    /// Direct timing of the evaluation loop of each distance entry point
+    /// (node lookups and summing). Not part of `seconds`, which covers
+    /// the build+tune phases only.
+    double eval_seconds = 0.0;
+    /// Skeleton-reuse telemetry: calls that rebuilt the query skeleton
+    /// vs calls that reused it, and document address paths merged into /
+    /// detached (rolled back) from a live skeleton. reuses / (builds +
+    /// reuses) is the bench's skeleton_reuse_rate.
+    std::uint64_t skeleton_builds = 0;
+    std::uint64_t skeleton_reuses = 0;
+    std::uint64_t doc_paths_merged = 0;
+    std::uint64_t doc_paths_detached = 0;
+    /// Doc-DAG cache telemetry (the bulk-copy fast path of small-query
+    /// calls): hits copied a prebuilt document DAG, builds populated a
+    /// new cache entry first. Calls that bypassed the cache (query too
+    /// large, cache full, capacity 0) appear in the skeleton counters
+    /// instead.
+    std::uint64_t doc_dag_hits = 0;
+    std::uint64_t doc_dag_builds = 0;
   };
 
   /// One (address, concept, flags) entry of the merged Pd/Pq insert
@@ -65,8 +117,15 @@ class Drc {
   /// Reusable per-call working memory: the D-Radix arena plus every
   /// buffer a distance call fills. One Scratch serves one engine at a
   /// time; recycling it across engines (via ScratchPool) is what keeps
-  /// per-query Drc construction allocation-free after warm-up. Scratch
-  /// contents are meaningless between calls — no state carries over.
+  /// per-query Drc construction allocation-free after warm-up.
+  ///
+  /// Besides warm capacity, a Scratch carries the *query skeleton*: the
+  /// D-Radix DAG with only the most recent query side inserted, plus
+  /// the signature identifying what it was built from. A later call —
+  /// from this engine or any engine that leases the Scratch next — that
+  /// matches the signature skips the query-side build entirely and only
+  /// merges its document. The signature makes stale reuse impossible,
+  /// so carrying the skeleton across engines is safe by construction.
   class Scratch {
    public:
     Scratch() = default;
@@ -83,6 +142,43 @@ class Drc {
     std::vector<ontology::ConceptId> query_set;  // Dedup of the query side.
     std::vector<ontology::ConceptId> concept_ids;
     std::vector<WeightedConcept> normalized;
+
+    // Query-skeleton signature: the skeleton in `dag` is reusable iff
+    // skeleton_valid and the ontology, the address-cache generation
+    // (unique process-wide, so enumerator pointer reuse cannot alias),
+    // the DAG generation (someone may Reset a pooled scratch's DAG
+    // between leases) and the deduped query set (in query_set) all
+    // still match.
+    bool skeleton_valid = false;
+    const void* skeleton_ontology = nullptr;
+    std::uint64_t skeleton_addresses_generation = 0;
+    std::uint32_t skeleton_dag_generation = 0;
+    /// Paths of the currently merged document (counted as detached when
+    /// the next call rolls them back).
+    std::uint64_t skeleton_merged_paths = 0;
+
+    // Document-merge buffers: the incoming query dedup (compared
+    // against query_set before adopting), the gathered doc-side spans
+    // with their concepts, and the (rank << 32 | index) sort keys.
+    std::vector<ontology::ConceptId> probe_set;
+    std::vector<ontology::AddressSpan> merge_spans;
+    std::vector<ontology::ConceptId> merge_concepts;
+    std::vector<std::uint64_t> merge_keys;
+    std::vector<std::uint64_t> merge_keys_tmp;
+
+    // Per-document DAG cache (see Drc::BuildWithDocDag): hash of the
+    // sorted deduped doc concept set -> its prebuilt doc-only DAG.
+    // Entries are validated against the stored doc_set on lookup, so a
+    // hash collision degrades to the skeleton path instead of a wrong
+    // answer. Invalidated wholesale when the ontology or the address
+    // cache generation changes.
+    struct DocDagEntry {
+      std::vector<ontology::ConceptId> doc_set;  // Sorted, deduped.
+      DRadixDag dag;
+    };
+    std::unordered_map<std::uint64_t, std::unique_ptr<DocDagEntry>> doc_dags;
+    const void* doc_dag_ontology = nullptr;
+    std::uint64_t doc_dag_generation = 0;
   };
 
   /// Thread-safe free list of Scratch arenas. Owned by long-lived
@@ -173,12 +269,14 @@ class Drc {
   /// one instance per thread, sharing the (thread-safe)
   /// AddressEnumerator.
   Drc(const ontology::Ontology& ontology,
-      ontology::AddressEnumerator* addresses, Scratch* scratch = nullptr);
+      ontology::AddressEnumerator* addresses, Scratch* scratch = nullptr,
+      DrcOptions options = {});
 
   /// The shared dependencies, exposed so parallel call sites can spin up
   /// per-lane engines over the same ontology and address cache.
   const ontology::Ontology& ontology() const { return *ontology_; }
   ontology::AddressEnumerator* addresses() const { return addresses_; }
+  const DrcOptions& options() const { return options_; }
 
   /// Ddq(d, q) — Eq. 2: the (unnormalized) sum over query concepts of
   /// the distance to the nearest document concept. Duplicate concepts in
@@ -246,6 +344,13 @@ class Drc {
     stats_.seconds += other.seconds;
     stats_.build_seconds += other.build_seconds;
     stats_.tune_seconds += other.tune_seconds;
+    stats_.eval_seconds += other.eval_seconds;
+    stats_.skeleton_builds += other.skeleton_builds;
+    stats_.skeleton_reuses += other.skeleton_reuses;
+    stats_.doc_paths_merged += other.doc_paths_merged;
+    stats_.doc_paths_detached += other.doc_paths_detached;
+    stats_.doc_dag_hits += other.doc_dag_hits;
+    stats_.doc_dag_builds += other.doc_dag_builds;
   }
 
  private:
@@ -260,10 +365,40 @@ class Drc {
                      std::span<const ontology::ConceptId> query);
 
   /// Validates, gathers, builds and tunes into `dag` (the scratch DAG
-  /// for distance calls, a fresh one for BuildIndex).
+  /// for distance calls, a fresh one for BuildIndex). Distance calls on
+  /// the scratch DAG take the skeleton-reuse path (unless disabled by
+  /// options); BuildIndex always builds from scratch.
   util::Status BuildInto(DRadixDag* dag,
                          std::span<const ontology::ConceptId> doc,
                          std::span<const ontology::ConceptId> query);
+
+  /// The skeleton path of BuildInto: detaches the previous document
+  /// (rollback), revalidates or rebuilds the query skeleton, then
+  /// merges `doc`'s address paths in global rank order.
+  util::Status BuildWithSkeleton(DRadixDag* dag,
+                                 std::span<const ontology::ConceptId> doc,
+                                 std::span<const ontology::ConceptId> query);
+
+  /// The doc-DAG fast path of BuildInto (small-query calls on a frozen
+  /// enumerator): bulk-copies the cached doc-only DAG into `dag` —
+  /// building and caching it first on a miss — then inserts the query
+  /// side on top. Falls back to BuildWithSkeleton when the cache is
+  /// full (and misses) or on a hash collision.
+  util::Status BuildWithDocDag(DRadixDag* dag,
+                               std::span<const ontology::ConceptId> doc,
+                               std::span<const ontology::ConceptId> query);
+
+  /// Builds the doc-only DAG of `doc_set` (sorted, deduped) into `out`
+  /// using globally rank-sorted, LCP-hinted insertion.
+  util::Status BuildDocDag(std::span<const ontology::ConceptId> doc_set,
+                           DRadixDag* out);
+
+  /// Sorts the gathered scratch insert list (merge_spans /
+  /// merge_concepts / merge_keys) by global address rank and inserts it
+  /// into `dag` with rank_lcp resume hints, polling cancellation.
+  /// Shared tail of the skeleton merge and the doc-DAG build.
+  util::Status InsertGatheredByRank(DRadixDag* dag, bool in_doc,
+                                    bool in_query);
 
   const ontology::Ontology* ontology_;
   ontology::AddressEnumerator* addresses_;
@@ -275,6 +410,7 @@ class Drc {
   util::Deadline deadline_;
   std::unique_ptr<Scratch> owned_scratch_;  // Used iff none was supplied.
   Scratch* scratch_;
+  DrcOptions options_;
   Stats stats_;
 };
 

@@ -134,8 +134,10 @@ util::StatusOr<std::vector<ScoredDocument>> ExhaustiveRanker::Rank(
     std::vector<LaneState> lane_states(lanes);
     for (LaneState& state : lane_states) {
       state.scratch = Drc::ScratchPool::Lease(options_.drc_scratch_pool);
+      // Inherit the parent engine's options so shard lanes reuse query
+      // skeletons exactly like the serial scan.
       state.drc = std::make_unique<Drc>(drc_->ontology(), drc_->addresses(),
-                                        state.scratch.get());
+                                        state.scratch.get(), drc_->options());
     }
     pool->ParallelFor(
         num_docs,

@@ -194,9 +194,12 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     lane_drcs.reserve(lanes);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       lane_scratches.emplace_back(options_.drc_scratch_pool);
-      lane_drcs.push_back(std::make_unique<Drc>(drc_->ontology(),
-                                                drc_->addresses(),
-                                                lane_scratches.back().get()));
+      // Lane engines inherit the parent's options, so skeleton reuse
+      // (keyed on the leased scratch, not the engine) behaves the same
+      // across the wave lanes as in the serial path.
+      lane_drcs.push_back(std::make_unique<Drc>(
+          drc_->ontology(), drc_->addresses(), lane_scratches.back().get(),
+          drc_->options()));
     }
   }
   // Waves larger than the lane count amortize scheduling, but overshoot

@@ -1,44 +1,13 @@
 #include "ontology/dewey.h"
 
 #include <algorithm>
-#include <bit>
-#include <cstring>
 
 #include "util/string_util.h"
 
 namespace ecdr::ontology {
 
-bool DeweyLess(std::span<const std::uint32_t> a,
-               std::span<const std::uint32_t> b) {
-  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
-}
-
-std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
-                              std::span<const std::uint32_t> b) {
-  const std::uint32_t* pa = a.data();
-  const std::uint32_t* pb = b.data();
-  const std::size_t limit = std::min(a.size(), b.size());
-  std::size_t i = 0;
-  if constexpr (std::endian::native == std::endian::little) {
-    // Compare two components per step as one 64-bit word; on a mismatch
-    // the low half of the word is the earlier component.
-    while (i + 2 <= limit) {
-      std::uint64_t wa;
-      std::uint64_t wb;
-      std::memcpy(&wa, pa + i, sizeof(wa));
-      std::memcpy(&wb, pb + i, sizeof(wb));
-      if (wa != wb) {
-        return i + (static_cast<std::uint32_t>(wa) ==
-                            static_cast<std::uint32_t>(wb)
-                        ? 1
-                        : 0);
-      }
-      i += 2;
-    }
-  }
-  while (i < limit && pa[i] == pb[i]) ++i;
-  return i;
-}
+// DeweyLess / DeweyCommonPrefix live in ontology/flat_dewey_pool.cc
+// with the rest of the (runtime-dispatched) Dewey kernels.
 
 std::string FormatDewey(std::span<const std::uint32_t> address) {
   if (address.empty()) return "<root>";
@@ -131,6 +100,10 @@ void AddressEnumerator::PrecomputeAll() {
   }
   pool_.concept_first_.push_back(
       static_cast<std::uint32_t>(pool_.spans_.size()));
+  // Global lexicographic ranks over the whole pool, so DRC can order
+  // any address subset with u32 compares (see FlatDeweyPool::ranks).
+  pool_.BuildRanks();
+  cache_generation_.store(NextCacheGeneration(), std::memory_order_release);
   frozen_.store(true, std::memory_order_release);
 }
 
@@ -155,6 +128,12 @@ void AddressEnumerator::ClearCache() {
   cache_.clear();
   pool_.Clear();
   cached_addresses_.store(0, std::memory_order_relaxed);
+  cache_generation_.store(NextCacheGeneration(), std::memory_order_release);
+}
+
+std::uint64_t AddressEnumerator::NextCacheGeneration() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 const AddressEnumerator::Entry& AddressEnumerator::Compute(ConceptId c) {

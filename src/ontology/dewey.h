@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ontology/flat_dewey_pool.h"
 #include "ontology/ontology.h"
 #include "ontology/types.h"
 #include "util/macros.h"
@@ -29,80 +30,9 @@ namespace ecdr::ontology {
 /// One root-to-concept path as a sequence of 1-based child ordinals.
 using DeweyAddress = std::vector<std::uint32_t>;
 
-/// Lexicographic comparison of addresses (component-wise numeric).
-bool DeweyLess(std::span<const std::uint32_t> a,
-               std::span<const std::uint32_t> b);
-
-/// Length of the longest common prefix of `a` and `b`, in components.
-std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
-                              std::span<const std::uint32_t> b);
-
-/// One address inside a FlatDeweyPool: `length` components starting at
-/// `offset` in the pool's component arena. `length == 0` is the root's
-/// empty address.
-struct AddressSpan {
-  std::uint32_t offset = 0;
-  std::uint32_t length = 0;
-};
-
-/// Every concept's Dewey address set in one contiguous layout: a single
-/// uint32 component arena plus {offset,len} spans, grouped per concept
-/// by a prefix array (CSR, like ontology::Ontology's edge storage).
-/// Addresses keep the enumerator's per-concept lexicographic order, so
-/// DRC can consume spans instead of vector<vector<uint32_t>> without
-/// changing the merge order it feeds the D-Radix build.
-///
-/// Built by AddressEnumerator::PrecomputeAll() and cleared by
-/// ClearCache(); the arena pointers it hands out follow the same
-/// lifetime contract as Addresses() references (ReaderLease guards).
-class FlatDeweyPool {
- public:
-  /// False until the owning enumerator has precomputed (or after
-  /// ClearCache()); all other accessors require built().
-  bool built() const { return !concept_first_.empty(); }
-
-  std::uint32_t num_concepts() const {
-    return concept_first_.empty()
-               ? 0
-               : static_cast<std::uint32_t>(concept_first_.size() - 1);
-  }
-
-  /// The spans of `c`'s addresses, lexicographically sorted.
-  std::span<const AddressSpan> spans(ConceptId c) const {
-    ECDR_DCHECK_LT(c + 1, concept_first_.size());
-    return {spans_.data() + concept_first_[c],
-            concept_first_[c + 1] - concept_first_[c]};
-  }
-
-  /// The components of one address.
-  std::span<const std::uint32_t> components(AddressSpan span) const {
-    ECDR_DCHECK_LE(span.offset + span.length, components_.size());
-    return {components_.data() + span.offset, span.length};
-  }
-
-  /// Base of the component arena, for callers that turn spans into raw
-  /// {pointer,length} views (the D-Radix edge labels).
-  const std::uint32_t* component_data() const { return components_.data(); }
-
-  std::uint64_t num_addresses() const { return spans_.size(); }
-  std::uint64_t num_components() const { return components_.size(); }
-
- private:
-  friend class AddressEnumerator;
-
-  void Clear() {
-    components_.clear();
-    components_.shrink_to_fit();
-    spans_.clear();
-    spans_.shrink_to_fit();
-    concept_first_.clear();
-    concept_first_.shrink_to_fit();
-  }
-
-  std::vector<std::uint32_t> components_;
-  std::vector<AddressSpan> spans_;
-  std::vector<std::uint32_t> concept_first_;  // Size num_concepts + 1.
-};
+// DeweyLess / DeweyCommonPrefix / AddressSpan / FlatDeweyPool moved to
+// ontology/flat_dewey_pool.h (included above), next to the SIMD
+// kernels that serve them.
 
 /// "1.1.2" rendering; the empty (root) address renders as "<root>".
 std::string FormatDewey(std::span<const std::uint32_t> address);
@@ -231,6 +161,17 @@ class AddressEnumerator {
     return cached_addresses_.load(std::memory_order_relaxed);
   }
 
+  /// Identity of the current cache contents: unique across every
+  /// enumerator instance in the process and re-drawn by PrecomputeAll()
+  /// and ClearCache(). Callers that key cached derived state (e.g. the
+  /// DRC query skeleton) on an enumerator compare this instead of the
+  /// object address, which is immune to pointer-reuse ABA. Lazy
+  /// Compute() growth does not bump it: existing per-concept address
+  /// sets are immutable once published.
+  std::uint64_t cache_generation() const {
+    return cache_generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Entry {
     std::vector<DeweyAddress> addresses;
@@ -241,6 +182,9 @@ class AddressEnumerator {
   /// frozen fast path never calls this).
   const Entry& Compute(ConceptId c);
 
+  /// Draws a process-unique generation id (monotone atomic counter).
+  static std::uint64_t NextCacheGeneration();
+
   const Ontology* ontology_;
   AddressEnumeratorOptions options_;
   mutable std::mutex mutex_;
@@ -249,6 +193,7 @@ class AddressEnumerator {
   std::unordered_map<ConceptId, Entry> cache_;
   std::atomic<std::uint64_t> cached_addresses_{0};
   std::atomic<std::int64_t> live_readers_{0};
+  std::atomic<std::uint64_t> cache_generation_{NextCacheGeneration()};
 };
 
 }  // namespace ecdr::ontology

@@ -1,0 +1,264 @@
+#include "ontology/flat_dewey_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ECDR_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ecdr::ontology {
+
+bool DeweyLess(std::span<const std::uint32_t> a,
+               std::span<const std::uint32_t> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+void FlatDeweyPool::BuildRanks() {
+  span_ranks_.resize(spans_.size());
+  std::vector<std::uint32_t> order(spans_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              const std::span<const std::uint32_t> la = components(spans_[a]);
+              const std::span<const std::uint32_t> lb = components(spans_[b]);
+              if (DeweyLess(la, lb)) return true;
+              if (DeweyLess(lb, la)) return false;
+              // Addresses are globally distinct (each resolves to one
+              // concept), so ties cannot occur; break by index anyway
+              // to keep the permutation deterministic under any input.
+              return a < b;
+            });
+  for (std::uint32_t rank = 0; rank < order.size(); ++rank) {
+    span_ranks_[order[rank]] = rank;
+  }
+  rank_lcp_.resize(spans_.size());
+  if (!rank_lcp_.empty()) {
+    rank_lcp_[0] = 0;
+    for (std::uint32_t rank = 1; rank < order.size(); ++rank) {
+      rank_lcp_[rank] = static_cast<std::uint32_t>(
+          DeweyCommonPrefix(components(spans_[order[rank - 1]]),
+                            components(spans_[order[rank]])));
+    }
+  }
+}
+
+namespace {
+
+// ---- DeweyCommonPrefix variants ------------------------------------
+//
+// All variants return the exact component count of the longest common
+// prefix; they differ only in how many components one compare covers.
+
+std::size_t PrefixScalar(const std::uint32_t* a, const std::uint32_t* b,
+                         std::size_t limit) {
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Compare two components per step as one 64-bit word; on a mismatch
+    // the low half of the word is the earlier component.
+    while (i + 2 <= limit) {
+      std::uint64_t wa;
+      std::uint64_t wb;
+      std::memcpy(&wa, a + i, sizeof(wa));
+      std::memcpy(&wb, b + i, sizeof(wb));
+      if (wa != wb) {
+        return i + (static_cast<std::uint32_t>(wa) ==
+                            static_cast<std::uint32_t>(wb)
+                        ? 1
+                        : 0);
+      }
+      i += 2;
+    }
+  }
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+#ifdef ECDR_SIMD_X86
+
+std::size_t PrefixSse2(const std::uint32_t* a, const std::uint32_t* b,
+                       std::size_t limit) {
+  std::size_t i = 0;
+  while (i + 4 <= limit) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi32(va, vb)));
+    if (mask != 0xFFFFu) {
+      // countr_one counts matching bytes before the first mismatching
+      // byte; >>2 floors partial-lane matches down to whole components.
+      return i + (std::countr_one(mask) >> 2);
+    }
+    i += 4;
+  }
+  return i + PrefixScalar(a + i, b + i, limit - i);
+}
+
+__attribute__((target("avx2"))) std::size_t PrefixAvx2(
+    const std::uint32_t* a, const std::uint32_t* b, std::size_t limit) {
+  std::size_t i = 0;
+  while (i + 8 <= limit) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi32(va, vb)));
+    if (mask != 0xFFFFFFFFu) {
+      return i + (std::countr_one(mask) >> 2);
+    }
+    i += 8;
+  }
+  return i + PrefixSse2(a + i, b + i, limit - i);
+}
+
+#endif  // ECDR_SIMD_X86
+
+// ---- BuildSortKeys variants ----------------------------------------
+
+void KeysScalar(const std::uint32_t* ranks, std::uint32_t first,
+                std::size_t count, std::uint64_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = (static_cast<std::uint64_t>(ranks[i]) << 32) |
+             static_cast<std::uint64_t>(first + i);
+  }
+}
+
+#ifdef ECDR_SIMD_X86
+
+void KeysSse2(const std::uint32_t* ranks, std::uint32_t first,
+              std::size_t count, std::uint64_t* out) {
+  std::size_t i = 0;
+  // Interleaving {index, rank} dwords yields the {low=index, high=rank}
+  // u64 lanes directly.
+  __m128i index = _mm_setr_epi32(static_cast<int>(first),
+                                 static_cast<int>(first + 1), 0, 0);
+  const __m128i step = _mm_setr_epi32(2, 2, 0, 0);
+  for (; i + 2 <= count; i += 2) {
+    const __m128i r =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ranks + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_unpacklo_epi32(index, r));
+    index = _mm_add_epi32(index, step);
+  }
+  KeysScalar(ranks + i, first + static_cast<std::uint32_t>(i), count - i,
+             out + i);
+}
+
+__attribute__((target("avx2"))) void KeysAvx2(const std::uint32_t* ranks,
+                                              std::uint32_t first,
+                                              std::size_t count,
+                                              std::uint64_t* out) {
+  std::size_t i = 0;
+  __m256i index = _mm256_setr_epi64x(first, first + 1, first + 2, first + 3);
+  const __m256i step = _mm256_set1_epi64x(4);
+  for (; i + 4 <= count; i += 4) {
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ranks + i));
+    const __m256i key = _mm256_or_si256(
+        _mm256_slli_epi64(_mm256_cvtepu32_epi64(r), 32), index);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), key);
+    index = _mm256_add_epi64(index, step);
+  }
+  KeysScalar(ranks + i, first + static_cast<std::uint32_t>(i), count - i,
+             out + i);
+}
+
+#endif  // ECDR_SIMD_X86
+
+// ---- Dispatch -------------------------------------------------------
+
+using PrefixFn = std::size_t (*)(const std::uint32_t*, const std::uint32_t*,
+                                 std::size_t);
+using KeysFn = void (*)(const std::uint32_t*, std::uint32_t, std::size_t,
+                        std::uint64_t*);
+
+struct Dispatch {
+  simd::Level level = simd::Level::kScalar;
+  PrefixFn prefix = &PrefixScalar;
+  KeysFn keys = &KeysScalar;
+};
+
+simd::Level CpuCeiling() {
+#ifdef ECDR_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return simd::Level::kAvx2;
+  return simd::Level::kSse2;  // Baseline on x86-64.
+#else
+  return simd::Level::kScalar;
+#endif
+}
+
+Dispatch Select(simd::Level want) {
+  const simd::Level level = std::min(want, CpuCeiling());
+  Dispatch d;
+  d.level = level;
+#ifdef ECDR_SIMD_X86
+  if (level == simd::Level::kAvx2) {
+    d.prefix = &PrefixAvx2;
+    d.keys = &KeysAvx2;
+  } else if (level == simd::Level::kSse2) {
+    d.prefix = &PrefixSse2;
+    d.keys = &KeysSse2;
+  }
+#endif
+  return d;
+}
+
+simd::Level LevelFromEnv() {
+  const char* env = std::getenv("ECDR_SIMD");
+  if (env == nullptr) return simd::Level::kAvx2;  // "auto": CPU-capped.
+  const std::string value(env);
+  if (value == "off" || value == "scalar" || value == "0") {
+    return simd::Level::kScalar;
+  }
+  if (value == "sse2") return simd::Level::kSse2;
+  if (value == "avx2") return simd::Level::kAvx2;
+  return simd::Level::kAvx2;  // "auto" / "on" / unknown: best available.
+}
+
+// Resolved once at load time; ForceLevel/ResetLevel re-point it from
+// test/bench setup (single-threaded by contract).
+Dispatch g_dispatch = Select(LevelFromEnv());
+
+}  // namespace
+
+namespace simd {
+
+Level ActiveLevel() { return g_dispatch.level; }
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void ForceLevel(Level level) { g_dispatch = Select(level); }
+
+void ResetLevel() { g_dispatch = Select(LevelFromEnv()); }
+
+}  // namespace simd
+
+std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b) {
+  return g_dispatch.prefix(a.data(), b.data(), std::min(a.size(), b.size()));
+}
+
+void BuildSortKeys(const std::uint32_t* ranks, std::uint32_t first,
+                   std::size_t count, std::uint64_t* out) {
+  g_dispatch.keys(ranks, first, count, out);
+}
+
+}  // namespace ecdr::ontology

@@ -1,0 +1,175 @@
+// The flattened Dewey address pool and the SIMD Dewey kernels.
+//
+// FlatDeweyPool stores every concept's Dewey address set in one
+// contiguous CSR layout (component arena + {offset,length} spans +
+// per-concept prefix array), built by AddressEnumerator::PrecomputeAll.
+// Alongside the spans it keeps each address's *global lexicographic
+// rank*, which is what lets DRC insert a document's whole address list
+// in globally sorted order and resume every D-Radix walk from the
+// previous address's longest common prefix (see core/drc.cc).
+//
+// The kernels at the bottom are the hot inner loops of that pipeline:
+// DeweyCommonPrefix (one call per radix-edge comparison and per
+// insert-resume) and BuildSortKeys (the CSR gather that turns a
+// concept's rank run into 64-bit sort keys). Both are compiled in
+// scalar, SSE2 and AVX2 variants and selected once at startup by
+// runtime CPU detection; the `ECDR_SIMD` environment variable
+// (off|scalar|sse2|avx2|auto) caps the choice, and tests force a level
+// in-process via simd::ForceLevel. All variants are exact drop-in
+// replacements — results are identical bit for bit, only the width of
+// the compare changes.
+
+#ifndef ECDR_ONTOLOGY_FLAT_DEWEY_POOL_H_
+#define ECDR_ONTOLOGY_FLAT_DEWEY_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ontology/types.h"
+#include "util/macros.h"
+
+namespace ecdr::ontology {
+
+class AddressEnumerator;
+
+/// Lexicographic comparison of addresses (component-wise numeric).
+bool DeweyLess(std::span<const std::uint32_t> a,
+               std::span<const std::uint32_t> b);
+
+/// Length of the longest common prefix of `a` and `b`, in components.
+/// Dispatched to the widest compare the CPU (and ECDR_SIMD) allows.
+std::size_t DeweyCommonPrefix(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b);
+
+/// One address inside a FlatDeweyPool: `length` components starting at
+/// `offset` in the pool's component arena. `length == 0` is the root's
+/// empty address.
+struct AddressSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Every concept's Dewey address set in one contiguous layout: a single
+/// uint32 component arena plus {offset,len} spans, grouped per concept
+/// by a prefix array (CSR, like ontology::Ontology's edge storage).
+/// Addresses keep the enumerator's per-concept lexicographic order, so
+/// DRC can consume spans instead of vector<vector<uint32_t>> without
+/// changing the merge order it feeds the D-Radix build.
+///
+/// Built by AddressEnumerator::PrecomputeAll() and cleared by
+/// ClearCache(); the arena pointers it hands out follow the same
+/// lifetime contract as Addresses() references (ReaderLease guards).
+class FlatDeweyPool {
+ public:
+  /// False until the owning enumerator has precomputed (or after
+  /// ClearCache()); all other accessors require built().
+  bool built() const { return !concept_first_.empty(); }
+
+  std::uint32_t num_concepts() const {
+    return concept_first_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(concept_first_.size() - 1);
+  }
+
+  /// The spans of `c`'s addresses, lexicographically sorted.
+  std::span<const AddressSpan> spans(ConceptId c) const {
+    ECDR_DCHECK_LT(c + 1, concept_first_.size());
+    return {spans_.data() + concept_first_[c],
+            concept_first_[c + 1] - concept_first_[c]};
+  }
+
+  /// The global lexicographic rank of each of `c`'s addresses, parallel
+  /// to spans(c). Ranks are a permutation of [0, num_addresses): every
+  /// address resolves to exactly one concept, so no two pool entries
+  /// are equal and the order is strict. Sorting any subset of spans by
+  /// rank therefore reproduces the global Dewey-lexicographic order —
+  /// DRC's document-at-a-time merge sorts these u32s instead of
+  /// comparing component strings.
+  std::span<const std::uint32_t> ranks(ConceptId c) const {
+    ECDR_DCHECK_LT(c + 1, concept_first_.size());
+    return {span_ranks_.data() + concept_first_[c],
+            concept_first_[c + 1] - concept_first_[c]};
+  }
+
+  /// rank_lcp()[r] is the length of the longest common prefix between
+  /// the addresses of global rank r-1 and r (rank_lcp()[0] == 0). By
+  /// the standard sorted-order property, the LCP of any two addresses
+  /// with ranks ra < rb is min(rank_lcp()[ra+1 .. rb]) — a small
+  /// window minimum instead of a component-wise compare. This is what
+  /// lets the rank-sorted D-Radix merge resume each insertion without
+  /// ever re-reading the previous address.
+  std::span<const std::uint32_t> rank_lcp() const { return rank_lcp_; }
+
+  /// The components of one address.
+  std::span<const std::uint32_t> components(AddressSpan span) const {
+    ECDR_DCHECK_LE(span.offset + span.length, components_.size());
+    return {components_.data() + span.offset, span.length};
+  }
+
+  /// Base of the component arena, for callers that turn spans into raw
+  /// {pointer,length} views (the D-Radix edge labels).
+  const std::uint32_t* component_data() const { return components_.data(); }
+
+  std::uint64_t num_addresses() const { return spans_.size(); }
+  std::uint64_t num_components() const { return components_.size(); }
+
+ private:
+  friend class AddressEnumerator;
+
+  void Clear() {
+    components_.clear();
+    components_.shrink_to_fit();
+    spans_.clear();
+    spans_.shrink_to_fit();
+    concept_first_.clear();
+    concept_first_.shrink_to_fit();
+    span_ranks_.clear();
+    span_ranks_.shrink_to_fit();
+    rank_lcp_.clear();
+    rank_lcp_.shrink_to_fit();
+  }
+
+  /// Fills span_ranks_ and rank_lcp_ from spans_ (one global sort; at
+  /// PrecomputeAll-time only, never on a distance path).
+  void BuildRanks();
+
+  std::vector<std::uint32_t> components_;
+  std::vector<AddressSpan> spans_;
+  std::vector<std::uint32_t> concept_first_;  // Size num_concepts + 1.
+  std::vector<std::uint32_t> span_ranks_;     // Parallel to spans_.
+  std::vector<std::uint32_t> rank_lcp_;       // Indexed by rank.
+};
+
+namespace simd {
+
+/// The kernel families, narrowest to widest. Scalar is the portable
+/// word-wide code every other variant must agree with bit for bit.
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// The level the kernels currently dispatch to.
+Level ActiveLevel();
+
+const char* LevelName(Level level);
+
+/// Re-points the dispatch table at min(level, what the CPU supports).
+/// For tests and benches; do not race with in-flight kernel calls.
+void ForceLevel(Level level);
+
+/// Restores the startup choice: ECDR_SIMD (off|scalar|sse2|avx2|auto)
+/// capped by CPU detection.
+void ResetLevel();
+
+}  // namespace simd
+
+/// The CSR rank-gather kernel: keys[i] = (ranks[i] << 32) | (first + i)
+/// for i in [0, count). The high half orders keys globally by address
+/// rank; the low half indexes the caller's gathered span array, so one
+/// u64 radix sort yields the insertion order and the gather permutation
+/// at once. `out` must hold `count` entries.
+void BuildSortKeys(const std::uint32_t* ranks, std::uint32_t first,
+                   std::size_t count, std::uint64_t* out);
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_FLAT_DEWEY_POOL_H_

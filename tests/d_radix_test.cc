@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -234,6 +235,245 @@ TEST_P(DRadixOracleTest, TunedDistancesMatchOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DRadixOracleTest,
                          ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
                                            20));
+
+// ---- Merge / rollback / copy ---------------------------------------
+
+// Everything a caller can observe about a DAG, in a comparable form:
+// node set (keyed by concept), flags, in-degrees, and each node's
+// children as (label components, target concept), sorted. Edge slot
+// numbers and arena offsets are deliberately excluded — rollback
+// leaves garbage slots behind, and two builds of the same address set
+// may lay the arena out differently; neither is observable.
+struct DagSnapshot {
+  struct NodeState {
+    bool in_doc;
+    bool in_query;
+    std::uint32_t in_degree;
+    std::vector<std::pair<std::vector<std::uint32_t>, ConceptId>> edges;
+    bool operator==(const NodeState&) const = default;
+  };
+  std::map<ConceptId, NodeState> nodes;
+  bool operator==(const DagSnapshot&) const = default;
+};
+
+DagSnapshot Snapshot(const DRadixDag& dag) {
+  DagSnapshot snapshot;
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    const auto node = dag.node(static_cast<DRadixDag::NodeIndex>(i));
+    DagSnapshot::NodeState state;
+    state.in_doc = node.in_doc;
+    state.in_query = node.in_query;
+    state.in_degree = node.in_degree;
+    for (const DRadixDag::Edge& edge : node.children) {
+      state.edges.emplace_back(
+          std::vector<std::uint32_t>(edge.label.begin(), edge.label.end()),
+          dag.concept_id(edge.target));
+    }
+    std::sort(state.edges.begin(), state.edges.end());
+    snapshot.nodes.emplace(node.concept_id, std::move(state));
+  }
+  return snapshot;
+}
+
+// Merging a document into a query skeleton and rolling it back must
+// restore a state observationally identical to the skeleton built from
+// scratch — across generated multi-parent ontologies, repeatedly on
+// the same DAG, with FindNode agreeing on every concept.
+class MergeRollbackTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeRollbackTest, RollbackRestoresSkeletonBitIdentically) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 300;
+  config.extra_parent_prob = 0.3;
+  config.seed = GetParam();
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  util::Rng rng(GetParam() * 97 + 3);
+
+  const std::vector<ConceptId> query =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 5);
+  const auto build_skeleton = [&](DRadixDag* dag) {
+    dag->Reset(*ontology);
+    for (ConceptId c : query) {
+      for (const DeweyAddress& address : enumerator.Addresses(c)) {
+        dag->InsertAddress(c, address, /*in_doc=*/false, /*in_query=*/true);
+      }
+    }
+  };
+
+  DRadixDag dag(*ontology);
+  build_skeleton(&dag);
+  const DagSnapshot skeleton_state = Snapshot(dag);
+
+  DRadixDag reference(*ontology);
+  build_skeleton(&reference);
+  ASSERT_EQ(skeleton_state, Snapshot(reference))
+      << "two from-scratch builds disagree";
+
+  for (int round = 0; round < 5; ++round) {
+    // Include the root sometimes: its address is empty, the edge case
+    // the empty-address branch of InsertAddress handles.
+    std::vector<ConceptId> doc =
+        rng.SampleWithoutReplacement(ontology->num_concepts(), 12);
+    if (round % 2 == 0) doc.push_back(ontology->root());
+    dag.BeginMerge();
+    for (ConceptId c : doc) {
+      const DRadixDag::NodeIndex existing = dag.FindNode(c);
+      if (existing != DRadixDag::kInvalidNode &&
+          std::find(query.begin(), query.end(), c) != query.end()) {
+        dag.MarkFlags(c, /*in_doc=*/true, /*in_query=*/false);
+        continue;
+      }
+      for (const DeweyAddress& address : enumerator.Addresses(c)) {
+        dag.InsertAddress(c, address, /*in_doc=*/true, /*in_query=*/false);
+      }
+    }
+    ASSERT_TRUE(dag.CheckInvariants().ok()) << "round " << round;
+    // The merged DAG must equal a from-scratch joint build.
+    dag.TuneDistances();
+    DRadixDag joint(*ontology);
+    build_skeleton(&joint);
+    for (ConceptId c : doc) {
+      for (const DeweyAddress& address : enumerator.Addresses(c)) {
+        joint.InsertAddress(c, address, /*in_doc=*/true, /*in_query=*/false);
+      }
+    }
+    joint.TuneDistances();
+    for (std::size_t i = 0; i < joint.num_nodes(); ++i) {
+      const auto want = joint.node(static_cast<DRadixDag::NodeIndex>(i));
+      const auto index = dag.FindNode(want.concept_id);
+      ASSERT_NE(index, DRadixDag::kInvalidNode) << "round " << round;
+      EXPECT_EQ(dag.node(index).dist_to_doc, want.dist_to_doc);
+      EXPECT_EQ(dag.node(index).dist_to_query, want.dist_to_query);
+    }
+
+    dag.RollbackMerge();
+    ASSERT_TRUE(dag.CheckInvariants().ok()) << "round " << round;
+    EXPECT_EQ(Snapshot(dag), skeleton_state) << "round " << round;
+    // FindNode must have forgotten every doc-only node.
+    for (ConceptId c = 0; c < ontology->num_concepts(); ++c) {
+      EXPECT_EQ(dag.FindNode(c) != DRadixDag::kInvalidNode,
+                skeleton_state.nodes.contains(c))
+          << "concept " << c << " round " << round;
+    }
+  }
+}
+
+// Randomized merge/detach fuzz: interleave merges, rollbacks, tuning
+// and invariant checks on one DAG; every rollback must restore the
+// exact pre-merge snapshot (including after merges that split edges of
+// earlier merges' survivors — i.e. from varying base states).
+TEST_P(MergeRollbackTest, FuzzRandomizedMergeDetach) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 200;
+  config.extra_parent_prob = 0.4;
+  config.seed = GetParam() * 11 + 1;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  util::Rng rng(GetParam() * 131 + 17);
+
+  DRadixDag dag(*ontology);
+  // Base state: a couple of concepts inserted outside any merge (they
+  // survive every rollback).
+  for (const ConceptId c :
+       rng.SampleWithoutReplacement(ontology->num_concepts(), 3)) {
+    for (const DeweyAddress& address : enumerator.Addresses(c)) {
+      dag.InsertAddress(c, address, /*in_doc=*/false, /*in_query=*/true);
+    }
+  }
+
+  for (int round = 0; round < 30; ++round) {
+    const DagSnapshot before = Snapshot(dag);
+    dag.BeginMerge();
+    const std::size_t doc_size = 1 + rng.UniformInt(0, 7);
+    for (const ConceptId c : rng.SampleWithoutReplacement(
+             ontology->num_concepts(), doc_size)) {
+      if (dag.FindNode(c) != DRadixDag::kInvalidNode && rng.UniformInt(0, 1) == 0) {
+        dag.MarkFlags(c, /*in_doc=*/true, /*in_query=*/false);
+        continue;
+      }
+      for (const DeweyAddress& address : enumerator.Addresses(c)) {
+        dag.InsertAddress(c, address, /*in_doc=*/true, /*in_query=*/false);
+      }
+    }
+    if (rng.UniformInt(0, 1) == 0) dag.TuneDistances();
+    ASSERT_TRUE(dag.CheckInvariants().ok()) << "round " << round;
+    dag.RollbackMerge();
+    ASSERT_TRUE(dag.CheckInvariants().ok()) << "round " << round;
+    ASSERT_EQ(Snapshot(dag), before) << "round " << round;
+    if (round % 7 == 6) {
+      // Occasionally grow the persistent base between merges.
+      const ConceptId c = static_cast<ConceptId>(
+          rng.UniformInt(0, ontology->num_concepts() - 1));
+      for (const DeweyAddress& address : enumerator.Addresses(c)) {
+        dag.InsertAddress(c, address, /*in_doc=*/false, /*in_query=*/true);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeRollbackTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38, 39,
+                                           40));
+
+// CopyFrom must reproduce the source observationally, and layering more
+// insertions on the copy must behave exactly like inserting into a DAG
+// that was built jointly from scratch (the doc-DAG cache fast path).
+TEST(DRadixTest, CopyFromReproducesSourceAndAcceptsInsertions) {
+  const Fig3 fig3 = MakeFig3Ontology();
+  AddressEnumerator enumerator(fig3.ontology);
+  const std::vector<ConceptId> d = {fig3['F'], fig3['R'], fig3['T'],
+                                    fig3['V']};
+  const std::vector<ConceptId> q = {fig3['I'], fig3['L'], fig3['U']};
+
+  DRadixDag doc_only(fig3.ontology);
+  for (ConceptId c : d) {
+    for (const DeweyAddress& address : enumerator.Addresses(c)) {
+      doc_only.InsertAddress(c, address, /*in_doc=*/true, /*in_query=*/false);
+    }
+  }
+
+  DRadixDag copy(fig3.ontology);
+  // Dirty the destination first: CopyFrom must fully overwrite it.
+  for (const DeweyAddress& address : enumerator.Addresses(fig3['L'])) {
+    copy.InsertAddress(fig3['L'], address, /*in_doc=*/true,
+                       /*in_query=*/false);
+  }
+  copy.CopyFrom(doc_only);
+  ASSERT_TRUE(copy.CheckInvariants().ok());
+  EXPECT_EQ(Snapshot(copy), Snapshot(doc_only));
+
+  // Insert the query side on top of the copy; distances must equal the
+  // reference joint build (Figure 5(g)).
+  for (ConceptId c : q) {
+    for (const DeweyAddress& address : enumerator.Addresses(c)) {
+      copy.InsertAddress(c, address, /*in_doc=*/false, /*in_query=*/true);
+    }
+  }
+  ASSERT_TRUE(copy.CheckInvariants().ok());
+  copy.TuneDistances();
+  const DRadixDag reference = BuildPaperIndex(fig3);
+  ASSERT_EQ(copy.num_nodes(), reference.num_nodes());
+  for (std::size_t i = 0; i < reference.num_nodes(); ++i) {
+    const auto want = reference.node(static_cast<DRadixDag::NodeIndex>(i));
+    const auto index = copy.FindNode(want.concept_id);
+    ASSERT_NE(index, DRadixDag::kInvalidNode);
+    EXPECT_EQ(copy.node(index).dist_to_doc, want.dist_to_doc);
+    EXPECT_EQ(copy.node(index).dist_to_query, want.dist_to_query);
+  }
+
+  // Copying again after the source would have been invalidated must
+  // still work: the copy holds its own arena and concept table.
+  DRadixDag second(fig3.ontology);
+  second.CopyFrom(doc_only);
+  doc_only.Reset(fig3.ontology);
+  ASSERT_TRUE(second.CheckInvariants().ok());
+  for (ConceptId c : d) {
+    EXPECT_NE(second.FindNode(c), DRadixDag::kInvalidNode);
+  }
+}
 
 }  // namespace
 }  // namespace ecdr::core

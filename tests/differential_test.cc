@@ -115,13 +115,19 @@ TEST_P(DifferentialTest, KndsMatchesQuadraticOracleAcrossCacheAndThreads) {
   struct Config {
     bool cache;
     std::size_t threads;
+    bool reuse;  // Skeleton + doc-DAG structure reuse in DRC.
     const char* name;
   };
   const Config configs[] = {
-      {false, 1, "cache-off/1-thread"},
-      {false, 8, "cache-off/8-threads"},
-      {true, 1, "cache-on/1-thread"},
-      {true, 8, "cache-on/8-threads"},
+      {false, 1, true, "cache-off/1-thread"},
+      {false, 8, true, "cache-off/8-threads"},
+      {true, 1, true, "cache-on/1-thread"},
+      {true, 8, true, "cache-on/8-threads"},
+      // The reuse-off rows pin the reuse paths down differentially: every
+      // distance the reusing engines returned above must also fall out of
+      // per-call rebuilds (and both must match the quadratic oracle).
+      {false, 8, false, "cache-off/8-threads/no-reuse"},
+      {true, 8, false, "cache-on/8-threads/no-reuse"},
   };
 
   for (const Config& config : configs) {
@@ -135,7 +141,10 @@ TEST_P(DifferentialTest, KndsMatchesQuadraticOracleAcrossCacheAndThreads) {
     options.covered_distance_shortcut = false;
     options.cache.enable_ddq_memo = config.cache;
     DdqMemo memo(options.cache);
-    Drc drc(ontology, &enumerator);
+    DrcOptions drc_options;
+    drc_options.skeleton_reuse = config.reuse;
+    if (!config.reuse) drc_options.doc_dag_cache_capacity = 0;
+    Drc drc(ontology, &enumerator, nullptr, drc_options);
     Knds knds(corpus, index, &drc, options, nullptr,
               config.cache ? &memo : nullptr);
 

@@ -167,6 +167,132 @@ TEST_P(DistanceAgreementTest, DrcMatchesBaselineAndOracle) {
   }
 }
 
+// ---- Reuse paths ----------------------------------------------------
+//
+// The three build strategies — full per-call rebuild (skeleton_reuse
+// off), persistent query skeleton with per-document merge/rollback, and
+// the per-document DAG cache (copy + query insert) — must return
+// bit-identical distances on identical inputs; they differ only in how
+// much work is repeated. Exercised on a frozen enumerator (the pool is
+// what both reuse paths require).
+TEST(DrcReuseTest, AllBuildPathsReturnIdenticalDistances) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 500;
+  config.extra_parent_prob = 0.3;
+  config.seed = 123;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  enumerator.PrecomputeAll();
+  ASSERT_NE(enumerator.flat_pool(), nullptr);
+
+  DrcOptions off;
+  off.skeleton_reuse = false;
+  DrcOptions skeleton_only;
+  skeleton_only.doc_dag_cache_capacity = 0;  // Force the skeleton path.
+  Drc drc_off(*ontology, &enumerator, nullptr, off);
+  Drc drc_skeleton(*ontology, &enumerator, nullptr, skeleton_only);
+  Drc drc_full(*ontology, &enumerator);  // Doc-DAG cache + skeleton.
+
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<ConceptId> query =
+        rng.SampleWithoutReplacement(ontology->num_concepts(), 4);
+    // Sweep several docs per query so the skeleton actually persists.
+    for (int d = 0; d < 3; ++d) {
+      const std::vector<ConceptId> doc =
+          rng.SampleWithoutReplacement(ontology->num_concepts(), 10);
+      const auto want = drc_off.DocQueryDistance(doc, query);
+      const auto got_skeleton = drc_skeleton.DocQueryDistance(doc, query);
+      const auto got_full = drc_full.DocQueryDistance(doc, query);
+      ASSERT_TRUE(want.ok() && got_skeleton.ok() && got_full.ok());
+      EXPECT_EQ(*want, *got_skeleton) << "trial " << trial;
+      EXPECT_EQ(*want, *got_full) << "trial " << trial;
+
+      const auto want_ddd = drc_off.DocDocDistance(query, doc);
+      const auto got_ddd = drc_full.DocDocDistance(query, doc);
+      ASSERT_TRUE(want_ddd.ok() && got_ddd.ok());
+      EXPECT_EQ(*want_ddd, *got_ddd) << "trial " << trial;
+    }
+  }
+}
+
+TEST(DrcReuseTest, SkeletonStatsCountBuildsReusesAndDetaches) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 400;
+  config.seed = 5;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  enumerator.PrecomputeAll();
+
+  DrcOptions options;
+  options.doc_dag_cache_capacity = 0;  // Keep ddq on the skeleton path.
+  Drc drc(*ontology, &enumerator, nullptr, options);
+  util::Rng rng(7);
+  const std::vector<ConceptId> query =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 5);
+  for (int d = 0; d < 4; ++d) {
+    const std::vector<ConceptId> doc =
+        rng.SampleWithoutReplacement(ontology->num_concepts(), 8);
+    ASSERT_TRUE(drc.DocQueryDistance(doc, query).ok());
+  }
+  const Drc::Stats& stats = drc.stats();
+  // One skeleton build for the sweep, then three reuses, each of which
+  // first detached the previous document's merged paths.
+  EXPECT_EQ(stats.skeleton_builds, 1u);
+  EXPECT_EQ(stats.skeleton_reuses, 3u);
+  EXPECT_GT(stats.doc_paths_merged, 0u);
+  EXPECT_GT(stats.doc_paths_detached, 0u);
+  EXPECT_GT(stats.eval_seconds, 0.0);
+
+  // A different query invalidates the skeleton: one more build.
+  const std::vector<ConceptId> other =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 5);
+  const std::vector<ConceptId> doc =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 8);
+  ASSERT_TRUE(drc.DocQueryDistance(doc, other).ok());
+  EXPECT_EQ(drc.stats().skeleton_builds, 2u);
+}
+
+TEST(DrcReuseTest, DocDagCacheStatsCountBuildsAndHits) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 400;
+  config.seed = 6;
+  const auto ontology = ontology::GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  enumerator.PrecomputeAll();
+
+  Drc drc(*ontology, &enumerator);
+  util::Rng rng(8);
+  const std::vector<ConceptId> doc_a =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 10);
+  const std::vector<ConceptId> doc_b =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 10);
+  const std::vector<ConceptId> query =
+      rng.SampleWithoutReplacement(ontology->num_concepts(), 4);
+
+  ASSERT_TRUE(drc.DocQueryDistance(doc_a, query).ok());  // Build a.
+  ASSERT_TRUE(drc.DocQueryDistance(doc_b, query).ok());  // Build b.
+  ASSERT_TRUE(drc.DocQueryDistance(doc_a, query).ok());  // Hit a.
+  ASSERT_TRUE(drc.DocQueryDistance(doc_b, query).ok());  // Hit b.
+  // Duplicate concepts dedup to the same cache key.
+  std::vector<ConceptId> doc_a_dup = doc_a;
+  doc_a_dup.insert(doc_a_dup.end(), doc_a.begin(), doc_a.end());
+  ASSERT_TRUE(drc.DocQueryDistance(doc_a_dup, query).ok());  // Hit a.
+  EXPECT_EQ(drc.stats().doc_dag_builds, 2u);
+  EXPECT_EQ(drc.stats().doc_dag_hits, 3u);
+  EXPECT_EQ(drc.stats().skeleton_builds, 0u);
+
+  // An unfrozen enumerator has no pool: the fast path must stand down.
+  AddressEnumerator unfrozen(*ontology);
+  Drc legacy(*ontology, &unfrozen);
+  ASSERT_TRUE(legacy.DocQueryDistance(doc_a, query).ok());
+  EXPECT_EQ(legacy.stats().doc_dag_builds, 0u);
+  EXPECT_EQ(legacy.stats().skeleton_builds, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     RandomOntologies, DistanceAgreementTest,
     ::testing::Values(AgreementParam{101, 60, 0.0},    // Pure tree.

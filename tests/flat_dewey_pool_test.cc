@@ -4,6 +4,7 @@
 // DRC's build consumes the pool verbatim and the D-Radix merge order
 // (hence the whole ranking) depends on it.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "ontology/dewey.h"
 #include "ontology/generator.h"
 #include "tests/fig3_fixture.h"
+#include "util/random.h"
 
 namespace ecdr::ontology {
 namespace {
@@ -138,6 +140,156 @@ TEST(FlatDeweyPoolTest, FrozenAndUnfrozenDistancesAgree) {
   auto legacy_ddd = legacy_drc.DocDocDistance(d, q);
   ASSERT_TRUE(pool_ddd.ok() && legacy_ddd.ok());
   EXPECT_EQ(*pool_ddd, *legacy_ddd);
+}
+
+// ---- Ranks and rank LCPs --------------------------------------------
+
+// Collects every address span ordered by its global rank; fails the
+// test if the ranks are not a permutation of [0, num_addresses).
+std::vector<AddressSpan> SpansByRank(const Ontology& ontology,
+                                     const FlatDeweyPool* pool) {
+  std::vector<AddressSpan> by_rank(pool->num_addresses());
+  std::vector<bool> seen(pool->num_addresses(), false);
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    const std::span<const AddressSpan> spans = pool->spans(c);
+    const std::span<const std::uint32_t> ranks = pool->ranks(c);
+    EXPECT_EQ(spans.size(), ranks.size()) << "concept " << c;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_LT(ranks[i], pool->num_addresses());
+      EXPECT_FALSE(seen[ranks[i]]) << "duplicate rank " << ranks[i];
+      seen[ranks[i]] = true;
+      by_rank[ranks[i]] = spans[i];
+    }
+  }
+  return by_rank;
+}
+
+TEST(FlatDeweyPoolTest, RanksAreTheGlobalLexicographicPermutation) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    OntologyGeneratorConfig config;
+    config.num_concepts = 400;
+    config.extra_parent_prob = 0.3;
+    config.seed = seed;
+    auto ontology = GenerateOntology(config);
+    ASSERT_TRUE(ontology.ok());
+    AddressEnumerator enumerator(*ontology);
+    enumerator.PrecomputeAll();
+    const FlatDeweyPool* pool = enumerator.flat_pool();
+    ASSERT_NE(pool, nullptr);
+
+    const std::vector<AddressSpan> by_rank = SpansByRank(*ontology, pool);
+    // Walking ranks in order must walk addresses in strictly increasing
+    // Dewey order (strict because no two pool addresses are equal).
+    for (std::size_t r = 1; r < by_rank.size(); ++r) {
+      EXPECT_TRUE(DeweyLess(pool->components(by_rank[r - 1]),
+                            pool->components(by_rank[r])))
+          << "seed " << seed << " rank " << r;
+    }
+  }
+}
+
+TEST(FlatDeweyPoolTest, RankLcpMatchesPairwiseCommonPrefixes) {
+  OntologyGeneratorConfig config;
+  config.num_concepts = 400;
+  config.extra_parent_prob = 0.3;
+  config.seed = 17;
+  auto ontology = GenerateOntology(config);
+  ASSERT_TRUE(ontology.ok());
+  AddressEnumerator enumerator(*ontology);
+  enumerator.PrecomputeAll();
+  const FlatDeweyPool* pool = enumerator.flat_pool();
+  ASSERT_NE(pool, nullptr);
+
+  const std::vector<AddressSpan> by_rank = SpansByRank(*ontology, pool);
+  const std::span<const std::uint32_t> lcp = pool->rank_lcp();
+  ASSERT_EQ(lcp.size(), by_rank.size());
+  ASSERT_EQ(lcp[0], 0u);
+  for (std::size_t r = 1; r < by_rank.size(); ++r) {
+    EXPECT_EQ(lcp[r], DeweyCommonPrefix(pool->components(by_rank[r - 1]),
+                                        pool->components(by_rank[r])))
+        << "rank " << r;
+  }
+
+  // The window-minimum property DRC's insert-resume relies on: for any
+  // ranks ra < rb, LCP(addr[ra], addr[rb]) == min(lcp[ra+1 .. rb]).
+  util::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t ra = rng.UniformInt(0, by_rank.size() - 1);
+    std::size_t rb = rng.UniformInt(0, by_rank.size() - 1);
+    if (ra == rb) continue;
+    if (ra > rb) std::swap(ra, rb);
+    std::uint32_t window_min = lcp[ra + 1];
+    for (std::size_t r = ra + 2; r <= rb; ++r) {
+      window_min = std::min(window_min, lcp[r]);
+    }
+    EXPECT_EQ(window_min,
+              DeweyCommonPrefix(pool->components(by_rank[ra]),
+                                pool->components(by_rank[rb])))
+        << "ranks " << ra << ".." << rb;
+  }
+}
+
+// ---- SIMD kernel equivalence ----------------------------------------
+
+// Every dispatch level must agree with scalar bit for bit on arbitrary
+// inputs — lengths straddling the 4- and 8-lane vector widths, shared
+// prefixes of every length, and empty addresses. ForceLevel caps at
+// what the CPU supports, so on SSE2-only hardware the "avx2" pass
+// re-checks sse2 (still a valid equivalence run).
+TEST(FlatDeweyPoolSimdTest, AllLevelsMatchScalarKernels) {
+  util::Rng rng(29);
+  constexpr std::size_t kPairs = 300;
+  std::vector<std::vector<std::uint32_t>> lhs(kPairs), rhs(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    const std::size_t len_a = rng.UniformInt(0, 19);
+    const std::size_t len_b = rng.UniformInt(0, 19);
+    const std::size_t shared =
+        std::min(static_cast<std::size_t>(rng.UniformInt(0, 19)),
+                 std::min(len_a, len_b));
+    for (std::size_t k = 0; k < len_a; ++k) {
+      lhs[i].push_back(static_cast<std::uint32_t>(rng.UniformInt(1, 5)));
+    }
+    rhs[i].assign(lhs[i].begin(), lhs[i].begin() + shared);
+    for (std::size_t k = shared; k < len_b; ++k) {
+      rhs[i].push_back(static_cast<std::uint32_t>(rng.UniformInt(1, 5)));
+    }
+  }
+  std::vector<std::uint32_t> ranks(257);
+  for (auto& r : ranks) {
+    r = static_cast<std::uint32_t>(rng.UniformInt(0, 1u << 30));
+  }
+
+  simd::ForceLevel(simd::Level::kScalar);
+  std::vector<std::size_t> want_lcp(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    want_lcp[i] = DeweyCommonPrefix(lhs[i], rhs[i]);
+  }
+  std::vector<std::uint64_t> want_keys(ranks.size());
+  BuildSortKeys(ranks.data(), 1000, ranks.size(), want_keys.data());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    ASSERT_EQ(want_keys[i], (static_cast<std::uint64_t>(ranks[i]) << 32) |
+                                (1000 + i));
+  }
+
+  for (simd::Level level : {simd::Level::kSse2, simd::Level::kAvx2}) {
+    simd::ForceLevel(level);
+    SCOPED_TRACE(simd::LevelName(simd::ActiveLevel()));
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      EXPECT_EQ(DeweyCommonPrefix(lhs[i], rhs[i]), want_lcp[i])
+          << "pair " << i;
+    }
+    // Odd counts exercise the vector tails.
+    for (std::size_t count : {0u, 1u, 7u, 8u, 9u, 31u, 257u}) {
+      std::vector<std::uint64_t> keys(count);
+      BuildSortKeys(ranks.data(), 42, count, keys.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(keys[i], (static_cast<std::uint64_t>(ranks[i]) << 32) |
+                               (42 + i))
+            << "count " << count << " i " << i;
+      }
+    }
+  }
+  simd::ResetLevel();
 }
 
 }  // namespace
