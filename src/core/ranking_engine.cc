@@ -169,12 +169,16 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
   KndsOptions per_call = options_.knds;
   per_call.deadline = deadline;
   per_call.cancel_token = control.cancel_token;
+  if (control.error_threshold >= 0.0) {
+    per_call.error_threshold = control.error_threshold;
+  }
   per_call.drc_scratch_pool = &drc_scratches_;
   Drc::ScratchPool::Lease scratch(&drc_scratches_);
   Drc drc(*ontology_, addresses_.get(), scratch.get());
   Knds knds(snap->corpus, snap->index, &drc, per_call, pool_.get(),
             &ddq_memo_);
   util::StatusOr<std::vector<ScoredDocument>> result = search(&knds, *snap);
+  if (control.stats_out != nullptr) *control.stats_out = knds.last_stats();
   last_stats_.store(std::make_shared<const KndsStats>(knds.last_stats()),
                     std::memory_order_release);
   return result;

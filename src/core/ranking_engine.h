@@ -82,6 +82,13 @@ struct SearchControl {
   /// Unowned; must outlive the call. Cancelling finalizes the anytime
   /// result (KndsStats::truncated) or aborts a queued admission wait.
   const util::CancelToken* cancel_token = nullptr;
+  /// Per-query eps_theta override. Negative (the default) keeps the
+  /// engine-wide Options::knds.error_threshold.
+  double error_threshold = -1.0;
+  /// When set, receives this call's KndsStats on success — unlike
+  /// last_search_stats(), which concurrent searches overwrite. Unowned;
+  /// must outlive the call.
+  KndsStats* stats_out = nullptr;
 };
 
 /// Admission counters; cumulative except the two gauges.

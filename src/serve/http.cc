@@ -1,0 +1,415 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace ecdr::serve {
+namespace {
+
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), IsTokenChar);
+}
+
+// Visible ASCII — what a request-target may contain.
+bool IsVisible(std::string_view text) {
+  return std::all_of(text.begin(), text.end(),
+                     [](char c) { return c >= 0x21 && c <= 0x7e; });
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  if (const std::string* connection = FindHeader("connection")) {
+    for (const auto piece : util::Split(*connection, ',')) {
+      const std::string_view token = util::StripWhitespace(piece);
+      if (EqualsIgnoreCase(token, "close")) return false;
+      if (EqualsIgnoreCase(token, "keep-alive")) return true;
+    }
+  }
+  return version_minor >= 1;
+}
+
+HttpParser::HttpParser(HttpParserLimits limits) : limits_(limits) {}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  request_ = HttpRequest{};
+  line_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  chunked_ = false;
+  error_status_ = 0;
+  error_detail_.clear();
+}
+
+void HttpParser::Fail(int status, std::string detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+}
+
+std::size_t HttpParser::Feed(std::string_view input) {
+  std::size_t consumed = 0;
+  while (consumed < input.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    // Payload states consume in bulk; everything else is line-framed.
+    if (state_ == State::kBody || state_ == State::kChunkData) {
+      const std::size_t take =
+          std::min<std::uint64_t>(input.size() - consumed, body_remaining_);
+      request_.body.append(input.data() + consumed, take);
+      consumed += take;
+      body_remaining_ -= take;
+      if (body_remaining_ == 0) {
+        state_ = state_ == State::kBody ? State::kComplete
+                                        : State::kChunkDataEnd;
+      }
+      continue;
+    }
+
+    const char c = input[consumed++];
+    if (c == '\n') {
+      if (line_.empty() || line_.back() != '\r') {
+        Fail(400, "bare LF line ending");
+        break;
+      }
+      line_.pop_back();
+      const std::string_view line = line_;
+      switch (state_) {
+        case State::kRequestLine:
+          if (line.empty()) break;  // tolerate one leading blank line
+          ParseRequestLine(line);
+          break;
+        case State::kHeaders:
+          if (line.empty()) {
+            FinishHeaders();
+          } else {
+            header_bytes_ += line.size() + 2;
+            if (header_bytes_ > limits_.max_header_bytes) {
+              Fail(431, "header block exceeds " +
+                            std::to_string(limits_.max_header_bytes) +
+                            " bytes");
+            } else {
+              ParseHeaderLine(line);
+            }
+          }
+          break;
+        case State::kChunkSize: {
+          // "SIZE[;extension]" in hex; the last chunk has size 0.
+          std::string_view size_text = line.substr(0, line.find(';'));
+          size_text = util::StripWhitespace(size_text);
+          if (size_text.empty() || size_text.size() > 16 ||
+              !std::all_of(size_text.begin(), size_text.end(), [](char h) {
+                return std::isxdigit(static_cast<unsigned char>(h));
+              })) {
+            Fail(400, "malformed chunk size '" + std::string(size_text) +
+                          "'");
+            break;
+          }
+          std::uint64_t size = 0;
+          for (const char h : size_text) {
+            size = size * 16 +
+                   static_cast<std::uint64_t>(
+                       std::isdigit(static_cast<unsigned char>(h))
+                           ? h - '0'
+                           : std::tolower(static_cast<unsigned char>(h)) -
+                                 'a' + 10);
+          }
+          if (request_.body.size() + size > limits_.max_body_bytes) {
+            Fail(413, "chunked body exceeds " +
+                          std::to_string(limits_.max_body_bytes) + " bytes");
+            break;
+          }
+          if (size == 0) {
+            state_ = State::kTrailers;
+          } else {
+            body_remaining_ = size;
+            state_ = State::kChunkData;
+          }
+          break;
+        }
+        case State::kChunkDataEnd:
+          if (!line.empty()) {
+            Fail(400, "chunk payload not followed by CRLF");
+          } else {
+            state_ = State::kChunkSize;
+          }
+          break;
+        case State::kTrailers:
+          header_bytes_ += line.size() + 2;
+          if (header_bytes_ > limits_.max_header_bytes) {
+            Fail(431, "trailer block exceeds header limit");
+          } else if (line.empty()) {
+            state_ = State::kComplete;
+          }
+          break;
+        case State::kBody:
+        case State::kChunkData:
+        case State::kComplete:
+        case State::kError:
+          break;  // unreachable
+      }
+      line_.clear();
+      continue;
+    }
+    if (c == '\0') {
+      Fail(400, "NUL byte in protocol element");
+      break;
+    }
+    line_.push_back(c);
+    if (state_ == State::kRequestLine &&
+        line_.size() > limits_.max_request_line_bytes) {
+      Fail(431, "request line exceeds " +
+                    std::to_string(limits_.max_request_line_bytes) +
+                    " bytes");
+      break;
+    }
+    if (line_.size() > limits_.max_header_bytes) {
+      Fail(431, "line exceeds header limit");
+      break;
+    }
+  }
+  return consumed;
+}
+
+void HttpParser::ParseRequestLine(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "request line is not 'METHOD TARGET VERSION'");
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    Fail(400, "malformed method");
+    return;
+  }
+  if (target.empty() || target[0] != '/' || !IsVisible(target)) {
+    Fail(400, "malformed request target");
+    return;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    Fail(505, "unsupported protocol version '" + std::string(version) + "'");
+    return;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  state_ = State::kHeaders;
+}
+
+void HttpParser::ParseHeaderLine(std::string_view line) {
+  if (line[0] == ' ' || line[0] == '\t') {
+    Fail(400, "obsolete header folding");
+    return;
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    Fail(431, "more than " + std::to_string(limits_.max_headers) +
+                  " headers");
+    return;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    Fail(400, "header line without name");
+    return;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    Fail(400, "malformed header name");
+    return;
+  }
+  const std::string_view value =
+      util::StripWhitespace(line.substr(colon + 1));
+  // Field values are visible ASCII plus SP/HT; anything else (stray CR,
+  // control bytes) is an attack surface, not data.
+  for (const char c : value) {
+    if ((c < 0x20 && c != '\t') || c == 0x7f) {
+      Fail(400, "control byte in header value");
+      return;
+    }
+  }
+  request_.headers.emplace_back(ToLower(name), std::string(value));
+}
+
+void HttpParser::FinishHeaders() {
+  const std::string* content_length = nullptr;
+  const std::string* transfer_encoding = nullptr;
+  for (const auto& [name, value] : request_.headers) {
+    if (name == "content-length") {
+      if (content_length != nullptr && *content_length != value) {
+        Fail(400, "conflicting Content-Length headers");
+        return;
+      }
+      content_length = &value;
+    } else if (name == "transfer-encoding") {
+      if (transfer_encoding != nullptr) {
+        Fail(400, "repeated Transfer-Encoding headers");
+        return;
+      }
+      transfer_encoding = &value;
+    }
+  }
+  if (transfer_encoding != nullptr) {
+    if (content_length != nullptr) {
+      Fail(400, "both Content-Length and Transfer-Encoding present");
+      return;
+    }
+    if (!EqualsIgnoreCase(*transfer_encoding, "chunked")) {
+      Fail(501, "unsupported transfer encoding '" + *transfer_encoding +
+                    "'");
+      return;
+    }
+    chunked_ = true;
+    state_ = State::kChunkSize;
+    return;
+  }
+  if (content_length != nullptr) {
+    // Strict digits first: ParseUint64 is for trusted text and accepts
+    // forms ("+1") that the RFC's 1*DIGIT grammar forbids.
+    if (content_length->empty() ||
+        !std::all_of(content_length->begin(), content_length->end(),
+                     [](char c) {
+                       return std::isdigit(static_cast<unsigned char>(c));
+                     })) {
+      Fail(400, "malformed Content-Length '" + *content_length + "'");
+      return;
+    }
+    std::uint64_t length = 0;
+    if (!util::ParseUint64(*content_length, &length)) {
+      Fail(400, "unparseable Content-Length '" + *content_length + "'");
+      return;
+    }
+    if (length > limits_.max_body_bytes) {
+      Fail(413, "body of " + *content_length + " bytes exceeds limit of " +
+                    std::to_string(limits_.max_body_bytes));
+      return;
+    }
+    if (length == 0) {
+      state_ = State::kComplete;
+      return;
+    }
+    body_remaining_ = length;
+    state_ = State::kBody;
+    return;
+  }
+  state_ = State::kComplete;  // no body
+}
+
+int HttpStatusForCode(util::StatusCode code) {
+  switch (code) {
+    case util::StatusCode::kOk:
+      return 200;
+    case util::StatusCode::kInvalidArgument:
+      return 400;
+    case util::StatusCode::kNotFound:
+      return 404;
+    case util::StatusCode::kFailedPrecondition:
+      return 409;
+    case util::StatusCode::kOutOfRange:
+      return 400;
+    case util::StatusCode::kInternal:
+      return 500;
+    case util::StatusCode::kIoError:
+      return 500;
+    case util::StatusCode::kCancelled:
+      return 499;
+    case util::StatusCode::kDeadlineExceeded:
+      return 504;
+    case util::StatusCode::kResourceExhausted:
+      return 429;
+    case util::StatusCode::kNumStatusCodes:
+      break;
+  }
+  return 500;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += HttpReasonPhrase(status);
+  out += "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace ecdr::serve

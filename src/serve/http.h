@@ -1,0 +1,131 @@
+// Incremental HTTP/1.1 request parsing and response serialization for
+// ecdr_serve — self-contained, no external dependencies.
+//
+// HttpParser is a byte-at-a-time-safe state machine: Feed() accepts
+// whatever fragment the socket produced (down to single bytes — the
+// torture test splices inputs at random offsets) and consumes input
+// until one request is complete, the input is proven malformed, or
+// more bytes are needed. Hard limits bound every dimension an attacker
+// controls: request-line length, total header bytes, header count and
+// body size (Content-Length or chunked-decoded). A parse failure
+// carries the HTTP status the server should answer with (400/413/431/
+// 501/505) and never leaves the parser in a state that could misread
+// subsequent bytes — the connection is closed after an error response.
+//
+// Supported subset: methods as tokens, origin-form targets, HTTP/1.0
+// and 1.1, Content-Length and chunked transfer encodings. Multiple
+// Content-Length headers, Content-Length combined with
+// Transfer-Encoding, and non-chunked transfer codings are rejected
+// outright (request-smuggling hygiene).
+
+#ifndef ECDR_SERVE_HTTP_H_
+#define ECDR_SERVE_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ecdr::serve {
+
+/// One parsed request. Header names are lower-cased at parse time so
+/// lookups are case-insensitive per RFC 9110.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// nullptr when absent; `name` must already be lower-case.
+  const std::string* FindHeader(std::string_view name) const;
+  /// Keep-alive per HTTP/1.1 defaults + Connection header.
+  bool KeepAlive() const;
+};
+
+struct HttpParserLimits {
+  std::size_t max_request_line_bytes = 8 * 1024;
+  std::size_t max_header_bytes = 16 * 1024;  // all header lines combined
+  std::size_t max_headers = 64;
+  std::size_t max_body_bytes = 1 * 1024 * 1024;
+};
+
+class HttpParser {
+ public:
+  explicit HttpParser(HttpParserLimits limits = {});
+
+  /// Consumes bytes from `input` and returns how many were used.
+  /// Unconsumed bytes (anything after a completed request) belong to
+  /// the next request — call Reset() and feed them again. After an
+  /// error, no further bytes are consumed.
+  std::size_t Feed(std::string_view input);
+
+  bool done() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+
+  /// Valid when failed(): the response status this malformed input has
+  /// earned, plus a one-line reason for logs and the error body.
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// Valid when done().
+  const HttpRequest& request() const { return request_; }
+  HttpRequest& request() { return request_; }
+
+  /// Ready for the next request on the same connection.
+  void Reset();
+
+ private:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,  // CRLF after one chunk's payload
+    kTrailers,
+    kComplete,
+    kError,
+  };
+
+  /// Moves to kError with the given HTTP status; Feed returns early.
+  void Fail(int status, std::string detail);
+  void ParseRequestLine(std::string_view line);
+  void ParseHeaderLine(std::string_view line);
+  /// Validates accumulated headers and picks the body framing; runs on
+  /// the blank line ending the header block.
+  void FinishHeaders();
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  HttpRequest request_;
+  std::string line_;            // current partial line
+  std::size_t header_bytes_ = 0;
+  std::uint64_t body_remaining_ = 0;  // Content-Length / current chunk
+  bool chunked_ = false;
+  int error_status_ = 0;
+  std::string error_detail_;
+};
+
+/// Maps an engine StatusCode onto the HTTP response status the serving
+/// layer answers with. Total over the enum (tests enumerate every code
+/// against this): kOk=200, the caller-error codes map to 4xx
+/// (kResourceExhausted=429 so load balancers back off, kCancelled=499
+/// in nginx's convention), kDeadlineExceeded=504, and the server-side
+/// failures map to 500.
+int HttpStatusForCode(util::StatusCode code);
+
+/// Standard reason phrase; "Unknown" for statuses we never emit.
+const char* HttpReasonPhrase(int status);
+
+/// Serializes a complete response with Content-Length framing.
+/// `content_type` may be empty for bodyless responses.
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+}  // namespace ecdr::serve
+
+#endif  // ECDR_SERVE_HTTP_H_

@@ -1,0 +1,414 @@
+#include "serve/json.h"
+
+#include <charconv>
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace ecdr::serve::json {
+namespace {
+
+using util::InvalidArgumentError;
+using util::StatusOr;
+
+class Parser {
+ public:
+  Parser(std::string_view text, ParseLimits limits)
+      : pos_(text.data()), end_(text.data() + text.size()), limits_(limits) {}
+
+  StatusOr<Value> ParseDocument() {
+    StatusOr<Value> value = ParseValue(0);
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != end_) {
+      return InvalidArgumentError("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ != end_ && (*pos_ == ' ' || *pos_ == '\t' || *pos_ == '\n' ||
+                            *pos_ == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ != end_ && *pos_ == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> ParseValue(std::size_t depth) {
+    if (depth > limits_.max_depth) {
+      return InvalidArgumentError("JSON nested deeper than " +
+                                  std::to_string(limits_.max_depth));
+    }
+    if (++elements_ > limits_.max_elements) {
+      return InvalidArgumentError("JSON document exceeds " +
+                                  std::to_string(limits_.max_elements) +
+                                  " values");
+    }
+    SkipWhitespace();
+    if (pos_ == end_) return InvalidArgumentError("unexpected end of JSON");
+    switch (*pos_) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true", [] {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.boolean = true;
+          return v;
+        }());
+      case 'f':
+        return ParseLiteral("false", [] {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.boolean = false;
+          return v;
+        }());
+      case 'n':
+        return ParseLiteral("null", Value{});
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Value> ParseLiteral(std::string_view word, Value value) {
+    if (static_cast<std::size_t>(end_ - pos_) < word.size() ||
+        std::string_view(pos_, word.size()) != word) {
+      return InvalidArgumentError("malformed JSON literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  StatusOr<Value> ParseObject(std::size_t depth) {
+    ++pos_;  // '{'
+    Value value;
+    value.type = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ == end_ || *pos_ != '"') {
+        return InvalidArgumentError("object member name must be a string");
+      }
+      StatusOr<Value> key = ParseString();
+      if (!key.ok()) return key;
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return InvalidArgumentError("expected ':' after object member name");
+      }
+      StatusOr<Value> member = ParseValue(depth + 1);
+      if (!member.ok()) return member;
+      value.object.emplace_back(std::move(key->string),
+                                *std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return InvalidArgumentError("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Value> ParseArray(std::size_t depth) {
+    ++pos_;  // '['
+    Value value;
+    value.type = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      StatusOr<Value> element = ParseValue(depth + 1);
+      if (!element.ok()) return element;
+      value.array.push_back(*std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return InvalidArgumentError("expected ',' or ']' in array");
+    }
+  }
+
+  /// One 4-digit hex escape payload; -1 on error.
+  int ParseHex4() {
+    if (end_ - pos_ < 4) return -1;
+    int value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *pos_++;
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return -1;
+      }
+      value = value * 16 + digit;
+    }
+    return value;
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  StatusOr<Value> ParseString() {
+    ++pos_;  // '"'
+    Value value;
+    value.type = Value::Type::kString;
+    while (true) {
+      if (pos_ == end_) return InvalidArgumentError("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(*pos_);
+      if (c == '"') {
+        ++pos_;
+        return value;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ == end_) return InvalidArgumentError("unterminated escape");
+        const char escape = *pos_++;
+        switch (escape) {
+          case '"': value.string.push_back('"'); break;
+          case '\\': value.string.push_back('\\'); break;
+          case '/': value.string.push_back('/'); break;
+          case 'b': value.string.push_back('\b'); break;
+          case 'f': value.string.push_back('\f'); break;
+          case 'n': value.string.push_back('\n'); break;
+          case 'r': value.string.push_back('\r'); break;
+          case 't': value.string.push_back('\t'); break;
+          case 'u': {
+            const int unit = ParseHex4();
+            if (unit < 0) return InvalidArgumentError("malformed \\u escape");
+            std::uint32_t cp = static_cast<std::uint32_t>(unit);
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // High surrogate: a low surrogate escape must follow.
+              if (end_ - pos_ < 2 || pos_[0] != '\\' || pos_[1] != 'u') {
+                return InvalidArgumentError("lone high surrogate");
+              }
+              pos_ += 2;
+              const int low = ParseHex4();
+              if (low < 0xdc00 || low > 0xdfff) {
+                return InvalidArgumentError("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xd800) << 10) +
+                   (static_cast<std::uint32_t>(low) - 0xdc00);
+            } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+              return InvalidArgumentError("lone low surrogate");
+            }
+            AppendUtf8(&value.string, cp);
+            break;
+          }
+          default:
+            return InvalidArgumentError("unknown string escape");
+        }
+        continue;
+      }
+      if (c < 0x20) {
+        return InvalidArgumentError("unescaped control byte in string");
+      }
+      if (c < 0x80) {
+        value.string.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      // Raw multi-byte sequence: decode strictly so overlongs,
+      // surrogates and five-byte forms are caught here, not downstream.
+      int extra;
+      std::uint32_t cp;
+      if ((c & 0xe0) == 0xc0) {
+        extra = 1;
+        cp = c & 0x1f;
+      } else if ((c & 0xf0) == 0xe0) {
+        extra = 2;
+        cp = c & 0x0f;
+      } else if ((c & 0xf8) == 0xf0) {
+        extra = 3;
+        cp = c & 0x07;
+      } else {
+        return InvalidArgumentError("invalid UTF-8 lead byte in string");
+      }
+      if (end_ - pos_ < extra + 1) {
+        return InvalidArgumentError("truncated UTF-8 sequence in string");
+      }
+      for (int i = 1; i <= extra; ++i) {
+        const unsigned char follow = static_cast<unsigned char>(pos_[i]);
+        if ((follow & 0xc0) != 0x80) {
+          return InvalidArgumentError("invalid UTF-8 continuation byte");
+        }
+        cp = (cp << 6) | (follow & 0x3f);
+      }
+      const std::uint32_t min_cp[4] = {0, 0x80, 0x800, 0x10000};
+      if (cp < min_cp[extra] || cp > 0x10ffff ||
+          (cp >= 0xd800 && cp <= 0xdfff)) {
+        return InvalidArgumentError("invalid UTF-8 code point in string");
+      }
+      value.string.append(pos_, static_cast<std::size_t>(extra) + 1);
+      pos_ += extra + 1;
+    }
+  }
+
+  StatusOr<Value> ParseNumber() {
+    const char* start = pos_;
+    // Validate the RFC 8259 grammar first — from_chars is laxer (it
+    // accepts "007", leading '+', hex-float forms the JSON ABNF bans).
+    if (pos_ != end_ && *pos_ == '-') ++pos_;
+    if (pos_ == end_ ||
+        !std::isdigit(static_cast<unsigned char>(*pos_))) {
+      return InvalidArgumentError("malformed JSON number");
+    }
+    if (*pos_ == '0') {
+      ++pos_;
+    } else {
+      while (pos_ != end_ && std::isdigit(static_cast<unsigned char>(*pos_)))
+        ++pos_;
+    }
+    if (pos_ != end_ && *pos_ == '.') {
+      ++pos_;
+      if (pos_ == end_ || !std::isdigit(static_cast<unsigned char>(*pos_))) {
+        return InvalidArgumentError("digits required after decimal point");
+      }
+      while (pos_ != end_ && std::isdigit(static_cast<unsigned char>(*pos_)))
+        ++pos_;
+    }
+    if (pos_ != end_ && (*pos_ == 'e' || *pos_ == 'E')) {
+      ++pos_;
+      if (pos_ != end_ && (*pos_ == '+' || *pos_ == '-')) ++pos_;
+      if (pos_ == end_ || !std::isdigit(static_cast<unsigned char>(*pos_))) {
+        return InvalidArgumentError("digits required in exponent");
+      }
+      while (pos_ != end_ && std::isdigit(static_cast<unsigned char>(*pos_)))
+        ++pos_;
+    }
+    Value value;
+    value.type = Value::Type::kNumber;
+    const auto [ptr, ec] =
+        std::from_chars(start, pos_, value.number);
+    if (ec == std::errc::result_out_of_range) {
+      return InvalidArgumentError("JSON number outside double range: " +
+                                  std::string(start, pos_));
+    }
+    if (ec != std::errc() || ptr != pos_) {
+      return InvalidArgumentError("unparseable JSON number");
+    }
+    return value;
+  }
+
+  const char* pos_;
+  const char* end_;
+  ParseLimits limits_;
+  std::size_t elements_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+util::StatusOr<Value> Parse(std::string_view text, ParseLimits limits) {
+  return Parser(text, limits).ParseDocument();
+}
+
+void AppendDouble(std::string* out, double value) {
+  if (!(value == value) || value == std::numeric_limits<double>::infinity() ||
+      value == -std::numeric_limits<double>::infinity()) {
+    out->append("null");
+    return;
+  }
+  char buffer[32];
+  // Shortest round-trip form: strtod/from_chars of this text yields the
+  // identical bits, which the serve differential test depends on.
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out->append(buffer, result.ptr);
+}
+
+void AppendQuoted(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escape[8];
+          std::snprintf(escape, sizeof(escape), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out->append(escape);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+bool IsValidUtf8(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    int extra;
+    std::uint32_t cp;
+    if ((c & 0xe0) == 0xc0) {
+      extra = 1;
+      cp = c & 0x1f;
+    } else if ((c & 0xf0) == 0xe0) {
+      extra = 2;
+      cp = c & 0x0f;
+    } else if ((c & 0xf8) == 0xf0) {
+      extra = 3;
+      cp = c & 0x07;
+    } else {
+      return false;
+    }
+    if (i + extra >= text.size()) return false;
+    for (int k = 1; k <= extra; ++k) {
+      const unsigned char follow = static_cast<unsigned char>(text[i + k]);
+      if ((follow & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (follow & 0x3f);
+    }
+    static constexpr std::uint32_t kMin[4] = {0, 0x80, 0x800, 0x10000};
+    if (cp < kMin[extra] || cp > 0x10ffff ||
+        (cp >= 0xd800 && cp <= 0xdfff)) {
+      return false;
+    }
+    i += static_cast<std::size_t>(extra) + 1;
+  }
+  return true;
+}
+
+}  // namespace ecdr::serve::json

@@ -1,0 +1,79 @@
+// Minimal JSON for the serving path — strict RFC 8259 parsing plus a
+// writer whose doubles round-trip bit-for-bit.
+//
+// The parser is the defensive half: depth-limited recursion, UTF-8
+// validation of every string (including \uXXXX escapes and surrogate
+// pairs), and numbers parsed with std::from_chars so anything outside
+// double's finite range (1e999, -1e999) is rejected rather than
+// silently becoming inf. Trailing garbage after the top-level value is
+// an error. The writer is the exactness half: AppendDouble emits the
+// shortest decimal form that parses back to the identical bits
+// (std::to_chars), which is what lets the serve differential test
+// demand byte-for-byte equal distances across the HTTP boundary.
+
+#ifndef ECDR_SERVE_JSON_H_
+#define ECDR_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ecdr::serve::json {
+
+/// One parsed JSON value. A small open struct rather than a class —
+/// request decoding reads a handful of members and the serving layer
+/// never mutates a parsed tree.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member with `key`, or nullptr. Linear — request objects are
+  /// a handful of fields.
+  const Value* Find(std::string_view key) const;
+};
+
+struct ParseLimits {
+  std::size_t max_depth = 64;
+  /// Containers larger than this are rejected (a 1 MiB body can still
+  /// declare millions of elements; this bounds the parsed tree).
+  std::size_t max_elements = 1 << 20;
+};
+
+/// Parses exactly one JSON document spanning all of `text`.
+util::StatusOr<Value> Parse(std::string_view text, ParseLimits limits = {});
+
+// Writer helpers: responses are assembled directly into a string (no
+// intermediate tree) on the hot path.
+
+/// Appends `value` as the shortest decimal that round-trips exactly;
+/// integral values within uint64/int64 print without an exponent.
+/// Non-finite values (never produced by the engine) serialize as null.
+void AppendDouble(std::string* out, double value);
+
+/// Appends `text` as a quoted JSON string, escaping per RFC 8259.
+void AppendQuoted(std::string* out, std::string_view text);
+
+/// True when `text` is well-formed UTF-8 (no overlongs, no surrogates,
+/// max U+10FFFF). Exposed for the parser torture tests.
+bool IsValidUtf8(std::string_view text);
+
+}  // namespace ecdr::serve::json
+
+#endif  // ECDR_SERVE_JSON_H_

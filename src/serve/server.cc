@@ -1,0 +1,833 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "serve/json.h"
+#include "util/stats.h"
+
+namespace ecdr::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = ~std::uint64_t{0};
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// True for a JSON number that is exactly a non-negative integer that
+/// fits `max` (request ids/counts; 3.5 or -1 concepts are nonsense).
+bool AsIndex(const json::Value& value, std::uint64_t max,
+             std::uint64_t* out) {
+  if (!value.is_number()) return false;
+  const double number = value.number;
+  if (!(number >= 0) || number != std::floor(number) ||
+      number > static_cast<double>(max)) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(number);
+  return true;
+}
+
+void AppendCounter(std::string* out, std::string_view name,
+                   std::uint64_t value) {
+  json::AppendQuoted(out, name);
+  *out += ':';
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  HttpParser parser;
+  std::string pending_in;   // bytes read but not yet consumed
+  std::string out;          // response bytes not yet written
+  std::size_t out_offset = 0;
+  std::uint32_t events = 0;  // current epoll interest
+  bool in_flight = false;    // one dispatched request awaits its response
+  bool want_close = false;   // close once `out` is flushed
+  bool peer_eof = false;     // client half-closed; never read again
+  bool dead = false;         // queued for close at end of the iteration
+
+  explicit Connection(HttpParserLimits limits) : parser(limits) {}
+};
+
+struct Server::Job {
+  std::uint64_t conn_id = 0;
+  HttpRequest request;
+  Clock::time_point arrival;
+  bool keep_alive = true;
+};
+
+struct Server::Completion {
+  std::uint64_t conn_id = 0;
+  std::string bytes;
+  bool keep_alive = true;
+};
+
+Server::Server(core::RankingEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+util::Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return util::FailedPreconditionError("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return util::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::InvalidArgumentError("bad bind address '" +
+                                      options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 512) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::IoError("bind/listen " + options_.bind_address + ":" +
+                         std::to_string(options_.port) + ": " + detail);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return util::IoError("epoll_create1/eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  event_thread_ = std::thread([this] { EventLoop(); });
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return util::Status::Ok();
+}
+
+void Server::Stop() {
+  const bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  stopping_.store(true, std::memory_order_release);
+  if (was_running) {
+    queue_cv_.notify_all();
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto ignored =
+        ::write(wake_fd_, &one, sizeof(one));
+    if (event_thread_.joinable()) event_thread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+  // The event thread is gone: tear down its state from here.
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  conns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.clear();
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.requests_received = requests_received_.load(std::memory_order_relaxed);
+  stats.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  stats.shed_engine = shed_engine_.load(std::memory_order_relaxed);
+  stats.deadline_hits = deadline_hits_.load(std::memory_order_relaxed);
+  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  stats.active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queue_depth = queue_.size();
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+
+void Server::EventLoop() {
+  std::vector<std::uint64_t> pending_close;
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/500);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        HandleAccept();
+        continue;
+      }
+      if (id == kWakeId) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        // EPOLLHUP still allows reading buffered bytes, but the
+        // connection is done for our purposes — close it.
+        conn->dead = true;
+      } else {
+        if (events[i].events & EPOLLIN) HandleReadable(conn);
+        if (!conn->dead && (events[i].events & EPOLLOUT)) {
+          HandleWritable(conn);
+        }
+      }
+    }
+    // Close in a sweep after the batch: handlers only mark `dead`, so a
+    // Connection pointer stays valid for the whole iteration even if an
+    // earlier event killed it.
+    pending_close.clear();
+    for (const auto& [id, conn] : conns_) {
+      if (conn->dead) pending_close.push_back(id);
+    }
+    for (const std::uint64_t id : pending_close) CloseConnection(id);
+  }
+}
+
+void Server::HandleAccept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error: wait for epoll
+    }
+    if (conns_.size() >= options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_unique<Connection>(options_.http_limits);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    Connection* raw = conn.get();
+    conns_.emplace(raw->id, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.store(conns_.size(), std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = raw->id;
+    raw->events = EPOLLIN;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  char buffer[64 * 1024];
+  while (!conn->dead && !conn->peer_eof) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->pending_in.append(buffer, static_cast<std::size_t>(n));
+      DrainInput(conn);
+      // Backpressure: once a request is in flight (or a response is
+      // buffered) we stop pulling bytes out of the kernel.
+      if (conn->in_flight || !conn->out.empty()) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_eof = true;
+      if (!conn->in_flight && conn->out.empty()) conn->dead = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->dead = true;
+    break;
+  }
+  if (!conn->dead) UpdateInterest(conn);
+}
+
+void Server::HandleWritable(Connection* conn) {
+  while (!conn->dead && conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    conn->dead = true;  // EPIPE / ECONNRESET / anything else
+    return;
+  }
+  if (conn->out_offset == conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    if (conn->want_close || (conn->peer_eof && !conn->in_flight)) {
+      conn->dead = true;
+      return;
+    }
+    // Flushed: resume the connection — pipelined bytes may already be
+    // buffered.
+    DrainInput(conn);
+  }
+  if (!conn->dead) UpdateInterest(conn);
+}
+
+void Server::DrainInput(Connection* conn) {
+  while (!conn->dead && !conn->want_close && !conn->in_flight &&
+         conn->out.empty() && !conn->pending_in.empty()) {
+    const std::size_t consumed = conn->parser.Feed(conn->pending_in);
+    conn->pending_in.erase(0, consumed);
+    if (conn->parser.failed()) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      const int status = conn->parser.error_status();
+      SendInline(conn, status,
+                 ErrorBody(status, "INVALID_ARGUMENT",
+                           conn->parser.error_detail()),
+                 /*keep_alive=*/false);
+      return;
+    }
+    if (conn->parser.done()) {
+      requests_received_.fetch_add(1, std::memory_order_relaxed);
+      DispatchRequest(conn);
+      conn->parser.Reset();
+      continue;
+    }
+    return;  // needs more bytes
+  }
+}
+
+void Server::DispatchRequest(Connection* conn) {
+  HttpRequest& request = conn->parser.request();
+  const bool keep_alive = request.KeepAlive();
+  if (request.target == "/v1/search") {
+    if (request.method != "POST") {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      SendInline(conn, 405,
+                 ErrorBody(405, "INVALID_ARGUMENT",
+                           "use POST for /v1/search"),
+                 keep_alive);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= options_.max_queue) {
+        lock.unlock();
+        shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        SendInline(conn, 429,
+                   ErrorBody(429, "RESOURCE_EXHAUSTED",
+                             "request queue full"),
+                   keep_alive);
+        return;
+      }
+      Job job;
+      job.conn_id = conn->id;
+      job.request = std::move(request);
+      job.arrival = Clock::now();
+      job.keep_alive = keep_alive;
+      queue_.push_back(std::move(job));
+    }
+    queue_cv_.notify_one();
+    conn->in_flight = true;
+    return;
+  }
+  if (request.method != "GET") {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    SendInline(conn, 405,
+               ErrorBody(405, "INVALID_ARGUMENT", "method not allowed"),
+               keep_alive);
+    return;
+  }
+  if (request.target == "/status") {
+    SendInline(conn, 200, StatusJson(), keep_alive);
+    return;
+  }
+  if (request.target == "/metrics") {
+    conn->out += SerializeResponse(200, "text/plain; version=0.0.4",
+                                   MetricsText(), keep_alive);
+    if (!keep_alive) conn->want_close = true;
+    HandleWritable(conn);
+    return;
+  }
+  if (request.target == "/healthz") {
+    SendInline(conn, 200, "{\"ok\":true}", keep_alive);
+    return;
+  }
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  SendInline(conn, 404,
+             ErrorBody(404, "NOT_FOUND",
+                       "unknown endpoint '" + request.target + "'"),
+             keep_alive);
+}
+
+void Server::SendInline(Connection* conn, int status, std::string body,
+                        bool keep_alive) {
+  conn->out += SerializeResponse(status, "application/json", body,
+                                 keep_alive);
+  if (!keep_alive) conn->want_close = true;
+  // Optimistic flush; small responses almost always fit the socket
+  // buffer, skipping an epoll round-trip.
+  HandleWritable(conn);
+}
+
+void Server::UpdateInterest(Connection* conn) {
+  std::uint32_t events = 0;
+  if (!conn->in_flight && !conn->want_close && !conn->peer_eof &&
+      conn->out.empty()) {
+    events |= EPOLLIN;
+  }
+  if (!conn->out.empty()) events |= EPOLLOUT;
+  if (events == conn->events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->events = events;
+}
+
+void Server::CloseConnection(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died while computing
+    Connection* conn = it->second.get();
+    conn->in_flight = false;
+    conn->out += completion.bytes;
+    if (!completion.keep_alive) conn->want_close = true;
+    HandleWritable(conn);
+    if (!conn->dead) UpdateInterest(conn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+void Server::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    bool keep_alive = job.keep_alive;
+    std::string response = HandleSearch(job, &keep_alive);
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(
+          Completion{job.conn_id, std::move(response), keep_alive});
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto ignored =
+        ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+std::string Server::ErrorBody(int http_status, std::string_view code_name,
+                              std::string_view message) {
+  std::string body = "{\"error\":{\"status\":";
+  body += std::to_string(http_status);
+  body += ",\"code\":";
+  json::AppendQuoted(&body, code_name);
+  body += ",\"message\":";
+  json::AppendQuoted(&body, message);
+  body += "}}";
+  return body;
+}
+
+std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
+  const auto start = Clock::now();
+  queue_wait_.Record(Seconds(start - job.arrival));
+
+  const auto fail = [&](int status, std::string_view code,
+                        std::string_view message) {
+    if (status == 429) {
+      shed_engine_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status == 504) {
+      deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status >= 500) {
+      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(status, "application/json",
+                             ErrorBody(status, code, message), *keep_alive);
+  };
+
+  json::ParseLimits parse_limits;
+  auto parsed = json::Parse(job.request.body, parse_limits);
+  if (!parsed.ok()) {
+    return fail(400, "INVALID_ARGUMENT", parsed.status().message());
+  }
+  if (!parsed->is_object()) {
+    return fail(400, "INVALID_ARGUMENT", "request body must be an object");
+  }
+
+  // Field extraction + validation.
+  std::vector<ontology::ConceptId> concepts;
+  const json::Value* concepts_field = parsed->Find("concepts");
+  if (concepts_field != nullptr) {
+    if (!concepts_field->is_array() || concepts_field->array.empty()) {
+      return fail(400, "INVALID_ARGUMENT",
+                  "'concepts' must be a non-empty array of concept ids");
+    }
+    concepts.reserve(concepts_field->array.size());
+    for (const json::Value& element : concepts_field->array) {
+      std::uint64_t id = 0;
+      if (!AsIndex(element, 0xFFFFFFFFull, &id) ||
+          !engine_->ontology().Contains(
+              static_cast<ontology::ConceptId>(id))) {
+        return fail(400, "INVALID_ARGUMENT", "unknown concept id");
+      }
+      concepts.push_back(static_cast<ontology::ConceptId>(id));
+    }
+  }
+  const json::Value* doc_field = parsed->Find("doc");
+  std::uint64_t doc_id = 0;
+  if (doc_field != nullptr &&
+      !AsIndex(*doc_field, 0xFFFFFFFFull, &doc_id)) {
+    return fail(400, "INVALID_ARGUMENT", "'doc' must be a document id");
+  }
+  if ((doc_field != nullptr) == !concepts.empty()) {
+    return fail(400, "INVALID_ARGUMENT",
+                "pass exactly one of 'concepts' (RDS / SDS by concepts) "
+                "or 'doc' (SDS by document id)");
+  }
+
+  std::uint64_t k = 10;
+  if (const json::Value* k_field = parsed->Find("k")) {
+    if (!AsIndex(*k_field, options_.max_k, &k) || k == 0) {
+      return fail(400, "INVALID_ARGUMENT",
+                  "'k' must be an integer in [1, " +
+                      std::to_string(options_.max_k) + "]");
+    }
+  }
+
+  core::SearchControl control;
+  if (const json::Value* eps_field = parsed->Find("eps_theta")) {
+    if (!eps_field->is_number() || !(eps_field->number >= 0.0) ||
+        eps_field->number > 1.0) {
+      return fail(400, "INVALID_ARGUMENT", "'eps_theta' must be in [0, 1]");
+    }
+    control.error_threshold = eps_field->number;
+  }
+
+  bool sds_by_concepts = false;
+  if (const json::Value* mode_field = parsed->Find("mode")) {
+    if (!mode_field->is_string() ||
+        (mode_field->string != "rds" && mode_field->string != "sds")) {
+      return fail(400, "INVALID_ARGUMENT", "'mode' must be 'rds' or 'sds'");
+    }
+    if (mode_field->string == "sds") sds_by_concepts = !concepts.empty();
+    if (mode_field->string == "rds" && concepts.empty()) {
+      return fail(400, "INVALID_ARGUMENT", "'rds' mode needs 'concepts'");
+    }
+  }
+
+  double budget_seconds = options_.default_deadline_seconds;
+  if (const json::Value* deadline_field = parsed->Find("deadline_ms")) {
+    if (!deadline_field->is_number() || !(deadline_field->number > 0.0)) {
+      return fail(400, "INVALID_ARGUMENT",
+                  "'deadline_ms' must be a positive number");
+    }
+    budget_seconds = deadline_field->number / 1e3;
+  }
+  if (budget_seconds > 0.0) {
+    budget_seconds = std::min(budget_seconds, options_.max_deadline_seconds);
+    // Budgets count from dispatch, so queue wait already burned part of
+    // this one; an over-deadline request is shed without a search.
+    control.deadline = util::Deadline::At(
+        job.arrival + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(budget_seconds)));
+    if (control.deadline.Expired()) {
+      return fail(504, "DEADLINE_EXCEEDED",
+                  "deadline expired before the search started");
+    }
+  }
+
+  core::KndsStats search_stats;
+  control.stats_out = &search_stats;
+  const std::uint32_t want_k = static_cast<std::uint32_t>(k);
+  util::StatusOr<std::vector<core::ScoredDocument>> result =
+      doc_field != nullptr
+          ? engine_->FindSimilar(static_cast<corpus::DocId>(doc_id), want_k,
+                                 control)
+          : sds_by_concepts
+                ? engine_->FindSimilarToConcepts(concepts, want_k, control)
+                : engine_->FindRelevant(concepts, want_k, control);
+  if (!result.ok()) {
+    const util::StatusCode code = result.status().code();
+    return fail(HttpStatusForCode(code), util::StatusCodeName(code),
+                result.status().message());
+  }
+
+  std::string body = "{\"results\":[";
+  bool first = true;
+  for (const core::ScoredDocument& scored : *result) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"id\":";
+    body += std::to_string(scored.id);
+    body += ",\"distance\":";
+    json::AppendDouble(&body, scored.distance);
+    body += ",\"error_bound\":";
+    json::AppendDouble(&body, scored.error_bound);
+    body += '}';
+  }
+  body += "],\"truncated\":";
+  body += search_stats.truncated ? "true" : "false";
+  body += ",\"generation\":";
+  body += std::to_string(engine_->snapshot_stats().generation);
+  body += '}';
+
+  responses_ok_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(Seconds(Clock::now() - job.arrival));
+  return SerializeResponse(200, "application/json", body, *keep_alive);
+}
+
+// ---------------------------------------------------------------------------
+// Observability endpoints
+
+std::string Server::StatusJson() const {
+  const ServerStats server = stats();
+  const core::SnapshotStats snapshot = engine_->snapshot_stats();
+  const core::AdmissionStats admission = engine_->admission_stats();
+  const util::CacheCounters ddq = engine_->ddq_memo_counters();
+  const util::CacheCounters pair = engine_->concept_pair_counters();
+
+  std::string out = "{\"server\":{";
+  AppendCounter(&out, "connections_accepted", server.connections_accepted);
+  out += ',';
+  AppendCounter(&out, "connections_closed", server.connections_closed);
+  out += ',';
+  AppendCounter(&out, "connections_rejected", server.connections_rejected);
+  out += ',';
+  AppendCounter(&out, "active_connections", server.active_connections);
+  out += ',';
+  AppendCounter(&out, "requests_received", server.requests_received);
+  out += ',';
+  AppendCounter(&out, "responses_ok", server.responses_ok);
+  out += ',';
+  AppendCounter(&out, "shed_queue_full", server.shed_queue_full);
+  out += ',';
+  AppendCounter(&out, "shed_engine", server.shed_engine);
+  out += ',';
+  AppendCounter(&out, "deadline_hits", server.deadline_hits);
+  out += ',';
+  AppendCounter(&out, "parse_errors", server.parse_errors);
+  out += ',';
+  AppendCounter(&out, "bad_requests", server.bad_requests);
+  out += ',';
+  AppendCounter(&out, "internal_errors", server.internal_errors);
+  out += ',';
+  AppendCounter(&out, "queue_depth", server.queue_depth);
+  out += "},\"admission\":{";
+  AppendCounter(&out, "admitted", admission.admitted);
+  out += ',';
+  AppendCounter(&out, "rejected", admission.rejected);
+  out += ',';
+  AppendCounter(&out, "abandoned", admission.abandoned);
+  out += ',';
+  AppendCounter(&out, "in_flight", admission.in_flight);
+  out += ',';
+  AppendCounter(&out, "queued", admission.queued);
+  out += "},\"snapshot\":{";
+  AppendCounter(&out, "generation", snapshot.generation);
+  out += ',';
+  AppendCounter(&out, "published", snapshot.published);
+  out += ',';
+  AppendCounter(&out, "acquires", snapshot.acquires);
+  out += ',';
+  AppendCounter(&out, "retired_live", snapshot.retired_live);
+  out += ',';
+  AppendCounter(&out, "index_shards", snapshot.index_shards);
+  out += ',';
+  AppendCounter(&out, "pending_documents", snapshot.pending_documents);
+  out += "},\"caches\":{\"ddq_memo\":{";
+  AppendCounter(&out, "hits", ddq.hits);
+  out += ',';
+  AppendCounter(&out, "misses", ddq.misses);
+  out += ",\"hit_rate\":";
+  json::AppendDouble(&out, ddq.hit_rate());
+  out += "},\"concept_pair\":{";
+  AppendCounter(&out, "hits", pair.hits);
+  out += ',';
+  AppendCounter(&out, "misses", pair.misses);
+  out += ",\"hit_rate\":";
+  json::AppendDouble(&out, pair.hit_rate());
+  out += "}},\"latency\":{";
+  AppendCounter(&out, "count", latency_.TotalCount());
+  out += ",\"p50_s\":";
+  json::AppendDouble(&out, latency_.Quantile(0.50));
+  out += ",\"p95_s\":";
+  json::AppendDouble(&out, latency_.Quantile(0.95));
+  out += ",\"p99_s\":";
+  json::AppendDouble(&out, latency_.Quantile(0.99));
+  out += "}}";
+  return out;
+}
+
+std::string Server::MetricsText() const {
+  const ServerStats server = stats();
+  const core::SnapshotStats snapshot = engine_->snapshot_stats();
+  const core::AdmissionStats admission = engine_->admission_stats();
+  const util::CacheCounters ddq = engine_->ddq_memo_counters();
+  const util::CacheCounters pair = engine_->concept_pair_counters();
+
+  std::string out;
+  out.reserve(4096);
+  const auto counter = [&out](std::string_view name, std::string_view labels,
+                              double value) {
+    out += name;
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    out += ' ';
+    json::AppendDouble(&out, value);
+    out += '\n';
+  };
+
+  out += "# TYPE ecdr_request_latency_seconds histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < latency_.num_buckets(); ++i) {
+    cumulative += latency_.bucket_count(i);
+    out += "ecdr_request_latency_seconds_bucket{le=\"";
+    if (i + 1 == latency_.num_buckets()) {
+      out += "+Inf";
+    } else {
+      json::AppendDouble(&out, latency_.bucket_upper(i));
+    }
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += "ecdr_request_latency_seconds_sum ";
+  json::AppendDouble(&out, latency_.Sum());
+  out += "\necdr_request_latency_seconds_count ";
+  out += std::to_string(latency_.TotalCount());
+  out += '\n';
+
+  out += "# TYPE ecdr_requests_total counter\n";
+  counter("ecdr_requests_total", "outcome=\"ok\"",
+          static_cast<double>(server.responses_ok));
+  counter("ecdr_requests_total", "outcome=\"shed_queue_full\"",
+          static_cast<double>(server.shed_queue_full));
+  counter("ecdr_requests_total", "outcome=\"shed_engine\"",
+          static_cast<double>(server.shed_engine));
+  counter("ecdr_requests_total", "outcome=\"deadline\"",
+          static_cast<double>(server.deadline_hits));
+  counter("ecdr_requests_total", "outcome=\"parse_error\"",
+          static_cast<double>(server.parse_errors));
+  counter("ecdr_requests_total", "outcome=\"bad_request\"",
+          static_cast<double>(server.bad_requests));
+  counter("ecdr_requests_total", "outcome=\"internal_error\"",
+          static_cast<double>(server.internal_errors));
+
+  out += "# TYPE ecdr_admission_total counter\n";
+  counter("ecdr_admission_total", "event=\"admitted\"",
+          static_cast<double>(admission.admitted));
+  counter("ecdr_admission_total", "event=\"rejected\"",
+          static_cast<double>(admission.rejected));
+  counter("ecdr_admission_total", "event=\"abandoned\"",
+          static_cast<double>(admission.abandoned));
+
+  out += "# TYPE ecdr_snapshot_generation gauge\n";
+  counter("ecdr_snapshot_generation", "",
+          static_cast<double>(snapshot.generation));
+  out += "# TYPE ecdr_snapshot_pending_documents gauge\n";
+  counter("ecdr_snapshot_pending_documents", "",
+          static_cast<double>(snapshot.pending_documents));
+  out += "# TYPE ecdr_cache_hit_rate gauge\n";
+  counter("ecdr_cache_hit_rate", "cache=\"ddq_memo\"", ddq.hit_rate());
+  counter("ecdr_cache_hit_rate", "cache=\"concept_pair\"", pair.hit_rate());
+  out += "# TYPE ecdr_connections_active gauge\n";
+  counter("ecdr_connections_active", "",
+          static_cast<double>(server.active_connections));
+  out += "# TYPE ecdr_queue_depth gauge\n";
+  counter("ecdr_queue_depth", "",
+          static_cast<double>(server.queue_depth));
+  return out;
+}
+
+}  // namespace ecdr::serve

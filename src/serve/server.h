@@ -1,0 +1,212 @@
+// ecdr_serve — a single-process epoll HTTP/1.1 + JSON front-end over
+// core::RankingEngine (DESIGN.md, "Serving path").
+//
+// Architecture: one non-blocking event-loop thread owns every socket
+// (accept, read, parse, write — level-triggered epoll), and a fixed
+// pool of worker threads drains a bounded request queue and runs the
+// actual searches. The two halves meet at two queues: completed
+// requests flow event loop -> workers through the bounded job queue
+// (arrivals beyond the bound are shed immediately with HTTP 429), and
+// finished responses flow back through a completion list plus an
+// eventfd wakeup. Workers never touch a socket, so a slow client can
+// not hold a worker hostage, and the event loop never runs a search,
+// so parsing stays responsive under load.
+//
+// Backpressure is per connection: at most one request per connection
+// is in flight, and the event loop stops reading a connection (drops
+// EPOLLIN) from the moment a request is dispatched until its response
+// has been fully flushed. A client that pipelines requests faster than
+// it reads responses is throttled by its own TCP window, not by server
+// memory. Deadlines start at dispatch time, so queue wait burns
+// request budget; a request whose deadline expires while queued is
+// answered 504 without ever reaching the engine, and engine-side
+// shedding (kResourceExhausted) and deadline expiry map to 429/504 via
+// HttpStatusForCode.
+//
+// Endpoints:
+//   POST /v1/search   {"concepts":[..], "k":10, "eps_theta":0.25,
+//                      "deadline_ms":50}            RDS
+//                     {"doc":7, "k":10}             SDS by document id
+//                     {"concepts":[..], "mode":"sds"} SDS by concepts
+//     -> {"results":[{"id":..,"distance":..,"error_bound":..},..],
+//         "truncated":bool, "generation":N}
+//     Distances serialize in shortest-round-trip form: parsing them
+//     back yields bit-identical doubles (the serve differential test
+//     holds the served path to byte-for-byte engine equality).
+//   GET /status       JSON counters: server, admission, snapshot
+//                     generation, cache hit rates, latency quantiles.
+//                     Served inline on the event loop — never queued,
+//                     never shed, so overload can still be observed.
+//   GET /metrics      The same data in Prometheus text exposition
+//                     format (latency histogram as cumulative buckets).
+//   GET /healthz      200 once Start() returned.
+
+#ifndef ECDR_SERVE_SERVER_H_
+#define ECDR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ranking_engine.h"
+#include "serve/http.h"
+#include "util/deadline.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace ecdr::serve {
+
+struct ServerOptions {
+  /// IPv4 dotted-quad to bind; tests and the loadgen use loopback.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read the choice back via port().
+  std::uint16_t port = 0;
+  std::size_t num_workers = 4;
+  /// Bound on requests waiting for a worker. Arrivals beyond it are
+  /// answered 429 by the event loop without queueing anything.
+  std::size_t max_queue = 256;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 4096;
+  HttpParserLimits http_limits;
+  /// Per-search deadline applied when the request body carries no
+  /// deadline_ms. 0 = none. Either way the effective deadline is
+  /// clamped to max_deadline_seconds.
+  double default_deadline_seconds = 0.0;
+  double max_deadline_seconds = 30.0;
+  /// Requests asking for more results than this are rejected 400.
+  std::uint32_t max_k = 10'000;
+};
+
+/// Counter snapshot; cumulative except the gauges at the bottom.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t requests_received = 0;     // complete requests parsed
+  std::uint64_t responses_ok = 0;          // 2xx
+  std::uint64_t shed_queue_full = 0;       // 429, server queue bound
+  std::uint64_t shed_engine = 0;           // 429, engine admission
+  std::uint64_t deadline_hits = 0;         // 504 (queued past deadline
+                                           // or engine kDeadlineExceeded)
+  std::uint64_t parse_errors = 0;          // malformed HTTP (4xx/5xx)
+  std::uint64_t bad_requests = 0;          // well-formed HTTP, bad JSON
+                                           // or unknown route (4xx)
+  std::uint64_t internal_errors = 0;       // 5xx
+  std::size_t active_connections = 0;      // gauge
+  std::size_t queue_depth = 0;             // gauge
+};
+
+class Server {
+ public:
+  /// `engine` is unowned and must outlive the server.
+  Server(core::RankingEngine* engine, ServerOptions options = {});
+  ~Server();  // Stop()s if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the event loop + workers. Fails (rather
+  /// than aborts) on bind/listen errors so callers can retry on
+  /// another port.
+  util::Status Start();
+
+  /// Drains nothing: closes the listener, wakes everyone, joins all
+  /// threads, closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start()); useful with options.port == 0.
+  std::uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+  /// End-to-end /v1/search latency (dispatch -> response ready) and
+  /// the queue-wait component, in seconds.
+  const util::Histogram& latency_histogram() const { return latency_; }
+  const util::Histogram& queue_wait_histogram() const { return queue_wait_; }
+
+ private:
+  struct Connection;
+  struct Job;
+  struct Completion;
+
+  void EventLoop();
+  void WorkerLoop();
+
+  // -- Event-loop-only helpers (no locking needed on Connection) --
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Parses buffered input and dispatches completed requests until the
+  /// connection blocks (needs bytes, has a request in flight, or dies).
+  void DrainInput(Connection* conn);
+  void DispatchRequest(Connection* conn);
+  void SendInline(Connection* conn, int status, std::string body,
+                  bool keep_alive);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(std::uint64_t id);
+  void DrainCompletions();
+
+  // -- Worker-side request handling --
+  /// Runs one search request end to end; returns the response bytes.
+  std::string HandleSearch(const Job& job, bool* keep_alive);
+  std::string StatusJson() const;
+  std::string MetricsText() const;
+  /// JSON error body {"error":{"code":..,"message":..}}.
+  static std::string ErrorBody(int http_status, std::string_view code_name,
+                               std::string_view message);
+
+  core::RankingEngine* engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions ready / stop requested
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  // Connections, owned by the event loop thread exclusively.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Bounded job queue: event loop pushes, workers pop.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  // Completions: workers push, event loop drains on wake_fd_.
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+
+  // Counters (relaxed atomics; consistency across fields is not needed
+  // for monitoring).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_received_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_engine_{0};
+  std::atomic<std::uint64_t> deadline_hits_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
+  std::atomic<std::size_t> active_connections_{0};
+
+  util::Histogram latency_;
+  util::Histogram queue_wait_;
+};
+
+}  // namespace ecdr::serve
+
+#endif  // ECDR_SERVE_SERVER_H_

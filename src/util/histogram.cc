@@ -1,0 +1,100 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace ecdr::util {
+
+Histogram::Histogram(double min_bound, double growth,
+                     std::size_t num_buckets)
+    : min_bound_(min_bound), growth_(growth), counts_(num_buckets) {
+  ECDR_CHECK(min_bound > 0.0);
+  ECDR_CHECK(growth > 1.0);
+  ECDR_CHECK(num_buckets >= 2);
+  // bounds_[i] is the exclusive upper bound of bucket i; the last
+  // bucket needs none. Iterative multiplication keeps adjacent bounds
+  // in the exact ratio `growth`, which the merge-shape check relies on.
+  bounds_.reserve(num_buckets - 1);
+  double bound = min_bound;
+  for (std::size_t i = 0; i + 1 < num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+}
+
+std::size_t Histogram::BucketFor(double value) const {
+  if (std::isnan(value)) return counts_.size() - 1;
+  if (value < min_bound_) return 0;
+  // First bound strictly greater than value -> that bucket holds it.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::Record(double value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::TotalCount() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::bucket_upper(std::size_t i) const {
+  if (i + 1 < counts_.size()) return bounds_[i];
+  return std::numeric_limits<double>::infinity();
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // The last bucket has no finite upper bound; report one growth
+      // step past its lower bound so overflow never returns +inf.
+      if (i + 1 == counts_.size()) return bucket_lower(i) * growth_;
+      return bounds_[i];
+    }
+  }
+  // Concurrent writers can make the per-bucket sum lag total_; fall
+  // back to the largest finite answer.
+  return bucket_lower(counts_.size() - 1) * growth_;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  ECDR_CHECK(SameShape(other));
+  std::uint64_t merged = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    counts_[i].fetch_add(n, std::memory_order_relaxed);
+    merged += n;
+  }
+  total_.fetch_add(merged, std::memory_order_relaxed);
+  const double add = other.Sum();
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (
+      !sum_.compare_exchange_weak(sum, sum + add, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace ecdr::util

@@ -1,0 +1,94 @@
+// Fixed log-spaced latency histogram for the serving path.
+//
+// A Histogram owns a fixed set of buckets whose upper bounds grow
+// geometrically from `min_bound` by `growth` per bucket: bucket 0 is
+// [0, min_bound), bucket i (1 <= i <= n) is [min*g^{i-1}, min*g^i),
+// and the final bucket absorbs everything at or above the last bound
+// (including +inf and, defensively, NaN — nothing recorded is ever
+// dropped, so TotalCount() equals the number of Record calls). The
+// bucket layout is fixed at construction, which is what makes two
+// histograms with the same shape mergeable and makes /metrics output
+// stable across scrapes.
+//
+// Record() is thread-safe and lock-free (one relaxed fetch_add per
+// call plus a CAS loop for the running sum); readers take a consistent
+// -enough view for monitoring without stopping writers. Quantile() is
+// the conservative nearest-rank estimate: it returns the UPPER bound
+// of the bucket containing the requested rank, so reported p99s never
+// understate the true p99 by more than one bucket's width (a factor of
+// `growth`).
+
+#ifndef ECDR_UTIL_HISTOGRAM_H_
+#define ECDR_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ecdr::util {
+
+class Histogram {
+ public:
+  /// `min_bound` > 0, `growth` > 1, `num_buckets` >= 2 (one underflow
+  /// bucket below min_bound, at least one finite range). The defaults
+  /// cover 10us .. ~90s of latency at <= 1.6x resolution.
+  explicit Histogram(double min_bound = 1e-5, double growth = 1.6,
+                     std::size_t num_buckets = 36);
+
+  // Copying would tear concurrent Record()s; merge explicitly instead.
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Thread-safe; every call lands in exactly one bucket.
+  void Record(double value);
+
+  std::uint64_t TotalCount() const;
+  double Sum() const;
+
+  /// Conservative nearest-rank quantile, `q` clamped to [0, 1]: the
+  /// upper bound of the bucket holding the ceil(q * count)-th sample
+  /// (the last bucket reports its lower bound times `growth`). 0 when
+  /// empty.
+  double Quantile(double q) const;
+
+  /// Adds `other`'s counts and sum into this histogram. Both must have
+  /// been constructed with identical (min_bound, growth, num_buckets).
+  /// Safe against concurrent Record()s on either side.
+  void MergeFrom(const Histogram& other);
+
+  /// Resets every counter to zero (not linearizable against concurrent
+  /// writers; meant for tests and between bench sweeps).
+  void Reset();
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive lower bound of bucket i (0 for the underflow bucket).
+  double bucket_lower(std::size_t i) const {
+    return i == 0 ? 0.0 : bounds_[i - 1];
+  }
+  /// Exclusive upper bound of bucket i (+inf for the last bucket).
+  double bucket_upper(std::size_t i) const;
+
+  bool SameShape(const Histogram& other) const {
+    return min_bound_ == other.min_bound_ && growth_ == other.growth_ &&
+           counts_.size() == other.counts_.size();
+  }
+
+ private:
+  std::size_t BucketFor(double value) const;
+
+  double min_bound_;
+  double growth_;
+  std::vector<double> bounds_;  // bounds_[i] = min * growth^i; size n-1.
+  // Sized once at construction and never resized (atomics can't move).
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace ecdr::util
+
+#endif  // ECDR_UTIL_HISTOGRAM_H_

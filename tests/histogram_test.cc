@@ -1,0 +1,201 @@
+// util::Histogram bucket-boundary and merge properties, plus the
+// serving layer's StatusCode -> HTTP mapping checked exhaustively over
+// the enum (the style of the status name-coverage test: adding a code
+// without mapping it fails here, not in production).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/http.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace ecdr::util {
+namespace {
+
+TEST(HistogramTest, BucketBoundariesArePreciseAtEveryEdge) {
+  // min 1.0, growth 2: buckets [0,1) [1,2) [2,4) [4,8) [8,inf).
+  Histogram histogram(1.0, 2.0, 5);
+  ASSERT_EQ(histogram.num_buckets(), 5u);
+  EXPECT_EQ(histogram.bucket_lower(0), 0.0);
+  EXPECT_EQ(histogram.bucket_upper(0), 1.0);
+  EXPECT_EQ(histogram.bucket_lower(3), 4.0);
+  EXPECT_EQ(histogram.bucket_upper(3), 8.0);
+  EXPECT_EQ(histogram.bucket_upper(4),
+            std::numeric_limits<double>::infinity());
+
+  // A value exactly on a bound belongs to the bucket it LOWER-bounds
+  // (ranges are half-open [lower, upper)).
+  histogram.Record(0.0);
+  histogram.Record(0.999);
+  histogram.Record(1.0);
+  histogram.Record(2.0);
+  histogram.Record(3.999);
+  histogram.Record(8.0);
+  histogram.Record(1e9);
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 1u);
+  EXPECT_EQ(histogram.bucket_count(2), 2u);
+  EXPECT_EQ(histogram.bucket_count(3), 0u);
+  EXPECT_EQ(histogram.bucket_count(4), 2u);
+  EXPECT_EQ(histogram.TotalCount(), 7u);
+}
+
+TEST(HistogramTest, NothingRecordedIsEverDropped) {
+  Histogram histogram(1e-5, 1.6, 36);
+  const double values[] = {-1.0,
+                           0.0,
+                           1e-300,
+                           0.5,
+                           1e300,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (const double value : values) histogram.Record(value);
+  EXPECT_EQ(histogram.TotalCount(), 7u);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i < histogram.num_buckets(); ++i) {
+    bucket_sum += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_sum, 7u);
+}
+
+TEST(HistogramTest, SumAndCountTrackRecords) {
+  Histogram histogram;
+  double want_sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    const double value = i * 1e-4;
+    histogram.Record(value);
+    want_sum += value;
+  }
+  EXPECT_EQ(histogram.TotalCount(), 100u);
+  EXPECT_NEAR(histogram.Sum(), want_sum, 1e-12);
+}
+
+TEST(HistogramTest, QuantileIsConservativeWithinOneBucket) {
+  Histogram histogram(1e-3, 2.0, 16);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(1e-3 * (i + 1));
+  for (const double value : values) histogram.Record(value);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const double estimate = histogram.Quantile(q);
+    // Never understates; overstates by at most one bucket (growth 2x).
+    EXPECT_GE(estimate, exact) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0 + 1e-3) << "q=" << q;
+  }
+  // Empty histogram: all quantiles are 0.
+  Histogram empty;
+  EXPECT_EQ(empty.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, MergeEqualsRecordingEverythingInOne) {
+  Histogram a(1e-4, 1.5, 24);
+  Histogram b(1e-4, 1.5, 24);
+  Histogram all(1e-4, 1.5, 24);
+  for (int i = 0; i < 500; ++i) {
+    const double value = std::pow(1.01, i) * 1e-4;
+    ((i % 2 == 0) ? a : b).Record(value);
+    all.Record(value);
+  }
+  EXPECT_TRUE(a.SameShape(b));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.TotalCount(), all.TotalCount());
+  EXPECT_NEAR(a.Sum(), all.Sum(), 1e-9);
+  for (std::size_t i = 0; i < all.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.Quantile(0.95), all.Quantile(0.95));
+
+  Histogram different(1e-4, 2.0, 24);
+  EXPECT_FALSE(a.SameShape(different));
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram histogram;
+  histogram.Record(0.5);
+  histogram.Record(2.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_EQ(histogram.Sum(), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record((t + 1) * 1e-5 + i * 1e-9);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TotalCount(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i < histogram.num_buckets(); ++i) {
+    bucket_sum += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_sum, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// StatusCode -> HTTP status, exhaustively.
+
+TEST(HttpStatusMappingTest, EveryStatusCodeMapsDeliberately) {
+  const struct {
+    StatusCode code;
+    int want;
+  } expected[] = {
+      {StatusCode::kOk, 200},
+      {StatusCode::kInvalidArgument, 400},
+      {StatusCode::kNotFound, 404},
+      {StatusCode::kFailedPrecondition, 409},
+      {StatusCode::kOutOfRange, 400},
+      {StatusCode::kInternal, 500},
+      {StatusCode::kIoError, 500},
+      {StatusCode::kCancelled, 499},
+      {StatusCode::kDeadlineExceeded, 504},
+      {StatusCode::kResourceExhausted, 429},
+  };
+  // The table above must cover the enum: one row per real code.
+  ASSERT_EQ(std::size(expected),
+            static_cast<std::size_t>(StatusCode::kNumStatusCodes));
+  std::set<StatusCode> seen;
+  for (const auto& row : expected) {
+    EXPECT_EQ(serve::HttpStatusForCode(row.code), row.want)
+        << StatusCodeName(row.code);
+    seen.insert(row.code);
+  }
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(StatusCode::kNumStatusCodes));
+
+  // Every mapped status is a valid HTTP status with a reason phrase.
+  for (int c = 0; c < static_cast<int>(StatusCode::kNumStatusCodes); ++c) {
+    const int http = serve::HttpStatusForCode(static_cast<StatusCode>(c));
+    EXPECT_GE(http, 200);
+    EXPECT_LT(http, 600);
+    EXPECT_STRNE(serve::HttpReasonPhrase(http), "Unknown")
+        << "HTTP " << http;
+  }
+}
+
+TEST(HttpStatusMappingTest, ShedAndDeadlineAreRetryableClasses) {
+  // The two overload outcomes the serving tier advertises: 429 tells
+  // the balancer to back off, 504 says the budget ran out. Neither may
+  // drift into the generic 4xx/5xx pools.
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kDeadlineExceeded), 504);
+}
+
+}  // namespace
+}  // namespace ecdr::util

@@ -1,0 +1,357 @@
+// Malformed-input suite for the serving front-end's HTTP parser and
+// strict JSON parser (mirrors corrupt_input_test.cc): every hostile
+// byte sequence must produce a clean 4xx/5xx classification — never a
+// crash, never an accepted smuggle — and a seeded random-splice fuzz
+// loop runs the same state machines under the asan/ubsan preset.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "serve/http.h"
+#include "serve/json.h"
+
+namespace ecdr::serve {
+namespace {
+
+/// Feeds `wire` in one piece; returns the parser for inspection.
+HttpParser Feed(const std::string& wire, HttpParserLimits limits = {}) {
+  HttpParser parser(limits);
+  parser.Feed(wire);
+  return parser;
+}
+
+TEST(HttpParserTest, ParsesSimplePost) {
+  HttpParser parser =
+      Feed("POST /v1/search HTTP/1.1\r\nHost: x\r\nContent-Length: "
+           "2\r\n\r\n{}");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().target, "/v1/search");
+  EXPECT_EQ(parser.request().body, "{}");
+  EXPECT_TRUE(parser.request().KeepAlive());
+}
+
+TEST(HttpParserTest, ParsesChunkedBodyAndHeaderCase) {
+  HttpParser parser =
+      Feed("POST / HTTP/1.1\r\nTRANSFER-ENCODING: chunked\r\n\r\n"
+           "3\r\nabc\r\n0\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "abc");
+  // Header names are lowercased on ingest.
+  EXPECT_NE(parser.request().FindHeader("transfer-encoding"), nullptr);
+}
+
+TEST(HttpParserTest, IncrementalFeedAcrossEveryBoundary) {
+  const std::string wire =
+      "POST /v1/search HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  for (std::size_t split = 1; split < wire.size(); ++split) {
+    HttpParser parser;
+    parser.Feed(std::string_view(wire).substr(0, split));
+    EXPECT_FALSE(parser.failed()) << "split " << split;
+    parser.Feed(std::string_view(wire).substr(split));
+    ASSERT_TRUE(parser.done()) << "split " << split;
+    EXPECT_EQ(parser.request().body, "hello") << "split " << split;
+  }
+}
+
+TEST(HttpParserTest, ConnectionCloseDisablesKeepAlive) {
+  HttpParser parser =
+      Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_FALSE(parser.request().KeepAlive());
+  // HTTP/1.0 defaults to close.
+  HttpParser parser10 = Feed("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(parser10.done());
+  EXPECT_FALSE(parser10.request().KeepAlive());
+}
+
+struct MalformedCase {
+  const char* name;
+  std::string wire;
+  int want_status;  // expected 4xx/5xx classification
+};
+
+std::vector<MalformedCase> MalformedCases() {
+  std::vector<MalformedCase> cases = {
+      {"bare-lf-request-line", "GET / HTTP/1.1\nHost: x\r\n\r\n", 400},
+      {"nul-in-request-line", std::string("GET /\0 HTTP/1.1\r\n\r\n", 19),
+       400},
+      {"missing-version", "GET /\r\n\r\n", 400},
+      {"two-spaces", "GET  / HTTP/1.1\r\n\r\n", 400},
+      {"bad-version", "GET / HTTP/2.0\r\n\r\n", 505},
+      {"lowercase-version", "GET / http/1.1\r\n\r\n", 505},
+      {"target-no-slash", "GET v1/search HTTP/1.1\r\n\r\n", 400},
+      {"control-in-target", "GET /\x01 HTTP/1.1\r\n\r\n", 400},
+      {"header-no-colon", "GET / HTTP/1.1\r\nHostx\r\n\r\n", 400},
+      {"header-space-before-colon", "GET / HTTP/1.1\r\nHost : x\r\n\r\n",
+       400},
+      {"obs-fold", "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n", 400},
+      {"control-in-header-value", "GET / HTTP/1.1\r\nA: b\x01\r\n\r\n", 400},
+      {"content-length-not-a-number",
+       "POST / HTTP/1.1\r\nContent-Length: 2x\r\n\r\n{}", 400},
+      {"content-length-negative",
+       "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+      {"content-length-overflow",
+       "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+       400},
+      {"conflicting-duplicate-content-length",
+       "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}",
+       400},
+      {"smuggle-cl-plus-te",
+       "POST / HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: "
+       "chunked\r\n\r\n0\r\n\r\n",
+       400},
+      {"te-not-chunked",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 501},
+      {"chunk-size-not-hex",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n", 400},
+      {"chunk-size-overflow",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "fffffffffffffffff\r\n",
+       400},
+      {"chunk-data-bad-terminator",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "3\r\nabcXY\r\n",
+       400},
+  };
+  return cases;
+}
+
+TEST(HttpParserTest, MalformedInputsFailCleanly) {
+  for (const MalformedCase& test_case : MalformedCases()) {
+    HttpParser parser = Feed(test_case.wire);
+    EXPECT_TRUE(parser.failed()) << test_case.name;
+    EXPECT_FALSE(parser.done()) << test_case.name;
+    EXPECT_EQ(parser.error_status(), test_case.want_status)
+        << test_case.name << ": " << parser.error_detail();
+  }
+}
+
+TEST(HttpParserTest, LimitsAreEnforced) {
+  HttpParserLimits limits;
+  limits.max_request_line_bytes = 64;
+  limits.max_header_bytes = 128;
+  limits.max_headers = 4;
+  limits.max_body_bytes = 16;
+
+  // Oversized request line -> 431.
+  HttpParser parser =
+      Feed("GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n", limits);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+
+  // Too many headers -> 431.
+  parser = Feed("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\nE: "
+                "5\r\n\r\n",
+                limits);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+
+  // Declared body over the limit -> 413, before any body byte arrives.
+  parser = Feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n", limits);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+
+  // Chunked body crossing the limit -> 413.
+  parser = Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n11\r\n"
+      "0123456789abcdef0\r\n",
+      limits);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, TruncatedRequestsAreJustIncomplete) {
+  const std::string wire =
+      "POST /v1/search HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpParser parser = Feed(wire.substr(0, cut));
+    EXPECT_FALSE(parser.done()) << "cut " << cut;
+    EXPECT_FALSE(parser.failed()) << "cut " << cut << ": "
+                                  << parser.error_detail();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strict JSON
+
+TEST(ServeJsonTest, ParsesRequestShapes) {
+  auto value = json::Parse(
+      "{\"concepts\":[1,2,3],\"k\":10,\"eps_theta\":0.25,"
+      "\"deadline_ms\":50.5,\"mode\":\"rds\"}");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  EXPECT_EQ(value->Find("concepts")->array.size(), 3u);
+  EXPECT_EQ(value->Find("k")->number, 10.0);
+  EXPECT_EQ(value->Find("mode")->string, "rds");
+  EXPECT_EQ(value->Find("nope"), nullptr);
+}
+
+TEST(ServeJsonTest, RejectsMalformedDocuments) {
+  const char* cases[] = {
+      "",
+      "{",
+      "[1,2",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "[1,]",
+      "{'a':1}",
+      "01",
+      "+1",
+      "1.",
+      ".5",
+      "1e",
+      "0x10",
+      "Infinity",
+      "NaN",
+      "tru",
+      "nul",
+      "\"unterminated",
+      "\"bad\\escape\"",
+      "\"bad\\u12g4\"",
+      "{} {}",
+      "1 2",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(json::Parse(text).ok()) << text;
+  }
+}
+
+TEST(ServeJsonTest, RejectsOutOfRangeNumbers) {
+  EXPECT_FALSE(json::Parse("1e999").ok());
+  EXPECT_FALSE(json::Parse("-1e999").ok());
+  EXPECT_FALSE(json::Parse("{\"k\":1e999}").ok());
+  // Subnormal-range and large-but-finite values are fine.
+  EXPECT_TRUE(json::Parse("1e308").ok());
+  EXPECT_TRUE(json::Parse("-2.5e-300").ok());
+}
+
+TEST(ServeJsonTest, RejectsInvalidUtf8) {
+  // Raw invalid bytes inside strings.
+  EXPECT_FALSE(json::Parse("\"\x80\"").ok());          // bare continuation
+  EXPECT_FALSE(json::Parse("\"\xC0\xAF\"").ok());      // overlong '/'
+  EXPECT_FALSE(json::Parse("\"\xED\xA0\x80\"").ok());  // surrogate U+D800
+  EXPECT_FALSE(json::Parse("\"\xF4\x90\x80\x80\"").ok());  // > U+10FFFF
+  EXPECT_FALSE(json::Parse("\"\xC2\"").ok());          // truncated sequence
+  // Escaped lone surrogates.
+  EXPECT_FALSE(json::Parse("\"\\uD800\"").ok());
+  EXPECT_FALSE(json::Parse("\"\\uDC00x\"").ok());
+  // Valid pairs and multibyte sequences pass.
+  EXPECT_TRUE(json::Parse("\"\\uD83D\\uDE00\"").ok());
+  EXPECT_TRUE(json::Parse("\"\xE2\x82\xAC\"").ok());  // euro sign
+
+  EXPECT_TRUE(json::IsValidUtf8("plain ascii"));
+  EXPECT_FALSE(json::IsValidUtf8("\xFF"));
+}
+
+TEST(ServeJsonTest, DepthAndElementLimits) {
+  // Depth counts nesting below the document value, inclusive: with
+  // max_depth 4 a number inside 4 arrays parses, inside 5 does not.
+  json::ParseLimits limits;
+  limits.max_depth = 4;
+  EXPECT_TRUE(json::Parse("[[[[1]]]]", limits).ok());
+  EXPECT_FALSE(json::Parse("[[[[[1]]]]]", limits).ok());
+  // The element budget counts every value, containers included:
+  // "[1,2,3]" is four values.
+  limits = json::ParseLimits{};
+  limits.max_elements = 4;
+  EXPECT_TRUE(json::Parse("[1,2,3]", limits).ok());
+  EXPECT_FALSE(json::Parse("[1,2,3,4]", limits).ok());
+}
+
+TEST(ServeJsonTest, AppendDoubleRoundTripsBits) {
+  const double values[] = {0.0,    -0.0,   1.0,       1.0 / 3.0,
+                           2.5e17, 1e-300, 0.1 + 0.2, 123456.789};
+  for (const double value : values) {
+    std::string text;
+    json::AppendDouble(&text, value);
+    auto parsed = json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    // Bit-exact round trip, the property the differential test rides on.
+    EXPECT_EQ(parsed->number, value) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded splice fuzzing (runs under the asan/ubsan preset via the
+// robustness label): mutate valid wire images and random garbage, feed
+// in random-sized chunks, and require the parser to land in exactly
+// one of {done, failed, needs-more} without ever crashing.
+
+TEST(HttpParserFuzzTest, RandomSplicesNeverCrash) {
+  const std::string valid =
+      "POST /v1/search HTTP/1.1\r\nHost: x\r\nContent-Type: "
+      "application/json\r\nContent-Length: 24\r\n\r\n"
+      "{\"concepts\":[1],\"k\":10}";
+  std::mt19937_64 rng(0xEC0DEu);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string wire = valid;
+    const int splices = 1 + static_cast<int>(rng() % 8);
+    for (int s = 0; s < splices; ++s) {
+      const std::size_t pos = rng() % (wire.size() + 1);
+      switch (rng() % 3) {
+        case 0:  // overwrite a byte
+          if (pos < wire.size()) {
+            wire[pos] = static_cast<char>(rng() % 256);
+          }
+          break;
+        case 1:  // insert a random byte
+          wire.insert(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                      static_cast<char>(rng() % 256));
+          break;
+        case 2:  // delete a byte
+          if (pos < wire.size()) {
+            wire.erase(wire.begin() + static_cast<std::ptrdiff_t>(pos));
+          }
+          break;
+      }
+    }
+    HttpParser parser;
+    std::string_view rest = wire;
+    while (!rest.empty() && !parser.done() && !parser.failed()) {
+      const std::size_t chunk =
+          1 + rng() % std::min<std::size_t>(rest.size(), 64);
+      const std::size_t consumed = parser.Feed(rest.substr(0, chunk));
+      EXPECT_LE(consumed, chunk);
+      rest.remove_prefix(consumed);
+      if (consumed == 0 && !parser.done() && !parser.failed()) {
+        // Parser wants more bytes than this chunk held.
+        rest.remove_prefix(std::min(chunk, rest.size()));
+      }
+    }
+    if (parser.failed()) {
+      EXPECT_GE(parser.error_status(), 400);
+      EXPECT_LT(parser.error_status(), 600);
+    }
+  }
+}
+
+TEST(ServeJsonFuzzTest, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(0xBADF00Du);
+  const std::string seeds[] = {
+      "{\"concepts\":[1,2],\"k\":5,\"eps_theta\":0.5}",
+      "[1,[2,[3,[4]]],\"\\uD83D\\uDE00\",null,true,-1.5e-7]",
+  };
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string text = seeds[iteration % 2];
+    const int splices = 1 + static_cast<int>(rng() % 6);
+    for (int s = 0; s < splices; ++s) {
+      const std::size_t pos = rng() % (text.size() + 1);
+      if (rng() % 2 == 0 && pos < text.size()) {
+        text[pos] = static_cast<char>(rng() % 256);
+      } else {
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<char>(rng() % 256));
+      }
+    }
+    // Must classify, never crash; the value itself is irrelevant.
+    (void)json::Parse(text);
+  }
+}
+
+}  // namespace
+}  // namespace ecdr::serve

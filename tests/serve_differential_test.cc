@@ -1,0 +1,191 @@
+// Bit-identity of the served path: over 20 seeded testbeds, every
+// query answered through ecdr_serve's HTTP + JSON boundary must return
+// exactly the ids, distances and error bounds of a direct
+// RankingEngine::Search on the same snapshot. This holds because the
+// response writer emits shortest-round-trip doubles (std::to_chars)
+// and the test parses them back with the same strict JSON parser the
+// server uses — any formatting shortcut, premature rounding, or
+// per-request option drift (k, eps_theta) breaks it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ranking_engine.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "ontology/generator.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "tests/serve_test_util.h"
+
+namespace ecdr::serve {
+namespace {
+
+ontology::Ontology MakeOntology(std::uint64_t seed) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 600 + (seed % 4) * 200;
+  config.extra_parent_prob = 0.15 * (seed % 3);
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
+
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = 60 + (seed % 5) * 10;
+  config.avg_concepts_per_doc = 10 + (seed % 3) * 5;
+  config.seed = seed * 7919 + 1;
+  auto corpus = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+/// Decodes a /v1/search response body back into scored documents using
+/// the same strict parser the server uses; fails the test on any shape
+/// surprise.
+std::vector<core::ScoredDocument> DecodeResults(const std::string& body) {
+  std::vector<core::ScoredDocument> out;
+  auto parsed = json::Parse(body);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << body;
+  if (!parsed.ok()) return out;
+  const json::Value* results = parsed->Find("results");
+  EXPECT_NE(results, nullptr);
+  if (results == nullptr) return out;
+  EXPECT_TRUE(results->is_array());
+  for (const json::Value& entry : results->array) {
+    EXPECT_TRUE(entry.is_object());
+    const json::Value* id = entry.Find("id");
+    const json::Value* distance = entry.Find("distance");
+    const json::Value* error_bound = entry.Find("error_bound");
+    EXPECT_NE(id, nullptr);
+    EXPECT_NE(distance, nullptr);
+    EXPECT_NE(error_bound, nullptr);
+    if (id == nullptr || distance == nullptr || error_bound == nullptr) {
+      return out;
+    }
+    out.push_back(core::ScoredDocument{
+        static_cast<corpus::DocId>(id->number), distance->number,
+        error_bound->number});
+  }
+  return out;
+}
+
+/// Exact ==, no tolerance: the wire format must round-trip the bits.
+void ExpectBitIdentical(const std::vector<core::ScoredDocument>& want,
+                        const std::vector<core::ScoredDocument>& got,
+                        const char* label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id) << label << " rank " << i;
+    EXPECT_EQ(want[i].distance, got[i].distance) << label << " rank " << i;
+    EXPECT_EQ(want[i].error_bound, got[i].error_bound)
+        << label << " rank " << i;
+  }
+}
+
+std::string ConceptsJson(const std::vector<ontology::ConceptId>& query) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(query[i]);
+  }
+  out += ']';
+  return out;
+}
+
+class ServeDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ServeDifferentialTest, HttpResponsesBitIdenticalToDirectSearch) {
+  const std::uint64_t seed = GetParam();
+  ontology::Ontology ontology = MakeOntology(seed);
+  const corpus::Corpus corpus = MakeCorpus(ontology, seed);
+
+  auto engine = core::RankingEngine::Create(std::move(ontology));
+  ASSERT_TRUE(engine->AddCorpus(corpus).ok());
+
+  Server server(engine.get());  // port 0: ephemeral
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::uint32_t k = 1 + (seed % 3) * 4;  // 1, 5 or 9.
+  const auto rds_queries =
+      corpus::GenerateRdsQueries(corpus, 2, 3 + seed % 3, seed * 13 + 7);
+  const corpus::DocId sds_doc =
+      static_cast<corpus::DocId>(seed % corpus.num_documents());
+
+  // RDS through both paths, default engine options.
+  for (const auto& query : rds_queries) {
+    const auto want = engine->FindRelevant(query, k);
+    ASSERT_TRUE(want.ok());
+    const auto response = serve_test::PostJson(
+        server.port(), "/v1/search",
+        "{\"concepts\":" + ConceptsJson(query) +
+            ",\"k\":" + std::to_string(k) + "}");
+    ASSERT_TRUE(response.transport_ok);
+    ASSERT_TRUE(response.complete);
+    ASSERT_EQ(response.status, 200) << response.body;
+    ExpectBitIdentical(*want, DecodeResults(response.body), "rds");
+  }
+
+  // RDS with a per-request eps_theta override, exercised on both
+  // paths: the HTTP field must reach KndsOptions unmodified.
+  {
+    core::SearchControl control;
+    control.error_threshold = 0.5 * ((seed + 1) % 3);
+    const auto want = engine->FindRelevant(rds_queries[0], k, control);
+    ASSERT_TRUE(want.ok());
+    std::string eps;
+    serve::json::AppendDouble(&eps, control.error_threshold);
+    const auto response = serve_test::PostJson(
+        server.port(), "/v1/search",
+        "{\"concepts\":" + ConceptsJson(rds_queries[0]) +
+            ",\"k\":" + std::to_string(k) + ",\"eps_theta\":" + eps + "}");
+    ASSERT_TRUE(response.transport_ok && response.complete);
+    ASSERT_EQ(response.status, 200) << response.body;
+    ExpectBitIdentical(*want, DecodeResults(response.body), "rds+eps");
+  }
+
+  // SDS by document id.
+  {
+    const auto want = engine->FindSimilar(sds_doc, k);
+    ASSERT_TRUE(want.ok());
+    const auto response = serve_test::PostJson(
+        server.port(), "/v1/search",
+        "{\"doc\":" + std::to_string(sds_doc) +
+            ",\"k\":" + std::to_string(k) + "}");
+    ASSERT_TRUE(response.transport_ok && response.complete);
+    ASSERT_EQ(response.status, 200) << response.body;
+    ExpectBitIdentical(*want, DecodeResults(response.body), "sds");
+  }
+
+  // SDS by explicit concept set (an external query document).
+  {
+    std::vector<ontology::ConceptId> concepts(
+        corpus.document(sds_doc).concepts().begin(),
+        corpus.document(sds_doc).concepts().end());
+    const auto want = engine->FindSimilarToConcepts(concepts, k);
+    ASSERT_TRUE(want.ok());
+    const auto response = serve_test::PostJson(
+        server.port(), "/v1/search",
+        "{\"concepts\":" + ConceptsJson(concepts) +
+            ",\"mode\":\"sds\",\"k\":" + std::to_string(k) + "}");
+    ASSERT_TRUE(response.transport_ok && response.complete);
+    ASSERT_EQ(response.status, 200) << response.body;
+    ExpectBitIdentical(*want, DecodeResults(response.body), "sds-concepts");
+  }
+
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, ServeDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ecdr::serve

@@ -1,0 +1,235 @@
+// Concurrency soak of the serving path: N client threads hammer
+// /v1/search with a mix of valid queries, nanosecond deadlines and
+// malformed bodies while a writer publishes new snapshot generations
+// through the engine's SnapshotBuilder and a poller scrapes /status.
+// Every response must be complete (its body matches its own
+// Content-Length — no torn writes), every status must be one of the
+// contract's codes, and the snapshot generation reported by /status
+// must be monotone non-decreasing across the churn. Runs under the
+// tsan preset (labels: serve, concurrency).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/ranking_engine.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "ontology/generator.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "tests/serve_test_util.h"
+
+namespace ecdr::serve {
+namespace {
+
+constexpr int kClientThreads = 4;
+constexpr int kRequestsPerClient = 30;
+constexpr int kWriterDocs = 60;
+constexpr int kStatusPolls = 40;
+
+TEST(ServeSoakTest, ConcurrentClientsWriterAndPoller) {
+  ontology::OntologyGeneratorConfig onto_config;
+  onto_config.num_concepts = 800;
+  onto_config.seed = 7;
+  auto ontology = ontology::GenerateOntology(onto_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 80;
+  corpus_config.avg_concepts_per_doc = 12;
+  corpus_config.seed = 71;
+  auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+
+  core::RankingEngineOptions engine_options;
+  // Engine admission on, deliberately tight, so kResourceExhausted
+  // (-> 429) and engine-side deadline expiry both get exercised.
+  engine_options.admission.max_in_flight = 2;
+  engine_options.admission.max_queued = 2;
+  auto engine =
+      core::RankingEngine::Create(std::move(*ontology), engine_options);
+  ASSERT_TRUE(engine->AddCorpus(*corpus).ok());
+
+  ServerOptions server_options;
+  server_options.num_workers = 3;
+  server_options.max_queue = 8;  // small: queue-full sheds are expected
+  Server server(engine.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::uint16_t port = server.port();
+
+  const auto queries = corpus::GenerateRdsQueries(*corpus, 8, 4, 2024);
+
+  std::atomic<int> torn_responses{0};
+  std::atomic<int> bad_statuses{0};
+  std::atomic<int> ok_responses{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        std::string body;
+        const int flavor = (t + i) % 5;
+        if (flavor == 4) {
+          body = "{\"concepts\":[1,";  // malformed JSON -> clean 400
+        } else {
+          const auto& query = queries[(t * 7 + i) % queries.size()];
+          body = "{\"concepts\":[";
+          for (std::size_t c = 0; c < query.size(); ++c) {
+            if (c > 0) body += ',';
+            body += std::to_string(query[c]);
+          }
+          body += "],\"k\":5";
+          // Fault injection: a nanosecond budget must come back as a
+          // clean 504, never a hang or a torn response.
+          if (flavor == 3) body += ",\"deadline_ms\":0.000001";
+          body += '}';
+        }
+        const auto response =
+            serve_test::PostJson(port, "/v1/search", body);
+        if (!response.transport_ok || !response.complete) {
+          torn_responses.fetch_add(1);
+          continue;
+        }
+        switch (response.status) {
+          case 200:
+            ok_responses.fetch_add(1);
+            break;
+          case 400:
+          case 429:
+          case 504:
+            break;  // all part of the overload contract
+          default:
+            bad_statuses.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+
+  // Writer: publishes generations through the SnapshotBuilder while
+  // the clients are searching. Builder backpressure (the bounded
+  // pending queue) may reject under churn; that is fine, searches must
+  // not be disturbed either way.
+  std::thread writer([&] {
+    for (int i = 0; i < kWriterDocs; ++i) {
+      const auto& donor =
+          corpus->document(static_cast<corpus::DocId>(
+              i % corpus->num_documents()));
+      std::vector<ontology::ConceptId> concepts(donor.concepts().begin(),
+                                                donor.concepts().end());
+      (void)engine->AddDocument(std::move(concepts));
+      if (i % 8 == 0) engine->Flush();
+    }
+    engine->Flush();
+  });
+
+  // Poller: /status must stay reachable (it is served inline, never
+  // shed) and its generation must never move backwards.
+  std::atomic<int> status_failures{0};
+  std::thread poller([&] {
+    std::uint64_t last_generation = 0;
+    for (int i = 0; i < kStatusPolls; ++i) {
+      const auto response = serve_test::Get(port, "/status");
+      if (!response.transport_ok || !response.complete ||
+          response.status != 200) {
+        status_failures.fetch_add(1);
+        continue;
+      }
+      auto parsed = json::Parse(response.body);
+      if (!parsed.ok() || !parsed->is_object()) {
+        status_failures.fetch_add(1);
+        continue;
+      }
+      const json::Value* snapshot = parsed->Find("snapshot");
+      if (snapshot == nullptr || snapshot->Find("generation") == nullptr) {
+        status_failures.fetch_add(1);
+        continue;
+      }
+      const std::uint64_t generation = static_cast<std::uint64_t>(
+          snapshot->Find("generation")->number);
+      EXPECT_GE(generation, last_generation) << "generation went backwards";
+      last_generation = generation;
+    }
+  });
+
+  for (std::thread& client : clients) client.join();
+  writer.join();
+  poller.join();
+
+  EXPECT_EQ(torn_responses.load(), 0);
+  EXPECT_EQ(bad_statuses.load(), 0);
+  EXPECT_EQ(status_failures.load(), 0);
+  EXPECT_GT(ok_responses.load(), 0);
+
+  // The writer really did publish while clients were in flight.
+  EXPECT_GT(engine->snapshot_stats().generation, 1u);
+
+  // /metrics stays coherent after the storm.
+  const auto metrics = serve_test::Get(port, "/metrics");
+  ASSERT_TRUE(metrics.transport_ok && metrics.complete);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("ecdr_request_latency_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("ecdr_snapshot_generation"),
+            std::string::npos);
+
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.requests_received, 0u);
+  EXPECT_EQ(stats.responses_ok, static_cast<std::uint64_t>(
+                                    ok_responses.load()));
+  server.Stop();
+}
+
+// Stop() under load: shutting the server down while clients are mid
+// request must not crash, deadlock, or leave threads behind; clients
+// simply see resets.
+TEST(ServeSoakTest, StopUnderLoadIsClean) {
+  ontology::OntologyGeneratorConfig onto_config;
+  onto_config.num_concepts = 400;
+  onto_config.seed = 11;
+  auto ontology = ontology::GenerateOntology(onto_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 40;
+  corpus_config.seed = 13;
+  auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  auto engine = core::RankingEngine::Create(std::move(*ontology));
+  ASSERT_TRUE(engine->AddCorpus(*corpus).ok());
+
+  Server server(engine.get());
+  ASSERT_TRUE(server.Start().ok());
+  const std::uint16_t port = server.port();
+  const auto queries = corpus::GenerateRdsQueries(*corpus, 4, 3, 5);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      std::string body = "{\"concepts\":[";
+      for (std::size_t c = 0; c < queries[0].size(); ++c) {
+        if (c > 0) body += ',';
+        body += std::to_string(queries[0][c]);
+      }
+      body += "],\"k\":3}";
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)serve_test::PostJson(port, "/v1/search", body);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.Stop();  // mid-flight
+  stop.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+  // Idempotent double stop.
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ecdr::serve

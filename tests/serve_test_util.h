@@ -1,0 +1,101 @@
+// Minimal blocking HTTP client for the serve tests: one request per
+// connection (Connection: close), response read to EOF and checked
+// against its own Content-Length so a torn response is detected, not
+// silently half-parsed.
+
+#ifndef ECDR_TESTS_SERVE_TEST_UTIL_H_
+#define ECDR_TESTS_SERVE_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace ecdr::serve_test {
+
+struct HttpResponse {
+  bool transport_ok = false;  // connected, wrote, read a response head
+  bool complete = false;      // body length matches Content-Length
+  int status = 0;
+  std::string body;
+};
+
+/// Sends `raw` to 127.0.0.1:`port` on a fresh connection and reads to
+/// EOF.
+inline HttpResponse SendRaw(std::uint16_t port, const std::string& raw) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return response;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return response;
+  }
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n =
+        ::send(fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // The server may legitimately reset mid-upload after rejecting
+      // the request (e.g. oversized body); fall through and try to
+      // read the error response it wrote first.
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string wire;
+  char buffer[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      wire.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+
+  if (wire.rfind("HTTP/1.", 0) != 0 || wire.size() < 12) return response;
+  response.transport_ok = true;
+  response.status = std::atoi(wire.c_str() + 9);
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string::npos) return response;
+  response.body = wire.substr(head_end + 4);
+  const std::size_t cl_pos = wire.find("Content-Length: ");
+  if (cl_pos != std::string::npos && cl_pos < head_end) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::atoll(wire.c_str() + cl_pos + 16));
+    response.complete = response.body.size() == want;
+  }
+  return response;
+}
+
+inline HttpResponse PostJson(std::uint16_t port, const std::string& target,
+                             const std::string& body) {
+  return SendRaw(port, "POST " + target +
+                           " HTTP/1.1\r\nHost: t\r\nContent-Type: "
+                           "application/json\r\nContent-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + body);
+}
+
+inline HttpResponse Get(std::uint16_t port, const std::string& target) {
+  return SendRaw(port, "GET " + target +
+                           " HTTP/1.1\r\nHost: t\r\nConnection: "
+                           "close\r\n\r\n");
+}
+
+}  // namespace ecdr::serve_test
+
+#endif  // ECDR_TESTS_SERVE_TEST_UTIL_H_

@@ -1,0 +1,335 @@
+// ecdr_loadgen — open-loop, closed-connection load generator for
+// ecdr_serve, sweeping offered qps levels and reporting tail latency
+// and shed rate per level (BENCH_serve.json).
+//
+//   # Self-contained: spin up an in-process server over a synthetic
+//   # testbed and sweep it (what CI's smoke job runs):
+//   ecdr_loadgen --qps 100,200,400 --duration_s 5 --out BENCH_serve.json
+//
+//   # Against an external daemon:
+//   ecdr_loadgen --host 127.0.0.1 --port 8080 --qps 500 --duration_s 10
+//
+// Methodology: arrivals are scheduled on a fixed grid (arrival i at
+// start + i/qps) regardless of how the server is doing — the offered
+// load never slows down because responses are late (no closed-loop
+// throttling), and each latency is measured from the *scheduled*
+// arrival, so queueing delay that a coordinated-omission-style
+// generator would hide is charged to the request. Every request uses a
+// fresh connection with Connection: close, the worst case for the
+// server's accept path. Senders are a thread pool pulling arrival
+// indices from one atomic counter; a sender that falls behind fires
+// immediately and the lag shows up as latency, as it should.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ranking_engine.h"
+#include "corpus/query_gen.h"
+#include "serve/server.h"
+#include "tools/serve_testbed.h"
+#include "tools/tool_flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double latency_s = 0.0;
+  int http_status = 0;  // 0 = connect/transport failure
+};
+
+/// One request over a fresh connection; returns the HTTP status code,
+/// or 0 on any transport failure.
+int DoRequest(const sockaddr_in& addr, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return 0;
+  int status = 0;
+  do {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      break;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (sent < request.size()) break;
+    // Connection: close framing — read to EOF, keep only the head.
+    std::string head;
+    char buffer[8192];
+    while (true) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        if (head.size() < 64) {
+          head.append(buffer, static_cast<std::size_t>(n));
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    // "HTTP/1.1 200 OK" -> 200.
+    if (head.size() >= 12 && head.rfind("HTTP/1.", 0) == 0) {
+      status = std::atoi(head.c_str() + 9);
+    }
+  } while (false);
+  ::close(fd);
+  return status;
+}
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct LevelResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;      // 429
+  std::uint64_t deadline = 0;  // 504
+  std::uint64_t errors = 0;    // anything else (incl. transport)
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
+LevelResult RunLevel(const sockaddr_in& addr,
+                     const std::vector<std::string>& requests, double qps,
+                     double duration_s, std::uint32_t senders) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(qps * duration_s + 0.5);
+  std::atomic<std::uint64_t> next{0};
+  std::vector<std::vector<Sample>> per_thread(senders);
+  const Clock::time_point start =
+      Clock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> threads;
+  threads.reserve(senders);
+  for (std::uint32_t t = 0; t < senders; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<Sample>& samples = per_thread[t];
+      while (true) {
+        const std::uint64_t i =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / qps));
+        std::this_thread::sleep_until(scheduled);
+        const int status =
+            DoRequest(addr, requests[i % requests.size()]);
+        samples.push_back(
+            Sample{std::chrono::duration<double>(Clock::now() - scheduled)
+                       .count(),
+                   status});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LevelResult result;
+  result.offered_qps = qps;
+  result.sent = total;
+  std::vector<double> ok_latencies;
+  for (const std::vector<Sample>& samples : per_thread) {
+    for (const Sample& sample : samples) {
+      if (sample.http_status == 200) {
+        ++result.ok;
+        ok_latencies.push_back(sample.latency_s);
+      } else if (sample.http_status == 429) {
+        ++result.shed;
+      } else if (sample.http_status == 504) {
+        ++result.deadline;
+      } else {
+        ++result.errors;
+      }
+    }
+  }
+  result.achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(result.ok) / elapsed : 0.0;
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  result.p50_s = Quantile(ok_latencies, 0.50);
+  result.p95_s = Quantile(ok_latencies, 0.95);
+  result.p99_s = Quantile(ok_latencies, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecdr::tools::Flags flags(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  std::uint32_t port = flags.GetUint32("port", 0);
+  const std::string qps_list = flags.GetString("qps", "100,200,400");
+  const double duration_s = flags.GetDouble("duration_s", 5.0);
+  const std::uint32_t senders = flags.GetUint32("senders", 16);
+  const std::uint32_t k = flags.GetUint32("k", 10);
+  const double eps = flags.GetDouble("eps", -1.0);
+  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const std::uint32_t query_size = flags.GetUint32("query_size", 4);
+  const std::uint32_t num_queries = flags.GetUint32("num_queries", 64);
+  const std::string out_path = flags.GetString("out", "BENCH_serve.json");
+  // Self-serve testbed knobs (used only when --port is absent).
+  const std::string ontology_path = flags.GetString("ontology", "");
+  const std::string corpus_path = flags.GetString("corpus", "");
+  const std::uint32_t gen_concepts = flags.GetUint32("gen_concepts", 20'000);
+  const std::uint32_t gen_docs = flags.GetUint32("gen_docs", 2'000);
+  const std::uint32_t gen_seed = flags.GetUint32("gen_seed", 1);
+  const std::uint32_t workers = flags.GetUint32("workers", 4);
+  const std::uint32_t max_queue = flags.GetUint32("max_queue", 64);
+  flags.CheckAllConsumed();
+
+  // Without --port, host an in-process server over a synthetic testbed
+  // so the benchmark is self-contained.
+  std::unique_ptr<ecdr::core::RankingEngine> engine;
+  std::unique_ptr<ecdr::serve::Server> server;
+  std::vector<std::vector<ecdr::ontology::ConceptId>> queries;
+  if (port == 0) {
+    engine = ecdr::tools::MakeServeEngine(ontology_path, corpus_path,
+                                          gen_concepts, gen_docs, gen_seed,
+                                          {});
+    if (engine == nullptr) return 1;
+    queries = ecdr::corpus::GenerateRdsQueries(engine->corpus(), num_queries,
+                                               query_size, gen_seed * 97 + 3);
+    ecdr::serve::ServerOptions server_options;
+    server_options.num_workers = workers;
+    server_options.max_queue = max_queue;
+    server = std::make_unique<ecdr::serve::Server>(engine.get(),
+                                                   server_options);
+    const ecdr::util::Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+    std::printf("self-serve testbed up on port %u\n", port);
+  } else {
+    // Against an external server the query pool is synthetic ids; the
+    // server validates them, so generate from the same testbed config.
+    auto shadow = ecdr::tools::MakeServeEngine(ontology_path, corpus_path,
+                                               gen_concepts, gen_docs,
+                                               gen_seed, {});
+    if (shadow == nullptr) return 1;
+    queries = ecdr::corpus::GenerateRdsQueries(shadow->corpus(), num_queries,
+                                               query_size, gen_seed * 97 + 3);
+  }
+
+  // Pre-render every request: the send path does no formatting.
+  std::vector<std::string> requests;
+  requests.reserve(queries.size());
+  for (const std::vector<ecdr::ontology::ConceptId>& query : queries) {
+    std::string body = "{\"concepts\":[";
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      if (i > 0) body += ',';
+      body += std::to_string(query[i]);
+    }
+    body += "],\"k\":" + std::to_string(k);
+    if (eps >= 0.0) body += ",\"eps_theta\":" + std::to_string(eps);
+    if (deadline_ms > 0.0) {
+      body += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+    }
+    body += '}';
+    std::string request = "POST /v1/search HTTP/1.1\r\nHost: " + host +
+                          "\r\nContent-Type: application/json\r\n"
+                          "Content-Length: " +
+                          std::to_string(body.size()) +
+                          "\r\nConnection: close\r\n\r\n" + body;
+    requests.push_back(std::move(request));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad --host '%s' (IPv4 only)\n", host.c_str());
+    return 2;
+  }
+
+  std::vector<LevelResult> results;
+  for (std::string_view level : ecdr::util::Split(qps_list, ',')) {
+    double qps = 0.0;
+    if (!ecdr::util::ParseDouble(std::string(level), &qps) || qps <= 0.0) {
+      std::fprintf(stderr, "bad qps level '%s'\n",
+                   std::string(level).c_str());
+      return 2;
+    }
+    LevelResult result =
+        RunLevel(addr, requests, qps, duration_s, senders);
+    std::printf(
+        "qps %7.1f offered | %7.1f ok-throughput | ok %llu shed %llu "
+        "deadline %llu err %llu | p50 %.3fms p95 %.3fms p99 %.3fms\n",
+        result.offered_qps, result.achieved_qps,
+        static_cast<unsigned long long>(result.ok),
+        static_cast<unsigned long long>(result.shed),
+        static_cast<unsigned long long>(result.deadline),
+        static_cast<unsigned long long>(result.errors),
+        result.p50_s * 1e3, result.p95_s * 1e3, result.p99_s * 1e3);
+    std::fflush(stdout);
+    results.push_back(result);
+  }
+
+  if (server != nullptr) server->Stop();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"serve\",\n  \"duration_s\": %g,\n"
+               "  \"senders\": %u,\n  \"levels\": [\n",
+               duration_s, senders);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LevelResult& r = results[i];
+    const double shed_rate =
+        r.sent > 0 ? static_cast<double>(r.shed) /
+                         static_cast<double>(r.sent)
+                   : 0.0;
+    std::fprintf(out,
+                 "    {\"offered_qps\": %g, \"achieved_qps\": %.2f, "
+                 "\"sent\": %llu, \"ok\": %llu, \"shed\": %llu, "
+                 "\"deadline\": %llu, \"errors\": %llu, "
+                 "\"shed_rate\": %.4f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 r.offered_qps, r.achieved_qps,
+                 static_cast<unsigned long long>(r.sent),
+                 static_cast<unsigned long long>(r.ok),
+                 static_cast<unsigned long long>(r.shed),
+                 static_cast<unsigned long long>(r.deadline),
+                 static_cast<unsigned long long>(r.errors), shed_rate,
+                 r.p50_s * 1e3, r.p95_s * 1e3, r.p99_s * 1e3,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// ecdr_serve — the serving daemon: an epoll HTTP/1.1 + JSON front-end
+// over one RankingEngine (see src/serve/server.h for the protocol and
+// DESIGN.md, "Serving path" for the architecture).
+//
+//   # Serve an ontology + corpus from disk on port 8080:
+//   ecdr_serve --ontology onto.txt --corpus corpus.txt --port 8080
+//
+//   # Self-contained synthetic testbed (no data files needed):
+//   ecdr_serve --gen_concepts 20000 --gen_docs 2000 --port 8080
+//
+//   curl -d '{"concepts":[17,42],"k":5}' localhost:8080/v1/search
+//   curl localhost:8080/status
+//   curl localhost:8080/metrics
+//
+// Engine knobs mirror ecdr_query: --threads (intra-query lanes), --eps
+// (engine-wide error threshold; requests can override per call),
+// --shards. Serving knobs: --workers, --max_queue (shed beyond it with
+// 429), --max_in_flight/--max_queued (engine admission control),
+// --default_deadline_ms. Runs until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "core/ranking_engine.h"
+#include "serve/server.h"
+#include "tools/serve_testbed.h"
+#include "tools/tool_flags.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecdr::tools::Flags flags(argc, argv);
+  const std::string ontology_path = flags.GetString("ontology", "");
+  const std::string corpus_path = flags.GetString("corpus", "");
+  const std::uint32_t gen_concepts = flags.GetUint32("gen_concepts", 20'000);
+  const std::uint32_t gen_docs = flags.GetUint32("gen_docs", 2'000);
+  const std::uint32_t gen_seed = flags.GetUint32("gen_seed", 1);
+
+  ecdr::serve::ServerOptions server_options;
+  server_options.bind_address = flags.GetString("bind", "127.0.0.1");
+  server_options.port =
+      static_cast<std::uint16_t>(flags.GetUint32("port", 8080));
+  server_options.num_workers = flags.GetUint32("workers", 4);
+  server_options.max_queue = flags.GetUint32("max_queue", 256);
+  server_options.default_deadline_seconds =
+      flags.GetDouble("default_deadline_ms", 0.0) / 1e3;
+
+  ecdr::core::RankingEngineOptions engine_options;
+  engine_options.knds.num_threads = flags.GetUint32("threads", 1);
+  engine_options.knds.error_threshold = flags.GetDouble("eps", 0.25);
+  engine_options.snapshot.num_shards = flags.GetUint32("shards", 1);
+  engine_options.admission.max_in_flight = flags.GetUint32("max_in_flight", 0);
+  engine_options.admission.max_queued = flags.GetUint32("max_queued", 0);
+  flags.CheckAllConsumed();
+
+  auto engine = ecdr::tools::MakeServeEngine(
+      ontology_path, corpus_path, gen_concepts, gen_docs, gen_seed,
+      engine_options);
+  if (engine == nullptr) return 1;
+  std::printf("engine ready: %u concepts, %zu documents\n",
+              engine->ontology().num_concepts(),
+              static_cast<std::size_t>(engine->corpus().num_documents()));
+
+  ecdr::serve::Server server(engine.get(), server_options);
+  const ecdr::util::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (%zu workers, queue bound %zu)\n",
+              server_options.bind_address.c_str(), server.port(),
+              server_options.num_workers, server_options.max_queue);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const ecdr::serve::ServerStats stats = server.stats();
+  server.Stop();
+  std::printf(
+      "served %llu requests (%llu ok, %llu shed, %llu deadline); bye\n",
+      static_cast<unsigned long long>(stats.requests_received),
+      static_cast<unsigned long long>(stats.responses_ok),
+      static_cast<unsigned long long>(stats.shed_queue_full +
+                                      stats.shed_engine),
+      static_cast<unsigned long long>(stats.deadline_hits));
+  return 0;
+}

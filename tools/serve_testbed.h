@@ -1,0 +1,66 @@
+// Shared engine bootstrap for the serving tools (ecdr_serve,
+// ecdr_loadgen): either load an ontology + corpus from disk or generate
+// a synthetic SNOMED-like testbed, so both tools run self-contained
+// (CI smoke needs no data files).
+
+#ifndef ECDR_TOOLS_SERVE_TESTBED_H_
+#define ECDR_TOOLS_SERVE_TESTBED_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/ranking_engine.h"
+#include "corpus/generator.h"
+#include "ontology/generator.h"
+
+namespace ecdr::tools {
+
+/// Loads `ontology_path` + `corpus_path` when both are given, otherwise
+/// generates a synthetic testbed of `gen_concepts` concepts and
+/// `gen_docs` documents (deterministic in `gen_seed`). Returns null
+/// after printing the error.
+inline std::unique_ptr<core::RankingEngine> MakeServeEngine(
+    const std::string& ontology_path, const std::string& corpus_path,
+    std::uint32_t gen_concepts, std::uint32_t gen_docs,
+    std::uint64_t gen_seed, core::RankingEngineOptions options) {
+  if (!ontology_path.empty() && !corpus_path.empty()) {
+    auto engine = core::RankingEngine::CreateFromFiles(
+        ontology_path, corpus_path, std::move(options));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return nullptr;
+    }
+    return std::move(engine).value();
+  }
+  ontology::OntologyGeneratorConfig onto_config;
+  onto_config.num_concepts = gen_concepts;
+  onto_config.seed = gen_seed;
+  auto onto = ontology::GenerateOntology(onto_config);
+  if (!onto.ok()) {
+    std::fprintf(stderr, "%s\n", onto.status().ToString().c_str());
+    return nullptr;
+  }
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = gen_docs;
+  corpus_config.avg_concepts_per_doc = 40.0;
+  corpus_config.seed = gen_seed * 31 + 7;
+  auto docs = corpus::GenerateCorpus(*onto, corpus_config);
+  if (!docs.ok()) {
+    std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
+    return nullptr;
+  }
+  auto engine =
+      core::RankingEngine::Create(std::move(*onto), std::move(options));
+  const util::Status added = engine->AddCorpus(*docs);
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.ToString().c_str());
+    return nullptr;
+  }
+  return engine;
+}
+
+}  // namespace ecdr::tools
+
+#endif  // ECDR_TOOLS_SERVE_TESTBED_H_
