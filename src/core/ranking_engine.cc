@@ -178,7 +178,9 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
   Knds knds(snap->corpus, snap->index, &drc, per_call, pool_.get(),
             &ddq_memo_);
   util::StatusOr<std::vector<ScoredDocument>> result = search(&knds, *snap);
-  if (control.stats_out != nullptr) *control.stats_out = knds.last_stats();
+  if (result.ok() && control.stats_out != nullptr) {
+    *control.stats_out = knds.last_stats();
+  }
   last_stats_.store(std::make_shared<const KndsStats>(knds.last_stats()),
                     std::memory_order_release);
   return result;

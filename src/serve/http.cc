@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 #include "util/string_util.h"
 
@@ -35,6 +36,25 @@ std::string ToLower(std::string_view text) {
   std::string out(text);
   for (char& c : out) c = static_cast<char>(std::tolower(
       static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Client bytes echoed into an error detail: keep printable ASCII,
+// hex-escape everything else so the JSON error body stays valid UTF-8
+// (AppendQuoted escapes control bytes but passes >= 0x80 through).
+std::string SanitizeForError(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7f) {
+      out.push_back(c);
+    } else {
+      char escape[8];
+      std::snprintf(escape, sizeof(escape), "\\x%02x", u);
+      out.append(escape);
+    }
+  }
   return out;
 }
 
@@ -141,7 +161,7 @@ std::size_t HttpParser::Feed(std::string_view input) {
               !std::all_of(size_text.begin(), size_text.end(), [](char h) {
                 return std::isxdigit(static_cast<unsigned char>(h));
               })) {
-            Fail(400, "malformed chunk size '" + std::string(size_text) +
+            Fail(400, "malformed chunk size '" + SanitizeForError(size_text) +
                           "'");
             break;
           }
@@ -154,7 +174,11 @@ std::size_t HttpParser::Feed(std::string_view input) {
                            : std::tolower(static_cast<unsigned char>(h)) -
                                  'a' + 10);
           }
-          if (request_.body.size() + size > limits_.max_body_bytes) {
+          // Two-clause check: 16 hex digits can declare a size near
+          // 2^64, so `body.size() + size` alone could wrap past the
+          // limit after a prior non-empty chunk.
+          if (size > limits_.max_body_bytes ||
+              request_.body.size() + size > limits_.max_body_bytes) {
             Fail(413, "chunked body exceeds " +
                           std::to_string(limits_.max_body_bytes) + " bytes");
             break;
@@ -236,7 +260,8 @@ void HttpParser::ParseRequestLine(std::string_view line) {
   } else if (version == "HTTP/1.0") {
     request_.version_minor = 0;
   } else {
-    Fail(505, "unsupported protocol version '" + std::string(version) + "'");
+    Fail(505, "unsupported protocol version '" + SanitizeForError(version) +
+                  "'");
     return;
   }
   request_.method = std::string(method);
@@ -301,8 +326,8 @@ void HttpParser::FinishHeaders() {
       return;
     }
     if (!EqualsIgnoreCase(*transfer_encoding, "chunked")) {
-      Fail(501, "unsupported transfer encoding '" + *transfer_encoding +
-                    "'");
+      Fail(501, "unsupported transfer encoding '" +
+                    SanitizeForError(*transfer_encoding) + "'");
       return;
     }
     chunked_ = true;
@@ -317,12 +342,14 @@ void HttpParser::FinishHeaders() {
                      [](char c) {
                        return std::isdigit(static_cast<unsigned char>(c));
                      })) {
-      Fail(400, "malformed Content-Length '" + *content_length + "'");
+      Fail(400, "malformed Content-Length '" +
+                    SanitizeForError(*content_length) + "'");
       return;
     }
     std::uint64_t length = 0;
     if (!util::ParseUint64(*content_length, &length)) {
-      Fail(400, "unparseable Content-Length '" + *content_length + "'");
+      Fail(400, "unparseable Content-Length '" +
+                    SanitizeForError(*content_length) + "'");
       return;
     }
     if (length > limits_.max_body_bytes) {

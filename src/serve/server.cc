@@ -163,6 +163,7 @@ void Server::Stop() {
     if (conn->fd >= 0) ::close(conn->fd);
   }
   conns_.clear();
+  dead_conns_.clear();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.clear();
@@ -208,7 +209,6 @@ ServerStats Server::stats() const {
 // Event loop
 
 void Server::EventLoop() {
-  std::vector<std::uint64_t> pending_close;
   epoll_event events[64];
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/500);
@@ -232,7 +232,7 @@ void Server::EventLoop() {
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
         // EPOLLHUP still allows reading buffered bytes, but the
         // connection is done for our purposes — close it.
-        conn->dead = true;
+        MarkDead(conn);
       } else {
         if (events[i].events & EPOLLIN) HandleReadable(conn);
         if (!conn->dead && (events[i].events & EPOLLOUT)) {
@@ -240,14 +240,11 @@ void Server::EventLoop() {
         }
       }
     }
-    // Close in a sweep after the batch: handlers only mark `dead`, so a
+    // Close in a sweep after the batch: handlers only MarkDead(), so a
     // Connection pointer stays valid for the whole iteration even if an
     // earlier event killed it.
-    pending_close.clear();
-    for (const auto& [id, conn] : conns_) {
-      if (conn->dead) pending_close.push_back(id);
-    }
-    for (const std::uint64_t id : pending_close) CloseConnection(id);
+    for (const std::uint64_t id : dead_conns_) CloseConnection(id);
+    dead_conns_.clear();
   }
 }
 
@@ -295,12 +292,12 @@ void Server::HandleReadable(Connection* conn) {
     }
     if (n == 0) {
       conn->peer_eof = true;
-      if (!conn->in_flight && conn->out.empty()) conn->dead = true;
+      if (!conn->in_flight && conn->out.empty()) MarkDead(conn);
       break;
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    conn->dead = true;
+    MarkDead(conn);
     break;
   }
   if (!conn->dead) UpdateInterest(conn);
@@ -317,14 +314,14 @@ void Server::HandleWritable(Connection* conn) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    conn->dead = true;  // EPIPE / ECONNRESET / anything else
+    MarkDead(conn);  // EPIPE / ECONNRESET / anything else
     return;
   }
   if (conn->out_offset == conn->out.size()) {
     conn->out.clear();
     conn->out_offset = 0;
     if (conn->want_close || (conn->peer_eof && !conn->in_flight)) {
-      conn->dead = true;
+      MarkDead(conn);
       return;
     }
     // Flushed: resume the connection — pipelined bytes may already be
@@ -429,6 +426,12 @@ void Server::SendInline(Connection* conn, int status, std::string body,
   // Optimistic flush; small responses almost always fit the socket
   // buffer, skipping an epoll round-trip.
   HandleWritable(conn);
+}
+
+void Server::MarkDead(Connection* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  dead_conns_.push_back(conn->id);
 }
 
 void Server::UpdateInterest(Connection* conn) {

@@ -150,6 +150,10 @@ class Server {
   void SendInline(Connection* conn, int status, std::string body,
                   bool keep_alive);
   void UpdateInterest(Connection* conn);
+  /// Marks the connection for close and records its id in dead_conns_;
+  /// the actual close happens in a sweep after the epoll batch, so a
+  /// Connection pointer stays valid for the whole iteration.
+  void MarkDead(Connection* conn);
   void CloseConnection(std::uint64_t id);
   void DrainCompletions();
 
@@ -178,6 +182,9 @@ class Server {
   // Connections, owned by the event loop thread exclusively.
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
   std::uint64_t next_conn_id_ = 1;
+  /// Ids marked dead during the current epoll batch, closed in a sweep
+  /// at the end of it (avoids rescanning conns_ every iteration).
+  std::vector<std::uint64_t> dead_conns_;
 
   // Bounded job queue: event loop pushes, workers pop.
   mutable std::mutex queue_mutex_;

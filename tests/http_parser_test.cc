@@ -163,6 +163,30 @@ TEST(HttpParserTest, LimitsAreEnforced) {
       limits);
   EXPECT_TRUE(parser.failed());
   EXPECT_EQ(parser.error_status(), 413);
+
+  // Wrap attack: after a small accepted chunk, a declared size near
+  // 2^64 must still 413 — `body.size() + size` alone would overflow
+  // right past the limit check and admit an unbounded body.
+  parser = Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n"
+      "ffffffffffffffff\r\n",
+      limits);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, ErrorDetailsEscapeNonAsciiClientBytes) {
+  // Raw high bytes in a chunk-size line are echoed into the error
+  // detail; they must come back hex-escaped so the JSON error body
+  // stays valid UTF-8.
+  HttpParser parser = Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\x80\xff\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+  for (const char c : parser.error_detail()) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+    EXPECT_LT(static_cast<unsigned char>(c), 0x7f);
+  }
 }
 
 TEST(HttpParserTest, TruncatedRequestsAreJustIncomplete) {
