@@ -1,0 +1,250 @@
+// Persistence benchmark: what durability costs and what recovery
+// saves. Four phases over one generated corpus and one mixed
+// add/delete/update workload:
+//
+//   write fsync=always   the honest write path — every publish fsyncs
+//   write fsync=never    the OS-buffered floor (bulk loads, tests)
+//   boot replay-wal      Open() re-applying every WAL record
+//   boot from-image      Open() after a checkpoint (mmap + verify; the
+//                        index rebuild and Dewey DFS are skipped)
+//
+// plus the checkpoint write itself (image bytes included). The two
+// boot rows are the headline: recovery cost must scale with the WAL
+// suffix, not corpus size, once a checkpoint exists. Steady-state
+// assertions fail hard: recovered engines must report the workload's
+// exact LSN, and the from-image boot must replay zero records.
+// Results land in BENCH_persistence.json; `--smoke` bounds the
+// workload so CI keeps the binary honest.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/ranking_engine.h"
+#include "ontology/generator.h"
+#include "storage/env.h"
+#include "storage/image.h"
+#include "storage/store.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using ecdr::util::TablePrinter;
+
+struct Row {
+  std::string phase;
+  std::uint64_t ops = 0;      // workload ops or WAL records replayed
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  std::uint64_t bytes = 0;    // WAL or image size after the phase
+};
+
+struct Op {
+  enum Kind { kAdd, kDelete, kUpdate };
+  Kind kind = kAdd;
+  ecdr::corpus::DocId target = 0;
+  std::vector<ecdr::ontology::ConceptId> concepts;
+};
+
+std::vector<Op> MakeWorkload(std::uint64_t seed, std::uint32_t num_concepts,
+                             std::size_t count) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> kind_dist(0, 9);
+  std::uniform_int_distribution<std::uint32_t> size_dist(4, 24);
+  std::uniform_int_distribution<std::uint32_t> id_dist(0, num_concepts - 1);
+  std::vector<Op> ops;
+  std::vector<ecdr::corpus::DocId> live;
+  ecdr::corpus::DocId next_id = 0;
+  while (ops.size() < count) {
+    const int roll = kind_dist(rng);
+    if (roll < 7 || live.size() < 2) {
+      std::vector<ecdr::ontology::ConceptId> concepts(size_dist(rng));
+      for (auto& c : concepts) c = id_dist(rng);
+      std::sort(concepts.begin(), concepts.end());
+      concepts.erase(std::unique(concepts.begin(), concepts.end()),
+                     concepts.end());
+      ops.push_back(Op{Op::kAdd, 0, std::move(concepts)});
+      live.push_back(next_id++);
+    } else {
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      const std::size_t at = pick(rng);
+      if (roll < 9) {
+        ops.push_back(Op{Op::kDelete, live[at], {}});
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      } else {
+        std::vector<ecdr::ontology::ConceptId> concepts{id_dist(rng)};
+        ops.push_back(Op{Op::kUpdate, live[at], std::move(concepts)});
+      }
+    }
+  }
+  return ops;
+}
+
+void ApplyWorkload(ecdr::core::RankingEngine* engine,
+                   const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kAdd:
+        ECDR_CHECK(engine->AddDocument(op.concepts).ok());
+        break;
+      case Op::kDelete:
+        ECDR_CHECK(engine->DeleteDocument(op.target).ok());
+        break;
+      case Op::kUpdate:
+        ECDR_CHECK(engine->UpdateDocument(op.target, op.concepts).ok());
+        break;
+    }
+  }
+}
+
+void WipeDir(const std::string& dir) {
+  const auto entries = ecdr::storage::Env::Posix()->ListDir(dir);
+  if (!entries.ok()) return;
+  for (const std::string& entry : *entries) {
+    std::remove((dir + "/" + entry).c_str());
+  }
+}
+
+void WriteJson(const std::vector<Row>& rows, double scale, bool smoke,
+               const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  std::fprintf(file, "{\n  \"benchmark\": \"persistence\",\n");
+  std::fprintf(file, "  \"scale\": %.4f,\n", scale);
+  std::fprintf(file, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"phase\": \"%s\", \"ops\": %llu, \"seconds\": %.4f, "
+                 "\"ops_per_sec\": %.1f, \"bytes\": %llu}%s\n",
+                 row.phase.c_str(), static_cast<unsigned long long>(row.ops),
+                 row.seconds, row.ops_per_sec,
+                 static_cast<unsigned long long>(row.bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string data_dir = "bench_persistence_data";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--data_dir=", 11) == 0) data_dir = argv[i] + 11;
+  }
+  const double scale = ecdr::bench::ScaleFromEnv();
+  const std::size_t num_ops = static_cast<std::size_t>(
+      (smoke ? 200 : 4000) * std::max(scale, 0.05));
+
+  ecdr::ontology::OntologyGeneratorConfig onto_config;
+  onto_config.num_concepts =
+      static_cast<std::uint32_t>(std::max(500.0, 20'000 * scale));
+  onto_config.seed = 7;
+  auto ontology_or = ecdr::ontology::GenerateOntology(onto_config);
+  ECDR_CHECK(ontology_or.ok());
+  const auto ops = MakeWorkload(11, onto_config.num_concepts, num_ops);
+
+  std::printf(
+      "Persistence: WAL write cost, checkpoint cost, and recovery time\n"
+      "%u concepts, %zu lifecycle ops, data dir '%s'\n\n",
+      onto_config.num_concepts, ops.size(), data_dir.c_str());
+
+  const auto fresh_ontology = [&] {
+    auto o = ecdr::ontology::GenerateOntology(onto_config);
+    ECDR_CHECK(o.ok());
+    return std::move(o).value();
+  };
+
+  std::vector<Row> rows;
+  const auto run_write_phase = [&](const char* phase,
+                                   ecdr::storage::StoreOptions::FsyncMode
+                                       fsync_mode) {
+    WipeDir(data_dir);
+    ecdr::core::RankingEngineOptions options;
+    options.storage.data_dir = data_dir;
+    options.storage.fsync_mode = fsync_mode;
+    auto engine = ecdr::core::RankingEngine::Open(fresh_ontology(), options);
+    ECDR_CHECK(engine.ok());
+    ecdr::util::WallTimer timer;
+    ApplyWorkload(engine->get(), ops);
+    ECDR_CHECK((*engine)->SyncDurability().ok());
+    const double seconds = timer.ElapsedSeconds();
+    const auto stats = (*engine)->durability_stats().store;
+    ECDR_CHECK_EQ(stats.last_lsn, ops.size());
+    rows.push_back(Row{phase, ops.size(), seconds,
+                       static_cast<double>(ops.size()) / seconds,
+                       stats.wal_bytes});
+  };
+
+  run_write_phase("write fsync=always",
+                  ecdr::storage::StoreOptions::FsyncMode::kAlways);
+  run_write_phase("write fsync=never",
+                  ecdr::storage::StoreOptions::FsyncMode::kNever);
+
+  // The fsync=never directory (full WAL, no image) is what the replay
+  // boot recovers.
+  ecdr::core::RankingEngineOptions durable_options;
+  durable_options.storage.data_dir = data_dir;
+  {
+    ecdr::util::WallTimer timer;
+    auto engine =
+        ecdr::core::RankingEngine::Open(fresh_ontology(), durable_options);
+    const double seconds = timer.ElapsedSeconds();
+    ECDR_CHECK(engine.ok());
+    const auto stats = (*engine)->durability_stats().store;
+    ECDR_CHECK_EQ(stats.records_replayed, ops.size());
+    ECDR_CHECK_EQ(stats.last_lsn, ops.size());
+    rows.push_back(Row{"boot replay-wal", stats.records_replayed, seconds,
+                       static_cast<double>(stats.records_replayed) / seconds,
+                       stats.wal_bytes});
+
+    ecdr::util::WallTimer checkpoint_timer;
+    ECDR_CHECK((*engine)->Checkpoint().ok());
+    const double checkpoint_seconds = checkpoint_timer.ElapsedSeconds();
+    const std::string image_path =
+        data_dir + "/" +
+        ecdr::storage::ImageFileName(
+            (*engine)->durability_stats().store.image_generation);
+    const auto image = ecdr::storage::Env::Posix()->ReadFile(image_path);
+    ECDR_CHECK(image.ok());
+    rows.push_back(Row{"checkpoint", 1, checkpoint_seconds,
+                       1.0 / checkpoint_seconds, (*image)->data().size()});
+  }
+  {
+    ecdr::util::WallTimer timer;
+    auto engine =
+        ecdr::core::RankingEngine::Open(fresh_ontology(), durable_options);
+    const double seconds = timer.ElapsedSeconds();
+    ECDR_CHECK(engine.ok());
+    const auto stats = (*engine)->durability_stats().store;
+    ECDR_CHECK_EQ(stats.records_replayed, 0u);
+    ECDR_CHECK_EQ(stats.last_lsn, ops.size());
+    rows.push_back(Row{"boot from-image", ops.size(), seconds,
+                       static_cast<double>(ops.size()) / seconds, 0});
+  }
+  WipeDir(data_dir);
+
+  TablePrinter table({"phase", "ops", "seconds", "ops/s", "bytes"});
+  for (const Row& row : rows) {
+    table.AddRow({row.phase, std::to_string(row.ops),
+                  TablePrinter::FormatDouble(row.seconds, 4),
+                  TablePrinter::FormatDouble(row.ops_per_sec, 1),
+                  std::to_string(row.bytes)});
+  }
+  table.Print(std::cout);
+  WriteJson(rows, scale, smoke, "BENCH_persistence.json");
+  std::printf("\nwrote BENCH_persistence.json\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "corpus/corpus_io.h"
 #include "ontology/ontology_io.h"
@@ -16,12 +17,47 @@ RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
       pair_cache_(ontology::ConceptPairCacheOptions{
           options.knds.cache.effective_concept_pair_capacity(),
           /*num_shards=*/64}),
-      ddq_memo_(options.knds.cache) {
-  if (options_.precompute_addresses) addresses_->PrecomputeAll();
-  // The builder publishes generation 0 (empty corpus) into root_, so
-  // searches may start before the first write.
+      ddq_memo_(options.knds.cache) {}
+
+RankingEngine::~RankingEngine() {
+  // Drain queued background maintenance before members it touches
+  // (builder_, store_) go away.
+  pool_.reset();
+}
+
+util::Status RankingEngine::Init() {
+  std::optional<RecoveredState> recovered;
+  if (!options_.storage.data_dir.empty()) {
+    // The store decodes the recovered corpus against the engine's own
+    // ontology instance (ontology_ — the one the corpus will reference
+    // for its whole life), not the caller's moved-from argument.
+    util::StatusOr<std::unique_ptr<storage::DocumentStore>> store =
+        storage::DocumentStore::Open(options_.storage, *ontology_);
+    ECDR_RETURN_IF_ERROR(store.status());
+    store_ = std::move(store).value();
+    if (store_->has_recovered_dewey() && options_.precompute_addresses) {
+      // The image carries the flattened address pool: adopt it and skip
+      // the enumeration DFS. A stale pool (ontology changed under the
+      // data dir) fails validation; fall back to recomputing.
+      const util::Status adopted = addresses_->AdoptPrecomputed(
+          store_->TakeDeweyComponents(), store_->TakeDeweySpans(),
+          store_->TakeDeweyConceptFirst());
+      if (!adopted.ok()) addresses_->PrecomputeAll();
+    } else if (options_.precompute_addresses) {
+      addresses_->PrecomputeAll();
+    }
+    recovered.emplace(RecoveredState{store_->TakeRecoveredCorpus(),
+                                     store_->TakeRecoveredIndex(),
+                                     store_->recovered_index_exact(),
+                                     store_->stats().last_lsn});
+  } else if (options_.precompute_addresses) {
+    addresses_->PrecomputeAll();
+  }
+  // The builder publishes generation 0 (the recovered corpus, or empty)
+  // into root_, so searches may start before the first write.
   builder_ = std::make_unique<SnapshotBuilder>(
-      *ontology_, addresses_.get(), &ddq_memo_, &root_, options_.snapshot);
+      *ontology_, addresses_.get(), &ddq_memo_, &root_, options_.snapshot,
+      store_.get(), recovered.has_value() ? &*recovered : nullptr);
   const std::size_t threads = options_.knds.num_threads == 0
                                   ? util::ThreadPool::DefaultThreads()
                                   : options_.knds.num_threads;
@@ -30,12 +66,31 @@ RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
     // the extra lane, so size the pool one short of the lane count.
     pool_ = std::make_unique<util::ThreadPool>(threads - 1);
   }
+  return util::Status::Ok();
 }
 
 std::unique_ptr<RankingEngine> RankingEngine::Create(
     ontology::Ontology ontology, Options options) {
-  return std::unique_ptr<RankingEngine>(
+  // Durable engines go through Open(): recovery can fail, and this
+  // factory has no status channel.
+  ECDR_CHECK(options.storage.data_dir.empty());
+  std::unique_ptr<RankingEngine> engine(
       new RankingEngine(std::move(ontology), options));
+  ECDR_CHECK(engine->Init().ok());  // Infallible without a data_dir.
+  return engine;
+}
+
+util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::Open(
+    ontology::Ontology ontology, Options options) {
+  if (options.storage.data_dir.empty()) {
+    return util::InvalidArgumentError(
+        "Open() requires Options::storage.data_dir; use Create() for an "
+        "ephemeral engine");
+  }
+  std::unique_ptr<RankingEngine> engine(
+      new RankingEngine(std::move(ontology), options));
+  ECDR_RETURN_IF_ERROR(engine->Init());
+  return engine;
 }
 
 util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::CreateFromFiles(
@@ -55,14 +110,106 @@ util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::CreateFromFiles(
 
 util::StatusOr<corpus::DocId> RankingEngine::AddDocument(
     std::vector<ontology::ConceptId> concepts) {
-  return builder_->AddDocument(corpus::Document(std::move(concepts)));
+  util::StatusOr<corpus::DocId> added =
+      builder_->AddDocument(corpus::Document(std::move(concepts)));
+  if (added.ok()) {
+    records_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+    MaybeScheduleMaintenance();
+  }
+  return added;
+}
+
+util::Status RankingEngine::DeleteDocument(corpus::DocId doc) {
+  ECDR_RETURN_IF_ERROR(builder_->DeleteDocument(doc));
+  records_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+  MaybeScheduleMaintenance();
+  return util::Status::Ok();
+}
+
+util::Status RankingEngine::UpdateDocument(
+    corpus::DocId doc, std::vector<ontology::ConceptId> concepts) {
+  ECDR_RETURN_IF_ERROR(
+      builder_->UpdateDocument(doc, corpus::Document(std::move(concepts))));
+  records_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+  MaybeScheduleMaintenance();
+  return util::Status::Ok();
 }
 
 util::Status RankingEngine::AddCorpus(const corpus::Corpus& source) {
-  return builder_->AddCorpus(source);
+  ECDR_RETURN_IF_ERROR(builder_->AddCorpus(source));
+  records_since_checkpoint_.fetch_add(source.num_documents(),
+                                      std::memory_order_relaxed);
+  MaybeScheduleMaintenance();
+  return util::Status::Ok();
 }
 
-void RankingEngine::Flush() { builder_->Flush(); }
+util::Status RankingEngine::Flush() { return builder_->Flush(); }
+
+util::Status RankingEngine::Checkpoint() {
+  if (store_ == nullptr) {
+    return util::FailedPreconditionError(
+        "engine is ephemeral (no Options::storage.data_dir); nothing to "
+        "checkpoint");
+  }
+  ECDR_RETURN_IF_ERROR(
+      builder_->Checkpoint(store_.get(), addresses_->flat_pool()));
+  records_since_checkpoint_.store(0, std::memory_order_relaxed);
+  return util::Status::Ok();
+}
+
+util::Status RankingEngine::Compact() {
+  std::uint32_t min_docs = options_.compaction.min_docs_per_segment;
+  if (min_docs == 0) {
+    min_docs = options_.snapshot.target_docs_per_shard != 0
+                   ? options_.snapshot.target_docs_per_shard
+                   : 1024;
+  }
+  return builder_->Compact(min_docs);
+}
+
+util::Status RankingEngine::SyncDurability() {
+  if (store_ == nullptr) return util::Status::Ok();
+  ECDR_RETURN_IF_ERROR(Flush());
+  return store_->SyncWal();
+}
+
+void RankingEngine::MaybeScheduleMaintenance() {
+  const bool checkpoint_due =
+      store_ != nullptr && options_.checkpoint_every_records > 0 &&
+      records_since_checkpoint_.load(std::memory_order_relaxed) >=
+          options_.checkpoint_every_records;
+  bool compaction_due = false;
+  if (options_.compaction.max_segments > 0) {
+    const std::shared_ptr<const EngineSnapshot> snap = root_.Acquire();
+    compaction_due =
+        snap->corpus.num_segments() > options_.compaction.max_segments;
+  }
+  if (!checkpoint_due && !compaction_due) return;
+  if (maintenance_running_.exchange(true, std::memory_order_acq_rel)) return;
+  if (pool_ != nullptr) {
+    pool_->Submit([this](std::size_t) { RunMaintenance(); });
+  } else {
+    RunMaintenance();
+  }
+}
+
+void RankingEngine::RunMaintenance() {
+  // Best-effort: a failed checkpoint or compaction leaves the engine
+  // fully serviceable (the WAL still covers everything); thresholds
+  // re-trip on the next write and retry.
+  if (options_.compaction.max_segments > 0) {
+    const std::shared_ptr<const EngineSnapshot> snap = root_.Acquire();
+    if (snap->corpus.num_segments() > options_.compaction.max_segments) {
+      (void)Compact();
+    }
+  }
+  if (store_ != nullptr && options_.checkpoint_every_records > 0 &&
+      records_since_checkpoint_.load(std::memory_order_relaxed) >=
+          options_.checkpoint_every_records) {
+    (void)Checkpoint();
+  }
+  maintenance_running_.store(false, std::memory_order_release);
+}
 
 SnapshotStats RankingEngine::snapshot_stats() const {
   SnapshotStats stats;
@@ -74,6 +221,14 @@ SnapshotStats RankingEngine::snapshot_stats() const {
   stats.generation = snap->generation;
   stats.index_shards = snap->index.num_shards();
   stats.pending_documents = builder_->pending_documents();
+  stats.tombstones = snap->corpus.num_tombstones();
+  return stats;
+}
+
+DurabilityStats RankingEngine::durability_stats() const {
+  DurabilityStats stats;
+  stats.enabled = store_ != nullptr;
+  if (store_ != nullptr) stats.store = store_->stats();
   return stats;
 }
 
@@ -234,6 +389,12 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindSimilar(
           return util::OutOfRangeError("document id " + std::to_string(doc) +
                                        " out of range");
         }
+        // A tombstoned slot keeps its id but holds no concepts; it is
+        // not a valid similarity anchor.
+        if (snap.corpus.IsDeleted(doc)) {
+          return util::NotFoundError("document " + std::to_string(doc) +
+                                     " was deleted");
+        }
         return knds->SearchSds(snap.corpus.document(doc), k);
       });
 }
@@ -256,6 +417,9 @@ util::StatusOr<double> RankingEngine::DocumentDistance(
   const std::shared_ptr<const EngineSnapshot> snap = root_.Acquire();
   if (a >= snap->corpus.num_documents() || b >= snap->corpus.num_documents()) {
     return util::OutOfRangeError("document id out of range");
+  }
+  if (snap->corpus.IsDeleted(a) || snap->corpus.IsDeleted(b)) {
+    return util::NotFoundError("document was deleted");
   }
   Drc::ScratchPool::Lease scratch(&drc_scratches_);
   Drc drc(*ontology_, addresses_.get(), scratch.get());

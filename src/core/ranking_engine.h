@@ -48,6 +48,7 @@
 #include "ontology/concept_pair_cache.h"
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
+#include "storage/store.h"
 #include "util/deadline.h"
 #include "util/snapshot.h"
 #include "util/status.h"
@@ -108,6 +109,30 @@ struct SnapshotStats {
   std::size_t retired_live = 0;      // superseded generations still pinned
   std::size_t index_shards = 0;      // shards in the current generation
   std::size_t pending_documents = 0; // writes buffered, not yet published
+  std::uint32_t tombstones = 0;      // deleted slots the corpus still holds
+};
+
+/// Background maintenance of the segment layout (README, "Durability
+/// flags"). Deletes and small write batches fragment the corpus into
+/// many small segments; compaction merges adjacent small ones back
+/// together (kNDS results are bit-identical at any shard count, so the
+/// re-layout is invisible to readers).
+struct CompactionOptions {
+  /// When > 0, a write that leaves the corpus with more than this many
+  /// segments schedules a background compaction (on the engine's worker
+  /// pool; inline for serial engines). 0 = manual Compact() only.
+  std::size_t max_segments = 0;
+
+  /// Segments below this document count are merge candidates. 0 derives
+  /// a default: snapshot.target_docs_per_shard, or 1024 when unset.
+  std::uint32_t min_docs_per_segment = 0;
+};
+
+/// Durability counters (see durability_stats()); `store` is all-zero
+/// while the engine runs ephemeral.
+struct DurabilityStats {
+  bool enabled = false;
+  storage::StoreStats store;
 };
 
 struct RankingEngineOptions {
@@ -119,6 +144,22 @@ struct RankingEngineOptions {
   /// "Sharding knobs"). The defaults — one shard, publish per add —
   /// reproduce the unsharded engine bit-for-bit.
   SnapshotOptions snapshot;
+
+  /// Durability (DESIGN.md, "Durability & recovery"). Inert while
+  /// storage.data_dir is empty — the default, an ephemeral engine.
+  /// Open() requires a data_dir; it recovers the pre-crash corpus from
+  /// the newest valid image plus WAL replay, and every subsequent write
+  /// is logged ahead and fsync'd on publish (storage.fsync_mode
+  /// permitting).
+  storage::StoreOptions storage;
+
+  /// When > 0, automatically checkpoint (write a fresh image, rotate
+  /// the WAL) after this many logged operations. 0 = manual
+  /// Checkpoint() only. Requires a data_dir.
+  std::uint64_t checkpoint_every_records = 0;
+
+  /// Background segment compaction; see CompactionOptions.
+  CompactionOptions compaction;
 
   /// Enumerate every concept's Dewey addresses at construction and
   /// freeze the cache, making address lookups lock-free for concurrent
@@ -132,9 +173,21 @@ class RankingEngine {
  public:
   using Options = RankingEngineOptions;
 
-  /// Takes ownership of the ontology; the corpus starts empty.
+  /// Takes ownership of the ontology; the corpus starts empty. Requires
+  /// Options::storage.data_dir be empty — durable engines go through
+  /// Open(), whose recovery can fail and therefore returns a status.
   static std::unique_ptr<RankingEngine> Create(ontology::Ontology ontology,
                                                Options options = {});
+
+  /// Opens (creating if absent) the durable engine at
+  /// Options::storage.data_dir: recovers the newest valid snapshot
+  /// image, re-applies the WAL above it, restores the Dewey address
+  /// pool from the image when present (skipping the enumeration DFS),
+  /// and publishes the recovered corpus as generation 0. Fails on real
+  /// I/O errors; corruption is recovered around (see
+  /// storage::DocumentStore::Open) and reported in durability_stats().
+  static util::StatusOr<std::unique_ptr<RankingEngine>> Open(
+      ontology::Ontology ontology, Options options);
 
   /// Loads both files in either the text or binary format (sniffed).
   /// The corpus is bulk-loaded into Options::snapshot.num_shards
@@ -146,6 +199,10 @@ class RankingEngine {
   RankingEngine(const RankingEngine&) = delete;
   RankingEngine& operator=(const RankingEngine&) = delete;
 
+  /// Drains the worker pool first, so a background maintenance task
+  /// (compaction / checkpoint) never outlives the builder it touches.
+  ~RankingEngine();
+
   /// Adds a document through the snapshot builder. With the default
   /// publish_batch_size of 1 it is searchable on return; with batching
   /// it becomes visible when the batch publishes (or on Flush()). Never
@@ -154,13 +211,43 @@ class RankingEngine {
   util::StatusOr<corpus::DocId> AddDocument(
       std::vector<ontology::ConceptId> concepts);
 
+  /// Tombstone-deletes `doc`: it vanishes from every Find* result at
+  /// the next publish (immediately with the default batch size). The id
+  /// is never reused. kOutOfRange for an id never assigned, kNotFound
+  /// when already deleted.
+  util::Status DeleteDocument(corpus::DocId doc);
+
+  /// Replaces `doc`'s concepts in place — same id, new content,
+  /// searchable at the next publish. kNotFound when the document was
+  /// deleted (updates do not resurrect tombstones).
+  util::Status UpdateDocument(corpus::DocId doc,
+                              std::vector<ontology::ConceptId> concepts);
+
   /// Bulk-appends every document of `source` and publishes one new
   /// generation (a fresh engine is partitioned into
   /// Options::snapshot.num_shards shards).
   util::Status AddCorpus(const corpus::Corpus& source);
 
-  /// Publishes any write-buffered documents now.
-  void Flush();
+  /// Publishes any write-buffered operations now. On a durable engine a
+  /// failure means the WAL fsync failed: nothing became visible, the
+  /// delta stays pending, and the call may be retried.
+  util::Status Flush();
+
+  /// Flushes, then writes a checkpoint image of the current generation
+  /// and rotates the WAL — bounding recovery time and WAL growth.
+  /// kFailedPrecondition on an ephemeral engine. Concurrent writers
+  /// stall for the duration; searches are unaffected.
+  util::Status Checkpoint();
+
+  /// Flushes, then merges small corpus segments
+  /// (CompactionOptions::min_docs_per_segment) and re-publishes.
+  /// Results are bit-identical before and after. Works on ephemeral
+  /// engines too.
+  util::Status Compact();
+
+  /// Final WAL fsync for a clean shutdown: flushes pending operations
+  /// and syncs the log. No-op on an ephemeral engine.
+  util::Status SyncDurability();
 
   // Every Find* accepts a SearchControl carrying the query's deadline
   // budget and cancel token; the default control changes nothing. All
@@ -215,6 +302,13 @@ class RankingEngine {
   /// Admission counters (zeroes while admission control is disabled).
   AdmissionStats admission_stats() const;
 
+  /// Durability counters; enabled == false (and zero stats) on an
+  /// ephemeral engine.
+  DurabilityStats durability_stats() const;
+
+  /// Whether the engine persists to a data_dir.
+  bool durable() const { return store_ != nullptr; }
+
   const ontology::Ontology& ontology() const { return *ontology_; }
 
   /// The current generation's corpus. The reference is valid until the
@@ -261,6 +355,17 @@ class RankingEngine {
  private:
   RankingEngine(ontology::Ontology ontology, Options options);
 
+  /// Opens the store (when configured), precomputes or adopts the Dewey
+  /// address pool, publishes generation 0 (recovered or empty) and
+  /// spins up the worker pool. Infallible without a data_dir.
+  util::Status Init();
+
+  /// After a successful write: schedule background compaction /
+  /// checkpoint when their thresholds trip. At most one maintenance
+  /// task runs at a time.
+  void MaybeScheduleMaintenance();
+  void RunMaintenance();
+
   /// Acquires the current snapshot (one atomic load — no engine mutex
   /// anywhere on this path) and runs `search` on a per-call Knds over
   /// it, after passing admission control with the control's effective
@@ -298,10 +403,18 @@ class RankingEngine {
   // distance calls stop allocating.
   Drc::ScratchPool drc_scratches_;
 
+  // Durability: null on an ephemeral engine. Declared before builder_,
+  // which holds an unowned pointer into it for the log-ahead write path.
+  std::unique_ptr<storage::DocumentStore> store_;
+
   // The snapshot chain. Readers: one atomic Acquire per search; writer:
   // builder_ publishes copy-on-write generations.
   util::SnapshotHandle<EngineSnapshot> root_;
   std::unique_ptr<SnapshotBuilder> builder_;
+
+  // Background maintenance (compaction / auto-checkpoint) bookkeeping.
+  std::atomic<bool> maintenance_running_{false};
+  std::atomic<std::uint64_t> records_since_checkpoint_{0};
 
   // Most recent search's stats, published lock-free.
   std::atomic<std::shared_ptr<const KndsStats>> last_stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
 namespace ecdr::core {
@@ -10,15 +11,37 @@ SnapshotBuilder::SnapshotBuilder(const ontology::Ontology& ontology,
                                  ontology::AddressEnumerator* addresses,
                                  DdqMemo* ddq_memo,
                                  util::SnapshotHandle<EngineSnapshot>* root,
-                                 SnapshotOptions options)
+                                 SnapshotOptions options,
+                                 storage::DocumentStore* store,
+                                 RecoveredState* recovered)
     : ontology_(&ontology),
       addresses_(addresses),
       ddq_memo_(ddq_memo),
       root_(root),
-      options_(options) {
+      options_(options),
+      store_(store) {
   ECDR_CHECK(root != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
-  PublishLocked();  // generation 0: the empty corpus
+  if (recovered == nullptr) {
+    // Generation 0: the empty corpus. Infallible — nothing pending, so
+    // the store (if any) has nothing to sync.
+    ECDR_CHECK(PublishLocked().ok());
+    return;
+  }
+  // Generation 0: the recovered pre-crash corpus. The image's index is
+  // exact only when WAL replay applied nothing on top of it; otherwise
+  // rebuild (one-time boot cost, shared nothing to reuse anyway).
+  corpus::Corpus next = std::move(recovered->corpus);
+  if (next.segment_target() == 0) {
+    next.set_segment_target(options_.target_docs_per_shard);
+  }
+  index::ShardedIndex next_index = recovered->index_exact
+                                       ? std::move(recovered->index)
+                                       : index::ShardedIndex(next);
+  published_lsn_ = recovered->last_lsn;
+  root_->Publish(std::make_shared<EngineSnapshot>(
+      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
 }
 
 util::Status SnapshotBuilder::Validate(const corpus::Document& doc) const {
@@ -38,6 +61,34 @@ util::Status SnapshotBuilder::Validate(const corpus::Document& doc) const {
   return util::Status::Ok();
 }
 
+util::Status SnapshotBuilder::ValidateTargetLocked(
+    const EngineSnapshot& current, corpus::DocId doc) const {
+  const corpus::DocId assigned = static_cast<corpus::DocId>(
+      current.corpus.num_documents() + pending_adds_);
+  if (doc >= assigned) {
+    return util::OutOfRangeError("document id " + std::to_string(doc) +
+                                 " out of range (" + std::to_string(assigned) +
+                                 " documents)");
+  }
+  if (pending_deleted_.count(doc) != 0 ||
+      (doc < current.corpus.num_documents() && current.corpus.IsDeleted(doc))) {
+    return util::NotFoundError("document " + std::to_string(doc) +
+                               " was deleted");
+  }
+  return util::Status::Ok();
+}
+
+util::Status SnapshotBuilder::MaybePublishBatchLocked() {
+  // publish_batch_size 0 = manual mode: only Flush() publishes. A batch
+  // larger than max_pending_docs can likewise never fill — both drain
+  // through Flush() and shed with kResourceExhausted meanwhile.
+  if (options_.publish_batch_size > 0 &&
+      pending_.size() >= options_.publish_batch_size) {
+    return PublishLocked();
+  }
+  return util::Status::Ok();
+}
+
 util::StatusOr<corpus::DocId> SnapshotBuilder::AddDocument(
     corpus::Document doc) {
   ECDR_RETURN_IF_ERROR(Validate(doc));
@@ -45,26 +96,72 @@ util::StatusOr<corpus::DocId> SnapshotBuilder::AddDocument(
   if (pending_.size() >= options_.max_pending_docs) {
     return util::ResourceExhaustedError(
         "write buffer full: " + std::to_string(pending_.size()) +
-        " documents pending publish (max_pending_docs=" +
+        " operations pending publish (max_pending_docs=" +
         std::to_string(options_.max_pending_docs) + "); Flush() or retry");
   }
   const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
   const corpus::DocId id = static_cast<corpus::DocId>(
-      current->corpus.num_documents() + pending_.size());
-  pending_.push_back(std::move(doc));
-  // publish_batch_size 0 = manual mode: only Flush() publishes. A batch
-  // larger than max_pending_docs can likewise never fill — both drain
-  // through Flush() and shed with kResourceExhausted above meanwhile.
-  if (options_.publish_batch_size > 0 &&
-      pending_.size() >= options_.publish_batch_size) {
-    PublishLocked();
+      current->corpus.num_documents() + pending_adds_);
+  std::uint64_t lsn = 0;
+  if (store_ != nullptr) {
+    // Log-ahead: the record hits the WAL before any in-memory state
+    // changes; on failure nothing was enqueued and nothing publishes.
+    const util::StatusOr<std::uint64_t> logged = store_->LogAdd(doc);
+    ECDR_RETURN_IF_ERROR(logged.status());
+    lsn = *logged;
   }
+  pending_.push_back(PendingOp{OpKind::kAdd, std::move(doc), id, lsn});
+  ++pending_adds_;
+  ECDR_RETURN_IF_ERROR(MaybePublishBatchLocked());
   return id;
+}
+
+util::Status SnapshotBuilder::DeleteDocument(corpus::DocId doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.size() >= options_.max_pending_docs) {
+    return util::ResourceExhaustedError(
+        "write buffer full: " + std::to_string(pending_.size()) +
+        " operations pending publish; Flush() or retry");
+  }
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  ECDR_RETURN_IF_ERROR(ValidateTargetLocked(*current, doc));
+  std::uint64_t lsn = 0;
+  if (store_ != nullptr) {
+    const util::StatusOr<std::uint64_t> logged = store_->LogDelete(doc);
+    ECDR_RETURN_IF_ERROR(logged.status());
+    lsn = *logged;
+  }
+  pending_.push_back(PendingOp{OpKind::kDelete, corpus::Document(), doc, lsn});
+  pending_deleted_.insert(doc);
+  return MaybePublishBatchLocked();
+}
+
+util::Status SnapshotBuilder::UpdateDocument(corpus::DocId doc,
+                                             corpus::Document new_doc) {
+  ECDR_RETURN_IF_ERROR(Validate(new_doc));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.size() >= options_.max_pending_docs) {
+    return util::ResourceExhaustedError(
+        "write buffer full: " + std::to_string(pending_.size()) +
+        " operations pending publish; Flush() or retry");
+  }
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  ECDR_RETURN_IF_ERROR(ValidateTargetLocked(*current, doc));
+  std::uint64_t lsn = 0;
+  if (store_ != nullptr) {
+    const util::StatusOr<std::uint64_t> logged =
+        store_->LogUpdate(doc, new_doc);
+    ECDR_RETURN_IF_ERROR(logged.status());
+    lsn = *logged;
+  }
+  pending_.push_back(
+      PendingOp{OpKind::kUpdate, std::move(new_doc), doc, lsn});
+  return MaybePublishBatchLocked();
 }
 
 util::Status SnapshotBuilder::AddCorpus(const corpus::Corpus& source) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!pending_.empty()) PublishLocked();
+  if (!pending_.empty()) ECDR_RETURN_IF_ERROR(PublishLocked());
   const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
   corpus::Corpus next = current->corpus;
   const corpus::DocId first_new = next.num_documents();
@@ -73,11 +170,19 @@ util::Status SnapshotBuilder::AddCorpus(const corpus::Corpus& source) {
     next.set_segment_target(static_cast<std::uint32_t>(
         (total + options_.num_shards - 1) / options_.num_shards));
   }
+  std::uint64_t max_lsn = published_lsn_;
   for (corpus::DocId d = 0; d < source.num_documents(); ++d) {
+    if (store_ != nullptr) {
+      const util::StatusOr<std::uint64_t> logged =
+          store_->LogAdd(source.document(d));
+      ECDR_RETURN_IF_ERROR(logged.status());
+      max_lsn = *logged;
+    }
     const util::StatusOr<corpus::DocId> added =
         next.AddDocument(source.document(d));
     ECDR_RETURN_IF_ERROR(added.status());
   }
+  if (store_ != nullptr) ECDR_RETURN_IF_ERROR(store_->SyncWal());
   index::ShardedIndex next_index(next, &current->index);
   if (ddq_memo_ != nullptr) {
     for (corpus::DocId d = first_new; d < next.num_documents(); ++d) {
@@ -87,38 +192,92 @@ util::Status SnapshotBuilder::AddCorpus(const corpus::Corpus& source) {
   root_->Publish(std::make_shared<EngineSnapshot>(
       next_generation_++, std::move(next), std::move(next_index), addresses_,
       ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
+  published_lsn_ = max_lsn;
   return util::Status::Ok();
 }
 
-void SnapshotBuilder::Flush() {
+util::Status SnapshotBuilder::Flush() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!pending_.empty()) PublishLocked();
+  if (!pending_.empty()) return PublishLocked();
+  return util::Status::Ok();
 }
 
-void SnapshotBuilder::PublishLocked() {
+util::Status SnapshotBuilder::PublishLocked() {
+  // Durability barrier before visibility: when a store is attached, an
+  // acknowledged publish must survive kill -9 (fsync_mode permitting).
+  // On failure the delta stays pending — retried by the next Flush —
+  // and readers never see unsynced state.
+  if (store_ != nullptr && !pending_.empty()) {
+    ECDR_RETURN_IF_ERROR(store_->SyncWal());
+  }
   const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
   corpus::Corpus next =
       current != nullptr ? current->corpus : corpus::Corpus(*ontology_);
   if (current == nullptr) {
     next.set_segment_target(options_.target_docs_per_shard);
   }
-  const corpus::DocId first_new = next.num_documents();
-  for (corpus::Document& doc : pending_) {
+  std::uint64_t max_lsn = published_lsn_;
+  for (PendingOp& op : pending_) {
     // Validated on entry; the only failure modes were caught there.
-    const util::StatusOr<corpus::DocId> added = next.AddDocument(std::move(doc));
-    ECDR_CHECK(added.ok());
+    switch (op.kind) {
+      case OpKind::kAdd: {
+        const util::StatusOr<corpus::DocId> added =
+            next.AddDocument(std::move(op.doc));
+        ECDR_CHECK(added.ok());
+        ECDR_CHECK_EQ(*added, op.target);
+        break;
+      }
+      case OpKind::kDelete:
+        ECDR_CHECK(next.DeleteDocument(op.target).ok());
+        break;
+      case OpKind::kUpdate:
+        ECDR_CHECK(next.UpdateDocument(op.target, std::move(op.doc)).ok());
+        break;
+    }
+    if (ddq_memo_ != nullptr) ddq_memo_->InvalidateDocument(op.target);
+    max_lsn = std::max(max_lsn, op.lsn);
   }
   pending_.clear();
+  pending_adds_ = 0;
+  pending_deleted_.clear();
   index::ShardedIndex next_index(next,
                                  current != nullptr ? &current->index : nullptr);
-  if (ddq_memo_ != nullptr) {
-    for (corpus::DocId d = first_new; d < next.num_documents(); ++d) {
-      ddq_memo_->InvalidateDocument(d);
-    }
-  }
   root_->Publish(std::make_shared<EngineSnapshot>(
       next_generation_++, std::move(next), std::move(next_index), addresses_,
       ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
+  published_lsn_ = max_lsn;
+  return util::Status::Ok();
+}
+
+util::Status SnapshotBuilder::Compact(std::uint32_t min_docs_per_segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty()) ECDR_RETURN_IF_ERROR(PublishLocked());
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  corpus::Corpus next = current->corpus.Compacted(min_docs_per_segment);
+  if (next.num_segments() == current->corpus.num_segments()) {
+    return util::Status::Ok();  // Nothing small enough to merge.
+  }
+  // Untouched (large) segments keep their identity, so their shards are
+  // shared; only merged runs are re-indexed. Documents are unchanged —
+  // no cache invalidation, same ddq epoch.
+  index::ShardedIndex next_index(next, &current->index);
+  root_->Publish(std::make_shared<EngineSnapshot>(
+      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      current->ddq_epoch));
+  return util::Status::Ok();
+}
+
+util::Status SnapshotBuilder::Checkpoint(storage::DocumentStore* store,
+                                         const ontology::FlatDeweyPool* dewey) {
+  ECDR_CHECK(store != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty()) ECDR_RETURN_IF_ERROR(PublishLocked());
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  // Image generations are store-monotone (they survive restarts; engine
+  // generations restart at 0 every boot).
+  const std::uint64_t generation = store->stats().image_generation + 1;
+  return store->WriteCheckpoint(current->corpus, current->index, dewey,
+                                generation, published_lsn_);
 }
 
 std::size_t SnapshotBuilder::pending_documents() const {
@@ -129,6 +288,11 @@ std::size_t SnapshotBuilder::pending_documents() const {
 std::uint64_t SnapshotBuilder::generations_published() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return next_generation_;
+}
+
+std::uint64_t SnapshotBuilder::published_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_lsn_;
 }
 
 }  // namespace ecdr::core

@@ -1,29 +1,37 @@
-// SnapshotBuilder — the single-writer path that turns AddDocument calls
-// into published EngineSnapshot generations (DESIGN.md, "Snapshot
-// lifecycle").
+// SnapshotBuilder — the single-writer path that turns document
+// lifecycle calls (add / update / tombstone-delete) into published
+// EngineSnapshot generations (DESIGN.md, "Snapshot lifecycle").
 //
 // Writes never touch a published snapshot. The builder batches incoming
-// documents into a bounded pending delta, and on publish:
-//   1. copies the current snapshot's corpus (cheap — segments are
-//      shared) and appends the delta, which clones only the tail
-//      segment (copy-on-write);
-//   2. rebuilds the sharded inverted index against the new corpus,
-//      sharing every shard whose id range is unchanged — only the
-//      touched tail shard (plus any rollover shard) is built;
-//   3. version-invalidates the new documents' DdqMemo entries and
+// operations into a bounded pending delta, and on publish:
+//   1. fsyncs the write-ahead log when a DocumentStore is attached —
+//      the durability barrier: nothing becomes visible before it is
+//      durable (log-ahead ordering; DESIGN.md, "Durability & recovery");
+//   2. copies the current snapshot's corpus (cheap — segments are
+//      shared) and replays the delta, which clones only the touched
+//      segments (copy-on-write);
+//   3. rebuilds the sharded inverted index against the new corpus,
+//      sharing every shard whose backing segment is untouched;
+//   4. version-invalidates the touched documents' DdqMemo entries and
 //      stamps the new generation with the resulting cache epoch;
-//   4. atomically swaps the engine's root pointer. In-flight searches
+//   5. atomically swaps the engine's root pointer. In-flight searches
 //      keep their generation; new searches see the new one.
 //
-// With publish_batch_size == 1 (the default) every AddDocument
-// publishes immediately — the paper's point-of-care contract, a record
-// is searchable the moment it is inserted. Larger batches amortize
-// publish cost under write-heavy load; documents then become visible
+// With publish_batch_size == 1 (the default) every write publishes
+// immediately — the paper's point-of-care contract, a record is
+// searchable the moment it is inserted. Larger batches amortize publish
+// cost under write-heavy load; operations then become visible
 // atomically when the batch fills or Flush() runs. The pending delta is
-// bounded: once max_pending_docs documents await publish, AddDocument
-// fails fast with kResourceExhausted instead of buffering without
-// limit (mirroring the admission controller's shedding on the read
-// side).
+// bounded: once max_pending_docs operations await publish, writes fail
+// fast with kResourceExhausted instead of buffering without limit
+// (mirroring the admission controller's shedding on the read side).
+//
+// Deletes are tombstones: the slot keeps its DocId (so every other id,
+// and every WAL record naming one, stays stable) but holds an empty
+// document that produces no postings — the document vanishes from
+// results at the very next publish. Compact() merges small segments and
+// re-publishes; tombstone slots survive compaction so replay stays
+// bit-identical.
 //
 // Thread safety: all methods are safe to call concurrently; writers
 // serialize on the builder's mutex. Readers of the published root are
@@ -34,13 +42,16 @@
 
 #include <cstdint>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "core/distance_cache.h"
 #include "core/engine_snapshot.h"
 #include "corpus/corpus.h"
 #include "ontology/dewey.h"
+#include "ontology/flat_dewey_pool.h"
 #include "ontology/ontology.h"
+#include "storage/store.h"
 #include "util/snapshot.h"
 #include "util/status.h"
 
@@ -58,26 +69,43 @@ struct SnapshotOptions {
   /// cloned per batch). 0 = never roll over: one growing tail.
   std::uint32_t target_docs_per_shard = 0;
 
-  /// Pending documents per publish. 1 (default) publishes on every
-  /// AddDocument — immediately searchable; larger values batch, and the
-  /// batch becomes visible atomically. 0 = manual: documents buffer
+  /// Pending operations per publish. 1 (default) publishes on every
+  /// write — immediately searchable; larger values batch, and the
+  /// batch becomes visible atomically. 0 = manual: operations buffer
   /// until Flush() (the pending bound below still applies).
   std::size_t publish_batch_size = 1;
 
-  /// Bound on the pending delta. AddDocument fails with
-  /// kResourceExhausted once this many documents await publish.
+  /// Bound on the pending delta. Writes fail with kResourceExhausted
+  /// once this many operations await publish.
   std::size_t max_pending_docs = 1024;
+};
+
+/// State recovered by storage::DocumentStore at boot, handed to the
+/// builder so generation 0 is the pre-crash corpus instead of empty.
+struct RecoveredState {
+  corpus::Corpus corpus;
+  /// The image's index; used only when `index_exact` (the WAL replay
+  /// applied nothing on top of the image), otherwise rebuilt.
+  index::ShardedIndex index;
+  bool index_exact = false;
+  /// Highest WAL LSN the recovered corpus reflects.
+  std::uint64_t last_lsn = 0;
 };
 
 class SnapshotBuilder {
  public:
-  /// Publishes the empty generation-0 snapshot into `root`. All
-  /// pointers are unowned and must outlive the builder; `addresses` and
-  /// `ddq_memo` may be null.
+  /// Publishes generation 0 into `root`: the empty corpus, or
+  /// `recovered` when given (consumed — fields are moved out). All
+  /// pointers are unowned and must outlive the builder; `addresses`,
+  /// `ddq_memo`, `store` and `recovered` may be null. When `store` is
+  /// set, every mutation is logged ahead to its WAL and publishes fsync
+  /// it (log-ahead write path).
   SnapshotBuilder(const ontology::Ontology& ontology,
                   ontology::AddressEnumerator* addresses, DdqMemo* ddq_memo,
                   util::SnapshotHandle<EngineSnapshot>* root,
-                  SnapshotOptions options);
+                  SnapshotOptions options,
+                  storage::DocumentStore* store = nullptr,
+                  RecoveredState* recovered = nullptr);
 
   SnapshotBuilder(const SnapshotBuilder&) = delete;
   SnapshotBuilder& operator=(const SnapshotBuilder&) = delete;
@@ -88,36 +116,93 @@ class SnapshotBuilder {
   /// (the caller may Flush() and retry).
   util::StatusOr<corpus::DocId> AddDocument(corpus::Document doc);
 
+  /// Tombstones `doc`: it vanishes from results at the next publish
+  /// (immediately, with the default batch size). kOutOfRange for an id
+  /// never assigned, kNotFound when already deleted.
+  util::Status DeleteDocument(corpus::DocId doc);
+
+  /// Replaces `doc`'s concepts in place — same id, new content.
+  /// kNotFound when the document was deleted (updates do not
+  /// resurrect tombstones).
+  util::Status UpdateDocument(corpus::DocId doc, corpus::Document new_doc);
+
   /// Bulk load: appends every document of `source` and publishes once.
   /// A fresh engine is partitioned into SnapshotOptions::num_shards
   /// contiguous shards.
   util::Status AddCorpus(const corpus::Corpus& source);
 
-  /// Publishes any pending documents now. No-op when none are pending.
-  void Flush();
+  /// Publishes any pending operations now. No-op when none are
+  /// pending. With a store attached, a failure (the WAL fsync) leaves
+  /// the operations pending — nothing was made visible — and the
+  /// caller may retry.
+  util::Status Flush();
+
+  /// Re-lays the corpus out with every segment holding at least
+  /// `min_docs_per_segment` documents (large segments are shared, not
+  /// copied) and publishes the compacted generation. Results are
+  /// bit-identical before and after — kNDS merges shards
+  /// order-independently. Pending operations are flushed first.
+  util::Status Compact(std::uint32_t min_docs_per_segment);
+
+  /// Flushes, then writes a checkpoint image of the current generation
+  /// into `store` (rotating its WAL). `dewey` may be null. Holding the
+  /// builder mutex across the image write keeps the (corpus, LSN) pair
+  /// consistent; concurrent writers stall for the duration.
+  util::Status Checkpoint(storage::DocumentStore* store,
+                          const ontology::FlatDeweyPool* dewey);
 
   std::size_t pending_documents() const;
 
-  /// Total snapshots published, including the empty generation 0; the
-  /// current snapshot's generation is this minus one.
+  /// Total snapshots published, including generation 0; the current
+  /// snapshot's generation is this minus one.
   std::uint64_t generations_published() const;
 
+  /// Highest WAL LSN covered by the published root (0 without a store).
+  std::uint64_t published_lsn() const;
+
  private:
-  /// Appends `pending_` to a copy of the current corpus and publishes
-  /// the next generation. `mutex_` must be held.
-  void PublishLocked();
+  enum class OpKind { kAdd, kDelete, kUpdate };
+
+  struct PendingOp {
+    OpKind kind;
+    corpus::Document doc;  // kAdd / kUpdate payload; empty for kDelete
+    corpus::DocId target = 0;  // kDelete / kUpdate target id
+    std::uint64_t lsn = 0;     // WAL LSN, 0 without a store
+  };
+
+  /// Syncs the WAL (durability barrier), applies `pending_` to a copy
+  /// of the current corpus and publishes the next generation. On sync
+  /// failure nothing publishes and the delta stays pending. `mutex_`
+  /// must be held.
+  util::Status PublishLocked();
 
   util::Status Validate(const corpus::Document& doc) const;
+
+  /// Checks `doc` names a live document in the effective state (current
+  /// corpus + pending adds − pending deletes). `mutex_` must be held.
+  util::Status ValidateTargetLocked(const EngineSnapshot& current,
+                                    corpus::DocId doc) const;
+
+  util::Status MaybePublishBatchLocked();
 
   const ontology::Ontology* ontology_;
   ontology::AddressEnumerator* addresses_;
   DdqMemo* ddq_memo_;
   util::SnapshotHandle<EngineSnapshot>* root_;
   SnapshotOptions options_;
+  storage::DocumentStore* store_;
 
   mutable std::mutex mutex_;
-  std::vector<corpus::Document> pending_;
+  std::vector<PendingOp> pending_;
+  /// Adds among pending_ — their ids are corpus.num_documents() +
+  /// [0, pending_adds_), which is how AddDocument assigns ids before
+  /// the publish materializes them.
+  std::size_t pending_adds_ = 0;
+  /// Targets of pending deletes, so a second delete (or an update of a
+  /// just-deleted id) fails now rather than CHECKing at publish.
+  std::unordered_set<corpus::DocId> pending_deleted_;
   std::uint64_t next_generation_ = 0;
+  std::uint64_t published_lsn_ = 0;
 };
 
 }  // namespace ecdr::core

@@ -7,7 +7,7 @@
 
 namespace ecdr::corpus {
 
-util::StatusOr<DocId> Corpus::AddDocument(Document doc) {
+util::Status Corpus::ValidateDocument(const Document& doc) const {
   if (doc.empty()) {
     return util::InvalidArgumentError("document has no concepts");
   }
@@ -19,6 +19,11 @@ util::StatusOr<DocId> Corpus::AddDocument(Document doc) {
         " outside the ontology (" + std::to_string(ontology_->num_concepts()) +
         " concepts)");
   }
+  return util::Status::Ok();
+}
+
+util::StatusOr<DocId> Corpus::AddDocument(Document doc) {
+  ECDR_RETURN_IF_ERROR(ValidateDocument(doc));
   const bool tail_full =
       !segments_.empty() && segment_target_ > 0 &&
       segments_.back()->docs.size() >= segment_target_;
@@ -33,6 +38,97 @@ util::StatusOr<DocId> Corpus::AddDocument(Document doc) {
   }
   segments_.back()->docs.push_back(std::move(doc));
   return num_documents_++;
+}
+
+Corpus::Segment* Corpus::MutableSegmentFor(DocId id) {
+  std::size_t s = segments_.size() - 1;
+  while (segments_[s]->base > id) --s;
+  if (segments_[s].use_count() > 1) {
+    segments_[s] = std::make_shared<Segment>(*segments_[s]);
+  }
+  return segments_[s].get();
+}
+
+util::Status Corpus::DeleteDocument(DocId id) {
+  if (id >= num_documents_) {
+    return util::NotFoundError("document " + std::to_string(id) +
+                               " does not exist");
+  }
+  if (document(id).empty()) {
+    return util::NotFoundError("document " + std::to_string(id) +
+                               " is already deleted");
+  }
+  Segment* segment = MutableSegmentFor(id);
+  segment->docs[id - segment->base] = Document();
+  ++num_tombstones_;
+  return util::Status::Ok();
+}
+
+util::Status Corpus::UpdateDocument(DocId id, Document doc) {
+  ECDR_RETURN_IF_ERROR(ValidateDocument(doc));
+  if (id >= num_documents_) {
+    return util::NotFoundError("document " + std::to_string(id) +
+                               " does not exist");
+  }
+  if (document(id).empty()) {
+    return util::NotFoundError("document " + std::to_string(id) +
+                               " is deleted; updates cannot resurrect it");
+  }
+  Segment* segment = MutableSegmentFor(id);
+  segment->docs[id - segment->base] = std::move(doc);
+  return util::Status::Ok();
+}
+
+util::Status Corpus::AppendRestoredSegment(DocId base,
+                                           std::vector<Document> docs) {
+  if (base != num_documents_) {
+    return util::InvalidArgumentError(
+        "restored segment base " + std::to_string(base) +
+        " does not continue the corpus at " + std::to_string(num_documents_));
+  }
+  std::uint32_t tombstones = 0;
+  for (const Document& doc : docs) {
+    if (doc.empty()) {
+      ++tombstones;  // A tombstone slot, legitimate in a restore.
+      continue;
+    }
+    ECDR_RETURN_IF_ERROR(ValidateDocument(doc));
+  }
+  auto segment = std::make_shared<Segment>();
+  segment->base = base;
+  segment->docs = std::move(docs);
+  num_documents_ += static_cast<std::uint32_t>(segment->docs.size());
+  num_tombstones_ += tombstones;
+  segments_.push_back(std::move(segment));
+  return util::Status::Ok();
+}
+
+Corpus Corpus::Compacted(std::uint32_t min_docs_per_segment) const {
+  Corpus result(*ontology_);
+  result.segment_target_ = segment_target_;
+  result.num_documents_ = num_documents_;
+  result.num_tombstones_ = num_tombstones_;
+  std::shared_ptr<Segment> merged;
+  for (const std::shared_ptr<Segment>& segment : segments_) {
+    if (merged != nullptr) {
+      // A merge run is open: keep absorbing until it reaches the target
+      // (regardless of the absorbed segment's own size — a hole in the
+      // middle would break the contiguous-id invariant).
+      merged->docs.insert(merged->docs.end(), segment->docs.begin(),
+                          segment->docs.end());
+      if (merged->docs.size() >= min_docs_per_segment) merged = nullptr;
+      continue;
+    }
+    if (segment->docs.size() >= min_docs_per_segment) {
+      result.segments_.push_back(segment);  // Shared untouched.
+      continue;
+    }
+    merged = std::make_shared<Segment>();
+    merged->base = segment->base;
+    merged->docs = segment->docs;
+    result.segments_.push_back(merged);
+  }
+  return result;
 }
 
 Corpus Resharded(const Corpus& source, std::size_t num_segments) {

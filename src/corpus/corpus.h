@@ -56,7 +56,28 @@ class Corpus {
   /// it is shared with a copy of this corpus.
   util::StatusOr<DocId> AddDocument(Document doc);
 
+  /// Tombstone-deletes document `id`: its slot stays (ids are stable,
+  /// handed out to callers and stored in posting lists) but its content
+  /// becomes the empty Document, so it produces no postings and can
+  /// never appear in a result again. Clones the containing segment
+  /// first when it is shared with a snapshot copy. Fails with kNotFound
+  /// when `id` is out of range or already deleted.
+  util::Status DeleteDocument(DocId id);
+
+  /// Replaces document `id` in place (same id, new concept set), with
+  /// AddDocument's validation. Fails with kNotFound when `id` is out of
+  /// range or tombstoned — an update cannot resurrect a delete.
+  util::Status UpdateDocument(DocId id, Document doc);
+
   std::uint32_t num_documents() const { return num_documents_; }
+
+  /// Slots tombstoned by DeleteDocument. num_documents() counts them;
+  /// live documents = num_documents() - num_tombstones().
+  std::uint32_t num_tombstones() const { return num_tombstones_; }
+
+  /// True when `id`'s slot is a tombstone (or, equivalently for every
+  /// observable purpose, was restored as one).
+  bool IsDeleted(DocId id) const { return document(id).empty(); }
 
   const Document& document(DocId id) const {
     ECDR_DCHECK_LT(id, num_documents_);
@@ -92,15 +113,48 @@ class Corpus {
     return segments_[s]->docs;
   }
 
+  /// Opaque identity of segment `s`'s backing storage. Two corpus
+  /// values that report the same identity for a [base, size) range hold
+  /// the *same* documents there — any in-place edit (delete/update)
+  /// clones a shared segment first, so a mutated segment always gets a
+  /// new identity as long as the old value (e.g. a published snapshot)
+  /// is still alive. index::ShardedIndex keys shard reuse on this, not
+  /// on the range, which deletes and updates leave unchanged.
+  const void* segment_identity(std::size_t s) const {
+    ECDR_DCHECK_LT(s, segments_.size());
+    return segments_[s].get();
+  }
+
+  /// Installs a segment recovered from a snapshot image. `base` must
+  /// equal num_documents() (segments arrive in id order) and `docs` may
+  /// contain empty tombstone slots. Non-empty documents are validated
+  /// against the ontology like AddDocument.
+  util::Status AppendRestoredSegment(DocId base, std::vector<Document> docs);
+
+  /// A compacted copy: runs of adjacent segments smaller than
+  /// `min_docs_per_segment` are merged into one, larger segments are
+  /// shared untouched. Ids (including tombstone slots) are unchanged,
+  /// so every index or snapshot built over `this` stays valid; only the
+  /// segment layout — and hence the shard layout of the next index
+  /// build — changes.
+  Corpus Compacted(std::uint32_t min_docs_per_segment) const;
+
  private:
   struct Segment {
     DocId base = 0;
     std::vector<Document> docs;
   };
 
+  /// Segment index containing `id`, cloned first if shared — the
+  /// copy-on-write step every in-place edit goes through.
+  Segment* MutableSegmentFor(DocId id);
+
+  util::Status ValidateDocument(const Document& doc) const;
+
   const ontology::Ontology* ontology_;
   std::uint32_t segment_target_ = 0;
   std::uint32_t num_documents_ = 0;
+  std::uint32_t num_tombstones_ = 0;
   std::vector<std::shared_ptr<Segment>> segments_;
 };
 

@@ -33,6 +33,16 @@ class InvertedIndex {
   InvertedIndex(const corpus::Corpus& corpus, corpus::DocId first,
                 std::uint32_t count);
 
+  /// Adopts posting lists recovered from a snapshot image instead of
+  /// rebuilding them from the corpus. `postings[c]` lists the documents
+  /// of [first, first + count) containing concept `c`, in increasing id
+  /// order; the vector spans every ontology concept.
+  InvertedIndex(corpus::DocId first, std::uint32_t count,
+                std::vector<std::vector<corpus::DocId>> postings)
+      : postings_(std::move(postings)),
+        first_doc_(first),
+        num_documents_(count) {}
+
   /// Document ids containing `c`, in increasing id order.
   std::span<const corpus::DocId> Postings(ontology::ConceptId c) const {
     ECDR_DCHECK_LT(c, postings_.size());
@@ -54,6 +64,10 @@ class InvertedIndex {
   corpus::DocId first_doc() const { return first_doc_; }
 
   std::uint32_t num_indexed_documents() const { return num_documents_; }
+
+  /// Concepts this index has posting slots for (the ontology size at
+  /// construction) — the bound image serialization iterates to.
+  std::size_t num_concepts() const { return postings_.size(); }
 
  private:
   std::vector<std::vector<corpus::DocId>> postings_;

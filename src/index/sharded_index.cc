@@ -7,19 +7,38 @@ ShardedIndex::ShardedIndex(const corpus::Corpus& corpus,
     : num_documents_(corpus.num_documents()) {
   const std::size_t segments = corpus.num_segments();
   shards_.reserve(segments);
+  identities_.reserve(segments);
   for (std::size_t s = 0; s < segments; ++s) {
     const corpus::DocId base = corpus.segment_base(s);
     const std::uint32_t count =
         static_cast<std::uint32_t>(corpus.segment_documents(s).size());
+    const void* identity = corpus.segment_identity(s);
     if (previous != nullptr && s < previous->shards_.size()) {
       const std::shared_ptr<const InvertedIndex>& old = previous->shards_[s];
-      if (old->first_doc() == base && old->num_indexed_documents() == count) {
+      if (old->first_doc() == base && old->num_indexed_documents() == count &&
+          previous->identities_[s] == identity) {
         shards_.push_back(old);
+        identities_.push_back(identity);
         ++shards_reused_;
         continue;
       }
     }
     shards_.push_back(std::make_shared<InvertedIndex>(corpus, base, count));
+    identities_.push_back(identity);
+  }
+}
+
+ShardedIndex::ShardedIndex(
+    const corpus::Corpus& corpus,
+    std::vector<std::shared_ptr<const InvertedIndex>> shards)
+    : shards_(std::move(shards)), num_documents_(corpus.num_documents()) {
+  ECDR_CHECK_EQ(shards_.size(), corpus.num_segments());
+  identities_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ECDR_CHECK_EQ(shards_[s]->first_doc(), corpus.segment_base(s));
+    ECDR_CHECK_EQ(shards_[s]->num_indexed_documents(),
+                  corpus.segment_documents(s).size());
+    identities_.push_back(corpus.segment_identity(s));
   }
 }
 

@@ -44,12 +44,21 @@ class ShardedIndex {
   ShardedIndex() = default;
 
   /// Builds one shard per segment of `corpus`. When `previous` is an
-  /// index built over an earlier copy of the same corpus (fewer
-  /// documents, same prefix — the snapshot-publish invariant), shards
-  /// whose [base, size) range is unchanged are shared with it instead of
-  /// rebuilt.
+  /// index built over an earlier copy-on-write generation of the same
+  /// corpus, shards whose backing segment is untouched — same
+  /// [base, size) range AND same Corpus::segment_identity — are shared
+  /// with it instead of rebuilt. The identity check is what makes
+  /// deletes and updates safe: an in-place edit clones the shared
+  /// segment (new identity) without changing its range, so a
+  /// range-keyed reuse would resurrect the pre-edit postings.
   explicit ShardedIndex(const corpus::Corpus& corpus,
                         const ShardedIndex* previous = nullptr);
+
+  /// Adopts shards recovered from a snapshot image. Shards must align
+  /// one-to-one with `corpus`'s segments (checked); identities are
+  /// recorded from `corpus` so the next incremental build reuses them.
+  ShardedIndex(const corpus::Corpus& corpus,
+               std::vector<std::shared_ptr<const InvertedIndex>> shards);
 
   // Copies share all shards (cheap); the type is immutable after
   // construction, so shared shards are safe from any thread.
@@ -90,6 +99,9 @@ class ShardedIndex {
 
  private:
   std::vector<std::shared_ptr<const InvertedIndex>> shards_;
+  /// segment_identity of the segment each shard was built over,
+  /// parallel to shards_ — the reuse key for the next publish.
+  std::vector<const void*> identities_;
   std::uint32_t num_documents_ = 0;
   std::size_t shards_reused_ = 0;
 };

@@ -107,6 +107,64 @@ void AddressEnumerator::PrecomputeAll() {
   frozen_.store(true, std::memory_order_release);
 }
 
+util::Status AddressEnumerator::AdoptPrecomputed(
+    std::vector<std::uint32_t> components, std::vector<AddressSpan> spans,
+    std::vector<std::uint32_t> concept_first) {
+  ECDR_CHECK_EQ(live_readers(), 0);
+  const std::uint32_t num_concepts = ontology_->num_concepts();
+  if (concept_first.size() != static_cast<std::size_t>(num_concepts) + 1) {
+    return util::DataLossError(
+        "dewey pool covers " + std::to_string(concept_first.size()) +
+        " prefix entries but the ontology has " +
+        std::to_string(num_concepts) + " concepts");
+  }
+  if (concept_first.front() != 0 ||
+      concept_first.back() != spans.size()) {
+    return util::DataLossError("dewey pool prefix array does not close "
+                               "over the span array");
+  }
+  for (std::size_t i = 1; i < concept_first.size(); ++i) {
+    if (concept_first[i] < concept_first[i - 1]) {
+      return util::DataLossError("dewey pool prefix array is not monotone");
+    }
+    if (concept_first[i] == concept_first[i - 1]) {
+      return util::DataLossError("concept " + std::to_string(i - 1) +
+                                 " has no addresses in the dewey pool");
+    }
+  }
+  for (const AddressSpan& span : spans) {
+    if (static_cast<std::uint64_t>(span.offset) + span.length >
+        components.size()) {
+      return util::DataLossError("dewey span exceeds the component arena");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  frozen_.store(false, std::memory_order_release);
+  cache_.clear();
+  pool_.Clear();
+  pool_.components_ = std::move(components);
+  pool_.spans_ = std::move(spans);
+  pool_.concept_first_ = std::move(concept_first);
+  pool_.BuildRanks();
+  // Materialize the per-concept cache Addresses() serves, in the pool's
+  // (lexicographic) order.
+  std::uint64_t total_addresses = 0;
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    Entry& entry = cache_[c];
+    const auto concept_spans = pool_.spans(c);
+    entry.addresses.reserve(concept_spans.size());
+    for (const AddressSpan& span : concept_spans) {
+      const auto address = pool_.components(span);
+      entry.addresses.emplace_back(address.begin(), address.end());
+    }
+    total_addresses += concept_spans.size();
+  }
+  cached_addresses_.store(total_addresses, std::memory_order_relaxed);
+  cache_generation_.store(NextCacheGeneration(), std::memory_order_release);
+  frozen_.store(true, std::memory_order_release);
+  return util::Status::Ok();
+}
+
 bool AddressEnumerator::truncated(ConceptId c) const {
   if (frozen_.load(std::memory_order_acquire)) {
     const auto it = cache_.find(c);

@@ -142,6 +142,23 @@ class AddressEnumerator {
     return frozen() && pool_.built() ? &pool_ : nullptr;
   }
 
+  /// Installs a FlatDeweyPool recovered from a snapshot image in place
+  /// of PrecomputeAll()'s enumeration DFS — the startup saving the
+  /// image's DEWEY section buys. The per-concept cache is materialized
+  /// from the spans, the global ranks are rebuilt (a deterministic
+  /// function of the spans, so recovered and freshly-enumerated pools
+  /// rank identically), and the enumerator freezes. Replaces any
+  /// existing cache; like ClearCache(), aborts while a ReaderLease is
+  /// live. Fails with kDataLoss when the arrays are inconsistent (the
+  /// caller's CRC passed but the encoded structure is impossible).
+  /// Note: the per-concept `truncated` flag is not persisted; a
+  /// restored enumerator reports truncated() == false even for sets
+  /// that were capped at enumeration time. The address sets themselves
+  /// — and hence every distance — are restored exactly.
+  util::Status AdoptPrecomputed(std::vector<std::uint32_t> components,
+                                std::vector<AddressSpan> spans,
+                                std::vector<std::uint32_t> concept_first);
+
   /// True if Addresses(c) was truncated at the cap (call after
   /// Addresses(c)).
   bool truncated(ConceptId c) const;

@@ -390,6 +390,8 @@ int HttpStatusForCode(util::StatusCode code) {
       return 504;
     case util::StatusCode::kResourceExhausted:
       return 429;
+    case util::StatusCode::kDataLoss:
+      return 500;
     case util::StatusCode::kNumStatusCodes:
       break;
   }

@@ -355,15 +355,28 @@ void Server::DrainInput(Connection* conn) {
   }
 }
 
+namespace {
+
+/// Targets served by the worker pool (searches and writes — anything
+/// that can block on the engine or the WAL).
+bool IsWorkerTarget(const std::string& target) {
+  return target == "/v1/search" || target == "/v1/documents" ||
+         target == "/v1/documents/delete" ||
+         target == "/v1/documents/update" ||
+         target == "/v1/admin/checkpoint" || target == "/v1/admin/compact";
+}
+
+}  // namespace
+
 void Server::DispatchRequest(Connection* conn) {
   HttpRequest& request = conn->parser.request();
   const bool keep_alive = request.KeepAlive();
-  if (request.target == "/v1/search") {
+  if (IsWorkerTarget(request.target)) {
     if (request.method != "POST") {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       SendInline(conn, 405,
                  ErrorBody(405, "INVALID_ARGUMENT",
-                           "use POST for /v1/search"),
+                           "use POST for '" + request.target + "'"),
                  keep_alive);
       return;
     }
@@ -493,7 +506,7 @@ void Server::WorkerLoop() {
       queue_.pop_front();
     }
     bool keep_alive = job.keep_alive;
-    std::string response = HandleSearch(job, &keep_alive);
+    std::string response = HandleRequest(job, &keep_alive);
     {
       std::lock_guard<std::mutex> lock(completion_mutex_);
       completions_.push_back(
@@ -515,6 +528,137 @@ std::string Server::ErrorBody(int http_status, std::string_view code_name,
   json::AppendQuoted(&body, message);
   body += "}}";
   return body;
+}
+
+std::string Server::HandleRequest(const Job& job, bool* keep_alive) {
+  if (job.request.target == "/v1/search") return HandleSearch(job, keep_alive);
+  return HandleWrite(job, keep_alive);
+}
+
+std::string Server::HandleWrite(const Job& job, bool* keep_alive) {
+  const auto fail = [&](int status, std::string_view code,
+                        std::string_view message) {
+    if (status == 429) {
+      shed_engine_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status >= 500) {
+      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(status, "application/json",
+                             ErrorBody(status, code, message), *keep_alive);
+  };
+  const auto engine_fail = [&](const util::Status& status) {
+    const util::StatusCode code = status.code();
+    return fail(HttpStatusForCode(code), util::StatusCodeName(code),
+                status.message());
+  };
+  const auto ok_body = [&](std::string body) {
+    responses_ok_.fetch_add(1, std::memory_order_relaxed);
+    return SerializeResponse(200, "application/json", std::move(body),
+                             *keep_alive);
+  };
+  const std::string& target = job.request.target;
+
+  if (target == "/v1/admin/checkpoint") {
+    const util::Status status = engine_->Checkpoint();
+    if (!status.ok()) return engine_fail(status);
+    const core::DurabilityStats durability = engine_->durability_stats();
+    std::string body = "{\"checkpointed\":true,";
+    AppendCounter(&body, "image_generation", durability.store.image_generation);
+    body += ',';
+    AppendCounter(&body, "durable_lsn", durability.store.durable_lsn);
+    body += '}';
+    return ok_body(std::move(body));
+  }
+  if (target == "/v1/admin/compact") {
+    const util::Status status = engine_->Compact();
+    if (!status.ok()) return engine_fail(status);
+    std::string body = "{\"compacted\":true,";
+    AppendCounter(&body, "index_shards",
+                  engine_->snapshot_stats().index_shards);
+    body += '}';
+    return ok_body(std::move(body));
+  }
+
+  json::ParseLimits parse_limits;
+  auto parsed = json::Parse(job.request.body, parse_limits);
+  if (!parsed.ok()) {
+    return fail(400, "INVALID_ARGUMENT", parsed.status().message());
+  }
+  if (!parsed->is_object()) {
+    return fail(400, "INVALID_ARGUMENT", "request body must be an object");
+  }
+
+  std::vector<ontology::ConceptId> concepts;
+  if (const json::Value* concepts_field = parsed->Find("concepts")) {
+    if (!concepts_field->is_array() || concepts_field->array.empty()) {
+      return fail(400, "INVALID_ARGUMENT",
+                  "'concepts' must be a non-empty array of concept ids");
+    }
+    concepts.reserve(concepts_field->array.size());
+    for (const json::Value& element : concepts_field->array) {
+      std::uint64_t id = 0;
+      if (!AsIndex(element, 0xFFFFFFFFull, &id) ||
+          !engine_->ontology().Contains(
+              static_cast<ontology::ConceptId>(id))) {
+        return fail(400, "INVALID_ARGUMENT", "unknown concept id");
+      }
+      concepts.push_back(static_cast<ontology::ConceptId>(id));
+    }
+  }
+  const json::Value* doc_field = parsed->Find("doc");
+  std::uint64_t doc_id = 0;
+  if (doc_field != nullptr && !AsIndex(*doc_field, 0xFFFFFFFFull, &doc_id)) {
+    return fail(400, "INVALID_ARGUMENT", "'doc' must be a document id");
+  }
+
+  // The response reports the generation the write landed in (the one
+  // published by this operation with the default batch size of 1).
+  const auto generation_suffix = [&]() {
+    std::string suffix = ",\"generation\":";
+    suffix += std::to_string(engine_->snapshot_stats().generation);
+    suffix += '}';
+    return suffix;
+  };
+
+  if (target == "/v1/documents") {
+    if (concepts.empty()) {
+      return fail(400, "INVALID_ARGUMENT",
+                  "add needs a non-empty 'concepts' array");
+    }
+    const util::StatusOr<corpus::DocId> added =
+        engine_->AddDocument(std::move(concepts));
+    if (!added.ok()) return engine_fail(added.status());
+    std::string body = "{\"id\":";
+    body += std::to_string(*added);
+    body += generation_suffix();
+    return ok_body(std::move(body));
+  }
+  if (target == "/v1/documents/delete") {
+    if (doc_field == nullptr) {
+      return fail(400, "INVALID_ARGUMENT", "delete needs 'doc'");
+    }
+    const util::Status status =
+        engine_->DeleteDocument(static_cast<corpus::DocId>(doc_id));
+    if (!status.ok()) return engine_fail(status);
+    std::string body = "{\"deleted\":";
+    body += std::to_string(doc_id);
+    body += generation_suffix();
+    return ok_body(std::move(body));
+  }
+  // /v1/documents/update
+  if (doc_field == nullptr || concepts.empty()) {
+    return fail(400, "INVALID_ARGUMENT",
+                "update needs 'doc' and a non-empty 'concepts' array");
+  }
+  const util::Status status = engine_->UpdateDocument(
+      static_cast<corpus::DocId>(doc_id), std::move(concepts));
+  if (!status.ok()) return engine_fail(status);
+  std::string body = "{\"updated\":";
+  body += std::to_string(doc_id);
+  body += generation_suffix();
+  return ok_body(std::move(body));
 }
 
 std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
@@ -676,6 +820,7 @@ std::string Server::StatusJson() const {
   const core::AdmissionStats admission = engine_->admission_stats();
   const util::CacheCounters ddq = engine_->ddq_memo_counters();
   const util::CacheCounters pair = engine_->concept_pair_counters();
+  const core::DurabilityStats durability = engine_->durability_stats();
 
   std::string out = "{\"server\":{";
   AppendCounter(&out, "connections_accepted", server.connections_accepted);
@@ -725,6 +870,29 @@ std::string Server::StatusJson() const {
   AppendCounter(&out, "index_shards", snapshot.index_shards);
   out += ',';
   AppendCounter(&out, "pending_documents", snapshot.pending_documents);
+  out += ',';
+  AppendCounter(&out, "tombstones", snapshot.tombstones);
+  out += "},\"durability\":{\"enabled\":";
+  out += durability.enabled ? "true" : "false";
+  if (durability.enabled) {
+    out += ',';
+    AppendCounter(&out, "last_lsn", durability.store.last_lsn);
+    out += ',';
+    AppendCounter(&out, "durable_lsn", durability.store.durable_lsn);
+    out += ',';
+    AppendCounter(&out, "image_generation", durability.store.image_generation);
+    out += ',';
+    AppendCounter(&out, "wal_bytes", durability.store.wal_bytes);
+    out += ',';
+    AppendCounter(&out, "wal_syncs", durability.store.wal_syncs);
+    out += ',';
+    AppendCounter(&out, "checkpoints_written",
+                  durability.store.checkpoints_written);
+    out += ',';
+    AppendCounter(&out, "records_replayed", durability.store.records_replayed);
+    out += ',';
+    AppendCounter(&out, "wal_tail_dropped", durability.store.wal_tail_dropped);
+  }
   out += "},\"caches\":{\"ddq_memo\":{";
   AppendCounter(&out, "hits", ddq.hits);
   out += ',';
@@ -755,6 +923,7 @@ std::string Server::MetricsText() const {
   const core::AdmissionStats admission = engine_->admission_stats();
   const util::CacheCounters ddq = engine_->ddq_memo_counters();
   const util::CacheCounters pair = engine_->concept_pair_counters();
+  const core::DurabilityStats durability = engine_->durability_stats();
 
   std::string out;
   out.reserve(4096);
@@ -814,6 +983,12 @@ std::string Server::MetricsText() const {
           static_cast<double>(admission.rejected));
   counter("ecdr_admission_total", "event=\"abandoned\"",
           static_cast<double>(admission.abandoned));
+  out += "# TYPE ecdr_admission_in_flight gauge\n";
+  counter("ecdr_admission_in_flight", "",
+          static_cast<double>(admission.in_flight));
+  out += "# TYPE ecdr_admission_queued gauge\n";
+  counter("ecdr_admission_queued", "",
+          static_cast<double>(admission.queued));
 
   out += "# TYPE ecdr_snapshot_generation gauge\n";
   counter("ecdr_snapshot_generation", "",
@@ -821,9 +996,35 @@ std::string Server::MetricsText() const {
   out += "# TYPE ecdr_snapshot_pending_documents gauge\n";
   counter("ecdr_snapshot_pending_documents", "",
           static_cast<double>(snapshot.pending_documents));
+  out += "# TYPE ecdr_snapshot_tombstones gauge\n";
+  counter("ecdr_snapshot_tombstones", "",
+          static_cast<double>(snapshot.tombstones));
+  out += "# TYPE ecdr_cache_events_total counter\n";
+  counter("ecdr_cache_events_total", "cache=\"ddq_memo\",event=\"hit\"",
+          static_cast<double>(ddq.hits));
+  counter("ecdr_cache_events_total", "cache=\"ddq_memo\",event=\"miss\"",
+          static_cast<double>(ddq.misses));
+  counter("ecdr_cache_events_total", "cache=\"concept_pair\",event=\"hit\"",
+          static_cast<double>(pair.hits));
+  counter("ecdr_cache_events_total", "cache=\"concept_pair\",event=\"miss\"",
+          static_cast<double>(pair.misses));
   out += "# TYPE ecdr_cache_hit_rate gauge\n";
   counter("ecdr_cache_hit_rate", "cache=\"ddq_memo\"", ddq.hit_rate());
   counter("ecdr_cache_hit_rate", "cache=\"concept_pair\"", pair.hit_rate());
+  if (durability.enabled) {
+    out += "# TYPE ecdr_wal_durable_lsn gauge\n";
+    counter("ecdr_wal_durable_lsn", "",
+            static_cast<double>(durability.store.durable_lsn));
+    out += "# TYPE ecdr_wal_bytes gauge\n";
+    counter("ecdr_wal_bytes", "",
+            static_cast<double>(durability.store.wal_bytes));
+    out += "# TYPE ecdr_wal_syncs_total counter\n";
+    counter("ecdr_wal_syncs_total", "",
+            static_cast<double>(durability.store.wal_syncs));
+    out += "# TYPE ecdr_checkpoints_written_total counter\n";
+    counter("ecdr_checkpoints_written_total", "",
+            static_cast<double>(durability.store.checkpoints_written));
+  }
   out += "# TYPE ecdr_connections_active gauge\n";
   counter("ecdr_connections_active", "",
           static_cast<double>(server.active_connections));

@@ -33,10 +33,20 @@
 //     Distances serialize in shortest-round-trip form: parsing them
 //     back yields bit-identical doubles (the serve differential test
 //     holds the served path to byte-for-byte engine equality).
+//   POST /v1/documents          {"concepts":[..]}  add; -> {"id":N}
+//   POST /v1/documents/delete   {"doc":N}  tombstone-delete
+//   POST /v1/documents/update   {"doc":N, "concepts":[..]}  in-place
+//   POST /v1/admin/checkpoint   write a snapshot image, rotate the WAL
+//     Writes run on the worker pool like searches (they can block on
+//     the WAL fsync); on a durable engine a 200 means the operation is
+//     on disk (fsync_mode permitting). Engine errors map via
+//     HttpStatusForCode — kNotFound 404, kResourceExhausted 429,
+//     kDataLoss/kIoError 500.
 //   GET /status       JSON counters: server, admission, snapshot
-//                     generation, cache hit rates, latency quantiles.
-//                     Served inline on the event loop — never queued,
-//                     never shed, so overload can still be observed.
+//                     generation, durability, cache hit rates, latency
+//                     quantiles. Served inline on the event loop —
+//                     never queued, never shed, so overload can still
+//                     be observed.
 //   GET /metrics      The same data in Prometheus text exposition
 //                     format (latency histogram as cumulative buckets).
 //   GET /healthz      200 once Start() returned.
@@ -158,8 +168,13 @@ class Server {
   void DrainCompletions();
 
   // -- Worker-side request handling --
+  /// Routes one dispatched request by target; returns the response
+  /// bytes.
+  std::string HandleRequest(const Job& job, bool* keep_alive);
   /// Runs one search request end to end; returns the response bytes.
   std::string HandleSearch(const Job& job, bool* keep_alive);
+  /// Document lifecycle writes (/v1/documents[...]) and admin actions.
+  std::string HandleWrite(const Job& job, bool* keep_alive);
   std::string StatusJson() const;
   std::string MetricsText() const;
   /// JSON error body {"error":{"code":..,"message":..}}.

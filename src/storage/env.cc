@@ -1,0 +1,433 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ecdr::storage {
+
+namespace {
+
+util::Status ErrnoError(const std::string& what, const std::string& path) {
+  return util::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  util::Status Append(std::string_view data) override {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+    return util::Status::Ok();
+  }
+
+  util::Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return ErrnoError("close", path_);
+    }
+    fd_ = -1;
+    return util::Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+// A read-only mmap of the whole file; empty files skip the map (mmap of
+// zero bytes is an error).
+class MmapFileContents final : public FileContents {
+ public:
+  MmapFileContents(void* map, std::size_t size) : map_(map), size_(size) {}
+  ~MmapFileContents() override {
+    if (map_ != nullptr) ::munmap(map_, size_);
+  }
+  std::string_view data() const override {
+    return {static_cast<const char*>(map_), size_};
+  }
+
+ private:
+  void* map_;
+  std::size_t size_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  util::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    const int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoError("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  util::StatusOr<std::unique_ptr<FileContents>> ReadFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return util::NotFoundError("no such file: " + path);
+      }
+      return ErrnoError("open", path);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const util::Status status = ErrnoError("stat", path);
+      ::close(fd);
+      return status;
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::unique_ptr<FileContents>(
+          std::make_unique<MmapFileContents>(nullptr, 0));
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // The mapping outlives the descriptor.
+    if (map == MAP_FAILED) return ErrnoError("mmap", path);
+    return std::unique_ptr<FileContents>(
+        std::make_unique<MmapFileContents>(map, size));
+  }
+
+  util::StatusOr<bool> FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  util::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoError("opendir", path);
+    std::vector<std::string> names;
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  util::Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoError("mkdir", path);
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status RenameFile(const std::string& from,
+                          const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename to " + to + " from", from);
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoError("unlink", path);
+    return util::Status::Ok();
+  }
+
+  util::Status TruncateFile(const std::string& path,
+                            std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoError("truncate", path);
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoError("open dir", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoError("fsync dir", path);
+    return util::Status::Ok();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FaultyEnv
+
+class StringFileContents final : public FileContents {
+ public:
+  explicit StringFileContents(std::string data) : data_(std::move(data)) {}
+  std::string_view data() const override { return data_; }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  util::Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    if (env_->wedged_) return util::IoError("env wedged by injected fault");
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return util::IoError("file vanished under writer: " + path_);
+    }
+    using IoAction = util::FaultInjectorOptions::IoAction;
+    switch (env_->NextIoActionLocked()) {
+      case IoAction::kFail:
+        env_->wedged_ = true;
+        return util::IoError("injected write failure on " + path_);
+      case IoAction::kShortWrite:
+        // The process died mid-write: a prefix reached the file, the
+        // call never returned.
+        it->second.written.append(data.substr(0, data.size() / 2));
+        env_->wedged_ = true;
+        return util::IoError("injected short write on " + path_);
+      case IoAction::kNone:
+      case IoAction::kFsyncDrop:  // Only meaningful on Sync.
+        break;
+    }
+    it->second.written.append(data);
+    return util::Status::Ok();
+  }
+
+  util::Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    if (env_->wedged_) return util::IoError("env wedged by injected fault");
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return util::IoError("file vanished under writer: " + path_);
+    }
+    using IoAction = util::FaultInjectorOptions::IoAction;
+    switch (env_->NextIoActionLocked()) {
+      case IoAction::kFail:
+        env_->wedged_ = true;
+        return util::IoError("injected fsync failure on " + path_);
+      case IoAction::kFsyncDrop:
+        // The lying-fsync case: the call reports success but nothing
+        // became durable. Not wedged — the process runs on, convinced
+        // its data is safe.
+        return util::Status::Ok();
+      case IoAction::kNone:
+      case IoAction::kShortWrite:
+        break;
+    }
+    it->second.durable = it->second.written;
+    // Like ext4's fsync of a fresh file, the directory entry commits
+    // with the data; SyncDir is still required for rename direction.
+    it->second.entry_durable = true;
+    return util::Status::Ok();
+  }
+
+  util::Status Close() override { return util::Status::Ok(); }
+
+ private:
+  FaultyEnv* env_;
+  std::string path_;
+};
+
+util::FaultInjectorOptions::IoAction FaultyEnv::NextIoActionLocked() {
+  if (injector_ == nullptr) return util::FaultInjectorOptions::IoAction::kNone;
+  return injector_->OnIoOp();
+}
+
+util::StatusOr<std::unique_ptr<WritableFile>> FaultyEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wedged_) return util::IoError("env wedged by injected fault");
+  using IoAction = util::FaultInjectorOptions::IoAction;
+  switch (NextIoActionLocked()) {
+    case IoAction::kFail:
+    case IoAction::kShortWrite:
+      wedged_ = true;
+      return util::IoError("injected open failure on " + path);
+    case IoAction::kNone:
+    case IoAction::kFsyncDrop:
+      break;
+  }
+  FileState& state = files_[path];
+  if (truncate) {
+    state.written.clear();
+    // Truncation is a journaled metadata op: model it as immediately
+    // durable (conservative for the formats here — recovery must not
+    // depend on a truncated tail resurrecting).
+    state.durable.clear();
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultyWritableFile>(this, path));
+}
+
+util::StatusOr<std::unique_ptr<FileContents>> FaultyEnv::ReadFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return util::NotFoundError("no such file: " + path);
+  return std::unique_ptr<FileContents>(
+      std::make_unique<StringFileContents>(it->second.written));
+}
+
+util::StatusOr<bool> FaultyEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+util::StatusOr<std::vector<std::string>> FaultyEnv::ListDir(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dirs_.count(path) == 0) return util::NotFoundError("no such dir: " + path);
+  std::vector<std::string> names;
+  const std::string prefix = path + "/";
+  for (const auto& [file_path, state] : files_) {
+    if (file_path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = file_path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+util::Status FaultyEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_.emplace(path, true);  // Directories survive crashes in this model.
+  return util::Status::Ok();
+}
+
+util::Status FaultyEnv::RenameFile(const std::string& from,
+                                   const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wedged_) return util::IoError("env wedged by injected fault");
+  using IoAction = util::FaultInjectorOptions::IoAction;
+  switch (NextIoActionLocked()) {
+    case IoAction::kFail:
+    case IoAction::kShortWrite:
+      wedged_ = true;
+      return util::IoError("injected rename failure on " + from);
+    case IoAction::kNone:
+    case IoAction::kFsyncDrop:
+      break;
+  }
+  const auto it = files_.find(from);
+  if (it == files_.end()) return util::NotFoundError("no such file: " + from);
+  FileState state = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(state);
+  // Visible now, durable only after SyncDir: record so SimulateCrash
+  // can put the file back under its old name.
+  pending_renames_.push_back({from, to});
+  return util::Status::Ok();
+}
+
+util::Status FaultyEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wedged_) return util::IoError("env wedged by injected fault");
+  const auto it = files_.find(path);
+  if (it == files_.end()) return util::NotFoundError("no such file: " + path);
+  files_.erase(it);
+  // Unlink is modeled durable immediately; recovery never depends on a
+  // removed file resurrecting.
+  return util::Status::Ok();
+}
+
+util::Status FaultyEnv::TruncateFile(const std::string& path,
+                                     std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wedged_) return util::IoError("env wedged by injected fault");
+  const auto it = files_.find(path);
+  if (it == files_.end()) return util::NotFoundError("no such file: " + path);
+  if (size < it->second.written.size()) it->second.written.resize(size);
+  if (size < it->second.durable.size()) it->second.durable.resize(size);
+  return util::Status::Ok();
+}
+
+util::Status FaultyEnv::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wedged_) return util::IoError("env wedged by injected fault");
+  using IoAction = util::FaultInjectorOptions::IoAction;
+  switch (NextIoActionLocked()) {
+    case IoAction::kFail:
+      wedged_ = true;
+      return util::IoError("injected dir fsync failure on " + path);
+    case IoAction::kFsyncDrop:
+      return util::Status::Ok();  // Lied; renames stay un-durable.
+    case IoAction::kNone:
+    case IoAction::kShortWrite:
+      break;
+  }
+  const std::string prefix = path + "/";
+  auto in_dir = [&prefix](const std::string& file_path) {
+    return file_path.rfind(prefix, 0) == 0 &&
+           file_path.find('/', prefix.size()) == std::string::npos;
+  };
+  for (auto& [file_path, state] : files_) {
+    if (in_dir(file_path)) state.entry_durable = true;
+  }
+  // Commit the direction of renames inside this directory.
+  for (auto it = pending_renames_.begin(); it != pending_renames_.end();) {
+    if (in_dir(it->to)) {
+      it = pending_renames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return util::Status::Ok();
+}
+
+void FaultyEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wedged_ = false;
+  injector_ = nullptr;
+  // Un-committed renames revert, newest first.
+  for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+       ++it) {
+    const auto found = files_.find(it->to);
+    if (found == files_.end()) continue;  // Removed after the rename.
+    FileState state = std::move(found->second);
+    files_.erase(found);
+    files_[it->from] = std::move(state);
+  }
+  pending_renames_.clear();
+  // Files whose directory entry never became durable vanish; the rest
+  // keep only their fsync'd bytes.
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (!it->second.entry_durable) {
+      it = files_.erase(it);
+      continue;
+    }
+    it->second.written = it->second.durable;
+    ++it;
+  }
+}
+
+}  // namespace ecdr::storage

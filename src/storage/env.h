@@ -1,0 +1,166 @@
+// The storage layer's narrow filesystem seam.
+//
+// Everything the durability subsystem does to disk goes through Env —
+// append, fsync, rename-into-place, directory sync — so the crash
+// tests can substitute FaultyEnv, an in-memory filesystem that tracks
+// exactly which bytes an fsync has made durable and can "crash" by
+// discarding everything after the last synced watermark. PosixEnv is
+// the real thing: O_APPEND writes, fsync/fdatasync, mmap'd reads (a
+// loaded image costs page-table entries, not a copy).
+//
+// Durability contract (what PosixEnv provides and FaultyEnv models):
+//   - Append() buffers in the OS; only Sync() makes the bytes crash-safe.
+//   - RenameFile() is atomic with respect to crashes (both names never
+//     point at garbage) but the *direction* is only durable after
+//     SyncDir() on the containing directory.
+//   - A crash may truncate any un-synced suffix at any byte boundary.
+
+#ifndef ECDR_STORAGE_ENV_H_
+#define ECDR_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/fault_injector.h"
+#include "util/status.h"
+
+namespace ecdr::storage {
+
+/// An append-only output file. Close() without Sync() leaves the data
+/// at the OS's mercy across a crash.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual util::Status Append(std::string_view data) = 0;
+  virtual util::Status Sync() = 0;
+  virtual util::Status Close() = 0;
+};
+
+/// An immutable view of a whole file. PosixEnv backs it with a
+/// read-only mmap; FaultyEnv with a string. Keep it alive as long as
+/// anything points into data().
+class FileContents {
+ public:
+  virtual ~FileContents() = default;
+  virtual std::string_view data() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending; truncates first when `truncate`.
+  virtual util::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual util::StatusOr<std::unique_ptr<FileContents>> ReadFile(
+      const std::string& path) = 0;
+
+  virtual util::StatusOr<bool> FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries of directory `path`.
+  virtual util::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// Creates `path` (one level); ok if it already exists.
+  virtual util::Status CreateDir(const std::string& path) = 0;
+
+  virtual util::Status RenameFile(const std::string& from,
+                                  const std::string& to) = 0;
+
+  virtual util::Status RemoveFile(const std::string& path) = 0;
+
+  virtual util::Status TruncateFile(const std::string& path,
+                                    std::uint64_t size) = 0;
+
+  /// Makes preceding creates/renames/removes in `path` durable.
+  virtual util::Status SyncDir(const std::string& path) = 0;
+
+  /// The process-wide real filesystem.
+  static Env* Posix();
+};
+
+/// In-memory Env with byte-accurate crash semantics for the recovery
+/// tests. Every file tracks two states: `written` (what reads observe
+/// now) and `durable` (what survives SimulateCrash — advanced to
+/// `written` by a successful Sync). An attached util::FaultInjector's
+/// io hook can make the env fail, short-write, or silently drop fsyncs
+/// at a chosen operation index; after any injected fault the env is
+/// wedged (every later write-side op fails), mimicking a process that
+/// died mid-call.
+///
+/// Thread-safe; the crash tests drive it from one thread.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(util::FaultInjector* injector = nullptr)
+      : injector_(injector) {}
+
+  util::StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  util::StatusOr<std::unique_ptr<FileContents>> ReadFile(
+      const std::string& path) override;
+  util::StatusOr<bool> FileExists(const std::string& path) override;
+  util::StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override;
+  util::Status CreateDir(const std::string& path) override;
+  util::Status RenameFile(const std::string& from,
+                          const std::string& to) override;
+  util::Status RemoveFile(const std::string& path) override;
+  util::Status TruncateFile(const std::string& path,
+                            std::uint64_t size) override;
+  util::Status SyncDir(const std::string& path) override;
+
+  /// "Kills the process": every file reverts to its durable bytes, the
+  /// wedged flag clears, and the injector detaches (recovery runs
+  /// fault-free unless a new injector is attached).
+  void SimulateCrash();
+
+  void set_injector(util::FaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector_ = injector;
+  }
+
+  /// True once an injected fault has fired (the writer is wedged).
+  bool wedged() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wedged_;
+  }
+
+ private:
+  friend class FaultyWritableFile;
+
+  struct FileState {
+    std::string written;
+    std::string durable;
+    /// Directory-entry durability: a file created (or renamed in) but
+    /// whose directory was never synced vanishes at SimulateCrash.
+    bool entry_durable = false;
+  };
+
+  /// Claims the next io op and applies sticky-wedge semantics. Returns
+  /// the action the calling op must take. mutex_ must be held.
+  util::FaultInjectorOptions::IoAction NextIoActionLocked();
+
+  /// A rename whose direction is not yet durable (no SyncDir since);
+  /// SimulateCrash undoes these newest-first.
+  struct PendingRename {
+    std::string from;
+    std::string to;
+  };
+
+  mutable std::mutex mutex_;
+  util::FaultInjector* injector_;
+  bool wedged_ = false;
+  std::map<std::string, FileState> files_;
+  std::map<std::string, bool> dirs_;  // path -> entry_durable
+  std::vector<PendingRename> pending_renames_;
+};
+
+}  // namespace ecdr::storage
+
+#endif  // ECDR_STORAGE_ENV_H_

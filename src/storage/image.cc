@@ -1,0 +1,461 @@
+#include "storage/image.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/binary_stream.h"
+#include "util/crc32c.h"
+
+namespace ecdr::storage {
+
+namespace {
+
+constexpr char kHeaderMagic[8] = {'E', 'C', 'D', 'R', 'I', 'M', 'G', '1'};
+constexpr std::uint64_t kFooterMagic = 0x31525446'52444345ull;  // "ECDRFTR1"
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kFooterSize = 44;
+
+// Section fourccs. FWDX (forward index) and TAPX (TA's precomputed
+// distance postings) are reserved: the forward index is a pure view
+// over the corpus (nothing to persist) and TA postings are a
+// benchmark-only artifact; both keep their code points so adding them
+// later is a new section, not a format break.
+constexpr std::uint32_t kSectionCorpus = 0x50524F43;  // "CORP"
+constexpr std::uint32_t kSectionIndex = 0x58564E49;   // "INVX"
+constexpr std::uint32_t kSectionDewey = 0x59574544;   // "DEWY"
+
+struct RawSection {
+  std::uint32_t fourcc = 0;
+  std::string_view payload;
+};
+
+std::string FourccName(std::uint32_t fourcc) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((fourcc >> (8 * i)) & 0xFF);
+    name[i] = (c >= 32 && c < 127) ? c : '?';
+  }
+  return name;
+}
+
+util::Status AppendSection(WritableFile& file, std::uint32_t fourcc,
+                           const std::string& payload, std::uint64_t* body) {
+  std::string header;
+  util::AppendU32(header, fourcc);
+  util::AppendU32(header, 0);  // flags, reserved
+  util::AppendU64(header, payload.size());
+  ECDR_RETURN_IF_ERROR(file.Append(header));
+  ECDR_RETURN_IF_ERROR(file.Append(payload));
+  std::string crc;
+  util::AppendU32(crc, util::MaskCrc32c(util::Crc32c(payload)));
+  ECDR_RETURN_IF_ERROR(file.Append(crc));
+  *body += header.size() + payload.size() + crc.size();
+  return util::Status::Ok();
+}
+
+std::string EncodeCorpusSection(const corpus::Corpus& corpus) {
+  std::string payload;
+  util::AppendU64(payload, corpus.num_segments());
+  for (std::size_t s = 0; s < corpus.num_segments(); ++s) {
+    const auto docs = corpus.segment_documents(s);
+    util::AppendU32(payload, corpus.segment_base(s));
+    util::AppendU64(payload, docs.size());
+    for (const corpus::Document& doc : docs) {
+      // A zero concept count is a tombstone slot, restored as one.
+      const auto concepts = doc.concepts();
+      util::AppendU32(payload, static_cast<std::uint32_t>(concepts.size()));
+      for (const std::uint32_t c : concepts) util::AppendU32(payload, c);
+    }
+  }
+  return payload;
+}
+
+std::string EncodeIndexSection(const index::ShardedIndex& index,
+                               std::uint32_t num_concepts) {
+  std::string payload;
+  util::AppendU64(payload, index.num_shards());
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    const index::InvertedIndex& shard = index.shard(s);
+    util::AppendU32(payload, shard.first_doc());
+    util::AppendU32(payload, shard.num_indexed_documents());
+    util::AppendU64(payload, num_concepts);
+    for (std::uint32_t c = 0; c < num_concepts; ++c) {
+      const auto postings = shard.Postings(c);
+      util::AppendU32(payload, static_cast<std::uint32_t>(postings.size()));
+      for (const corpus::DocId d : postings) util::AppendU32(payload, d);
+    }
+  }
+  return payload;
+}
+
+std::string EncodeDeweySection(const ontology::FlatDeweyPool& pool) {
+  std::string payload;
+  // The component arena, the spans, and the per-concept prefix array.
+  // Ranks and rank LCPs are deterministic functions of the spans and
+  // are rebuilt at load (AdoptPrecomputed), halving the section.
+  util::AppendU64(payload, pool.num_components());
+  const std::uint32_t* components = pool.component_data();
+  for (std::uint64_t i = 0; i < pool.num_components(); ++i) {
+    util::AppendU32(payload, components[i]);
+  }
+  util::AppendU64(payload, pool.num_addresses());
+  const std::uint32_t num_concepts = pool.num_concepts();
+  for (std::uint32_t c = 0; c < num_concepts; ++c) {
+    for (const ontology::AddressSpan& span : pool.spans(c)) {
+      util::AppendU32(payload, span.offset);
+      util::AppendU32(payload, span.length);
+    }
+  }
+  util::AppendU64(payload, static_cast<std::uint64_t>(num_concepts) + 1);
+  std::uint32_t first = 0;
+  util::AppendU32(payload, 0);
+  for (std::uint32_t c = 0; c < num_concepts; ++c) {
+    first += static_cast<std::uint32_t>(pool.spans(c).size());
+    util::AppendU32(payload, first);
+  }
+  return payload;
+}
+
+util::Status DecodeCorpusSection(std::string_view payload,
+                                 corpus::Corpus* corpus) {
+  util::ByteParser parser(payload);
+  std::uint64_t num_segments = 0;
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_segments));
+  for (std::uint64_t s = 0; s < num_segments; ++s) {
+    std::uint32_t base = 0;
+    std::uint64_t num_docs = 0;
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&base));
+    ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_docs));
+    if (num_docs > parser.remaining()) {
+      return util::DataLossError("corpus segment claims " +
+                                 std::to_string(num_docs) +
+                                 " documents beyond the section");
+    }
+    std::vector<corpus::Document> docs;
+    docs.reserve(num_docs);
+    for (std::uint64_t d = 0; d < num_docs; ++d) {
+      std::uint32_t count = 0;
+      ECDR_RETURN_IF_ERROR(parser.ReadU32(&count));
+      if (count > parser.remaining() / 4) {
+        return util::DataLossError("document concept count " +
+                                   std::to_string(count) +
+                                   " exceeds the section");
+      }
+      std::vector<std::uint32_t> concepts(count);
+      for (std::uint32_t& c : concepts) {
+        ECDR_RETURN_IF_ERROR(parser.ReadU32(&c));
+      }
+      docs.emplace_back(std::move(concepts));
+    }
+    const util::Status restored =
+        corpus->AppendRestoredSegment(base, std::move(docs));
+    if (!restored.ok()) {
+      // The section's checksum verified, so these bytes are what the
+      // writer produced — a rejection here means the image belongs to
+      // a different ontology (or a format bug), not disk corruption.
+      // Surface the documented kFailedPrecondition for that case.
+      const util::StatusCode code =
+          restored.code() == util::StatusCode::kInvalidArgument
+              ? util::StatusCode::kFailedPrecondition
+              : restored.code();
+      return util::Status(code, "corpus section: " + restored.message());
+    }
+  }
+  if (!parser.exhausted()) {
+    return util::DataLossError("corpus section has trailing bytes");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeIndexSection(std::string_view payload,
+                                const corpus::Corpus& corpus,
+                                index::ShardedIndex* index) {
+  util::ByteParser parser(payload);
+  std::uint64_t num_shards = 0;
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_shards));
+  if (num_shards != corpus.num_segments()) {
+    return util::DataLossError(
+        "index section has " + std::to_string(num_shards) +
+        " shards for " + std::to_string(corpus.num_segments()) +
+        " corpus segments");
+  }
+  std::vector<std::shared_ptr<const index::InvertedIndex>> shards;
+  shards.reserve(num_shards);
+  for (std::uint64_t s = 0; s < num_shards; ++s) {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::uint64_t num_concepts = 0;
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&first));
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&count));
+    ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_concepts));
+    if (first != corpus.segment_base(s) ||
+        count != corpus.segment_documents(s).size()) {
+      return util::DataLossError("index shard " + std::to_string(s) +
+                                 " does not align with its corpus segment");
+    }
+    if (num_concepts != corpus.ontology().num_concepts()) {
+      return util::FailedPreconditionError(
+          "index shard covers " + std::to_string(num_concepts) +
+          " concepts but the ontology has " +
+          std::to_string(corpus.ontology().num_concepts()));
+    }
+    std::vector<std::vector<corpus::DocId>> postings(num_concepts);
+    for (std::uint64_t c = 0; c < num_concepts; ++c) {
+      std::uint32_t size = 0;
+      ECDR_RETURN_IF_ERROR(parser.ReadU32(&size));
+      if (size > parser.remaining() / 4) {
+        return util::DataLossError("posting list size " +
+                                   std::to_string(size) +
+                                   " exceeds the section");
+      }
+      std::vector<corpus::DocId>& list = postings[c];
+      list.resize(size);
+      for (corpus::DocId& d : list) {
+        ECDR_RETURN_IF_ERROR(parser.ReadU32(&d));
+        if (d < first || d >= first + count) {
+          return util::DataLossError("posting doc " + std::to_string(d) +
+                                     " outside shard range");
+        }
+      }
+    }
+    shards.push_back(std::make_shared<index::InvertedIndex>(
+        first, count, std::move(postings)));
+  }
+  if (!parser.exhausted()) {
+    return util::DataLossError("index section has trailing bytes");
+  }
+  *index = index::ShardedIndex(corpus, std::move(shards));
+  return util::Status::Ok();
+}
+
+util::Status DecodeDeweySection(std::string_view payload, LoadedImage* out) {
+  util::ByteParser parser(payload);
+  ECDR_RETURN_IF_ERROR(parser.ReadU32Array(&out->dewey_components,
+                                           parser.remaining() / 4));
+  std::uint64_t num_spans = 0;
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_spans));
+  if (num_spans > parser.remaining() / 8) {
+    return util::DataLossError("dewey span count exceeds the section");
+  }
+  out->dewey_spans.resize(num_spans);
+  for (ontology::AddressSpan& span : out->dewey_spans) {
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&span.offset));
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&span.length));
+  }
+  ECDR_RETURN_IF_ERROR(parser.ReadU32Array(&out->dewey_concept_first,
+                                           parser.remaining() / 4 + 1));
+  if (!parser.exhausted()) {
+    return util::DataLossError("dewey section has trailing bytes");
+  }
+  out->has_dewey = true;
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string ImageFileName(std::uint64_t generation) {
+  std::string digits = std::to_string(generation);
+  return "image-" + std::string(20 - digits.size(), '0') + digits + ".ecdr";
+}
+
+std::optional<std::uint64_t> ParseImageFileName(const std::string& name) {
+  constexpr std::string_view kPrefix = "image-";
+  constexpr std::string_view kSuffix = ".ecdr";
+  if (name.size() != kPrefix.size() + 20 + kSuffix.size()) return std::nullopt;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return std::nullopt;
+  }
+  std::uint64_t generation = 0;
+  for (std::size_t i = kPrefix.size(); i < kPrefix.size() + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    generation = generation * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return generation;
+}
+
+util::StatusOr<std::string> WriteImage(Env& env, const std::string& dir,
+                                       const ImageMeta& meta,
+                                       const corpus::Corpus& corpus,
+                                       const index::ShardedIndex& index,
+                                       const ontology::FlatDeweyPool* dewey) {
+  const std::string final_name = ImageFileName(meta.generation);
+  const std::string tmp_path = dir + "/" + final_name + ".tmp";
+  const std::string final_path = dir + "/" + final_name;
+
+  auto opened = env.NewWritableFile(tmp_path, /*truncate=*/true);
+  ECDR_RETURN_IF_ERROR(opened.status());
+  WritableFile& file = **opened;
+
+  auto abandon = [&env, &tmp_path](util::Status status) -> util::Status {
+    (void)env.RemoveFile(tmp_path);  // Best effort; tmps are also swept
+    return status;                   // on the next successful publish.
+  };
+
+  std::string header(kHeaderMagic, sizeof(kHeaderMagic));
+  util::AppendU32(header, kImageFormatVersion);
+  util::AppendU32(header, 0);  // reserved
+  util::Status appended = file.Append(header);
+  if (!appended.ok()) return abandon(appended);
+
+  std::uint64_t body = 0;
+  std::uint32_t section_count = 2;
+  appended = AppendSection(file, kSectionCorpus, EncodeCorpusSection(corpus),
+                           &body);
+  if (!appended.ok()) return abandon(appended);
+  appended = AppendSection(
+      file, kSectionIndex,
+      EncodeIndexSection(index, corpus.ontology().num_concepts()), &body);
+  if (!appended.ok()) return abandon(appended);
+  if (dewey != nullptr && dewey->built()) {
+    appended =
+        AppendSection(file, kSectionDewey, EncodeDeweySection(*dewey), &body);
+    if (!appended.ok()) return abandon(appended);
+    ++section_count;
+  }
+
+  // Two-phase commit, phase one: every payload byte durable...
+  util::Status synced = file.Sync();
+  if (!synced.ok()) return abandon(synced);
+
+  // ...phase two: the footer — the only thing that makes the file an
+  // image — lands strictly after.
+  std::string footer;
+  util::AppendU64(footer, kFooterMagic);
+  util::AppendU32(footer, kImageFormatVersion);
+  util::AppendU32(footer, section_count);
+  util::AppendU64(footer, meta.generation);
+  util::AppendU64(footer, meta.last_lsn);
+  util::AppendU64(footer, kHeaderSize + body);
+  util::AppendU32(footer, util::MaskCrc32c(util::Crc32c(footer)));
+  appended = file.Append(footer);
+  if (!appended.ok()) return abandon(appended);
+  synced = file.Sync();
+  if (!synced.ok()) return abandon(synced);
+  const util::Status closed = (*opened)->Close();
+  if (!closed.ok()) return abandon(closed);
+
+  const util::Status renamed = env.RenameFile(tmp_path, final_path);
+  if (!renamed.ok()) return abandon(renamed);
+  ECDR_RETURN_IF_ERROR(env.SyncDir(dir));
+  return final_path;
+}
+
+util::StatusOr<LoadedImage> LoadImage(Env& env, const std::string& path,
+                                      const ontology::Ontology& ontology) {
+  auto read = env.ReadFile(path);
+  ECDR_RETURN_IF_ERROR(read.status());
+  const std::string_view data = (*read)->data();
+
+  if (data.size() < kHeaderSize + kFooterSize) {
+    return util::DataLossError(path + ": too small to hold a commit footer (" +
+                               std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return util::DataLossError(path + ": bad header magic");
+  }
+
+  // The footer first: it was written last, so its validity certifies
+  // the whole two-phase commit completed.
+  util::ByteParser footer(data.substr(data.size() - kFooterSize));
+  std::uint64_t footer_magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t section_count = 0;
+  ImageMeta meta;
+  std::uint64_t body_end = 0;
+  std::uint32_t footer_crc = 0;
+  (void)footer.ReadU64(&footer_magic);
+  (void)footer.ReadU32(&version);
+  (void)footer.ReadU32(&section_count);
+  (void)footer.ReadU64(&meta.generation);
+  (void)footer.ReadU64(&meta.last_lsn);
+  (void)footer.ReadU64(&body_end);
+  (void)footer.ReadU32(&footer_crc);
+  if (footer_magic != kFooterMagic) {
+    return util::DataLossError(
+        path + ": commit footer missing (torn image write)");
+  }
+  if (util::UnmaskCrc32c(footer_crc) !=
+      util::Crc32c(data.substr(data.size() - kFooterSize,
+                               kFooterSize - 4))) {
+    return util::DataLossError(path + ": commit footer checksum mismatch");
+  }
+  if (version != kImageFormatVersion) {
+    return util::DataLossError(path + ": unsupported image format version " +
+                               std::to_string(version));
+  }
+  if (body_end != data.size() - kFooterSize) {
+    return util::DataLossError(path + ": footer body size disagrees with "
+                               "the file (torn or spliced image)");
+  }
+
+  // Walk and checksum the sections.
+  std::vector<RawSection> sections;
+  std::size_t pos = kHeaderSize;
+  while (pos < body_end) {
+    if (body_end - pos < 16) {
+      return util::DataLossError(path + ": truncated section header");
+    }
+    util::ByteParser section_header(data.substr(pos, 16));
+    RawSection section;
+    std::uint32_t flags = 0;
+    std::uint64_t size = 0;
+    (void)section_header.ReadU32(&section.fourcc);
+    (void)section_header.ReadU32(&flags);
+    (void)section_header.ReadU64(&size);
+    if (size > body_end - pos - 16 - 4) {
+      return util::DataLossError(path + ": section " +
+                                 FourccName(section.fourcc) +
+                                 " overruns the image body");
+    }
+    section.payload = data.substr(pos + 16, size);
+    util::ByteParser crc_parser(data.substr(pos + 16 + size, 4));
+    std::uint32_t masked_crc = 0;
+    (void)crc_parser.ReadU32(&masked_crc);
+    if (util::UnmaskCrc32c(masked_crc) != util::Crc32c(section.payload)) {
+      return util::DataLossError(path + ": section " +
+                                 FourccName(section.fourcc) +
+                                 " checksum mismatch");
+    }
+    sections.push_back(section);
+    pos += 16 + size + 4;
+  }
+  if (sections.size() != section_count) {
+    return util::DataLossError(
+        path + ": footer promises " + std::to_string(section_count) +
+        " sections, body holds " + std::to_string(sections.size()));
+  }
+
+  // Decode in dependency order: corpus, then the index over it, then
+  // the (optional) dewey pool. Unknown fourccs are skipped — their
+  // checksums verified, their meaning reserved for newer writers.
+  auto find = [&sections](std::uint32_t fourcc) -> const RawSection* {
+    for (const RawSection& s : sections) {
+      if (s.fourcc == fourcc) return &s;
+    }
+    return nullptr;
+  };
+  const RawSection* corpus_section = find(kSectionCorpus);
+  if (corpus_section == nullptr) {
+    return util::DataLossError(path + ": no corpus section");
+  }
+  LoadedImage image(ontology);
+  image.meta = meta;
+  ECDR_RETURN_IF_ERROR(
+      DecodeCorpusSection(corpus_section->payload, &image.corpus));
+  const RawSection* index_section = find(kSectionIndex);
+  if (index_section == nullptr) {
+    return util::DataLossError(path + ": no index section");
+  }
+  ECDR_RETURN_IF_ERROR(
+      DecodeIndexSection(index_section->payload, image.corpus, &image.index));
+  if (const RawSection* dewey_section = find(kSectionDewey)) {
+    ECDR_RETURN_IF_ERROR(DecodeDeweySection(dewey_section->payload, &image));
+  }
+  return image;
+}
+
+}  // namespace ecdr::storage

@@ -1,0 +1,94 @@
+// Checksummed snapshot images — the checkpoint half of the durability
+// story (DESIGN.md, "Durability & recovery").
+//
+// An image is one self-validating file capturing a published engine
+// generation: the corpus segments (tombstone slots included), the
+// sharded inverted index (so boot skips the index rebuild), and
+// optionally the flattened Dewey pool (so boot skips the address
+// enumeration DFS). Layout:
+//
+//   [header: 8-byte magic, u32 version, u32 reserved]
+//   [section]*                 each: fourcc, flags, u64 size, payload,
+//                              masked crc32c of the payload
+//   [footer: 44 bytes, written last — u64 magic, u32 version,
+//    u32 section count, u64 generation, u64 last LSN, u64 body end,
+//    masked crc32c of the preceding footer bytes]
+//
+// Commit protocol: payloads are appended and fsync'd, then the footer
+// is appended and fsync'd, then the file is renamed from its .tmp name
+// and the directory fsync'd. A crash at any point leaves either no
+// image (a .tmp the loader never looks at) or a fully-committed one;
+// the loader additionally refuses any file whose footer or section
+// checksums do not verify, with a kDataLoss status naming the spot.
+// Loading is mmap-based (Env::ReadFile) — the file is mapped read-only
+// and verified in place; only the decoded structures are materialized.
+
+#ifndef ECDR_STORAGE_IMAGE_H_
+#define ECDR_STORAGE_IMAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "index/sharded_index.h"
+#include "ontology/flat_dewey_pool.h"
+#include "ontology/ontology.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace ecdr::storage {
+
+inline constexpr std::uint32_t kImageFormatVersion = 1;
+
+struct ImageMeta {
+  /// Engine generation the image captures.
+  std::uint64_t generation = 0;
+  /// Highest WAL LSN the image includes; replay resumes above it.
+  std::uint64_t last_lsn = 0;
+};
+
+/// "image-<generation, zero-padded>.ecdr" — zero-padding makes the
+/// lexicographic directory order the numeric generation order.
+std::string ImageFileName(std::uint64_t generation);
+
+/// Generation encoded in an image file name, or nullopt for any other
+/// directory entry (tmp files, WALs, strangers).
+std::optional<std::uint64_t> ParseImageFileName(const std::string& name);
+
+/// Writes a committed image into `dir` using the protocol above and
+/// returns its final path. On any failure the .tmp is abandoned (best
+/// effort removed) and no image-named file is created.
+util::StatusOr<std::string> WriteImage(Env& env, const std::string& dir,
+                                       const ImageMeta& meta,
+                                       const corpus::Corpus& corpus,
+                                       const index::ShardedIndex& index,
+                                       const ontology::FlatDeweyPool* dewey);
+
+struct LoadedImage {
+  explicit LoadedImage(const ontology::Ontology& ontology)
+      : corpus(ontology) {}
+
+  ImageMeta meta;
+  corpus::Corpus corpus;
+  index::ShardedIndex index;
+
+  /// The DEWY section, when present, as the raw arrays
+  /// AddressEnumerator::AdoptPrecomputed consumes.
+  bool has_dewey = false;
+  std::vector<std::uint32_t> dewey_components;
+  std::vector<ontology::AddressSpan> dewey_spans;
+  std::vector<std::uint32_t> dewey_concept_first;
+};
+
+/// Verifies and decodes `path`. kDataLoss on a torn or corrupt file
+/// (missing footer, bad section checksum, impossible structure);
+/// kFailedPrecondition when the image is valid but does not match
+/// `ontology`.
+util::StatusOr<LoadedImage> LoadImage(Env& env, const std::string& path,
+                                      const ontology::Ontology& ontology);
+
+}  // namespace ecdr::storage
+
+#endif  // ECDR_STORAGE_IMAGE_H_

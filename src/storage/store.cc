@@ -1,0 +1,307 @@
+#include "storage/store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecdr::storage {
+
+namespace {
+
+std::optional<std::uint64_t> ParseWalFileName(const std::string& name) {
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return std::nullopt;
+  }
+  std::uint64_t generation = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    generation = generation * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return generation;
+}
+
+/// Applies one replayed record to the recovering corpus. A false return
+/// means the record — though checksummed — cannot apply (e.g. a delete
+/// of a document that does not exist): the log is lying about history,
+/// so replay stops there and truncates, exactly like a torn record.
+bool ApplyRecord(const WalRecord& record, corpus::Corpus* corpus) {
+  switch (record.op) {
+    case WalOp::kAddDocument:
+      return corpus
+          ->AddDocument(corpus::Document(std::vector<std::uint32_t>(
+              record.concepts.begin(), record.concepts.end())))
+          .ok();
+    case WalOp::kDeleteDocument:
+      return corpus->DeleteDocument(record.doc).ok();
+    case WalOp::kUpdateDocument:
+      return corpus
+          ->UpdateDocument(record.doc,
+                           corpus::Document(std::vector<std::uint32_t>(
+                               record.concepts.begin(),
+                               record.concepts.end())))
+          .ok();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string DocumentStore::WalPath(std::uint64_t generation) const {
+  return options_.data_dir + "/wal-" + std::to_string(generation) + ".log";
+}
+
+util::StatusOr<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    StoreOptions options, const ontology::Ontology& ontology) {
+  if (options.env == nullptr) options.env = Env::Posix();
+  std::unique_ptr<DocumentStore> store(
+      new DocumentStore(std::move(options), ontology));
+  store->env_ = store->options_.env;
+  std::lock_guard<std::mutex> lock(store->mutex_);
+  ECDR_RETURN_IF_ERROR(store->RecoverLocked(ontology));
+  return store;
+}
+
+util::Status DocumentStore::RecoverLocked(const ontology::Ontology& ontology) {
+  ECDR_RETURN_IF_ERROR(env_->CreateDir(options_.data_dir));
+  auto listed = env_->ListDir(options_.data_dir);
+  ECDR_RETURN_IF_ERROR(listed.status());
+
+  // Newest image whose checksums verify wins; anything torn or corrupt
+  // is skipped (never deleted — leave the evidence for a human).
+  std::vector<std::uint64_t> image_generations;
+  std::vector<std::uint64_t> wal_generations;
+  for (const std::string& name : *listed) {
+    if (const auto generation = ParseImageFileName(name)) {
+      image_generations.push_back(*generation);
+    } else if (const auto wal_generation = ParseWalFileName(name)) {
+      wal_generations.push_back(*wal_generation);
+    }
+  }
+  std::sort(image_generations.rbegin(), image_generations.rend());
+  bool have_image = false;
+  for (const std::uint64_t generation : image_generations) {
+    auto loaded = LoadImage(
+        *env_, options_.data_dir + "/" + ImageFileName(generation), ontology);
+    if (loaded.ok()) {
+      recovered_ = std::move(*loaded);
+      have_image = true;
+      break;
+    }
+    ++stats_.images_skipped;
+  }
+  if (have_image) {
+    stats_.image_generation = recovered_.meta.generation;
+  }
+  std::uint64_t last_lsn = recovered_.meta.last_lsn;
+
+  // Replay every WAL in generation order. Normally there is one; a
+  // crash between image commit and WAL rotation legitimately leaves
+  // two, and the LSN filter makes replay of both exact.
+  std::sort(wal_generations.begin(), wal_generations.end());
+  const bool exact_before_replay = have_image;
+  bool replayed_any = false;
+  for (const std::uint64_t generation : wal_generations) {
+    const std::string path = WalPath(generation);
+    auto contents = env_->ReadFile(path);
+    if (!contents.ok()) continue;  // Raced away or unreadable; skip.
+    const WalReplayResult replay =
+        ReplayWal((*contents)->data(), recovered_.meta.last_lsn);
+    std::uint64_t applied_bytes = replay.valid_bytes;
+    for (std::size_t i = 0; i < replay.records.size(); ++i) {
+      const WalRecord& record = replay.records[i];
+      if (record.lsn <= last_lsn) continue;  // Cross-file duplicate.
+      if (!ApplyRecord(record, &recovered_.corpus)) {
+        // Stop trusting the log at the first inapplicable record.
+        applied_bytes = 0;  // Recomputed below: conservative full stop.
+        break;
+      }
+      last_lsn = record.lsn;
+      ++stats_.records_replayed;
+      replayed_any = true;
+    }
+    if (applied_bytes != replay.valid_bytes || replay.tail_dropped) {
+      stats_.wal_tail_dropped = true;
+    }
+    // Chop whatever replay refused so the next boot and this one agree.
+    if (replay.tail_dropped && generation == wal_generations.back()) {
+      ECDR_RETURN_IF_ERROR(env_->TruncateFile(path, replay.valid_bytes));
+    }
+  }
+  recovered_index_exact_ = exact_before_replay && !replayed_any;
+
+  // The WAL the writer continues into: the one named for the recovered
+  // image generation (created empty when absent).
+  wal_generation_ = stats_.image_generation;
+  const std::string wal_path = WalPath(wal_generation_);
+  auto exists = env_->FileExists(wal_path);
+  ECDR_RETURN_IF_ERROR(exists.status());
+  std::uint64_t wal_size = 0;
+  if (*exists) {
+    auto contents = env_->ReadFile(wal_path);
+    ECDR_RETURN_IF_ERROR(contents.status());
+    wal_size = (*contents)->data().size();
+  }
+  auto file = env_->NewWritableFile(wal_path, /*truncate=*/false);
+  ECDR_RETURN_IF_ERROR(file.status());
+  wal_ = std::make_unique<WalWriter>(std::move(*file), wal_size);
+  ECDR_RETURN_IF_ERROR(env_->SyncDir(options_.data_dir));
+
+  next_lsn_ = last_lsn + 1;
+  stats_.last_lsn = last_lsn;
+  stats_.durable_lsn = last_lsn;
+  stats_.wal_bytes = wal_->size();
+  return util::Status::Ok();
+}
+
+corpus::Corpus DocumentStore::TakeRecoveredCorpus() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_.corpus);
+}
+
+index::ShardedIndex DocumentStore::TakeRecoveredIndex() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_.index);
+}
+
+std::vector<std::uint32_t> DocumentStore::TakeDeweyComponents() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_.dewey_components);
+}
+
+std::vector<ontology::AddressSpan> DocumentStore::TakeDeweySpans() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_.dewey_spans);
+}
+
+std::vector<std::uint32_t> DocumentStore::TakeDeweyConceptFirst() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_.dewey_concept_first);
+}
+
+util::StatusOr<std::uint64_t> DocumentStore::LogRecordLocked(
+    WalRecord record) {
+  record.lsn = next_lsn_;
+  ECDR_RETURN_IF_ERROR(wal_->Append(record));
+  ++next_lsn_;
+  stats_.last_lsn = record.lsn;
+  stats_.wal_bytes = wal_->size();
+  return record.lsn;
+}
+
+util::StatusOr<std::uint64_t> DocumentStore::LogAdd(
+    const corpus::Document& doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalRecord record;
+  record.op = WalOp::kAddDocument;
+  record.concepts.assign(doc.concepts().begin(), doc.concepts().end());
+  return LogRecordLocked(std::move(record));
+}
+
+util::StatusOr<std::uint64_t> DocumentStore::LogDelete(corpus::DocId doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalRecord record;
+  record.op = WalOp::kDeleteDocument;
+  record.doc = doc;
+  return LogRecordLocked(std::move(record));
+}
+
+util::StatusOr<std::uint64_t> DocumentStore::LogUpdate(
+    corpus::DocId doc, const corpus::Document& new_doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalRecord record;
+  record.op = WalOp::kUpdateDocument;
+  record.doc = doc;
+  record.concepts.assign(new_doc.concepts().begin(),
+                         new_doc.concepts().end());
+  return LogRecordLocked(std::move(record));
+}
+
+util::Status DocumentStore::SyncWal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.fsync_mode == StoreOptions::FsyncMode::kNever) {
+    return util::Status::Ok();
+  }
+  ECDR_RETURN_IF_ERROR(wal_->Sync());
+  stats_.durable_lsn = stats_.last_lsn;
+  ++stats_.wal_syncs;
+  return util::Status::Ok();
+}
+
+util::Status DocumentStore::WriteCheckpoint(const corpus::Corpus& corpus,
+                                            const index::ShardedIndex& index,
+                                            const ontology::FlatDeweyPool* dewey,
+                                            std::uint64_t generation,
+                                            std::uint64_t last_lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The log first: the image claims to cover last_lsn, so those records
+  // must already be durable in case the image write dies halfway.
+  if (options_.fsync_mode != StoreOptions::FsyncMode::kNever) {
+    ECDR_RETURN_IF_ERROR(wal_->Sync());
+    stats_.durable_lsn = stats_.last_lsn;
+  }
+  ImageMeta meta;
+  meta.generation = generation;
+  meta.last_lsn = last_lsn;
+  auto written = WriteImage(*env_, options_.data_dir, meta, corpus, index,
+                            dewey);
+  ECDR_RETURN_IF_ERROR(written.status());
+
+  // Rotate: new epoch's WAL, then retire everything older. Records
+  // logged after last_lsn live in the old WAL, which survives until
+  // the *next* checkpoint precisely because replay reads every WAL
+  // above the image's LSN — nothing is lost if we crash right here.
+  auto file = env_->NewWritableFile(WalPath(generation), /*truncate=*/true);
+  ECDR_RETURN_IF_ERROR(file.status());
+  auto new_wal = std::make_unique<WalWriter>(std::move(*file), 0);
+  // Records logged after last_lsn are only in the old WAL; carry them
+  // into the new one (re-framed, same LSNs) so the sweep below can
+  // drop the old file without losing acknowledged history.
+  if (stats_.last_lsn > last_lsn) {
+    auto old_contents = env_->ReadFile(WalPath(wal_generation_));
+    ECDR_RETURN_IF_ERROR(old_contents.status());
+    const WalReplayResult replay =
+        ReplayWal((*old_contents)->data(), last_lsn);
+    for (const WalRecord& record : replay.records) {
+      ECDR_RETURN_IF_ERROR(new_wal->Append(record));
+    }
+    if (options_.fsync_mode != StoreOptions::FsyncMode::kNever) {
+      ECDR_RETURN_IF_ERROR(new_wal->Sync());
+    }
+  }
+  wal_ = std::move(new_wal);
+  wal_generation_ = generation;
+  ECDR_RETURN_IF_ERROR(env_->SyncDir(options_.data_dir));
+
+  // Sweep: images and WALs strictly older than this checkpoint, plus
+  // any abandoned tmp. Failures here are cosmetic; recovery tolerates
+  // leftovers by construction.
+  auto listed = env_->ListDir(options_.data_dir);
+  if (listed.ok()) {
+    for (const std::string& name : *listed) {
+      const std::string path = options_.data_dir + "/" + name;
+      if (const auto image_generation = ParseImageFileName(name)) {
+        if (*image_generation < generation) (void)env_->RemoveFile(path);
+      } else if (const auto wal_generation = ParseWalFileName(name)) {
+        if (*wal_generation < generation) (void)env_->RemoveFile(path);
+      } else if (name.size() > 4 &&
+                 name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        (void)env_->RemoveFile(path);
+      }
+    }
+  }
+  stats_.image_generation = generation;
+  stats_.wal_bytes = wal_->size();
+  ++stats_.checkpoints_written;
+  return util::Status::Ok();
+}
+
+StoreStats DocumentStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ecdr::storage

@@ -1,0 +1,144 @@
+// DocumentStore — the crash-safe document lifecycle behind
+// core::RankingEngine (DESIGN.md, "Durability & recovery").
+//
+// One directory holds everything:
+//   image-<generation>.ecdr   committed snapshot images (storage/image.h)
+//   wal-<generation>.log      the write-ahead log opened at that image
+//   *.tmp                     in-flight image writes, ignored and swept
+//
+// Open() recovers: newest image whose checksums verify (torn or corrupt
+// newer images are skipped and counted), then every WAL record above
+// the image's last LSN re-applied in order, truncating the log at the
+// first bad record. The write path is log-ahead: LogAdd/LogUpdate/
+// LogDelete append a record *before* the caller mutates in-memory
+// state, and SyncWal() on publish makes the acknowledged batch
+// durable. WriteCheckpoint() writes a fresh image, rotates the WAL,
+// and sweeps artifacts older than the new generation.
+//
+// Thread safety: all methods serialize on one internal mutex. A
+// checkpoint holds it for the image write, so writers stall rather
+// than race the rotation — the single-writer build path makes that the
+// honest tradeoff.
+
+#ifndef ECDR_STORAGE_STORE_H_
+#define ECDR_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "index/sharded_index.h"
+#include "ontology/flat_dewey_pool.h"
+#include "ontology/ontology.h"
+#include "storage/env.h"
+#include "storage/image.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace ecdr::storage {
+
+struct StoreOptions {
+  std::string data_dir;
+
+  /// kAlways (default): SyncWal() fsyncs — an acknowledged publish
+  /// survives kill -9. kNever: SyncWal() is a no-op; the OS flushes
+  /// when it pleases (benchmarks, bulk loads).
+  enum class FsyncMode { kAlways, kNever };
+  FsyncMode fsync_mode = FsyncMode::kAlways;
+
+  /// Filesystem seam; null = the real one (Env::Posix()).
+  Env* env = nullptr;
+};
+
+struct StoreStats {
+  std::uint64_t last_lsn = 0;       ///< Highest LSN handed out.
+  std::uint64_t durable_lsn = 0;    ///< Highest LSN a sync has covered.
+  std::uint64_t image_generation = 0;  ///< Generation of the newest image.
+  std::uint64_t wal_bytes = 0;      ///< Current WAL size.
+  std::uint64_t wal_syncs = 0;      ///< SyncWal calls that hit the disk.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t records_replayed = 0;   ///< WAL records re-applied at Open.
+  bool wal_tail_dropped = false;    ///< Open truncated a torn WAL tail.
+  std::uint64_t images_skipped = 0; ///< Corrupt/torn images bypassed at Open.
+};
+
+class DocumentStore {
+ public:
+  /// Opens (creating the directory if needed) and recovers. Fails only
+  /// on real I/O errors — corruption is recovered *around* (skip the
+  /// bad image, truncate the bad tail) and reported in stats(), because
+  /// a store that refuses to open after a crash defeats its purpose.
+  static util::StatusOr<std::unique_ptr<DocumentStore>> Open(
+      StoreOptions options, const ontology::Ontology& ontology);
+
+  // ---- Recovery results (consumed once by the engine at boot) -------
+
+  /// The recovered corpus: image segments plus replayed WAL ops.
+  corpus::Corpus TakeRecoveredCorpus();
+
+  /// The image's index when the WAL replay applied nothing on top of
+  /// it (then the restored shards are exact); otherwise empty, and the
+  /// engine rebuilds incrementally from the corpus.
+  index::ShardedIndex TakeRecoveredIndex();
+  bool recovered_index_exact() const { return recovered_index_exact_; }
+
+  bool has_recovered_dewey() const { return recovered_.has_dewey; }
+  std::vector<std::uint32_t> TakeDeweyComponents();
+  std::vector<ontology::AddressSpan> TakeDeweySpans();
+  std::vector<std::uint32_t> TakeDeweyConceptFirst();
+
+  // ---- Write path (log-ahead) ---------------------------------------
+
+  /// Appends the op and returns its LSN. The caller applies the op to
+  /// in-memory state only after this succeeds; on failure nothing was
+  /// acknowledged and nothing may change.
+  util::StatusOr<std::uint64_t> LogAdd(const corpus::Document& doc);
+  util::StatusOr<std::uint64_t> LogDelete(corpus::DocId doc);
+  util::StatusOr<std::uint64_t> LogUpdate(corpus::DocId doc,
+                                          const corpus::Document& new_doc);
+
+  /// Makes every logged record durable (fsync_mode permitting). Called
+  /// on publish; also the "final WAL fsync" of a clean shutdown.
+  util::Status SyncWal();
+
+  /// Writes a committed image of (`corpus`, `index`, `dewey`) stamped
+  /// `generation`/`last_lsn`, rotates the WAL, and sweeps older images
+  /// and logs. `corpus` must reflect exactly the ops up to `last_lsn`.
+  util::Status WriteCheckpoint(const corpus::Corpus& corpus,
+                               const index::ShardedIndex& index,
+                               const ontology::FlatDeweyPool* dewey,
+                               std::uint64_t generation,
+                               std::uint64_t last_lsn);
+
+  StoreStats stats() const;
+
+  const std::string& data_dir() const { return options_.data_dir; }
+
+ private:
+  DocumentStore(StoreOptions options, const ontology::Ontology& ontology)
+      : options_(std::move(options)), recovered_(ontology) {}
+
+  util::Status RecoverLocked(const ontology::Ontology& ontology);
+
+  util::StatusOr<std::uint64_t> LogRecordLocked(WalRecord record);
+
+  std::string WalPath(std::uint64_t generation) const;
+
+  StoreOptions options_;
+  Env* env_ = nullptr;
+
+  mutable std::mutex mutex_;
+  LoadedImage recovered_;
+  bool recovered_index_exact_ = false;
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t wal_generation_ = 0;
+  std::uint64_t next_lsn_ = 1;
+  StoreStats stats_;
+};
+
+}  // namespace ecdr::storage
+
+#endif  // ECDR_STORAGE_STORE_H_

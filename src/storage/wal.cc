@@ -1,0 +1,93 @@
+#include "storage/wal.h"
+
+#include "util/binary_stream.h"
+#include "util/crc32c.h"
+
+namespace ecdr::storage {
+
+namespace {
+
+// A corrupt length prefix must not parse as a plausible record; cap
+// payloads at 256 MiB (a document is a few thousand u32s).
+constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.op));
+  util::AppendU64(payload, record.lsn);
+  util::AppendU32(payload, record.doc);
+  util::AppendU32Array(payload, record.concepts.data(),
+                       record.concepts.size());
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  util::AppendU32(frame, util::MaskCrc32c(util::Crc32c(payload)));
+  util::AppendU32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+util::Status WalWriter::Append(const WalRecord& record) {
+  const std::string frame = EncodeWalRecord(record);
+  ECDR_RETURN_IF_ERROR(file_->Append(frame));
+  size_ += frame.size();
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::Sync() { return file_->Sync(); }
+
+WalReplayResult ReplayWal(std::string_view data, std::uint64_t min_lsn) {
+  WalReplayResult result;
+  std::uint64_t pos = 0;
+  std::uint64_t last_lsn = min_lsn;
+  while (data.size() - pos >= 8) {
+    util::ByteParser header(data.substr(pos, 8));
+    std::uint32_t masked_crc = 0;
+    std::uint32_t payload_size = 0;
+    (void)header.ReadU32(&masked_crc);
+    (void)header.ReadU32(&payload_size);
+    if (payload_size > kMaxPayload ||
+        payload_size > data.size() - pos - 8) {
+      break;  // Torn length or torn payload.
+    }
+    const std::string_view payload = data.substr(pos + 8, payload_size);
+    if (util::UnmaskCrc32c(masked_crc) != util::Crc32c(payload)) {
+      break;  // Bit rot or a torn write inside the payload.
+    }
+    util::ByteParser parser(payload);
+    std::string_view op_byte;
+    WalRecord record;
+    if (!parser.ReadBytes(1, &op_byte).ok()) break;
+    record.op = static_cast<WalOp>(static_cast<unsigned char>(op_byte[0]));
+    if (record.op != WalOp::kAddDocument &&
+        record.op != WalOp::kDeleteDocument &&
+        record.op != WalOp::kUpdateDocument) {
+      break;
+    }
+    if (!parser.ReadU64(&record.lsn).ok() ||
+        !parser.ReadU32(&record.doc).ok() ||
+        !parser.ReadU32Array(&record.concepts).ok() ||
+        !parser.exhausted()) {
+      break;
+    }
+    if (record.lsn <= min_lsn) {
+      // Already captured by the snapshot image the caller recovered.
+      pos += 8 + payload_size;
+      continue;
+    }
+    if (record.lsn <= last_lsn) {
+      // LSNs are strictly increasing; a regression means the frame is
+      // valid bytes from some other life of the file.
+      break;
+    }
+    last_lsn = record.lsn;
+    result.records.push_back(std::move(record));
+    pos += 8 + payload_size;
+  }
+  result.valid_bytes = pos;
+  result.tail_dropped = pos != data.size();
+  return result;
+}
+
+}  // namespace ecdr::storage

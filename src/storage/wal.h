@@ -1,0 +1,96 @@
+// Write-ahead log for the document lifecycle (DESIGN.md, "Durability &
+// recovery").
+//
+// Every mutation the SnapshotBuilder accepts — add, in-place update,
+// tombstone delete — is encoded as one self-checking record and
+// appended to the log *before* the in-memory state changes. A publish
+// fsyncs the log, so an acknowledged batch survives a crash; replay on
+// boot re-applies records in LSN order on top of the newest valid
+// snapshot image and truncates the file at the first record that fails
+// its checks (a torn tail is expected after a crash — everything after
+// it was never acknowledged).
+//
+// Record framing, all little-endian:
+//   [u32 masked crc32c of payload][u32 payload size][payload]
+// Payload:
+//   [u8 op][u64 lsn][u32 doc][u64 concept count][u32 concepts...]
+// `doc` is the target for update/delete and kInvalidDoc for add (the
+// id is assigned by replay order, which matches the original
+// assignment because the log serializes the single writer). The CRC is
+// masked like LevelDB's so a log embedded in a log stays detectable.
+
+#ifndef ECDR_STORAGE_WAL_H_
+#define ECDR_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/document.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace ecdr::storage {
+
+enum class WalOp : std::uint8_t {
+  kAddDocument = 1,
+  kDeleteDocument = 2,
+  kUpdateDocument = 3,
+};
+
+struct WalRecord {
+  WalOp op = WalOp::kAddDocument;
+  /// Strictly increasing across the store's lifetime; replay rejects
+  /// (stops at) the first non-increasing LSN.
+  std::uint64_t lsn = 0;
+  /// Update/delete target; kInvalidDoc for add.
+  corpus::DocId doc = corpus::kInvalidDoc;
+  /// Add/update concept set (sorted); empty for delete.
+  std::vector<std::uint32_t> concepts;
+};
+
+/// One framed record, ready to append.
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Appends framed records to an Env file. Append() hands the bytes to
+/// the OS; only Sync() makes them crash-safe. Not thread-safe — the
+/// SnapshotBuilder's writer mutex serializes callers.
+class WalWriter {
+ public:
+  WalWriter(std::unique_ptr<WritableFile> file, std::uint64_t start_size)
+      : file_(std::move(file)), size_(start_size) {}
+
+  util::Status Append(const WalRecord& record);
+  util::Status Sync();
+
+  /// Bytes appended so far (including a pre-existing tail the writer
+  /// opened in append mode).
+  std::uint64_t size() const { return size_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  std::uint64_t size_;
+};
+
+struct WalReplayResult {
+  /// The valid prefix, in file (= LSN) order.
+  std::vector<WalRecord> records;
+  /// Byte offset of the first bad record — the length replay truncates
+  /// the file to. Equals the input size for a fully-valid log.
+  std::uint64_t valid_bytes = 0;
+  /// True when anything followed valid_bytes (a torn or corrupt tail).
+  bool tail_dropped = false;
+};
+
+/// Decodes the longest valid record prefix of `data`. Never fails:
+/// corruption ends the replay rather than erroring — a torn tail is
+/// the WAL's normal post-crash state. `min_lsn` is the LSN replay
+/// starts trusting at (records at or below it are skipped as already
+/// captured by the snapshot image the caller recovered).
+WalReplayResult ReplayWal(std::string_view data, std::uint64_t min_lsn);
+
+}  // namespace ecdr::storage
+
+#endif  // ECDR_STORAGE_WAL_H_

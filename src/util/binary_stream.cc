@@ -67,6 +67,69 @@ Status BinaryReader::ReadString(std::string* out) {
   return ReadBytes(out->data(), size);
 }
 
+void AppendU32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU32Array(std::string& out, const std::uint32_t* values,
+                    std::size_t count) {
+  AppendU64(out, count);
+  for (std::size_t i = 0; i < count; ++i) AppendU32(out, values[i]);
+}
+
+Status ByteParser::ReadBytes(std::size_t count, std::string_view* out) {
+  if (count > remaining()) {
+    return DataLossError("record truncated: need " + std::to_string(count) +
+                         " bytes, have " + std::to_string(remaining()));
+  }
+  *out = data_.substr(pos_, count);
+  pos_ += count;
+  return Status::Ok();
+}
+
+Status ByteParser::ReadU32(std::uint32_t* out) {
+  std::string_view bytes;
+  ECDR_RETURN_IF_ERROR(ReadBytes(4, &bytes));
+  *out = 0;
+  for (int i = 3; i >= 0; --i) {
+    *out = (*out << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return Status::Ok();
+}
+
+Status ByteParser::ReadU64(std::uint64_t* out) {
+  std::string_view bytes;
+  ECDR_RETURN_IF_ERROR(ReadBytes(8, &bytes));
+  *out = 0;
+  for (int i = 7; i >= 0; --i) {
+    *out = (*out << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return Status::Ok();
+}
+
+Status ByteParser::ReadU32Array(std::vector<std::uint32_t>* out,
+                                std::uint64_t max_elements) {
+  std::uint64_t count = 0;
+  ECDR_RETURN_IF_ERROR(ReadU64(&count));
+  if (count > max_elements || count * 4 > remaining()) {
+    return DataLossError("array length " + std::to_string(count) +
+                         " exceeds record bounds");
+  }
+  out->resize(count);
+  for (std::uint32_t& v : *out) {
+    ECDR_RETURN_IF_ERROR(ReadU32(&v));
+  }
+  return Status::Ok();
+}
+
 std::uint64_t StreamByteSize(std::istream& in) {
   const std::istream::pos_type here = in.tellg();
   if (here == std::istream::pos_type(-1)) return UINT64_MAX;

@@ -14,6 +14,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
@@ -57,6 +58,45 @@ class BinaryReader {
 
   std::istream* in_;
   std::uint64_t max_allocation_;
+};
+
+// Buffer-based primitives for formats that need to frame and checksum a
+// record before it touches a file descriptor (the storage WAL and
+// snapshot images). Unlike BinaryWriter these build the record in
+// memory, so the caller can CRC the finished bytes and hand the whole
+// record to a single write.
+
+/// Appends `value` to `out` little-endian.
+void AppendU32(std::string& out, std::uint32_t value);
+void AppendU64(std::string& out, std::uint64_t value);
+/// Appends the raw array little-endian with a u64 element-count prefix.
+void AppendU32Array(std::string& out, const std::uint32_t* values,
+                    std::size_t count);
+
+/// Bounds-checked sequential reader over an in-memory byte range. All
+/// methods fail with kDataLoss on truncation — by the time bytes are in
+/// memory, running out of them means the record was torn, not that an
+/// I/O operation failed.
+class ByteParser {
+ public:
+  explicit ByteParser(std::string_view data) : data_(data) {}
+
+  Status ReadU32(std::uint32_t* out);
+  Status ReadU64(std::uint64_t* out);
+  /// Reads a u64 element-count prefix, then that many u32s.
+  /// `max_elements` guards corrupt counts against absurd allocations.
+  Status ReadU32Array(std::vector<std::uint32_t>* out,
+                      std::uint64_t max_elements = 1ULL << 32);
+  /// Hands back a view of the next `count` raw bytes without copying.
+  Status ReadBytes(std::size_t count, std::string_view* out);
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
 };
 
 /// Bytes remaining between the stream's current position and its end

@@ -51,6 +51,17 @@ struct FaultInjectorOptions {
   /// point — e.g. to hold an admission-control slot deterministically —
   /// by blocking inside the hook. Null = no hook.
   std::function<void()> postings_hook;
+
+  /// Storage-path fault: when the io-op counter (separate from the
+  /// query-path counter above, so search traffic cannot perturb crash
+  /// points) reaches `io_fail_at_op`, OnIoOp returns `io_action` for
+  /// that operation and every later one. 0 disables. The storage Env
+  /// interprets the action: kFail errors the call, kShortWrite persists
+  /// only a prefix, kFsyncDrop acknowledges a sync without making prior
+  /// writes durable.
+  std::uint64_t io_fail_at_op = 0;
+  enum class IoAction { kNone, kFail, kShortWrite, kFsyncDrop };
+  IoAction io_action = IoAction::kNone;
 };
 
 /// Thread-safe: the op counter is atomic and decisions are pure
@@ -82,8 +93,25 @@ class FaultInjector {
     }
   }
 
+  /// Hook for storage Env operations (writes and syncs). Claims the
+  /// next io-op index and reports which fault, if any, fires on it.
+  FaultInjectorOptions::IoAction OnIoOp() {
+    const std::uint64_t op =
+        io_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.io_fail_at_op != 0 && op >= options_.io_fail_at_op) {
+      return options_.io_action;
+    }
+    return FaultInjectorOptions::IoAction::kNone;
+  }
+
   /// Operations observed so far (for calibrating cancel_at_op in tests).
   std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+  /// Storage operations observed so far (for sizing io_fail_at_op
+  /// sweeps: run once fault-free, read io_ops(), sweep 1..io_ops()).
+  std::uint64_t io_ops() const {
+    return io_ops_.load(std::memory_order_relaxed);
+  }
 
   const FaultInjectorOptions& options() const { return options_; }
 
@@ -113,6 +141,7 @@ class FaultInjector {
   FaultInjectorOptions options_;
   CancelToken* token_;
   std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> io_ops_{0};
 };
 
 }  // namespace ecdr::util

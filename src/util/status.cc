@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
     case StatusCode::kNumStatusCodes:
       break;  // Enumeration sentinel, not a real code.
   }

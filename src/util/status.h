@@ -26,6 +26,11 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // Unrecoverable corruption: a checksum mismatch, a torn write, or a
+  // file whose commit footer never landed. Distinct from kIoError (the
+  // operation itself failed) — kDataLoss means the bytes came back fine
+  // but are not the bytes that were written.
+  kDataLoss,
   // Not a real code: one past the last valid value, so tests can
   // enumerate every code and assert it has a stable name. Keep last.
   kNumStatusCodes,
@@ -82,6 +87,9 @@ inline Status DeadlineExceededError(std::string message) {
 }
 inline Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 /// Either a T or a non-OK Status. Accessing value() on an error aborts.

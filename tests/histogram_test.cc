@@ -166,6 +166,7 @@ TEST(HttpStatusMappingTest, EveryStatusCodeMapsDeliberately) {
       {StatusCode::kCancelled, 499},
       {StatusCode::kDeadlineExceeded, 504},
       {StatusCode::kResourceExhausted, 429},
+      {StatusCode::kDataLoss, 500},
   };
   // The table above must cover the enum: one row per real code.
   ASSERT_EQ(std::size(expected),

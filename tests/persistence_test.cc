@@ -1,0 +1,620 @@
+// Crash-safety harness for the storage subsystem (DESIGN.md,
+// "Durability & recovery"): WAL round-trips, snapshot-image
+// round-trips, tombstone/update lifecycle, compaction bit-identity,
+// kill-recover differentials over 20 seeds, and a seeded crash-point
+// sweep that injects an io fault at every operation index and proves
+// each recovered store is bit-identical to an ephemeral engine rebuilt
+// from the durable prefix of the workload.
+//
+// The bit-identity bar is deliberate: recovery does not get a
+// tolerance. A recovered engine must return byte-for-byte the results
+// of an engine that never crashed, because the serving layer's
+// differential tests hold the HTTP path to the same standard.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ranking_engine.h"
+#include "corpus/corpus.h"
+#include "corpus/document.h"
+#include "ontology/generator.h"
+#include "storage/env.h"
+#include "storage/image.h"
+#include "storage/store.h"
+#include "storage/wal.h"
+#include "util/fault_injector.h"
+
+namespace ecdr {
+namespace {
+
+ontology::Ontology MakeOntology(std::uint64_t seed) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 120 + (seed % 4) * 40;
+  config.extra_parent_prob = 0.15 * (seed % 3);
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
+
+// One logical document-lifecycle operation; a workload is a vector of
+// these, applied identically to durable and ephemeral engines so their
+// states can be compared bit-for-bit.
+struct Op {
+  enum Kind { kAdd, kDelete, kUpdate };
+  Kind kind = kAdd;
+  corpus::DocId target = corpus::kInvalidDoc;  // delete/update
+  std::vector<ontology::ConceptId> concepts;   // add/update
+};
+
+std::vector<ontology::ConceptId> RandomConcepts(std::mt19937_64& rng,
+                                                std::uint32_t num_concepts) {
+  std::uniform_int_distribution<std::uint32_t> size_dist(1, 8);
+  std::uniform_int_distribution<std::uint32_t> id_dist(0, num_concepts - 1);
+  std::vector<ontology::ConceptId> concepts(size_dist(rng));
+  for (auto& c : concepts) c = id_dist(rng);
+  std::sort(concepts.begin(), concepts.end());
+  concepts.erase(std::unique(concepts.begin(), concepts.end()),
+                 concepts.end());
+  return concepts;
+}
+
+/// A deterministic mixed workload: mostly adds, with deletes and
+/// in-place updates of random still-live earlier documents.
+std::vector<Op> MakeWorkload(std::uint64_t seed, std::uint32_t num_concepts,
+                             std::size_t count) {
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  std::vector<Op> ops;
+  std::vector<corpus::DocId> live;
+  corpus::DocId next_id = 0;
+  std::uniform_int_distribution<int> kind_dist(0, 9);
+  while (ops.size() < count) {
+    const int roll = kind_dist(rng);
+    if (roll < 6 || live.size() < 2) {
+      ops.push_back(Op{Op::kAdd, corpus::kInvalidDoc,
+                       RandomConcepts(rng, num_concepts)});
+      live.push_back(next_id++);
+      continue;
+    }
+    std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+    const std::size_t at = pick(rng);
+    if (roll < 8) {
+      ops.push_back(Op{Op::kDelete, live[at], {}});
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    } else {
+      ops.push_back(
+          Op{Op::kUpdate, live[at], RandomConcepts(rng, num_concepts)});
+    }
+  }
+  return ops;
+}
+
+/// Applies ops in order until the first failure; returns how many were
+/// acknowledged. On a fault-free engine every op must succeed.
+std::size_t ApplyOps(core::RankingEngine* engine, const std::vector<Op>& ops,
+                     bool expect_all_ok) {
+  std::size_t acked = 0;
+  for (const Op& op : ops) {
+    util::Status status = util::Status::Ok();
+    switch (op.kind) {
+      case Op::kAdd: {
+        auto added = engine->AddDocument(op.concepts);
+        status = added.status();
+        break;
+      }
+      case Op::kDelete:
+        status = engine->DeleteDocument(op.target);
+        break;
+      case Op::kUpdate:
+        status = engine->UpdateDocument(op.target, op.concepts);
+        break;
+    }
+    if (!status.ok()) {
+      EXPECT_FALSE(expect_all_ok) << status.ToString();
+      return acked;
+    }
+    ++acked;
+  }
+  return acked;
+}
+
+std::unique_ptr<core::RankingEngine> MakeEphemeral(
+    std::uint64_t seed, core::RankingEngineOptions options = {}) {
+  return core::RankingEngine::Create(MakeOntology(seed), std::move(options));
+}
+
+/// Corpus equality at the byte level: same slots, same concepts, same
+/// tombstones. (Segment layout may differ — compaction is allowed to
+/// re-segment — so only logical per-document state compares.)
+void ExpectSameDocuments(const corpus::Corpus& a, const corpus::Corpus& b) {
+  ASSERT_EQ(a.num_documents(), b.num_documents());
+  EXPECT_EQ(a.num_tombstones(), b.num_tombstones());
+  for (corpus::DocId d = 0; d < a.num_documents(); ++d) {
+    const auto left = a.document(d).concepts();
+    const auto right = b.document(d).concepts();
+    ASSERT_TRUE(std::equal(left.begin(), left.end(), right.begin(),
+                           right.end()))
+        << "document " << d << " differs";
+  }
+}
+
+/// Bitwise search equality over a deterministic probe set: a handful
+/// of RDS queries plus SDS from every live document.
+void ExpectSameSearchResults(core::RankingEngine* a, core::RankingEngine* b,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 31 + 17);
+  const std::uint32_t num_concepts = a->ontology().num_concepts();
+  for (int q = 0; q < 8; ++q) {
+    const std::vector<ontology::ConceptId> query =
+        RandomConcepts(rng, num_concepts);
+    const auto left = a->FindRelevant(query, 10);
+    const auto right = b->FindRelevant(query, 10);
+    ASSERT_EQ(left.ok(), right.ok());
+    if (!left.ok()) continue;
+    ASSERT_EQ(left->size(), right->size()) << "query " << q;
+    for (std::size_t i = 0; i < left->size(); ++i) {
+      EXPECT_EQ((*left)[i].id, (*right)[i].id) << "query " << q;
+      EXPECT_EQ((*left)[i].distance, (*right)[i].distance) << "query " << q;
+      EXPECT_EQ((*left)[i].error_bound, (*right)[i].error_bound);
+    }
+  }
+  const corpus::Corpus& corpus = a->corpus();
+  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+    const auto left = a->FindSimilar(d, 5);
+    const auto right = b->FindSimilar(d, 5);
+    ASSERT_EQ(left.ok(), right.ok()) << "doc " << d;
+    if (!left.ok()) {
+      EXPECT_TRUE(corpus.IsDeleted(d));
+      continue;
+    }
+    ASSERT_EQ(left->size(), right->size());
+    for (std::size_t i = 0; i < left->size(); ++i) {
+      EXPECT_EQ((*left)[i].id, (*right)[i].id) << "doc " << d;
+      EXPECT_EQ((*left)[i].distance, (*right)[i].distance) << "doc " << d;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL framing
+
+std::vector<storage::WalRecord> SampleWalRecords() {
+  std::vector<storage::WalRecord> records;
+  records.push_back({storage::WalOp::kAddDocument, 1, corpus::kInvalidDoc,
+                     {1, 5, 9}});
+  records.push_back({storage::WalOp::kAddDocument, 2, corpus::kInvalidDoc,
+                     {0}});
+  records.push_back({storage::WalOp::kUpdateDocument, 3, 0, {2, 3}});
+  records.push_back({storage::WalOp::kDeleteDocument, 4, 1, {}});
+  return records;
+}
+
+void ExpectSameRecords(const storage::WalRecord& a,
+                       const storage::WalRecord& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.lsn, b.lsn);
+  EXPECT_EQ(a.doc, b.doc);
+  EXPECT_EQ(a.concepts, b.concepts);
+}
+
+TEST(WalTest, EncodeReplayRoundTrip) {
+  std::string log;
+  for (const auto& record : SampleWalRecords()) {
+    log += storage::EncodeWalRecord(record);
+  }
+  const storage::WalReplayResult replay = storage::ReplayWal(log, 0);
+  EXPECT_FALSE(replay.tail_dropped);
+  EXPECT_EQ(replay.valid_bytes, log.size());
+  const auto expected = SampleWalRecords();
+  ASSERT_EQ(replay.records.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ExpectSameRecords(replay.records[i], expected[i]);
+  }
+}
+
+TEST(WalTest, MinLsnSkipsRecordsAnImageAlreadyCaptured) {
+  std::string log;
+  for (const auto& record : SampleWalRecords()) {
+    log += storage::EncodeWalRecord(record);
+  }
+  const storage::WalReplayResult replay = storage::ReplayWal(log, 2);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].lsn, 3u);
+  EXPECT_EQ(replay.records[1].lsn, 4u);
+  EXPECT_FALSE(replay.tail_dropped);
+}
+
+TEST(WalTest, TruncationAtEveryByteYieldsAValidPrefix) {
+  const auto expected = SampleWalRecords();
+  std::string log;
+  std::vector<std::size_t> boundaries{0};
+  for (const auto& record : expected) {
+    log += storage::EncodeWalRecord(record);
+    boundaries.push_back(log.size());
+  }
+  for (std::size_t len = 0; len <= log.size(); ++len) {
+    const storage::WalReplayResult replay =
+        storage::ReplayWal(std::string_view(log).substr(0, len), 0);
+    // The number of whole records in the prefix.
+    std::size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= len) {
+      ++whole;
+    }
+    ASSERT_EQ(replay.records.size(), whole) << "prefix " << len;
+    for (std::size_t i = 0; i < whole; ++i) {
+      ExpectSameRecords(replay.records[i], expected[i]);
+    }
+    EXPECT_EQ(replay.valid_bytes, boundaries[whole]) << "prefix " << len;
+    EXPECT_EQ(replay.tail_dropped, len != boundaries[whole]);
+  }
+}
+
+TEST(WalTest, BitFlipAtEveryByteNeverYieldsAForeignRecord) {
+  const auto expected = SampleWalRecords();
+  std::string log;
+  for (const auto& record : expected) {
+    log += storage::EncodeWalRecord(record);
+  }
+  for (std::size_t at = 0; at < log.size(); ++at) {
+    std::string mutated = log;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+    const storage::WalReplayResult replay = storage::ReplayWal(mutated, 0);
+    // Whatever survives must be an exact prefix of the original
+    // records — corruption may shorten the log, never alter it.
+    ASSERT_LE(replay.records.size(), expected.size()) << "flip at " << at;
+    for (std::size_t i = 0; i < replay.records.size(); ++i) {
+      ExpectSameRecords(replay.records[i], expected[i]);
+    }
+    EXPECT_LT(replay.records.size(), expected.size()) << "flip at " << at;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot images
+
+TEST(ImageTest, RoundTripPreservesCorpusIndexAndMeta) {
+  const ontology::Ontology ontology = MakeOntology(3);
+  corpus::Corpus corpus(ontology);
+  std::mt19937_64 rng(99);
+  for (int d = 0; d < 20; ++d) {
+    ASSERT_TRUE(corpus
+                    .AddDocument(corpus::Document(
+                        RandomConcepts(rng, ontology.num_concepts())))
+                    .ok());
+  }
+  ASSERT_TRUE(corpus.DeleteDocument(7).ok());
+  index::ShardedIndex index(corpus);
+
+  storage::FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("/db").ok());
+  storage::ImageMeta meta;
+  meta.generation = 42;
+  meta.last_lsn = 21;
+  const auto path = storage::WriteImage(env, "/db", meta, corpus, index,
+                                        /*dewey=*/nullptr);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+
+  auto loaded = storage::LoadImage(env, *path, ontology);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta.generation, 42u);
+  EXPECT_EQ(loaded->meta.last_lsn, 21u);
+  EXPECT_FALSE(loaded->has_dewey);
+  ExpectSameDocuments(loaded->corpus, corpus);
+  EXPECT_TRUE(loaded->corpus.IsDeleted(7));
+}
+
+TEST(ImageTest, CommittedImageSurvivesCrashButUnsyncedTmpDoesNot) {
+  const ontology::Ontology ontology = MakeOntology(1);
+  corpus::Corpus corpus(ontology);
+  ASSERT_TRUE(corpus.AddDocument(corpus::Document({0, 1})).ok());
+  index::ShardedIndex index(corpus);
+
+  storage::FaultyEnv env;
+  ASSERT_TRUE(env.CreateDir("/db").ok());
+  storage::ImageMeta meta;
+  meta.generation = 1;
+  const auto path =
+      storage::WriteImage(env, "/db", meta, corpus, index, nullptr);
+  ASSERT_TRUE(path.ok());
+  env.SimulateCrash();  // The commit protocol synced everything.
+  auto loaded = storage::LoadImage(env, *path, ontology);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDocuments(loaded->corpus, corpus);
+}
+
+// ---------------------------------------------------------------------------
+// DocumentStore recovery
+
+TEST(DocumentStoreTest, SyncedOpsSurviveACrashUnsyncedOpsDoNot) {
+  const ontology::Ontology ontology = MakeOntology(2);
+  storage::FaultyEnv env;
+  storage::StoreOptions options;
+  options.data_dir = "/db";
+  options.env = &env;
+
+  auto store = storage::DocumentStore::Open(options, ontology);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->LogAdd(corpus::Document({0, 1})).ok());
+  ASSERT_TRUE((*store)->LogAdd(corpus::Document({1, 2})).ok());
+  ASSERT_TRUE((*store)->SyncWal().ok());
+  // Logged but never synced: a crash forgets it, as it was never
+  // acknowledged to any caller.
+  ASSERT_TRUE((*store)->LogAdd(corpus::Document({0, 2})).ok());
+  store->reset();
+  env.SimulateCrash();
+
+  auto reopened = storage::DocumentStore::Open(options, ontology);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->stats().records_replayed, 2u);
+  EXPECT_EQ((*reopened)->stats().last_lsn, 2u);
+  corpus::Corpus recovered = (*reopened)->TakeRecoveredCorpus();
+  ASSERT_EQ(recovered.num_documents(), 2u);
+  EXPECT_EQ(recovered.document(0).concepts().size(), 2u);
+}
+
+TEST(DocumentStoreTest, CheckpointRotatesWalAndBootSkipsReplay) {
+  const ontology::Ontology ontology = MakeOntology(2);
+  storage::FaultyEnv env;
+  storage::StoreOptions options;
+  options.data_dir = "/db";
+  options.env = &env;
+
+  corpus::Corpus corpus(ontology);
+  {
+    auto store = storage::DocumentStore::Open(options, ontology);
+    ASSERT_TRUE(store.ok());
+    for (int d = 0; d < 5; ++d) {
+      corpus::Document doc({static_cast<ontology::ConceptId>(d), 10});
+      ASSERT_TRUE((*store)->LogAdd(doc).ok());
+      ASSERT_TRUE(corpus.AddDocument(std::move(doc)).ok());
+    }
+    ASSERT_TRUE((*store)->SyncWal().ok());
+    index::ShardedIndex index(corpus);
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(corpus, index, nullptr, 1, 5).ok());
+    EXPECT_EQ((*store)->stats().image_generation, 1u);
+    EXPECT_EQ((*store)->stats().wal_bytes, 0u) << "WAL should rotate";
+  }
+  env.SimulateCrash();
+  auto reopened = storage::DocumentStore::Open(options, ontology);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->stats().records_replayed, 0u);
+  EXPECT_EQ((*reopened)->stats().image_generation, 1u);
+  EXPECT_EQ((*reopened)->stats().last_lsn, 5u);
+  EXPECT_TRUE((*reopened)->recovered_index_exact());
+  ExpectSameDocuments((*reopened)->TakeRecoveredCorpus(), corpus);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level lifecycle semantics (ephemeral — no storage needed)
+
+TEST(LifecycleTest, TombstoneAndUpdateSemantics) {
+  auto engine = MakeEphemeral(5);
+  const auto ops = MakeWorkload(5, engine->ontology().num_concepts(), 20);
+  ApplyOps(engine.get(), ops, /*expect_all_ok=*/true);
+
+  const auto id = engine->AddDocument({1, 2, 3});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine->DeleteDocument(*id).ok());
+  EXPECT_TRUE(engine->corpus().IsDeleted(*id));
+
+  // Deleted documents: invisible to RDS, kNotFound as an SDS seed,
+  // kNotFound to delete again or update (no resurrection).
+  const std::vector<ontology::ConceptId> probe{1, 2, 3};
+  const auto results = engine->FindRelevant(probe, 1000);
+  ASSERT_TRUE(results.ok());
+  for (const auto& scored : *results) EXPECT_NE(scored.id, *id);
+  EXPECT_EQ(engine->FindSimilar(*id, 5).status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(engine->DeleteDocument(*id).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(engine->UpdateDocument(*id, {1}).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(engine->DocumentDistance(*id, 0).status().code(),
+            util::StatusCode::kNotFound);
+
+  // Ids never assigned are kOutOfRange, distinguishing caller bugs
+  // from legitimately-dead documents.
+  const corpus::DocId beyond = engine->corpus().num_documents() + 10;
+  EXPECT_EQ(engine->DeleteDocument(beyond).code(),
+            util::StatusCode::kOutOfRange);
+
+  // An update changes what searches see, atomically at its publish.
+  const auto updated = engine->AddDocument({4, 5});
+  ASSERT_TRUE(updated.ok());
+  ASSERT_TRUE(engine->UpdateDocument(*updated, {6}).ok());
+  const auto doc = engine->corpus().document(*updated).concepts();
+  ASSERT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc[0], 6u);
+}
+
+TEST(LifecycleTest, CompactionPreservesResultsBitForBit) {
+  core::RankingEngineOptions options;
+  options.snapshot.target_docs_per_shard = 4;  // force many segments
+  options.compaction.min_docs_per_segment = 64;
+  auto engine = MakeEphemeral(6, options);
+  auto reference = MakeEphemeral(6, options);
+  const auto ops = MakeWorkload(6, engine->ontology().num_concepts(), 60);
+  ApplyOps(engine.get(), ops, true);
+  ApplyOps(reference.get(), ops, true);
+
+  const std::size_t before = engine->snapshot()->corpus.num_segments();
+  ASSERT_GT(before, 4u) << "workload too small to exercise compaction";
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_LT(engine->snapshot()->corpus.num_segments(), before);
+  ExpectSameDocuments(engine->corpus(), reference->corpus());
+  ExpectSameSearchResults(engine.get(), reference.get(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-recover differential: real filesystem, 20 seeds
+
+class PersistenceDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PersistenceDifferentialTest, RecoveredEngineIsBitIdenticalToRebuilt) {
+  const std::uint64_t seed = GetParam();
+  const std::string dir =
+      ::testing::TempDir() + "/ecdr_persist_" + std::to_string(seed);
+  std::remove((dir + "/wal-0.log").c_str());
+
+  core::RankingEngineOptions options;
+  options.storage.data_dir = dir;
+  // fsync in a tmpdir-backed test adds nothing but run time; crash
+  // semantics are covered by the FaultyEnv sweep below.
+  options.storage.fsync_mode = storage::StoreOptions::FsyncMode::kNever;
+  options.snapshot.target_docs_per_shard = 8;
+
+  const auto ops = MakeWorkload(seed, MakeOntology(seed).num_concepts(), 50);
+  {
+    auto opened = core::RankingEngine::Open(MakeOntology(seed), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    ASSERT_EQ((*opened)->corpus().num_documents(), 0u)
+        << "stale data dir from a previous run";
+    std::vector<Op> first_half(ops.begin(),
+                               ops.begin() + static_cast<long>(ops.size() / 2));
+    std::vector<Op> second_half(ops.begin() + static_cast<long>(ops.size() / 2),
+                                ops.end());
+    ApplyOps(opened->get(), first_half, true);
+    if (seed % 2 == 0) {
+      // Half the seeds checkpoint mid-stream, so recovery exercises
+      // image + WAL-on-top; the rest replay a pure WAL.
+      ASSERT_TRUE((*opened)->Checkpoint().ok());
+    }
+    if (seed % 3 == 0) {
+      ASSERT_TRUE((*opened)->Compact().ok());
+    }
+    ApplyOps(opened->get(), second_half, true);
+    ASSERT_TRUE((*opened)->SyncDurability().ok());
+  }  // ~RankingEngine: no clean shutdown beyond the final sync — the
+     // store must recover from exactly what hit the Env.
+
+  auto recovered = core::RankingEngine::Open(MakeOntology(seed), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto rebuilt = MakeEphemeral(seed);
+  ApplyOps(rebuilt.get(), ops, true);
+
+  EXPECT_EQ((*recovered)->durability_stats().store.last_lsn, ops.size());
+  ExpectSameDocuments((*recovered)->corpus(), rebuilt->corpus());
+  ExpectSameSearchResults(recovered->get(), rebuilt.get(), seed);
+
+  // Clean up the data dir so reruns in the same TempDir start fresh.
+  const auto entries = storage::Env::Posix()->ListDir(dir);
+  ASSERT_TRUE(entries.ok());
+  for (const std::string& entry : *entries) {
+    std::remove((dir + "/" + entry).c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, PersistenceDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Seeded crash-point sweep: an io fault at every operation index
+
+struct CrashCase {
+  util::FaultInjectorOptions::IoAction action;
+  const char* name;
+};
+
+class CrashPointSweepTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashPointSweepTest, EveryCrashPointRecoversADurablePrefix) {
+  const CrashCase& crash = GetParam();
+  const std::uint64_t seed = 11;
+  const auto ops = MakeWorkload(seed, MakeOntology(seed).num_concepts(), 24);
+
+  // Calibration pass: count the io ops a fault-free run performs.
+  std::uint64_t total_io_ops = 0;
+  {
+    storage::FaultyEnv env;
+    util::FaultInjector injector({});
+    env.set_injector(&injector);
+    core::RankingEngineOptions options;
+    options.storage.data_dir = "/db";
+    options.storage.env = &env;
+    auto engine = core::RankingEngine::Open(MakeOntology(seed), options);
+    ASSERT_TRUE(engine.ok());
+    ApplyOps(engine->get(), ops, true);
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+    total_io_ops = injector.io_ops();
+  }
+  ASSERT_GT(total_io_ops, 20u);
+
+  for (std::uint64_t at = 1; at <= total_io_ops; ++at) {
+    storage::FaultyEnv env;
+    util::FaultInjectorOptions fault_options;
+    fault_options.seed = seed;
+    fault_options.io_fail_at_op = at;
+    fault_options.io_action = crash.action;
+    util::FaultInjector injector(fault_options);
+    env.set_injector(&injector);
+
+    core::RankingEngineOptions options;
+    options.storage.data_dir = "/db";
+    options.storage.env = &env;
+
+    std::size_t acked = 0;
+    bool opened_ok = false;
+    {
+      auto engine = core::RankingEngine::Open(MakeOntology(seed), options);
+      if (engine.ok()) {
+        opened_ok = true;
+        acked = ApplyOps(engine->get(), ops,
+                         /*expect_all_ok=*/false);
+        if (acked == ops.size()) {
+          // The fault lands inside the checkpoint instead.
+          (void)(*engine)->Checkpoint();
+        }
+      }
+    }
+
+    // kill -9: every unsynced byte is gone and the injector detaches.
+    env.SimulateCrash();
+
+    core::RankingEngineOptions recovery = options;
+    auto recovered = core::RankingEngine::Open(MakeOntology(seed), recovery);
+    ASSERT_TRUE(recovered.ok())
+        << crash.name << " at op " << at << ": "
+        << recovered.status().ToString();
+
+    const std::uint64_t durable_ops =
+        (*recovered)->durability_stats().store.last_lsn;
+    ASSERT_LE(durable_ops, ops.size()) << crash.name << " at op " << at;
+    if (opened_ok &&
+        crash.action == util::FaultInjectorOptions::IoAction::kFail) {
+      // With fail-fast faults every acknowledged op was synced, so the
+      // durable prefix is exactly the acked prefix.
+      EXPECT_EQ(durable_ops, acked) << crash.name << " at op " << at;
+    }
+
+    auto rebuilt = MakeEphemeral(seed);
+    std::vector<Op> prefix(ops.begin(),
+                           ops.begin() + static_cast<long>(durable_ops));
+    ApplyOps(rebuilt.get(), prefix, true);
+    ExpectSameDocuments((*recovered)->corpus(), rebuilt->corpus());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IoActions, CrashPointSweepTest,
+    ::testing::Values(
+        CrashCase{util::FaultInjectorOptions::IoAction::kFail, "fail"},
+        CrashCase{util::FaultInjectorOptions::IoAction::kShortWrite,
+                  "short_write"},
+        CrashCase{util::FaultInjectorOptions::IoAction::kFsyncDrop,
+                  "fsync_drop"}),
+    [](const ::testing::TestParamInfo<CrashCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ecdr

@@ -14,11 +14,14 @@
 // load never slows down because responses are late (no closed-loop
 // throttling), and each latency is measured from the *scheduled*
 // arrival, so queueing delay that a coordinated-omission-style
-// generator would hide is charged to the request. Every request uses a
-// fresh connection with Connection: close, the worst case for the
-// server's accept path. Senders are a thread pool pulling arrival
-// indices from one atomic counter; a sender that falls behind fires
-// immediately and the lag shows up as latency, as it should.
+// generator would hide is charged to the request. By default each
+// sender keeps one persistent connection and pipelines nothing
+// (HTTP/1.1 keep-alive, Content-Length framing), reconnecting on any
+// transport error; --keep_alive=0 reverts to a fresh Connection: close
+// socket per request, the worst case for the server's accept path.
+// Senders are a thread pool pulling arrival indices from one atomic
+// counter; a sender that falls behind fires immediately and the lag
+// shows up as latency, as it should.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -31,6 +34,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -99,6 +103,116 @@ int DoRequest(const sockaddr_in& addr, const std::string& request) {
   return status;
 }
 
+/// A persistent keep-alive connection owned by one sender thread.
+/// DoRequest reuses the socket across requests (Content-Length
+/// framing); any transport or framing error closes it, returns 0, and
+/// the next request reconnects.
+class KeepAliveConnection {
+ public:
+  explicit KeepAliveConnection(const sockaddr_in& addr) : addr_(addr) {}
+  ~KeepAliveConnection() { Close(); }
+
+  int DoRequest(const std::string& request) {
+    if (fd_ < 0 && !Connect()) return 0;
+    // A server-side idle close between requests surfaces as a send/recv
+    // failure; retry once on a fresh connection before giving up.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (attempt > 0 && !Connect()) return 0;
+      const int status = TryRequest(request);
+      if (status != 0) return status;
+    }
+    return 0;
+  }
+
+ private:
+  bool Connect() {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr_),
+                  sizeof(addr_)) < 0) {
+      Close();
+      return false;
+    }
+    const int enable = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// One request/response exchange; 0 closes the connection.
+  int TryRequest(const std::string& request) {
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        Close();
+        return 0;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    // Read headers, then exactly Content-Length body bytes, leaving the
+    // stream positioned at the next response.
+    std::string head;
+    std::size_t header_end = std::string::npos;
+    char buffer[8192];
+    while (header_end == std::string::npos) {
+      if (head.size() > 64 * 1024) {
+        Close();
+        return 0;
+      }
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        Close();
+        return 0;
+      }
+      const std::size_t scan_from = head.size() < 3 ? 0 : head.size() - 3;
+      head.append(buffer, static_cast<std::size_t>(n));
+      header_end = head.find("\r\n\r\n", scan_from);
+    }
+    std::size_t body_length = 0;
+    {
+      // Case-sensitive match is fine: this client only talks to
+      // ecdr_serve, which emits exactly "Content-Length: N".
+      const std::size_t pos = head.find("Content-Length: ");
+      if (pos == std::string::npos || pos > header_end) {
+        Close();
+        return 0;
+      }
+      body_length = static_cast<std::size_t>(
+          std::strtoull(head.c_str() + pos + 16, nullptr, 10));
+    }
+    std::size_t body_read = head.size() - (header_end + 4);
+    while (body_read < body_length) {
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        Close();
+        return 0;
+      }
+      body_read += static_cast<std::size_t>(n);
+    }
+    int status = 0;
+    if (head.size() >= 12 && head.rfind("HTTP/1.", 0) == 0) {
+      status = std::atoi(head.c_str() + 9);
+    }
+    if (status == 0 || head.find("Connection: close") < header_end) {
+      Close();
+    }
+    return status;
+  }
+
+  sockaddr_in addr_;
+  int fd_ = -1;
+};
+
 double Quantile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const std::size_t rank = static_cast<std::size_t>(
@@ -121,7 +235,8 @@ struct LevelResult {
 
 LevelResult RunLevel(const sockaddr_in& addr,
                      const std::vector<std::string>& requests, double qps,
-                     double duration_s, std::uint32_t senders) {
+                     double duration_s, std::uint32_t senders,
+                     bool keep_alive) {
   const std::uint64_t total =
       static_cast<std::uint64_t>(qps * duration_s + 0.5);
   std::atomic<std::uint64_t> next{0};
@@ -133,6 +248,7 @@ LevelResult RunLevel(const sockaddr_in& addr,
   for (std::uint32_t t = 0; t < senders; ++t) {
     threads.emplace_back([&, t] {
       std::vector<Sample>& samples = per_thread[t];
+      KeepAliveConnection conn(addr);
       while (true) {
         const std::uint64_t i =
             next.fetch_add(1, std::memory_order_relaxed);
@@ -142,8 +258,9 @@ LevelResult RunLevel(const sockaddr_in& addr,
                         std::chrono::duration<double>(
                             static_cast<double>(i) / qps));
         std::this_thread::sleep_until(scheduled);
-        const int status =
-            DoRequest(addr, requests[i % requests.size()]);
+        const std::string& request = requests[i % requests.size()];
+        const int status = keep_alive ? conn.DoRequest(request)
+                                      : DoRequest(addr, request);
         samples.push_back(
             Sample{std::chrono::duration<double>(Clock::now() - scheduled)
                        .count(),
@@ -205,6 +322,7 @@ int main(int argc, char** argv) {
   const std::uint32_t gen_seed = flags.GetUint32("gen_seed", 1);
   const std::uint32_t workers = flags.GetUint32("workers", 4);
   const std::uint32_t max_queue = flags.GetUint32("max_queue", 64);
+  const bool keep_alive = flags.GetUint32("keep_alive", 1) != 0;
   flags.CheckAllConsumed();
 
   // Without --port, host an in-process server over a synthetic testbed
@@ -260,8 +378,9 @@ int main(int argc, char** argv) {
     std::string request = "POST /v1/search HTTP/1.1\r\nHost: " + host +
                           "\r\nContent-Type: application/json\r\n"
                           "Content-Length: " +
-                          std::to_string(body.size()) +
-                          "\r\nConnection: close\r\n\r\n" + body;
+                          std::to_string(body.size()) + "\r\nConnection: " +
+                          (keep_alive ? "keep-alive" : "close") + "\r\n\r\n" +
+                          body;
     requests.push_back(std::move(request));
   }
 
@@ -282,7 +401,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     LevelResult result =
-        RunLevel(addr, requests, qps, duration_s, senders);
+        RunLevel(addr, requests, qps, duration_s, senders, keep_alive);
     std::printf(
         "qps %7.1f offered | %7.1f ok-throughput | ok %llu shed %llu "
         "deadline %llu err %llu | p50 %.3fms p95 %.3fms p99 %.3fms\n",

@@ -17,9 +17,20 @@
 // --shards. Serving knobs: --workers, --max_queue (shed beyond it with
 // 429), --max_in_flight/--max_queued (engine admission control),
 // --default_deadline_ms. Runs until SIGINT/SIGTERM.
+//
+// Durability: --data_dir opens a crash-safe store (WAL + checkpoint
+// images; see DESIGN.md, "Durability & recovery") and enables the
+// document-lifecycle endpoints to survive kill -9. --fsync_mode
+// always|never (never = tests only), --checkpoint_every N (write a
+// snapshot image every N WAL records; 0 = manual /v1/admin/checkpoint),
+// --compact_max_segments / --compact_min_docs (background segment
+// compaction; 0 = manual). On SIGTERM/SIGINT the server drains cleanly:
+// stop accepting, finish in-flight requests, then a final WAL fsync so
+// every acknowledged write is on disk before exit.
 
 #include <csignal>
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "core/ranking_engine.h"
@@ -55,6 +66,23 @@ int main(int argc, char** argv) {
   engine_options.snapshot.num_shards = flags.GetUint32("shards", 1);
   engine_options.admission.max_in_flight = flags.GetUint32("max_in_flight", 0);
   engine_options.admission.max_queued = flags.GetUint32("max_queued", 0);
+  engine_options.storage.data_dir = flags.GetString("data_dir", "");
+  const std::string fsync_mode = flags.GetString("fsync_mode", "always");
+  using FsyncMode = ecdr::storage::StoreOptions::FsyncMode;
+  if (fsync_mode == "always") {
+    engine_options.storage.fsync_mode = FsyncMode::kAlways;
+  } else if (fsync_mode == "never") {
+    engine_options.storage.fsync_mode = FsyncMode::kNever;
+  } else {
+    std::fprintf(stderr, "--fsync_mode must be 'always' or 'never'\n");
+    return 1;
+  }
+  engine_options.checkpoint_every_records =
+      flags.GetUint32("checkpoint_every", 0);
+  engine_options.compaction.max_segments =
+      flags.GetUint32("compact_max_segments", 0);
+  engine_options.compaction.min_docs_per_segment =
+      flags.GetUint32("compact_min_docs", 0);
   flags.CheckAllConsumed();
 
   auto engine = ecdr::tools::MakeServeEngine(
@@ -64,6 +92,17 @@ int main(int argc, char** argv) {
   std::printf("engine ready: %u concepts, %zu documents\n",
               engine->ontology().num_concepts(),
               static_cast<std::size_t>(engine->corpus().num_documents()));
+  if (engine->durable()) {
+    const ecdr::core::DurabilityStats durability = engine->durability_stats();
+    std::printf(
+        "durable store: lsn %llu, image generation %llu, %llu records "
+        "replayed%s\n",
+        static_cast<unsigned long long>(durability.store.last_lsn),
+        static_cast<unsigned long long>(durability.store.image_generation),
+        static_cast<unsigned long long>(durability.store.records_replayed),
+        durability.store.wal_tail_dropped > 0 ? " (torn WAL tail dropped)"
+                                              : "");
+  }
 
   ecdr::serve::Server server(engine.get(), server_options);
   const ecdr::util::Status started = server.Start();
@@ -82,8 +121,23 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  // Clean drain: Stop() joins the workers, so every request that was
+  // already dispatched finishes and flushes its response first; then a
+  // final fsync pins any write-buffered deltas and the WAL tail to disk
+  // before the process exits.
   const ecdr::serve::ServerStats stats = server.stats();
   server.Stop();
+  if (engine->durable()) {
+    const ecdr::util::Status synced = engine->SyncDurability();
+    if (!synced.ok()) {
+      std::fprintf(stderr, "final WAL sync failed: %s\n",
+                   synced.ToString().c_str());
+      return 1;
+    }
+    std::printf("final WAL sync: durable lsn %llu\n",
+                static_cast<unsigned long long>(
+                    engine->durability_stats().store.durable_lsn));
+  }
   std::printf(
       "served %llu requests (%llu ok, %llu shed, %llu deadline); bye\n",
       static_cast<unsigned long long>(stats.requests_received),

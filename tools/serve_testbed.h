@@ -2,6 +2,12 @@
 // ecdr_loadgen): either load an ontology + corpus from disk or generate
 // a synthetic SNOMED-like testbed, so both tools run self-contained
 // (CI smoke needs no data files).
+//
+// When options.storage.data_dir is set the engine opens durable
+// (RankingEngine::Open): boot recovers snapshot image + WAL, and the
+// seed corpus (file or generated) is only bulk-added when the store
+// came back empty — on restart the recovered documents win, so a
+// kill-recover cycle converges instead of double-loading.
 
 #ifndef ECDR_TOOLS_SERVE_TESTBED_H_
 #define ECDR_TOOLS_SERVE_TESTBED_H_
@@ -12,8 +18,10 @@
 #include <utility>
 
 #include "core/ranking_engine.h"
+#include "corpus/corpus_io.h"
 #include "corpus/generator.h"
 #include "ontology/generator.h"
+#include "ontology/ontology_io.h"
 
 namespace ecdr::tools {
 
@@ -25,34 +33,52 @@ inline std::unique_ptr<core::RankingEngine> MakeServeEngine(
     const std::string& ontology_path, const std::string& corpus_path,
     std::uint32_t gen_concepts, std::uint32_t gen_docs,
     std::uint64_t gen_seed, core::RankingEngineOptions options) {
-  if (!ontology_path.empty() && !corpus_path.empty()) {
-    auto engine = core::RankingEngine::CreateFromFiles(
-        ontology_path, corpus_path, std::move(options));
-    if (!engine.ok()) {
-      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-      return nullptr;
-    }
-    return std::move(engine).value();
-  }
-  ontology::OntologyGeneratorConfig onto_config;
-  onto_config.num_concepts = gen_concepts;
-  onto_config.seed = gen_seed;
-  auto onto = ontology::GenerateOntology(onto_config);
+  const bool from_files = !ontology_path.empty() && !corpus_path.empty();
+  const bool durable = !options.storage.data_dir.empty();
+
+  util::StatusOr<ontology::Ontology> onto = [&] {
+    if (from_files) return ontology::LoadOntologyAuto(ontology_path);
+    ontology::OntologyGeneratorConfig onto_config;
+    onto_config.num_concepts = gen_concepts;
+    onto_config.seed = gen_seed;
+    return ontology::GenerateOntology(onto_config);
+  }();
   if (!onto.ok()) {
     std::fprintf(stderr, "%s\n", onto.status().ToString().c_str());
     return nullptr;
   }
-  corpus::CorpusGeneratorConfig corpus_config;
-  corpus_config.num_documents = gen_docs;
-  corpus_config.avg_concepts_per_doc = 40.0;
-  corpus_config.seed = gen_seed * 31 + 7;
-  auto docs = corpus::GenerateCorpus(*onto, corpus_config);
+
+  std::unique_ptr<core::RankingEngine> engine;
+  if (durable) {
+    auto opened =
+        core::RankingEngine::Open(std::move(*onto), std::move(options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return nullptr;
+    }
+    engine = std::move(opened).value();
+    // A recovered store already holds its documents (including any that
+    // originally came from the seed corpus, via the WAL); only a fresh
+    // data_dir gets seeded below.
+    if (engine->corpus().num_documents() > 0) return engine;
+  } else {
+    engine = core::RankingEngine::Create(std::move(*onto), std::move(options));
+  }
+
+  util::StatusOr<corpus::Corpus> docs = [&] {
+    if (from_files) {
+      return corpus::LoadCorpusAuto(engine->ontology(), corpus_path);
+    }
+    corpus::CorpusGeneratorConfig corpus_config;
+    corpus_config.num_documents = gen_docs;
+    corpus_config.avg_concepts_per_doc = 40.0;
+    corpus_config.seed = gen_seed * 31 + 7;
+    return corpus::GenerateCorpus(engine->ontology(), corpus_config);
+  }();
   if (!docs.ok()) {
     std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
     return nullptr;
   }
-  auto engine =
-      core::RankingEngine::Create(std::move(*onto), std::move(options));
   const util::Status added = engine->AddCorpus(*docs);
   if (!added.ok()) {
     std::fprintf(stderr, "%s\n", added.ToString().c_str());
