@@ -1,0 +1,285 @@
+// Compressed block-max postings vs the dense precomputed table: the
+// space-side headline (bytes/doc and compression ratio), offline build
+// cost (serial and thread-pool parallel), whole-block skipping at
+// k << |D|, and TA query latency (p50/p95) on both backends — with
+// in-run bit-identity CHECKs, so a run that produces numbers has also
+// proven the backends agree. Results go to BENCH_block_postings.json;
+// bench/check_block_postings_regression.py gates the committed file
+// against fresh CI runs.
+//
+// The dense row is measured in the same process on the same queries,
+// so the latency comparison (and the CI gate built on it) is
+// machine-independent: block-mode TA must stay within 15% of the dense
+// referee it just matched bit-for-bit.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/ta_ranker.h"
+#include "corpus/query_gen.h"
+#include "index/block_postings.h"
+#include "index/precomputed_postings.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Row {
+  std::uint32_t nq = 0;
+  std::uint32_t k = 0;
+  double dense_p50_ms = 0.0;
+  double dense_p95_ms = 0.0;
+  double block_p50_ms = 0.0;
+  double block_p95_ms = 0.0;
+  double skipped_block_fraction = 0.0;
+  std::uint64_t decoded_blocks = 0;
+  std::uint64_t skipped_blocks = 0;
+  double docs_scored_dense = 0.0;
+  double docs_scored_block = 0.0;
+};
+
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+struct BuildStats {
+  double dense_serial_s = 0.0;
+  double dense_parallel_s = 0.0;
+  double block_serial_s = 0.0;
+  double block_parallel_s = 0.0;
+};
+
+void WriteJson(const std::vector<Row>& rows, double scale, bool smoke,
+               const ecdr::index::PrecomputedPostings& dense,
+               const ecdr::index::BlockPostings& block,
+               const BuildStats& build, std::uint32_t num_documents,
+               std::uint32_t num_concepts, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  ECDR_CHECK(file != nullptr);
+  const double dense_bpd =
+      static_cast<double>(dense.memory_bytes()) / num_documents;
+  std::fprintf(file, "{\n  \"benchmark\": \"block_postings\",\n");
+  std::fprintf(file, "  \"scale\": %.4f,\n  \"smoke\": %s,\n", scale,
+               smoke ? "true" : "false");
+  std::fprintf(file, "  \"num_documents\": %u,\n  \"num_concepts\": %u,\n",
+               num_documents, num_concepts);
+  std::fprintf(file, "  \"block_size\": %u,\n", block.block_size());
+  std::fprintf(file, "  \"dense_memory_bytes\": %llu,\n",
+               static_cast<unsigned long long>(dense.memory_bytes()));
+  std::fprintf(file, "  \"dense_bytes_per_doc\": %.1f,\n", dense_bpd);
+  std::fprintf(file, "  \"block_memory_bytes\": %llu,\n",
+               static_cast<unsigned long long>(block.memory_bytes()));
+  std::fprintf(file, "  \"block_arena_bytes\": %llu,\n",
+               static_cast<unsigned long long>(block.arena_bytes()));
+  std::fprintf(file, "  \"block_metadata_bytes\": %llu,\n",
+               static_cast<unsigned long long>(block.metadata_bytes()));
+  std::fprintf(file, "  \"block_bytes_per_doc\": %.1f,\n",
+               block.bytes_per_doc());
+  std::fprintf(file, "  \"compression_ratio\": %.2f,\n",
+               dense_bpd / block.bytes_per_doc());
+  std::fprintf(file,
+               "  \"dense_build_seconds\": %.4f,\n"
+               "  \"dense_build_seconds_parallel\": %.4f,\n"
+               "  \"block_build_seconds\": %.4f,\n"
+               "  \"block_build_seconds_parallel\": %.4f,\n",
+               build.dense_serial_s, build.dense_parallel_s,
+               build.block_serial_s, build.block_parallel_s);
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        file,
+        "    {\"nq\": %u, \"k\": %u, \"dense_p50_ms\": %.4f, "
+        "\"dense_p95_ms\": %.4f, \"block_p50_ms\": %.4f, "
+        "\"block_p95_ms\": %.4f, \"skipped_block_fraction\": %.4f, "
+        "\"decoded_blocks\": %llu, \"skipped_blocks\": %llu, "
+        "\"docs_scored_dense\": %.1f, \"docs_scored_block\": %.1f}%s\n",
+        row.nq, row.k, row.dense_p50_ms, row.dense_p95_ms, row.block_p50_ms,
+        row.block_p95_ms, row.skipped_block_fraction,
+        static_cast<unsigned long long>(row.decoded_blocks),
+        static_cast<unsigned long long>(row.skipped_blocks),
+        row.docs_scored_dense, row.docs_scored_block,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // Like bench_ablation_ta: the dense referee is O(|D| x |C|) space,
+  // so the ontology stays small no matter what ECDR_BENCH_SCALE says.
+  // The document axis is boosted instead (4x the RADIO default): the
+  // point of block-max skipping is k << |D|, which four block ranges
+  // of documents cannot exhibit.
+  const double scale = std::min(0.02, ecdr::bench::ScaleFromEnv());
+  const std::uint32_t queries =
+      smoke ? 2 : std::max(8u, ecdr::bench::QueriesFromEnv());
+  ecdr::bench::Testbed testbed = ecdr::bench::BuildTestbed(
+      scale, /*include_patient=*/false, /*include_radio=*/false);
+  ecdr::bench::Collection radio;
+  {
+    ecdr::corpus::CorpusGeneratorConfig config =
+        ecdr::corpus::RadioLikeConfig(scale, /*seed=*/18);
+    config.num_documents *= 4;
+    auto generated = ecdr::corpus::GenerateCorpus(*testbed.ontology, config);
+    ECDR_CHECK(generated.ok());
+    ecdr::corpus::ConceptFilterOptions filter_options;
+    ecdr::corpus::ConceptFilterReport report;
+    auto filtered = ecdr::corpus::ApplyConceptFilters(*generated,
+                                                      filter_options, &report);
+    ECDR_CHECK(filtered.ok());
+    radio.name = "RADIO x4 docs";
+    radio.corpus = std::make_unique<ecdr::corpus::Corpus>(
+        std::move(filtered).value());
+  }
+  const std::uint32_t num_documents = radio.corpus->num_documents();
+  const std::uint32_t num_concepts = testbed.ontology->num_concepts();
+  std::printf(
+      "== Compressed block-max postings vs dense precomputed table "
+      "(RDS TA) ==\nsubstrate: %u concepts, %u documents "
+      "(scale=%.3f, 4x docs, queries/config=%u)\n\n",
+      num_concepts, num_documents, scale, queries);
+
+  // Offline builds, serial and parallel (the parallel build must be
+  // byte-identical — CHECKed for the block arena here, proven for both
+  // structures in tests/block_postings_test.cc).
+  BuildStats build;
+  ecdr::util::ThreadPool pool(ecdr::util::ThreadPool::DefaultThreads());
+  const ecdr::index::PrecomputedPostings dense(*radio.corpus);
+  build.dense_serial_s = dense.build_seconds();
+  {
+    const ecdr::index::PrecomputedPostings dense_parallel(*radio.corpus,
+                                                          &pool);
+    build.dense_parallel_s = dense_parallel.build_seconds();
+    ECDR_CHECK_EQ(dense.memory_bytes(), dense_parallel.memory_bytes());
+  }
+  ecdr::index::BlockPostingsOptions block_options;
+  block_options.block_size = 16;
+  const ecdr::index::BlockPostings block(*radio.corpus, block_options);
+  build.block_serial_s = block.build_seconds();
+  {
+    ecdr::index::BlockPostingsOptions parallel_options = block_options;
+    parallel_options.pool = &pool;
+    const ecdr::index::BlockPostings block_parallel(*radio.corpus,
+                                                    parallel_options);
+    build.block_parallel_s = block_parallel.build_seconds();
+    ECDR_CHECK_EQ(block.arena().size(), block_parallel.arena().size());
+    ECDR_CHECK(std::equal(block.arena().begin(), block.arena().end(),
+                          block_parallel.arena().begin()));
+  }
+  const double dense_bpd =
+      static_cast<double>(dense.memory_bytes()) / num_documents;
+  std::printf(
+      "dense:  %7.1f KiB (%6.1f B/doc), build %.2fs serial / %.2fs parallel\n"
+      "block:  %7.1f KiB (%6.1f B/doc), build %.2fs serial / %.2fs parallel\n"
+      "compression: %.1fx (block_size=%u, %llu blocks, arena %llu B + "
+      "metadata %llu B)\n\n",
+      dense.memory_bytes() / 1024.0, dense_bpd, build.dense_serial_s,
+      build.dense_parallel_s, block.memory_bytes() / 1024.0,
+      block.bytes_per_doc(), build.block_serial_s, build.block_parallel_s,
+      dense_bpd / block.bytes_per_doc(), block.block_size(),
+      static_cast<unsigned long long>(block.num_blocks()),
+      static_cast<unsigned long long>(block.arena_bytes()),
+      static_cast<unsigned long long>(block.metadata_bytes()));
+
+  ecdr::core::TaRankerOptions ta_options;
+  ta_options.num_threads = 1;  // serial hot path: cleanest latency signal
+  ecdr::core::TaRanker dense_ta(*radio.corpus, dense, ta_options);
+  ecdr::core::TaRanker block_ta(*radio.corpus, block, ta_options);
+
+  std::vector<Row> rows;
+  ecdr::util::TablePrinter table({"nq", "k", "dense p50 ms", "block p50 ms",
+                                  "block/dense", "skipped blocks %",
+                                  "docs scored d/b"});
+  const auto ks = smoke ? std::vector<std::uint32_t>{10u}
+                        : std::vector<std::uint32_t>{10u, 100u};
+  const auto nqs = smoke ? std::vector<std::uint32_t>{3u}
+                         : std::vector<std::uint32_t>{3u, 5u, 10u};
+  for (const std::uint32_t nq : nqs) {
+    for (const std::uint32_t k : ks) {
+      const auto rds_queries = ecdr::corpus::GenerateRdsQueries(
+          *radio.corpus, queries, nq, 900 + nq);
+      Row row;
+      row.nq = nq;
+      row.k = k;
+      std::vector<double> dense_ms;
+      std::vector<double> block_ms;
+      std::uint64_t total_blocks = 0;
+      for (const auto& query : rds_queries) {
+        // Warm pass per backend, then the measured pass, interleaved to
+        // spread frequency/cache drift evenly across backends.
+        ECDR_CHECK(dense_ta.TopKRelevant(query, k).ok());
+        const auto dense_result = dense_ta.TopKRelevant(query, k);
+        ECDR_CHECK(dense_result.ok());
+        dense_ms.push_back(dense_ta.last_stats().seconds * 1e3);
+        row.docs_scored_dense +=
+            static_cast<double>(dense_ta.last_stats().documents_scored);
+
+        ECDR_CHECK(block_ta.TopKRelevant(query, k).ok());
+        const auto block_result = block_ta.TopKRelevant(query, k);
+        ECDR_CHECK(block_result.ok());
+        block_ms.push_back(block_ta.last_stats().seconds * 1e3);
+        row.docs_scored_block +=
+            static_cast<double>(block_ta.last_stats().documents_scored);
+        row.decoded_blocks += block_ta.last_stats().decoded_blocks;
+        row.skipped_blocks += block_ta.last_stats().skipped_blocks;
+        total_blocks += block_ta.last_stats().decoded_blocks +
+                        block_ta.last_stats().skipped_blocks;
+
+        // Bit-identity, every query: ids, distances, tie order.
+        ECDR_CHECK_EQ(dense_result->size(), block_result->size());
+        for (std::size_t i = 0; i < dense_result->size(); ++i) {
+          ECDR_CHECK_EQ((*dense_result)[i].id, (*block_result)[i].id);
+          ECDR_CHECK((*dense_result)[i].distance ==
+                     (*block_result)[i].distance);
+        }
+      }
+      row.dense_p50_ms = Quantile(dense_ms, 0.50);
+      row.dense_p95_ms = Quantile(dense_ms, 0.95);
+      row.block_p50_ms = Quantile(block_ms, 0.50);
+      row.block_p95_ms = Quantile(block_ms, 0.95);
+      row.skipped_block_fraction =
+          total_blocks == 0
+              ? 0.0
+              : static_cast<double>(row.skipped_blocks) / total_blocks;
+      row.docs_scored_dense /= rds_queries.size();
+      row.docs_scored_block /= rds_queries.size();
+      rows.push_back(row);
+      table.AddRow(
+          {std::to_string(nq), std::to_string(k),
+           ecdr::util::TablePrinter::FormatDouble(row.dense_p50_ms, 3),
+           ecdr::util::TablePrinter::FormatDouble(row.block_p50_ms, 3),
+           ecdr::util::TablePrinter::FormatDouble(
+               row.dense_p50_ms > 0.0 ? row.block_p50_ms / row.dense_p50_ms
+                                      : 0.0,
+               2),
+           ecdr::util::TablePrinter::FormatDouble(
+               row.skipped_block_fraction * 100.0, 1),
+           ecdr::util::TablePrinter::FormatDouble(row.docs_scored_dense, 0) +
+               "/" +
+               ecdr::util::TablePrinter::FormatDouble(row.docs_scored_block,
+                                                      0)});
+    }
+  }
+  table.Print(std::cout);
+  WriteJson(rows, scale, smoke, dense, block, build, num_documents,
+            num_concepts, "BENCH_block_postings.json");
+  return 0;
+}

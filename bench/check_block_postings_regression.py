@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate compressed block-max postings against the committed baseline.
+
+Usage: check_block_postings_regression.py <committed.json> <fresh.json>
+
+Checks a fresh bench_block_postings run (which has already proven
+bit-identity against the dense referee in-process via ECDR_CHECKs)
+against BENCH_block_postings.json:
+
+  * compression_ratio >= 4.0 absolutely, and >= committed * (1 - TOL) —
+    the layout is deterministic at a given scale, so a drop means the
+    codec or block metadata grew.
+  * at least one row shows a nonzero skipped_block_fraction: the
+    block-max sweep must actually retire blocks un-decoded at k << |D|.
+  * per row, block_p50_ms <= dense_p50_ms * (1 + TOL): the dense
+    referee is measured in the same process on the same queries, so the
+    ratio is machine-independent — no cross-file normalization needed
+    (compare check_hotpath_regression.py, which must synthesize a
+    machine factor from in-run no-reuse rows).
+
+Rows are keyed by (nq, k); only keys present in both files are latency-
+compared, so --smoke runs gate the subset they measure.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.15
+MIN_COMPRESSION = 4.0
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed = load(argv[1])
+    fresh = load(argv[2])
+
+    failed = False
+
+    ratio = fresh["compression_ratio"]
+    floor = max(MIN_COMPRESSION, committed["compression_ratio"] * (1 - TOLERANCE))
+    verdict = "ok" if ratio >= floor else "FAIL"
+    print(f"{verdict}: compression_ratio {ratio:.2f}x "
+          f"(floor {floor:.2f} = max({MIN_COMPRESSION}, committed "
+          f"{committed['compression_ratio']:.2f} x {1 - TOLERANCE:.2f}))")
+    if ratio < floor:
+        failed = True
+
+    max_skipped = max(
+        (row["skipped_block_fraction"] for row in fresh["rows"]), default=0.0)
+    verdict = "ok" if max_skipped > 0.0 else "FAIL"
+    print(f"{verdict}: max skipped_block_fraction {max_skipped:.4f} "
+          f"(must be > 0: the threshold test has to retire whole blocks)")
+    if max_skipped <= 0.0:
+        failed = True
+
+    fresh_rows = {(row["nq"], row["k"]): row for row in fresh["rows"]}
+    committed_keys = {(row["nq"], row["k"]) for row in committed["rows"]}
+    for key in sorted(fresh_rows):
+        if key not in committed_keys:
+            continue
+        row = fresh_rows[key]
+        budget = row["dense_p50_ms"] * (1 + TOLERANCE)
+        got = row["block_p50_ms"]
+        verdict = "ok" if got <= budget else "FAIL"
+        print(f"{verdict}: nq={key[0]} k={key[1]} block p50 {got:.4f} ms "
+              f"(budget {budget:.4f} = in-run dense "
+              f"{row['dense_p50_ms']:.4f} x {1 + TOLERANCE:.2f})")
+        if got > budget:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,10 @@ TaRanker::TaRanker(const corpus::Corpus& corpus,
                    Options options)
     : corpus_(&corpus), postings_(&postings), options_(options) {}
 
+TaRanker::TaRanker(const corpus::Corpus& corpus,
+                   const index::BlockPostings& postings, Options options)
+    : corpus_(&corpus), block_postings_(&postings), options_(options) {}
+
 util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
     std::span<const ontology::ConceptId> query, std::uint32_t k) {
   last_stats_ = Stats();
@@ -32,14 +36,6 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
   }
   if (k == 0) return std::vector<ScoredDocument>{};
 
-  std::vector<std::span<const index::PrecomputedPostings::Entry>>& lists =
-      scratch_.lists;
-  lists.clear();
-  lists.reserve(concepts.size());
-  for (ontology::ConceptId c : concepts) {
-    lists.push_back(postings_->SortedPostings(c));
-  }
-
   const std::size_t requested = options_.num_threads == 0
                                     ? util::ThreadPool::DefaultThreads()
                                     : options_.num_threads;
@@ -52,7 +48,8 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
   }
   const bool parallel = requested > 1 && pool != nullptr;
 
-  std::vector<ScoredDocument> heap;  // Max-heap: worst kept at front.
+  std::vector<ScoredDocument>& heap = scratch_.heap;  // worst at front
+  heap.clear();
   const auto push_scored = [&](const ScoredDocument& scored) {
     if (heap.size() < k) {
       heap.push_back(scored);
@@ -73,77 +70,32 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
           ? options_.ddq_memo
           : nullptr;
 
-  // Aggregates one discovery: the sorted-access distance from the list
-  // that surfaced the document plus random accesses on the other lists.
-  // Read-only against the postings, so discoveries of one round can be
-  // scored concurrently; the round structure itself (sorted access,
-  // threshold) stays serial. `*memo_hit` reports whether the memo
-  // answered (stats are folded in serially after the round).
-  using Discovery = Scratch::Discovery;
-  const auto aggregate = [&](const Discovery& d, bool* memo_hit) {
-    if (memo != nullptr) {
-      double cached = 0.0;
-      if (memo->Get(memo_sig, d.doc, &cached)) {
-        *memo_hit = true;
-        return static_cast<std::uint64_t>(cached);
-      }
-    }
-    *memo_hit = false;
-    std::uint64_t total = d.distance;
-    for (std::size_t j = 0; j < concepts.size(); ++j) {
-      if (j == d.list) continue;
-      total += postings_->Distance(concepts[j], d.doc);
-    }
-    if (memo != nullptr) {
-      memo->Put(memo_sig, d.doc, static_cast<double>(total));
-    }
-    return total;
+  const auto cancelled = [&] {
+    return (options_.cancel_token != nullptr &&
+            options_.cancel_token->cancelled()) ||
+           options_.deadline.Expired();
   };
 
-  std::unordered_set<corpus::DocId>& seen = scratch_.seen;
-  seen.clear();
-  std::vector<std::uint32_t>& last_seen = scratch_.last_seen;
-  last_seen.assign(concepts.size(), 0);
+  using Discovery = Scratch::Discovery;
   std::vector<Discovery>& round = scratch_.round;
   std::vector<std::uint64_t>& round_totals = scratch_.round_totals;
   std::vector<std::uint8_t>& round_hits = scratch_.round_hits;
-  std::size_t depth = 0;
-  bool exhausted = false;
-  while (!exhausted) {
-    // One poll per round: a round is the smallest unit whose omission
-    // keeps the already-pushed aggregates exact.
-    if ((options_.cancel_token != nullptr &&
-         options_.cancel_token->cancelled()) ||
-        options_.deadline.Expired()) {
-      last_stats_.truncated = true;
-      break;
-    }
-    exhausted = true;
-    // One round of sorted access: advance one position in each list.
-    round.clear();
-    for (std::size_t i = 0; i < lists.size(); ++i) {
-      if (depth >= lists[i].size()) continue;
-      exhausted = false;
-      const auto& entry = lists[i][depth];
-      ++last_stats_.sorted_accesses;
-      last_seen[i] = entry.distance;
-      if (!seen.insert(entry.doc).second) continue;
-      round.push_back(Discovery{entry.doc, entry.distance, i});
-    }
-    // Score the round's discoveries (exact aggregates; order-independent,
-    // so sharding them across lanes cannot change the result).
+  // Scores the round's discoveries with `aggregate(d, lane, &hit)`
+  // (exact aggregates; order-independent, so sharding them across
+  // lanes cannot change the result), then folds stats and pushes.
+  const auto score_round = [&](const auto& aggregate) {
     round_totals.assign(round.size(), 0);
     round_hits.assign(round.size(), 0);
     if (parallel && round.size() > 1) {
-      pool->ParallelFor(round.size(), [&](std::size_t i, std::size_t) {
+      pool->ParallelFor(round.size(), [&](std::size_t i, std::size_t lane) {
         bool hit = false;
-        round_totals[i] = aggregate(round[i], &hit);
+        round_totals[i] = aggregate(round[i], lane, &hit);
         round_hits[i] = hit ? 1 : 0;
       });
     } else {
       for (std::size_t i = 0; i < round.size(); ++i) {
         bool hit = false;
-        round_totals[i] = aggregate(round[i], &hit);
+        round_totals[i] = aggregate(round[i], std::size_t{0}, &hit);
         round_hits[i] = hit ? 1 : 0;
       }
     }
@@ -158,14 +110,162 @@ util::StatusOr<std::vector<ScoredDocument>> TaRanker::TopKRelevant(
       push_scored(
           ScoredDocument{round[i].doc, static_cast<double>(round_totals[i])});
     }
-    ++depth;
-    // Threshold test: no unseen document can aggregate below the sum of
-    // the distances at the current sorted-access positions.
-    std::uint64_t threshold = 0;
-    for (std::uint32_t d : last_seen) threshold += d;
-    if (heap.size() == k &&
-        static_cast<double>(threshold) >= heap.front().distance) {
-      break;
+  };
+
+  if (block_postings_ != nullptr) {
+    // ---- Compressed block-max sweep ----
+    // The block partition is doc-aligned across concepts, so block b
+    // covers the same doc range in every query list and
+    // bounds[b] = sum_i min_distance_i(b) lower-bounds every document
+    // of the range. Visiting ranges in ascending bound order is
+    // sorted access at block granularity; the first range whose bound
+    // strictly exceeds the k-th best aggregate retires all remaining
+    // blocks un-decoded.
+    const std::size_t m = concepts.size();
+    last_stats_.bytes_per_doc = block_postings_->bytes_per_doc();
+    std::vector<std::span<const index::BlockMeta>>& metas = scratch_.metas;
+    metas.clear();
+    for (ontology::ConceptId c : concepts) {
+      metas.push_back(block_postings_->blocks(c));
+    }
+    const std::size_t nblocks = metas[0].size();
+    std::vector<std::uint64_t>& bounds = scratch_.block_bounds;
+    bounds.resize(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < m; ++i) sum += metas[i][b].min_distance;
+      bounds[b] = sum;
+    }
+    std::vector<std::uint32_t>& order = scratch_.block_order;
+    order.resize(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      order[b] = static_cast<std::uint32_t>(b);
+    }
+    std::sort(order.begin(), order.end(),
+              [&bounds](std::uint32_t a, std::uint32_t b) {
+                if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];
+                return a < b;
+              });
+    std::vector<std::vector<index::BlockPostingEntry>>& rows =
+        scratch_.block_rows;
+    rows.resize(m);
+
+    std::size_t visited = 0;
+    for (std::size_t pos = 0; pos < nblocks; ++pos) {
+      // One poll per range: a range is the smallest unit whose
+      // omission keeps the already-pushed aggregates exact.
+      if (cancelled()) {
+        last_stats_.truncated = true;
+        break;
+      }
+      const std::uint32_t b = order[pos];
+      if (heap.size() == k &&
+          static_cast<double>(bounds[b]) > heap.front().distance) {
+        break;  // every later range has a bound at least this large
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        const index::BlockMeta& meta = metas[i][b];
+        ECDR_CHECK(index::blockcodec::DecodeBlock(
+            block_postings_->payload(meta), meta, &rows[i]));
+      }
+      ++visited;
+      last_stats_.decoded_blocks += m;
+      const std::uint32_t count = metas[0][b].count;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const corpus::DocId doc = rows[0][j].doc;
+        std::uint64_t total = 0;
+        double cached = 0.0;
+        if (memo != nullptr && memo->Get(memo_sig, doc, &cached)) {
+          total = static_cast<std::uint64_t>(cached);
+          ++last_stats_.ddq_memo_hits;
+        } else {
+          for (std::size_t i = 0; i < m; ++i) {
+            ECDR_DCHECK_EQ(rows[i][j].doc, doc);
+            total += rows[i][j].distance;
+          }
+          if (memo != nullptr) {
+            memo->Put(memo_sig, doc, static_cast<double>(total));
+            ++last_stats_.ddq_memo_misses;
+          }
+        }
+        last_stats_.sorted_accesses += m;
+        ++last_stats_.documents_scored;
+        push_scored(ScoredDocument{doc, static_cast<double>(total)});
+      }
+    }
+    last_stats_.skipped_blocks = (nblocks - visited) * m;
+  } else {
+    // ---- Dense-table traversal (the referee) ----
+    if (corpus_->num_documents() > 0) {
+      last_stats_.bytes_per_doc =
+          static_cast<double>(postings_->memory_bytes()) /
+          corpus_->num_documents();
+    }
+    std::vector<std::span<const index::PrecomputedPostings::Entry>>& lists =
+        scratch_.lists;
+    lists.clear();
+    lists.reserve(concepts.size());
+    for (ontology::ConceptId c : concepts) {
+      lists.push_back(postings_->SortedPostings(c));
+    }
+    const auto aggregate = [&](const Discovery& d, std::size_t /*lane*/,
+                               bool* memo_hit) {
+      if (memo != nullptr) {
+        double cached = 0.0;
+        if (memo->Get(memo_sig, d.doc, &cached)) {
+          *memo_hit = true;
+          return static_cast<std::uint64_t>(cached);
+        }
+      }
+      *memo_hit = false;
+      std::uint64_t total = d.distance;
+      for (std::size_t j = 0; j < concepts.size(); ++j) {
+        if (j == d.list) continue;
+        total += postings_->Distance(concepts[j], d.doc);
+      }
+      if (memo != nullptr) {
+        memo->Put(memo_sig, d.doc, static_cast<double>(total));
+      }
+      return total;
+    };
+
+    std::unordered_set<corpus::DocId>& seen = scratch_.seen;
+    seen.clear();
+    std::vector<std::uint32_t>& last_seen = scratch_.last_seen;
+    last_seen.assign(concepts.size(), 0);
+    std::size_t depth = 0;
+    bool exhausted = false;
+    while (!exhausted) {
+      // One poll per round: a round is the smallest unit whose omission
+      // keeps the already-pushed aggregates exact.
+      if (cancelled()) {
+        last_stats_.truncated = true;
+        break;
+      }
+      exhausted = true;
+      // One round of sorted access: advance one position in each list.
+      round.clear();
+      for (std::size_t i = 0; i < lists.size(); ++i) {
+        if (depth >= lists[i].size()) continue;
+        exhausted = false;
+        const auto& entry = lists[i][depth];
+        ++last_stats_.sorted_accesses;
+        last_seen[i] = entry.distance;
+        if (!seen.insert(entry.doc).second) continue;
+        round.push_back(Discovery{entry.doc, entry.distance, i});
+      }
+      score_round(aggregate);
+      ++depth;
+      // Threshold test: no unseen document can aggregate below the sum
+      // of the distances at the current sorted-access positions, and
+      // none can beat the k-th best under (distance, id) once that sum
+      // strictly exceeds it.
+      std::uint64_t threshold = 0;
+      for (std::uint32_t d : last_seen) threshold += d;
+      if (heap.size() == k &&
+          static_cast<double>(threshold) > heap.front().distance) {
+        break;
+      }
     }
   }
   std::sort(heap.begin(), heap.end(), ScoredBefore);

@@ -1,17 +1,42 @@
 // Threshold Algorithm baseline for RDS (Fagin et al., discussed in paper
 // Sections 4.1 / 5.1).
 //
-// Uses the offline PrecomputedPostings: for each query concept, a
-// postings list of (doc, Ddc) sorted ascending by distance supports
-// sorted access; random access resolves a document's distance on the
-// other lists. TA stops once the threshold — the sum of the last
-// distances seen under sorted access — reaches the current k-th best
-// aggregate. The paper rules TA out for SDS (the bidirectional Eq. 3
-// breaks the model) and out of its experiments for space reasons; we
-// implement it for RDS so bench_ablation_ta can measure the tradeoff.
+// Two interchangeable index backends:
 //
-// Sharding note: PrecomputedPostings is a whole-corpus offline build
-// (distance-sorted lists cannot be merged shard-wise without
+//  * PrecomputedPostings (dense referee): for each query concept, a
+//    postings list of (doc, Ddc) sorted ascending by distance supports
+//    sorted access; random access resolves a document's distance on the
+//    other lists in O(1) off the flat doc-major arena.
+//  * BlockPostings (compressed, block-max): distance postings are
+//    dense and the block partition is doc-aligned across concepts
+//    (block b covers the same doc range in every list), so the sum of
+//    the per-list block minima lower-bounds EVERY document of the
+//    range. The traversal visits block ranges in ascending bound
+//    order — sorted access at block granularity — aggregating each
+//    visited range by aligned sequential unpacking (no per-document
+//    random access), and stops at the first range whose bound
+//    strictly exceeds the current k-th aggregate: every remaining
+//    block is skipped without being decoded (WAND/MaxScore-style).
+//    Per-list Fagin rounds would be useless here: doc-partitioned
+//    blocks of a dense distance list have near-uniform minima, so a
+//    per-list frontier threshold barely grows until the walk has
+//    decoded nearly everything. Stats report the decoded/skipped
+//    split and the index's bytes/doc.
+//
+// Both modes stop once the threshold — the sum of the per-list lower
+// bounds on any unseen document — STRICTLY exceeds the current k-th
+// best aggregate. The strict test makes the result canonical under the
+// (distance, doc id) total order even on aggregate ties (an unseen
+// document tying the k-th best with a smaller id must still be
+// surfaced), which is what lets the differential suite demand
+// bit-identical top-k across backends, thread counts, and caches. The
+// paper rules TA out for SDS (the bidirectional Eq. 3 breaks the
+// model) and out of its experiments for space reasons; we implement it
+// for RDS so bench_ablation_ta / bench_block_postings can measure the
+// tradeoff.
+//
+// Sharding note: both postings structures are whole-corpus offline
+// builds (distance-sorted lists cannot be merged shard-wise without
 // re-sorting), so TaRanker runs against one corpus generation — pin an
 // EngineSnapshot and build the postings over snapshot->corpus; the
 // snapshot keeps that generation alive for the ranker's lifetime.
@@ -28,6 +53,7 @@
 #include "core/distance_cache.h"
 #include "core/scored_document.h"
 #include "corpus/corpus.h"
+#include "index/block_postings.h"
 #include "index/precomputed_postings.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -73,12 +99,25 @@ class TaRanker {
     std::uint64_t documents_scored = 0;
     std::uint64_t ddq_memo_hits = 0;
     std::uint64_t ddq_memo_misses = 0;
+    /// Block mode only: posting blocks decoded (sorted walk + random
+    /// access) vs blocks the threshold test retired without decoding.
+    std::uint64_t decoded_blocks = 0;
+    std::uint64_t skipped_blocks = 0;
+    /// Index footprint per document of the backend that served the
+    /// query (postings memory / |D|).
+    double bytes_per_doc = 0.0;
     bool truncated = false;  // deadline/cancel stopped the rounds early
     double seconds = 0.0;
   };
 
+  /// Dense-table mode (the referee).
   TaRanker(const corpus::Corpus& corpus,
            const index::PrecomputedPostings& postings, Options options = {});
+
+  /// Compressed block-max mode; bit-identical results by construction
+  /// (exact residual payloads + the shared strict-threshold stop).
+  TaRanker(const corpus::Corpus& corpus,
+           const index::BlockPostings& postings, Options options = {});
 
   /// RDS top-k, ascending by (distance, id) — same contract as the other
   /// rankers.
@@ -89,7 +128,8 @@ class TaRanker {
 
  private:
   const corpus::Corpus* corpus_;
-  const index::PrecomputedPostings* postings_;
+  const index::PrecomputedPostings* postings_ = nullptr;  // dense mode
+  const index::BlockPostings* block_postings_ = nullptr;  // block mode
   Options options_;
   Stats last_stats_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
@@ -111,6 +151,13 @@ class TaRanker {
     std::vector<Discovery> round;
     std::vector<std::uint64_t> round_totals;
     std::vector<std::uint8_t> round_hits;
+    // Block mode: per-list block metadata, the per-range bound and its
+    // ascending visit order, and one decoded block row per list.
+    std::vector<std::span<const index::BlockMeta>> metas;
+    std::vector<std::uint64_t> block_bounds;
+    std::vector<std::uint32_t> block_order;
+    std::vector<std::vector<index::BlockPostingEntry>> block_rows;
+    std::vector<ScoredDocument> heap;
   };
   Scratch scratch_;
 };

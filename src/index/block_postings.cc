@@ -1,0 +1,394 @@
+#include "index/block_postings.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "ontology/types.h"
+#include "util/timer.h"
+
+namespace ecdr::index {
+
+namespace blockcodec {
+
+namespace {
+
+// Bounds the decoder's allocation on corrupt metadata; the builder
+// never cuts blocks anywhere near this (block_size is ~128).
+constexpr std::uint32_t kMaxBlockCount = 1u << 16;
+
+void AppendVarint(std::uint32_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+/// LEB128 decode bounded to 32 bits. Returns false on overrun or
+/// overflow; advances *pos past the consumed bytes on success.
+bool ReadVarint(std::span<const std::uint8_t> bytes, std::size_t* pos,
+                std::uint32_t* value) {
+  std::uint32_t result = 0;
+  for (std::uint32_t shift = 0; shift < 35; shift += 7) {
+    if (*pos >= bytes.size()) return false;
+    const std::uint8_t byte = bytes[(*pos)++];
+    const std::uint32_t payload = byte & 0x7F;
+    if (shift == 28 && payload > 0x0F) return false;  // > 32 bits
+    result |= payload << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t BitWidth(std::uint32_t value) {
+  std::uint32_t width = 0;
+  while (value != 0) {
+    ++width;
+    value >>= 1;
+  }
+  return width;
+}
+
+constexpr std::uint8_t kFlagDenseRun = 0x01;
+
+}  // namespace
+
+void EncodeBlock(std::span<const BlockPostingEntry> entries,
+                 std::vector<std::uint8_t>* arena, BlockMeta* meta) {
+  ECDR_CHECK(!entries.empty());
+  ECDR_CHECK_LE(entries.size(), kMaxBlockCount);
+  meta->offset = static_cast<std::uint32_t>(arena->size());
+  meta->first_doc = entries.front().doc;
+  meta->max_doc = entries.back().doc;
+  meta->count = static_cast<std::uint32_t>(entries.size());
+
+  std::uint32_t min_distance = entries.front().distance;
+  std::uint32_t max_distance = entries.front().distance;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    ECDR_DCHECK_LT(entries[i - 1].doc, entries[i].doc);
+    min_distance = std::min(min_distance, entries[i].distance);
+    max_distance = std::max(max_distance, entries[i].distance);
+  }
+  meta->min_distance = min_distance;
+
+  const bool dense = meta->dense_run();
+  const std::uint32_t width = BitWidth(max_distance - min_distance);
+  arena->push_back(dense ? kFlagDenseRun : 0);
+  arena->push_back(static_cast<std::uint8_t>(width));
+
+  // Residuals, little-endian bit-packed. width <= 32 and < 8 carry
+  // bits keep the accumulator under 40 bits.
+  std::uint64_t acc = 0;
+  std::uint32_t acc_bits = 0;
+  for (const BlockPostingEntry& entry : entries) {
+    acc |= static_cast<std::uint64_t>(entry.distance - min_distance)
+           << acc_bits;
+    acc_bits += width;
+    while (acc_bits >= 8) {
+      arena->push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) arena->push_back(static_cast<std::uint8_t>(acc));
+
+  if (!dense) {
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      AppendVarint(entries[i].doc - entries[i - 1].doc - 1, arena);
+    }
+  }
+  meta->length = static_cast<std::uint32_t>(arena->size()) - meta->offset;
+}
+
+bool DecodeBlock(std::span<const std::uint8_t> payload, const BlockMeta& meta,
+                 std::vector<BlockPostingEntry>* out) {
+  if (meta.count == 0 || meta.count > kMaxBlockCount) return false;
+  if (meta.first_doc > meta.max_doc) return false;
+  if (meta.max_doc - meta.first_doc < meta.count - 1) return false;
+  if (payload.size() < 2) return false;
+  const std::uint8_t flags = payload[0];
+  const std::uint32_t width = payload[1];
+  if ((flags & ~kFlagDenseRun) != 0 || width > 32) return false;
+  const bool dense = (flags & kFlagDenseRun) != 0;
+  if (dense != meta.dense_run()) return false;
+  const std::uint64_t residual_bits =
+      static_cast<std::uint64_t>(meta.count) * width;
+  const std::size_t residual_bytes =
+      static_cast<std::size_t>((residual_bits + 7) / 8);
+  if (payload.size() < 2 + residual_bytes) return false;
+
+  out->resize(meta.count);
+  std::uint64_t acc = 0;
+  std::uint32_t acc_bits = 0;
+  std::size_t pos = 2;
+  const std::uint64_t mask =
+      width == 32 ? 0xFFFFFFFFull : ((1ull << width) - 1);
+  for (std::uint32_t i = 0; i < meta.count; ++i) {
+    while (acc_bits < width) {
+      acc |= static_cast<std::uint64_t>(payload[pos++]) << acc_bits;
+      acc_bits += 8;
+    }
+    const std::uint64_t residual = acc & mask;
+    acc >>= width;
+    acc_bits -= width;
+    if (residual > 0xFFFFFFFFull - meta.min_distance) return false;
+    (*out)[i].distance =
+        meta.min_distance + static_cast<std::uint32_t>(residual);
+  }
+  // The pad bits of the last residual byte must be zero, so a bit flip
+  // there never decodes "successfully".
+  if (acc != 0) return false;
+
+  if (dense) {
+    if (payload.size() != 2 + residual_bytes) return false;  // trailing junk
+    for (std::uint32_t i = 0; i < meta.count; ++i) {
+      (*out)[i].doc = meta.first_doc + i;
+    }
+    return true;
+  }
+
+  pos = 2 + residual_bytes;
+  corpus::DocId doc = meta.first_doc;
+  if (doc >= corpus::kInvalidDoc) return false;
+  (*out)[0].doc = doc;
+  for (std::uint32_t i = 1; i < meta.count; ++i) {
+    std::uint32_t delta = 0;
+    if (!ReadVarint(payload, &pos, &delta)) return false;
+    const std::uint64_t next =
+        static_cast<std::uint64_t>(doc) + static_cast<std::uint64_t>(delta) + 1;
+    if (next >= corpus::kInvalidDoc) return false;
+    doc = static_cast<corpus::DocId>(next);
+    (*out)[i].doc = doc;
+  }
+  if (pos != payload.size()) return false;  // trailing junk
+  if (doc != meta.max_doc) return false;    // metadata disagrees
+  return true;
+}
+
+std::uint32_t UnpackResidual(std::span<const std::uint8_t> payload,
+                             std::uint32_t width, std::uint32_t index) {
+  if (width == 0) return 0;
+  ECDR_DCHECK_LE(width, 32u);
+  const std::uint64_t bit_pos = static_cast<std::uint64_t>(index) * width;
+  std::size_t byte_pos = 2 + static_cast<std::size_t>(bit_pos >> 3);
+  const std::uint32_t shift = static_cast<std::uint32_t>(bit_pos & 7);
+  std::uint64_t acc = 0;
+  std::uint32_t have = 0;
+  while (have < shift + width) {
+    ECDR_DCHECK_LT(byte_pos, payload.size());
+    acc |= static_cast<std::uint64_t>(payload[byte_pos++]) << have;
+    have += 8;
+  }
+  const std::uint64_t mask =
+      width == 32 ? 0xFFFFFFFFull : ((1ull << width) - 1);
+  return static_cast<std::uint32_t>((acc >> shift) & mask);
+}
+
+}  // namespace blockcodec
+
+// ---------------------------------------------------------------------------
+// Reader / Cursor
+
+std::uint32_t BlockPostings::Reader::Seek(corpus::DocId doc) {
+  ECDR_DCHECK(owner_ != nullptr);
+  const auto it = std::lower_bound(
+      metas_.begin(), metas_.end(), doc,
+      [](const BlockMeta& meta, corpus::DocId target) {
+        return meta.max_doc < target;
+      });
+  ECDR_CHECK(it != metas_.end() && it->first_doc <= doc);
+  if (it->dense_run()) {
+    // O(1): no decode, one bit-field read straight off the payload.
+    const std::span<const std::uint8_t> payload = owner_->payload(*it);
+    return it->min_distance +
+           blockcodec::UnpackResidual(payload, payload[1],
+                                      doc - it->first_doc);
+  }
+  const std::uint32_t block =
+      static_cast<std::uint32_t>(it - metas_.begin());
+  if (cached_block_ != block) {
+    ECDR_CHECK(blockcodec::DecodeBlock(owner_->payload(*it), *it, &decoded_));
+    cached_block_ = block;
+    ++decoded_blocks_;
+  }
+  const auto entry = std::lower_bound(
+      decoded_.begin(), decoded_.end(), doc,
+      [](const Entry& e, corpus::DocId target) { return e.doc < target; });
+  ECDR_CHECK(entry != decoded_.end() && entry->doc == doc);
+  return entry->distance;
+}
+
+void BlockPostings::Cursor::Reset(const BlockPostings* owner,
+                                  ontology::ConceptId c) {
+  owner_ = owner;
+  metas_ = owner->blocks(c);
+  order_ = owner->distance_order(c);
+  next_order_pos_ = 0;
+  decoded_.clear();
+  entry_pos_ = 0;
+  decoded_blocks_ = 0;
+  reader_.Reset(owner, c);
+}
+
+bool BlockPostings::Cursor::NextBlock(std::span<const Entry>* out) {
+  if (next_order_pos_ >= order_.size()) return false;
+  const BlockMeta& meta = metas_[order_[next_order_pos_]];
+  ECDR_CHECK(blockcodec::DecodeBlock(owner_->payload(meta), meta, &decoded_));
+  // Distance-ordered emission: the block's best entries surface first,
+  // and frontier_min_distance() can bound the un-emitted remainder by
+  // the NEXT entry's distance instead of the whole block's min — a
+  // threshold at least as tight as the dense referee's last-seen sum.
+  std::sort(decoded_.begin(), decoded_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.doc < b.doc;
+            });
+  ++decoded_blocks_;
+  ++next_order_pos_;
+  entry_pos_ = decoded_.size();  // Next() restarts only on a fresh walk
+  *out = decoded_;
+  return true;
+}
+
+bool BlockPostings::Cursor::Next(Entry* out) {
+  if (entry_pos_ >= decoded_.size()) {
+    std::span<const Entry> block;
+    if (!NextBlock(&block)) return false;
+    entry_pos_ = 0;
+  }
+  *out = decoded_[entry_pos_++];
+  return true;
+}
+
+std::uint32_t BlockPostings::Cursor::frontier_min_distance() const {
+  const std::uint32_t next_block_min =
+      next_order_pos_ < order_.size()
+          ? metas_[order_[next_order_pos_]].min_distance
+          : ontology::kInfiniteDistance;
+  // Mid-block (Next() walk): decoded_ is distance-sorted, so the
+  // un-emitted remainder is bounded by the next entry; entries in
+  // later blocks are bounded by the next block's min. A later block
+  // may contain distances below the current block's tail, hence the
+  // min of the two.
+  if (entry_pos_ < decoded_.size()) {
+    return std::min(decoded_[entry_pos_].distance, next_block_min);
+  }
+  return next_block_min;
+}
+
+// ---------------------------------------------------------------------------
+// Build
+
+BlockPostings::BlockPostings(const corpus::Corpus& corpus, Options options)
+    : options_(options) {
+  ECDR_CHECK_GE(options_.block_size, 1u);
+  ECDR_CHECK_LE(options_.block_size, 1u << 16);
+  util::WallTimer timer;
+  const ontology::Ontology& ontology = corpus.ontology();
+  const std::uint32_t num_concepts = ontology.num_concepts();
+  const std::uint32_t num_docs = corpus.num_documents();
+  num_documents_ = num_docs;
+  const std::uint32_t block = options_.block_size;
+  const std::uint32_t num_blocks =
+      num_docs == 0 ? 0 : (num_docs + block - 1) / block;
+
+  meta_offsets_.resize(num_concepts + 1);
+  for (std::uint32_t c = 0; c <= num_concepts; ++c) {
+    meta_offsets_[c] = static_cast<std::uint64_t>(c) * num_blocks;
+  }
+  meta_.resize(static_cast<std::size_t>(num_concepts) * num_blocks);
+  order_.resize(meta_.size());
+  if (num_docs == 0) {
+    build_seconds_ = timer.ElapsedSeconds();
+    return;
+  }
+
+  // Chunked build: one chunk of block_size documents at a time. The
+  // chunk's BFS rows (block_size x |C| distances) are the only dense
+  // temporary — the full |D| x |C| table is never materialized, which
+  // is the point of this structure. Each chunk contributes exactly one
+  // block to every concept, so block boundaries fall on doc-id
+  // multiples of block_size and every block of a (tombstone-free)
+  // corpus is a dense run.
+  util::ThreadPool* pool = options_.pool;
+  const std::size_t lanes = pool != nullptr ? pool->num_threads() + 1 : 1;
+  std::vector<std::unique_ptr<ontology::DistanceOracle>> oracles;
+  oracles.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    oracles.push_back(std::make_unique<ontology::DistanceOracle>(ontology));
+  }
+  std::vector<std::vector<std::uint32_t>> rows(block);
+  std::vector<std::vector<std::uint8_t>> payloads(num_concepts);
+  std::vector<BlockMeta> chunk_meta(num_concepts);
+  std::vector<Entry> entries_scratch;  // serial encode path
+  for (std::uint32_t chunk = 0; chunk < num_blocks; ++chunk) {
+    const std::uint32_t begin = chunk * block;
+    const std::uint32_t end = std::min(begin + block, num_docs);
+    const std::uint32_t chunk_docs = end - begin;
+
+    const auto bfs_one = [&](std::size_t j, std::size_t lane) {
+      oracles[lane]->DistancesFromSet(
+          corpus.document(begin + static_cast<std::uint32_t>(j)).concepts(),
+          &rows[j]);
+    };
+    const auto encode_one = [&](std::size_t c, std::vector<Entry>* scratch) {
+      scratch->resize(chunk_docs);
+      for (std::uint32_t j = 0; j < chunk_docs; ++j) {
+        (*scratch)[j] = Entry{begin + j, rows[j][c]};
+      }
+      payloads[c].clear();
+      blockcodec::EncodeBlock(*scratch, &payloads[c], &chunk_meta[c]);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(chunk_docs, bfs_one);
+      // Per-lane entry scratch keyed off the encode lane.
+      std::vector<std::vector<Entry>> lane_entries(lanes);
+      pool->ParallelFor(num_concepts, [&](std::size_t c, std::size_t lane) {
+        encode_one(c, &lane_entries[lane]);
+      });
+    } else {
+      for (std::uint32_t j = 0; j < chunk_docs; ++j) bfs_one(j, 0);
+      for (std::uint32_t c = 0; c < num_concepts; ++c) {
+        encode_one(c, &entries_scratch);
+      }
+    }
+    // Serial concatenation keeps the arena byte-identical at any lane
+    // count: payload bytes only depend on (chunk, concept).
+    for (std::uint32_t c = 0; c < num_concepts; ++c) {
+      BlockMeta meta = chunk_meta[c];
+      const std::uint64_t offset = arena_.size();
+      ECDR_CHECK_LE(offset + payloads[c].size(), 0xFFFFFFFFull);
+      meta.offset = static_cast<std::uint32_t>(offset);
+      arena_.insert(arena_.end(), payloads[c].begin(), payloads[c].end());
+      meta_[meta_offsets_[c] + chunk] = meta;
+    }
+  }
+  arena_.shrink_to_fit();
+
+  // Distance-order permutation: the sorted-access walk order, ascending
+  // (min_distance, block index).
+  const auto order_one = [&](std::size_t c) {
+    std::uint32_t* begin = order_.data() + meta_offsets_[c];
+    const BlockMeta* metas = meta_.data() + meta_offsets_[c];
+    for (std::uint32_t b = 0; b < num_blocks; ++b) begin[b] = b;
+    std::sort(begin, begin + num_blocks,
+              [metas](std::uint32_t a, std::uint32_t b) {
+                if (metas[a].min_distance != metas[b].min_distance) {
+                  return metas[a].min_distance < metas[b].min_distance;
+                }
+                return a < b;
+              });
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_concepts,
+                      [&](std::size_t c, std::size_t) { order_one(c); });
+  } else {
+    for (std::uint32_t c = 0; c < num_concepts; ++c) order_one(c);
+  }
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+}  // namespace ecdr::index

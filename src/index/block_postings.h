@@ -1,0 +1,293 @@
+// Compressed block-max distance postings for the TA baseline at scale.
+//
+// PrecomputedPostings materializes the full |D| x |C| distance table
+// twice (distance-sorted and doc-sorted), which is exactly what rules
+// the precomputed-Ddc baseline out at UMLS x millions-of-docs scale
+// (paper Sections 4.1 / 5.1; ROADMAP "Compressed, block-max distance
+// postings"). BlockPostings stores ONE doc-ordered copy per concept,
+// cut into fixed-size blocks of delta-encoded doc ids with bit-packed
+// distance payloads, plus per-block metadata {min_distance, max_doc,
+// offset} — the distance-side analog of PISA's block-max posting
+// cursors (SNIPPETS.md), with min-distance taking the role score upper
+// bounds play in text ranking (smaller distance == better).
+//
+// Both TA access patterns come off this single copy:
+//   * sorted access: blocks are walked in ascending min_distance order
+//     (a per-concept block permutation, built once), decoding one block
+//     at a time into reusable scratch;
+//   * random access: Seek(doc) binary-searches the block metadata by
+//     max_doc; a dense block (a gap-free doc run — the common case for
+//     distance postings, where EVERY doc has a distance to every
+//     concept) answers with one O(1) bit-field unpack and no decode at
+//     all, a sparse block decodes once into scratch and binary-searches
+//     the decoded entries.
+//
+// Quantization / tie-break contract (what makes block-max TA
+// bit-identical to the dense referee): the payload stores each
+// distance as an exact residual `distance - block_min_distance`,
+// bit-packed at the block's minimal width. The bucket mapping is the
+// identity — monotone by construction — and the residual reconstructs
+// the distance exactly, so every aggregate the block-mode TaRanker
+// computes is the same integer the dense table yields, and the shared
+// (distance, doc id) total order breaks ties identically. No payload
+// information is lost; compression comes from layout, not rounding.
+//
+// Block payload layout (per block; count / first_doc / min_distance
+// live in the metadata, not the payload):
+//
+//   flags:u8         bit0: dense doc run (docs are first_doc..max_doc)
+//   width:u8         residual bit width, 0..32
+//   residuals        ceil(count * width / 8) bytes, little-endian
+//                    bit-packed (distance[i] - min_distance)
+//   deltas           only when !dense: count-1 varints of
+//                    doc[i] - doc[i-1] - 1
+//
+// Skipping invariant: blocks are consumed per concept in ascending
+// (min_distance, block index) order, each decoded block is emitted in
+// ascending (distance, doc) order, and every emitted document is
+// aggregated, so a document not yet seen by any list has, in every
+// list i, distance >= frontier_min_distance(i) — the min of the next
+// un-emitted entry's distance and the next block's min. The sum of the
+// frontiers is therefore a lower bound on any unseen document's
+// aggregate — once it strictly exceeds the current k-th best, every
+// remaining (un-decoded) block is skipped wholesale. TaRanker::Stats
+// reports the decoded/skipped split.
+
+#ifndef ECDR_INDEX_BLOCK_POSTINGS_H_
+#define ECDR_INDEX_BLOCK_POSTINGS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "ontology/distance_oracle.h"
+#include "util/thread_pool.h"
+
+namespace ecdr::index {
+
+/// One decoded posting: Ddc(doc, concept), exact.
+struct BlockPostingEntry {
+  corpus::DocId doc;
+  std::uint32_t distance;
+
+  friend bool operator==(const BlockPostingEntry&,
+                         const BlockPostingEntry&) = default;
+};
+
+/// Per-block metadata, kept uncompressed so Seek() and the skip test
+/// never touch the payload bytes of blocks they rule out.
+struct BlockMeta {
+  std::uint32_t offset = 0;        // payload start in the byte arena
+  std::uint32_t length = 0;        // payload bytes
+  corpus::DocId first_doc = 0;
+  corpus::DocId max_doc = 0;       // last (largest) doc in the block
+  std::uint32_t min_distance = 0;  // the block-max bound (min is better)
+  std::uint32_t count = 0;         // entries in the block
+
+  bool dense_run() const {
+    return max_doc - first_doc + 1 == count;
+  }
+};
+
+// The block codec, exposed for the round-trip and corrupt-input tests.
+// Encode/Decode are exact inverses for any strictly doc-ascending
+// entry list of 1..2^16 entries.
+namespace blockcodec {
+
+/// Appends the payload for `entries` (non-empty, strictly ascending by
+/// doc) to `arena` and fills `meta` (offset from the pre-append arena
+/// size).
+void EncodeBlock(std::span<const BlockPostingEntry> entries,
+                 std::vector<std::uint8_t>* arena, BlockMeta* meta);
+
+/// Decodes a payload described by `meta` from `payload`
+/// (= arena.subspan(meta.offset, meta.length)) into `out` (resized to
+/// meta.count). Returns false — never crashes, never over-allocates —
+/// when the bytes are not a well-formed block: truncated or trailing
+/// payload, width > 32, varint overrun, or doc overflow past
+/// kInvalidDoc. A decode that returns true always yields exactly
+/// meta.count entries with strictly ascending doc ids.
+[[nodiscard]] bool DecodeBlock(std::span<const std::uint8_t> payload,
+                               const BlockMeta& meta,
+                               std::vector<BlockPostingEntry>* out);
+
+/// Random access into a dense-run block: the packed residual of entry
+/// `index` (bounds are the caller's problem — DCHECKed).
+std::uint32_t UnpackResidual(std::span<const std::uint8_t> payload,
+                             std::uint32_t width, std::uint32_t index);
+
+}  // namespace blockcodec
+
+struct BlockPostingsOptions {
+  /// Entries per block (the last block of a concept may be shorter).
+  /// Smaller blocks skip at finer granularity but pay more metadata;
+  /// 128 matches the classic text-ranking block size.
+  std::uint32_t block_size = 128;
+
+  /// Offline-build parallelism across documents (one multi-source BFS
+  /// per doc). Null builds serially; the result is byte-identical
+  /// either way (asserted by tests/block_postings_test.cc).
+  util::ThreadPool* pool = nullptr;
+};
+
+class BlockPostings {
+ public:
+  using Entry = BlockPostingEntry;
+  using Options = BlockPostingsOptions;
+
+  /// Builds per-concept compressed postings with one valid-path BFS per
+  /// document — the same offline sweep PrecomputedPostings runs, minus
+  /// the second (distance-sorted) copy. Tombstoned documents (empty
+  /// concept sets) get kInfiniteDistance everywhere, exactly like the
+  /// dense table, so block-mode TA ranks them identically.
+  explicit BlockPostings(const corpus::Corpus& corpus, Options options = {});
+
+  std::uint32_t num_concepts() const {
+    return static_cast<std::uint32_t>(meta_offsets_.size() - 1);
+  }
+  std::uint32_t num_documents() const { return num_documents_; }
+  std::uint32_t block_size() const { return options_.block_size; }
+
+  /// Doc-ordered block metadata of concept `c`.
+  std::span<const BlockMeta> blocks(ontology::ConceptId c) const {
+    ECDR_DCHECK_LT(c + 1, meta_offsets_.size());
+    return std::span<const BlockMeta>(meta_.data() + meta_offsets_[c],
+                                      meta_offsets_[c + 1] - meta_offsets_[c]);
+  }
+
+  /// Block indices of concept `c` (local, into blocks(c)) sorted by
+  /// ascending (min_distance, block index) — the sorted-access order.
+  std::span<const std::uint32_t> distance_order(ontology::ConceptId c) const {
+    ECDR_DCHECK_LT(c + 1, meta_offsets_.size());
+    return std::span<const std::uint32_t>(
+        order_.data() + meta_offsets_[c],
+        meta_offsets_[c + 1] - meta_offsets_[c]);
+  }
+
+  std::span<const std::uint8_t> arena() const { return arena_; }
+
+  std::span<const std::uint8_t> payload(const BlockMeta& meta) const {
+    return std::span<const std::uint8_t>(arena_).subspan(meta.offset,
+                                                         meta.length);
+  }
+
+  /// Random access half of the cursor pair: Seek() only, with one block
+  /// of decode scratch. Stateless across Reset() apart from reusable
+  /// capacity, so TaRanker hands one Reader per (lane, list) to its
+  /// parallel aggregation without locking.
+  class Reader {
+   public:
+    void Reset(const BlockPostings* owner, ontology::ConceptId c) {
+      owner_ = owner;
+      metas_ = owner->blocks(c);
+      cached_block_ = kNoBlock;
+    }
+
+    /// Ddc(doc, concept) — TA's random access. O(log blocks) metadata
+    /// search plus an O(1) residual unpack (dense-run block, the
+    /// steady state) or a one-block decode (sparse block, cached until
+    /// the next Seek leaves it). Requires `doc` present (dense corpus
+    /// postings always contain every doc).
+    std::uint32_t Seek(corpus::DocId doc);
+
+    std::uint64_t decoded_blocks() const { return decoded_blocks_; }
+
+   private:
+    static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+
+    const BlockPostings* owner_ = nullptr;
+    std::span<const BlockMeta> metas_;
+    std::uint32_t cached_block_ = kNoBlock;
+    std::vector<Entry> decoded_;
+    std::uint64_t decoded_blocks_ = 0;
+  };
+
+  /// Sorted-access cursor: walks the concept's blocks in ascending
+  /// min_distance order, decoding one block at a time into reusable
+  /// scratch (zero steady-state allocations once the scratch reached
+  /// block_size capacity), plus an embedded Reader for random access
+  /// on the serial path.
+  class Cursor {
+   public:
+    void Reset(const BlockPostings* owner, ontology::ConceptId c);
+
+    /// Decodes the next block in distance order, re-sorted to
+    /// ascending (distance, doc) for emission; `*out` stays valid
+    /// until the next NextBlock/Reset. False once every block was
+    /// consumed.
+    bool NextBlock(std::span<const Entry>* out);
+
+    /// Entry-at-a-time sorted access over the same walk (decodes lazily
+    /// block by block, emitting each block's entries in ascending
+    /// (distance, doc) order). False at the end of the last block.
+    bool Next(Entry* out);
+
+    /// The frontier bound b_i of the skipping invariant: every entry
+    /// this walk has not yet surfaced has distance >= the bound. While
+    /// Next() is mid-block that is min(next un-emitted entry's
+    /// distance, next block's min_distance) — a later block may dip
+    /// below the current block's tail; otherwise the next un-consumed
+    /// block's min_distance; and kInfiniteDistance once the walk is
+    /// exhausted (every doc of this list has been surfaced).
+    std::uint32_t frontier_min_distance() const;
+
+    std::uint32_t Seek(corpus::DocId doc) { return reader_.Seek(doc); }
+
+    std::uint64_t decoded_blocks() const {
+      return decoded_blocks_ + reader_.decoded_blocks();
+    }
+    /// Blocks the sorted walk never decoded (skipped wholesale by the
+    /// threshold test, or never reached before termination).
+    std::uint64_t skipped_blocks() const {
+      return order_.size() - next_order_pos_;
+    }
+    std::uint64_t total_blocks() const { return order_.size(); }
+
+   private:
+    const BlockPostings* owner_ = nullptr;
+    std::span<const BlockMeta> metas_;
+    std::span<const std::uint32_t> order_;
+    std::size_t next_order_pos_ = 0;  // next block in distance order
+    std::vector<Entry> decoded_;      // current block, distance-sorted
+    std::size_t entry_pos_ = 0;       // Next() position within decoded_
+    std::uint64_t decoded_blocks_ = 0;
+    Reader reader_;
+  };
+
+  double build_seconds() const { return build_seconds_; }
+
+  /// Total footprint: payload arena + block metadata + distance-order
+  /// permutation (+ CSR offsets).
+  std::uint64_t memory_bytes() const {
+    return arena_bytes() + metadata_bytes();
+  }
+  std::uint64_t arena_bytes() const { return arena_.size(); }
+  std::uint64_t metadata_bytes() const {
+    return meta_.size() * sizeof(BlockMeta) +
+           order_.size() * sizeof(std::uint32_t) +
+           meta_offsets_.size() * sizeof(std::uint64_t);
+  }
+  std::uint64_t num_blocks() const { return meta_.size(); }
+
+  /// Postings bytes per document across all concepts — the space-side
+  /// headline (compare PrecomputedPostings::memory_bytes() / |D|).
+  double bytes_per_doc() const {
+    return num_documents_ == 0
+               ? 0.0
+               : static_cast<double>(memory_bytes()) / num_documents_;
+  }
+
+ private:
+  Options options_;
+  std::uint32_t num_documents_ = 0;
+  std::vector<std::uint8_t> arena_;         // all payloads, concept-major
+  std::vector<BlockMeta> meta_;             // CSR by concept
+  std::vector<std::uint32_t> order_;        // CSR by concept, same offsets
+  std::vector<std::uint64_t> meta_offsets_; // |C|+1 block-index offsets
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace ecdr::index
+
+#endif  // ECDR_INDEX_BLOCK_POSTINGS_H_

@@ -1,52 +1,68 @@
 #include "index/precomputed_postings.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/timer.h"
 
 namespace ecdr::index {
 
-PrecomputedPostings::PrecomputedPostings(const corpus::Corpus& corpus) {
+PrecomputedPostings::PrecomputedPostings(const corpus::Corpus& corpus,
+                                         util::ThreadPool* pool) {
   util::WallTimer timer;
   const ontology::Ontology& ontology = corpus.ontology();
-  const std::uint32_t num_concepts = ontology.num_concepts();
-  by_distance_.resize(num_concepts);
-  by_doc_.resize(num_concepts);
-  for (auto& list : by_doc_) list.reserve(corpus.num_documents());
+  num_concepts_ = ontology.num_concepts();
+  num_documents_ = corpus.num_documents();
+  const std::size_t table =
+      static_cast<std::size_t>(num_concepts_) * num_documents_;
+  by_doc_flat_.resize(table);
+  by_distance_.resize(table);
 
-  ontology::DistanceOracle oracle(ontology);
-  std::vector<std::uint32_t> dist;
-  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
-    oracle.DistancesFromSet(corpus.document(d).concepts(), &dist);
-    for (ontology::ConceptId c = 0; c < num_concepts; ++c) {
-      // Documents are appended in id order, so by_doc_ stays sorted.
-      by_doc_[c].push_back(Entry{d, dist[c]});
-    }
+  // One BFS per document, each writing its own row of the doc-major
+  // arena — disjoint writes, so the parallel build is byte-identical
+  // to the serial one.
+  const std::size_t lanes = pool != nullptr ? pool->num_threads() + 1 : 1;
+  std::vector<std::unique_ptr<ontology::DistanceOracle>> oracles;
+  std::vector<std::vector<std::uint32_t>> dists(lanes);
+  oracles.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    oracles.push_back(std::make_unique<ontology::DistanceOracle>(ontology));
   }
-  for (ontology::ConceptId c = 0; c < num_concepts; ++c) {
-    by_distance_[c] = by_doc_[c];
-    std::sort(by_distance_[c].begin(), by_distance_[c].end(),
-              [](const Entry& a, const Entry& b) {
-                if (a.distance != b.distance) return a.distance < b.distance;
-                return a.doc < b.doc;
-              });
-    memory_bytes_ +=
-        (by_distance_[c].size() + by_doc_[c].size()) * sizeof(Entry);
+  const auto bfs_one = [&](std::size_t d, std::size_t lane) {
+    std::vector<std::uint32_t>& dist = dists[lane];
+    oracles[lane]->DistancesFromSet(
+        corpus.document(static_cast<corpus::DocId>(d)).concepts(), &dist);
+    std::copy(dist.begin(), dist.end(),
+              by_doc_flat_.begin() + d * num_concepts_);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_documents_, bfs_one);
+  } else {
+    for (std::size_t d = 0; d < num_documents_; ++d) bfs_one(d, 0);
+  }
+
+  // Distance-sorted copy, one independent sort per concept (the
+  // comparator is a total order, so the sorted lists are deterministic
+  // regardless of lane count).
+  const auto sort_one = [&](std::size_t c) {
+    Entry* list = by_distance_.data() + c * num_documents_;
+    for (std::uint32_t d = 0; d < num_documents_; ++d) {
+      list[d] = Entry{d, by_doc_flat_[static_cast<std::size_t>(d) *
+                                          num_concepts_ +
+                                      c]};
+    }
+    std::sort(list, list + num_documents_, [](const Entry& a, const Entry& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.doc < b.doc;
+    });
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_concepts_,
+                      [&](std::size_t c, std::size_t) { sort_one(c); });
+  } else {
+    for (std::size_t c = 0; c < num_concepts_; ++c) sort_one(c);
   }
   build_seconds_ = timer.ElapsedSeconds();
-}
-
-std::uint32_t PrecomputedPostings::Distance(ontology::ConceptId c,
-                                            corpus::DocId doc) const {
-  ECDR_DCHECK_LT(c, by_doc_.size());
-  const auto& list = by_doc_[c];
-  const auto it = std::lower_bound(
-      list.begin(), list.end(), doc,
-      [](const Entry& entry, corpus::DocId target) {
-        return entry.doc < target;
-      });
-  ECDR_CHECK(it != list.end() && it->doc == doc);
-  return it->distance;
 }
 
 }  // namespace ecdr::index

@@ -6,7 +6,21 @@
 // consume it by sorted access. The paper argues this is impractical at
 // UMLS scale and useless for SDS; we build it anyway (at benchmark
 // scale) so the TA-vs-kNDS tradeoff in bench_ablation_ta is measured,
-// not asserted.
+// not asserted — and so it can referee the compressed BlockPostings
+// (index/block_postings.h), which is the structure that actually
+// scales.
+//
+// Storage is two flat arenas, not per-concept vectors:
+//
+//  * by_doc_flat_: |D| x |C| doc-major distances (4 bytes each). The
+//    postings are dense — EVERY document has a distance to every
+//    concept (tombstoned docs get kInfiniteDistance) — so random
+//    access is pure index arithmetic, flat[doc * |C| + c], O(1) with
+//    no binary search; and a TA aggregate's accesses for one doc
+//    across query concepts land in one row.
+//  * by_distance_: |C| x |D| concept-major (doc, distance) entries
+//    sorted ascending by (distance, doc) — TA's sorted access — with
+//    implicit CSR offsets (every list has exactly |D| entries).
 
 #ifndef ECDR_INDEX_PRECOMPUTED_POSTINGS_H_
 #define ECDR_INDEX_PRECOMPUTED_POSTINGS_H_
@@ -17,6 +31,7 @@
 
 #include "corpus/corpus.h"
 #include "ontology/distance_oracle.h"
+#include "util/thread_pool.h"
 
 namespace ecdr::index {
 
@@ -29,29 +44,49 @@ class PrecomputedPostings {
 
   /// Builds the full |D| x |C| distance table: one multi-source
   /// valid-path BFS per document. This is the expensive offline step the
-  /// paper's approach avoids; build_seconds() reports its cost.
-  explicit PrecomputedPostings(const corpus::Corpus& corpus);
+  /// paper's approach avoids; build_seconds() reports its cost. A
+  /// non-null `pool` parallelizes the build across documents (the BFS
+  /// rows are independent) and then across concepts (the sorts); the
+  /// result is byte-identical to the serial build at any lane count.
+  explicit PrecomputedPostings(const corpus::Corpus& corpus,
+                               util::ThreadPool* pool = nullptr);
 
   /// Postings of `c` sorted by ascending distance (ties by doc id) —
   /// TA's sorted access.
   std::span<const Entry> SortedPostings(ontology::ConceptId c) const {
-    ECDR_DCHECK_LT(c, by_distance_.size());
-    return by_distance_[c];
+    ECDR_DCHECK_LT(c, num_concepts_);
+    return std::span<const Entry>(
+        by_distance_.data() + static_cast<std::size_t>(c) * num_documents_,
+        num_documents_);
   }
 
-  /// Ddc(doc, c) — TA's random access. O(log |D|).
-  std::uint32_t Distance(ontology::ConceptId c, corpus::DocId doc) const;
+  /// Ddc(doc, c) — TA's random access. O(1) arithmetic into the flat
+  /// doc-major arena.
+  std::uint32_t Distance(ontology::ConceptId c, corpus::DocId doc) const {
+    ECDR_DCHECK_LT(c, num_concepts_);
+    ECDR_DCHECK_LT(doc, num_documents_);
+    return by_doc_flat_[static_cast<std::size_t>(doc) * num_concepts_ + c];
+  }
 
   double build_seconds() const { return build_seconds_; }
-  std::uint64_t memory_bytes() const { return memory_bytes_; }
+
+  /// Footprint split by structure.
+  std::uint64_t by_distance_bytes() const {
+    return by_distance_.size() * sizeof(Entry);
+  }
+  std::uint64_t by_doc_bytes() const {
+    return by_doc_flat_.size() * sizeof(std::uint32_t);
+  }
+  std::uint64_t memory_bytes() const {
+    return by_distance_bytes() + by_doc_bytes();
+  }
 
  private:
-  // by_distance_: TA sorted access; by_doc_: random access (sorted by
-  // doc id, binary-searched).
-  std::vector<std::vector<Entry>> by_distance_;
-  std::vector<std::vector<Entry>> by_doc_;
+  std::uint32_t num_concepts_ = 0;
+  std::uint32_t num_documents_ = 0;
+  std::vector<Entry> by_distance_;          // concept-major, CSR stride |D|
+  std::vector<std::uint32_t> by_doc_flat_;  // doc-major, stride |C|
   double build_seconds_ = 0.0;
-  std::uint64_t memory_bytes_ = 0;
 };
 
 }  // namespace ecdr::index

@@ -81,7 +81,14 @@ struct Server::Completion {
 };
 
 Server::Server(core::RankingEngine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine), options_(std::move(options)) {
+  if (options_.ta_postings != nullptr && options_.ta_corpus != nullptr) {
+    core::TaRankerOptions ta_options;
+    ta_options.num_threads = 1;  // serialized sidecar; no lanes needed
+    ta_ranker_ = std::make_unique<core::TaRanker>(
+        *options_.ta_corpus, *options_.ta_postings, ta_options);
+  }
+}
 
 Server::~Server() { Stop(); }
 
@@ -750,6 +757,23 @@ std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
     }
   }
 
+  bool use_ta = false;
+  if (const json::Value* ranker_field = parsed->Find("ranker")) {
+    if (!ranker_field->is_string() || (ranker_field->string != "engine" &&
+                                       ranker_field->string != "ta")) {
+      return fail(400, "INVALID_ARGUMENT", "'ranker' must be 'engine' or 'ta'");
+    }
+    use_ta = ranker_field->string == "ta";
+    if (use_ta && ta_ranker_ == nullptr) {
+      return fail(400, "FAILED_PRECONDITION",
+                  "no block-postings sidecar configured (--ta_postings)");
+    }
+    if (use_ta && (concepts.empty() || sds_by_concepts)) {
+      return fail(400, "INVALID_ARGUMENT",
+                  "'ta' serves RDS only: pass 'concepts' without mode 'sds'");
+    }
+  }
+
   double budget_seconds = options_.default_deadline_seconds;
   if (const json::Value* deadline_field = parsed->Find("deadline_ms")) {
     if (!deadline_field->is_number() || !(deadline_field->number > 0.0)) {
@@ -774,13 +798,38 @@ std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
   core::KndsStats search_stats;
   control.stats_out = &search_stats;
   const std::uint32_t want_k = static_cast<std::uint32_t>(k);
+  std::uint64_t generation = 0;
   util::StatusOr<std::vector<core::ScoredDocument>> result =
-      doc_field != nullptr
-          ? engine_->FindSimilar(static_cast<corpus::DocId>(doc_id), want_k,
-                                 control)
-          : sds_by_concepts
-                ? engine_->FindSimilarToConcepts(concepts, want_k, control)
-                : engine_->FindRelevant(concepts, want_k, control);
+      std::vector<core::ScoredDocument>{};
+  if (use_ta) {
+    // Exact top-k off the compressed sidecar; eps_theta does not apply
+    // (there is no error to trade away) and the deadline was enforced
+    // at dispatch above — TaRanker's cooperative cancellation is not
+    // re-wired per request here.
+    {
+      std::lock_guard<std::mutex> lock(ta_mutex_);
+      result = ta_ranker_->TopKRelevant(concepts, want_k);
+      if (result.ok()) {
+        const core::TaRanker::Stats& ta = ta_ranker_->last_stats();
+        search_stats.truncated = ta.truncated;
+        ta_searches_.fetch_add(1, std::memory_order_relaxed);
+        ta_decoded_blocks_.fetch_add(ta.decoded_blocks,
+                                     std::memory_order_relaxed);
+        ta_skipped_blocks_.fetch_add(ta.skipped_blocks,
+                                     std::memory_order_relaxed);
+      }
+    }
+    generation = options_.ta_generation;
+  } else {
+    result = doc_field != nullptr
+                 ? engine_->FindSimilar(static_cast<corpus::DocId>(doc_id),
+                                        want_k, control)
+                 : sds_by_concepts
+                       ? engine_->FindSimilarToConcepts(concepts, want_k,
+                                                        control)
+                       : engine_->FindRelevant(concepts, want_k, control);
+    generation = engine_->snapshot_stats().generation;
+  }
   if (!result.ok()) {
     const util::StatusCode code = result.status().code();
     return fail(HttpStatusForCode(code), util::StatusCodeName(code),
@@ -803,7 +852,7 @@ std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
   body += "],\"truncated\":";
   body += search_stats.truncated ? "true" : "false";
   body += ",\"generation\":";
-  body += std::to_string(engine_->snapshot_stats().generation);
+  body += std::to_string(generation);
   body += '}';
 
   responses_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -892,6 +941,36 @@ std::string Server::StatusJson() const {
     AppendCounter(&out, "records_replayed", durability.store.records_replayed);
     out += ',';
     AppendCounter(&out, "wal_tail_dropped", durability.store.wal_tail_dropped);
+  }
+  out += "},\"postings\":{\"enabled\":";
+  out += ta_ranker_ != nullptr ? "true" : "false";
+  if (ta_ranker_ != nullptr) {
+    const index::BlockPostings& postings = *options_.ta_postings;
+    out += ',';
+    AppendCounter(&out, "memory_bytes", postings.memory_bytes());
+    out += ',';
+    AppendCounter(&out, "arena_bytes", postings.arena_bytes());
+    out += ',';
+    AppendCounter(&out, "metadata_bytes", postings.metadata_bytes());
+    out += ",\"bytes_per_doc\":";
+    json::AppendDouble(&out, postings.bytes_per_doc());
+    out += ',';
+    AppendCounter(&out, "block_size", postings.block_size());
+    out += ',';
+    AppendCounter(&out, "num_blocks", postings.num_blocks());
+    out += ',';
+    AppendCounter(&out, "num_documents", postings.num_documents());
+    out += ',';
+    AppendCounter(&out, "generation", options_.ta_generation);
+    out += ',';
+    AppendCounter(&out, "ta_searches",
+                  ta_searches_.load(std::memory_order_relaxed));
+    out += ',';
+    AppendCounter(&out, "decoded_blocks",
+                  ta_decoded_blocks_.load(std::memory_order_relaxed));
+    out += ',';
+    AppendCounter(&out, "skipped_blocks",
+                  ta_skipped_blocks_.load(std::memory_order_relaxed));
   }
   out += "},\"caches\":{\"ddq_memo\":{";
   AppendCounter(&out, "hits", ddq.hits);
@@ -999,6 +1078,26 @@ std::string Server::MetricsText() const {
   out += "# TYPE ecdr_snapshot_tombstones gauge\n";
   counter("ecdr_snapshot_tombstones", "",
           static_cast<double>(snapshot.tombstones));
+  if (ta_ranker_ != nullptr) {
+    const index::BlockPostings& postings = *options_.ta_postings;
+    out += "# TYPE ecdr_postings_memory_bytes gauge\n";
+    counter("ecdr_postings_memory_bytes", "part=\"arena\"",
+            static_cast<double>(postings.arena_bytes()));
+    counter("ecdr_postings_memory_bytes", "part=\"metadata\"",
+            static_cast<double>(postings.metadata_bytes()));
+    out += "# TYPE ecdr_postings_bytes_per_doc gauge\n";
+    counter("ecdr_postings_bytes_per_doc", "", postings.bytes_per_doc());
+    out += "# TYPE ecdr_ta_searches_total counter\n";
+    counter("ecdr_ta_searches_total", "",
+            static_cast<double>(ta_searches_.load(std::memory_order_relaxed)));
+    out += "# TYPE ecdr_postings_blocks_total counter\n";
+    counter("ecdr_postings_blocks_total", "event=\"decoded\"",
+            static_cast<double>(
+                ta_decoded_blocks_.load(std::memory_order_relaxed)));
+    counter("ecdr_postings_blocks_total", "event=\"skipped\"",
+            static_cast<double>(
+                ta_skipped_blocks_.load(std::memory_order_relaxed)));
+  }
   out += "# TYPE ecdr_cache_events_total counter\n";
   counter("ecdr_cache_events_total", "cache=\"ddq_memo\",event=\"hit\"",
           static_cast<double>(ddq.hits));

@@ -28,6 +28,12 @@
 //                      "deadline_ms":50}            RDS
 //                     {"doc":7, "k":10}             SDS by document id
 //                     {"concepts":[..], "mode":"sds"} SDS by concepts
+//                     {"concepts":[..], "ranker":"ta"} RDS off the
+//                     compressed block-max postings sidecar (exact
+//                     top-k; needs ServerOptions::ta_postings). The
+//                     sidecar serves the generation it was built over
+//                     and is serialized through one mutex — a referee
+//                     and observability path, not the scaled one.
 //     -> {"results":[{"id":..,"distance":..,"error_bound":..},..],
 //         "truncated":bool, "generation":N}
 //     Distances serialize in shortest-round-trip form: parsing them
@@ -43,10 +49,11 @@
 //     HttpStatusForCode — kNotFound 404, kResourceExhausted 429,
 //     kDataLoss/kIoError 500.
 //   GET /status       JSON counters: server, admission, snapshot
-//                     generation, durability, cache hit rates, latency
-//                     quantiles. Served inline on the event loop —
-//                     never queued, never shed, so overload can still
-//                     be observed.
+//                     generation, durability, cache hit rates, postings
+//                     footprint (memory split, bytes/doc, decoded vs
+//                     skipped block counters), latency quantiles.
+//                     Served inline on the event loop — never queued,
+//                     never shed, so overload can still be observed.
 //   GET /metrics      The same data in Prometheus text exposition
 //                     format (latency histogram as cumulative buckets).
 //   GET /healthz      200 once Start() returned.
@@ -66,6 +73,8 @@
 #include <vector>
 
 #include "core/ranking_engine.h"
+#include "core/ta_ranker.h"
+#include "index/block_postings.h"
 #include "serve/http.h"
 #include "util/deadline.h"
 #include "util/histogram.h"
@@ -92,6 +101,19 @@ struct ServerOptions {
   double max_deadline_seconds = 30.0;
   /// Requests asking for more results than this are rejected 400.
   std::uint32_t max_k = 10'000;
+
+  /// Optional compressed block-max postings sidecar (both unowned, must
+  /// outlive the server; `ta_postings` must have been built over
+  /// `ta_corpus`, a pinned engine generation — see
+  /// core/ta_ranker.h's sharding note). When both are set, /status and
+  /// /metrics report the postings footprint and decoded/skipped block
+  /// counters, and /v1/search accepts {"ranker":"ta"}.
+  const index::BlockPostings* ta_postings = nullptr;
+  const corpus::Corpus* ta_corpus = nullptr;
+  /// Engine generation `ta_corpus` was pinned at; reported in sidecar
+  /// search responses instead of the live generation (the sidecar does
+  /// not follow later publishes).
+  std::uint64_t ta_generation = 0;
 };
 
 /// Counter snapshot; cumulative except the gauges at the bottom.
@@ -227,6 +249,16 @@ class Server {
 
   util::Histogram latency_;
   util::Histogram queue_wait_;
+
+  // Block-max postings sidecar (when options_.ta_postings is set).
+  // TaRanker reuses per-call scratch and is not thread-safe, so the
+  // workers serialize on ta_mutex_; the cumulative counters are read
+  // lock-free by the observability endpoints.
+  std::unique_ptr<core::TaRanker> ta_ranker_;  // guarded by ta_mutex_
+  std::mutex ta_mutex_;
+  std::atomic<std::uint64_t> ta_searches_{0};
+  std::atomic<std::uint64_t> ta_decoded_blocks_{0};
+  std::atomic<std::uint64_t> ta_skipped_blocks_{0};
 };
 
 }  // namespace ecdr::serve

@@ -1,0 +1,451 @@
+// Compressed block-max postings: codec round-trips, corrupt-input
+// hardening, structural agreement with the dense PrecomputedPostings
+// referee, serial-vs-parallel build determinism, the 20-seed
+// differential (block-max TA bit-identical to dense TA and to the
+// exhaustive ranker across memo on/off x 1/8 threads x block sizes),
+// whole-block skipping, and steady-state allocation discipline.
+
+#define ECDR_ALLOC_COUNTER_DEFINE_NEW
+#include "util/alloc_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distance_cache.h"
+#include "core/drc.h"
+#include "core/exhaustive_ranker.h"
+#include "core/ta_ranker.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/block_postings.h"
+#include "index/precomputed_postings.h"
+#include "ontology/generator.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace ecdr::index {
+namespace {
+
+using blockcodec::DecodeBlock;
+using blockcodec::EncodeBlock;
+using blockcodec::UnpackResidual;
+using Entry = BlockPostingEntry;
+
+// ---------------------------------------------------------------------------
+// Codec round-trips
+
+std::vector<Entry> RandomEntries(util::Rng* rng, std::size_t count,
+                                 std::uint64_t max_gap,
+                                 std::uint32_t max_distance, bool dense_run) {
+  std::vector<Entry> entries(count);
+  std::uint64_t doc = rng->UniformInt(0, 1000);
+  for (std::size_t i = 0; i < count; ++i) {
+    entries[i].doc = static_cast<corpus::DocId>(doc);
+    entries[i].distance =
+        static_cast<std::uint32_t>(rng->UniformInt(0, max_distance));
+    doc += dense_run ? 1 : 1 + rng->UniformInt(0, max_gap);
+  }
+  return entries;
+}
+
+void ExpectRoundTrip(const std::vector<Entry>& entries, const char* label) {
+  std::vector<std::uint8_t> arena;
+  BlockMeta meta;
+  EncodeBlock(entries, &arena, &meta);
+  EXPECT_EQ(meta.count, entries.size()) << label;
+  EXPECT_EQ(meta.first_doc, entries.front().doc) << label;
+  EXPECT_EQ(meta.max_doc, entries.back().doc) << label;
+  std::uint32_t min_distance = entries.front().distance;
+  for (const Entry& e : entries) {
+    min_distance = std::min(min_distance, e.distance);
+  }
+  EXPECT_EQ(meta.min_distance, min_distance) << label;
+
+  std::vector<Entry> decoded;
+  ASSERT_TRUE(DecodeBlock(arena, meta, &decoded)) << label;
+  ASSERT_EQ(decoded.size(), entries.size()) << label;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i], entries[i]) << label << " entry " << i;
+  }
+}
+
+TEST(BlockCodecTest, RoundTripsSeededRandomPostings) {
+  util::Rng rng(2026);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = 1 + rng.UniformInt(0, 200);
+    const std::uint64_t max_gap = 1ull << rng.UniformInt(0, 20);
+    const std::uint32_t max_distance =
+        static_cast<std::uint32_t>((1ull << rng.UniformInt(0, 32)) - 1);
+    const bool dense = rng.Bernoulli(0.3);
+    ExpectRoundTrip(RandomEntries(&rng, count, max_gap, max_distance, dense),
+                    "random");
+  }
+}
+
+TEST(BlockCodecTest, RoundTripsEdgeShapes) {
+  // Single entry (always a dense run).
+  ExpectRoundTrip({{7, 42}}, "single");
+  // Width 0: every distance equal (dense and sparse).
+  ExpectRoundTrip({{0, 5}, {1, 5}, {2, 5}, {3, 5}}, "width0 dense");
+  ExpectRoundTrip({{0, 5}, {10, 5}, {1000, 5}}, "width0 sparse");
+  // Distance ties in a mixed block.
+  ExpectRoundTrip({{0, 9}, {1, 3}, {2, 9}, {3, 3}, {4, 9}}, "ties");
+  // Max residual width: finite + kInfiniteDistance in one block, the
+  // tombstone shape.
+  ExpectRoundTrip({{0, 0}, {1, ontology::kInfiniteDistance}}, "inf");
+  ExpectRoundTrip({{4, ontology::kInfiniteDistance},
+                   {5, ontology::kInfiniteDistance}},
+                  "all-inf");
+  // Maximal doc gap: first and (almost) last representable ids.
+  ExpectRoundTrip({{0, 1}, {corpus::kInvalidDoc - 1, 2}}, "max-gap");
+}
+
+TEST(BlockCodecTest, DenseRunPayloadHasNoDocBytesAndUnpacksInPlace) {
+  util::Rng rng(7);
+  const std::vector<Entry> entries = RandomEntries(
+      &rng, 97, /*max_gap=*/0, /*max_distance=*/300, /*dense_run=*/true);
+  std::vector<std::uint8_t> arena;
+  BlockMeta meta;
+  EncodeBlock(entries, &arena, &meta);
+  ASSERT_TRUE(meta.dense_run());
+  const std::uint32_t width = arena[1];
+  // flags + width + packed residuals, nothing else.
+  EXPECT_EQ(arena.size(), 2 + (entries.size() * width + 7) / 8);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(meta.min_distance +
+                  UnpackResidual(arena, width, static_cast<std::uint32_t>(i)),
+              entries[i].distance)
+        << "index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-input sweep: every truncation and every bit flip of a valid
+// payload must either be rejected or decode into a well-formed block —
+// never crash, never produce malformed output.
+
+void ExpectDecodeIsTotal(const std::vector<std::uint8_t>& payload,
+                         const BlockMeta& meta, const std::string& label) {
+  std::vector<Entry> decoded;
+  if (!DecodeBlock(payload, meta, &decoded)) return;
+  ASSERT_EQ(decoded.size(), meta.count) << label;
+  for (std::size_t i = 1; i < decoded.size(); ++i) {
+    ASSERT_LT(decoded[i - 1].doc, decoded[i].doc) << label;
+  }
+}
+
+TEST(BlockCodecCorruptionTest, TruncationsAndBitFlipsNeverCrash) {
+  util::Rng rng(99);
+  struct Shape {
+    const char* name;
+    std::vector<Entry> entries;
+  };
+  const Shape shapes[] = {
+      {"dense", RandomEntries(&rng, 64, 0, 1000, true)},
+      {"sparse", RandomEntries(&rng, 48, 5000, 1 << 20, false)},
+      {"single", {{3, 1}}},
+      {"inf", {{0, 0}, {1, ontology::kInfiniteDistance}, {9, 7}}},
+  };
+  for (const Shape& shape : shapes) {
+    std::vector<std::uint8_t> payload;
+    BlockMeta meta;
+    EncodeBlock(shape.entries, &payload, &meta);
+    // Every strict prefix.
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      ExpectDecodeIsTotal(
+          {payload.begin(), payload.begin() + len}, meta,
+          std::string(shape.name) + " truncated to " + std::to_string(len));
+    }
+    // Trailing junk.
+    std::vector<std::uint8_t> extended = payload;
+    extended.push_back(0x00);
+    std::vector<Entry> decoded;
+    EXPECT_FALSE(DecodeBlock(extended, meta, &decoded)) << shape.name;
+    // Every single-bit flip.
+    for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> flipped = payload;
+        flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        ExpectDecodeIsTotal(flipped, meta,
+                            std::string(shape.name) + " flip " +
+                                std::to_string(byte) + ":" +
+                                std::to_string(bit));
+      }
+    }
+    // Metadata corruption: impossible counts and inverted doc ranges.
+    BlockMeta bad = meta;
+    bad.count = 0;
+    EXPECT_FALSE(DecodeBlock(payload, bad, &decoded)) << shape.name;
+    bad = meta;
+    bad.count = 1u << 20;  // over the codec's block-count bound
+    EXPECT_FALSE(DecodeBlock(payload, bad, &decoded)) << shape.name;
+    bad = meta;
+    bad.first_doc = meta.max_doc + 1;
+    EXPECT_FALSE(DecodeBlock(payload, bad, &decoded)) << shape.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure vs the dense referee, and build determinism
+
+ontology::Ontology MakeOntology(std::uint64_t seed) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = 600 + (seed % 4) * 200;
+  config.extra_parent_prob = 0.15 * (seed % 3);
+  config.seed = seed;
+  auto ontology = ontology::GenerateOntology(config);
+  EXPECT_TRUE(ontology.ok());
+  return std::move(ontology).value();
+}
+
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = 60 + (seed % 5) * 10;
+  config.avg_concepts_per_doc = 10 + (seed % 3) * 5;
+  config.seed = seed * 7919 + 1;
+  auto corpus = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+TEST(BlockPostingsTest, AgreesWithDenseTableEverywhere) {
+  const ontology::Ontology ontology = MakeOntology(3);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 3);
+  const PrecomputedPostings dense(corpus);
+  BlockPostingsOptions options;
+  options.block_size = 16;
+  const BlockPostings block(corpus, options);
+
+  ASSERT_EQ(block.num_documents(), corpus.num_documents());
+  ASSERT_EQ(block.num_concepts(), ontology.num_concepts());
+  BlockPostings::Reader reader;
+  std::vector<Entry> surfaced;
+  for (ontology::ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    // Random access agrees per (concept, doc).
+    reader.Reset(&block, c);
+    for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+      ASSERT_EQ(reader.Seek(d), dense.Distance(c, d)) << "c=" << c
+                                                      << " d=" << d;
+    }
+    // The sorted walk surfaces every doc exactly once, in
+    // non-decreasing block-min order, with exact distances.
+    BlockPostings::Cursor cursor;
+    cursor.Reset(&block, c);
+    std::uint32_t last_min = 0;
+    std::span<const Entry> entries;
+    surfaced.clear();
+    while (true) {
+      const std::uint32_t frontier = cursor.frontier_min_distance();
+      if (!cursor.NextBlock(&entries)) break;
+      ASSERT_GE(frontier, last_min);
+      last_min = frontier;
+      surfaced.insert(surfaced.end(), entries.begin(), entries.end());
+    }
+    ASSERT_EQ(cursor.frontier_min_distance(), ontology::kInfiniteDistance);
+    ASSERT_EQ(surfaced.size(), corpus.num_documents());
+    std::sort(surfaced.begin(), surfaced.end(),
+              [](const Entry& a, const Entry& b) { return a.doc < b.doc; });
+    for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+      ASSERT_EQ(surfaced[d].doc, d);
+      ASSERT_EQ(surfaced[d].distance, dense.Distance(c, d));
+    }
+  }
+  // The compression headline at corpus scale, for the bench to refine.
+  EXPECT_LT(block.memory_bytes(), dense.memory_bytes());
+}
+
+TEST(BlockPostingsTest, ParallelBuildIsByteIdenticalToSerial) {
+  const ontology::Ontology ontology = MakeOntology(5);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 5);
+  util::ThreadPool pool(7);
+
+  BlockPostingsOptions serial_options;
+  serial_options.block_size = 32;
+  const BlockPostings serial(corpus, serial_options);
+  BlockPostingsOptions parallel_options = serial_options;
+  parallel_options.pool = &pool;
+  const BlockPostings parallel(corpus, parallel_options);
+
+  ASSERT_EQ(serial.arena().size(), parallel.arena().size());
+  EXPECT_TRUE(std::equal(serial.arena().begin(), serial.arena().end(),
+                         parallel.arena().begin()));
+  ASSERT_EQ(serial.num_blocks(), parallel.num_blocks());
+  for (ontology::ConceptId c = 0; c < serial.num_concepts(); ++c) {
+    const auto a = serial.blocks(c);
+    const auto b = parallel.blocks(c);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].offset, b[i].offset);
+      EXPECT_EQ(a[i].length, b[i].length);
+      EXPECT_EQ(a[i].first_doc, b[i].first_doc);
+      EXPECT_EQ(a[i].max_doc, b[i].max_doc);
+      EXPECT_EQ(a[i].min_distance, b[i].min_distance);
+      EXPECT_EQ(a[i].count, b[i].count);
+    }
+    const auto oa = serial.distance_order(c);
+    const auto ob = parallel.distance_order(c);
+    ASSERT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin(), ob.end()));
+  }
+}
+
+TEST(PrecomputedPostingsTest, ParallelBuildIsByteIdenticalToSerial) {
+  const ontology::Ontology ontology = MakeOntology(6);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 6);
+  util::ThreadPool pool(7);
+  const PrecomputedPostings serial(corpus);
+  const PrecomputedPostings parallel(corpus, &pool);
+
+  ASSERT_EQ(serial.memory_bytes(), parallel.memory_bytes());
+  EXPECT_GT(serial.by_distance_bytes(), 0u);
+  EXPECT_GT(serial.by_doc_bytes(), 0u);
+  for (ontology::ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    const auto a = serial.SortedPostings(c);
+    const auto b = parallel.SortedPostings(c);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].doc, b[i].doc) << "c=" << c << " i=" << i;
+      ASSERT_EQ(a[i].distance, b[i].distance) << "c=" << c << " i=" << i;
+    }
+    for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+      ASSERT_EQ(serial.Distance(c, d), parallel.Distance(c, d));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: block-max TA vs dense TA vs the exhaustive ranker
+
+void ExpectBitIdentical(const std::vector<core::ScoredDocument>& want,
+                        const std::vector<core::ScoredDocument>& got,
+                        const std::string& label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id) << label << " rank " << i;
+    EXPECT_EQ(want[i].distance, got[i].distance) << label << " rank " << i;
+  }
+}
+
+class BlockTaDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockTaDifferentialTest, BitIdenticalToDenseTaAndExhaustive) {
+  const std::uint64_t seed = GetParam();
+  const ontology::Ontology ontology = MakeOntology(seed);
+  const corpus::Corpus corpus = MakeCorpus(ontology, seed);
+  const PrecomputedPostings dense(corpus);
+  BlockPostingsOptions block_options;
+  block_options.block_size = 8 + (seed % 3) * 8;  // 8, 16 or 24
+  const BlockPostings block(corpus, block_options);
+
+  ontology::AddressEnumerator enumerator(ontology);
+  core::Drc drc(ontology, &enumerator);
+  core::ExhaustiveRanker exhaustive(corpus, &drc);
+
+  const std::uint32_t k = 1 + (seed % 3) * 4;  // 1, 5 or 9.
+  const auto queries =
+      corpus::GenerateRdsQueries(corpus, 3, 3 + seed % 3, seed * 13 + 7);
+
+  for (const bool memo_on : {false, true}) {
+    core::DdqMemo memo;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      core::TaRankerOptions options;
+      options.num_threads = threads;
+      options.ddq_memo = memo_on ? &memo : nullptr;
+      core::TaRanker dense_ta(corpus, dense, options);
+      core::TaRanker block_ta(corpus, block, options);
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        const std::string label = "seed " + std::to_string(seed) + " q" +
+                                  std::to_string(qi) + " memo " +
+                                  std::to_string(memo_on) + " threads " +
+                                  std::to_string(threads);
+        const auto want = exhaustive.TopKRelevant(queries[qi], k);
+        ASSERT_TRUE(want.ok()) << label;
+        // Cold and warm (memo-hit) passes of both backends.
+        for (int pass = 0; pass < 2; ++pass) {
+          const auto dense_got = dense_ta.TopKRelevant(queries[qi], k);
+          ASSERT_TRUE(dense_got.ok()) << label;
+          ExpectBitIdentical(*want, *dense_got, label + " dense");
+          const auto block_got = block_ta.TopKRelevant(queries[qi], k);
+          ASSERT_TRUE(block_got.ok()) << label;
+          ExpectBitIdentical(*want, *block_got, label + " block");
+          EXPECT_GT(block_ta.last_stats().bytes_per_doc, 0.0) << label;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, BlockTaDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Skipping and allocation discipline
+
+TEST(BlockTaTest, SkipsWholeBlocksAtSmallK) {
+  ontology::OntologyGeneratorConfig ontology_config;
+  ontology_config.num_concepts = 300;
+  ontology_config.seed = 55;
+  const auto ontology = ontology::GenerateOntology(ontology_config);
+  ASSERT_TRUE(ontology.ok());
+  corpus::CorpusGeneratorConfig corpus_config;
+  corpus_config.num_documents = 400;
+  corpus_config.avg_concepts_per_doc = 8;
+  corpus_config.min_concept_depth = 1;
+  corpus_config.seed = 56;
+  const auto corpus = corpus::GenerateCorpus(*ontology, corpus_config);
+  ASSERT_TRUE(corpus.ok());
+  BlockPostingsOptions options;
+  options.block_size = 16;
+  const BlockPostings block(*corpus, options);
+  core::TaRankerOptions ta_options;
+  ta_options.num_threads = 1;
+  core::TaRanker ta(*corpus, block, ta_options);
+
+  const auto queries = corpus::GenerateRdsQueries(*corpus, 5, 3, 57);
+  std::uint64_t skipped = 0;
+  for (const auto& query : queries) {
+    const auto results = ta.TopKRelevant(query, 3);
+    ASSERT_TRUE(results.ok());
+    EXPECT_EQ(results->size(), 3u);
+    skipped += ta.last_stats().skipped_blocks;
+    EXPECT_GT(ta.last_stats().decoded_blocks, 0u);
+  }
+  // k=3 of 400 docs: the threshold must retire blocks un-decoded.
+  EXPECT_GT(skipped, 0u);
+}
+
+TEST(BlockTaTest, SteadyStateQueriesStayOffTheAllocator) {
+  const ontology::Ontology ontology = MakeOntology(9);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 9);
+  BlockPostingsOptions options;
+  options.block_size = 16;
+  const BlockPostings block(corpus, options);
+  core::TaRankerOptions ta_options;
+  ta_options.num_threads = 1;  // the serial hot path is the contract
+  core::TaRanker ta(corpus, block, ta_options);
+  const auto queries = corpus::GenerateRdsQueries(corpus, 4, 4, 101);
+
+  // Warm-up grows every scratch buffer to capacity.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& query : queries) {
+      ASSERT_TRUE(ta.TopKRelevant(query, 5).ok());
+    }
+  }
+  for (const auto& query : queries) {
+    util::AllocationTally tally;
+    const auto results = ta.TopKRelevant(query, 5);
+    ASSERT_TRUE(results.ok());
+    // The returned top-k vector is the only permitted allocation
+    // (+ its StatusOr plumbing); cursors, bitmap, heap and decode
+    // scratch all reuse capacity.
+    EXPECT_LE(tally.allocations(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ecdr::index

@@ -15,8 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine_snapshot.h"
 #include "core/ranking_engine.h"
 #include "corpus/generator.h"
+#include "index/block_postings.h"
 #include "corpus/query_gen.h"
 #include "ontology/generator.h"
 #include "serve/json.h"
@@ -186,6 +188,136 @@ TEST_P(ServeDifferentialTest, HttpResponsesBitIdenticalToDirectSearch) {
 
 INSTANTIATE_TEST_SUITE_P(TwentySeeds, ServeDifferentialTest,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// The {"ranker":"ta"} route serves exact RDS answers off the
+// compressed block-max postings sidecar; at eps_theta = 0 the engine is
+// exact too, so ids and distances must agree bit-for-bit (error bounds
+// are compared to zero on the TA side — the sidecar has no error to
+// report). /status and /metrics must expose the postings footprint and
+// the decoded/skipped block counters the served queries accumulated.
+TEST(ServeTaSidecarTest, TaRouteMatchesExactEngineAndReportsFootprint) {
+  ontology::Ontology ontology = MakeOntology(5);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 5);
+
+  auto engine = core::RankingEngine::Create(std::move(ontology));
+  ASSERT_TRUE(engine->AddCorpus(corpus).ok());
+
+  const auto pinned = engine->snapshot();
+  index::BlockPostingsOptions postings_options;
+  postings_options.block_size = 16;
+  const index::BlockPostings postings(pinned->corpus, postings_options);
+
+  ServerOptions options;
+  options.ta_postings = &postings;
+  options.ta_corpus = &pinned->corpus;
+  options.ta_generation = pinned->generation;
+  Server server(engine.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::uint32_t k = 7;
+  const auto rds_queries = corpus::GenerateRdsQueries(corpus, 4, 3, 99);
+  for (const auto& query : rds_queries) {
+    core::SearchControl control;
+    control.error_threshold = 0.0;
+    const auto want = engine->FindRelevant(query, k, control);
+    ASSERT_TRUE(want.ok());
+    const auto response = serve_test::PostJson(
+        server.port(), "/v1/search",
+        "{\"concepts\":" + ConceptsJson(query) +
+            ",\"k\":" + std::to_string(k) + ",\"ranker\":\"ta\"}");
+    ASSERT_TRUE(response.transport_ok && response.complete);
+    ASSERT_EQ(response.status, 200) << response.body;
+    const auto got = DecodeResults(response.body);
+    ASSERT_EQ(want->size(), got.size());
+    for (std::size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*want)[i].id, got[i].id) << "rank " << i;
+      EXPECT_EQ((*want)[i].distance, got[i].distance) << "rank " << i;
+      EXPECT_EQ(got[i].error_bound, 0.0) << "rank " << i;
+    }
+    // The sidecar answers for the generation it was built over.
+    const auto parsed = json::Parse(response.body);
+    ASSERT_TRUE(parsed.ok());
+    const json::Value* generation = parsed->Find("generation");
+    ASSERT_NE(generation, nullptr);
+    EXPECT_EQ(static_cast<std::uint64_t>(generation->number),
+              pinned->generation);
+  }
+
+  // Malformed sidecar requests: unknown ranker, and TA with an SDS
+  // shape, are 400s.
+  EXPECT_EQ(serve_test::PostJson(server.port(), "/v1/search",
+                                 "{\"concepts\":[1],\"ranker\":\"x\"}")
+                .status,
+            400);
+  EXPECT_EQ(serve_test::PostJson(server.port(), "/v1/search",
+                                 "{\"doc\":0,\"ranker\":\"ta\"}")
+                .status,
+            400);
+
+  // /status: postings footprint + the counters the queries accumulated.
+  const auto status = serve_test::Get(server.port(), "/status");
+  ASSERT_TRUE(status.transport_ok && status.complete);
+  ASSERT_EQ(status.status, 200);
+  const auto status_json = json::Parse(status.body);
+  ASSERT_TRUE(status_json.ok()) << status.body;
+  const json::Value* postings_json = status_json->Find("postings");
+  ASSERT_NE(postings_json, nullptr) << status.body;
+  const json::Value* enabled = postings_json->Find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->is_bool() && enabled->boolean);
+  const json::Value* memory = postings_json->Find("memory_bytes");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(memory->number),
+            postings.memory_bytes());
+  const json::Value* searches = postings_json->Find("ta_searches");
+  ASSERT_NE(searches, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(searches->number),
+            rds_queries.size());
+  const json::Value* decoded = postings_json->Find("decoded_blocks");
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_GT(decoded->number, 0.0);
+  const json::Value* skipped = postings_json->Find("skipped_blocks");
+  ASSERT_NE(skipped, nullptr);  // may be 0 on a tiny corpus, must exist
+
+  // /metrics: the same data in Prometheus exposition format.
+  const auto metrics = serve_test::Get(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.transport_ok && metrics.complete);
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("ecdr_postings_memory_bytes{part=\"arena\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("ecdr_postings_blocks_total{event=\"skipped\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("ecdr_ta_searches_total"), std::string::npos);
+
+  server.Stop();
+}
+
+// Without the sidecar the route is a clean 400, and /status reports the
+// postings section disabled rather than omitting it.
+TEST(ServeTaSidecarTest, TaRouteWithoutSidecarIsRejected) {
+  ontology::Ontology ontology = MakeOntology(6);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 6);
+  auto engine = core::RankingEngine::Create(std::move(ontology));
+  ASSERT_TRUE(engine->AddCorpus(corpus).ok());
+  Server server(engine.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_EQ(serve_test::PostJson(server.port(), "/v1/search",
+                                 "{\"concepts\":[1],\"ranker\":\"ta\"}")
+                .status,
+            400);
+  const auto status = serve_test::Get(server.port(), "/status");
+  ASSERT_EQ(status.status, 200);
+  const auto status_json = json::Parse(status.body);
+  ASSERT_TRUE(status_json.ok());
+  const json::Value* postings_json = status_json->Find("postings");
+  ASSERT_NE(postings_json, nullptr);
+  const json::Value* enabled = postings_json->Find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->is_bool() && !enabled->boolean);
+
+  server.Stop();
+}
 
 }  // namespace
 }  // namespace ecdr::serve

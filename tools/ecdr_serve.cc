@@ -18,6 +18,12 @@
 // 429), --max_in_flight/--max_queued (engine admission control),
 // --default_deadline_ms. Runs until SIGINT/SIGTERM.
 //
+// --ta_postings builds compressed block-max distance postings over the
+// boot generation (--ta_block_size, default 128): /status and /metrics
+// then report the postings footprint and decoded/skipped block
+// counters, and /v1/search accepts {"ranker":"ta"} for exact RDS
+// answers off the sidecar.
+//
 // Durability: --data_dir opens a crash-safe store (WAL + checkpoint
 // images; see DESIGN.md, "Durability & recovery") and enables the
 // document-lifecycle endpoints to survive kill -9. --fsync_mode
@@ -33,7 +39,9 @@
 #include <string>
 #include <thread>
 
+#include "core/engine_snapshot.h"
 #include "core/ranking_engine.h"
+#include "index/block_postings.h"
 #include "serve/server.h"
 #include "tools/serve_testbed.h"
 #include "tools/tool_flags.h"
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
       flags.GetUint32("compact_max_segments", 0);
   engine_options.compaction.min_docs_per_segment =
       flags.GetUint32("compact_min_docs", 0);
+  const bool ta_postings_flag = flags.GetBool("ta_postings", false);
+  const std::uint32_t ta_block_size = flags.GetUint32("ta_block_size", 128);
   flags.CheckAllConsumed();
 
   auto engine = ecdr::tools::MakeServeEngine(
@@ -102,6 +112,32 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(durability.store.records_replayed),
         durability.store.wal_tail_dropped > 0 ? " (torn WAL tail dropped)"
                                               : "");
+  }
+
+  // Optional block-max postings sidecar: pin the boot generation, build
+  // the compressed postings over it, and hand both to the server so
+  // /status and /metrics report the index footprint and {"ranker":"ta"}
+  // searches work. The pinned snapshot keeps that generation's corpus
+  // alive for the server's lifetime.
+  std::shared_ptr<const ecdr::core::EngineSnapshot> ta_pin;
+  std::unique_ptr<ecdr::index::BlockPostings> ta_postings;
+  if (ta_postings_flag) {
+    ta_pin = engine->snapshot();
+    ecdr::index::BlockPostingsOptions postings_options;
+    postings_options.block_size = ta_block_size;
+    ta_postings = std::make_unique<ecdr::index::BlockPostings>(
+        ta_pin->corpus, postings_options);
+    server_options.ta_postings = ta_postings.get();
+    server_options.ta_corpus = &ta_pin->corpus;
+    server_options.ta_generation = ta_pin->generation;
+    std::printf(
+        "block postings sidecar: generation %llu, %.1f B/doc "
+        "(%llu arena + %llu metadata), built in %.2fs\n",
+        static_cast<unsigned long long>(ta_pin->generation),
+        ta_postings->bytes_per_doc(),
+        static_cast<unsigned long long>(ta_postings->arena_bytes()),
+        static_cast<unsigned long long>(ta_postings->metadata_bytes()),
+        ta_postings->build_seconds());
   }
 
   ecdr::serve::Server server(engine.get(), server_options);
