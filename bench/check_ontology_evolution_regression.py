@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gate incremental ontology evolution against the committed baseline.
+
+Usage: check_ontology_evolution_regression.py <committed.json> <fresh.json>
+
+Checks a fresh bench_ontology_evolution run against
+BENCH_ontology_evolution.json on two axes:
+
+  * Structural proportionality (exact, machine-independent): the
+    workload shapes are deterministic, so readdressed / reused /
+    invalidated counts and the retained pair-cache fraction must match
+    the committed file exactly when both ran at the same scale. The
+    no-op (retire-only) row must re-address nothing; the single-leaf
+    rows must re-address exactly their batch size with 100% retention.
+
+  * Incremental speedup (ratio, machine-independent): the cold rebuild
+    is measured in the same process on the same evolved DAG, so
+    cold_ms / incremental_ms carries across machines. The no-op row
+    must stay >= 25x, structural rows with affected_fraction < 5% must
+    stay >= 2x, and every row must hold >= committed * (1 - TOL).
+
+Rows are keyed by workload name; only keys present in both files are
+compared, so --smoke runs gate the subset they measure.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.40  # timing ratios wobble more than latency quantiles
+MIN_NOOP_SPEEDUP = 25.0
+MIN_SMALL_SPEEDUP = 2.0
+SMALL_FRACTION = 0.05
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed = load(argv[1])
+    fresh = load(argv[2])
+    same_scale = abs(committed["scale"] - fresh["scale"]) < 1e-9
+
+    committed_rows = {row["workload"]: row for row in committed["rows"]}
+    failed = False
+
+    for row in fresh["rows"]:
+        name = row["workload"]
+
+        # Absolute structural invariants, independent of the baseline.
+        if name.startswith("noop"):
+            for key in ("readdressed", "invalidated"):
+                ok = row[key] == 0
+                print(f"{'ok' if ok else 'FAIL'}: {name} {key} "
+                      f"{row[key]} (must be 0: retire-only batches share "
+                      f"the base pool outright)")
+                failed |= not ok
+        if name.startswith("leaf_add"):
+            ok = row["readdressed"] == row["mutations"]
+            print(f"{'ok' if ok else 'FAIL'}: {name} readdressed "
+                  f"{row['readdressed']} == batch size {row['mutations']} "
+                  f"(leaf adds touch only the new concepts)")
+            failed |= not ok
+            ok = row["retained_fraction"] == 1.0
+            print(f"{'ok' if ok else 'FAIL'}: {name} retained_fraction "
+                  f"{row['retained_fraction']:.4f} (distance-preserving "
+                  f"adds must keep every pair-cache key)")
+            failed |= not ok
+
+        floor = 0.0
+        if name.startswith("noop"):
+            floor = MIN_NOOP_SPEEDUP
+        elif row["affected_fraction"] < SMALL_FRACTION:
+            floor = MIN_SMALL_SPEEDUP
+        base = committed_rows.get(name)
+        if base is not None:
+            floor = max(floor, base["speedup"] * (1 - TOLERANCE))
+        ok = row["speedup"] >= floor
+        print(f"{'ok' if ok else 'FAIL'}: {name} speedup "
+              f"{row['speedup']:.1f}x (floor {floor:.1f})")
+        failed |= not ok
+
+        # Exact count agreement with the committed file at equal scale.
+        if base is not None and same_scale:
+            for key in ("readdressed", "readdressed_existing", "reused",
+                        "invalidated"):
+                ok = row[key] == base[key]
+                print(f"{'ok' if ok else 'FAIL'}: {name} {key} "
+                      f"{row[key]} == committed {base[key]}")
+                failed |= not ok
+
+    if failed:
+        print("REGRESSION: ontology evolution gate failed", file=sys.stderr)
+        return 1
+    print("ontology evolution gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

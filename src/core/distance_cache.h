@@ -89,6 +89,18 @@ QuerySig SignatureOfConcepts(std::span<const ontology::ConceptId> concepts,
 /// (sorted, distinct, via NormalizeWeightedConcepts).
 QuerySig SignatureOfWeighted(std::span<const WeightedConcept> concepts);
 
+/// Mixes `salt` into a signature, partitioning the memo keyspace — the
+/// engine salts with the ontology structural hash so entries cached
+/// under one ontology version never answer a query on another. Invalid
+/// signatures stay invalid; salt 0 is the identity.
+inline QuerySig SaltSignature(QuerySig sig, std::uint64_t salt) {
+  if (sig.valid && salt != 0) {
+    sig.lo ^= salt;
+    sig.hi ^= salt * 0x9E3779B97F4A7C15ull;
+  }
+  return sig;
+}
+
 class DdqMemo {
  public:
   explicit DdqMemo(const CacheOptions& options = {});

@@ -1,7 +1,8 @@
 // EngineSnapshot — one immutable, reference-counted generation of the
 // engine's searchable state (DESIGN.md, "Snapshot lifecycle").
 //
-// A snapshot bundles everything a search reads: the corpus view, the
+// A snapshot bundles everything a search reads: the ontology version
+// (DAG + frozen addresses + retirement flags), the corpus view, the
 // forward and sharded inverted indexes, and the cache epoch the
 // generation was published at, plus a ReaderLease pinning the frozen
 // AddressEnumerator / FlatDeweyPool for as long as any reader holds the
@@ -15,32 +16,39 @@
 // snapshot, they publish a successor built copy-on-write by
 // core::SnapshotBuilder. Corpus and ShardedIndex copies share segments
 // and shards by refcount, so a snapshot costs O(changed tail shard),
-// not O(collection).
+// not O(collection). Ontology evolution publishes the same way: the
+// successor generation carries the next OntologySnapshot while
+// in-flight searches keep the version they started on.
 
 #ifndef ECDR_CORE_ENGINE_SNAPSHOT_H_
 #define ECDR_CORE_ENGINE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "corpus/corpus.h"
 #include "index/forward_index.h"
 #include "index/sharded_index.h"
 #include "ontology/dewey.h"
+#include "ontology/ontology_snapshot.h"
 
 namespace ecdr::core {
 
 struct EngineSnapshot {
-  /// `addresses` may be null (no lease taken); when set, the snapshot
-  /// holds a ReaderLease on it for its whole lifetime.
+  /// `ontology_in` may be null only in reduced test rigs; when set, the
+  /// snapshot holds a ReaderLease on its enumerator for its whole
+  /// lifetime.
   EngineSnapshot(std::uint64_t generation_in, corpus::Corpus corpus_in,
                  index::ShardedIndex index_in,
-                 ontology::AddressEnumerator* addresses,
+                 std::shared_ptr<const ontology::OntologySnapshot> ontology_in,
                  std::uint64_t ddq_epoch_in)
       : generation(generation_in),
         corpus(std::move(corpus_in)),
         index(std::move(index_in)),
         forward(corpus),
-        address_lease(addresses),
+        ontology(std::move(ontology_in)),
+        address_lease(ontology != nullptr ? ontology->addresses() : nullptr),
         ddq_epoch(ddq_epoch_in) {}
 
   // forward points into this object: pin it in place.
@@ -55,6 +63,11 @@ struct EngineSnapshot {
   const index::ShardedIndex index;
   const index::ForwardIndex forward;  // document -> concepts view of `corpus`
 
+  /// The ontology version this generation searches. Declared BEFORE the
+  /// lease: members destroy in reverse order, so the lease releases
+  /// while the enumerator (owned through this pointer) is still alive.
+  const std::shared_ptr<const ontology::OntologySnapshot> ontology;
+
   /// Pins the frozen Dewey address cache while this generation lives.
   const ontology::AddressEnumerator::ReaderLease address_lease;
 
@@ -63,6 +76,10 @@ struct EngineSnapshot {
   /// can see. Snapshot-scoped where the pre-snapshot engine had one
   /// global mutable epoch.
   const std::uint64_t ddq_epoch;
+
+  std::uint64_t ontology_version() const {
+    return ontology != nullptr ? ontology->version() : 0;
+  }
 };
 
 }  // namespace ecdr::core

@@ -234,6 +234,7 @@ util::StatusOr<std::vector<ScoredDocument>> Knds::Search(
     } else if (!sds) {
       memo_sig = SignatureOfWeighted(weighted_query);
     }
+    memo_sig = SaltSignature(memo_sig, options_.memo_salt);
   }
   // Wave workers call compute_exact concurrently; fold into stats_ after
   // the search.

@@ -132,6 +132,14 @@ struct KndsOptions {
   /// a private scratch for the duration of the search. Purely a memory
   /// optimization: results are bit-identical either way.
   Drc::ScratchPool* drc_scratch_pool = nullptr;
+
+  /// Mixed into every Ddq memo signature (see SaltSignature). The engine
+  /// sets it to the snapshot's ontology structural hash, so entries
+  /// written under one ontology structure never match after a
+  /// distance-relevant evolution — and in-flight searches on the old
+  /// snapshot keep using (and validly re-populating) the old keyspace.
+  /// 0 = no salt, the pre-evolution behavior.
+  std::uint64_t memo_salt = 0;
 };
 
 struct KndsStats {

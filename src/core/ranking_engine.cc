@@ -11,9 +11,8 @@ namespace ecdr::core {
 
 RankingEngine::RankingEngine(ontology::Ontology ontology, Options options)
     : options_(options),
-      ontology_(std::make_unique<ontology::Ontology>(std::move(ontology))),
-      addresses_(std::make_unique<ontology::AddressEnumerator>(
-          *ontology_, options.addresses)),
+      baseline_dag_(std::make_shared<const ontology::Ontology>(
+          std::move(ontology))),
       pair_cache_(ontology::ConceptPairCacheOptions{
           options.knds.cache.effective_concept_pair_capacity(),
           /*num_shards=*/64}),
@@ -27,37 +26,61 @@ RankingEngine::~RankingEngine() {
 
 util::Status RankingEngine::Init() {
   std::optional<RecoveredState> recovered;
+  std::shared_ptr<const ontology::OntologySnapshot> onto;
   if (!options_.storage.data_dir.empty()) {
-    // The store decodes the recovered corpus against the engine's own
-    // ontology instance (ontology_ — the one the corpus will reference
-    // for its whole life), not the caller's moved-from argument.
+    // The store decodes the recovered corpus against the engine's boot
+    // baseline DAG; any persisted evolution (image ONTO section, WAL
+    // mutation records) is replayed on top and surfaces below.
     util::StatusOr<std::unique_ptr<storage::DocumentStore>> store =
-        storage::DocumentStore::Open(options_.storage, *ontology_);
+        storage::DocumentStore::Open(options_.storage, *baseline_dag_);
     ECDR_RETURN_IF_ERROR(store.status());
     store_ = std::move(store).value();
-    if (store_->has_recovered_dewey() && options_.precompute_addresses) {
-      // The image carries the flattened address pool: adopt it and skip
-      // the enumeration DFS. A stale pool (ontology changed under the
-      // data dir) fails validation; fall back to recomputing.
-      const util::Status adopted = addresses_->AdoptPrecomputed(
+    std::shared_ptr<const ontology::Ontology> dag =
+        store_->TakeRecoveredOntology();
+    const std::uint64_t version = store_->recovered_ontology_version();
+    // Adopting the image's flattened address pool skips the enumeration
+    // DFS, so suppress the factory's PrecomputeAll in that case. A
+    // frozen (adopted) pool keeps evolution on the incremental path
+    // regardless of how it froze.
+    const bool adopt_dewey =
+        store_->has_recovered_dewey() && options_.precompute_addresses;
+    const bool precompute = options_.precompute_addresses && !adopt_dewey;
+    if (dag != nullptr || version > 0) {
+      // The data dir ends at an evolved ontology version: restore it as
+      // the current snapshot. The lineage anchor stays the boot
+      // baseline (the store already verified the image against it).
+      const std::uint64_t baseline_hash = ontology::OntologyIdentityHash(
+          *baseline_dag_, {}, options_.addresses.max_addresses);
+      if (dag == nullptr) dag = baseline_dag_;  // retire-only history
+      onto = ontology::OntologySnapshot::Restore(
+          std::move(dag), store_->TakeRecoveredRetired(), version,
+          baseline_hash, options_.addresses, precompute);
+    } else {
+      onto = ontology::OntologySnapshot::Baseline(baseline_dag_,
+                                                  options_.addresses,
+                                                  precompute);
+    }
+    if (adopt_dewey) {
+      // A stale pool (ontology changed under the data dir) fails
+      // validation; fall back to recomputing.
+      const util::Status adopted = onto->addresses()->AdoptPrecomputed(
           store_->TakeDeweyComponents(), store_->TakeDeweySpans(),
           store_->TakeDeweyConceptFirst());
-      if (!adopted.ok()) addresses_->PrecomputeAll();
-    } else if (options_.precompute_addresses) {
-      addresses_->PrecomputeAll();
+      if (!adopted.ok()) onto->addresses()->PrecomputeAll();
     }
     recovered.emplace(RecoveredState{store_->TakeRecoveredCorpus(),
                                      store_->TakeRecoveredIndex(),
                                      store_->recovered_index_exact(),
                                      store_->stats().last_lsn});
-  } else if (options_.precompute_addresses) {
-    addresses_->PrecomputeAll();
+  } else {
+    onto = ontology::OntologySnapshot::Baseline(
+        baseline_dag_, options_.addresses, options_.precompute_addresses);
   }
   // The builder publishes generation 0 (the recovered corpus, or empty)
   // into root_, so searches may start before the first write.
   builder_ = std::make_unique<SnapshotBuilder>(
-      *ontology_, addresses_.get(), &ddq_memo_, &root_, options_.snapshot,
-      store_.get(), recovered.has_value() ? &*recovered : nullptr);
+      std::move(onto), &ddq_memo_, &root_, options_.snapshot, store_.get(),
+      recovered.has_value() ? &*recovered : nullptr);
   const std::size_t threads = options_.knds.num_threads == 0
                                   ? util::ThreadPool::DefaultThreads()
                                   : options_.knds.num_threads;
@@ -102,7 +125,7 @@ util::StatusOr<std::unique_ptr<RankingEngine>> RankingEngine::CreateFromFiles(
   std::unique_ptr<RankingEngine> engine =
       Create(std::move(ontology).value(), options);
   util::StatusOr<corpus::Corpus> corpus =
-      corpus::LoadCorpusAuto(*engine->ontology_, corpus_path);
+      corpus::LoadCorpusAuto(engine->ontology(), corpus_path);
   ECDR_RETURN_IF_ERROR(corpus.status());
   ECDR_RETURN_IF_ERROR(engine->AddCorpus(*corpus));
   return engine;
@@ -151,8 +174,7 @@ util::Status RankingEngine::Checkpoint() {
         "engine is ephemeral (no Options::storage.data_dir); nothing to "
         "checkpoint");
   }
-  ECDR_RETURN_IF_ERROR(
-      builder_->Checkpoint(store_.get(), addresses_->flat_pool()));
+  ECDR_RETURN_IF_ERROR(builder_->Checkpoint(store_.get()));
   records_since_checkpoint_.store(0, std::memory_order_relaxed);
   return util::Status::Ok();
 }
@@ -328,8 +350,13 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::RunSearch(
     per_call.error_threshold = control.error_threshold;
   }
   per_call.drc_scratch_pool = &drc_scratches_;
+  // Salt the cross-query Ddq memo with the snapshot's structural hash:
+  // entries written under an older ontology structure can never hit a
+  // search on the new one (retire-only evolution keeps the salt, and
+  // with it every warm entry).
+  per_call.memo_salt = snap->ontology->structural_hash();
   Drc::ScratchPool::Lease scratch(&drc_scratches_);
-  Drc drc(*ontology_, addresses_.get(), scratch.get());
+  Drc drc(snap->ontology->dag(), snap->ontology->addresses(), scratch.get());
   Knds knds(snap->corpus, snap->index, &drc, per_call, pool_.get(),
             &ddq_memo_);
   util::StatusOr<std::vector<ScoredDocument>> result = search(&knds, *snap);
@@ -352,10 +379,14 @@ util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevant(
 util::StatusOr<std::vector<ScoredDocument>> RankingEngine::FindRelevantByName(
     std::span<const std::string_view> names, std::uint32_t k,
     const SearchControl& control) {
+  // Resolve names against the current version; the search itself pins
+  // its own snapshot, so a concurrent evolution between the two loads
+  // still sees only ids valid in both (ids are never reused).
+  const std::shared_ptr<const EngineSnapshot> named = root_.Acquire();
   std::vector<ontology::ConceptId> query;
   query.reserve(names.size());
   for (std::string_view name : names) {
-    const ontology::ConceptId id = ontology_->FindByName(name);
+    const ontology::ConceptId id = named->ontology->dag().FindByName(name);
     if (id == ontology::kInvalidConcept) {
       return util::NotFoundError("unknown concept '" + std::string(name) +
                                  "'");
@@ -422,10 +453,91 @@ util::StatusOr<double> RankingEngine::DocumentDistance(
     return util::NotFoundError("document was deleted");
   }
   Drc::ScratchPool::Lease scratch(&drc_scratches_);
-  Drc drc(*ontology_, addresses_.get(), scratch.get());
+  Drc drc(snap->ontology->dag(), snap->ontology->addresses(), scratch.get());
   drc.SetCancellation(control.cancel_token, EffectiveDeadline(control));
   return drc.DocDocDistance(snap->corpus.document(a).concepts(),
                             snap->corpus.document(b).concepts());
+}
+
+util::StatusOr<ontology::EvolutionStats> RankingEngine::ApplyOntologyMutations(
+    std::span<const ontology::OntologyMutation> mutations) {
+  // One batch at a time. Validation and incremental re-enumeration run
+  // here, outside the builder's write mutex, so document writes and
+  // searches proceed while the successor version is being derived.
+  std::lock_guard<std::mutex> lock(ontology_mutex_);
+  const std::shared_ptr<const ontology::OntologySnapshot> base =
+      builder_->ontology();
+  ontology::EvolutionStats stats;
+  util::StatusOr<std::shared_ptr<const ontology::OntologySnapshot>> next =
+      ontology::EvolveSnapshot(base, mutations, &stats);
+  ECDR_RETURN_IF_ERROR(next.status());
+  if (store_ != nullptr) {
+    // Log-ahead, same as the document path: every mutation record is
+    // durable before the evolved version becomes visible. (Pending
+    // document ops flushed by SwapOntology below were logged at write
+    // time, so the WAL already orders them before this batch.)
+    for (const ontology::OntologyMutation& m : mutations) {
+      ECDR_RETURN_IF_ERROR(store_->LogOntologyMutation(m).status());
+    }
+    ECDR_RETURN_IF_ERROR(store_->SyncWal());
+  }
+  ECDR_RETURN_IF_ERROR(builder_->SwapOntology(std::move(next).value()));
+  std::size_t invalidated = 0;
+  if (!stats.invalidated_existing.empty()) {
+    invalidated = pair_cache_.InvalidateConcepts(stats.invalidated_existing);
+  }
+  ++evolutions_;
+  mutations_applied_ += mutations.size();
+  readdressed_total_ += stats.readdressed_concepts;
+  reused_total_ += stats.reused_concepts;
+  pair_invalidated_total_ += invalidated;
+  return stats;
+}
+
+util::StatusOr<ontology::EvolutionStats> RankingEngine::AddConcept(
+    std::string name, std::vector<ontology::ConceptId> parents) {
+  ontology::OntologyMutation m;
+  m.kind = ontology::OntologyMutation::Kind::kAddConcept;
+  m.name = std::move(name);
+  m.parents = std::move(parents);
+  return ApplyOntologyMutations({&m, 1});
+}
+
+util::StatusOr<ontology::EvolutionStats> RankingEngine::RetireConcept(
+    ontology::ConceptId target) {
+  ontology::OntologyMutation m;
+  m.kind = ontology::OntologyMutation::Kind::kRetireConcept;
+  m.target = target;
+  return ApplyOntologyMutations({&m, 1});
+}
+
+util::StatusOr<ontology::EvolutionStats> RankingEngine::AddOntologyEdge(
+    ontology::ConceptId parent, ontology::ConceptId child) {
+  ontology::OntologyMutation m;
+  m.kind = ontology::OntologyMutation::Kind::kAddEdge;
+  m.parent = parent;
+  m.child = child;
+  return ApplyOntologyMutations({&m, 1});
+}
+
+OntologyStats RankingEngine::ontology_stats() const {
+  OntologyStats stats;
+  const std::shared_ptr<const ontology::OntologySnapshot> onto =
+      root_.Acquire()->ontology;
+  stats.version = onto->version();
+  stats.identity_hash = onto->identity_hash();
+  stats.structural_hash = onto->structural_hash();
+  stats.baseline_hash = onto->baseline_hash();
+  stats.num_concepts = onto->dag().num_concepts();
+  stats.num_retired = onto->num_retired();
+  stats.last = onto->last_evolution();
+  std::lock_guard<std::mutex> lock(ontology_mutex_);
+  stats.evolutions = evolutions_;
+  stats.mutations_applied = mutations_applied_;
+  stats.readdressed_total = readdressed_total_;
+  stats.reused_total = reused_total_;
+  stats.pair_entries_invalidated = pair_invalidated_total_;
+  return stats;
 }
 
 }  // namespace ecdr::core

@@ -48,6 +48,7 @@
 #include "ontology/concept_pair_cache.h"
 #include "ontology/dewey.h"
 #include "ontology/ontology.h"
+#include "ontology/ontology_snapshot.h"
 #include "storage/store.h"
 #include "util/deadline.h"
 #include "util/snapshot.h"
@@ -133,6 +134,26 @@ struct CompactionOptions {
 struct DurabilityStats {
   bool enabled = false;
   storage::StoreStats store;
+};
+
+/// Ontology lineage gauges plus cumulative evolution counters (see
+/// ontology_stats()). The version/hash fields describe the snapshot
+/// current writes validate against; the totals accumulate over every
+/// successful ApplyOntologyMutations call.
+struct OntologyStats {
+  std::uint64_t version = 0;
+  std::uint64_t identity_hash = 0;    // DAG + ordinals + names + retirement
+  std::uint64_t structural_hash = 0;  // identity with retirement zeroed
+  std::uint64_t baseline_hash = 0;    // version-0 identity of the lineage
+  std::uint32_t num_concepts = 0;
+  std::uint32_t num_retired = 0;
+  std::uint64_t evolutions = 0;          // successful mutation batches
+  std::uint64_t mutations_applied = 0;   // individual mutations
+  std::uint64_t readdressed_total = 0;   // concepts re-enumerated, cumulative
+  std::uint64_t reused_total = 0;        // concepts spliced from the base pool
+  std::uint64_t pair_entries_invalidated = 0;  // ConceptPairCache drops
+  /// Stats of the most recent evolution step (all-zero before the first).
+  ontology::EvolutionStats last;
 };
 
 struct RankingEngineOptions {
@@ -286,6 +307,38 @@ class RankingEngine {
   util::StatusOr<double> DocumentDistance(corpus::DocId a, corpus::DocId b,
                                           const SearchControl& control = {});
 
+  // ---- Ontology evolution (DESIGN.md, "Ontology versioning &
+  // evolution"). Mutations validate and re-enumerate OUTSIDE the write
+  // path, are WAL-logged and fsync'd on a durable engine, then publish
+  // a new generation carrying the successor OntologySnapshot. In-flight
+  // searches keep the version they started on; concept-pair cache
+  // entries touching re-addressed concepts are dropped, everything else
+  // stays warm.
+
+  /// Applies one validated mutation batch atomically (all-or-nothing)
+  /// and returns what it did. kInvalidArgument / kNotFound /
+  /// kFailedPrecondition on a bad batch — the engine is untouched.
+  util::StatusOr<ontology::EvolutionStats> ApplyOntologyMutations(
+      std::span<const ontology::OntologyMutation> mutations);
+
+  /// Single-mutation conveniences over ApplyOntologyMutations.
+  util::StatusOr<ontology::EvolutionStats> AddConcept(
+      std::string name, std::vector<ontology::ConceptId> parents);
+  util::StatusOr<ontology::EvolutionStats> RetireConcept(
+      ontology::ConceptId target);
+  util::StatusOr<ontology::EvolutionStats> AddOntologyEdge(
+      ontology::ConceptId parent, ontology::ConceptId child);
+
+  /// The ontology version current searches run against. Holding the
+  /// pointer pins the DAG and the frozen address pool across concurrent
+  /// evolutions.
+  std::shared_ptr<const ontology::OntologySnapshot> ontology_snapshot() const {
+    return root_.Acquire()->ontology;
+  }
+
+  /// Version/lineage gauges and cumulative evolution counters.
+  OntologyStats ontology_stats() const;
+
   /// The current generation. Holding the returned pointer pins the
   /// generation (and, through its ReaderLease, the frozen address
   /// cache): corpus/index references inside stay valid for as long as
@@ -309,7 +362,12 @@ class RankingEngine {
   /// Whether the engine persists to a data_dir.
   bool durable() const { return store_ != nullptr; }
 
-  const ontology::Ontology& ontology() const { return *ontology_; }
+  /// The current ontology version's DAG. Like corpus(), the reference
+  /// is valid until an evolution retires the generation — concurrent
+  /// readers should hold ontology_snapshot() instead.
+  const ontology::Ontology& ontology() const {
+    return root_.Acquire()->ontology->dag();
+  }
 
   /// The current generation's corpus. The reference is valid until the
   /// next publish retires that generation — concurrent readers should
@@ -332,8 +390,8 @@ class RankingEngine {
 
   /// Counters of the engine's concept-pair distance cache (fed by
   /// DistanceOracle / ConceptSimilarity instances built over
-  /// concept_pair_cache(); never invalidated — the ontology is
-  /// immutable).
+  /// concept_pair_cache(); invalidated only for the concepts an
+  /// evolution re-addresses — see ApplyOntologyMutations).
   util::CacheCounters concept_pair_counters() const {
     return pair_cache_.counters();
   }
@@ -387,10 +445,12 @@ class RankingEngine {
 
   Options options_;
 
-  // unique_ptr members keep internal cross-pointers stable; the engine
-  // itself is handed out by pointer.
-  std::unique_ptr<ontology::Ontology> ontology_;
-  std::unique_ptr<ontology::AddressEnumerator> addresses_;
+  /// The version-0 DAG the engine was constructed with. The live
+  /// version lives in the snapshot chain (snapshot()->ontology); this
+  /// stays pinned for the engine's lifetime as the lineage anchor the
+  /// store recovers against.
+  std::shared_ptr<const ontology::Ontology> baseline_dag_;
+
   std::unique_ptr<util::ThreadPool> pool_;  // Null when searches are serial.
 
   // Cross-query caches (Options::knds.cache), shared by every search.
@@ -415,6 +475,16 @@ class RankingEngine {
   // Background maintenance (compaction / auto-checkpoint) bookkeeping.
   std::atomic<bool> maintenance_running_{false};
   std::atomic<std::uint64_t> records_since_checkpoint_{0};
+
+  // Ontology evolution: one mutation batch at a time (validation and
+  // incremental re-enumeration run under this, outside the builder's
+  // write mutex), plus the cumulative counters ontology_stats() reports.
+  mutable std::mutex ontology_mutex_;
+  std::uint64_t evolutions_ = 0;
+  std::uint64_t mutations_applied_ = 0;
+  std::uint64_t readdressed_total_ = 0;
+  std::uint64_t reused_total_ = 0;
+  std::uint64_t pair_invalidated_total_ = 0;
 
   // Most recent search's stats, published lock-free.
   std::atomic<std::shared_ptr<const KndsStats>> last_stats_;

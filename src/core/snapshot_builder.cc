@@ -7,20 +7,18 @@
 
 namespace ecdr::core {
 
-SnapshotBuilder::SnapshotBuilder(const ontology::Ontology& ontology,
-                                 ontology::AddressEnumerator* addresses,
-                                 DdqMemo* ddq_memo,
-                                 util::SnapshotHandle<EngineSnapshot>* root,
-                                 SnapshotOptions options,
-                                 storage::DocumentStore* store,
-                                 RecoveredState* recovered)
-    : ontology_(&ontology),
-      addresses_(addresses),
-      ddq_memo_(ddq_memo),
+SnapshotBuilder::SnapshotBuilder(
+    std::shared_ptr<const ontology::OntologySnapshot> ontology,
+    DdqMemo* ddq_memo, util::SnapshotHandle<EngineSnapshot>* root,
+    SnapshotOptions options, storage::DocumentStore* store,
+    RecoveredState* recovered)
+    : ddq_memo_(ddq_memo),
       root_(root),
       options_(options),
-      store_(store) {
+      store_(store),
+      ontology_(std::move(ontology)) {
   ECDR_CHECK(root != nullptr);
+  ECDR_CHECK(ontology_ != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
   if (recovered == nullptr) {
     // Generation 0: the empty corpus. Infallible — nothing pending, so
@@ -32,6 +30,7 @@ SnapshotBuilder::SnapshotBuilder(const ontology::Ontology& ontology,
   // exact only when WAL replay applied nothing on top of it; otherwise
   // rebuild (one-time boot cost, shared nothing to reuse anyway).
   corpus::Corpus next = std::move(recovered->corpus);
+  next.RebindOntology(ontology_->dag());
   if (next.segment_target() == 0) {
     next.set_segment_target(options_.target_docs_per_shard);
   }
@@ -40,23 +39,36 @@ SnapshotBuilder::SnapshotBuilder(const ontology::Ontology& ontology,
                                        : index::ShardedIndex(next);
   published_lsn_ = recovered->last_lsn;
   root_->Publish(std::make_shared<EngineSnapshot>(
-      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      next_generation_++, std::move(next), std::move(next_index), ontology_,
       ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
 }
 
-util::Status SnapshotBuilder::Validate(const corpus::Document& doc) const {
+util::Status SnapshotBuilder::ValidateLocked(
+    const corpus::Document& doc) const {
   // Mirrors Corpus::AddDocument so errors surface here, before the
   // document enters the pending delta (the publish-time insert below is
   // then infallible).
   if (doc.empty()) {
     return util::InvalidArgumentError("document has no concepts");
   }
+  const ontology::Ontology& dag = ontology_->dag();
   const ontology::ConceptId largest = doc.concepts().back();
-  if (!ontology_->Contains(largest)) {
+  if (!dag.Contains(largest)) {
     return util::InvalidArgumentError(
         "document references concept id " + std::to_string(largest) +
-        " outside the ontology (" + std::to_string(ontology_->num_concepts()) +
+        " outside the ontology (" + std::to_string(dag.num_concepts()) +
         " concepts)");
+  }
+  // New writes may not reference retired concepts; existing documents
+  // that do keep serving unchanged (retirement is forward-looking).
+  if (ontology_->num_retired() > 0) {
+    for (const ontology::ConceptId c : doc.concepts()) {
+      if (ontology_->retired(c)) {
+        return util::FailedPreconditionError(
+            "document references retired concept " + std::to_string(c) +
+            " ('" + std::string(dag.name(c)) + "')");
+      }
+    }
   }
   return util::Status::Ok();
 }
@@ -91,8 +103,8 @@ util::Status SnapshotBuilder::MaybePublishBatchLocked() {
 
 util::StatusOr<corpus::DocId> SnapshotBuilder::AddDocument(
     corpus::Document doc) {
-  ECDR_RETURN_IF_ERROR(Validate(doc));
   std::lock_guard<std::mutex> lock(mutex_);
+  ECDR_RETURN_IF_ERROR(ValidateLocked(doc));
   if (pending_.size() >= options_.max_pending_docs) {
     return util::ResourceExhaustedError(
         "write buffer full: " + std::to_string(pending_.size()) +
@@ -138,8 +150,8 @@ util::Status SnapshotBuilder::DeleteDocument(corpus::DocId doc) {
 
 util::Status SnapshotBuilder::UpdateDocument(corpus::DocId doc,
                                              corpus::Document new_doc) {
-  ECDR_RETURN_IF_ERROR(Validate(new_doc));
   std::lock_guard<std::mutex> lock(mutex_);
+  ECDR_RETURN_IF_ERROR(ValidateLocked(new_doc));
   if (pending_.size() >= options_.max_pending_docs) {
     return util::ResourceExhaustedError(
         "write buffer full: " + std::to_string(pending_.size()) +
@@ -190,7 +202,7 @@ util::Status SnapshotBuilder::AddCorpus(const corpus::Corpus& source) {
     }
   }
   root_->Publish(std::make_shared<EngineSnapshot>(
-      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      next_generation_++, std::move(next), std::move(next_index), ontology_,
       ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
   published_lsn_ = max_lsn;
   return util::Status::Ok();
@@ -212,7 +224,7 @@ util::Status SnapshotBuilder::PublishLocked() {
   }
   const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
   corpus::Corpus next =
-      current != nullptr ? current->corpus : corpus::Corpus(*ontology_);
+      current != nullptr ? current->corpus : corpus::Corpus(ontology_->dag());
   if (current == nullptr) {
     next.set_segment_target(options_.target_docs_per_shard);
   }
@@ -243,7 +255,7 @@ util::Status SnapshotBuilder::PublishLocked() {
   index::ShardedIndex next_index(next,
                                  current != nullptr ? &current->index : nullptr);
   root_->Publish(std::make_shared<EngineSnapshot>(
-      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      next_generation_++, std::move(next), std::move(next_index), ontology_,
       ddq_memo_ != nullptr ? ddq_memo_->epoch() : 0));
   published_lsn_ = max_lsn;
   return util::Status::Ok();
@@ -262,13 +274,37 @@ util::Status SnapshotBuilder::Compact(std::uint32_t min_docs_per_segment) {
   // no cache invalidation, same ddq epoch.
   index::ShardedIndex next_index(next, &current->index);
   root_->Publish(std::make_shared<EngineSnapshot>(
-      next_generation_++, std::move(next), std::move(next_index), addresses_,
+      next_generation_++, std::move(next), std::move(next_index), ontology_,
       current->ddq_epoch));
   return util::Status::Ok();
 }
 
-util::Status SnapshotBuilder::Checkpoint(storage::DocumentStore* store,
-                                         const ontology::FlatDeweyPool* dewey) {
+util::Status SnapshotBuilder::SwapOntology(
+    std::shared_ptr<const ontology::OntologySnapshot> next_ontology) {
+  ECDR_CHECK(next_ontology != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Drain the delta under the OLD version first: its documents were
+  // validated (and WAL-ordered) against it, and the publish below must
+  // carry exactly one ontology step.
+  if (!pending_.empty()) ECDR_RETURN_IF_ERROR(PublishLocked());
+  const std::shared_ptr<const EngineSnapshot> current = root_->Acquire();
+  ontology_ = std::move(next_ontology);
+  corpus::Corpus next = current->corpus;
+  next.RebindOntology(ontology_->dag());
+  // Share, don't rebuild: evolution is append-only, so no stored
+  // document references a concept the old index lacks, and the index
+  // answers empty postings for concepts beyond its build-time bound.
+  index::ShardedIndex next_index(next, &current->index);
+  // Same documents, new ontology: document identities are untouched, so
+  // the ddq epoch carries over (memo correctness across the structural
+  // change is the signature salt's job, not the epoch's).
+  root_->Publish(std::make_shared<EngineSnapshot>(
+      next_generation_++, std::move(next), std::move(next_index), ontology_,
+      current->ddq_epoch));
+  return util::Status::Ok();
+}
+
+util::Status SnapshotBuilder::Checkpoint(storage::DocumentStore* store) {
   ECDR_CHECK(store != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
   if (!pending_.empty()) ECDR_RETURN_IF_ERROR(PublishLocked());
@@ -276,8 +312,17 @@ util::Status SnapshotBuilder::Checkpoint(storage::DocumentStore* store,
   // Image generations are store-monotone (they survive restarts; engine
   // generations restart at 0 every boot).
   const std::uint64_t generation = store->stats().image_generation + 1;
+  const ontology::FlatDeweyPool* dewey =
+      ontology_->addresses() != nullptr ? ontology_->addresses()->flat_pool()
+                                        : nullptr;
   return store->WriteCheckpoint(current->corpus, current->index, dewey,
-                                generation, published_lsn_);
+                                ontology_.get(), generation, published_lsn_);
+}
+
+std::shared_ptr<const ontology::OntologySnapshot> SnapshotBuilder::ontology()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ontology_;
 }
 
 std::size_t SnapshotBuilder::pending_documents() const {

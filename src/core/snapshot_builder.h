@@ -33,6 +33,14 @@
 // re-publishes; tombstone slots survive compaction so replay stays
 // bit-identical.
 //
+// The builder also owns the engine side of ontology evolution:
+// SwapOntology() publishes a generation whose corpus is rebound to the
+// evolved DAG and whose EngineSnapshot carries the successor
+// OntologySnapshot. The inverted index is SHARED, not rebuilt —
+// evolution is append-only, so no stored document references a concept
+// the old index lacks, and InvertedIndex::Postings returns empty lists
+// for concepts beyond its build-time bound.
+//
 // Thread safety: all methods are safe to call concurrently; writers
 // serialize on the builder's mutex. Readers of the published root are
 // never blocked — they do not take this (or any) mutex.
@@ -41,6 +49,7 @@
 #define ECDR_CORE_SNAPSHOT_BUILDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
@@ -51,6 +60,7 @@
 #include "ontology/dewey.h"
 #include "ontology/flat_dewey_pool.h"
 #include "ontology/ontology.h"
+#include "ontology/ontology_snapshot.h"
 #include "storage/store.h"
 #include "util/snapshot.h"
 #include "util/status.h"
@@ -95,13 +105,14 @@ struct RecoveredState {
 class SnapshotBuilder {
  public:
   /// Publishes generation 0 into `root`: the empty corpus, or
-  /// `recovered` when given (consumed — fields are moved out). All
-  /// pointers are unowned and must outlive the builder; `addresses`,
+  /// `recovered` when given (consumed — fields are moved out).
+  /// `ontology` is the version the corpus is bound to (shared; never
+  /// null). The raw pointers are unowned and must outlive the builder;
   /// `ddq_memo`, `store` and `recovered` may be null. When `store` is
   /// set, every mutation is logged ahead to its WAL and publishes fsync
   /// it (log-ahead write path).
-  SnapshotBuilder(const ontology::Ontology& ontology,
-                  ontology::AddressEnumerator* addresses, DdqMemo* ddq_memo,
+  SnapshotBuilder(std::shared_ptr<const ontology::OntologySnapshot> ontology,
+                  DdqMemo* ddq_memo,
                   util::SnapshotHandle<EngineSnapshot>* root,
                   SnapshotOptions options,
                   storage::DocumentStore* store = nullptr,
@@ -112,7 +123,8 @@ class SnapshotBuilder {
 
   /// Validates and enqueues `doc`, returning the id it will occupy;
   /// publishes when the batch is full. Fails with kInvalidArgument on a
-  /// bad document and kResourceExhausted when the pending delta is full
+  /// bad document, kFailedPrecondition when it references a retired
+  /// concept, and kResourceExhausted when the pending delta is full
   /// (the caller may Flush() and retry).
   util::StatusOr<corpus::DocId> AddDocument(corpus::Document doc);
 
@@ -144,12 +156,25 @@ class SnapshotBuilder {
   /// order-independently. Pending operations are flushed first.
   util::Status Compact(std::uint32_t min_docs_per_segment);
 
+  /// Publishes a generation bound to `next` (an evolved successor of
+  /// the current ontology snapshot): flushes the pending delta under
+  /// the OLD version first, rebinds the corpus to the new DAG and
+  /// re-shares the inverted index (no rebuild — see the header
+  /// comment). Subsequent writes validate against `next`, including its
+  /// retirement flags. The caller (RankingEngine) has already logged
+  /// the mutations and synced the WAL — durability precedes visibility.
+  util::Status SwapOntology(
+      std::shared_ptr<const ontology::OntologySnapshot> next);
+
   /// Flushes, then writes a checkpoint image of the current generation
-  /// into `store` (rotating its WAL). `dewey` may be null. Holding the
-  /// builder mutex across the image write keeps the (corpus, LSN) pair
-  /// consistent; concurrent writers stall for the duration.
-  util::Status Checkpoint(storage::DocumentStore* store,
-                          const ontology::FlatDeweyPool* dewey);
+  /// into `store` (rotating its WAL), stamping it with the current
+  /// ontology version/lineage. Holding the builder mutex across the
+  /// image write keeps the (corpus, ontology, LSN) triple consistent;
+  /// concurrent writers stall for the duration.
+  util::Status Checkpoint(storage::DocumentStore* store);
+
+  /// The ontology snapshot new writes validate against.
+  std::shared_ptr<const ontology::OntologySnapshot> ontology() const;
 
   std::size_t pending_documents() const;
 
@@ -176,7 +201,8 @@ class SnapshotBuilder {
   /// must be held.
   util::Status PublishLocked();
 
-  util::Status Validate(const corpus::Document& doc) const;
+  /// `mutex_` must be held (reads the swappable ontology_).
+  util::Status ValidateLocked(const corpus::Document& doc) const;
 
   /// Checks `doc` names a live document in the effective state (current
   /// corpus + pending adds − pending deletes). `mutex_` must be held.
@@ -185,14 +211,15 @@ class SnapshotBuilder {
 
   util::Status MaybePublishBatchLocked();
 
-  const ontology::Ontology* ontology_;
-  ontology::AddressEnumerator* addresses_;
   DdqMemo* ddq_memo_;
   util::SnapshotHandle<EngineSnapshot>* root_;
   SnapshotOptions options_;
   storage::DocumentStore* store_;
 
   mutable std::mutex mutex_;
+  /// The ontology version writes validate against and publishes stamp;
+  /// replaced by SwapOntology. Guarded by mutex_.
+  std::shared_ptr<const ontology::OntologySnapshot> ontology_;
   std::vector<PendingOp> pending_;
   /// Adds among pending_ — their ids are corpus.num_documents() +
   /// [0, pending_adds_), which is how AddDocument assigns ids before

@@ -90,6 +90,16 @@ class Corpus {
 
   const ontology::Ontology& ontology() const { return *ontology_; }
 
+  /// Points the corpus at an evolved ontology (ontology evolution is
+  /// append-only, so every stored document stays valid — new ontologies
+  /// only ever widen the valid concept range). Used by the snapshot
+  /// builder when it publishes an ontology swap and by storage replay;
+  /// requires the same external serialization as AddDocument.
+  void RebindOntology(const ontology::Ontology& ontology) {
+    ECDR_DCHECK_GE(ontology.num_concepts(), ontology_->num_concepts());
+    ontology_ = &ontology;
+  }
+
   // ---- Segment (shard) layout ----------------------------------------
 
   /// Documents per segment before the tail rolls over into a fresh one.

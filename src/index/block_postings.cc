@@ -391,4 +391,148 @@ BlockPostings::BlockPostings(const corpus::Corpus& corpus, Options options)
   build_seconds_ = timer.ElapsedSeconds();
 }
 
+BlockPostings BlockPostings::BuildEvolved(const BlockPostings& base,
+                                          const ontology::Ontology& ontology) {
+  util::WallTimer timer;
+  const std::uint32_t base_n = base.num_concepts();
+  const std::uint32_t new_n = ontology.num_concepts();
+  ECDR_CHECK_GE(new_n, base_n);
+
+  BlockPostings out;
+  out.options_ = base.options_;
+  out.num_documents_ = base.num_documents_;
+  const std::uint32_t num_docs = out.num_documents_;
+  const std::uint32_t block = out.options_.block_size;
+  const std::uint32_t num_blocks =
+      num_docs == 0 ? 0 : (num_docs + block - 1) / block;
+
+  out.meta_offsets_.resize(new_n + 1);
+  for (std::uint32_t c = 0; c <= new_n; ++c) {
+    out.meta_offsets_[c] = static_cast<std::uint64_t>(c) * num_blocks;
+  }
+  out.meta_.resize(static_cast<std::size_t>(new_n) * num_blocks);
+  out.order_.resize(out.meta_.size());
+  if (num_docs == 0) {
+    out.build_seconds_ = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // Topological order of the batch-new concepts over new->new parent
+  // edges (add_concept parents and within-batch add_edge both allow a
+  // new concept's parent to be new itself, in either id direction).
+  const std::uint32_t new_count = new_n - base_n;
+  std::vector<std::uint32_t> indegree(new_count, 0);
+  for (std::uint32_t c = base_n; c < new_n; ++c) {
+    for (const ontology::ConceptId p : ontology.parents(c)) {
+      if (p >= base_n) ++indegree[c - base_n];
+    }
+  }
+  std::vector<ontology::ConceptId> topo;
+  topo.reserve(new_count);
+  for (std::uint32_t c = base_n; c < new_n; ++c) {
+    if (indegree[c - base_n] == 0) topo.push_back(c);
+  }
+  for (std::size_t head = 0; head < topo.size(); ++head) {
+    for (const ontology::ConceptId child : ontology.children(topo[head])) {
+      if (child >= base_n && --indegree[child - base_n] == 0) {
+        topo.push_back(child);
+      }
+    }
+  }
+  ECDR_CHECK_EQ(topo.size(), static_cast<std::size_t>(new_count));
+
+  // Pre-existing parents referenced by any new concept: their base
+  // blocks are decoded once per chunk into dense rows.
+  std::vector<std::int32_t> old_parent_slot(base_n, -1);
+  std::vector<ontology::ConceptId> old_parents;
+  for (std::uint32_t c = base_n; c < new_n; ++c) {
+    for (const ontology::ConceptId p : ontology.parents(c)) {
+      if (p < base_n && old_parent_slot[p] < 0) {
+        old_parent_slot[p] = static_cast<std::int32_t>(old_parents.size());
+        old_parents.push_back(p);
+      }
+    }
+  }
+
+  std::vector<std::vector<Entry>> parent_rows(old_parents.size());
+  std::vector<std::vector<std::uint32_t>> new_rows(new_count);
+  std::vector<Entry> entries_scratch;
+  for (std::uint32_t chunk = 0; chunk < num_blocks; ++chunk) {
+    const std::uint32_t begin = chunk * block;
+    const std::uint32_t end = std::min(begin + block, num_docs);
+    const std::uint32_t chunk_docs = end - begin;
+
+    for (std::size_t s = 0; s < old_parents.size(); ++s) {
+      const BlockMeta& meta =
+          base.meta_[base.meta_offsets_[old_parents[s]] + chunk];
+      ECDR_CHECK(
+          blockcodec::DecodeBlock(base.payload(meta), meta, &parent_rows[s]));
+      ECDR_CHECK_EQ(parent_rows[s].size(),
+                    static_cast<std::size_t>(chunk_docs));
+    }
+    for (const ontology::ConceptId c : topo) {
+      std::vector<std::uint32_t>& row = new_rows[c - base_n];
+      row.assign(chunk_docs, ontology::kInfiniteDistance);
+      for (const ontology::ConceptId p : ontology.parents(c)) {
+        if (p < base_n) {
+          const std::vector<Entry>& prow = parent_rows[old_parent_slot[p]];
+          for (std::uint32_t j = 0; j < chunk_docs; ++j) {
+            row[j] = std::min(row[j], prow[j].distance);
+          }
+        } else {
+          const std::vector<std::uint32_t>& prow = new_rows[p - base_n];
+          for (std::uint32_t j = 0; j < chunk_docs; ++j) {
+            row[j] = std::min(row[j], prow[j]);
+          }
+        }
+      }
+      for (std::uint32_t j = 0; j < chunk_docs; ++j) {
+        if (row[j] != ontology::kInfiniteDistance) ++row[j];
+      }
+    }
+
+    // Same serial concatenation order as the cold build (concepts
+    // ascending within the chunk): splice pre-existing payload bytes
+    // verbatim, encode the derived new lists in place.
+    for (std::uint32_t c = 0; c < new_n; ++c) {
+      if (c < base_n) {
+        const BlockMeta& src = base.meta_[base.meta_offsets_[c] + chunk];
+        BlockMeta meta = src;
+        const std::uint64_t offset = out.arena_.size();
+        ECDR_CHECK_LE(offset + src.length, 0xFFFFFFFFull);
+        meta.offset = static_cast<std::uint32_t>(offset);
+        const std::span<const std::uint8_t> bytes = base.payload(src);
+        out.arena_.insert(out.arena_.end(), bytes.begin(), bytes.end());
+        out.meta_[out.meta_offsets_[c] + chunk] = meta;
+      } else {
+        const std::vector<std::uint32_t>& row = new_rows[c - base_n];
+        entries_scratch.resize(chunk_docs);
+        for (std::uint32_t j = 0; j < chunk_docs; ++j) {
+          entries_scratch[j] = Entry{begin + j, row[j]};
+        }
+        BlockMeta meta;
+        ECDR_CHECK_LE(out.arena_.size(), 0xFFFFFFFFull);
+        blockcodec::EncodeBlock(entries_scratch, &out.arena_, &meta);
+        out.meta_[out.meta_offsets_[c] + chunk] = meta;
+      }
+    }
+  }
+  out.arena_.shrink_to_fit();
+
+  for (std::uint32_t c = 0; c < new_n; ++c) {
+    std::uint32_t* order_begin = out.order_.data() + out.meta_offsets_[c];
+    const BlockMeta* metas = out.meta_.data() + out.meta_offsets_[c];
+    for (std::uint32_t b = 0; b < num_blocks; ++b) order_begin[b] = b;
+    std::sort(order_begin, order_begin + num_blocks,
+              [metas](std::uint32_t a, std::uint32_t b) {
+                if (metas[a].min_distance != metas[b].min_distance) {
+                  return metas[a].min_distance < metas[b].min_distance;
+                }
+                return a < b;
+              });
+  }
+  out.build_seconds_ = timer.ElapsedSeconds();
+  return out;
+}
+
 }  // namespace ecdr::index

@@ -143,6 +143,23 @@ class BlockPostings {
   /// dense table, so block-mode TA ranks them identically.
   explicit BlockPostings(const corpus::Corpus& corpus, Options options = {});
 
+  /// Incremental rebuild after a distance-preserving ontology evolution
+  /// (every add_edge child batch-new — the engine gates on
+  /// EvolutionStats::readdressed_existing == 0). Pre-existing concepts'
+  /// distance lists are provably unchanged, so their payload bytes are
+  /// spliced from `base` verbatim; each batch-new concept's list is
+  /// derived block by block from the parent recurrence
+  ///   Ddc(d, c_new) = 1 + min over parents p of Ddc(d, p)
+  /// (a valid up-then-down path can only enter a batch-new concept by
+  /// descending a parent edge: new concepts have no pre-existing
+  /// descendants, so no ascending entry exists), processed in
+  /// topological order over new->new parent edges. Byte-identical to a
+  /// cold build over the same documents under `ontology` — asserted by
+  /// tests/block_postings_test.cc — at O(new-concepts x docs) cost with
+  /// no corpus access and no BFS.
+  static BlockPostings BuildEvolved(const BlockPostings& base,
+                                    const ontology::Ontology& ontology);
+
   std::uint32_t num_concepts() const {
     return static_cast<std::uint32_t>(meta_offsets_.size() - 1);
   }
@@ -279,6 +296,8 @@ class BlockPostings {
   }
 
  private:
+  BlockPostings() = default;  // BuildEvolved assembles the members itself
+
   Options options_;
   std::uint32_t num_documents_ = 0;
   std::vector<std::uint8_t> arena_;         // all payloads, concept-major

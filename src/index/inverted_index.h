@@ -43,9 +43,13 @@ class InvertedIndex {
         first_doc_(first),
         num_documents_(count) {}
 
-  /// Document ids containing `c`, in increasing id order.
+  /// Document ids containing `c`, in increasing id order. Concepts
+  /// beyond the ontology size at construction have an empty list: after
+  /// an ontology evolution publishes new concepts, indexes built over
+  /// the old ontology stay exact without a rebuild — no stored document
+  /// can reference a concept younger than the index.
   std::span<const corpus::DocId> Postings(ontology::ConceptId c) const {
-    ECDR_DCHECK_LT(c, postings_.size());
+    if (c >= postings_.size()) return {};
     return postings_[c];
   }
 

@@ -1,5 +1,7 @@
 #include "ontology/concept_pair_cache.h"
 
+#include <unordered_set>
+
 namespace ecdr::ontology {
 
 ConceptPairCache::ConceptPairCache(Options options)
@@ -12,6 +14,17 @@ bool ConceptPairCache::Get(ConceptId a, ConceptId b, std::uint32_t* distance) {
 
 void ConceptPairCache::Put(ConceptId a, ConceptId b, std::uint32_t distance) {
   cache_.Put(KeyOf(a, b), distance);
+}
+
+std::size_t ConceptPairCache::InvalidateConcepts(
+    std::span<const ConceptId> concepts) {
+  if (concepts.empty()) return 0;
+  const std::unordered_set<ConceptId> targets(concepts.begin(),
+                                              concepts.end());
+  return cache_.EraseIf([&targets](std::uint64_t key) {
+    return targets.count(static_cast<ConceptId>(key >> 32)) != 0 ||
+           targets.count(static_cast<ConceptId>(key & 0xFFFFFFFFu)) != 0;
+  });
 }
 
 }  // namespace ecdr::ontology

@@ -19,6 +19,7 @@
 #define ECDR_ONTOLOGY_CONCEPT_PAIR_CACHE_H_
 
 #include <cstdint>
+#include <span>
 
 #include "ontology/types.h"
 #include "util/lru_cache.h"
@@ -45,6 +46,13 @@ class ConceptPairCache {
 
   /// Records D(a, b) == D(b, a).
   void Put(ConceptId a, ConceptId b, std::uint32_t distance);
+
+  /// Drops every cached pair touching any concept in `concepts`
+  /// (sorted or not); returns the number of entries erased. Called on
+  /// ontology evolution for the concepts whose address sets changed —
+  /// everything else stays warm, which is the point of incremental
+  /// re-enumeration.
+  std::size_t InvalidateConcepts(std::span<const ConceptId> concepts);
 
   util::CacheCounters counters() const { return cache_.counters(); }
   std::size_t size() const { return cache_.size(); }

@@ -109,8 +109,9 @@ void AddressEnumerator::PrecomputeAll() {
 
 util::Status AddressEnumerator::AdoptPrecomputed(
     std::vector<std::uint32_t> components, std::vector<AddressSpan> spans,
-    std::vector<std::uint32_t> concept_first) {
-  ECDR_CHECK_EQ(live_readers(), 0);
+    std::vector<std::uint32_t> concept_first,
+    std::vector<std::uint32_t> span_ranks,
+    std::vector<std::uint32_t> rank_lcp) {
   const std::uint32_t num_concepts = ontology_->num_concepts();
   if (concept_first.size() != static_cast<std::size_t>(num_concepts) + 1) {
     return util::DataLossError(
@@ -138,14 +139,32 @@ util::Status AddressEnumerator::AdoptPrecomputed(
       return util::DataLossError("dewey span exceeds the component arena");
     }
   }
+  const bool adopt_ranks = !span_ranks.empty() || !rank_lcp.empty();
+  if (adopt_ranks &&
+      (span_ranks.size() != spans.size() ||
+       rank_lcp.size() != spans.size())) {
+    return util::DataLossError(
+        "pre-spliced dewey ranks do not cover the span array");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  // Checked under the lock, after the (fallible) validation above: a
+  // reader that raced the validation is still caught before any state
+  // is dropped. Leases on a *published* enumerator never coexist with
+  // Adopt/Clear — snapshot hand-off replaces the enumerator object
+  // instead of mutating it — so a nonzero count here is a caller bug.
+  ECDR_CHECK_EQ(live_readers(), 0);
   frozen_.store(false, std::memory_order_release);
   cache_.clear();
   pool_.Clear();
   pool_.components_ = std::move(components);
   pool_.spans_ = std::move(spans);
   pool_.concept_first_ = std::move(concept_first);
-  pool_.BuildRanks();
+  if (adopt_ranks) {
+    pool_.span_ranks_ = std::move(span_ranks);
+    pool_.rank_lcp_ = std::move(rank_lcp);
+  } else {
+    pool_.BuildRanks();
+  }
   // Materialize the per-concept cache Addresses() serves, in the pool's
   // (lexicographic) order.
   std::uint64_t total_addresses = 0;
@@ -178,10 +197,13 @@ bool AddressEnumerator::truncated(ConceptId c) const {
 void AddressEnumerator::ClearCache() {
   // Dropping the cache dangles every Addresses() reference a live reader
   // holds — on a frozen enumerator readers don't even take the lock, so
-  // this would be a silent use-after-free. Check unconditionally: the
-  // tier-1 build defines NDEBUG, which would compile a DCHECK out.
-  ECDR_CHECK_EQ(live_readers(), 0);
+  // this would be a silent use-after-free. Check unconditionally (the
+  // tier-1 build defines NDEBUG, which would compile a DCHECK out), and
+  // under the mutex so it pairs with the serialized mutation path; see
+  // AdoptPrecomputed for the hand-off contract that makes a lease
+  // racing this check a caller bug rather than a benign blip.
   std::lock_guard<std::mutex> lock(mutex_);
+  ECDR_CHECK_EQ(live_readers(), 0);
   frozen_.store(false, std::memory_order_release);
   cache_.clear();
   pool_.Clear();
@@ -192,6 +214,16 @@ void AddressEnumerator::ClearCache() {
 std::uint64_t AddressEnumerator::NextCacheGeneration() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void AddressEnumerator::RegisterReader() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_readers_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void AddressEnumerator::UnregisterReader() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_readers_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 const AddressEnumerator::Entry& AddressEnumerator::Compute(ConceptId c) {

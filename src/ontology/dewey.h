@@ -79,6 +79,14 @@ class AddressEnumerator {
   explicit AddressEnumerator(const Ontology& ontology,
                              AddressEnumeratorOptions options = {});
 
+  /// Aborts (always-on) if any ReaderLease is still live: a lease holds
+  /// a raw back-pointer, so destroying the enumerator first would turn
+  /// the lease's release into a use-after-free. Snapshot owners (e.g.
+  /// ontology::OntologySnapshot via core::EngineSnapshot) guarantee the
+  /// ordering by holding the enumerator behind a shared_ptr declared
+  /// before every lease.
+  ~AddressEnumerator() { ECDR_CHECK_EQ(live_readers(), 0); }
+
   /// RAII registration of a long-lived reader (every Drc engine holds
   /// one for its lifetime). ClearCache() aborts (always-on check) while
   /// any lease is live: clearing would dangle the address references
@@ -87,11 +95,14 @@ class AddressEnumerator {
   class ReaderLease {
    public:
     ReaderLease() = default;
+    /// Registration serializes on the enumerator's mutex — the same one
+    /// ClearCache()/AdoptPrecomputed() hold across their live-reader
+    /// check AND the clear itself — so a lease can never materialize
+    /// between the check passing and the cache being dropped (the
+    /// TOCTOU the old bare fetch_add left open).
     explicit ReaderLease(AddressEnumerator* enumerator)
         : enumerator_(enumerator) {
-      if (enumerator_ != nullptr) {
-        enumerator_->live_readers_.fetch_add(1, std::memory_order_acq_rel);
-      }
+      if (enumerator_ != nullptr) enumerator_->RegisterReader();
     }
     ~ReaderLease() { Release(); }
     ReaderLease(ReaderLease&& other) noexcept
@@ -112,7 +123,7 @@ class AddressEnumerator {
    private:
     void Release() {
       if (enumerator_ != nullptr) {
-        enumerator_->live_readers_.fetch_sub(1, std::memory_order_acq_rel);
+        enumerator_->UnregisterReader();
         enumerator_ = nullptr;
       }
     }
@@ -155,9 +166,16 @@ class AddressEnumerator {
   /// restored enumerator reports truncated() == false even for sets
   /// that were capped at enumeration time. The address sets themselves
   /// — and hence every distance — are restored exactly.
+  /// `span_ranks` / `rank_lcp` optionally carry pre-spliced global
+  /// ranks (see FlatDeweyPool::BuildRanks for their invariants); when
+  /// empty they are rebuilt with a full sort. EvolveSnapshot passes
+  /// them so an incremental evolution merges the base pool's rank
+  /// order in O(addresses) instead of re-sorting the whole pool.
   util::Status AdoptPrecomputed(std::vector<std::uint32_t> components,
                                 std::vector<AddressSpan> spans,
-                                std::vector<std::uint32_t> concept_first);
+                                std::vector<std::uint32_t> concept_first,
+                                std::vector<std::uint32_t> span_ranks = {},
+                                std::vector<std::uint32_t> rank_lcp = {});
 
   /// True if Addresses(c) was truncated at the cap (call after
   /// Addresses(c)).
@@ -198,6 +216,15 @@ class AddressEnumerator {
   /// Requires mutex_ held (entries are published under the lock; the
   /// frozen fast path never calls this).
   const Entry& Compute(ConceptId c);
+
+  /// Lease bookkeeping. Register takes mutex_ so it is mutually ordered
+  /// with the ClearCache()/AdoptPrecomputed() check-and-clear critical
+  /// sections; Unregister does too, so the count a passing check read
+  /// cannot grow OR shrink mid-clear (a racing release observing a
+  /// cleared cache would otherwise be indistinguishable from the
+  /// use-after-free the check exists to catch).
+  void RegisterReader();
+  void UnregisterReader();
 
   /// Draws a process-unique generation id (monotone atomic counter).
   static std::uint64_t NextCacheGeneration();

@@ -1,0 +1,739 @@
+#include "ontology/ontology_snapshot.h"
+
+#include <algorithm>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "ontology/flat_dewey_pool.h"
+#include "ontology/ontology_builder.h"
+#include "util/string_util.h"
+
+namespace ecdr::ontology {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+void HashBytes(std::uint64_t* h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU32(std::uint64_t* h, std::uint32_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashU64(std::uint64_t* h, std::uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashString(std::uint64_t* h, std::string_view s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+std::string MutationContext(std::size_t index) {
+  return "mutation " + std::to_string(index) + ": ";
+}
+
+/// Validation state threaded through one batch: the DAG grows as the
+/// batch applies, so later mutations see earlier adds.
+struct BatchState {
+  const Ontology* base;
+  std::uint32_t num_concepts;                   // base + adds so far
+  std::vector<std::uint8_t> retired;            // grows with adds
+  std::uint32_t num_retired = 0;
+  std::unordered_map<std::string, ConceptId> new_names;
+  // Edges added by the batch, for duplicate detection: parent -> children.
+  std::unordered_multimap<ConceptId, ConceptId> new_edges;
+
+  bool Exists(ConceptId c) const { return c < num_concepts; }
+  bool Retired(ConceptId c) const {
+    return c < retired.size() && retired[c] != 0;
+  }
+  bool HasEdge(ConceptId parent, ConceptId child) const {
+    if (parent < base->num_concepts() && child < base->num_concepts()) {
+      const auto children = base->children(parent);
+      if (std::find(children.begin(), children.end(), child) !=
+          children.end()) {
+        return true;
+      }
+    }
+    const auto [first, last] = new_edges.equal_range(parent);
+    for (auto it = first; it != last; ++it) {
+      if (it->second == child) return true;
+    }
+    return false;
+  }
+};
+
+util::Status ValidateMutation(const OntologyMutation& m, std::size_t index,
+                              BatchState* state) {
+  const Ontology& base = *state->base;
+  switch (m.kind) {
+    case OntologyMutation::Kind::kAddConcept: {
+      if (m.name.empty()) {
+        return util::InvalidArgumentError(MutationContext(index) +
+                                          "add_concept with an empty name");
+      }
+      if (base.FindByName(m.name) != kInvalidConcept ||
+          state->new_names.count(m.name) != 0) {
+        return util::InvalidArgumentError(MutationContext(index) +
+                                          "concept name '" + m.name +
+                                          "' already exists");
+      }
+      if (m.parents.empty()) {
+        return util::InvalidArgumentError(
+            MutationContext(index) + "add_concept '" + m.name +
+            "' needs at least one parent (the DAG has a single root)");
+      }
+      for (std::size_t i = 0; i < m.parents.size(); ++i) {
+        const ConceptId p = m.parents[i];
+        if (!state->Exists(p)) {
+          return util::InvalidArgumentError(MutationContext(index) +
+                                            "unknown parent concept " +
+                                            std::to_string(p));
+        }
+        if (state->Retired(p)) {
+          return util::FailedPreconditionError(
+              MutationContext(index) + "parent concept " + std::to_string(p) +
+              " is retired");
+        }
+        if (std::find(m.parents.begin(), m.parents.begin() + i, p) !=
+            m.parents.begin() + i) {
+          return util::InvalidArgumentError(MutationContext(index) +
+                                            "duplicate parent " +
+                                            std::to_string(p));
+        }
+      }
+      const ConceptId id = state->num_concepts++;
+      state->new_names.emplace(m.name, id);
+      state->retired.push_back(0);
+      for (const ConceptId p : m.parents) state->new_edges.emplace(p, id);
+      return util::Status::Ok();
+    }
+    case OntologyMutation::Kind::kRetireConcept: {
+      if (!state->Exists(m.target)) {
+        return util::NotFoundError(MutationContext(index) +
+                                   "unknown concept " +
+                                   std::to_string(m.target));
+      }
+      if (m.target == base.root()) {
+        return util::InvalidArgumentError(MutationContext(index) +
+                                          "cannot retire the root concept");
+      }
+      if (state->Retired(m.target)) {
+        return util::FailedPreconditionError(MutationContext(index) +
+                                             "concept " +
+                                             std::to_string(m.target) +
+                                             " is already retired");
+      }
+      state->retired[m.target] = 1;
+      ++state->num_retired;
+      return util::Status::Ok();
+    }
+    case OntologyMutation::Kind::kAddEdge: {
+      if (!state->Exists(m.parent) || !state->Exists(m.child)) {
+        return util::InvalidArgumentError(MutationContext(index) +
+                                          "add_edge endpoint out of range");
+      }
+      if (m.parent == m.child) {
+        return util::InvalidArgumentError(MutationContext(index) +
+                                          "self edge");
+      }
+      if (m.child == base.root()) {
+        return util::InvalidArgumentError(
+            MutationContext(index) +
+            "edge into the root would create a cycle or a second root");
+      }
+      if (state->Retired(m.parent) || state->Retired(m.child)) {
+        return util::FailedPreconditionError(MutationContext(index) +
+                                             "add_edge endpoint is retired");
+      }
+      if (state->HasEdge(m.parent, m.child)) {
+        return util::InvalidArgumentError(MutationContext(index) +
+                                          "duplicate edge " +
+                                          std::to_string(m.parent) + " -> " +
+                                          std::to_string(m.child));
+      }
+      state->new_edges.emplace(m.parent, m.child);
+      return util::Status::Ok();
+    }
+  }
+  return util::InvalidArgumentError(MutationContext(index) +
+                                    "unknown mutation kind");
+}
+
+bool HasStructuralMutation(std::span<const OntologyMutation> mutations) {
+  for (const OntologyMutation& m : mutations) {
+    if (m.kind != OntologyMutation::Kind::kRetireConcept) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t OntologyIdentityHash(const Ontology& dag,
+                                   std::span<const std::uint8_t> retired,
+                                   std::size_t max_addresses) {
+  std::uint64_t h = kFnvOffset;
+  HashU32(&h, dag.num_concepts());
+  HashU32(&h, dag.root());
+  for (ConceptId c = 0; c < dag.num_concepts(); ++c) {
+    HashString(&h, dag.name(c));
+    const auto synonyms = dag.synonyms(c);
+    HashU64(&h, synonyms.size());
+    for (const std::string& synonym : synonyms) HashString(&h, synonym);
+    // Child lists in insertion order cover both the edge set and every
+    // Dewey ordinal.
+    const auto children = dag.children(c);
+    HashU64(&h, children.size());
+    for (const ConceptId child : children) HashU32(&h, child);
+  }
+  // Retired flags hash by set id, so an all-zero vector and an empty
+  // span produce the same digest.
+  for (std::size_t c = 0; c < retired.size(); ++c) {
+    if (retired[c] != 0) HashU32(&h, static_cast<std::uint32_t>(c));
+  }
+  HashU64(&h, max_addresses);
+  return h;
+}
+
+util::StatusOr<Ontology> ApplyMutations(
+    const Ontology& base, std::span<const OntologyMutation> mutations,
+    std::vector<std::uint8_t>* retired) {
+  BatchState state;
+  state.base = &base;
+  state.num_concepts = base.num_concepts();
+  if (retired != nullptr) {
+    state.retired = *retired;
+  }
+  state.retired.resize(base.num_concepts(), 0);
+  for (std::size_t i = 0; i < mutations.size(); ++i) {
+    const util::Status status = ValidateMutation(mutations[i], i, &state);
+    if (!status.ok()) return status;
+  }
+
+  // Rebuild: base concepts and edges first (edges parent-major — the
+  // per-parent child order is all that defines ordinals, and it is
+  // preserved), then the batch in order so its new edges append after a
+  // parent's existing children.
+  OntologyBuilder builder;
+  for (ConceptId c = 0; c < base.num_concepts(); ++c) {
+    builder.AddConcept(base.name(c));
+    for (const std::string& synonym : base.synonyms(c)) {
+      ECDR_RETURN_IF_ERROR(builder.AddSynonym(c, synonym));
+    }
+  }
+  for (ConceptId p = 0; p < base.num_concepts(); ++p) {
+    for (const ConceptId child : base.children(p)) {
+      ECDR_RETURN_IF_ERROR(builder.AddEdge(p, child));
+    }
+  }
+  for (const OntologyMutation& m : mutations) {
+    switch (m.kind) {
+      case OntologyMutation::Kind::kAddConcept: {
+        const ConceptId id = builder.AddConcept(m.name);
+        for (const ConceptId p : m.parents) {
+          ECDR_RETURN_IF_ERROR(builder.AddEdge(p, id));
+        }
+        break;
+      }
+      case OntologyMutation::Kind::kRetireConcept:
+        break;  // flag-only; recorded in `state.retired`
+      case OntologyMutation::Kind::kAddEdge:
+        ECDR_RETURN_IF_ERROR(builder.AddEdge(m.parent, m.child));
+        break;
+    }
+  }
+  util::StatusOr<Ontology> built = std::move(builder).Build();
+  if (!built.ok()) {
+    // Build()'s structural validation (acyclicity, single root) is the
+    // batch's fault, not the base's.
+    return util::InvalidArgumentError("mutation batch rejected: " +
+                                      built.status().message());
+  }
+  if (retired != nullptr) *retired = std::move(state.retired);
+  return built;
+}
+
+bool DistancePreservingMutations(std::span<const OntologyMutation> mutations,
+                                 std::uint32_t base_num_concepts) {
+  // New concepts are sinks (no pre-existing descendants) as long as
+  // every explicit edge lands on a batch-new child; then no new valid
+  // path connects two pre-existing concepts, so their pairwise
+  // distances — and every Ddc posting — are unchanged.
+  for (const OntologyMutation& m : mutations) {
+    if (m.kind == OntologyMutation::Kind::kAddEdge &&
+        m.child < base_num_concepts) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const OntologySnapshot> OntologySnapshot::Baseline(
+    std::shared_ptr<const Ontology> dag, AddressEnumeratorOptions options,
+    bool precompute) {
+  auto snapshot = std::shared_ptr<OntologySnapshot>(new OntologySnapshot());
+  snapshot->dag_ = std::move(dag);
+  snapshot->options_ = options;
+  snapshot->precompute_ = precompute;
+  snapshot->addresses_ =
+      std::make_shared<AddressEnumerator>(*snapshot->dag_, options);
+  if (precompute) snapshot->addresses_->PrecomputeAll();
+  snapshot->retired_.assign(snapshot->dag_->num_concepts(), 0);
+  snapshot->identity_hash_ = OntologyIdentityHash(
+      *snapshot->dag_, snapshot->retired_, options.max_addresses);
+  snapshot->structural_hash_ = snapshot->identity_hash_;
+  snapshot->baseline_hash_ = snapshot->identity_hash_;
+  return snapshot;
+}
+
+std::shared_ptr<const OntologySnapshot> OntologySnapshot::Restore(
+    std::shared_ptr<const Ontology> dag, std::vector<std::uint8_t> retired,
+    std::uint64_t version, std::uint64_t baseline_hash,
+    AddressEnumeratorOptions options, bool precompute) {
+  auto snapshot = std::shared_ptr<OntologySnapshot>(new OntologySnapshot());
+  snapshot->dag_ = std::move(dag);
+  snapshot->options_ = options;
+  snapshot->precompute_ = precompute;
+  snapshot->addresses_ =
+      std::make_shared<AddressEnumerator>(*snapshot->dag_, options);
+  if (precompute) snapshot->addresses_->PrecomputeAll();
+  retired.resize(snapshot->dag_->num_concepts(), 0);
+  snapshot->retired_ = std::move(retired);
+  snapshot->num_retired_ = static_cast<std::uint32_t>(
+      std::count(snapshot->retired_.begin(), snapshot->retired_.end(), 1));
+  snapshot->version_ = version;
+  snapshot->identity_hash_ = OntologyIdentityHash(
+      *snapshot->dag_, snapshot->retired_, options.max_addresses);
+  std::vector<std::uint8_t> no_retired;
+  snapshot->structural_hash_ =
+      OntologyIdentityHash(*snapshot->dag_, no_retired, options.max_addresses);
+  snapshot->baseline_hash_ = baseline_hash;
+  return snapshot;
+}
+
+util::StatusOr<std::shared_ptr<const OntologySnapshot>> EvolveSnapshot(
+    const std::shared_ptr<const OntologySnapshot>& base,
+    std::span<const OntologyMutation> mutations, EvolutionStats* stats) {
+  ECDR_CHECK(base != nullptr);
+  EvolutionStats local;
+  for (const OntologyMutation& m : mutations) {
+    switch (m.kind) {
+      case OntologyMutation::Kind::kAddConcept:
+        ++local.added_concepts;
+        local.added_edges += m.parents.size();
+        break;
+      case OntologyMutation::Kind::kRetireConcept:
+        ++local.retired_concepts;
+        break;
+      case OntologyMutation::Kind::kAddEdge:
+        ++local.added_edges;
+        break;
+    }
+  }
+
+  auto next = std::shared_ptr<OntologySnapshot>(new OntologySnapshot());
+  // One version step per mutation (not per batch): WAL replay applies
+  // records one at a time, and reopen must land on the same version
+  // number the live engine reported.
+  next->version_ = base->version_ + mutations.size();
+  next->baseline_hash_ = base->baseline_hash_;
+  next->options_ = base->options_;
+  next->precompute_ = base->precompute_;
+
+  if (!HasStructuralMutation(mutations)) {
+    // Retire-only (possibly empty) batch: no address changes, share the
+    // DAG and the frozen enumerator outright. Every cached distance —
+    // pair cache, Ddq memo, Drc skeletons keyed on cache_generation —
+    // stays valid.
+    BatchState state;
+    state.base = base->dag_.get();
+    state.num_concepts = base->dag_->num_concepts();
+    state.retired = base->retired_;
+    state.num_retired = base->num_retired_;
+    for (std::size_t i = 0; i < mutations.size(); ++i) {
+      const util::Status status = ValidateMutation(mutations[i], i, &state);
+      if (!status.ok()) return status;
+    }
+    next->dag_ = base->dag_;
+    next->addresses_ = base->addresses_;
+    next->retired_ = std::move(state.retired);
+    next->num_retired_ = state.num_retired;
+    next->identity_hash_ = OntologyIdentityHash(
+        *next->dag_, next->retired_, base->options_.max_addresses);
+    next->structural_hash_ = base->structural_hash_;
+    next->last_evolution_ = local;
+    if (stats != nullptr) *stats = next->last_evolution_;
+    return std::static_pointer_cast<const OntologySnapshot>(next);
+  }
+
+  const Ontology& base_dag = *base->dag_;
+  const std::uint32_t base_n = base_dag.num_concepts();
+  std::vector<std::uint8_t> retired = base->retired_;
+  util::StatusOr<Ontology> evolved =
+      ApplyMutations(base_dag, mutations, &retired);
+  if (!evolved.ok()) return evolved.status();
+  auto dag = std::make_shared<const Ontology>(std::move(*evolved));
+  const std::uint32_t new_n = dag->num_concepts();
+
+  // Affected set: batch-new concepts plus explicit add_edge children,
+  // closed under descendants in the NEW dag. Everything outside it
+  // provably keeps its exact base address set: appends never renumber
+  // an existing ordinal, so an address changes only when a root-path
+  // passes through a mutated point — and every concept below a mutated
+  // point is in this closure.
+  std::vector<std::uint8_t> affected(new_n, 0);
+  std::deque<ConceptId> frontier;
+  const auto mark = [&](ConceptId c) {
+    if (affected[c] == 0) {
+      affected[c] = 1;
+      frontier.push_back(c);
+    }
+  };
+  for (ConceptId c = base_n; c < new_n; ++c) mark(c);
+  for (const OntologyMutation& m : mutations) {
+    if (m.kind == OntologyMutation::Kind::kAddEdge) mark(m.child);
+  }
+  while (!frontier.empty()) {
+    const ConceptId c = frontier.front();
+    frontier.pop_front();
+    for (const ConceptId child : dag->children(c)) mark(child);
+  }
+  std::vector<ConceptId> affected_ids;
+  for (ConceptId c = 0; c < new_n; ++c) {
+    if (affected[c] != 0) affected_ids.push_back(c);
+  }
+  local.readdressed_concepts = affected_ids.size();
+  for (const ConceptId c : affected_ids) {
+    if (c < base_n) {
+      ++local.readdressed_existing;
+      local.invalidated_existing.push_back(c);
+    }
+  }
+
+  const FlatDeweyPool* base_pool = base->addresses_->flat_pool();
+  auto addresses = std::make_shared<AddressEnumerator>(*dag, base->options_);
+  if (base_pool == nullptr) {
+    // Base never froze (lazy mode): nothing to splice from. Fall back
+    // to whatever enumeration mode the lineage runs in.
+    local.full_rebuild = true;
+    if (base->precompute_) addresses->PrecomputeAll();
+  } else {
+    // Incremental re-enumeration. Process affected concepts parents-
+    // before-children (Kahn over the affected subgraph); an unaffected
+    // parent's addresses come straight from the base pool. Candidate
+    // generation, truncation and the final sort replicate
+    // AddressEnumerator::Compute() exactly, so the assembled pool is
+    // byte-identical to a cold PrecomputeAll() over `dag`.
+    const std::size_t max_addresses = base->options_.max_addresses;
+    std::unordered_map<ConceptId, std::uint32_t> indegree;
+    for (const ConceptId c : affected_ids) {
+      std::uint32_t in = 0;
+      for (const ConceptId p : dag->parents(c)) in += affected[p];
+      indegree.emplace(c, in);
+    }
+    std::deque<ConceptId> ready;
+    for (const ConceptId c : affected_ids) {
+      if (indegree[c] == 0) ready.push_back(c);
+    }
+    std::unordered_map<ConceptId, std::vector<DeweyAddress>> computed;
+    computed.reserve(affected_ids.size());
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+      const ConceptId c = ready.front();
+      ready.pop_front();
+      ++processed;
+      const auto parents = dag->parents(c);
+      const auto ordinals = dag->parent_ordinals(c);
+      std::vector<DeweyAddress> candidates;
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        const ConceptId p = parents[i];
+        if (affected[p] != 0) {
+          for (const DeweyAddress& parent_address : computed.at(p)) {
+            DeweyAddress address = parent_address;
+            address.push_back(ordinals[i]);
+            candidates.push_back(std::move(address));
+          }
+        } else {
+          for (const AddressSpan& span : base_pool->spans(p)) {
+            const auto components = base_pool->components(span);
+            DeweyAddress address(components.begin(), components.end());
+            address.push_back(ordinals[i]);
+            candidates.push_back(std::move(address));
+          }
+        }
+      }
+      if (candidates.size() > max_addresses) {
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const DeweyAddress& a, const DeweyAddress& b) {
+                           if (a.size() != b.size()) {
+                             return a.size() < b.size();
+                           }
+                           return DeweyLess(a, b);
+                         });
+        candidates.resize(max_addresses);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const DeweyAddress& a, const DeweyAddress& b) {
+                  return DeweyLess(a, b);
+                });
+      computed.emplace(c, std::move(candidates));
+      for (const ConceptId child : dag->children(c)) {
+        if (affected[child] != 0 && --indegree[child] == 0) {
+          ready.push_back(child);
+        }
+      }
+    }
+    ECDR_CHECK_EQ(processed, affected_ids.size());
+
+    // Assemble the successor pool concept-id-major, splicing unaffected
+    // spans out of the base pool byte for byte.
+    std::uint64_t total_addresses = 0;
+    std::uint64_t total_components = 0;
+    for (ConceptId c = 0; c < new_n; ++c) {
+      if (affected[c] != 0) {
+        for (const DeweyAddress& address : computed.at(c)) {
+          ++total_addresses;
+          total_components += address.size();
+        }
+      } else {
+        for (const AddressSpan& span : base_pool->spans(c)) {
+          ++total_addresses;
+          total_components += span.length;
+        }
+      }
+    }
+    ECDR_CHECK_LE(total_addresses, 0xFFFFFFFFull);
+    ECDR_CHECK_LE(total_components, 0xFFFFFFFFull);
+    std::vector<std::uint32_t> components;
+    std::vector<AddressSpan> spans;
+    std::vector<std::uint32_t> concept_first;
+    components.reserve(total_components);
+    spans.reserve(total_addresses);
+    concept_first.reserve(new_n + 1);
+    for (ConceptId c = 0; c < new_n; ++c) {
+      concept_first.push_back(static_cast<std::uint32_t>(spans.size()));
+      if (affected[c] != 0) {
+        for (const DeweyAddress& address : computed.at(c)) {
+          AddressSpan span;
+          span.offset = static_cast<std::uint32_t>(components.size());
+          span.length = static_cast<std::uint32_t>(address.size());
+          components.insert(components.end(), address.begin(), address.end());
+          spans.push_back(span);
+          local.recomputed_components += address.size();
+        }
+      } else {
+        for (const AddressSpan& base_span : base_pool->spans(c)) {
+          const auto base_components = base_pool->components(base_span);
+          AddressSpan span;
+          span.offset = static_cast<std::uint32_t>(components.size());
+          span.length = base_span.length;
+          components.insert(components.end(), base_components.begin(),
+                            base_components.end());
+          spans.push_back(span);
+          local.reused_components += base_span.length;
+        }
+        ++local.reused_concepts;
+      }
+    }
+    concept_first.push_back(static_cast<std::uint32_t>(spans.size()));
+
+    // Splice the global ranks too: unaffected spans keep their relative
+    // lexicographic order, so the evolved order is one merge of the
+    // base rank order (minus the re-addressed concepts' spans) with the
+    // affected concepts' freshly sorted addresses — O(addresses)
+    // DeweyLess compares instead of BuildRanks' full re-sort. rank_lcp
+    // entries are reused wherever both base-rank neighbours survived
+    // adjacently; only merge boundaries re-run DeweyCommonPrefix.
+    const auto address_of = [&](std::uint32_t s) {
+      return std::span<const std::uint32_t>(
+          components.data() + spans[s].offset, spans[s].length);
+    };
+    const std::uint32_t base_addresses =
+        static_cast<std::uint32_t>(base_pool->num_addresses());
+    constexpr std::uint32_t kRemoved = 0xFFFFFFFFu;
+    std::vector<std::uint32_t> kept_by_base_rank(base_addresses, kRemoved);
+    for (ConceptId c = 0; c < base_n; ++c) {
+      if (affected[c] != 0) continue;
+      const auto base_ranks = base_pool->ranks(c);
+      const std::uint32_t new_first = concept_first[c];
+      for (std::size_t i = 0; i < base_ranks.size(); ++i) {
+        kept_by_base_rank[base_ranks[i]] =
+            new_first + static_cast<std::uint32_t>(i);
+      }
+    }
+    std::vector<std::uint32_t> fresh;
+    for (const ConceptId c : affected_ids) {
+      for (std::uint32_t s = concept_first[c]; s < concept_first[c + 1];
+           ++s) {
+        fresh.push_back(s);
+      }
+    }
+    std::sort(fresh.begin(), fresh.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return DeweyLess(address_of(a), address_of(b));
+              });
+    std::vector<std::uint32_t> merged_ranks(spans.size());
+    std::vector<std::uint32_t> merged_lcp(spans.size());
+    const auto base_lcp = base_pool->rank_lcp();
+    std::uint32_t rank = 0;
+    std::uint32_t prev_span = 0;
+    std::uint32_t prev_base_rank = 0;
+    bool prev_kept = false;
+    const auto emit = [&](std::uint32_t s, bool kept,
+                          std::uint32_t base_rank) {
+      merged_ranks[s] = rank;
+      if (rank == 0) {
+        merged_lcp[rank] = 0;
+      } else if (kept && prev_kept && prev_base_rank + 1 == base_rank) {
+        merged_lcp[rank] = base_lcp[base_rank];
+      } else {
+        merged_lcp[rank] = static_cast<std::uint32_t>(
+            DeweyCommonPrefix(address_of(prev_span), address_of(s)));
+      }
+      prev_span = s;
+      prev_kept = kept;
+      prev_base_rank = base_rank;
+      ++rank;
+    };
+    std::size_t next_fresh = 0;
+    for (std::uint32_t br = 0; br < base_addresses; ++br) {
+      const std::uint32_t kept_span = kept_by_base_rank[br];
+      if (kept_span == kRemoved) continue;
+      while (next_fresh < fresh.size() &&
+             DeweyLess(address_of(fresh[next_fresh]),
+                       address_of(kept_span))) {
+        emit(fresh[next_fresh], /*kept=*/false, 0);
+        ++next_fresh;
+      }
+      emit(kept_span, /*kept=*/true, br);
+    }
+    while (next_fresh < fresh.size()) {
+      emit(fresh[next_fresh], /*kept=*/false, 0);
+      ++next_fresh;
+    }
+    ECDR_CHECK_EQ(rank, spans.size());
+
+    const util::Status adopted = addresses->AdoptPrecomputed(
+        std::move(components), std::move(spans), std::move(concept_first),
+        std::move(merged_ranks), std::move(merged_lcp));
+    if (!adopted.ok()) {
+      return util::InternalError("incremental dewey pool rejected: " +
+                                 adopted.message());
+    }
+  }
+
+  next->dag_ = std::move(dag);
+  next->addresses_ = std::move(addresses);
+  retired.resize(new_n, 0);
+  next->retired_ = std::move(retired);
+  next->num_retired_ = static_cast<std::uint32_t>(
+      std::count(next->retired_.begin(), next->retired_.end(), 1));
+  next->identity_hash_ = OntologyIdentityHash(
+      *next->dag_, next->retired_, base->options_.max_addresses);
+  std::vector<std::uint8_t> no_retired;
+  next->structural_hash_ = OntologyIdentityHash(
+      *next->dag_, no_retired, base->options_.max_addresses);
+  next->last_evolution_ = std::move(local);
+  if (stats != nullptr) *stats = next->last_evolution_;
+  return std::static_pointer_cast<const OntologySnapshot>(next);
+}
+
+util::StatusOr<std::vector<OntologyMutation>> ParseMutationScript(
+    std::string_view text, const Ontology& base) {
+  std::vector<OntologyMutation> mutations;
+  std::unordered_map<std::string, ConceptId> script_names;
+  ConceptId next_id = base.num_concepts();
+  const auto resolve = [&](std::string_view name) -> ConceptId {
+    const ConceptId id = base.FindByName(name);
+    if (id != kInvalidConcept) return id;
+    const auto it = script_names.find(std::string(name));
+    return it != script_names.end() ? it->second : kInvalidConcept;
+  };
+  std::size_t line_number = 0;
+  for (std::string_view line : util::Split(text, '\n')) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    std::vector<std::string_view> tokens;
+    for (std::string_view token : util::Split(line, ' ')) {
+      // Split on spaces and tabs; empty tokens from runs are dropped.
+      std::size_t begin = 0;
+      while (begin <= token.size()) {
+        const std::size_t end = token.find('\t', begin);
+        const std::string_view piece =
+            token.substr(begin, end == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : end - begin);
+        if (!piece.empty() && piece != "\r") tokens.push_back(piece);
+        if (end == std::string_view::npos) break;
+        begin = end + 1;
+      }
+    }
+    if (tokens.empty()) continue;
+    const std::string context =
+        "mutation script line " + std::to_string(line_number) + ": ";
+    const std::string_view op = tokens[0];
+    OntologyMutation m;
+    if (op == "add_concept") {
+      if (tokens.size() < 3) {
+        return util::InvalidArgumentError(
+            context + "add_concept needs a name and at least one parent");
+      }
+      m.kind = OntologyMutation::Kind::kAddConcept;
+      m.name = std::string(tokens[1]);
+      if (resolve(m.name) != kInvalidConcept) {
+        return util::InvalidArgumentError(context + "concept '" + m.name +
+                                          "' already exists");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const ConceptId p = resolve(tokens[i]);
+        if (p == kInvalidConcept) {
+          return util::InvalidArgumentError(context + "unknown parent '" +
+                                            std::string(tokens[i]) + "'");
+        }
+        m.parents.push_back(p);
+      }
+      script_names.emplace(m.name, next_id++);
+    } else if (op == "retire_concept") {
+      if (tokens.size() != 2) {
+        return util::InvalidArgumentError(context +
+                                          "retire_concept needs one name");
+      }
+      m.kind = OntologyMutation::Kind::kRetireConcept;
+      m.target = resolve(tokens[1]);
+      if (m.target == kInvalidConcept) {
+        return util::InvalidArgumentError(context + "unknown concept '" +
+                                          std::string(tokens[1]) + "'");
+      }
+    } else if (op == "add_edge") {
+      if (tokens.size() != 3) {
+        return util::InvalidArgumentError(context +
+                                          "add_edge needs parent and child");
+      }
+      m.kind = OntologyMutation::Kind::kAddEdge;
+      m.parent = resolve(tokens[1]);
+      m.child = resolve(tokens[2]);
+      if (m.parent == kInvalidConcept || m.child == kInvalidConcept) {
+        return util::InvalidArgumentError(context +
+                                          "unknown edge endpoint name");
+      }
+    } else {
+      return util::InvalidArgumentError(context + "unknown op '" +
+                                        std::string(op) + "'");
+    }
+    mutations.push_back(std::move(m));
+  }
+  return mutations;
+}
+
+}  // namespace ecdr::ontology

@@ -1,0 +1,244 @@
+// Versioned, immutable ontology snapshots with incremental Dewey
+// re-enumeration (DESIGN.md, "Ontology versioning & evolution").
+//
+// The paper builds its machinery (Dewey addresses, D-Radix, Ddc) once
+// over a fixed ontology, but real ontologies evolve — GO retires terms
+// and adds subtrees between releases. An OntologySnapshot packages one
+// immutable version of the concept DAG together with its frozen
+// AddressEnumerator / FlatDeweyPool and a version stamp, refcounted so
+// in-flight searches pin the version they started on while a writer
+// publishes the successor — the exact pattern core::EngineSnapshot uses
+// for the corpus.
+//
+// Evolution is append-only on the DAG: concepts are added (never
+// removed — retirement is a tombstone flag), and edges are added under
+// a parent AFTER its existing children. Because a Dewey component is
+// the 1-based position of a child within its parent's insertion-ordered
+// child list, appends never shift an existing ordinal, so the address
+// set of a concept can only change when one of its root-paths passes
+// through a mutated point. EvolveSnapshot exploits this: it re-derives
+// addresses only for the "affected" set (new concepts plus add-edge
+// children, closed under descendants in the NEW dag) and assembles the
+// successor FlatDeweyPool by copying every other concept's spans
+// verbatim from the base pool. The result is byte-identical to a cold
+// PrecomputeAll() over the post-mutation ontology — the invariant the
+// evolution differential test holds it to.
+//
+// Retiring a concept changes no address and no distance: retired
+// concepts keep their ids, addresses and postings so existing
+// documents keep ranking identically; only NEW document writes
+// referencing a retired concept are rejected. A retire-only batch
+// therefore shares the base's DAG and enumerator outright (zero
+// re-enumeration, full cache retention).
+
+#ifndef ECDR_ONTOLOGY_ONTOLOGY_SNAPSHOT_H_
+#define ECDR_ONTOLOGY_ONTOLOGY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ontology/dewey.h"
+#include "ontology/ontology.h"
+#include "ontology/types.h"
+#include "util/status.h"
+
+namespace ecdr::ontology {
+
+/// One ontology evolution operation. Mutations apply in sequence;
+/// within a batch, an add_concept's id is visible to later mutations.
+struct OntologyMutation {
+  enum class Kind : std::uint8_t {
+    kAddConcept = 1,   // name + >= 1 parent edges (in the given order)
+    kRetireConcept = 2,
+    kAddEdge = 3,      // parent -> child, appended after parent's children
+  };
+
+  Kind kind = Kind::kAddConcept;
+  // kAddConcept
+  std::string name;
+  std::vector<ConceptId> parents;
+  // kRetireConcept ("concept" is a C++20 keyword, hence "target").
+  ConceptId target = kInvalidConcept;
+  // kAddEdge
+  ConceptId parent = kInvalidConcept;
+  ConceptId child = kInvalidConcept;
+};
+
+/// What one EvolveSnapshot call did — the observability and
+/// cache-invalidation contract of an evolution step.
+struct EvolutionStats {
+  std::uint64_t added_concepts = 0;
+  std::uint64_t retired_concepts = 0;
+  std::uint64_t added_edges = 0;  // add_edge ops + add_concept parent edges
+
+  /// Concepts whose address sets were recomputed (== |affected set|).
+  std::uint64_t readdressed_concepts = 0;
+  /// Of those, concepts that already existed in the base version — the
+  /// ones whose cached pair distances / postings may have changed.
+  std::uint64_t readdressed_existing = 0;
+  /// Concepts whose address spans were copied verbatim from the base
+  /// pool (the incremental win; == num_concepts - readdressed on the
+  /// incremental path).
+  std::uint64_t reused_concepts = 0;
+  std::uint64_t reused_components = 0;      // component words copied
+  std::uint64_t recomputed_components = 0;  // component words re-derived
+  /// True when the incremental path was unavailable (base enumerator
+  /// not frozen) and the successor ran a full PrecomputeAll instead.
+  bool full_rebuild = false;
+
+  /// Pre-existing concept ids whose address sets changed — exactly the
+  /// keys a ConceptPairCache must drop. Empty for pure adds (a new
+  /// concept cannot be cached yet) and retire-only batches.
+  std::vector<ConceptId> invalidated_existing;
+};
+
+/// Immutable, refcounted, version-stamped ontology: DAG + frozen
+/// address enumerator + retirement flags. Published through
+/// shared_ptr<const OntologySnapshot>; holders pin the DAG and the
+/// enumerator (and through it the FlatDeweyPool) for as long as they
+/// hold the pointer, so a search never sees its addresses swapped out
+/// from under it.
+class OntologySnapshot {
+ public:
+  /// Version 0 over a freshly built ontology. When `precompute` is set
+  /// the enumerator is frozen via PrecomputeAll() (the serving mode);
+  /// otherwise it warms lazily and evolution falls back to full
+  /// rebuilds.
+  static std::shared_ptr<const OntologySnapshot> Baseline(
+      std::shared_ptr<const Ontology> dag,
+      AddressEnumeratorOptions options = {}, bool precompute = true);
+
+  /// Restores a snapshot recovered from storage: an already-evolved DAG
+  /// with its retirement flags and version/lineage stamps. The identity
+  /// hash is recomputed from the DAG (callers compare it against the
+  /// persisted one to detect corruption).
+  static std::shared_ptr<const OntologySnapshot> Restore(
+      std::shared_ptr<const Ontology> dag, std::vector<std::uint8_t> retired,
+      std::uint64_t version, std::uint64_t baseline_hash,
+      AddressEnumeratorOptions options, bool precompute);
+
+  const Ontology& dag() const { return *dag_; }
+  const std::shared_ptr<const Ontology>& dag_ptr() const { return dag_; }
+
+  /// The snapshot's address enumerator (shared with Drc instances and
+  /// the engine's ReaderLeases). Mutable because Addresses() may still
+  /// lazily warm an unfrozen cache; frozen enumerators are effectively
+  /// immutable.
+  AddressEnumerator* addresses() const { return addresses_.get(); }
+  const std::shared_ptr<AddressEnumerator>& addresses_ptr() const {
+    return addresses_;
+  }
+
+  /// The enumeration options the lineage runs under. The address cap is
+  /// part of the identity hash (addresses are a function of DAG + cap),
+  /// so storage persists it alongside the hashes.
+  const AddressEnumeratorOptions& options() const { return options_; }
+  std::size_t max_addresses() const { return options_.max_addresses; }
+
+  bool retired(ConceptId c) const {
+    return c < retired_.size() && retired_[c] != 0;
+  }
+  std::span<const std::uint8_t> retired_flags() const { return retired_; }
+  std::uint32_t num_retired() const { return num_retired_; }
+
+  /// Monotone per-lineage version; Baseline() is 0, each EvolveSnapshot
+  /// increments.
+  std::uint64_t version() const { return version_; }
+
+  /// Stable identity of this exact ontology state: DAG structure, child
+  /// ordinals, names/synonyms, retirement flags and the address cap
+  /// (addresses are a deterministic function of DAG + cap, so this
+  /// covers the address sets without touching the pool). Equal hashes
+  /// across processes mean equal ontologies.
+  std::uint64_t identity_hash() const { return identity_hash_; }
+
+  /// identity_hash with the retirement flags zeroed — changes only when
+  /// a distance-relevant (structural) mutation lands. The engine salts
+  /// its Ddq memo signatures with this, so retire-only evolution keeps
+  /// every memo entry valid.
+  std::uint64_t structural_hash() const { return structural_hash_; }
+
+  /// The version-0 identity hash of this snapshot's lineage; persists
+  /// through every evolution step. Storage uses it to refuse images
+  /// from a foreign ontology while accepting any evolved descendant.
+  std::uint64_t baseline_hash() const { return baseline_hash_; }
+
+  /// Stats of the EvolveSnapshot call that produced this version
+  /// (all-zero for a baseline).
+  const EvolutionStats& last_evolution() const { return last_evolution_; }
+
+ private:
+  OntologySnapshot() = default;
+
+  std::shared_ptr<const Ontology> dag_;
+  std::shared_ptr<AddressEnumerator> addresses_;
+  AddressEnumeratorOptions options_;
+  bool precompute_ = true;  // enumeration mode, inherited by successors
+  std::vector<std::uint8_t> retired_;  // size num_concepts, 1 = retired
+  std::uint32_t num_retired_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t identity_hash_ = 0;
+  std::uint64_t structural_hash_ = 0;
+  std::uint64_t baseline_hash_ = 0;
+  EvolutionStats last_evolution_;
+
+  friend util::StatusOr<std::shared_ptr<const OntologySnapshot>>
+  EvolveSnapshot(const std::shared_ptr<const OntologySnapshot>& base,
+                 std::span<const OntologyMutation> mutations,
+                 EvolutionStats* stats);
+};
+
+/// Applies `mutations` to `base` and returns the successor snapshot.
+/// Structural mutations (add_concept / add_edge) rebuild the DAG via
+/// OntologyBuilder — appends only, so existing ids and ordinals are
+/// stable — and re-enumerate ONLY the affected concepts, splicing every
+/// other concept's address spans out of the base pool; the resulting
+/// FlatDeweyPool is byte-identical to a cold enumeration of the final
+/// ontology. Retire-only batches share the base DAG and enumerator
+/// outright. Fails (leaving `base` untouched) on invalid mutations:
+/// unknown/duplicate names, unknown ids, retired or duplicate edge
+/// endpoints, retiring the root or a retired concept, or a mutation
+/// that would create a cycle or a second root.
+util::StatusOr<std::shared_ptr<const OntologySnapshot>> EvolveSnapshot(
+    const std::shared_ptr<const OntologySnapshot>& base,
+    std::span<const OntologyMutation> mutations, EvolutionStats* stats);
+
+/// Rebuilds `base` with `mutations` appended, as a plain Ontology (the
+/// cold-rebuild side of the evolution differential, and the storage
+/// replay path). Ids: base concepts keep theirs; the batch's
+/// add_concepts get base.num_concepts(), +1, ... in order.
+/// `retired` is updated in place (resized to the new concept count).
+util::StatusOr<Ontology> ApplyMutations(
+    const Ontology& base, std::span<const OntologyMutation> mutations,
+    std::vector<std::uint8_t>* retired);
+
+/// FNV-1a identity of (DAG + ordinals + names + synonyms + retirement +
+/// address cap); see OntologySnapshot::identity_hash().
+std::uint64_t OntologyIdentityHash(const Ontology& dag,
+                                   std::span<const std::uint8_t> retired,
+                                   std::size_t max_addresses);
+
+/// True when `mutations` provably change no distance between
+/// pre-existing concepts: every edge lands on a batch-new child, so new
+/// concepts are path sinks and no new valid path connects two existing
+/// concepts. The BlockPostings sidecar reuses its encoded lists exactly
+/// when this holds.
+bool DistancePreservingMutations(std::span<const OntologyMutation> mutations,
+                                 std::uint32_t base_num_concepts);
+
+/// Parses a mutation script against `base`. One mutation per line:
+///   add_concept <name> <parent> [<parent>...]
+///   retire_concept <name>
+///   add_edge <parent> <child>
+/// '#' starts a comment; names are whitespace-free tokens and may refer
+/// to concepts added earlier in the script.
+util::StatusOr<std::vector<OntologyMutation>> ParseMutationScript(
+    std::string_view text, const Ontology& base);
+
+}  // namespace ecdr::ontology
+
+#endif  // ECDR_ONTOLOGY_ONTOLOGY_SNAPSHOT_H_

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 #include "serve/json.h"
@@ -26,6 +27,14 @@ constexpr std::uint64_t kWakeId = ~std::uint64_t{0};
 
 double Seconds(Clock::duration d) {
   return std::chrono::duration<double>(d).count();
+}
+
+/// "0x0123456789abcdef" — zero-padded lowercase hex of a 64-bit hash.
+std::string HexHash(std::uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
 }
 
 /// True for a JSON number that is exactly a non-negative integer that
@@ -47,6 +56,16 @@ void AppendCounter(std::string* out, std::string_view name,
   json::AppendQuoted(out, name);
   *out += ':';
   *out += std::to_string(value);
+}
+
+/// "name":"0x0123456789abcdef" — 64-bit hashes serialize as hex strings
+/// because a JSON number is a double and silently rounds past 2^53.
+void AppendHexHash(std::string* out, std::string_view name,
+                   std::uint64_t value) {
+  json::AppendQuoted(out, name);
+  *out += ":\"";
+  *out += HexHash(value);
+  *out += '"';
 }
 
 }  // namespace
@@ -87,6 +106,10 @@ Server::Server(core::RankingEngine* engine, ServerOptions options)
     ta_options.num_threads = 1;  // serialized sidecar; no lanes needed
     ta_ranker_ = std::make_unique<core::TaRanker>(
         *options_.ta_corpus, *options_.ta_postings, ta_options);
+    ta_postings_current_.store(options_.ta_postings,
+                               std::memory_order_release);
+    ta_ontology_version_.store(engine_->ontology_stats().version,
+                               std::memory_order_relaxed);
   }
 }
 
@@ -370,7 +393,10 @@ bool IsWorkerTarget(const std::string& target) {
   return target == "/v1/search" || target == "/v1/documents" ||
          target == "/v1/documents/delete" ||
          target == "/v1/documents/update" ||
-         target == "/v1/admin/checkpoint" || target == "/v1/admin/compact";
+         target == "/v1/admin/checkpoint" || target == "/v1/admin/compact" ||
+         target == "/v1/admin/ontology/add_concept" ||
+         target == "/v1/admin/ontology/retire_concept" ||
+         target == "/v1/admin/ontology/add_edge";
 }
 
 }  // namespace
@@ -597,6 +623,108 @@ std::string Server::HandleWrite(const Job& job, bool* keep_alive) {
     return fail(400, "INVALID_ARGUMENT", "request body must be an object");
   }
 
+  if (target == "/v1/admin/ontology/add_concept" ||
+      target == "/v1/admin/ontology/retire_concept" ||
+      target == "/v1/admin/ontology/add_edge") {
+    ontology::OntologyMutation mutation;
+    if (target == "/v1/admin/ontology/add_concept") {
+      const json::Value* name_field = parsed->Find("name");
+      if (name_field == nullptr || !name_field->is_string() ||
+          name_field->string.empty()) {
+        return fail(400, "INVALID_ARGUMENT",
+                    "add_concept needs a non-empty string 'name'");
+      }
+      const json::Value* parents_field = parsed->Find("parents");
+      if (parents_field == nullptr || !parents_field->is_array() ||
+          parents_field->array.empty()) {
+        return fail(400, "INVALID_ARGUMENT",
+                    "add_concept needs a non-empty 'parents' array");
+      }
+      mutation.kind = ontology::OntologyMutation::Kind::kAddConcept;
+      mutation.name = name_field->string;
+      mutation.parents.reserve(parents_field->array.size());
+      for (const json::Value& element : parents_field->array) {
+        std::uint64_t id = 0;
+        if (!AsIndex(element, 0xFFFFFFFFull, &id)) {
+          return fail(400, "INVALID_ARGUMENT",
+                      "'parents' must be an array of concept ids");
+        }
+        // Existence/retirement of the parents is validated atomically
+        // by the engine under its mutation lock, not against a
+        // possibly-stale snapshot here.
+        mutation.parents.push_back(static_cast<ontology::ConceptId>(id));
+      }
+    } else if (target == "/v1/admin/ontology/retire_concept") {
+      const json::Value* concept_field = parsed->Find("concept");
+      std::uint64_t id = 0;
+      if (concept_field == nullptr ||
+          !AsIndex(*concept_field, 0xFFFFFFFFull, &id)) {
+        return fail(400, "INVALID_ARGUMENT",
+                    "retire_concept needs a 'concept' id");
+      }
+      mutation.kind = ontology::OntologyMutation::Kind::kRetireConcept;
+      mutation.target = static_cast<ontology::ConceptId>(id);
+    } else {
+      const json::Value* parent_field = parsed->Find("parent");
+      const json::Value* child_field = parsed->Find("child");
+      std::uint64_t parent_id = 0;
+      std::uint64_t child_id = 0;
+      if (parent_field == nullptr || child_field == nullptr ||
+          !AsIndex(*parent_field, 0xFFFFFFFFull, &parent_id) ||
+          !AsIndex(*child_field, 0xFFFFFFFFull, &child_id)) {
+        return fail(400, "INVALID_ARGUMENT",
+                    "add_edge needs 'parent' and 'child' ids");
+      }
+      mutation.kind = ontology::OntologyMutation::Kind::kAddEdge;
+      mutation.parent = static_cast<ontology::ConceptId>(parent_id);
+      mutation.child = static_cast<ontology::ConceptId>(child_id);
+    }
+
+    // ta_mutex_ spans apply + sidecar refresh so concurrent admin
+    // requests rebuild the sidecar in mutation order (the engine
+    // serializes the mutations themselves either way).
+    util::StatusOr<ontology::EvolutionStats> evolved =
+        ontology::EvolutionStats{};
+    {
+      std::lock_guard<std::mutex> lock(ta_mutex_);
+      evolved = engine_->ApplyOntologyMutations({&mutation, 1});
+      if (evolved.ok()) RefreshTaSidecarLocked(*evolved);
+    }
+    if (!evolved.ok()) return engine_fail(evolved.status());
+    const core::OntologyStats onto = engine_->ontology_stats();
+
+    std::string body = "{";
+    if (mutation.kind == ontology::OntologyMutation::Kind::kAddConcept) {
+      // Names are unique, so the id survives concurrent evolutions.
+      AppendCounter(&body, "concept",
+                    engine_->ontology().FindByName(mutation.name));
+    } else if (mutation.kind ==
+               ontology::OntologyMutation::Kind::kRetireConcept) {
+      AppendCounter(&body, "retired", mutation.target);
+    } else {
+      AppendCounter(&body, "parent", mutation.parent);
+      body += ',';
+      AppendCounter(&body, "child", mutation.child);
+    }
+    body += ',';
+    AppendCounter(&body, "version", onto.version);
+    body += ',';
+    AppendCounter(&body, "readdressed", evolved->readdressed_concepts);
+    body += ',';
+    AppendCounter(&body, "readdressed_existing",
+                  evolved->readdressed_existing);
+    body += ',';
+    AppendCounter(&body, "reused", evolved->reused_concepts);
+    body += ',';
+    AppendCounter(&body, "invalidated", evolved->invalidated_existing.size());
+    body += ',';
+    AppendHexHash(&body, "identity_hash", onto.identity_hash);
+    body += ",\"generation\":";
+    body += std::to_string(engine_->snapshot_stats().generation);
+    body += '}';
+    return ok_body(std::move(body));
+  }
+
   std::vector<ontology::ConceptId> concepts;
   if (const json::Value* concepts_field = parsed->Find("concepts")) {
     if (!concepts_field->is_array() || concepts_field->array.empty()) {
@@ -666,6 +794,46 @@ std::string Server::HandleWrite(const Job& job, bool* keep_alive) {
   body += std::to_string(doc_id);
   body += generation_suffix();
   return ok_body(std::move(body));
+}
+
+void Server::RefreshTaSidecarLocked(const ontology::EvolutionStats& stats) {
+  const index::BlockPostings* base =
+      ta_postings_current_.load(std::memory_order_relaxed);
+  if (base == nullptr) return;  // no sidecar configured
+  const std::shared_ptr<const ontology::OntologySnapshot> onto =
+      engine_->ontology_snapshot();
+  if (stats.added_concepts == 0 && stats.added_edges == 0) {
+    // Retire-only: the DAG — and so every Ddc — is unchanged; the
+    // sidecar keeps serving as-is under the bumped version.
+    ta_ontology_version_.store(onto->version(), std::memory_order_relaxed);
+    return;
+  }
+  TaSidecar next;
+  next.ontology = onto;
+  next.corpus = std::make_unique<corpus::Corpus>(*options_.ta_corpus);
+  next.corpus->RebindOntology(onto->dag());
+  if (stats.readdressed_existing == 0 &&
+      onto->dag().num_concepts() >= base->num_concepts()) {
+    // Distance-preserving step: every pre-existing list is provably
+    // unchanged, so splice it and derive only the new concepts' blocks
+    // from the parent recurrence. No corpus sweep, no BFS.
+    next.postings = std::make_unique<index::BlockPostings>(
+        index::BlockPostings::BuildEvolved(*base, onto->dag()));
+    ta_rebuilds_incremental_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    index::BlockPostingsOptions build_options;
+    build_options.block_size = base->block_size();
+    next.postings = std::make_unique<index::BlockPostings>(*next.corpus,
+                                                           build_options);
+    ta_rebuilds_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  core::TaRankerOptions ta_options;
+  ta_options.num_threads = 1;
+  ta_ranker_ = std::make_unique<core::TaRanker>(*next.corpus, *next.postings,
+                                                ta_options);
+  ta_postings_current_.store(next.postings.get(), std::memory_order_release);
+  ta_ontology_version_.store(onto->version(), std::memory_order_relaxed);
+  ta_evolved_.push_back(std::move(next));
 }
 
 std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
@@ -764,7 +932,10 @@ std::string Server::HandleSearch(const Job& job, bool* keep_alive) {
       return fail(400, "INVALID_ARGUMENT", "'ranker' must be 'engine' or 'ta'");
     }
     use_ta = ranker_field->string == "ta";
-    if (use_ta && ta_ranker_ == nullptr) {
+    // The atomic, not ta_ranker_: the ranker is replaced under
+    // ta_mutex_ on ontology evolution and must not be read bare here.
+    if (use_ta &&
+        ta_postings_current_.load(std::memory_order_acquire) == nullptr) {
       return fail(400, "FAILED_PRECONDITION",
                   "no block-postings sidecar configured (--ta_postings)");
     }
@@ -942,10 +1113,39 @@ std::string Server::StatusJson() const {
     out += ',';
     AppendCounter(&out, "wal_tail_dropped", durability.store.wal_tail_dropped);
   }
+  const core::OntologyStats onto = engine_->ontology_stats();
+  out += "},\"ontology\":{";
+  AppendCounter(&out, "version", onto.version);
+  out += ',';
+  AppendCounter(&out, "num_concepts", onto.num_concepts);
+  out += ',';
+  AppendCounter(&out, "num_retired", onto.num_retired);
+  out += ',';
+  AppendCounter(&out, "evolutions", onto.evolutions);
+  out += ',';
+  AppendCounter(&out, "mutations_applied", onto.mutations_applied);
+  out += ',';
+  AppendCounter(&out, "readdressed_total", onto.readdressed_total);
+  out += ',';
+  AppendCounter(&out, "reused_total", onto.reused_total);
+  out += ',';
+  AppendCounter(&out, "pair_entries_invalidated",
+                onto.pair_entries_invalidated);
+  out += ',';
+  AppendHexHash(&out, "identity_hash", onto.identity_hash);
+  out += ',';
+  AppendHexHash(&out, "structural_hash", onto.structural_hash);
+  out += ',';
+  AppendHexHash(&out, "baseline_hash", onto.baseline_hash);
+  // The current sidecar pointer, loaded once: the pointee is never
+  // freed before Stop(), so this lock-free read on the event loop is
+  // safe across concurrent evolutions.
+  const index::BlockPostings* ta =
+      ta_postings_current_.load(std::memory_order_acquire);
   out += "},\"postings\":{\"enabled\":";
-  out += ta_ranker_ != nullptr ? "true" : "false";
-  if (ta_ranker_ != nullptr) {
-    const index::BlockPostings& postings = *options_.ta_postings;
+  out += ta != nullptr ? "true" : "false";
+  if (ta != nullptr) {
+    const index::BlockPostings& postings = *ta;
     out += ',';
     AppendCounter(&out, "memory_bytes", postings.memory_bytes());
     out += ',';
@@ -962,6 +1162,15 @@ std::string Server::StatusJson() const {
     AppendCounter(&out, "num_documents", postings.num_documents());
     out += ',';
     AppendCounter(&out, "generation", options_.ta_generation);
+    out += ',';
+    AppendCounter(&out, "ontology_version",
+                  ta_ontology_version_.load(std::memory_order_relaxed));
+    out += ',';
+    AppendCounter(&out, "rebuilds_incremental",
+                  ta_rebuilds_incremental_.load(std::memory_order_relaxed));
+    out += ',';
+    AppendCounter(&out, "rebuilds_full",
+                  ta_rebuilds_full_.load(std::memory_order_relaxed));
     out += ',';
     AppendCounter(&out, "ta_searches",
                   ta_searches_.load(std::memory_order_relaxed));
@@ -1078,8 +1287,44 @@ std::string Server::MetricsText() const {
   out += "# TYPE ecdr_snapshot_tombstones gauge\n";
   counter("ecdr_snapshot_tombstones", "",
           static_cast<double>(snapshot.tombstones));
-  if (ta_ranker_ != nullptr) {
-    const index::BlockPostings& postings = *options_.ta_postings;
+
+  const core::OntologyStats onto = engine_->ontology_stats();
+  out += "# TYPE ecdr_ontology_version gauge\n";
+  counter("ecdr_ontology_version", "", static_cast<double>(onto.version));
+  out += "# TYPE ecdr_ontology_concepts gauge\n";
+  counter("ecdr_ontology_concepts", "state=\"total\"",
+          static_cast<double>(onto.num_concepts));
+  counter("ecdr_ontology_concepts", "state=\"retired\"",
+          static_cast<double>(onto.num_retired));
+  out += "# TYPE ecdr_ontology_evolutions_total counter\n";
+  counter("ecdr_ontology_evolutions_total", "",
+          static_cast<double>(onto.evolutions));
+  out += "# TYPE ecdr_ontology_mutations_total counter\n";
+  counter("ecdr_ontology_mutations_total", "",
+          static_cast<double>(onto.mutations_applied));
+  out += "# TYPE ecdr_ontology_concepts_enumerated_total counter\n";
+  counter("ecdr_ontology_concepts_enumerated_total", "event=\"readdressed\"",
+          static_cast<double>(onto.readdressed_total));
+  counter("ecdr_ontology_concepts_enumerated_total", "event=\"reused\"",
+          static_cast<double>(onto.reused_total));
+  out += "# TYPE ecdr_ontology_pair_entries_invalidated_total counter\n";
+  counter("ecdr_ontology_pair_entries_invalidated_total", "",
+          static_cast<double>(onto.pair_entries_invalidated));
+  // Info-style gauge: the hashes ride as labels (they do not fit a
+  // float sample), the value is a constant 1.
+  out += "# TYPE ecdr_ontology_info gauge\n";
+  out += "ecdr_ontology_info{identity_hash=\"";
+  out += HexHash(onto.identity_hash);
+  out += "\",structural_hash=\"";
+  out += HexHash(onto.structural_hash);
+  out += "\",baseline_hash=\"";
+  out += HexHash(onto.baseline_hash);
+  out += "\"} 1\n";
+
+  const index::BlockPostings* ta =
+      ta_postings_current_.load(std::memory_order_acquire);
+  if (ta != nullptr) {
+    const index::BlockPostings& postings = *ta;
     out += "# TYPE ecdr_postings_memory_bytes gauge\n";
     counter("ecdr_postings_memory_bytes", "part=\"arena\"",
             static_cast<double>(postings.arena_bytes()));
@@ -1087,6 +1332,17 @@ std::string Server::MetricsText() const {
             static_cast<double>(postings.metadata_bytes()));
     out += "# TYPE ecdr_postings_bytes_per_doc gauge\n";
     counter("ecdr_postings_bytes_per_doc", "", postings.bytes_per_doc());
+    out += "# TYPE ecdr_postings_ontology_version gauge\n";
+    counter("ecdr_postings_ontology_version", "",
+            static_cast<double>(
+                ta_ontology_version_.load(std::memory_order_relaxed)));
+    out += "# TYPE ecdr_postings_rebuilds_total counter\n";
+    counter("ecdr_postings_rebuilds_total", "mode=\"incremental\"",
+            static_cast<double>(
+                ta_rebuilds_incremental_.load(std::memory_order_relaxed)));
+    counter("ecdr_postings_rebuilds_total", "mode=\"full\"",
+            static_cast<double>(
+                ta_rebuilds_full_.load(std::memory_order_relaxed)));
     out += "# TYPE ecdr_ta_searches_total counter\n";
     counter("ecdr_ta_searches_total", "",
             static_cast<double>(ta_searches_.load(std::memory_order_relaxed)));

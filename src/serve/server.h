@@ -48,6 +48,19 @@
 //     on disk (fsync_mode permitting). Engine errors map via
 //     HttpStatusForCode — kNotFound 404, kResourceExhausted 429,
 //     kDataLoss/kIoError 500.
+//   POST /v1/admin/ontology/add_concept    {"name":"..","parents":[..]}
+//   POST /v1/admin/ontology/retire_concept {"concept":N}
+//   POST /v1/admin/ontology/add_edge       {"parent":N,"child":N}
+//     Live ontology evolution: one validated mutation through the
+//     engine (WAL-logged before publication on a durable engine). The
+//     response carries the new ontology version, the incremental
+//     re-enumeration split (readdressed vs reused concepts), the
+//     concept-pair entries invalidated, and the identity hash. When a
+//     block-postings sidecar is configured the mutation also rebuilds
+//     it before returning — incrementally (payload splice + derived
+//     new lists, no BFS) when the step was distance-preserving, a full
+//     cold build otherwise — so sidecar searches keep serving their
+//     pinned document generation under the evolved ontology.
 //   GET /status       JSON counters: server, admission, snapshot
 //                     generation, durability, cache hit rates, postings
 //                     footprint (memory split, bytes/doc, decoded vs
@@ -197,6 +210,15 @@ class Server {
   std::string HandleSearch(const Job& job, bool* keep_alive);
   /// Document lifecycle writes (/v1/documents[...]) and admin actions.
   std::string HandleWrite(const Job& job, bool* keep_alive);
+  /// Rebuilds the block-postings sidecar after a successful ontology
+  /// evolution step; no-op when none is configured or the step was
+  /// retire-only (the DAG, and so every distance, is unchanged).
+  /// Distance-preserving steps (readdressed_existing == 0) take the
+  /// incremental BuildEvolved splice; anything else pays a full cold
+  /// build over a corpus copy rebound to the evolved DAG. Caller holds
+  /// ta_mutex_ across the preceding ApplyOntologyMutations AND this
+  /// call, so sidecar rebuilds happen in mutation order.
+  void RefreshTaSidecarLocked(const ontology::EvolutionStats& stats);
   std::string StatusJson() const;
   std::string MetricsText() const;
   /// JSON error body {"error":{"code":..,"message":..}}.
@@ -259,6 +281,24 @@ class Server {
   std::atomic<std::uint64_t> ta_searches_{0};
   std::atomic<std::uint64_t> ta_decoded_blocks_{0};
   std::atomic<std::uint64_t> ta_skipped_blocks_{0};
+
+  /// Evolved sidecar generations (mutated under ta_mutex_). The current
+  /// postings pointer is published through an atomic so the event-loop
+  /// observability endpoints (and the search-path "is a sidecar
+  /// configured" check) read it without the mutex; superseded entries
+  /// are retained until destruction — bounded by the evolution count —
+  /// so a concurrently loaded pointer can never dangle. Each entry pins
+  /// its ontology snapshot (the corpus and postings reference the DAG).
+  struct TaSidecar {
+    std::shared_ptr<const ontology::OntologySnapshot> ontology;
+    std::unique_ptr<corpus::Corpus> corpus;
+    std::unique_ptr<index::BlockPostings> postings;
+  };
+  std::vector<TaSidecar> ta_evolved_;  // guarded by ta_mutex_
+  std::atomic<const index::BlockPostings*> ta_postings_current_{nullptr};
+  std::atomic<std::uint64_t> ta_ontology_version_{0};
+  std::atomic<std::uint64_t> ta_rebuilds_incremental_{0};
+  std::atomic<std::uint64_t> ta_rebuilds_full_{0};
 };
 
 }  // namespace ecdr::serve

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "ontology/ontology_builder.h"
 #include "util/binary_stream.h"
 #include "util/crc32c.h"
 
@@ -25,6 +26,9 @@ constexpr std::size_t kFooterSize = 44;
 constexpr std::uint32_t kSectionCorpus = 0x50524F43;  // "CORP"
 constexpr std::uint32_t kSectionIndex = 0x58564E49;   // "INVX"
 constexpr std::uint32_t kSectionDewey = 0x59574544;   // "DEWY"
+// Ontology version stamp + full evolved DAG. Pre-evolution readers
+// skip it (unknown fourccs are tolerated), so no format version bump.
+constexpr std::uint32_t kSectionOntology = 0x4F544E4F;  // "ONTO"
 
 struct RawSection {
   std::uint32_t fourcc = 0;
@@ -116,6 +120,182 @@ std::string EncodeDeweySection(const ontology::FlatDeweyPool& pool) {
     util::AppendU32(payload, first);
   }
   return payload;
+}
+
+std::string EncodeOntologySection(const ontology::OntologySnapshot& onto) {
+  std::string payload;
+  util::AppendU64(payload, onto.version());
+  util::AppendU64(payload, onto.identity_hash());
+  util::AppendU64(payload, onto.baseline_hash());
+  util::AppendU64(payload, onto.max_addresses());
+  const ontology::Ontology& dag = onto.dag();
+  util::AppendU32(payload, dag.num_concepts());
+  util::AppendU32(payload, dag.root());
+  for (ontology::ConceptId c = 0; c < dag.num_concepts(); ++c) {
+    const std::string_view name = dag.name(c);
+    util::AppendU32(payload, static_cast<std::uint32_t>(name.size()));
+    payload += name;
+    const auto synonyms = dag.synonyms(c);
+    util::AppendU64(payload, synonyms.size());
+    for (const std::string& synonym : synonyms) {
+      util::AppendU32(payload, static_cast<std::uint32_t>(synonym.size()));
+      payload += synonym;
+    }
+  }
+  // Edges parent-major, children in insertion order — the order IS the
+  // Dewey ordinal assignment, so the decode rebuild is ordinal-exact.
+  for (ontology::ConceptId p = 0; p < dag.num_concepts(); ++p) {
+    const auto children = dag.children(p);
+    util::AppendU64(payload, children.size());
+    for (const ontology::ConceptId child : children) {
+      util::AppendU32(payload, child);
+    }
+  }
+  std::uint64_t num_retired = 0;
+  const auto retired = onto.retired_flags();
+  for (std::size_t c = 0; c < retired.size(); ++c) {
+    if (retired[c] != 0) ++num_retired;
+  }
+  util::AppendU64(payload, num_retired);
+  for (std::size_t c = 0; c < retired.size(); ++c) {
+    if (retired[c] != 0) {
+      util::AppendU32(payload, static_cast<std::uint32_t>(c));
+    }
+  }
+  return payload;
+}
+
+/// Decodes ONTO against the boot BASELINE: a lineage check (the stored
+/// baseline hash must equal the baseline's identity under the stored
+/// address cap — kFailedPrecondition otherwise), then a full DAG
+/// rebuild and an identity self-check (kDataLoss on mismatch; the
+/// section checksum verified, so a mismatch is a writer/decoder bug,
+/// not bit rot). When the decoded DAG differs structurally from the
+/// baseline, the image's corpus is re-bound to the evolved DAG.
+util::Status DecodeOntologySection(std::string_view payload,
+                                   const ontology::Ontology& baseline,
+                                   LoadedImage* out) {
+  util::ByteParser parser(payload);
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&out->ontology_version));
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&out->ontology_identity_hash));
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&out->ontology_baseline_hash));
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&out->ontology_max_addresses));
+  const std::size_t max_addresses =
+      static_cast<std::size_t>(out->ontology_max_addresses);
+  const std::uint64_t boot_baseline_hash =
+      ontology::OntologyIdentityHash(baseline, {}, max_addresses);
+  if (boot_baseline_hash != out->ontology_baseline_hash) {
+    return util::FailedPreconditionError(
+        "image belongs to a foreign ontology lineage (image baseline hash " +
+        std::to_string(out->ontology_baseline_hash) +
+        ", boot ontology hashes to " + std::to_string(boot_baseline_hash) +
+        ")");
+  }
+
+  std::uint32_t num_concepts = 0;
+  std::uint32_t root = 0;
+  ECDR_RETURN_IF_ERROR(parser.ReadU32(&num_concepts));
+  ECDR_RETURN_IF_ERROR(parser.ReadU32(&root));
+  if (num_concepts < baseline.num_concepts() ||
+      num_concepts > parser.remaining()) {
+    return util::DataLossError("ontology section concept count " +
+                               std::to_string(num_concepts) +
+                               " is impossible");
+  }
+  ontology::OntologyBuilder builder;
+  for (std::uint32_t c = 0; c < num_concepts; ++c) {
+    std::uint32_t name_size = 0;
+    std::string_view name;
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&name_size));
+    if (name_size > parser.remaining()) {
+      return util::DataLossError("ontology concept name overruns the section");
+    }
+    ECDR_RETURN_IF_ERROR(parser.ReadBytes(name_size, &name));
+    const ontology::ConceptId id = builder.AddConcept(std::string(name));
+    std::uint64_t num_synonyms = 0;
+    ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_synonyms));
+    if (num_synonyms > parser.remaining()) {
+      return util::DataLossError("ontology synonym count overruns the section");
+    }
+    for (std::uint64_t s = 0; s < num_synonyms; ++s) {
+      std::uint32_t synonym_size = 0;
+      std::string_view synonym;
+      ECDR_RETURN_IF_ERROR(parser.ReadU32(&synonym_size));
+      if (synonym_size > parser.remaining()) {
+        return util::DataLossError("ontology synonym overruns the section");
+      }
+      ECDR_RETURN_IF_ERROR(parser.ReadBytes(synonym_size, &synonym));
+      const util::Status added =
+          builder.AddSynonym(id, std::string(synonym));
+      if (!added.ok()) {
+        return util::DataLossError("ontology synonym rejected: " +
+                                   added.message());
+      }
+    }
+  }
+  for (std::uint32_t p = 0; p < num_concepts; ++p) {
+    std::uint64_t num_children = 0;
+    ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_children));
+    if (num_children > parser.remaining() / 4) {
+      return util::DataLossError("ontology child list overruns the section");
+    }
+    for (std::uint64_t i = 0; i < num_children; ++i) {
+      std::uint32_t child = 0;
+      ECDR_RETURN_IF_ERROR(parser.ReadU32(&child));
+      const util::Status added = builder.AddEdge(p, child);
+      if (!added.ok()) {
+        return util::DataLossError("ontology edge rejected: " +
+                                   added.message());
+      }
+    }
+  }
+  util::StatusOr<ontology::Ontology> built = std::move(builder).Build();
+  if (!built.ok()) {
+    return util::DataLossError("ontology section does not build: " +
+                               built.status().message());
+  }
+  if (built->root() != root) {
+    return util::DataLossError("ontology section root mismatch");
+  }
+
+  out->retired.assign(num_concepts, 0);
+  std::uint64_t num_retired = 0;
+  ECDR_RETURN_IF_ERROR(parser.ReadU64(&num_retired));
+  if (num_retired > parser.remaining() / 4) {
+    return util::DataLossError("ontology retired list overruns the section");
+  }
+  for (std::uint64_t i = 0; i < num_retired; ++i) {
+    std::uint32_t c = 0;
+    ECDR_RETURN_IF_ERROR(parser.ReadU32(&c));
+    if (c >= num_concepts) {
+      return util::DataLossError("retired concept id out of range");
+    }
+    out->retired[c] = 1;
+  }
+  if (!parser.exhausted()) {
+    return util::DataLossError("ontology section has trailing bytes");
+  }
+
+  const std::uint64_t identity =
+      ontology::OntologyIdentityHash(*built, out->retired, max_addresses);
+  if (identity != out->ontology_identity_hash) {
+    return util::DataLossError(
+        "ontology section identity self-check failed (stored " +
+        std::to_string(out->ontology_identity_hash) + ", decoded " +
+        std::to_string(identity) + ")");
+  }
+  out->has_ontology = true;
+  // Re-bind the image's corpus only when the structure actually moved;
+  // at baseline structure (retire-only or no evolution) the caller's
+  // ontology reference serves, and `evolved` stays null.
+  const std::uint64_t structural =
+      ontology::OntologyIdentityHash(*built, {}, max_addresses);
+  if (structural != boot_baseline_hash) {
+    out->evolved =
+        std::make_shared<const ontology::Ontology>(std::move(*built));
+    out->corpus = corpus::Corpus(*out->evolved);
+  }
+  return util::Status::Ok();
 }
 
 util::Status DecodeCorpusSection(std::string_view payload,
@@ -281,7 +461,8 @@ util::StatusOr<std::string> WriteImage(Env& env, const std::string& dir,
                                        const ImageMeta& meta,
                                        const corpus::Corpus& corpus,
                                        const index::ShardedIndex& index,
-                                       const ontology::FlatDeweyPool* dewey) {
+                                       const ontology::FlatDeweyPool* dewey,
+                                       const ontology::OntologySnapshot* onto) {
   const std::string final_name = ImageFileName(meta.generation);
   const std::string tmp_path = dir + "/" + final_name + ".tmp";
   const std::string final_path = dir + "/" + final_name;
@@ -303,6 +484,12 @@ util::StatusOr<std::string> WriteImage(Env& env, const std::string& dir,
 
   std::uint64_t body = 0;
   std::uint32_t section_count = 2;
+  if (onto != nullptr) {
+    appended = AppendSection(file, kSectionOntology,
+                             EncodeOntologySection(*onto), &body);
+    if (!appended.ok()) return abandon(appended);
+    ++section_count;
+  }
   appended = AppendSection(file, kSectionCorpus, EncodeCorpusSection(corpus),
                            &body);
   if (!appended.ok()) return abandon(appended);
@@ -444,6 +631,15 @@ util::StatusOr<LoadedImage> LoadImage(Env& env, const std::string& path,
   }
   LoadedImage image(ontology);
   image.meta = meta;
+  // ONTO first (regardless of file position): it may re-bind the corpus
+  // to the image's evolved DAG before any document decodes against it.
+  if (const RawSection* onto_section = find(kSectionOntology)) {
+    const util::Status decoded =
+        DecodeOntologySection(onto_section->payload, ontology, &image);
+    if (!decoded.ok()) {
+      return util::Status(decoded.code(), path + ": " + decoded.message());
+    }
+  }
   ECDR_RETURN_IF_ERROR(
       DecodeCorpusSection(corpus_section->payload, &image.corpus));
   const RawSection* index_section = find(kSectionIndex);

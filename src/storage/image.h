@@ -35,6 +35,7 @@
 #include "index/sharded_index.h"
 #include "ontology/flat_dewey_pool.h"
 #include "ontology/ontology.h"
+#include "ontology/ontology_snapshot.h"
 #include "storage/env.h"
 #include "util/status.h"
 
@@ -59,12 +60,16 @@ std::optional<std::uint64_t> ParseImageFileName(const std::string& name);
 
 /// Writes a committed image into `dir` using the protocol above and
 /// returns its final path. On any failure the .tmp is abandoned (best
-/// effort removed) and no image-named file is created.
-util::StatusOr<std::string> WriteImage(Env& env, const std::string& dir,
-                                       const ImageMeta& meta,
-                                       const corpus::Corpus& corpus,
-                                       const index::ShardedIndex& index,
-                                       const ontology::FlatDeweyPool* dewey);
+/// effort removed) and no image-named file is created. When `onto` is
+/// set, an ONTO section stamps the image with the ontology version it
+/// was built under — the full evolved DAG, retirement flags, and the
+/// lineage hashes — so reopen rebinds the corpus to the exact ontology
+/// state instead of assuming the boot-time baseline.
+util::StatusOr<std::string> WriteImage(
+    Env& env, const std::string& dir, const ImageMeta& meta,
+    const corpus::Corpus& corpus, const index::ShardedIndex& index,
+    const ontology::FlatDeweyPool* dewey,
+    const ontology::OntologySnapshot* onto = nullptr);
 
 struct LoadedImage {
   explicit LoadedImage(const ontology::Ontology& ontology)
@@ -80,12 +85,27 @@ struct LoadedImage {
   std::vector<std::uint32_t> dewey_components;
   std::vector<ontology::AddressSpan> dewey_spans;
   std::vector<std::uint32_t> dewey_concept_first;
+
+  /// The ONTO section, when present. `evolved` owns the image's DAG
+  /// when it differs structurally from the boot baseline (the corpus is
+  /// then bound to it — keep it alive as long as the corpus); null when
+  /// the image was written at the baseline structure.
+  bool has_ontology = false;
+  std::shared_ptr<const ontology::Ontology> evolved;
+  std::vector<std::uint8_t> retired;
+  std::uint64_t ontology_version = 0;
+  std::uint64_t ontology_identity_hash = 0;
+  std::uint64_t ontology_baseline_hash = 0;
+  std::uint64_t ontology_max_addresses = 0;
 };
 
-/// Verifies and decodes `path`. kDataLoss on a torn or corrupt file
-/// (missing footer, bad section checksum, impossible structure);
-/// kFailedPrecondition when the image is valid but does not match
-/// `ontology`.
+/// Verifies and decodes `path` against the boot-time BASELINE
+/// `ontology`. kDataLoss on a torn or corrupt file (missing footer, bad
+/// section checksum, impossible structure, an ONTO section failing its
+/// identity self-check); kFailedPrecondition when the image is valid
+/// but belongs to a foreign ontology — for ONTO-stamped images a
+/// baseline-lineage hash mismatch, for legacy images a corpus/index
+/// that does not fit `ontology`.
 util::StatusOr<LoadedImage> LoadImage(Env& env, const std::string& path,
                                       const ontology::Ontology& ontology);
 

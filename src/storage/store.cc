@@ -24,11 +24,71 @@ std::optional<std::uint64_t> ParseWalFileName(const std::string& name) {
   return generation;
 }
 
+/// Ontology lineage state threaded through replay: the DAG the corpus
+/// is currently bound to (evolving as mutation records apply) plus the
+/// retirement flags and version counter.
+struct ReplayOntology {
+  const ontology::Ontology* baseline = nullptr;
+  std::shared_ptr<const ontology::Ontology> evolved;  // null = baseline
+  std::vector<std::uint8_t> retired;
+  std::uint64_t version = 0;
+  bool structural_mutation = false;  // invalidates a recovered DEWY pool
+
+  const ontology::Ontology& current() const {
+    return evolved != nullptr ? *evolved : *baseline;
+  }
+};
+
+/// Applies one replayed ontology mutation record. Structural records
+/// (add-concept / add-edge) rebuild the DAG — append-only, so existing
+/// ids and ordinals are stable — and re-bind the recovering corpus.
+bool ApplyOntologyRecord(const WalRecord& record, ReplayOntology* onto,
+                         corpus::Corpus* corpus) {
+  ontology::OntologyMutation m;
+  switch (record.op) {
+    case WalOp::kAddConcept:
+      m.kind = ontology::OntologyMutation::Kind::kAddConcept;
+      m.name = record.name;
+      m.parents.assign(record.concepts.begin(), record.concepts.end());
+      break;
+    case WalOp::kRetireConcept:
+      m.kind = ontology::OntologyMutation::Kind::kRetireConcept;
+      m.target = record.doc;
+      break;
+    case WalOp::kAddEdge:
+      if (record.concepts.size() != 2) return false;
+      m.kind = ontology::OntologyMutation::Kind::kAddEdge;
+      m.parent = record.concepts[0];
+      m.child = record.concepts[1];
+      break;
+    default:
+      return false;
+  }
+  std::vector<std::uint8_t> retired = onto->retired;
+  util::StatusOr<ontology::Ontology> next = ontology::ApplyMutations(
+      onto->current(), std::span<const ontology::OntologyMutation>(&m, 1),
+      &retired);
+  if (!next.ok()) return false;
+  onto->retired = std::move(retired);
+  ++onto->version;
+  if (record.op != WalOp::kRetireConcept) {
+    // The rebuilt DAG is structurally different; re-bind. Retire-only
+    // records change no edge and no address: keep the current object
+    // (and a recovered DEWY pool stays adoptable).
+    onto->evolved =
+        std::make_shared<const ontology::Ontology>(std::move(*next));
+    corpus->RebindOntology(*onto->evolved);
+    onto->structural_mutation = true;
+  }
+  return true;
+}
+
 /// Applies one replayed record to the recovering corpus. A false return
 /// means the record — though checksummed — cannot apply (e.g. a delete
 /// of a document that does not exist): the log is lying about history,
 /// so replay stops there and truncates, exactly like a torn record.
-bool ApplyRecord(const WalRecord& record, corpus::Corpus* corpus) {
+bool ApplyRecord(const WalRecord& record, ReplayOntology* onto,
+                 corpus::Corpus* corpus) {
   switch (record.op) {
     case WalOp::kAddDocument:
       return corpus
@@ -44,6 +104,10 @@ bool ApplyRecord(const WalRecord& record, corpus::Corpus* corpus) {
                                record.concepts.begin(),
                                record.concepts.end())))
           .ok();
+    case WalOp::kAddConcept:
+    case WalOp::kRetireConcept:
+    case WalOp::kAddEdge:
+      return ApplyOntologyRecord(record, onto, corpus);
   }
   return false;
 }
@@ -98,6 +162,15 @@ util::Status DocumentStore::RecoverLocked(const ontology::Ontology& ontology) {
   }
   std::uint64_t last_lsn = recovered_.meta.last_lsn;
 
+  // Seed the replay's ontology lineage from the image's ONTO stamp (or
+  // the boot baseline for legacy/fresh stores); WAL mutation records
+  // evolve it further, in LSN order with the document ops.
+  ReplayOntology replay_onto;
+  replay_onto.baseline = &ontology;
+  replay_onto.evolved = recovered_.evolved;
+  replay_onto.retired = recovered_.retired;
+  replay_onto.version = recovered_.ontology_version;
+
   // Replay every WAL in generation order. Normally there is one; a
   // crash between image commit and WAL rotation legitimately leaves
   // two, and the LSN filter makes replay of both exact.
@@ -114,7 +187,7 @@ util::Status DocumentStore::RecoverLocked(const ontology::Ontology& ontology) {
     for (std::size_t i = 0; i < replay.records.size(); ++i) {
       const WalRecord& record = replay.records[i];
       if (record.lsn <= last_lsn) continue;  // Cross-file duplicate.
-      if (!ApplyRecord(record, &recovered_.corpus)) {
+      if (!ApplyRecord(record, &replay_onto, &recovered_.corpus)) {
         // Stop trusting the log at the first inapplicable record.
         applied_bytes = 0;  // Recomputed below: conservative full stop.
         break;
@@ -132,6 +205,12 @@ util::Status DocumentStore::RecoverLocked(const ontology::Ontology& ontology) {
     }
   }
   recovered_index_exact_ = exact_before_replay && !replayed_any;
+  recovered_dag_ = std::move(replay_onto.evolved);
+  recovered_retired_ = std::move(replay_onto.retired);
+  recovered_ontology_version_ = replay_onto.version;
+  // A structural mutation after the image changes address sets; the
+  // image's DEWY pool no longer matches and must not be adopted.
+  if (replay_onto.structural_mutation) recovered_.has_dewey = false;
 
   // The WAL the writer continues into: the one named for the recovered
   // image generation (created empty when absent).
@@ -182,6 +261,22 @@ std::vector<std::uint32_t> DocumentStore::TakeDeweyConceptFirst() {
   return std::move(recovered_.dewey_concept_first);
 }
 
+std::shared_ptr<const ontology::Ontology>
+DocumentStore::TakeRecoveredOntology() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_dag_);
+}
+
+std::vector<std::uint8_t> DocumentStore::TakeRecoveredRetired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(recovered_retired_);
+}
+
+std::uint64_t DocumentStore::recovered_ontology_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_ontology_version_;
+}
+
 util::StatusOr<std::uint64_t> DocumentStore::LogRecordLocked(
     WalRecord record) {
   record.lsn = next_lsn_;
@@ -220,6 +315,28 @@ util::StatusOr<std::uint64_t> DocumentStore::LogUpdate(
   return LogRecordLocked(std::move(record));
 }
 
+util::StatusOr<std::uint64_t> DocumentStore::LogOntologyMutation(
+    const ontology::OntologyMutation& mutation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalRecord record;
+  switch (mutation.kind) {
+    case ontology::OntologyMutation::Kind::kAddConcept:
+      record.op = WalOp::kAddConcept;
+      record.name = mutation.name;
+      record.concepts.assign(mutation.parents.begin(), mutation.parents.end());
+      break;
+    case ontology::OntologyMutation::Kind::kRetireConcept:
+      record.op = WalOp::kRetireConcept;
+      record.doc = mutation.target;
+      break;
+    case ontology::OntologyMutation::Kind::kAddEdge:
+      record.op = WalOp::kAddEdge;
+      record.concepts = {mutation.parent, mutation.child};
+      break;
+  }
+  return LogRecordLocked(std::move(record));
+}
+
 util::Status DocumentStore::SyncWal() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (options_.fsync_mode == StoreOptions::FsyncMode::kNever) {
@@ -234,6 +351,7 @@ util::Status DocumentStore::SyncWal() {
 util::Status DocumentStore::WriteCheckpoint(const corpus::Corpus& corpus,
                                             const index::ShardedIndex& index,
                                             const ontology::FlatDeweyPool* dewey,
+                                            const ontology::OntologySnapshot* onto,
                                             std::uint64_t generation,
                                             std::uint64_t last_lsn) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -247,7 +365,7 @@ util::Status DocumentStore::WriteCheckpoint(const corpus::Corpus& corpus,
   meta.generation = generation;
   meta.last_lsn = last_lsn;
   auto written = WriteImage(*env_, options_.data_dir, meta, corpus, index,
-                            dewey);
+                            dewey, onto);
   ECDR_RETURN_IF_ERROR(written.status());
 
   // Rotate: new epoch's WAL, then retire everything older. Records

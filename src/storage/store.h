@@ -33,6 +33,7 @@
 #include "index/sharded_index.h"
 #include "ontology/flat_dewey_pool.h"
 #include "ontology/ontology.h"
+#include "ontology/ontology_snapshot.h"
 #include "storage/env.h"
 #include "storage/image.h"
 #include "storage/wal.h"
@@ -85,10 +86,23 @@ class DocumentStore {
   index::ShardedIndex TakeRecoveredIndex();
   bool recovered_index_exact() const { return recovered_index_exact_; }
 
+  /// True when the image carried a frozen Dewey pool AND no structural
+  /// ontology mutation was replayed on top of it (a structural replay
+  /// changes address sets, making the persisted pool stale — the engine
+  /// then re-enumerates instead of adopting).
   bool has_recovered_dewey() const { return recovered_.has_dewey; }
   std::vector<std::uint32_t> TakeDeweyComponents();
   std::vector<ontology::AddressSpan> TakeDeweySpans();
   std::vector<std::uint32_t> TakeDeweyConceptFirst();
+
+  /// The recovered ontology lineage state: the evolved DAG (null when
+  /// the recovered structure equals the boot baseline — the engine then
+  /// keeps its own), the retirement flags, and the version the replayed
+  /// history ends at. The recovered corpus is bound to the evolved DAG
+  /// when one exists; the engine re-binds it to its final snapshot.
+  std::shared_ptr<const ontology::Ontology> TakeRecoveredOntology();
+  std::vector<std::uint8_t> TakeRecoveredRetired();
+  std::uint64_t recovered_ontology_version() const;
 
   // ---- Write path (log-ahead) ---------------------------------------
 
@@ -100,6 +114,13 @@ class DocumentStore {
   util::StatusOr<std::uint64_t> LogUpdate(corpus::DocId doc,
                                           const corpus::Document& new_doc);
 
+  /// Logs one ontology evolution step (add-concept / retire-concept /
+  /// add-edge). The engine logs the whole validated batch and syncs the
+  /// WAL BEFORE publishing the evolved snapshot — durability precedes
+  /// visibility, same as the document path.
+  util::StatusOr<std::uint64_t> LogOntologyMutation(
+      const ontology::OntologyMutation& mutation);
+
   /// Makes every logged record durable (fsync_mode permitting). Called
   /// on publish; also the "final WAL fsync" of a clean shutdown.
   util::Status SyncWal();
@@ -107,9 +128,12 @@ class DocumentStore {
   /// Writes a committed image of (`corpus`, `index`, `dewey`) stamped
   /// `generation`/`last_lsn`, rotates the WAL, and sweeps older images
   /// and logs. `corpus` must reflect exactly the ops up to `last_lsn`.
+  /// `onto` (may be null) stamps the image with the ontology version the
+  /// corpus is bound to, so reopen replays evolution deterministically.
   util::Status WriteCheckpoint(const corpus::Corpus& corpus,
                                const index::ShardedIndex& index,
                                const ontology::FlatDeweyPool* dewey,
+                               const ontology::OntologySnapshot* onto,
                                std::uint64_t generation,
                                std::uint64_t last_lsn);
 
@@ -133,6 +157,12 @@ class DocumentStore {
   mutable std::mutex mutex_;
   LoadedImage recovered_;
   bool recovered_index_exact_ = false;
+  /// Ontology state at the end of replay. `recovered_dag_` is null
+  /// until a structural evolution (image ONTO or WAL mutation) moves
+  /// the structure off the boot baseline.
+  std::shared_ptr<const ontology::Ontology> recovered_dag_;
+  std::vector<std::uint8_t> recovered_retired_;
+  std::uint64_t recovered_ontology_version_ = 0;
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t wal_generation_ = 0;
   std::uint64_t next_lsn_ = 1;

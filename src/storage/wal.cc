@@ -20,6 +20,12 @@ std::string EncodeWalRecord(const WalRecord& record) {
   util::AppendU32(payload, record.doc);
   util::AppendU32Array(payload, record.concepts.data(),
                        record.concepts.size());
+  if (record.op == WalOp::kAddConcept) {
+    // Name appended only for the one op that has one, so pre-evolution
+    // records decode unchanged.
+    util::AppendU32(payload, static_cast<std::uint32_t>(record.name.size()));
+    payload += record.name;
+  }
   std::string frame;
   frame.reserve(8 + payload.size());
   util::AppendU32(frame, util::MaskCrc32c(util::Crc32c(payload)));
@@ -62,15 +68,28 @@ WalReplayResult ReplayWal(std::string_view data, std::uint64_t min_lsn) {
     record.op = static_cast<WalOp>(static_cast<unsigned char>(op_byte[0]));
     if (record.op != WalOp::kAddDocument &&
         record.op != WalOp::kDeleteDocument &&
-        record.op != WalOp::kUpdateDocument) {
+        record.op != WalOp::kUpdateDocument &&
+        record.op != WalOp::kAddConcept &&
+        record.op != WalOp::kRetireConcept &&
+        record.op != WalOp::kAddEdge) {
       break;
     }
     if (!parser.ReadU64(&record.lsn).ok() ||
         !parser.ReadU32(&record.doc).ok() ||
-        !parser.ReadU32Array(&record.concepts).ok() ||
-        !parser.exhausted()) {
+        !parser.ReadU32Array(&record.concepts).ok()) {
       break;
     }
+    if (record.op == WalOp::kAddConcept) {
+      std::uint32_t name_size = 0;
+      std::string_view name;
+      if (!parser.ReadU32(&name_size).ok() ||
+          name_size > parser.remaining() ||
+          !parser.ReadBytes(name_size, &name).ok()) {
+        break;
+      }
+      record.name.assign(name);
+    }
+    if (!parser.exhausted()) break;
     if (record.lsn <= min_lsn) {
       // Already captured by the snapshot image the caller recovered.
       pos += 8 + payload_size;

@@ -38,6 +38,15 @@ enum class WalOp : std::uint8_t {
   kAddDocument = 1,
   kDeleteDocument = 2,
   kUpdateDocument = 3,
+  // Ontology evolution (DESIGN.md, "Ontology versioning & evolution").
+  // These reuse the document record's fields: `concepts` carries the
+  // parent list (add) or {parent, child} (edge), `doc` the retire
+  // target, and kAddConcept appends the new concept's name after the
+  // concept array. Replay applies them in LSN order, interleaved with
+  // document ops, so reopen retraces the exact evolution history.
+  kAddConcept = 4,
+  kRetireConcept = 5,
+  kAddEdge = 6,
 };
 
 struct WalRecord {
@@ -45,10 +54,14 @@ struct WalRecord {
   /// Strictly increasing across the store's lifetime; replay rejects
   /// (stops at) the first non-increasing LSN.
   std::uint64_t lsn = 0;
-  /// Update/delete target; kInvalidDoc for add.
+  /// Update/delete target; the retired concept id for kRetireConcept;
+  /// kInvalidDoc otherwise.
   corpus::DocId doc = corpus::kInvalidDoc;
-  /// Add/update concept set (sorted); empty for delete.
+  /// Add/update concept set (sorted); kAddConcept parents (in order);
+  /// {parent, child} for kAddEdge; empty for delete/retire.
   std::vector<std::uint32_t> concepts;
+  /// New concept name; encoded only for kAddConcept.
+  std::string name;
 };
 
 /// One framed record, ready to append.

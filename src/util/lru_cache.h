@@ -107,6 +107,28 @@ class ShardedLruCache {
     shard.map.emplace(key, shard.lru.begin());
   }
 
+  /// Erases every entry whose key satisfies `predicate`; returns the
+  /// number erased. A full scan under each shard lock in turn — meant
+  /// for rare invalidation events (e.g. an ontology evolution), not hot
+  /// paths.
+  template <typename Predicate>
+  std::size_t EraseIf(Predicate predicate) {
+    std::size_t erased = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        if (predicate(it->first)) {
+          shard->map.erase(it->first);
+          it = shard->lru.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
   /// Drops every entry (counters are retained).
   void Clear() {
     for (const auto& shard : shards_) {

@@ -1,0 +1,678 @@
+// Ontology evolution differential (DESIGN.md, "Ontology versioning &
+// evolution"): incremental EvolveSnapshot vs cold-rebuild bit-identity
+// over 20 seeded random mutation scripts, crossed with the engine's
+// {1,8}-thread and memo-on/off axes; no-op (retire-only) and
+// single-leaf-add controls proving the re-enumeration is genuinely
+// partial; BuildEvolved postings byte-identity; and durable-engine
+// round-trips of the mutation WAL / ONTO image sections.
+//
+// The bar everywhere is bit-identity, not tolerance: an evolved engine
+// must return byte-for-byte what a cold engine built from the
+// post-mutation ontology returns, and the incremental FlatDeweyPool
+// must equal a cold enumeration span for span, rank for rank.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ranking_engine.h"
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+#include "corpus/query_gen.h"
+#include "index/block_postings.h"
+#include "ontology/distance_oracle.h"
+#include "ontology/generator.h"
+#include "ontology/ontology.h"
+#include "ontology/ontology_snapshot.h"
+#include "storage/env.h"
+#include "storage/store.h"
+
+namespace ecdr {
+namespace {
+
+using ontology::ConceptId;
+using ontology::EvolutionStats;
+using ontology::OntologyMutation;
+using ontology::OntologySnapshot;
+
+ontology::Ontology MakeOntology(std::uint64_t seed,
+                                std::uint32_t num_concepts = 200) {
+  ontology::OntologyGeneratorConfig config;
+  config.num_concepts = num_concepts;
+  config.extra_parent_prob = 0.2;
+  config.seed = seed;
+  auto result = ontology::GenerateOntology(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+corpus::Corpus MakeCorpus(const ontology::Ontology& ontology,
+                          std::uint64_t seed,
+                          std::uint32_t num_documents = 100) {
+  corpus::CorpusGeneratorConfig config;
+  config.num_documents = num_documents;
+  config.avg_concepts_per_doc = 12.0;
+  config.seed = seed;
+  auto result = corpus::GenerateCorpus(ontology, config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+bool HasEdge(const ontology::Ontology& dag, ConceptId parent,
+             ConceptId child) {
+  const auto children = dag.children(parent);
+  return std::find(children.begin(), children.end(), child) != children.end();
+}
+
+/// One random mutation batch against the current DAG state. `retired`
+/// mirrors the lineage's retirement flags and is updated as mutations
+/// are generated, so later picks never reference a retired concept
+/// (EvolveSnapshot would reject the batch). add_edge always picks
+/// parent id < child id: every generated-DAG edge already ascends in
+/// id, so descendants have strictly larger ids and no cycle can form.
+std::vector<OntologyMutation> MakeBatch(std::mt19937_64& rng,
+                                        const ontology::Ontology& dag,
+                                        std::vector<std::uint8_t>* retired,
+                                        const std::string& name_prefix) {
+  retired->resize(dag.num_concepts(), 0);
+  const auto alive = [&](ConceptId c) { return (*retired)[c] == 0; };
+  const auto pick_alive = [&](ConceptId min_id) -> ConceptId {
+    std::uniform_int_distribution<ConceptId> dist(min_id,
+                                                  dag.num_concepts() - 1);
+    for (int tries = 0; tries < 64; ++tries) {
+      const ConceptId c = dist(rng);
+      if (alive(c)) return c;
+    }
+    return ontology::kInvalidConcept;
+  };
+
+  std::uniform_int_distribution<int> size_dist(3, 8);
+  std::uniform_int_distribution<int> kind_dist(0, 9);
+  const int batch_size = size_dist(rng);
+  std::vector<OntologyMutation> batch;
+  std::set<std::pair<ConceptId, ConceptId>> batch_edges;
+  int added = 0;
+  while (static_cast<int>(batch.size()) < batch_size) {
+    const int roll = kind_dist(rng);
+    OntologyMutation m;
+    if (roll < 5) {
+      // add_concept with 1-3 distinct live parents among existing ids.
+      m.kind = OntologyMutation::Kind::kAddConcept;
+      m.name = name_prefix + "_" + std::to_string(added++);
+      std::uniform_int_distribution<int> parent_count(1, 3);
+      const int want = parent_count(rng);
+      std::set<ConceptId> parents;
+      while (static_cast<int>(parents.size()) < want) {
+        const ConceptId p = pick_alive(0);
+        if (p == ontology::kInvalidConcept) break;
+        parents.insert(p);
+      }
+      if (parents.empty()) continue;
+      m.parents.assign(parents.begin(), parents.end());
+    } else if (roll < 8) {
+      // add_edge between two pre-batch concepts, low id -> high id.
+      const ConceptId child = pick_alive(1);
+      if (child == ontology::kInvalidConcept || child == dag.root()) continue;
+      std::uniform_int_distribution<ConceptId> parent_dist(0, child - 1);
+      const ConceptId parent = parent_dist(rng);
+      if (!alive(parent) || HasEdge(dag, parent, child) ||
+          !batch_edges.insert({parent, child}).second) {
+        continue;
+      }
+      m.kind = OntologyMutation::Kind::kAddEdge;
+      m.parent = parent;
+      m.child = child;
+    } else {
+      // retire a live non-root concept; mark the mirror immediately so
+      // nothing later in this batch references it.
+      const ConceptId target = pick_alive(1);
+      if (target == ontology::kInvalidConcept) continue;
+      m.kind = OntologyMutation::Kind::kRetireConcept;
+      m.target = target;
+      (*retired)[target] = 1;
+    }
+    batch.push_back(std::move(m));
+  }
+  return batch;
+}
+
+void ExpectSamePool(const ontology::FlatDeweyPool* a,
+                    const ontology::FlatDeweyPool* b) {
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->num_concepts(), b->num_concepts());
+  ASSERT_EQ(a->num_addresses(), b->num_addresses());
+  ASSERT_EQ(a->num_components(), b->num_components());
+  EXPECT_TRUE(std::equal(a->component_data(),
+                         a->component_data() + a->num_components(),
+                         b->component_data()))
+      << "component arenas differ";
+  for (ConceptId c = 0; c < a->num_concepts(); ++c) {
+    const auto sa = a->spans(c);
+    const auto sb = b->spans(c);
+    ASSERT_EQ(sa.size(), sb.size()) << "concept " << c;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].offset, sb[i].offset) << "concept " << c;
+      EXPECT_EQ(sa[i].length, sb[i].length) << "concept " << c;
+    }
+    const auto ra = a->ranks(c);
+    const auto rb = b->ranks(c);
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()))
+        << "ranks differ for concept " << c;
+  }
+}
+
+/// Bitwise result equality between two engines over seeded RDS probes
+/// (drawn over the full evolved id range, so batch-new concepts appear
+/// in queries) plus SDS from a few documents.
+void ExpectSameSearchResults(core::RankingEngine* live,
+                             core::RankingEngine* cold, std::uint64_t seed,
+                             std::uint32_t num_concepts) {
+  std::mt19937_64 rng(seed * 131 + 7);
+  std::uniform_int_distribution<ConceptId> id_dist(0, num_concepts - 1);
+  std::uniform_int_distribution<int> size_dist(1, 3);
+  for (int q = 0; q < 8; ++q) {
+    std::set<ConceptId> concepts;
+    const int want = size_dist(rng);
+    while (static_cast<int>(concepts.size()) < want) {
+      concepts.insert(id_dist(rng));
+    }
+    const std::vector<ConceptId> query(concepts.begin(), concepts.end());
+    const auto a = live->FindRelevant(query, 10);
+    const auto b = cold->FindRelevant(query, 10);
+    ASSERT_EQ(a.ok(), b.ok()) << a.status().ToString();
+    if (!a.ok()) continue;
+    ASSERT_EQ(a->size(), b->size()) << "query " << q;
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ((*a)[i].distance, (*b)[i].distance)
+          << "query " << q << " rank " << i;
+    }
+    // A memo-warm rerun must reproduce the cold-memo answer bit for bit.
+    const auto a2 = live->FindRelevant(query, 10);
+    ASSERT_TRUE(a2.ok());
+    ASSERT_EQ(a2->size(), a->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a2)[i].id, (*a)[i].id);
+      EXPECT_EQ((*a2)[i].distance, (*a)[i].distance);
+    }
+  }
+  const corpus::DocId num_docs = live->corpus().num_documents();
+  for (corpus::DocId d = 0; d < num_docs; d += 17) {
+    const auto a = live->FindSimilar(d, 5);
+    const auto b = cold->FindSimilar(d, 5);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) continue;
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id) << "doc " << d;
+      EXPECT_EQ((*a)[i].distance, (*b)[i].distance) << "doc " << d;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 20-seed differential: incremental evolution vs cold rebuild, at the
+// snapshot level (pool bytes, hashes) and the engine level (search
+// results), across {1,8} threads x memo on/off (axes rotate by seed so
+// every combination is covered five times).
+
+TEST(OntologyEvolutionDifferential, TwentySeedsIncrementalEqualsColdRebuild) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 3);
+    const ontology::Ontology base_dag = MakeOntology(seed);
+    const corpus::Corpus corpus = MakeCorpus(base_dag, seed);
+
+    core::RankingEngineOptions options;
+    options.knds.num_threads = (seed % 2 == 0) ? 1 : 8;
+    options.knds.cache.enable_ddq_memo = (seed / 2) % 2 == 0;
+    options.knds.cache.enable_concept_pair_cache = true;
+
+    auto live = core::RankingEngine::Create(MakeOntology(seed), options);
+    ASSERT_TRUE(live->AddCorpus(corpus).ok());
+
+    // Warm the caches pre-mutation so invalidation runs against real
+    // entries, then evolve the live engine batch by batch.
+    ExpectSameSearchResults(live.get(), live.get(), seed,
+                            base_dag.num_concepts());
+    std::vector<OntologyMutation> all_mutations;
+    std::vector<std::uint8_t> retired_mirror;
+    std::uniform_int_distribution<int> batches_dist(2, 3);
+    const int num_batches = batches_dist(rng);
+    for (int b = 0; b < num_batches; ++b) {
+      const auto batch = MakeBatch(
+          rng, live->ontology_snapshot()->dag(), &retired_mirror,
+          "E" + std::to_string(seed) + "_" + std::to_string(b));
+      const bool structural = std::any_of(
+          batch.begin(), batch.end(), [](const OntologyMutation& m) {
+            return m.kind != OntologyMutation::Kind::kRetireConcept;
+          });
+      const auto stats = live->ApplyOntologyMutations(batch);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      // The incremental path must have been taken (the engine
+      // precomputes, so the enumerator is always frozen)...
+      EXPECT_FALSE(stats->full_rebuild);
+      if (structural) {
+        // ...and must be partial: untouched concepts are reused.
+        EXPECT_EQ(stats->reused_concepts + stats->readdressed_concepts,
+                  live->ontology_snapshot()->dag().num_concepts());
+        EXPECT_GT(stats->reused_concepts, 0u);
+      } else {
+        // Retire-only batches share the base enumerator outright.
+        EXPECT_EQ(stats->readdressed_concepts, 0u);
+      }
+      all_mutations.insert(all_mutations.end(), batch.begin(), batch.end());
+    }
+
+    // Cold side: one-shot rebuild of the final ontology, retires
+    // replayed as flag-only mutations (they never re-enumerate, so the
+    // cold engine's pool stays a genuinely cold enumeration).
+    std::vector<std::uint8_t> cold_retired;
+    auto cold_dag =
+        ontology::ApplyMutations(base_dag, all_mutations, &cold_retired);
+    ASSERT_TRUE(cold_dag.ok()) << cold_dag.status().ToString();
+    retired_mirror.resize(cold_retired.size(), 0);
+    ASSERT_EQ(cold_retired, retired_mirror);
+
+    // The DAG is move-only; rebuild it a second time for the cold
+    // engine (ApplyMutations is deterministic).
+    auto cold_dag_again =
+        ontology::ApplyMutations(base_dag, all_mutations, nullptr);
+    ASSERT_TRUE(cold_dag_again.ok());
+
+    const auto live_snap = live->ontology_snapshot();
+    const auto cold_snap = OntologySnapshot::Restore(
+        std::make_shared<const ontology::Ontology>(std::move(*cold_dag)),
+        cold_retired, live_snap->version(), live_snap->baseline_hash(),
+        live_snap->options(), /*precompute=*/true);
+    EXPECT_EQ(live_snap->identity_hash(), cold_snap->identity_hash());
+    EXPECT_EQ(live_snap->structural_hash(), cold_snap->structural_hash());
+    EXPECT_EQ(live_snap->num_retired(), cold_snap->num_retired());
+    ExpectSamePool(live_snap->addresses()->flat_pool(),
+                   cold_snap->addresses()->flat_pool());
+
+    auto cold = core::RankingEngine::Create(
+        std::move(cold_dag_again).value(), options);
+    ASSERT_TRUE(cold->AddCorpus(corpus).ok());
+    for (ConceptId c = 0; c < cold_retired.size(); ++c) {
+      if (cold_retired[c] != 0) {
+        ASSERT_TRUE(cold->RetireConcept(c).ok());
+      }
+    }
+    EXPECT_EQ(live->ontology_stats().identity_hash,
+              cold->ontology_stats().identity_hash);
+    ExpectSameSearchResults(live.get(), cold.get(), seed + 1000,
+                            live_snap->dag().num_concepts());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// No-op control: a retire-only batch re-addresses nothing, shares the
+// base DAG + enumerator outright, and keeps every cache entry.
+
+TEST(OntologyEvolutionControl, RetireOnlyBatchReusesEverything) {
+  const auto base = OntologySnapshot::Baseline(
+      std::make_shared<const ontology::Ontology>(MakeOntology(3)));
+  OntologyMutation m;
+  m.kind = OntologyMutation::Kind::kRetireConcept;
+  m.target = base->dag().num_concepts() - 1;
+  EvolutionStats stats;
+  const auto next = ontology::EvolveSnapshot(base, {&m, 1}, &stats);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(stats.readdressed_concepts, 0u);
+  EXPECT_EQ(stats.readdressed_existing, 0u);
+  EXPECT_EQ(stats.recomputed_components, 0u);
+  EXPECT_TRUE(stats.invalidated_existing.empty());
+  EXPECT_FALSE(stats.full_rebuild);
+  // The successor shares the DAG and the enumerator (hence the whole
+  // FlatDeweyPool) with its base: zero re-enumeration work.
+  EXPECT_EQ((*next)->dag_ptr().get(), base->dag_ptr().get());
+  EXPECT_EQ((*next)->addresses_ptr().get(), base->addresses_ptr().get());
+  EXPECT_EQ((*next)->version(), base->version() + 1);
+  EXPECT_TRUE((*next)->retired(m.target));
+  // Retirement flips the identity but not the structural hash, so Ddq
+  // memo entries (salted with the structural hash) all stay valid.
+  EXPECT_NE((*next)->identity_hash(), base->identity_hash());
+  EXPECT_EQ((*next)->structural_hash(), base->structural_hash());
+}
+
+TEST(OntologyEvolutionControl, EngineRetireKeepsCachesWarm) {
+  const std::uint64_t seed = 5;
+  const ontology::Ontology base_dag = MakeOntology(seed);
+  const corpus::Corpus docs = MakeCorpus(base_dag, seed);
+  core::RankingEngineOptions options;
+  options.knds.num_threads = 1;
+  auto engine = core::RankingEngine::Create(MakeOntology(seed), options);
+  ASSERT_TRUE(engine->AddCorpus(docs).ok());
+
+  // Warm both caches, record the exact answers. The pair cache is fed
+  // through the engine's shared instance by DistanceOracle users; the
+  // Ddq memo fills during the cold searches.
+  const auto queries = corpus::GenerateRdsQueries(docs, 6, 4, seed + 1);
+  std::vector<std::vector<core::ScoredDocument>> before;
+  for (const auto& query : queries) {
+    const auto results = engine->FindRelevant(query, 10);
+    ASSERT_TRUE(results.ok());
+    before.push_back(*results);
+  }
+  ASSERT_GT(engine->ddq_memo_counters().misses, 0u);
+  ontology::DistanceOracle oracle(engine->ontology(),
+                                  engine->concept_pair_cache());
+  for (ConceptId c = 1; c < 30; ++c) {
+    (void)oracle.ConceptDistance(c, c + 1);
+  }
+  const std::size_t pair_entries_before =
+      engine->concept_pair_cache()->size();
+  ASSERT_GT(pair_entries_before, 0u);
+  const std::uint64_t memo_hits_before = engine->ddq_memo_counters().hits;
+
+  const auto stats = engine->RetireConcept(base_dag.num_concepts() - 1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->readdressed_concepts, 0u);
+  EXPECT_EQ(engine->ontology_stats().pair_entries_invalidated, 0u);
+  // Full retention: not one pair entry was dropped.
+  EXPECT_EQ(engine->concept_pair_cache()->size(), pair_entries_before);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto after = engine->FindRelevant(queries[q], 10);
+    ASSERT_TRUE(after.ok());
+    ASSERT_EQ(after->size(), before[q].size());
+    for (std::size_t i = 0; i < after->size(); ++i) {
+      EXPECT_EQ((*after)[i].id, before[q][i].id);
+      EXPECT_EQ((*after)[i].distance, before[q][i].distance);
+    }
+  }
+  // The reruns hit the memo: retire-only evolution keeps the
+  // structural hash, so the salted signatures still match.
+  EXPECT_GT(engine->ddq_memo_counters().hits, memo_hits_before);
+}
+
+// ---------------------------------------------------------------------------
+// Single-leaf add: exactly one concept (the new leaf) is re-addressed,
+// every pre-existing concept's spans are spliced from the base pool,
+// and ConceptPairCache retention is 100% (the issue demands >= 90%).
+
+TEST(OntologyEvolutionControl, SingleLeafAddReaddressesOnlyTheLeaf) {
+  const std::uint64_t seed = 7;
+  const ontology::Ontology base_dag = MakeOntology(seed);
+  const std::uint32_t base_n = base_dag.num_concepts();
+  auto engine = core::RankingEngine::Create(MakeOntology(seed));
+  ASSERT_TRUE(engine->AddCorpus(MakeCorpus(base_dag, seed)).ok());
+
+  // Warm the pair cache through the engine's shared instance.
+  ontology::DistanceOracle oracle(engine->ontology(),
+                                  engine->concept_pair_cache());
+  for (ConceptId c = 1; c + 2 < 60; ++c) {
+    (void)oracle.ConceptDistance(c, c + 2);
+  }
+  const std::size_t pair_entries_before =
+      engine->concept_pair_cache()->size();
+  ASSERT_GT(pair_entries_before, 0u);
+
+  const auto stats = engine->AddConcept("leaf_under_9", {9});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->added_concepts, 1u);
+  EXPECT_EQ(stats->added_edges, 1u);
+  EXPECT_EQ(stats->readdressed_concepts, 1u);  // the leaf, nothing else
+  EXPECT_EQ(stats->readdressed_existing, 0u);
+  EXPECT_EQ(stats->reused_concepts, base_n);
+  EXPECT_TRUE(stats->invalidated_existing.empty());
+  EXPECT_FALSE(stats->full_rebuild);
+  EXPECT_GT(stats->reused_components, 0u);
+
+  // 100% pair-cache retention (>= 90% required).
+  EXPECT_EQ(engine->concept_pair_cache()->size(), pair_entries_before);
+  EXPECT_EQ(engine->ontology_stats().pair_entries_invalidated, 0u);
+
+  // The leaf's addresses are its parent's, each extended by the new
+  // child ordinal — and the spliced pool equals a cold enumeration.
+  const auto snap = engine->ontology_snapshot();
+  const ConceptId leaf = snap->dag().FindByName("leaf_under_9");
+  ASSERT_EQ(leaf, base_n);
+  const auto& leaf_addresses = snap->addresses()->Addresses(leaf);
+  const auto& parent_addresses = snap->addresses()->Addresses(9);
+  ASSERT_EQ(leaf_addresses.size(), parent_addresses.size());
+  const auto cold_snap = OntologySnapshot::Restore(
+      snap->dag_ptr(), {}, snap->version(), snap->baseline_hash(),
+      snap->options(), /*precompute=*/true);
+  ExpectSamePool(snap->addresses()->flat_pool(),
+                 cold_snap->addresses()->flat_pool());
+}
+
+// ---------------------------------------------------------------------------
+// BlockPostings::BuildEvolved: for a distance-preserving batch the
+// incremental sidecar build must be byte-identical to a cold build
+// over the same documents under the evolved ontology.
+
+TEST(OntologyEvolutionPostings, BuildEvolvedMatchesColdBuildByteForByte) {
+  const std::uint64_t seed = 11;
+  const ontology::Ontology base_dag = MakeOntology(seed, 150);
+  const corpus::Corpus corpus = MakeCorpus(base_dag, seed, 90);
+  index::BlockPostingsOptions options;
+  options.block_size = 32;
+  const index::BlockPostings base(corpus, options);
+
+  // Three new leaves plus an extra edge landing on a batch-new child:
+  // every edge targets a new concept, so the batch preserves all
+  // pre-existing distances.
+  std::vector<OntologyMutation> mutations(4);
+  mutations[0].kind = OntologyMutation::Kind::kAddConcept;
+  mutations[0].name = "evolved_a";
+  mutations[0].parents = {3, 25};
+  mutations[1].kind = OntologyMutation::Kind::kAddConcept;
+  mutations[1].name = "evolved_b";
+  mutations[1].parents = {base_dag.num_concepts() - 1};
+  mutations[2].kind = OntologyMutation::Kind::kAddConcept;
+  mutations[2].name = "evolved_c";
+  mutations[2].parents = {static_cast<ConceptId>(base_dag.num_concepts())};
+  mutations[3].kind = OntologyMutation::Kind::kAddEdge;
+  mutations[3].parent = 60;
+  mutations[3].child = static_cast<ConceptId>(base_dag.num_concepts() + 1);
+  ASSERT_TRUE(ontology::DistancePreservingMutations(
+      mutations, base_dag.num_concepts()));
+
+  auto evolved = ontology::ApplyMutations(base_dag, mutations, nullptr);
+  ASSERT_TRUE(evolved.ok()) << evolved.status().ToString();
+
+  const index::BlockPostings incremental =
+      index::BlockPostings::BuildEvolved(base, *evolved);
+
+  corpus::Corpus rebound = corpus;
+  rebound.RebindOntology(*evolved);
+  const index::BlockPostings cold(rebound, options);
+
+  ASSERT_EQ(incremental.num_concepts(), cold.num_concepts());
+  ASSERT_EQ(incremental.num_documents(), cold.num_documents());
+  ASSERT_EQ(incremental.num_blocks(), cold.num_blocks());
+  const auto arena_a = incremental.arena();
+  const auto arena_b = cold.arena();
+  ASSERT_EQ(arena_a.size(), arena_b.size());
+  EXPECT_TRUE(
+      std::equal(arena_a.begin(), arena_a.end(), arena_b.begin()))
+      << "payload arenas differ";
+  for (ConceptId c = 0; c < incremental.num_concepts(); ++c) {
+    const auto ma = incremental.blocks(c);
+    const auto mb = cold.blocks(c);
+    ASSERT_EQ(ma.size(), mb.size()) << "concept " << c;
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].offset, mb[i].offset) << "concept " << c;
+      EXPECT_EQ(ma[i].length, mb[i].length) << "concept " << c;
+      EXPECT_EQ(ma[i].first_doc, mb[i].first_doc) << "concept " << c;
+      EXPECT_EQ(ma[i].max_doc, mb[i].max_doc) << "concept " << c;
+      EXPECT_EQ(ma[i].min_distance, mb[i].min_distance) << "concept " << c;
+      EXPECT_EQ(ma[i].count, mb[i].count) << "concept " << c;
+    }
+    const auto oa = incremental.distance_order(c);
+    const auto ob = cold.distance_order(c);
+    ASSERT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin(), ob.end()))
+        << "distance order differs for concept " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation scripts: the text form ecdr_query --mutate_script and the
+// serve admin endpoints build on.
+
+TEST(OntologyEvolutionScript, ParsesAndMatchesDirectMutations) {
+  const ontology::Ontology base = MakeOntology(13, 60);
+  const std::string script =
+      "# evolve the demo ontology\n"
+      "add_concept extra_leaf C4 C9\n"
+      "add_concept deeper extra_leaf\n"
+      "\n"
+      "add_edge C7 deeper\n"
+      "retire_concept C11\n";
+  const auto mutations = ontology::ParseMutationScript(script, base);
+  ASSERT_TRUE(mutations.ok()) << mutations.status().ToString();
+  ASSERT_EQ(mutations->size(), 4u);
+  EXPECT_EQ((*mutations)[0].kind, OntologyMutation::Kind::kAddConcept);
+  EXPECT_EQ((*mutations)[0].parents,
+            (std::vector<ConceptId>{base.FindByName("C4"),
+                                    base.FindByName("C9")}));
+  // "deeper" resolves to the id the script's own add_concept will get.
+  EXPECT_EQ((*mutations)[2].child, base.num_concepts() + 1);
+  EXPECT_EQ((*mutations)[3].kind, OntologyMutation::Kind::kRetireConcept);
+  EXPECT_EQ((*mutations)[3].target, base.FindByName("C11"));
+
+  auto engine = core::RankingEngine::Create(MakeOntology(13, 60));
+  const auto stats = engine->ApplyOntologyMutations(*mutations);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->added_concepts, 2u);
+  EXPECT_EQ(stats->retired_concepts, 1u);
+  EXPECT_EQ(stats->added_edges, 4u);  // 3 parent edges + 1 add_edge
+  EXPECT_NE(engine->ontology_snapshot()->dag().FindByName("deeper"),
+            ontology::kInvalidConcept);
+}
+
+TEST(OntologyEvolutionScript, RejectsInvalidMutations) {
+  const ontology::Ontology base = MakeOntology(13, 60);
+  auto engine = core::RankingEngine::Create(MakeOntology(13, 60));
+
+  // Unknown parent name.
+  EXPECT_FALSE(
+      ontology::ParseMutationScript("add_concept x NOPE\n", base).ok());
+  // Duplicate concept name.
+  EXPECT_FALSE(engine->AddConcept("C4", {0}).ok());
+  // Retiring the root.
+  EXPECT_FALSE(engine->RetireConcept(base.root()).ok());
+  // Duplicate edge.
+  const ConceptId child = base.children(base.root()).front();
+  EXPECT_FALSE(engine->AddOntologyEdge(base.root(), child).ok());
+  // A rejected batch leaves the engine untouched.
+  EXPECT_EQ(engine->ontology_stats().version, 0u);
+  EXPECT_EQ(engine->ontology_stats().evolutions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Durability: mutations are WAL-logged ahead of visibility, images
+// stamp the evolved ontology, and recovery restores the exact version
+// — WAL-only, post-checkpoint, and across a second evolution epoch.
+
+TEST(OntologyEvolutionDurability, WalAndImageRoundTripTheEvolvedVersion) {
+  const std::uint64_t seed = 17;
+  storage::FaultyEnv env;
+  core::RankingEngineOptions options;
+  options.storage.data_dir = "/db";
+  options.storage.env = &env;
+
+  const ontology::Ontology reference = MakeOntology(seed);
+  std::vector<OntologyMutation> mutations(2);
+  mutations[0].kind = OntologyMutation::Kind::kAddConcept;
+  mutations[0].name = "durable_leaf";
+  mutations[0].parents = {5, 12};
+  mutations[1].kind = OntologyMutation::Kind::kRetireConcept;
+  mutations[1].target = 30;
+
+  std::uint64_t identity = 0;
+  std::vector<core::ScoredDocument> expected;
+  const std::vector<ConceptId> probe{5, 12, reference.num_concepts()};
+  {
+    auto engine = core::RankingEngine::Open(MakeOntology(seed), options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    std::mt19937_64 rng(seed);
+    for (int d = 0; d < 60; ++d) {
+      std::vector<ConceptId> concepts;
+      std::uniform_int_distribution<ConceptId> dist(
+          0, reference.num_concepts() - 1);
+      for (int i = 0; i < 6; ++i) concepts.push_back(dist(rng));
+      std::sort(concepts.begin(), concepts.end());
+      concepts.erase(std::unique(concepts.begin(), concepts.end()),
+                     concepts.end());
+      ASSERT_TRUE((*engine)->AddDocument(std::move(concepts)).ok());
+    }
+    ASSERT_TRUE((*engine)->ApplyOntologyMutations(mutations).ok());
+    const auto stats = (*engine)->ontology_stats();
+    EXPECT_EQ(stats.version, 2u);  // one version step per mutation
+    identity = stats.identity_hash;
+    const auto results = (*engine)->FindRelevant(probe, 10);
+    ASSERT_TRUE(results.ok());
+    expected = *results;
+    ASSERT_TRUE((*engine)->SyncDurability().ok());
+  }
+
+  // WAL-only recovery (no checkpoint was taken): the mutation records
+  // replay on top of the boot baseline.
+  {
+    auto engine = core::RankingEngine::Open(MakeOntology(seed), options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const auto stats = (*engine)->ontology_stats();
+    EXPECT_EQ(stats.version, 2u);
+    EXPECT_EQ(stats.identity_hash, identity);
+    EXPECT_EQ(stats.num_retired, 1u);
+    EXPECT_NE((*engine)->ontology_snapshot()->dag().FindByName(
+                  "durable_leaf"),
+              ontology::kInvalidConcept);
+    const auto results = (*engine)->FindRelevant(probe, 10);
+    ASSERT_TRUE(results.ok());
+    ASSERT_EQ(results->size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*results)[i].id, expected[i].id);
+      EXPECT_EQ((*results)[i].distance, expected[i].distance);
+    }
+    // Checkpoint stamps the image with the evolved ontology, then a
+    // second evolution epoch lands on top of it.
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+    ASSERT_TRUE((*engine)->AddConcept("post_checkpoint", {5}).ok());
+    identity = (*engine)->ontology_stats().identity_hash;
+    ASSERT_TRUE((*engine)->SyncDurability().ok());
+  }
+
+  // Image + post-image WAL recovery.
+  {
+    auto engine = core::RankingEngine::Open(MakeOntology(seed), options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const auto stats = (*engine)->ontology_stats();
+    EXPECT_EQ(stats.version, 3u);
+    EXPECT_EQ(stats.identity_hash, identity);
+    const auto results = (*engine)->FindRelevant(probe, 10);
+    ASSERT_TRUE(results.ok());
+    ASSERT_EQ(results->size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*results)[i].id, expected[i].id);
+      EXPECT_EQ((*results)[i].distance, expected[i].distance);
+    }
+  }
+
+  // A foreign baseline ontology must not adopt the image: the lineage
+  // hash stamped into it cannot match, so recovery skips the image
+  // (the store's policy is to recover around bad artifacts, never to
+  // destroy them) and the foreign boot keeps its own version-0 hash.
+  {
+    auto engine =
+        core::RankingEngine::Open(MakeOntology(seed + 1, 120), options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_GT((*engine)->durability_stats().store.images_skipped, 0u);
+    EXPECT_NE((*engine)->ontology_stats().identity_hash, identity);
+  }
+}
+
+}  // namespace
+}  // namespace ecdr

@@ -189,11 +189,11 @@ void ExpectSameSearchResults(core::RankingEngine* a, core::RankingEngine* b,
 std::vector<storage::WalRecord> SampleWalRecords() {
   std::vector<storage::WalRecord> records;
   records.push_back({storage::WalOp::kAddDocument, 1, corpus::kInvalidDoc,
-                     {1, 5, 9}});
+                     {1, 5, 9}, {}});
   records.push_back({storage::WalOp::kAddDocument, 2, corpus::kInvalidDoc,
-                     {0}});
-  records.push_back({storage::WalOp::kUpdateDocument, 3, 0, {2, 3}});
-  records.push_back({storage::WalOp::kDeleteDocument, 4, 1, {}});
+                     {0}, {}});
+  records.push_back({storage::WalOp::kUpdateDocument, 3, 0, {2, 3}, {}});
+  records.push_back({storage::WalOp::kDeleteDocument, 4, 1, {}, {}});
   return records;
 }
 
@@ -379,7 +379,7 @@ TEST(DocumentStoreTest, CheckpointRotatesWalAndBootSkipsReplay) {
     ASSERT_TRUE((*store)->SyncWal().ok());
     index::ShardedIndex index(corpus);
     ASSERT_TRUE(
-        (*store)->WriteCheckpoint(corpus, index, nullptr, 1, 5).ok());
+        (*store)->WriteCheckpoint(corpus, index, nullptr, nullptr, 1, 5).ok());
     EXPECT_EQ((*store)->stats().image_generation, 1u);
     EXPECT_EQ((*store)->stats().wal_bytes, 0u) << "WAL should rotate";
   }

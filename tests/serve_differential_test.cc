@@ -319,5 +319,244 @@ TEST(ServeTaSidecarTest, TaRouteWithoutSidecarIsRejected) {
   server.Stop();
 }
 
+// ---------------------------------------------------------------------
+// Live ontology administration over HTTP: the three admin mutation
+// endpoints step the version, report incremental re-enumeration stats,
+// and keep the TA sidecar serving bit-identically to the exact engine
+// across all three rebuild modes (incremental splice, full rebuild,
+// retire-only skip).
+
+std::uint64_t NumberField(const json::Value& object, const char* name) {
+  const json::Value* field = object.Find(name);
+  EXPECT_NE(field, nullptr) << name;
+  if (field == nullptr || !field->is_number()) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(field->number);
+}
+
+// 64-bit hashes cross the wire as "0x%016x" strings (a JSON number is
+// a double and silently rounds past 2^53).
+std::string HashField(const json::Value& object, const char* name) {
+  const json::Value* field = object.Find(name);
+  EXPECT_NE(field, nullptr) << name;
+  if (field == nullptr || !field->is_string()) return {};
+  EXPECT_EQ(field->string.rfind("0x", 0), 0u) << name << "=" << field->string;
+  EXPECT_EQ(field->string.size(), 18u) << name << "=" << field->string;
+  return field->string;
+}
+
+TEST(ServeOntologyAdminTest, MutationsEvolveServingExactly) {
+  ontology::Ontology ontology = MakeOntology(5);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 5);
+  const ontology::ConceptId base_n = ontology.num_concepts();
+
+  auto engine = core::RankingEngine::Create(std::move(ontology));
+  ASSERT_TRUE(engine->AddCorpus(corpus).ok());
+  const auto pinned = engine->snapshot();
+  index::BlockPostingsOptions postings_options;
+  postings_options.block_size = 16;
+  const index::BlockPostings postings(pinned->corpus, postings_options);
+
+  ServerOptions options;
+  options.ta_postings = &postings;
+  options.ta_corpus = &pinned->corpus;
+  options.ta_generation = pinned->generation;
+  Server server(engine.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // TA-route answers must stay bit-identical to the exact engine after
+  // every evolution — the serving referee for the sidecar hand-off.
+  const std::uint32_t k = 7;
+  const auto expect_ta_exact =
+      [&](const std::vector<std::vector<ontology::ConceptId>>& queries,
+          const char* label) {
+        for (const auto& query : queries) {
+          core::SearchControl control;
+          control.error_threshold = 0.0;
+          const auto want = engine->FindRelevant(query, k, control);
+          ASSERT_TRUE(want.ok()) << label;
+          const auto response = serve_test::PostJson(
+              server.port(), "/v1/search",
+              "{\"concepts\":" + ConceptsJson(query) +
+                  ",\"k\":" + std::to_string(k) + ",\"ranker\":\"ta\"}");
+          ASSERT_TRUE(response.transport_ok && response.complete) << label;
+          ASSERT_EQ(response.status, 200) << label << ": " << response.body;
+          const auto got = DecodeResults(response.body);
+          ASSERT_EQ(want->size(), got.size()) << label;
+          for (std::size_t i = 0; i < want->size(); ++i) {
+            EXPECT_EQ((*want)[i].id, got[i].id) << label << " rank " << i;
+            EXPECT_EQ((*want)[i].distance, got[i].distance)
+                << label << " rank " << i;
+          }
+        }
+      };
+
+  const std::vector<std::vector<ontology::ConceptId>> base_queries = {
+      {5, 12}, {3, 200, 450}, {100, 101, 7}};
+  expect_ta_exact(base_queries, "baseline");
+
+  const auto status_before = serve_test::Get(server.port(), "/status");
+  ASSERT_EQ(status_before.status, 200);
+  const auto before_json = json::Parse(status_before.body);
+  ASSERT_TRUE(before_json.ok());
+  const json::Value* onto_before = before_json->Find("ontology");
+  ASSERT_NE(onto_before, nullptr) << status_before.body;
+  EXPECT_EQ(NumberField(*onto_before, "version"), 0u);
+  const std::string identity_before =
+      HashField(*onto_before, "identity_hash");
+  const std::string baseline_hash = HashField(*onto_before, "baseline_hash");
+
+  // 1. add_concept: a distance-preserving leaf — only the leaf gets
+  //    addressed, every pre-existing pool span is spliced, and the
+  //    sidecar takes the incremental BuildEvolved path.
+  const auto added = serve_test::PostJson(
+      server.port(), "/v1/admin/ontology/add_concept",
+      "{\"name\":\"served_leaf\",\"parents\":[5,12]}");
+  ASSERT_TRUE(added.transport_ok && added.complete);
+  ASSERT_EQ(added.status, 200) << added.body;
+  const auto added_json = json::Parse(added.body);
+  ASSERT_TRUE(added_json.ok()) << added.body;
+  EXPECT_EQ(NumberField(*added_json, "concept"),
+            static_cast<std::uint64_t>(base_n));
+  EXPECT_EQ(NumberField(*added_json, "version"), 1u);
+  EXPECT_EQ(NumberField(*added_json, "readdressed"), 1u);
+  EXPECT_EQ(NumberField(*added_json, "readdressed_existing"), 0u);
+  EXPECT_EQ(NumberField(*added_json, "reused"),
+            static_cast<std::uint64_t>(base_n));
+  EXPECT_EQ(NumberField(*added_json, "invalidated"), 0u);
+  const std::string identity_added = HashField(*added_json, "identity_hash");
+  EXPECT_NE(identity_added, identity_before);
+  EXPECT_NE(added_json->Find("generation"), nullptr) << added.body;
+
+  std::vector<std::vector<ontology::ConceptId>> evolved_queries =
+      base_queries;
+  evolved_queries.push_back({base_n});
+  evolved_queries.push_back({base_n, 7});
+  expect_ta_exact(evolved_queries, "after add_concept");
+
+  // 2. add_edge onto that (now pre-existing) leaf: its address set
+  //    changes, so the sidecar must take the full-rebuild path and the
+  //    pair cache drops exactly that one concept.
+  const auto edged = serve_test::PostJson(
+      server.port(), "/v1/admin/ontology/add_edge",
+      "{\"parent\":3,\"child\":" + std::to_string(base_n) + "}");
+  ASSERT_EQ(edged.status, 200) << edged.body;
+  const auto edged_json = json::Parse(edged.body);
+  ASSERT_TRUE(edged_json.ok()) << edged.body;
+  EXPECT_EQ(NumberField(*edged_json, "parent"), 3u);
+  EXPECT_EQ(NumberField(*edged_json, "child"),
+            static_cast<std::uint64_t>(base_n));
+  EXPECT_EQ(NumberField(*edged_json, "version"), 2u);
+  EXPECT_EQ(NumberField(*edged_json, "readdressed"), 1u);
+  EXPECT_EQ(NumberField(*edged_json, "readdressed_existing"), 1u);
+  EXPECT_EQ(NumberField(*edged_json, "invalidated"), 1u);
+  expect_ta_exact(evolved_queries, "after add_edge");
+
+  // 3. retire_concept: structurally a no-op — the sidecar is kept
+  //    as-is (skip path) and just re-stamped with the new version.
+  const ontology::ConceptId retire_target = base_n - 1;
+  const auto retired = serve_test::PostJson(
+      server.port(), "/v1/admin/ontology/retire_concept",
+      "{\"concept\":" + std::to_string(retire_target) + "}");
+  ASSERT_EQ(retired.status, 200) << retired.body;
+  const auto retired_json = json::Parse(retired.body);
+  ASSERT_TRUE(retired_json.ok()) << retired.body;
+  EXPECT_EQ(NumberField(*retired_json, "retired"),
+            static_cast<std::uint64_t>(retire_target));
+  EXPECT_EQ(NumberField(*retired_json, "version"), 3u);
+  EXPECT_EQ(NumberField(*retired_json, "readdressed"), 0u);
+  EXPECT_EQ(NumberField(*retired_json, "invalidated"), 0u);
+  expect_ta_exact(evolved_queries, "after retire");
+
+  // /status: version lineage, lifetime counters, and the sidecar's
+  // rebuild-mode split (1 incremental, 1 full, retire skipped both).
+  const auto status_after = serve_test::Get(server.port(), "/status");
+  ASSERT_EQ(status_after.status, 200);
+  const auto after_json = json::Parse(status_after.body);
+  ASSERT_TRUE(after_json.ok()) << status_after.body;
+  const json::Value* onto_after = after_json->Find("ontology");
+  ASSERT_NE(onto_after, nullptr) << status_after.body;
+  EXPECT_EQ(NumberField(*onto_after, "version"), 3u);
+  EXPECT_EQ(NumberField(*onto_after, "num_concepts"),
+            static_cast<std::uint64_t>(base_n) + 1);
+  EXPECT_EQ(NumberField(*onto_after, "num_retired"), 1u);
+  EXPECT_EQ(NumberField(*onto_after, "evolutions"), 3u);
+  EXPECT_EQ(NumberField(*onto_after, "mutations_applied"), 3u);
+  EXPECT_EQ(NumberField(*onto_after, "readdressed_total"), 2u);
+  EXPECT_EQ(HashField(*onto_after, "baseline_hash"), baseline_hash);
+  EXPECT_NE(HashField(*onto_after, "identity_hash"), identity_before);
+  const json::Value* postings_after = after_json->Find("postings");
+  ASSERT_NE(postings_after, nullptr) << status_after.body;
+  EXPECT_EQ(NumberField(*postings_after, "ontology_version"), 3u);
+  EXPECT_EQ(NumberField(*postings_after, "rebuilds_incremental"), 1u);
+  EXPECT_EQ(NumberField(*postings_after, "rebuilds_full"), 1u);
+  EXPECT_EQ(NumberField(*postings_after, "generation"), pinned->generation);
+
+  // /metrics mirrors the same lineage.
+  const auto metrics = serve_test::Get(server.port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("ecdr_ontology_version 3"), std::string::npos);
+  EXPECT_NE(metrics.body.find(
+                "ecdr_postings_rebuilds_total{mode=\"incremental\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("ecdr_postings_rebuilds_total{mode=\"full\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("ecdr_ontology_info{identity_hash=\""),
+            std::string::npos);
+
+  server.Stop();
+}
+
+// Malformed and semantically invalid admin mutations are clean 4xx
+// responses, and none of them move the ontology version.
+TEST(ServeOntologyAdminTest, InvalidMutationsAreRejectedWithoutEvolving) {
+  ontology::Ontology ontology = MakeOntology(6);
+  const corpus::Corpus corpus = MakeCorpus(ontology, 6);
+  auto engine = core::RankingEngine::Create(std::move(ontology));
+  ASSERT_TRUE(engine->AddCorpus(corpus).ok());
+  Server server(engine.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Admin targets are worker targets: GET is a 405, not a 404.
+  EXPECT_EQ(serve_test::Get(server.port(), "/v1/admin/ontology/add_concept")
+                .status,
+            405);
+
+  const auto post = [&](const char* target, const std::string& body) {
+    return serve_test::PostJson(server.port(), target, body).status;
+  };
+  // Shape errors.
+  EXPECT_EQ(post("/v1/admin/ontology/add_concept", "{}"), 400);
+  EXPECT_EQ(post("/v1/admin/ontology/add_concept", "{\"name\":\"x\"}"), 400);
+  EXPECT_EQ(post("/v1/admin/ontology/add_concept",
+                 "{\"name\":\"x\",\"parents\":[]}"),
+            400);
+  EXPECT_EQ(post("/v1/admin/ontology/add_concept",
+                 "{\"name\":\"x\",\"parents\":[\"five\"]}"),
+            400);
+  EXPECT_EQ(post("/v1/admin/ontology/retire_concept", "{}"), 400);
+  EXPECT_EQ(post("/v1/admin/ontology/add_edge", "{\"parent\":1}"), 400);
+  // Semantic errors caught by the engine's mutation validation.
+  EXPECT_EQ(post("/v1/admin/ontology/retire_concept", "{\"concept\":0}"),
+            400);  // the root
+  EXPECT_EQ(post("/v1/admin/ontology/add_concept",
+                 "{\"name\":\"C4\",\"parents\":[1]}"),
+            400);  // duplicate name
+  EXPECT_EQ(post("/v1/admin/ontology/add_edge",
+                 "{\"parent\":1,\"child\":0}"),
+            400);  // edge into the root
+
+  const auto status = serve_test::Get(server.port(), "/status");
+  ASSERT_EQ(status.status, 200);
+  const auto status_json = json::Parse(status.body);
+  ASSERT_TRUE(status_json.ok());
+  const json::Value* onto = status_json->Find("ontology");
+  ASSERT_NE(onto, nullptr) << status.body;
+  EXPECT_EQ(NumberField(*onto, "version"), 0u);
+  EXPECT_EQ(NumberField(*onto, "evolutions"), 0u);
+  EXPECT_EQ(NumberField(*onto, "mutations_applied"), 0u);
+
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace ecdr::serve

@@ -21,11 +21,20 @@
 // admission statistics), --deadline_ms 50 (anytime mode: stop at the
 // budget and report partial results with per-result error bounds; see
 // DESIGN.md "Deadlines, degradation, and overload").
+//
+// Ontology evolution: --mutate_script evolve.txt applies a mutation
+// script (one `add_concept <name> <parent>...` / `retire_concept
+// <name>` / `add_edge <parent> <child>` per line, '#' comments) to the
+// live engine before the queries run and prints the incremental
+// re-enumeration stats — so queries can reference concepts the script
+// just added.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +64,7 @@ int main(int argc, char** argv) {
   const double writer_qps = flags.GetDouble("writer_qps", 0.0);
   const bool run_baseline = flags.GetBool("baseline", false);
   const bool print_stats = flags.GetBool("stats", false);
+  const std::string mutate_script = flags.GetString("mutate_script", "");
   flags.CheckAllConsumed();
 
   if (ontology_path.empty() || corpus_path.empty()) {
@@ -71,7 +81,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  const ecdr::ontology::Ontology& ontology = (*engine)->ontology();
+  if (!mutate_script.empty()) {
+    std::ifstream in(mutate_script);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --mutate_script '%s'\n",
+                   mutate_script.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto base = (*engine)->ontology_snapshot();
+    const auto mutations =
+        ecdr::ontology::ParseMutationScript(text.str(), base->dag());
+    if (!mutations.ok()) {
+      std::fprintf(stderr, "%s\n", mutations.status().ToString().c_str());
+      return 1;
+    }
+    const auto evolved = (*engine)->ApplyOntologyMutations(*mutations);
+    if (!evolved.ok()) {
+      std::fprintf(stderr, "%s\n", evolved.status().ToString().c_str());
+      return 1;
+    }
+    const auto onto_stats = (*engine)->ontology_stats();
+    std::printf(
+        "mutate: %zu mutations -> version %llu (+%llu concepts, "
+        "%llu retired, +%llu edges); readdressed %llu (existing %llu), "
+        "reused %llu, identity 0x%016llx\n",
+        mutations->size(),
+        static_cast<unsigned long long>(onto_stats.version),
+        static_cast<unsigned long long>(evolved->added_concepts),
+        static_cast<unsigned long long>(evolved->retired_concepts),
+        static_cast<unsigned long long>(evolved->added_edges),
+        static_cast<unsigned long long>(evolved->readdressed_concepts),
+        static_cast<unsigned long long>(evolved->readdressed_existing),
+        static_cast<unsigned long long>(evolved->reused_concepts),
+        static_cast<unsigned long long>(onto_stats.identity_hash));
+  }
+  // Pin the (possibly just-evolved) ontology for the whole run: the
+  // shared_ptr keeps the DAG alive across any later evolution.
+  const auto onto_snap = (*engine)->ontology_snapshot();
+  const ecdr::ontology::Ontology& ontology = onto_snap->dag();
 
   // Assemble the query: SDS if --doc, otherwise RDS from names/ids.
   std::vector<ecdr::ontology::ConceptId> query;
